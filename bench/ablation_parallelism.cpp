@@ -1,0 +1,60 @@
+// Ablation for Fig. 3a: RingSampler's batch-parallel scheduling (each
+// thread owns whole mini-batches, zero synchronization) vs the
+// Marius-style intra-batch scheme (threads split one batch per layer
+// with a barrier between layers).
+#include "bench_common.h"
+#include "core/ring_sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  using namespace rs::bench;
+
+  BenchEnv env;
+  env.epochs = 2;
+  env.batch_size = 256;
+  env.target_frac = 0.01;
+  ArgParser parser("ablation_parallelism",
+                   "Fig. 3a ablation: batch-parallel vs intra-batch");
+  if (!parse_env(parser, env, argc, argv)) return 0;
+
+  const std::string base = dataset(env, "ogbn-papers-s");
+  const auto targets = targets_for(env, base);
+  const auto options = run_options(env, base);
+
+  Table table("Fig. 3a ablation: parallelism strategy",
+              {"Threads", "Batch-parallel", "Intra-batch (barriers)",
+               "Batch-parallel speedup"});
+
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    std::vector<std::string> row = {std::to_string(threads)};
+    double batch_s = -1;
+    double intra_s = -1;
+    for (const auto mode : {core::ParallelismMode::kBatchParallel,
+                            core::ParallelismMode::kIntraBatch}) {
+      core::SamplerConfig config;
+      config.batch_size = static_cast<std::uint32_t>(env.batch_size);
+      config.num_threads = threads;
+      config.queue_depth = static_cast<std::uint32_t>(env.queue_depth);
+      config.seed = env.seed;
+      config.parallelism = mode;
+      const bool is_batch = mode == core::ParallelismMode::kBatchParallel;
+      const eval::RunOutcome outcome = eval::run_system(
+          std::string(is_batch ? "batch" : "intra") + "@" +
+              std::to_string(threads),
+          [&]() -> Result<std::unique_ptr<core::Sampler>> {
+            auto sampler = core::RingSampler::open(base, config);
+            if (!sampler.is_ok()) return sampler.status();
+            return std::unique_ptr<core::Sampler>(
+                std::move(sampler).value());
+          },
+          targets, options);
+      row.push_back(outcome.cell());
+      (is_batch ? batch_s : intra_s) =
+          outcome.ok() ? outcome.mean.seconds : -1;
+    }
+    row.push_back(speedup_cell(intra_s, batch_s));
+    table.add_row(std::move(row));
+  }
+  emit(env, table, "ablation_parallelism");
+  return 0;
+}

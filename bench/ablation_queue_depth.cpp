@@ -1,0 +1,54 @@
+// Ablation for the ring-size default (§4.1 sets it to 512): sweep the
+// io_uring queue depth / I/O group size and watch sampling time. Small
+// rings under-batch (more submit syscalls, less device parallelism);
+// very large rings stop helping once the device is saturated.
+#include "bench_common.h"
+#include "core/ring_sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  using namespace rs::bench;
+
+  BenchEnv env;
+  env.epochs = 2;
+  ArgParser parser("ablation_queue_depth",
+                   "Ring-size (queue depth) sensitivity sweep");
+  if (!parse_env(parser, env, argc, argv)) return 0;
+
+  const std::string base = dataset(env, "ogbn-papers-s");
+  const auto targets = targets_for(env, base);
+  const auto options = run_options(env, base);
+
+  Table table("Queue-depth sweep (paper default: 512)",
+              {"Queue depth", "Time/epoch", "Reads", "vs QD=512"});
+  double qd512_seconds = -1;
+  std::vector<std::array<std::string, 3>> rows;
+  std::vector<double> times;
+
+  for (const std::uint32_t qd : {8u, 32u, 128u, 512u, 1024u}) {
+    core::SamplerConfig config;
+    config.batch_size = static_cast<std::uint32_t>(env.batch_size);
+    config.num_threads = static_cast<std::uint32_t>(env.threads);
+    config.queue_depth = qd;
+    config.seed = env.seed;
+    const eval::RunOutcome outcome = eval::run_system(
+        "RingSampler@QD" + std::to_string(qd),
+        [&]() -> Result<std::unique_ptr<core::Sampler>> {
+          auto sampler = core::RingSampler::open(base, config);
+          if (!sampler.is_ok()) return sampler.status();
+          return std::unique_ptr<core::Sampler>(std::move(sampler).value());
+        },
+        targets, options);
+    rows.push_back({std::to_string(qd), outcome.cell(),
+                    outcome.ok() ? Table::fmt_count(outcome.mean.read_ops)
+                                 : "-"});
+    times.push_back(outcome.ok() ? outcome.mean.seconds : -1);
+    if (qd == 512 && outcome.ok()) qd512_seconds = outcome.mean.seconds;
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_row({rows[i][0], rows[i][1], rows[i][2],
+                   speedup_cell(times[i], qd512_seconds)});
+  }
+  emit(env, table, "ablation_queue_depth");
+  return 0;
+}

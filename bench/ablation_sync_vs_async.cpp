@@ -1,0 +1,84 @@
+// Ablation for Fig. 3b: the asynchronous prepare/submit/reap pipeline vs
+// the synchronous one, across I/O backends. The async win is the time the
+// synchronous pipeline spends blocked in completion waits while the CPU
+// could have been planning the next I/O group.
+#include "bench_common.h"
+#include "core/ring_sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  using namespace rs::bench;
+
+  BenchEnv env;
+  env.epochs = 3;
+  ArgParser parser("ablation_sync_vs_async",
+                   "Fig. 3b ablation: sync vs async I/O pipeline");
+  if (!parse_env(parser, env, argc, argv)) return 0;
+
+  const std::string base = dataset(env, "ogbn-papers-s");
+  const auto targets = targets_for(env, base);
+  const auto options = run_options(env, base);
+
+  struct BackendCase {
+    std::string label;
+    io::BackendKind kind;
+    bool register_file;
+  };
+  const std::vector<BackendCase> backends = {
+      {"io_uring+irq", io::BackendKind::kUring, false},
+      {"io_uring+cqpoll", io::BackendKind::kUringPoll, false},
+      {"io_uring+sqpoll", io::BackendKind::kUringSqpoll, false},
+      {"io_uring+fixedfile", io::BackendKind::kUringPoll, true},
+      {"psync", io::BackendKind::kPsync, false},
+  };
+
+  // "drain share" = fraction of pipeline time blocked collecting
+  // completions: the async design's target. Async moves work from drain
+  // to prepare even when 1-core wall-clock gains are small.
+  Table table("Fig. 3b ablation: pipeline shape x backend",
+              {"Backend", "Sync", "drain%", "Async", "drain%",
+               "Async speedup"});
+  for (const auto& [label, kind, register_file] : backends) {
+    double sync_s = -1;
+    double async_s = -1;
+    std::vector<std::string> row = {label};
+    for (const bool async_mode : {false, true}) {
+      core::SamplerConfig config;
+      config.batch_size = static_cast<std::uint32_t>(env.batch_size);
+      config.num_threads = static_cast<std::uint32_t>(env.threads);
+      config.queue_depth = static_cast<std::uint32_t>(env.queue_depth);
+      config.seed = env.seed;
+      config.backend = kind;
+      config.register_file = register_file;
+      config.async_pipeline = async_mode;
+      const eval::RunOutcome outcome = eval::run_system(
+          label + (async_mode ? "/async" : "/sync"),
+          [&]() -> Result<std::unique_ptr<core::Sampler>> {
+            auto sampler = core::RingSampler::open(base, config);
+            if (!sampler.is_ok()) return sampler.status();
+            return std::unique_ptr<core::Sampler>(
+                std::move(sampler).value());
+          },
+          targets, options);
+      row.push_back(outcome.cell());
+      if (outcome.ok()) {
+        const double pipeline_time =
+            outcome.mean.prepare_seconds + outcome.mean.drain_seconds;
+        row.push_back(pipeline_time > 0
+                          ? Table::fmt_double(100.0 *
+                                                  outcome.mean.drain_seconds /
+                                                  pipeline_time,
+                                              0)
+                          : "-");
+      } else {
+        row.push_back("-");
+      }
+      (async_mode ? async_s : sync_s) =
+          outcome.ok() ? outcome.mean.seconds : -1;
+    }
+    row.push_back(speedup_cell(sync_s, async_s));
+    table.add_row(std::move(row));
+  }
+  emit(env, table, "ablation_sync_vs_async");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Shared plumbing for the figure/table benchmark binaries.
+//
+// Every bench accepts the same core flags (--scale, --epochs,
+// --target-frac, --threads, --csv-dir, ...) so results can be regenerated
+// at larger scale than the fast defaults. Datasets are materialized into
+// a shared on-disk cache (./rs_data or $RS_DATA_DIR), so the first binary
+// pays generation cost and the rest reuse it.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+#include "eval/suite.h"
+#include "gen/dataset.h"
+#include "graph/binary_format.h"
+#include "io/file.h"
+#include "util/argparse.h"
+#include "util/fs.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace rs::bench {
+
+struct BenchEnv {
+  double scale = 0.25;        // dataset shrink factor vs the -s profiles
+  std::uint64_t epochs = 3;   // paper: 5; default trimmed for quick runs
+  double target_frac = 0.005; // fraction of |V| used as epoch targets
+  std::uint64_t threads = 8;  // paper: 64 (this machine exposes 1 core)
+  std::uint64_t queue_depth = 512;
+  std::uint64_t batch_size = 1024;
+  std::uint64_t seed = 7;
+  std::string csv_dir = "bench_results";
+  bool drop_cache = false;  // drop page cache before each epoch
+};
+
+// Parses common flags (callers may register extra flags on the parser
+// first). Returns false if --help was requested (caller exits 0).
+inline bool parse_env(ArgParser& parser, BenchEnv& env, int argc,
+                      char** argv) {
+  parser.add_double("scale", &env.scale, "dataset scale factor (0,1]");
+  parser.add_uint("epochs", &env.epochs, "epochs to average");
+  parser.add_double("target-frac", &env.target_frac,
+                    "fraction of nodes used as targets");
+  parser.add_uint("threads", &env.threads, "sampler threads");
+  parser.add_uint("queue-depth", &env.queue_depth, "io_uring ring size");
+  parser.add_uint("batch-size", &env.batch_size, "mini-batch size");
+  parser.add_uint("seed", &env.seed, "RNG seed");
+  parser.add_string("csv-dir", &env.csv_dir, "directory for CSV mirrors");
+  parser.add_flag("drop-cache", &env.drop_cache,
+                  "drop the page cache before each epoch");
+  const Status status = parser.parse(argc, argv);
+  if (!status.is_ok()) {
+    if (status.message() != "help requested") {
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      std::exit(2);
+    }
+    return false;
+  }
+  return true;
+}
+
+// Materializes a standard profile at the env's scale; exits on failure.
+inline std::string dataset(const BenchEnv& env, const std::string& name) {
+  auto profile = gen::profile_by_name(name);
+  RS_CHECK_MSG(profile.is_ok(), profile.status().to_string());
+  const auto scaled = gen::scaled_profile(profile.value(), env.scale);
+  auto base = gen::materialize_dataset(scaled);
+  RS_CHECK_MSG(base.is_ok(), base.status().to_string());
+  return base.value();
+}
+
+inline baselines::PaperGraphInfo paper_info(const std::string& name) {
+  auto profile = gen::profile_by_name(name);
+  RS_CHECK_MSG(profile.is_ok(), profile.status().to_string());
+  baselines::PaperGraphInfo info;
+  info.nodes = profile.value().paper_nodes;
+  info.edges = profile.value().paper_edges;
+  return info;
+}
+
+inline std::vector<NodeId> targets_for(const BenchEnv& env,
+                                       const std::string& base) {
+  auto meta = graph::read_meta(base);
+  RS_CHECK_MSG(meta.is_ok(), meta.status().to_string());
+  const auto count = static_cast<std::size_t>(
+      static_cast<double>(meta.value().num_nodes) * env.target_frac);
+  return eval::pick_targets(meta.value().num_nodes,
+                            std::max<std::size_t>(count, 16), env.seed);
+}
+
+inline eval::SystemParams system_params(const BenchEnv& env,
+                                        const std::string& base,
+                                        const std::string& profile_name) {
+  eval::SystemParams params;
+  params.graph_base = base;
+  params.paper = paper_info(profile_name);
+  params.batch_size = static_cast<std::uint32_t>(env.batch_size);
+  params.threads = static_cast<std::uint32_t>(env.threads);
+  params.queue_depth = static_cast<std::uint32_t>(env.queue_depth);
+  params.seed = env.seed;
+  return params;
+}
+
+inline eval::RunOptions run_options(const BenchEnv& env,
+                                    const std::string& base) {
+  eval::RunOptions options;
+  options.epochs = env.epochs;
+  if (env.drop_cache) {
+    options.before_epoch = [base] {
+      auto file =
+          io::File::open(graph::edges_path(base), io::OpenMode::kRead);
+      if (file.is_ok()) (void)file.value().drop_cache();
+    };
+  }
+  return options;
+}
+
+// Prints the table and mirrors it to <csv-dir>/<stem>.csv.
+inline void emit(const BenchEnv& env, const Table& table,
+                 const std::string& stem) {
+  table.print();
+  if (env.csv_dir.empty()) return;
+  if (!make_dirs(env.csv_dir).is_ok()) return;
+  const std::string path = env.csv_dir + "/" + stem + ".csv";
+  const Status status = table.write_csv(path);
+  if (status.is_ok()) {
+    std::printf("[csv] %s\n\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "csv write failed: %s\n",
+                 status.to_string().c_str());
+  }
+}
+
+// Ratio cell helper: "12.3x" or "-" when undefined.
+inline std::string speedup_cell(double baseline_seconds,
+                                double ours_seconds) {
+  if (baseline_seconds <= 0 || ours_seconds <= 0) return "-";
+  return Table::fmt_double(baseline_seconds / ours_seconds, 1) + "x";
+}
+
+}  // namespace rs::bench

@@ -1,0 +1,75 @@
+// Extension bench: feature-row gather throughput through each I/O
+// backend. This is the training-side analogue of the sampling-side
+// micro benches — after sampling, the framework must fetch dim-float
+// rows for every sampled node, and on out-of-core deployments those
+// rows live on the SSD (Ginex/GNNDrive territory).
+#include "bench_common.h"
+#include "feat/feature_store.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  using namespace rs::bench;
+
+  BenchEnv env;
+  std::uint64_t dim = 128;
+  std::uint64_t rows = 100000;
+  std::uint64_t gathers = 50000;
+  ArgParser parser("ext_feature_gather",
+                   "Extension: on-disk feature gather throughput");
+  parser.add_uint("dim", &dim, "feature dimension (floats per row)");
+  parser.add_uint("rows", &rows, "rows in the feature matrix");
+  parser.add_uint("gathers", &gathers, "rows gathered per run");
+  if (!parse_env(parser, env, argc, argv)) return 0;
+
+  // Materialize a feature matrix once (cached by size).
+  const std::string base = data_dir() + "/featbench-n" +
+                           std::to_string(rows) + "-d" +
+                           std::to_string(dim);
+  if (!file_exists(feat::features_path(base))) {
+    const auto features = feat::synthesize_features(
+        static_cast<NodeId>(rows), static_cast<std::uint32_t>(dim), 3);
+    const Status status = feat::write_features(
+        base, features.data(), static_cast<NodeId>(rows),
+        static_cast<std::uint32_t>(dim));
+    RS_CHECK_MSG(status.is_ok(), status.to_string());
+  }
+
+  // A sampled-node-like id stream: skewed (hubs repeat).
+  Xoshiro256 rng(env.seed);
+  std::vector<NodeId> nodes;
+  nodes.reserve(gathers);
+  for (std::uint64_t i = 0; i < gathers; ++i) {
+    // 20% of ids from a hot 1% of rows, rest uniform.
+    if (rng.uniform(5) == 0) {
+      nodes.push_back(static_cast<NodeId>(rng.uniform(rows / 100 + 1)));
+    } else {
+      nodes.push_back(static_cast<NodeId>(rng.uniform(rows)));
+    }
+  }
+
+  Table table("Feature gather: " + std::to_string(gathers) + " rows x " +
+                  std::to_string(dim) + " floats",
+              {"Backend", "Time", "rows/s", "MB/s"});
+  for (const auto kind :
+       {io::BackendKind::kUringPoll, io::BackendKind::kUring,
+        io::BackendKind::kPsync, io::BackendKind::kMmap}) {
+    auto store = feat::FeatureStore::open(
+        base, kind, static_cast<unsigned>(env.queue_depth));
+    RS_CHECK_MSG(store.is_ok(), store.status().to_string());
+    std::vector<float> out(nodes.size() * dim);
+    WallTimer timer;
+    const Status status = store.value().gather(nodes, out.data());
+    RS_CHECK_MSG(status.is_ok(), status.to_string());
+    const double seconds = timer.elapsed_seconds();
+    const double bytes = static_cast<double>(store.value().io_stats()
+                                                 .bytes_completed);
+    table.add_row({io::backend_kind_name(kind),
+                   Table::fmt_seconds(seconds),
+                   Table::fmt_count(static_cast<std::uint64_t>(
+                       static_cast<double>(nodes.size()) / seconds)),
+                   Table::fmt_double(bytes / seconds / 1e6, 0)});
+  }
+  emit(env, table, "ext_feature_gather");
+  return 0;
+}

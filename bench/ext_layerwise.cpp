@@ -1,0 +1,88 @@
+// Extension bench (paper §5 future work): layer-wise sampling vs
+// node-wise GraphSAGE sampling on the same SSD-resident graph.
+//
+// The point of layer-wise sampling is bounding per-layer cost: node-wise
+// width multiplies by the fanout every hop, layer-wise is capped by the
+// layer budget. Both run on identical machinery (offset index, rings,
+// async pipeline), so the I/O and time difference is purely the
+// sampling-model change.
+#include "bench_common.h"
+#include "core/layerwise_sampler.h"
+#include "core/ring_sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  using namespace rs::bench;
+
+  BenchEnv env;
+  env.epochs = 2;
+  ArgParser parser("ext_layerwise",
+                   "Extension: node-wise vs layer-wise sampling");
+  if (!parse_env(parser, env, argc, argv)) return 0;
+
+  const std::string base = dataset(env, "ogbn-papers-s");
+  const auto targets = targets_for(env, base);
+  const auto options = run_options(env, base);
+
+  Table table("Node-wise (GraphSAGE) vs layer-wise (FastGCN-style)",
+              {"Sampler", "Config", "Time/epoch", "Sampled", "Reads",
+               "Bytes"});
+
+  // Node-wise at increasing depth: multiplicative width.
+  for (const auto& fanouts :
+       std::vector<std::vector<std::uint32_t>>{{20, 15}, {20, 15, 10}}) {
+    core::SamplerConfig config;
+    config.fanouts = fanouts;
+    config.batch_size = static_cast<std::uint32_t>(env.batch_size);
+    config.num_threads = static_cast<std::uint32_t>(env.threads);
+    config.queue_depth = static_cast<std::uint32_t>(env.queue_depth);
+    config.seed = env.seed;
+    std::string label = "fanout{";
+    for (const auto f : fanouts) label += std::to_string(f) + ",";
+    label.back() = '}';
+    const eval::RunOutcome outcome = eval::run_system(
+        "node-wise " + label,
+        [&]() -> Result<std::unique_ptr<core::Sampler>> {
+          auto sampler = core::RingSampler::open(base, config);
+          if (!sampler.is_ok()) return sampler.status();
+          return std::unique_ptr<core::Sampler>(std::move(sampler).value());
+        },
+        targets, options);
+    table.add_row({"node-wise", label, outcome.cell(),
+                   Table::fmt_count(outcome.mean.sampled_neighbors),
+                   Table::fmt_count(outcome.mean.read_ops),
+                   Table::fmt_bytes(outcome.mean.bytes_read)});
+  }
+
+  // Layer-wise with fixed per-layer budgets: additive width.
+  for (const auto& sizes : std::vector<std::vector<std::uint32_t>>{
+           {4096, 2048}, {4096, 2048, 1024}}) {
+    core::LayerWiseConfig config;
+    config.layer_sizes = sizes;
+    config.batch_size = static_cast<std::uint32_t>(env.batch_size);
+    config.num_threads = static_cast<std::uint32_t>(env.threads);
+    config.queue_depth = static_cast<std::uint32_t>(env.queue_depth);
+    config.seed = env.seed;
+    std::string label = "budget{";
+    for (const auto s : sizes) label += std::to_string(s) + ",";
+    label.back() = '}';
+    const eval::RunOutcome outcome = eval::run_system(
+        "layer-wise " + label,
+        [&]() -> Result<std::unique_ptr<core::Sampler>> {
+          auto sampler = core::LayerWiseSampler::open(base, config);
+          if (!sampler.is_ok()) return sampler.status();
+          return std::unique_ptr<core::Sampler>(std::move(sampler).value());
+        },
+        targets, options);
+    table.add_row({"layer-wise", label, outcome.cell(),
+                   Table::fmt_count(outcome.mean.sampled_neighbors),
+                   Table::fmt_count(outcome.mean.read_ops),
+                   Table::fmt_bytes(outcome.mean.bytes_read)});
+  }
+  emit(env, table, "ext_layerwise");
+  std::printf(
+      "Expected shape: node-wise volume multiplies with each layer; "
+      "layer-wise volume is capped by the per-layer budgets, at the cost "
+      "of importance-weighted (non-uniform) neighbor selection.\n");
+  return 0;
+}

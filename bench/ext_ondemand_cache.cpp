@@ -1,0 +1,67 @@
+// Extension bench (paper §4.4): the hot-neighbor cache's effect on
+// on-demand serving. The paper notes "a smart caching strategy would be
+// needed to further improve responsiveness, making RingSampler fully
+// inference-ready" — this measures exactly that, sweeping the cache
+// budget and reporting request-rate and completion percentiles.
+#include "bench_common.h"
+#include "core/ring_sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  using namespace rs::bench;
+
+  BenchEnv env;
+  std::uint64_t requests = 3000;
+  ArgParser parser("ext_ondemand_cache",
+                   "Extension: hot-neighbor cache for on-demand serving");
+  parser.add_uint("requests", &requests, "single-node sampling requests");
+  if (!parse_env(parser, env, argc, argv)) return 0;
+
+  const std::string base = dataset(env, "ogbn-papers-s");
+  auto meta = graph::read_meta(base);
+  RS_CHECK_MSG(meta.is_ok(), meta.status().to_string());
+  const std::uint64_t bin = meta.value().num_edges * kEdgeEntryBytes;
+  const auto targets = eval::pick_targets(
+      meta.value().num_nodes, static_cast<std::size_t>(requests), env.seed);
+
+  Table table("On-demand serving vs hot-neighbor cache size",
+              {"Cache", "cached nodes", "req/s", "P50", "P99",
+               "sampled", "hot hits"});
+
+  for (const double fraction : {0.0, 0.01, 0.05, 0.25, 1.0}) {
+    core::SamplerConfig config;
+    config.batch_size = 1;
+    config.num_threads = static_cast<std::uint32_t>(env.threads);
+    config.queue_depth = static_cast<std::uint32_t>(env.queue_depth);
+    config.seed = env.seed;
+    config.hot_cache_bytes =
+        static_cast<std::uint64_t>(static_cast<double>(bin) * fraction);
+    auto sampler = core::RingSampler::open(base, config);
+    RS_CHECK_MSG(sampler.is_ok(), sampler.status().to_string());
+
+    auto result = sampler.value()->run_on_demand(targets);
+    RS_CHECK_MSG(result.is_ok(), result.status().to_string());
+    auto& r = result.value();
+
+    const std::uint64_t hot_hits = sampler.value()->hot_cache().hits();
+    table.add_row({
+        fraction == 0.0
+            ? "off"
+            : Table::fmt_double(fraction * 100, 0) + "% of bin",
+        Table::fmt_count(sampler.value()->hot_cache().cached_nodes()),
+        Table::fmt_count(static_cast<std::uint64_t>(
+            static_cast<double>(r.latencies.count()) / r.total_seconds)),
+        Table::fmt_seconds(r.latencies.percentile_seconds(50)),
+        Table::fmt_seconds(r.latencies.percentile_seconds(99)),
+        Table::fmt_count(r.sampled_neighbors),
+        Table::fmt_count(hot_hits),
+    });
+  }
+  emit(env, table, "ext_ondemand_cache");
+  std::printf(
+      "Expected shape: request rate rises and tail completion falls as "
+      "the degree-greedy cache absorbs hub lookups; a small cache "
+      "fraction captures a large sampled-edge fraction on skewed "
+      "graphs.\n");
+  return 0;
+}

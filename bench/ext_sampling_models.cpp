@@ -1,0 +1,96 @@
+// Extension bench: the three sampling-model categories of the paper's
+// §2.1 — node-wise (GraphSAGE, the paper's focus), layer-wise (FastGCN,
+// §5 future work), and subgraph-based (ClusterGCN) — all on the same
+// SSD-resident graph. They differ fundamentally in I/O shape: node-wise
+// and layer-wise issue small random reads proportional to the sample;
+// cluster-based streams whole partitions sequentially.
+#include "bench_common.h"
+#include "core/cluster_sampler.h"
+#include "core/layerwise_sampler.h"
+#include "core/ring_sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  using namespace rs::bench;
+
+  BenchEnv env;
+  env.epochs = 2;
+  ArgParser parser("ext_sampling_models",
+                   "S2.1's three sampling models on one graph");
+  if (!parse_env(parser, env, argc, argv)) return 0;
+
+  const std::string base = dataset(env, "ogbn-papers-s");
+  const auto targets = targets_for(env, base);
+  const auto options = run_options(env, base);
+
+  Table table("Sampling models (ogbn-papers-s)",
+              {"Model", "Time/epoch", "Sampled edges", "Read ops",
+               "Bytes read", "I/O shape"});
+
+  {
+    core::SamplerConfig config;
+    config.batch_size = static_cast<std::uint32_t>(env.batch_size);
+    config.num_threads = static_cast<std::uint32_t>(env.threads);
+    config.queue_depth = static_cast<std::uint32_t>(env.queue_depth);
+    config.seed = env.seed;
+    const eval::RunOutcome outcome = eval::run_system(
+        "node-wise",
+        [&]() -> Result<std::unique_ptr<core::Sampler>> {
+          auto sampler = core::RingSampler::open(base, config);
+          if (!sampler.is_ok()) return sampler.status();
+          return std::unique_ptr<core::Sampler>(std::move(sampler).value());
+        },
+        targets, options);
+    table.add_row({"node-wise (GraphSAGE)", outcome.cell(),
+                   Table::fmt_count(outcome.mean.sampled_neighbors),
+                   Table::fmt_count(outcome.mean.read_ops),
+                   Table::fmt_bytes(outcome.mean.bytes_read),
+                   "random 4B"});
+  }
+  {
+    core::LayerWiseConfig config;
+    config.layer_sizes = {8192, 4096, 2048};
+    config.batch_size = static_cast<std::uint32_t>(env.batch_size);
+    config.num_threads = static_cast<std::uint32_t>(env.threads);
+    config.queue_depth = static_cast<std::uint32_t>(env.queue_depth);
+    config.seed = env.seed;
+    const eval::RunOutcome outcome = eval::run_system(
+        "layer-wise",
+        [&]() -> Result<std::unique_ptr<core::Sampler>> {
+          auto sampler = core::LayerWiseSampler::open(base, config);
+          if (!sampler.is_ok()) return sampler.status();
+          return std::unique_ptr<core::Sampler>(std::move(sampler).value());
+        },
+        targets, options);
+    table.add_row({"layer-wise (FastGCN)", outcome.cell(),
+                   Table::fmt_count(outcome.mean.sampled_neighbors),
+                   Table::fmt_count(outcome.mean.read_ops),
+                   Table::fmt_bytes(outcome.mean.bytes_read),
+                   "random 4B"});
+  }
+  {
+    core::ClusterConfig config;
+    config.num_clusters = 64;
+    config.clusters_per_batch = 4;
+    config.seed = env.seed;
+    const eval::RunOutcome outcome = eval::run_system(
+        "cluster",
+        [&]() -> Result<std::unique_ptr<core::Sampler>> {
+          auto sampler = core::ClusterSampler::open(base, config);
+          if (!sampler.is_ok()) return sampler.status();
+          return std::unique_ptr<core::Sampler>(std::move(sampler).value());
+        },
+        targets, options);
+    table.add_row({"subgraph (ClusterGCN)", outcome.cell(),
+                   Table::fmt_count(outcome.mean.sampled_neighbors),
+                   Table::fmt_count(outcome.mean.read_ops),
+                   Table::fmt_bytes(outcome.mean.bytes_read),
+                   "sequential clusters"});
+  }
+  emit(env, table, "ext_sampling_models");
+  std::printf(
+      "Shapes: node-wise volume explodes with depth; layer-wise is "
+      "budget-capped; cluster-based reads the whole graph once per epoch "
+      "sequentially but biases training to intra-cluster edges.\n");
+  return 0;
+}

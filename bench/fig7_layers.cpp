@@ -1,0 +1,62 @@
+// Figure 7 (appendix A.1): out-of-core sampling time as GNN depth grows.
+// Fanout configurations [20], [20,15], [20,15,10], [20,15,10,5] — 1-hop
+// through 4-hop — on ogbn-papers, no memory restriction.
+//
+// Shape to reproduce: RingSampler lowest at every depth with the
+// slowest growth; >=55x over SmartSSD throughout; the Marius gap widens
+// with depth (4.8x at 1 hop -> 31.3x at 4 hops in the paper).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  using namespace rs::bench;
+
+  BenchEnv env;
+  env.epochs = 2;
+  ArgParser parser("fig7_layers",
+                   "Regenerates Fig. 7 (effect of sampling layers)");
+  if (!parse_env(parser, env, argc, argv)) return 0;
+
+  const std::vector<std::vector<std::uint32_t>> hop_configs = {
+      {20}, {20, 15}, {20, 15, 10}, {20, 15, 10, 5}};
+
+  const std::string base = dataset(env, "ogbn-papers-s");
+  const auto targets = targets_for(env, base);
+  const auto options = run_options(env, base);
+
+  Table table("Fig. 7: sampling time vs GNN layers (ogbn-papers-s)",
+              {"System", "1-hop", "2-hop", "3-hop", "4-hop"});
+  std::vector<std::vector<double>> seconds(
+      eval::out_of_core_system_names().size(),
+      std::vector<double>(hop_configs.size(), -1.0));
+
+  const auto& systems = eval::out_of_core_system_names();
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    std::vector<std::string> row = {systems[s]};
+    for (std::size_t h = 0; h < hop_configs.size(); ++h) {
+      eval::SystemParams params = system_params(env, base, "ogbn-papers-s");
+      params.fanouts = hop_configs[h];
+      const eval::RunOutcome outcome = eval::run_system(
+          systems[s] + "@" + std::to_string(h + 1) + "hop",
+          [&] { return eval::make_system(systems[s], params); }, targets,
+          options);
+      row.push_back(outcome.cell());
+      if (outcome.ok()) seconds[s][h] = outcome.mean.seconds;
+    }
+    table.add_row(std::move(row));
+  }
+  emit(env, table, "fig7_layers");
+
+  // Speedup annotations, as printed above the paper's bars.
+  Table speedups("Fig. 7: RingSampler speedups",
+                 {"vs", "1-hop", "2-hop", "3-hop", "4-hop"});
+  for (std::size_t s = 1; s < systems.size(); ++s) {
+    std::vector<std::string> row = {systems[s]};
+    for (std::size_t h = 0; h < hop_configs.size(); ++h) {
+      row.push_back(speedup_cell(seconds[s][h], seconds[0][h]));
+    }
+    speedups.add_row(std::move(row));
+  }
+  emit(env, speedups, "fig7_speedups");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Google-benchmark microbenchmarks of the storage substrate (paper §5's
+// API-choice rationale): random 4-byte reads through io_uring (interrupt
+// and completion-poll modes), psync, and mmap, at several batch sizes;
+// plus raw ring NOP throughput (pure submission/completion overhead).
+#include <benchmark/benchmark.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <numeric>
+
+#include "io/backend.h"
+#include "io/file.h"
+#include "uring/ring.h"
+#include "uring/uring_syscalls.h"
+#include "util/fs.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rs;
+
+constexpr std::size_t kFileEntries = 8 << 20;  // 32 MiB of u32 entries
+
+// One shared test file for all benchmarks in this binary.
+const std::string& test_file() {
+  static const std::string path = [] {
+    const std::string p = data_dir() + "/micro_uring.bin";
+    auto existing = file_size(p);
+    if (existing.is_ok() &&
+        existing.value() == kFileEntries * sizeof(std::uint32_t)) {
+      return p;
+    }
+    std::vector<std::uint32_t> data(kFileEntries);
+    std::iota(data.begin(), data.end(), 0u);
+    const Status status =
+        write_file(p, data.data(), data.size() * sizeof(std::uint32_t));
+    RS_CHECK_MSG(status.is_ok(), status.to_string());
+    return p;
+  }();
+  return path;
+}
+
+void bench_random_reads(benchmark::State& state, io::BackendKind kind) {
+  const auto batch = static_cast<unsigned>(state.range(0));
+  auto file = io::File::open(test_file(), io::OpenMode::kRead);
+  RS_CHECK(file.is_ok());
+  io::BackendConfig config;
+  config.kind = kind;
+  config.queue_depth = batch;
+  auto backend_result = io::make_backend(config, file.value().fd());
+  if (!backend_result.is_ok()) {
+    state.SkipWithError(backend_result.status().to_string().c_str());
+    return;
+  }
+  auto& backend = *backend_result.value();
+
+  Xoshiro256 rng(1);
+  std::vector<std::uint32_t> out(batch);
+  std::vector<io::ReadRequest> requests(batch);
+  std::vector<io::Completion> completions(batch);
+
+  std::uint64_t reads = 0;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < batch; ++i) {
+      const std::uint64_t idx = rng.uniform(kFileEntries);
+      requests[i] = {idx * 4, 4, &out[i], i};
+    }
+    Status status = backend.submit(requests);
+    RS_CHECK_MSG(status.is_ok(), status.to_string());
+    unsigned done = 0;
+    while (done < batch) {
+      auto n = backend.wait(
+          std::span<io::Completion>(completions.data(), batch));
+      RS_CHECK(n.is_ok());
+      done += n.value();
+    }
+    benchmark::DoNotOptimize(out.data());
+    reads += batch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(reads));
+  state.SetBytesProcessed(static_cast<std::int64_t>(reads * 4));
+}
+
+void BM_UringIrqReads(benchmark::State& state) {
+  bench_random_reads(state, io::BackendKind::kUring);
+}
+void BM_UringPollReads(benchmark::State& state) {
+  bench_random_reads(state, io::BackendKind::kUringPoll);
+}
+void BM_PsyncReads(benchmark::State& state) {
+  bench_random_reads(state, io::BackendKind::kPsync);
+}
+void BM_MmapReads(benchmark::State& state) {
+  bench_random_reads(state, io::BackendKind::kMmap);
+}
+
+BENCHMARK(BM_UringIrqReads)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(BM_UringPollReads)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(BM_PsyncReads)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(BM_MmapReads)->Arg(8)->Arg(64)->Arg(512);
+
+// Raw ring overhead: NOPs per second at a given batch size.
+void BM_RingNops(benchmark::State& state) {
+  if (!uring::kernel_supports_io_uring()) {
+    state.SkipWithError("io_uring unavailable");
+    return;
+  }
+  const auto batch = static_cast<unsigned>(state.range(0));
+  uring::RingConfig config;
+  config.entries = batch;
+  auto ring_result = uring::Ring::create(config);
+  RS_CHECK(ring_result.is_ok());
+  auto ring = std::move(ring_result).value();
+
+  std::uint64_t ops = 0;
+  uring::Cqe cqe;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < batch; ++i) {
+      io_uring_sqe* sqe = ring.get_sqe();
+      uring::Ring::prep_nop(sqe, i);
+    }
+    auto submitted = ring.submit_and_wait(batch);
+    RS_CHECK(submitted.is_ok());
+    unsigned done = 0;
+    while (done < batch) {
+      if (ring.peek_cqe(&cqe)) ++done;
+    }
+    ops += batch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_RingNops)->Arg(8)->Arg(64)->Arg(512);
+
+// Alias-free view of the sampling hot path: Floyd sampling throughput.
+void BM_FloydSampling(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> out;
+  std::uint64_t samples = 0;
+  for (auto _ : state) {
+    out.clear();
+    sample_distinct_range(rng, 0, 100000, 20, out);
+    benchmark::DoNotOptimize(out.data());
+    samples += 20;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples));
+}
+BENCHMARK(BM_FloydSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Table 1: the evaluation datasets — |V|, |E|, raw text size, binary
+// size — for our scaled stand-ins, alongside the paper's originals, plus
+// degree-skew evidence that each stand-in preserves its original's
+// structural character (DESIGN.md §3 substitution).
+#include "bench_common.h"
+#include "graph/graph_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  using namespace rs::bench;
+
+  BenchEnv env;
+  ArgParser parser("table1_datasets", "Regenerates Table 1 (scaled)");
+  if (!parse_env(parser, env, argc, argv)) return 0;
+
+  Table table("Table 1: graphs used in the evaluation (scaled profiles)",
+              {"Graph", "|V|", "|E|", "Raw Size", "Bin Size", "deg skew",
+               "paper |V|", "paper |E|", "paper Bin"});
+
+  for (const auto& profile : gen::standard_profiles()) {
+    const auto scaled = gen::scaled_profile(profile, env.scale);
+    auto base = gen::materialize_dataset(scaled);
+    RS_CHECK_MSG(base.is_ok(), base.status().to_string());
+    auto csr = graph::load_csr(base.value());
+    RS_CHECK_MSG(csr.is_ok(), csr.status().to_string());
+
+    const auto stats = graph::compute_degree_stats(csr.value());
+    table.add_row({
+        profile.paper_name,
+        Table::fmt_count(csr.value().num_nodes()),
+        Table::fmt_count(csr.value().num_edges()),
+        Table::fmt_bytes(graph::raw_text_size_bytes(csr.value())),
+        Table::fmt_bytes(graph::binary_size_bytes(csr.value())),
+        Table::fmt_double(graph::degree_skew(stats), 0),
+        Table::fmt_count(profile.paper_nodes),
+        Table::fmt_count(profile.paper_edges),
+        // Paper Table 1 bin sizes: 6.8 / 13.5 / 35.3 / 31.7 GB.
+        Table::fmt_bytes(profile.paper_edges * 4),
+    });
+  }
+  emit(env, table, "table1_datasets");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Dataset utility: generate named profiles, convert raw text edge lists
+// to the RingSampler binary format, and inspect graphs on disk.
+//
+//   ./examples/dataset_tool generate --profile ogbn-papers-s --scale 0.1
+//   ./examples/dataset_tool convert  --input edges.txt --output base
+//   ./examples/dataset_tool info     --graph base
+#include <cstdio>
+
+#include "gen/dataset.h"
+#include "graph/binary_format.h"
+#include "graph/external_build.h"
+#include "graph/validate.h"
+#include "graph/graph_stats.h"
+#include "graph/text_io.h"
+#include "util/argparse.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace rs;
+
+int cmd_generate(const std::string& profile_name, double scale) {
+  auto profile = gen::profile_by_name(profile_name);
+  if (!profile.is_ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().to_string().c_str());
+    std::fprintf(stderr, "known profiles:");
+    for (const auto& p : gen::standard_profiles()) {
+      std::fprintf(stderr, " %s", p.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  auto base =
+      gen::materialize_dataset(gen::scaled_profile(profile.value(), scale));
+  if (!base.is_ok()) {
+    std::fprintf(stderr, "%s\n", base.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("dataset ready: %s\n", base.value().c_str());
+  return 0;
+}
+
+int cmd_convert(const std::string& input, const std::string& output,
+                bool external) {
+  auto edges = graph::parse_text_edge_list(input);
+  if (!edges.is_ok()) {
+    std::fprintf(stderr, "%s\n", edges.status().to_string().c_str());
+    return 1;
+  }
+  if (external) {
+    // Out-of-core build: bounded memory no matter the edge count.
+    graph::ExternalGraphBuilder builder;
+    if (Status status = builder.add_edges(edges.value().edges());
+        !status.is_ok()) {
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      return 1;
+    }
+    auto meta = builder.finalize(output);
+    if (!meta.is_ok()) {
+      std::fprintf(stderr, "%s\n", meta.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s.{meta,offsets,edges} (external sort): %u nodes, "
+                "%llu edges\n",
+                output.c_str(), meta.value().num_nodes,
+                static_cast<unsigned long long>(meta.value().num_edges));
+    return 0;
+  }
+  const graph::Csr csr = graph::Csr::from_edge_list(edges.value());
+  if (Status status = graph::write_graph(csr, output); !status.is_ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %s.{meta,offsets,edges}: %u nodes, %llu edges\n",
+              output.c_str(), csr.num_nodes(),
+              static_cast<unsigned long long>(csr.num_edges()));
+  return 0;
+}
+
+int cmd_validate(const std::string& base) {
+  auto report = graph::validate_graph(base);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "%s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  if (!report.value().ok) {
+    std::fprintf(stderr, "INVALID: %s\n", report.value().detail.c_str());
+    return 1;
+  }
+  std::printf("OK: %llu nodes, %llu edges, %llu destinations checked\n",
+              static_cast<unsigned long long>(report.value().num_nodes),
+              static_cast<unsigned long long>(report.value().num_edges),
+              static_cast<unsigned long long>(
+                  report.value().edges_checked));
+  return 0;
+}
+
+int cmd_info(const std::string& base) {
+  auto csr = graph::load_csr(base);
+  if (!csr.is_ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().to_string().c_str());
+    return 1;
+  }
+  const auto stats = graph::compute_degree_stats(csr.value());
+  Table table("Graph " + base, {"property", "value"});
+  table.add_row({"nodes", Table::fmt_count(csr.value().num_nodes())});
+  table.add_row({"edges", Table::fmt_count(csr.value().num_edges())});
+  table.add_row({"raw text size",
+                 Table::fmt_bytes(graph::raw_text_size_bytes(csr.value()))});
+  table.add_row({"binary size",
+                 Table::fmt_bytes(graph::binary_size_bytes(csr.value()))});
+  table.add_row({"degrees", stats.to_string()});
+  table.add_row({"degree skew (max/mean)",
+                 Table::fmt_double(graph::degree_skew(stats), 1)});
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string profile = "ogbn-papers-s";
+  double scale = 0.1;
+  std::string input;
+  std::string output = "converted-graph";
+  std::string graph_base;
+  bool external = false;
+  ArgParser parser("dataset_tool",
+                   "generate | convert | info | validate (first positional arg)");
+  parser.add_string("profile", &profile, "profile name for 'generate'");
+  parser.add_double("scale", &scale, "scale factor for 'generate'");
+  parser.add_string("input", &input, "text edge list for 'convert'");
+  parser.add_string("output", &output, "output base path for 'convert'");
+  parser.add_string("graph", &graph_base, "graph base path for 'info'");
+  parser.add_flag("external", &external,
+                  "use the bounded-memory external-sort builder");
+  if (Status status = parser.parse(argc, argv); !status.is_ok()) {
+    return status.message() == "help requested" ? 0 : 2;
+  }
+
+  const std::string command =
+      parser.positional().empty() ? "generate" : parser.positional()[0];
+  if (command == "generate") return cmd_generate(profile, scale);
+  if (command == "convert") {
+    if (input.empty()) {
+      std::fprintf(stderr, "convert needs --input <edges.txt>\n");
+      return 2;
+    }
+    return cmd_convert(input, output, external);
+  }
+  if (command == "info") {
+    if (graph_base.empty()) {
+      std::fprintf(stderr, "info needs --graph <base>\n");
+      return 2;
+    }
+    return cmd_info(graph_base);
+  }
+  if (command == "validate") {
+    if (graph_base.empty()) {
+      std::fprintf(stderr, "validate needs --graph <base>\n");
+      return 2;
+    }
+    return cmd_validate(graph_base);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
+               parser.usage().c_str());
+  return 2;
+}

@@ -1,0 +1,73 @@
+// Layer-wise sampling walkthrough (the paper's §5 extension): contrast a
+// node-wise GraphSAGE mini-batch with a layer-wise one on the same
+// graph, showing the width explosion the per-layer budget prevents.
+//
+//   ./examples/layerwise_sampling
+#include <cstdio>
+
+#include "core/layerwise_sampler.h"
+#include "core/ring_sampler.h"
+#include "eval/runner.h"
+#include "gen/chung_lu.h"
+#include "graph/binary_format.h"
+#include "util/fs.h"
+
+int main() {
+  using namespace rs;
+
+  // A skewed graph, where the width explosion is most dramatic.
+  gen::ChungLuConfig gen_config;
+  gen_config.num_nodes = 50'000;
+  gen_config.num_edges = 600'000;
+  gen_config.alpha = 2.1;
+  gen_config.seed = 17;
+  const graph::Csr csr =
+      graph::Csr::from_edge_list(gen::generate_chung_lu(gen_config));
+  const std::string base = data_dir() + "/layerwise-demo";
+  if (Status status = graph::write_graph(csr, base); !status.is_ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  const auto seeds = eval::pick_targets(csr.num_nodes(), 256, 4);
+
+  // Node-wise: width multiplies by the fanout each hop.
+  core::SamplerConfig node_config;
+  node_config.fanouts = {10, 10, 10};
+  node_config.batch_size = 256;
+  node_config.num_threads = 1;
+  auto node_sampler = core::RingSampler::open(base, node_config);
+  RS_CHECK_MSG(node_sampler.is_ok(), node_sampler.status().to_string());
+  auto node_sample = node_sampler.value()->sample_one(seeds);
+  RS_CHECK_MSG(node_sample.is_ok(), node_sample.status().to_string());
+
+  // Layer-wise: width capped by the per-layer node budget.
+  core::LayerWiseConfig layer_config;
+  layer_config.layer_sizes = {512, 512, 512};
+  layer_config.batch_size = 256;
+  layer_config.num_threads = 1;
+  auto layer_sampler = core::LayerWiseSampler::open(base, layer_config);
+  RS_CHECK_MSG(layer_sampler.is_ok(), layer_sampler.status().to_string());
+  auto layer_sample = layer_sampler.value()->sample_one(seeds);
+  RS_CHECK_MSG(layer_sample.is_ok(), layer_sample.status().to_string());
+
+  std::printf("%-8s | %-28s | %-28s\n", "layer",
+              "node-wise (fanout 10 each)", "layer-wise (budget 512 each)");
+  for (std::size_t l = 0; l < 3; ++l) {
+    const auto& nw = node_sample.value().layers[l];
+    const auto& lw = layer_sample.value().layers[l];
+    char nw_cell[64];
+    char lw_cell[64];
+    std::snprintf(nw_cell, sizeof(nw_cell), "%5zu targets -> %6zu nodes",
+                  nw.targets.size(), nw.neighbors.size());
+    std::snprintf(lw_cell, sizeof(lw_cell), "%5zu targets -> %6zu nodes",
+                  lw.targets.size(), lw.neighbors.size());
+    std::printf("%-8zu | %-28s | %-28s\n", l, nw_cell, lw_cell);
+  }
+  std::printf(
+      "\nBoth samplers read only the sampled 4-byte entries from the "
+      "on-disk edge file;\nlayer-wise additionally bounds every layer's "
+      "width, trading uniform per-node\nfanout for importance-weighted "
+      "layer selection (FastGCN-style).\n");
+  return 0;
+}

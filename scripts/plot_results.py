@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Plot the paper-figure CSVs that the bench binaries mirror into
+bench_results/ (run `for b in build/bench/*; do $b; done` first).
+
+Produces PNGs next to the CSVs:
+  fig4_overall.png   grouped bars, log time axis, OOM markers
+  fig5_memcap.png    grouped bars over budget points
+  fig6_cdf.png       completion-time CDF curve
+  fig7_layers.png    lines over hop counts, log time axis
+  fig8_threads.png   lines over thread counts
+
+Only matplotlib is required; figures are skipped (with a note) when
+their CSV is absent.
+"""
+
+import csv
+import os
+import re
+import sys
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+RESULTS = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
+
+
+def parse_seconds(cell):
+    """'12.34s' / '56.7ms' / '8.9us' / 'OOM' -> seconds or None."""
+    cell = cell.strip().rstrip("*")
+    match = re.fullmatch(r"([0-9.]+)(s|ms|us)", cell)
+    if not match:
+        return None
+    value = float(match.group(1))
+    return value * {"s": 1.0, "ms": 1e-3, "us": 1e-6}[match.group(2)]
+
+
+def read_csv(name):
+    path = os.path.join(RESULTS, name)
+    if not os.path.exists(path):
+        print(f"skip: {path} not found")
+        return None
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+def save(fig, name):
+    path = os.path.join(RESULTS, name)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    plt.close(fig)
+    print(f"wrote {path}")
+
+
+def grouped_time_bars(rows, title, png, xlabel):
+    header, body = rows[0], rows[1:]
+    columns = header[1:]
+    fig, axis = plt.subplots(figsize=(9, 4.5))
+    width = 0.8 / len(body)
+    for i, row in enumerate(body):
+        system = row[0]
+        xs, ys = [], []
+        for j, cell in enumerate(row[1:]):
+            seconds = parse_seconds(cell)
+            position = j + i * width
+            if seconds is None:
+                axis.text(position, 1e-4, cell.strip() or "?", rotation=90,
+                          ha="center", va="bottom", fontsize=7)
+            else:
+                xs.append(position)
+                ys.append(seconds)
+        axis.bar(xs, ys, width=width, label=system)
+    axis.set_yscale("log")
+    axis.set_ylabel("sampling time per epoch (s)")
+    axis.set_xlabel(xlabel)
+    axis.set_xticks([j + 0.4 for j in range(len(columns))])
+    axis.set_xticklabels(columns, fontsize=8)
+    axis.set_title(title)
+    axis.legend(fontsize=7, ncol=2)
+    save(fig, png)
+
+
+def line_over_columns(rows, title, png, xlabel, logy=True):
+    header, body = rows[0], rows[1:]
+    columns = header[1:]
+    fig, axis = plt.subplots(figsize=(7, 4))
+    for row in body:
+        ys = [parse_seconds(cell) for cell in row[1 : len(columns) + 1]]
+        xs = [i for i, y in enumerate(ys) if y is not None]
+        axis.plot(xs, [ys[i] for i in xs], marker="o", label=row[0])
+    if logy:
+        axis.set_yscale("log")
+    axis.set_ylabel("time (s)")
+    axis.set_xlabel(xlabel)
+    axis.set_xticks(range(len(columns)))
+    axis.set_xticklabels(columns, fontsize=8)
+    axis.set_title(title)
+    axis.legend(fontsize=8)
+    save(fig, png)
+
+
+def main():
+    rows = read_csv("fig4_overall.csv")
+    if rows:
+        grouped_time_bars(rows, "Fig. 4: overall sampling performance",
+                          "fig4_overall.png", "dataset")
+
+    rows = read_csv("fig5_memcap.csv")
+    if rows:
+        grouped_time_bars(rows, "Fig. 5: sampling under memory constraints",
+                          "fig5_memcap.png", "memory budget")
+
+    rows = read_csv("fig6_cdf.csv")
+    if rows:
+        xs = [float(r[0]) for r in rows[1:]]
+        ys = [float(r[1]) for r in rows[1:]]
+        fig, axis = plt.subplots(figsize=(6, 4))
+        axis.plot(xs, ys)
+        axis.set_xlabel("time (s)")
+        axis.set_ylabel("fraction of requests complete")
+        axis.set_title("Fig. 6: on-demand sampling completion CDF")
+        axis.grid(alpha=0.3)
+        save(fig, "fig6_cdf.png")
+
+    rows = read_csv("fig7_layers.csv")
+    if rows:
+        line_over_columns(rows, "Fig. 7: sampling time vs GNN layers",
+                          "fig7_layers.png", "hops")
+
+    rows = read_csv("fig8_threads.csv")
+    if rows:
+        # fig8 is transposed: rows are thread counts.
+        header, body = rows[0], rows[1:]
+        fig, axis = plt.subplots(figsize=(7, 4))
+        threads = [int(r[0]) for r in body]
+        for column in (1, 2):
+            ys = [parse_seconds(r[column]) for r in body]
+            axis.plot(threads, ys, marker="o", label=header[column])
+        axis.set_xscale("log", base=2)
+        axis.set_yscale("log")
+        axis.set_xlabel("threads")
+        axis.set_ylabel("time per epoch (s)")
+        axis.set_title("Fig. 8: thread scalability")
+        axis.legend(fontsize=8)
+        save(fig, "fig8_threads.png")
+
+
+if __name__ == "__main__":
+    main()

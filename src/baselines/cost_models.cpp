@@ -1,0 +1,25 @@
+#include "baselines/cost_models.h"
+
+#include <sstream>
+
+namespace rs::baselines {
+
+std::string describe_cost_models() {
+  const GpuCostModel gpu;
+  const MariusCostModel marius;
+  const SmartSsdCostModel ssd;
+  const MachineModel machine;
+  std::ostringstream out;
+  out << "machine: host_ram=" << (machine.host_ram_bytes >> 30)
+      << "GB gpu_mem=" << (machine.gpu_mem_bytes >> 30) << "GB\n"
+      << "gpu: device_rate=" << gpu.device_sample_rate
+      << "/s uva_rate=" << gpu.uva_sample_rate
+      << "/s gsampler_speedup=" << kGSamplerSpeedup << "\n"
+      << "marius: prep_peak_factor=" << marius.prep_peak_factor << "\n"
+      << "smartssd: fpga_neighbor_rate=" << ssd.fpga_neighbor_rate
+      << "/s nand_bw=" << ssd.nand_bandwidth
+      << "B/s host_floor_factor=" << ssd.host_floor_factor << "\n";
+  return out.str();
+}
+
+}  // namespace rs::baselines

@@ -1,0 +1,85 @@
+#include "baselines/gpu_sim.h"
+
+namespace rs::baselines {
+
+const char* gpu_variant_name(GpuVariant variant) {
+  switch (variant) {
+    case GpuVariant::kDglGpu: return "DGL-GPU(sim)";
+    case GpuVariant::kDglUva: return "DGL-UVA(sim)";
+    case GpuVariant::kGSamplerGpu: return "gSampler-GPU(sim)";
+    case GpuVariant::kGSamplerUva: return "gSampler-UVA(sim)";
+  }
+  return "GPU(sim)";
+}
+
+Result<std::unique_ptr<GpuSimSampler>> GpuSimSampler::open(
+    const std::string& graph_base, const GpuSimConfig& config,
+    const PaperGraphInfo& paper) {
+  if (paper.valid()) {
+    const bool device_resident = config.variant == GpuVariant::kDglGpu ||
+                                 config.variant == GpuVariant::kGSamplerGpu;
+    if (device_resident) {
+      const std::uint64_t need = config.cost.device_graph_bytes(paper);
+      if (need > config.machine.gpu_mem_bytes) {
+        return Status::oom(std::string(gpu_variant_name(config.variant)) +
+                           ": device graph (" + std::to_string(need >> 30) +
+                           " GB at paper scale) exceeds GPU memory");
+      }
+    } else {
+      const std::uint64_t need = config.cost.host_graph_bytes(paper);
+      if (need > config.machine.host_ram_bytes) {
+        return Status::oom(std::string(gpu_variant_name(config.variant)) +
+                           ": pinned host graph (" +
+                           std::to_string(need >> 30) +
+                           " GB at paper scale) exceeds host RAM");
+      }
+    }
+  }
+
+  InMemConfig executor_config;
+  executor_config.fanouts = config.fanouts;
+  executor_config.batch_size = config.batch_size;
+  // The executor only produces the sample set; model time dominates, so
+  // one thread keeps it deterministic.
+  executor_config.num_threads = 1;
+  executor_config.seed = config.seed;
+  RS_ASSIGN_OR_RETURN(
+      auto executor,
+      InMemSampler::open(graph_base, executor_config, nullptr, {}));
+  return std::unique_ptr<GpuSimSampler>(
+      new GpuSimSampler(std::move(executor), config));
+}
+
+double GpuSimSampler::model_seconds(const core::EpochResult& real) const {
+  const auto samples = static_cast<double>(real.sampled_neighbors);
+  const auto batches = static_cast<double>(real.batches);
+  const auto layers = static_cast<double>(config_.fanouts.size());
+  const GpuCostModel& cost = config_.cost;
+
+  const bool gsampler = config_.variant == GpuVariant::kGSamplerGpu ||
+                        config_.variant == GpuVariant::kGSamplerUva;
+  const bool device_resident = config_.variant == GpuVariant::kDglGpu ||
+                               config_.variant == GpuVariant::kGSamplerGpu;
+
+  double rate = device_resident ? cost.device_sample_rate
+                                : cost.uva_sample_rate;
+  if (gsampler) rate *= kGSamplerSpeedup;
+
+  const double launches = batches * layers * cost.kernel_launch_seconds;
+  const double sampling = samples / rate;
+  // Sampled subgraphs are copied back to the host for training: ids +
+  // structure, ~8 B per sampled edge.
+  const double copy_back = samples * 8.0 / cost.pcie_bandwidth;
+  return launches + sampling + copy_back;
+}
+
+Result<core::EpochResult> GpuSimSampler::run_epoch(
+    std::span<const NodeId> targets) {
+  RS_ASSIGN_OR_RETURN(core::EpochResult real,
+                      executor_->run_epoch(targets));
+  real.seconds = model_seconds(real);
+  real.simulated_time = true;
+  return real;
+}
+
+}  // namespace rs::baselines

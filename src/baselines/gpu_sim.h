@@ -1,0 +1,65 @@
+// GpuSimSampler: the DGL-GPU / DGL-UVA / gSampler-GPU / gSampler-UVA
+// baselines, simulated (no GPU in this environment; DESIGN.md §3).
+//
+// The sampling algorithm itself runs for real, in memory, so outputs are
+// verifiable; the *reported epoch time* comes from GpuCostModel (kernel
+// launches + device or PCIe sampling throughput + result copy-back) fed
+// with the run's actual sample counts. Capacity checks at paper scale
+// reproduce Fig. 4's OOM markers: GPU-resident variants need the graph in
+// 80 GB of device memory; UVA variants need the pinned host
+// representation in 256 GB.
+#pragma once
+
+#include <memory>
+
+#include "baselines/cost_models.h"
+#include "baselines/inmem_sampler.h"
+#include "core/sampler_iface.h"
+
+namespace rs::baselines {
+
+enum class GpuVariant {
+  kDglGpu,       // graph resident in GPU memory
+  kDglUva,       // graph in host memory, sampled over UVA/PCIe
+  kGSamplerGpu,
+  kGSamplerUva,
+};
+
+const char* gpu_variant_name(GpuVariant variant);
+
+struct GpuSimConfig {
+  GpuVariant variant = GpuVariant::kDglGpu;
+  std::vector<std::uint32_t> fanouts = {20, 15, 10};
+  std::uint32_t batch_size = 1024;
+  std::uint64_t seed = 7;
+  GpuCostModel cost;
+  MachineModel machine;
+};
+
+class GpuSimSampler final : public core::Sampler {
+ public:
+  // Fails with OOM when `paper` (if valid) does not fit the modeled
+  // device/host capacity for the chosen variant.
+  static Result<std::unique_ptr<GpuSimSampler>> open(
+      const std::string& graph_base, const GpuSimConfig& config,
+      const PaperGraphInfo& paper = {});
+
+  std::string name() const override {
+    return gpu_variant_name(config_.variant);
+  }
+
+  // Returned EpochResult has simulated_time == true.
+  Result<core::EpochResult> run_epoch(
+      std::span<const NodeId> targets) override;
+
+ private:
+  GpuSimSampler(std::unique_ptr<InMemSampler> executor, GpuSimConfig config)
+      : executor_(std::move(executor)), config_(std::move(config)) {}
+
+  double model_seconds(const core::EpochResult& real) const;
+
+  std::unique_ptr<InMemSampler> executor_;
+  GpuSimConfig config_;
+};
+
+}  // namespace rs::baselines

@@ -1,0 +1,183 @@
+#include "baselines/hybrid_sampler.h"
+
+#include <algorithm>
+
+#include "graph/binary_format.h"
+#include "util/timer.h"
+
+namespace rs::baselines {
+
+Result<std::unique_ptr<HybridSampler>> HybridSampler::open(
+    const std::string& graph_base, const HybridConfig& config,
+    MemoryBudget* budget) {
+  auto sampler = std::unique_ptr<HybridSampler>(new HybridSampler());
+  RS_RETURN_IF_ERROR(sampler->init(graph_base, config, budget));
+  return sampler;
+}
+
+HybridSampler::~HybridSampler() {
+  pipeline_.reset();  // releases its own scratch first
+  if (scratch_charge_ > 0) budget_->release(scratch_charge_);
+}
+
+Status HybridSampler::init(const std::string& graph_base,
+                           const HybridConfig& config,
+                           MemoryBudget* budget) {
+  if (config.fanouts.empty() || config.batch_size == 0 ||
+      config.queue_depth == 0) {
+    return Status::invalid("bad HybridConfig");
+  }
+  config_ = config;
+  budget_ = budget != nullptr ? budget : &internal_budget_;
+  rng_ = Xoshiro256(config.seed);
+
+  RS_ASSIGN_OR_RETURN(edge_file_,
+                      io::File::open(graph::edges_path(graph_base),
+                                     io::OpenMode::kRead));
+  RS_ASSIGN_OR_RETURN(index_, core::OffsetIndex::load(graph_base, *budget_));
+
+  io::BackendConfig backend_config;
+  backend_config.kind = config.backend;
+  backend_config.queue_depth = config.queue_depth;
+  RS_ASSIGN_OR_RETURN(backend_,
+                      io::make_backend(backend_config, edge_file_.fd()));
+  core::PipelineOptions options;
+  options.group_size = config.queue_depth;
+  RS_ASSIGN_OR_RETURN(pipeline_, core::ReadPipeline::create(
+                                     *backend_, nullptr, options, *budget_));
+
+  // CPU-layer scratch: worst case every target routed to the CPU.
+  std::uint64_t max_width = config.batch_size;
+  for (const std::uint32_t f : config.fanouts) max_width *= f;
+  cpu_values_.resize(max_width);
+  const std::uint64_t max_targets =
+      config.fanouts.size() >= 2 ? max_width / config.fanouts.back()
+                                 : config.batch_size;
+  cpu_begins_.resize(max_targets + 1);
+  const std::uint64_t scratch =
+      max_width * sizeof(NodeId) +
+      (max_targets + 1) * sizeof(std::uint32_t);
+  RS_RETURN_IF_ERROR(budget_->charge(scratch, "hybrid scratch"));
+  scratch_charge_ = scratch;
+
+  // The NAND stand-in (not charged: device-internal; DESIGN.md §3).
+  RS_ASSIGN_OR_RETURN(device_graph_, graph::load_csr(graph_base));
+  return Status::ok();
+}
+
+Result<core::EpochResult> HybridSampler::run_epoch(
+    std::span<const NodeId> targets) {
+  core::EpochResult result;
+  split_ = Split{};
+  pipeline_->reset_stats();
+  const std::size_t num_batches =
+      targets.empty()
+          ? 0
+          : (targets.size() + config_.batch_size - 1) / config_.batch_size;
+
+  std::vector<NodeId> layer_targets;
+  std::vector<NodeId> cpu_targets;
+  std::vector<NodeId> device_targets;
+  std::vector<NodeId> merged;
+  std::vector<std::uint64_t> picked;
+  double total_seconds = 0;
+
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const std::size_t begin = b * config_.batch_size;
+    const std::size_t end =
+        std::min(begin + config_.batch_size, targets.size());
+    layer_targets.assign(targets.begin() + static_cast<std::ptrdiff_t>(begin),
+                         targets.begin() + static_cast<std::ptrdiff_t>(end));
+
+    for (std::uint32_t layer = 0; layer < config_.fanouts.size(); ++layer) {
+      if (layer_targets.empty()) break;
+      const std::uint32_t fanout = config_.fanouts[layer];
+
+      // Route per target.
+      cpu_targets.clear();
+      device_targets.clear();
+      for (const NodeId v : layer_targets) {
+        const EdgeIdx degree = index_.degree(v);
+        if (degree == 0) continue;
+        (degree <= config_.degree_threshold ? device_targets : cpu_targets)
+            .push_back(v);
+      }
+      split_.cpu_targets += cpu_targets.size();
+      split_.device_targets += device_targets.size();
+      merged.clear();
+
+      // CPU half: offset-based sampling through the real pipeline.
+      double cpu_seconds = 0;
+      if (!cpu_targets.empty()) {
+        WallTimer timer;
+        core::LayerSampleCursor cursor(index_, cpu_targets, fanout, rng_,
+                                       cpu_begins_.data());
+        RS_RETURN_IF_ERROR(pipeline_->run(cursor, cpu_values_.data()));
+        const std::uint32_t width = cursor.slots_planned();
+        cpu_seconds = timer.elapsed_seconds();
+        for (std::size_t i = 0; i < cpu_targets.size(); ++i) {
+          for (std::uint32_t s = cpu_begins_[i]; s < cpu_begins_[i + 1];
+               ++s) {
+            result.checksum = core::edge_checksum_mix(
+                result.checksum, cpu_targets[i], cpu_values_[s]);
+          }
+        }
+        merged.insert(merged.end(), cpu_values_.begin(),
+                      cpu_values_.begin() + width);
+        result.sampled_neighbors += width;
+      }
+
+      // Device half: stream-and-sample on the NAND stand-in, modeled
+      // time (full lists are small by construction of the routing).
+      std::uint64_t examined = 0;
+      std::uint64_t device_sampled = 0;
+      for (const NodeId v : device_targets) {
+        const auto nbrs = device_graph_.neighbors(v);
+        examined += nbrs.size();
+        const std::uint64_t k =
+            std::min<std::uint64_t>(fanout, nbrs.size());
+        picked.clear();
+        sample_distinct_range(rng_, 0, nbrs.size(), k, picked);
+        for (const std::uint64_t idx : picked) {
+          const NodeId nbr = nbrs[idx];
+          merged.push_back(nbr);
+          result.checksum =
+              core::edge_checksum_mix(result.checksum, v, nbr);
+        }
+        device_sampled += k;
+      }
+      result.sampled_neighbors += device_sampled;
+      split_.device_neighbors_examined += examined;
+
+      const SmartSsdCostModel& cost = config_.device_cost;
+      const double device_seconds =
+          static_cast<double>(examined * kEdgeEntryBytes) /
+              cost.nand_bandwidth +
+          static_cast<double>(examined) / cost.fpga_neighbor_rate +
+          static_cast<double>(device_sampled) * 8.0 / cost.pcie_bandwidth;
+
+      split_.cpu_seconds += cpu_seconds;
+      split_.device_seconds += device_seconds;
+      // The halves are independent: they overlap.
+      total_seconds += std::max(cpu_seconds, device_seconds);
+
+      if (layer + 1 < config_.fanouts.size()) {
+        std::sort(merged.begin(), merged.end());
+        merged.erase(std::unique(merged.begin(), merged.end()),
+                     merged.end());
+        layer_targets = merged;
+      }
+    }
+    ++result.batches;
+  }
+
+  const core::PipelineStats& stats = pipeline_->stats();
+  result.read_ops = stats.read_ops;
+  result.bytes_read = stats.bytes_read;
+  result.seconds = total_seconds;
+  result.simulated_time = true;  // device half is model-derived
+  result.peak_memory_bytes = budget_->peak();
+  return result;
+}
+
+}  // namespace rs::baselines

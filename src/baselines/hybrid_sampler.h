@@ -1,0 +1,93 @@
+// HybridSampler: the heterogeneous execution sketched in the paper's §5
+// ("combined with other on-disk sampling techniques, such as in-situ
+// sampling, to enable heterogeneous execution that leverages both CPU
+// and SSD compute capabilities").
+//
+// Routing rule, applied per target per layer: a target whose degree is
+// at most `degree_threshold` is sampled *in storage* — for small
+// neighborhoods, streaming the whole list through the device's FPGA
+// costs no more than fetching the sampled entries, and it offloads the
+// host entirely. High-degree targets take the CPU path: the same offset
+// index + io_uring pipeline RingSampler uses, so hub lists are never
+// streamed.
+//
+// The CPU side is real, measured I/O; the device side uses the SmartSSD
+// cost model (no computational storage here; DESIGN.md §3). The two
+// halves of each layer are independent and would run concurrently, so
+// the reported layer time is max(cpu, device); the result is flagged
+// simulated because of the device component.
+#pragma once
+
+#include <memory>
+
+#include "baselines/cost_models.h"
+#include "core/offset_index.h"
+#include "core/pipeline.h"
+#include "core/sample_plan.h"
+#include "core/sampler_iface.h"
+#include "graph/csr.h"
+#include "io/file.h"
+
+namespace rs::baselines {
+
+struct HybridConfig {
+  std::vector<std::uint32_t> fanouts = {20, 15, 10};
+  std::uint32_t batch_size = 1024;
+  std::uint32_t queue_depth = 512;
+  io::BackendKind backend = io::BackendKind::kUringPoll;
+  // Targets with 0 < degree <= threshold are sampled in storage. With
+  // degree <= fanout the full list is the sample anyway — the sweet
+  // spot for the device.
+  EdgeIdx degree_threshold = 20;
+  std::uint64_t seed = 7;
+  SmartSsdCostModel device_cost;
+};
+
+class HybridSampler final : public core::Sampler {
+ public:
+  static Result<std::unique_ptr<HybridSampler>> open(
+      const std::string& graph_base, const HybridConfig& config,
+      MemoryBudget* budget = nullptr);
+
+  ~HybridSampler() override;
+
+  std::string name() const override { return "Hybrid(CPU+SSD)"; }
+  Result<core::EpochResult> run_epoch(
+      std::span<const NodeId> targets) override;
+
+  // Decomposition of the last epoch (for the extension bench/tests).
+  struct Split {
+    double cpu_seconds = 0;
+    double device_seconds = 0;
+    std::uint64_t cpu_targets = 0;
+    std::uint64_t device_targets = 0;
+    std::uint64_t device_neighbors_examined = 0;
+  };
+  const Split& last_split() const { return split_; }
+
+ private:
+  HybridSampler() : internal_budget_(0) {}
+  Status init(const std::string& graph_base, const HybridConfig& config,
+              MemoryBudget* budget);
+
+  HybridConfig config_;
+  MemoryBudget internal_budget_;
+  MemoryBudget* budget_ = nullptr;
+  std::uint64_t scratch_charge_ = 0;
+
+  // CPU path (real I/O).
+  io::File edge_file_;
+  core::OffsetIndex index_;
+  std::unique_ptr<io::IoBackend> backend_;
+  std::unique_ptr<core::ReadPipeline> pipeline_;
+  std::vector<NodeId> cpu_values_;
+  std::vector<std::uint32_t> cpu_begins_;
+
+  // Device path (NAND stand-in + cost model).
+  graph::Csr device_graph_;
+  Xoshiro256 rng_{0};
+
+  Split split_;
+};
+
+}  // namespace rs::baselines

@@ -1,0 +1,203 @@
+#include "baselines/inmem_sampler.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "graph/binary_format.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace rs::baselines {
+
+Result<std::unique_ptr<InMemSampler>> InMemSampler::open(
+    const std::string& graph_base, const InMemConfig& config,
+    MemoryBudget* budget, const PaperGraphInfo& paper) {
+  if (paper.valid()) {
+    const GpuCostModel model;
+    const MachineModel machine;
+    if (model.host_graph_bytes(paper) > machine.host_ram_bytes) {
+      return Status::oom(
+          "in-memory graph representation (" +
+          std::to_string(model.host_graph_bytes(paper) >> 30) +
+          " GB at paper scale) exceeds host RAM");
+    }
+  }
+  RS_ASSIGN_OR_RETURN(graph::Csr csr, graph::load_csr(graph_base));
+  return from_csr(std::move(csr), config, budget);
+}
+
+Result<std::unique_ptr<InMemSampler>> InMemSampler::from_csr(
+    graph::Csr csr, const InMemConfig& config, MemoryBudget* budget) {
+  if (config.fanouts.empty() || config.batch_size == 0 ||
+      config.num_threads == 0) {
+    return Status::invalid("bad InMemConfig");
+  }
+  const std::uint64_t bytes = csr.memory_bytes();
+  if (budget != nullptr) {
+    RS_RETURN_IF_ERROR(budget->charge(bytes, "in-memory CSR"));
+  }
+  return std::unique_ptr<InMemSampler>(
+      new InMemSampler(std::move(csr), config, budget, bytes));
+}
+
+InMemSampler::InMemSampler(graph::Csr csr, const InMemConfig& config,
+                           MemoryBudget* budget, std::uint64_t charged)
+    : csr_(std::move(csr)),
+      config_(config),
+      budget_(budget),
+      charged_bytes_(budget != nullptr ? charged : 0) {}
+
+InMemSampler::~InMemSampler() {
+  if (budget_ != nullptr && charged_bytes_ > 0) {
+    budget_->release(charged_bytes_);
+  }
+}
+
+void InMemSampler::sample_layer_slice(
+    std::span<const NodeId> targets, std::uint32_t fanout, Xoshiro256& rng,
+    std::vector<NodeId>& out_neighbors,
+    std::vector<std::uint32_t>& begins) const {
+  begins.clear();
+  begins.push_back(0);
+  out_neighbors.clear();
+  std::vector<std::uint64_t> picked;
+  for (const NodeId v : targets) {
+    const auto nbrs = csr_.neighbors(v);
+    const std::uint64_t k =
+        std::min<std::uint64_t>(fanout, nbrs.size());
+    picked.clear();
+    if (k > 0) {
+      sample_distinct_range(rng, 0, nbrs.size(), k, picked);
+      for (const std::uint64_t idx : picked) {
+        out_neighbors.push_back(nbrs[idx]);
+      }
+    }
+    begins.push_back(static_cast<std::uint32_t>(out_neighbors.size()));
+  }
+}
+
+Result<core::EpochResult> InMemSampler::epoch_impl(
+    std::span<const NodeId> targets, const BatchSink* sink) {
+  const std::size_t num_batches =
+      (targets.size() + config_.batch_size - 1) / config_.batch_size;
+  const std::size_t num_workers = config_.num_threads;
+
+  // Per-worker scratch, reused across batches/layers.
+  struct WorkerScratch {
+    Xoshiro256 rng{0};
+    std::vector<NodeId> neighbors;
+    std::vector<std::uint32_t> begins;
+  };
+  std::vector<WorkerScratch> scratch(num_workers);
+  for (std::size_t t = 0; t < num_workers; ++t) {
+    std::uint64_t sm = config_.seed + 0x9e3779b97f4a7c15ULL * (t + 1);
+    scratch[t].rng = Xoshiro256(splitmix64(sm));
+  }
+
+  core::EpochResult result;
+  std::vector<NodeId> layer_targets;
+  std::vector<NodeId> merged;
+
+  WallTimer timer;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const std::size_t begin = b * config_.batch_size;
+    const std::size_t end =
+        std::min(begin + config_.batch_size, targets.size());
+    layer_targets.assign(targets.begin() + static_cast<std::ptrdiff_t>(begin),
+                         targets.begin() + static_cast<std::ptrdiff_t>(end));
+
+    core::MiniBatchSample sample;
+    sample.batch_index = static_cast<std::uint32_t>(b);
+
+    for (std::uint32_t layer = 0; layer < config_.fanouts.size(); ++layer) {
+      if (layer_targets.empty()) break;
+      const std::uint32_t fanout = config_.fanouts[layer];
+      const std::size_t n = layer_targets.size();
+      const std::size_t workers = std::min(num_workers, n);
+
+      // Intra-batch parallelism: split this layer's targets across
+      // threads, then barrier (thread join) before dedup — the DGL-CPU
+      // parallelization shape (Fig. 3a top).
+      parallel_for_chunks(n, workers, [&](std::size_t lo, std::size_t hi,
+                                          std::size_t t) {
+        sample_layer_slice(
+            std::span<const NodeId>(layer_targets.data() + lo, hi - lo),
+            fanout, scratch[t].rng, scratch[t].neighbors,
+            scratch[t].begins);
+      });
+
+      // Merge slices in thread order (slot layout identical to a serial
+      // run of the same per-thread RNG streams).
+      merged.clear();
+      std::uint64_t digest = 0;
+      std::size_t consumed = 0;
+      const std::size_t chunk = (n + workers - 1) / workers;
+      core::LayerSample layer_sample;
+      const bool collect = sink != nullptr;
+      for (std::size_t t = 0; t < workers && consumed < n; ++t) {
+        const std::size_t lo = t * chunk;
+        const std::size_t hi = std::min(lo + chunk, n);
+        const WorkerScratch& ws = scratch[t];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t local = i - lo;
+          for (std::uint32_t s = ws.begins[local]; s < ws.begins[local + 1];
+               ++s) {
+            digest = core::edge_checksum_mix(digest, layer_targets[i],
+                                             ws.neighbors[s]);
+          }
+        }
+        merged.insert(merged.end(), ws.neighbors.begin(), ws.neighbors.end());
+        consumed = hi;
+        if (collect) {
+          // Stitch per-thread begins into a batch-wide prefix table.
+          if (layer_sample.sample_begin.empty()) {
+            layer_sample.sample_begin.push_back(0);
+          }
+          const std::uint32_t base = layer_sample.sample_begin.back();
+          for (std::size_t i = 1; i < ws.begins.size(); ++i) {
+            layer_sample.sample_begin.push_back(base + ws.begins[i]);
+          }
+          layer_sample.neighbors.insert(layer_sample.neighbors.end(),
+                                        ws.neighbors.begin(),
+                                        ws.neighbors.end());
+        }
+      }
+      result.checksum += digest;
+      result.sampled_neighbors += merged.size();
+      if (collect) {
+        layer_sample.targets = layer_targets;
+        sample.layers.push_back(std::move(layer_sample));
+      }
+
+      if (layer + 1 < config_.fanouts.size()) {
+        std::sort(merged.begin(), merged.end());
+        merged.erase(std::unique(merged.begin(), merged.end()),
+                     merged.end());
+        layer_targets = merged;
+      }
+    }
+    ++result.batches;
+    if (sink != nullptr) (*sink)(std::move(sample));
+  }
+  result.seconds = timer.elapsed_seconds() +
+                   static_cast<double>(num_batches) *
+                       config_.per_batch_overhead_seconds +
+                   static_cast<double>(result.sampled_neighbors) *
+                       config_.per_sample_overhead_seconds;
+  result.simulated_time = config_.per_batch_overhead_seconds > 0 ||
+                          config_.per_sample_overhead_seconds > 0;
+  if (budget_ != nullptr) result.peak_memory_bytes = budget_->peak();
+  return result;
+}
+
+Result<core::EpochResult> InMemSampler::run_epoch(
+    std::span<const NodeId> targets) {
+  return epoch_impl(targets, nullptr);
+}
+
+Result<core::EpochResult> InMemSampler::run_epoch_collect(
+    std::span<const NodeId> targets, const BatchSink& sink) {
+  return epoch_impl(targets, &sink);
+}
+
+}  // namespace rs::baselines

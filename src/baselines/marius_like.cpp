@@ -1,0 +1,243 @@
+#include "baselines/marius_like.h"
+
+#include <algorithm>
+
+#include "graph/binary_format.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace rs::baselines {
+
+MariusLikeSampler::~MariusLikeSampler() {
+  pool_.clear();  // TrackedBuffers release before the raw charges below
+  if (offsets_charge_ > 0) budget_->release(offsets_charge_);
+  if (node_state_charge_ > 0) budget_->release(node_state_charge_);
+}
+
+Result<std::unique_ptr<MariusLikeSampler>> MariusLikeSampler::open(
+    const std::string& graph_base, const MariusConfig& config,
+    MemoryBudget* budget, const PaperGraphInfo& paper) {
+  auto sampler =
+      std::unique_ptr<MariusLikeSampler>(new MariusLikeSampler());
+  RS_RETURN_IF_ERROR(sampler->init(graph_base, config, budget, paper));
+  return sampler;
+}
+
+Status MariusLikeSampler::init(const std::string& graph_base,
+                               const MariusConfig& config,
+                               MemoryBudget* budget,
+                               const PaperGraphInfo& paper) {
+  if (config.fanouts.empty() || config.batch_size == 0 ||
+      config.num_partitions == 0) {
+    return Status::invalid("bad MariusConfig");
+  }
+  config_ = config;
+  budget_ = budget != nullptr ? budget : &internal_budget_;
+  rng_ = Xoshiro256(config.seed);
+
+  // Paper-scale preprocessing check (Fig. 4: Marius OOMs in
+  // preprocessing on the billion-edge graphs).
+  if (paper.valid()) {
+    const std::uint64_t prep = config.cost.prep_bytes(paper.bin_bytes());
+    if (prep > config.machine.host_ram_bytes) {
+      return Status::oom("Marius preprocessing peak (" +
+                         std::to_string(prep >> 30) +
+                         " GB at paper scale) exceeds host RAM");
+    }
+  }
+
+  RS_ASSIGN_OR_RETURN(graph::GraphMeta meta, graph::read_meta(graph_base));
+  // Resident per-node state (embedding/optimizer bookkeeping): this is
+  // what gives Marius the highest memory floor among the out-of-core
+  // systems in Fig. 5. Held for the sampler's lifetime.
+  const std::uint64_t node_state =
+      config.cost.node_state_bytes(meta.num_nodes);
+  RS_RETURN_IF_ERROR(budget_->charge(node_state, "Marius per-node state"));
+  node_state_charge_ = node_state;
+
+  RS_ASSIGN_OR_RETURN(offsets_, graph::load_offsets(graph_base));
+  const std::uint64_t offsets_bytes = offsets_.size() * sizeof(EdgeIdx);
+  RS_RETURN_IF_ERROR(budget_->charge(offsets_bytes, "Marius offsets"));
+  offsets_charge_ = offsets_bytes;
+
+  RS_ASSIGN_OR_RETURN(
+      edge_file_,
+      io::File::open(graph::edges_path(graph_base), io::OpenMode::kRead));
+  partitions_ = graph::partition_by_edges(offsets_, config.num_partitions);
+
+  // Size the buffer pool. Marius' pool is a configured capacity (it does
+  // not expand into free RAM); a memory budget can only shrink it.
+  max_resident_ =
+      config.pool_partitions > 0
+          ? config.pool_partitions
+          : std::max<std::size_t>(1, partitions_.size() / 4);
+  max_resident_ = std::min(max_resident_, partitions_.size());
+  if (budget_->is_limited()) {
+    const std::uint64_t used = budget_->used();
+    const std::uint64_t available =
+        budget_->limit() > used ? budget_->limit() - used : 0;
+    std::uint64_t largest = 0;
+    for (const auto& part : partitions_) {
+      largest = std::max(largest, part.bytes());
+    }
+    const std::size_t fit =
+        largest == 0 ? partitions_.size()
+                     : static_cast<std::size_t>(available / largest);
+    if (fit == 0) {
+      return Status::oom("Marius buffer pool: budget cannot hold even one "
+                         "partition");
+    }
+    max_resident_ = std::min(max_resident_, fit);
+  }
+  RS_DEBUG("Marius(like): %zu partitions, pool holds %zu",
+           partitions_.size(), max_resident_);
+  return Status::ok();
+}
+
+Result<const NodeId*> MariusLikeSampler::acquire_partition(
+    std::size_t p, core::EpochResult& acc) {
+  ++use_clock_;
+  if (auto it = pool_.find(p); it != pool_.end()) {
+    it->second.last_use = use_clock_;
+    return static_cast<const NodeId*>(it->second.data.data());
+  }
+  // Evict LRU until there is room.
+  while (pool_.size() >= max_resident_) {
+    auto victim = pool_.begin();
+    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    pool_.erase(victim);
+  }
+  // Load the whole partition from disk — the full-neighborhood I/O that
+  // RingSampler's entry-granular reads avoid.
+  const graph::PartitionInfo& info = partitions_[p];
+  Resident resident;
+  RS_ASSIGN_OR_RETURN(
+      resident.data,
+      TrackedBuffer<NodeId>::create(
+          *budget_, static_cast<std::size_t>(info.num_edges()),
+          "Marius partition"));
+  RS_RETURN_IF_ERROR(edge_file_.pread_exact(
+      resident.data.data(), info.bytes(),
+      info.begin_edge * kEdgeEntryBytes));
+  if (config_.unbuffered_io) {
+    // Marius owns its partition buffers; don't let the OS page cache
+    // double-buffer them (a reload must hit storage).
+    (void)edge_file_.drop_cache_range(info.begin_edge * kEdgeEntryBytes,
+                                      info.bytes());
+  }
+  resident.last_use = use_clock_;
+  ++partition_loads_;
+  acc.read_ops += 1;
+  acc.bytes_read += info.bytes();
+  auto [it, inserted] = pool_.emplace(p, std::move(resident));
+  RS_CHECK(inserted);
+  return static_cast<const NodeId*>(it->second.data.data());
+}
+
+void MariusLikeSampler::sample_node(NodeId v, const NodeId* part_data,
+                                    std::size_t p, std::uint32_t fanout,
+                                    std::vector<NodeId>& out) {
+  const graph::PartitionInfo& info = partitions_[p];
+  const EdgeIdx begin = offsets_[v] - info.begin_edge;
+  const EdgeIdx degree = offsets_[v + 1] - offsets_[v];
+  const std::uint64_t k = std::min<std::uint64_t>(fanout, degree);
+  if (k == 0) return;
+
+  if (config_.reuse_neighbors) {
+    // Marius' cross-layer reuse: serve from the batch-local cache when a
+    // node was already sampled (possibly with a different fanout — take
+    // a prefix; this is the randomness compromise).
+    auto it = reuse_.find(v);
+    if (it != reuse_.end() && it->second.size() >= k) {
+      out.insert(out.end(), it->second.begin(),
+                 it->second.begin() + static_cast<std::ptrdiff_t>(k));
+      return;
+    }
+  }
+
+  std::vector<std::uint64_t> picked;
+  sample_distinct_range(rng_, 0, degree, k, picked);
+  const std::size_t out_base = out.size();
+  for (const std::uint64_t idx : picked) {
+    out.push_back(part_data[begin + idx]);
+  }
+  if (config_.reuse_neighbors) {
+    reuse_[v].assign(out.begin() + static_cast<std::ptrdiff_t>(out_base),
+                     out.end());
+  }
+}
+
+Result<core::EpochResult> MariusLikeSampler::run_epoch(
+    std::span<const NodeId> targets) {
+  core::EpochResult result;
+  const std::size_t num_batches =
+      (targets.size() + config_.batch_size - 1) / config_.batch_size;
+
+  std::vector<NodeId> layer_targets;
+  std::vector<NodeId> sampled;
+  std::vector<std::size_t> order;
+
+  WallTimer timer;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const std::size_t begin = b * config_.batch_size;
+    const std::size_t end =
+        std::min(begin + config_.batch_size, targets.size());
+    layer_targets.assign(targets.begin() + static_cast<std::ptrdiff_t>(begin),
+                         targets.begin() + static_cast<std::ptrdiff_t>(end));
+    reuse_.clear();
+
+    for (std::uint32_t layer = 0; layer < config_.fanouts.size(); ++layer) {
+      if (layer_targets.empty()) break;
+      const std::uint32_t fanout = config_.fanouts[layer];
+
+      // Process targets partition by partition to minimize pool thrash
+      // (Marius orders work by resident partitions).
+      order.resize(layer_targets.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t z) {
+                  return graph::find_partition(partitions_,
+                                               layer_targets[a]) <
+                         graph::find_partition(partitions_,
+                                               layer_targets[z]);
+                });
+
+      sampled.clear();
+      for (const std::size_t i : order) {
+        const NodeId v = layer_targets[i];
+        const std::size_t p = graph::find_partition(partitions_, v);
+        RS_ASSIGN_OR_RETURN(const NodeId* data,
+                            acquire_partition(p, result));
+        const std::size_t base = sampled.size();
+        sample_node(v, data, p, fanout, sampled);
+        for (std::size_t s = base; s < sampled.size(); ++s) {
+          result.checksum =
+              core::edge_checksum_mix(result.checksum, v, sampled[s]);
+        }
+      }
+      result.sampled_neighbors += sampled.size();
+
+      if (layer + 1 < config_.fanouts.size()) {
+        std::sort(sampled.begin(), sampled.end());
+        sampled.erase(std::unique(sampled.begin(), sampled.end()),
+                      sampled.end());
+        layer_targets = sampled;
+      }
+    }
+    ++result.batches;
+  }
+  result.seconds = timer.elapsed_seconds();
+  // Surcharge for the real system's per-sample machinery (cost model;
+  // our reimplementation is leaner than MariusGNN itself).
+  if (config_.cost.per_sample_overhead_seconds > 0) {
+    result.seconds += static_cast<double>(result.sampled_neighbors) *
+                      config_.cost.per_sample_overhead_seconds;
+    result.simulated_time = true;
+  }
+  result.peak_memory_bytes = budget_->peak();
+  return result;
+}
+
+}  // namespace rs::baselines

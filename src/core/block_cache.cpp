@@ -1,0 +1,59 @@
+#include "core/block_cache.h"
+
+#include <bit>
+#include <cstring>
+
+namespace rs::core {
+
+Result<BlockCache> BlockCache::create(MemoryBudget& budget,
+                                      std::uint64_t bytes_allowed,
+                                      std::uint32_t block_bytes) {
+  RS_CHECK(block_bytes > 0 && std::has_single_bit(block_bytes));
+  BlockCache cache;
+  cache.block_bytes_ = block_bytes;
+
+  const std::uint64_t per_block = block_bytes + sizeof(std::uint64_t);
+  std::uint64_t blocks = bytes_allowed / per_block;
+  // Round down to a power of two so slot_of is a shift.
+  if (blocks >= 8) {
+    blocks = std::uint64_t{1} << (63 - std::countl_zero(blocks));
+  } else {
+    return cache;  // disabled
+  }
+
+  RS_ASSIGN_OR_RETURN(cache.tags_,
+                      TrackedBuffer<std::uint64_t>::create(
+                          budget, blocks, "block cache tags"));
+  RS_ASSIGN_OR_RETURN(
+      cache.data_,
+      TrackedBuffer<unsigned char>::create(budget, blocks * block_bytes,
+                                           "block cache data"));
+  std::memset(cache.tags_.data(), 0, blocks * sizeof(std::uint64_t));
+  cache.num_blocks_ = blocks;
+  cache.shift_ = 64 - static_cast<unsigned>(std::countr_zero(blocks));
+  return cache;
+}
+
+bool BlockCache::lookup(std::uint64_t block_id, std::uint32_t offset_in_block,
+                        std::uint32_t len, void* dst) {
+  if (num_blocks_ == 0) return false;
+  RS_CHECK(offset_in_block + len <= block_bytes_);
+  const std::size_t slot = slot_of(block_id);
+  if (tags_[slot] != block_id + 1) {
+    ++misses_;
+    return false;
+  }
+  std::memcpy(dst, data_.data() + slot * block_bytes_ + offset_in_block,
+              len);
+  ++hits_;
+  return true;
+}
+
+void BlockCache::insert(std::uint64_t block_id, const void* data) {
+  if (num_blocks_ == 0) return;
+  const std::size_t slot = slot_of(block_id);
+  std::memcpy(data_.data() + slot * block_bytes_, data, block_bytes_);
+  tags_[slot] = block_id + 1;
+}
+
+}  // namespace rs::core

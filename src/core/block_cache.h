@@ -1,0 +1,66 @@
+// BlockCache: a direct-mapped cache of edge-file blocks, funded by
+// whatever memory budget remains after the indexes and workspaces.
+//
+// This is the mechanism behind the paper's §A.2 observation: under a
+// memory budget, a thread count that leaves headroom lets neighbor data
+// be cached, reducing disk reads; consuming the whole budget with
+// workspaces forces every sample back to the SSD. Under an unlimited
+// budget the engine leaves caching to the OS page cache and does not
+// instantiate this.
+//
+// Direct-mapped (one tag per set) keeps lookups branch-light on the
+// sampling hot path; the skewed access pattern of power-law graphs gives
+// useful hit rates even without associativity.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.h"
+#include "util/mem_budget.h"
+#include "util/status.h"
+
+namespace rs::core {
+
+class BlockCache {
+ public:
+  BlockCache() = default;
+
+  // Sizes the cache to at most `bytes_allowed` (tags + data), charged to
+  // `budget`. Returns a disabled cache if fewer than 8 blocks fit.
+  static Result<BlockCache> create(MemoryBudget& budget,
+                                   std::uint64_t bytes_allowed,
+                                   std::uint32_t block_bytes);
+
+  bool enabled() const { return num_blocks_ > 0; }
+  std::uint64_t capacity_blocks() const { return num_blocks_; }
+  std::uint32_t block_bytes() const { return block_bytes_; }
+
+  // If block `block_id` is cached, copies `len` bytes starting at
+  // `offset_in_block` into `dst` and returns true.
+  bool lookup(std::uint64_t block_id, std::uint32_t offset_in_block,
+              std::uint32_t len, void* dst);
+
+  // Installs a freshly read block.
+  void insert(std::uint64_t block_id, const void* data);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::size_t slot_of(std::uint64_t block_id) const {
+    // Multiplicative hash; adjacent blocks map to scattered slots so a
+    // hot contiguous neighborhood doesn't evict itself.
+    return static_cast<std::size_t>((block_id * 0x9e3779b97f4a7c15ULL) >>
+                                    shift_);
+  }
+
+  TrackedBuffer<std::uint64_t> tags_;  // block_id + 1; 0 = empty
+  TrackedBuffer<unsigned char> data_;
+  std::uint64_t num_blocks_ = 0;
+  std::uint32_t block_bytes_ = 512;
+  unsigned shift_ = 64;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace rs::core

@@ -1,0 +1,157 @@
+#include "core/cluster_sampler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/subgraph.h"
+#include "graph/binary_format.h"
+#include "util/timer.h"
+
+namespace rs::core {
+
+Result<std::unique_ptr<ClusterSampler>> ClusterSampler::open(
+    const std::string& graph_base, const ClusterConfig& config,
+    MemoryBudget* budget) {
+  auto sampler = std::unique_ptr<ClusterSampler>(new ClusterSampler());
+  RS_RETURN_IF_ERROR(sampler->init(graph_base, config, budget));
+  return sampler;
+}
+
+ClusterSampler::~ClusterSampler() {
+  if (offsets_charge_ > 0) budget_->release(offsets_charge_);
+}
+
+Status ClusterSampler::init(const std::string& graph_base,
+                            const ClusterConfig& config,
+                            MemoryBudget* budget) {
+  if (config.num_clusters == 0 || config.clusters_per_batch == 0) {
+    return Status::invalid("bad ClusterConfig");
+  }
+  config_ = config;
+  budget_ = budget != nullptr ? budget : &internal_budget_;
+  rng_ = Xoshiro256(config.seed);
+
+  RS_ASSIGN_OR_RETURN(edge_file_,
+                      io::File::open(graph::edges_path(graph_base),
+                                     io::OpenMode::kRead));
+  RS_ASSIGN_OR_RETURN(offsets_, graph::load_offsets(graph_base));
+  const std::uint64_t offsets_bytes = offsets_.size() * sizeof(EdgeIdx);
+  RS_RETURN_IF_ERROR(budget_->charge(offsets_bytes, "cluster offsets"));
+  offsets_charge_ = offsets_bytes;
+
+  // The "clustering preprocessing" (range partitioning stand-in).
+  partitions_ = graph::partition_by_edges(offsets_, config.num_clusters);
+  if (partitions_.empty()) {
+    return Status::invalid("graph has no nodes to cluster");
+  }
+  return Status::ok();
+}
+
+Status ClusterSampler::load_cluster(std::uint32_t cluster,
+                                    std::vector<NodeId>& out) {
+  const graph::PartitionInfo& info = partitions_[cluster];
+  out.resize(static_cast<std::size_t>(info.num_edges()));
+  if (out.empty()) return Status::ok();
+  return edge_file_.pread_exact(out.data(), info.bytes(),
+                                info.begin_edge * kEdgeEntryBytes);
+}
+
+Result<MiniBatchSample> ClusterSampler::sample_clusters(
+    std::span<const std::uint32_t> cluster_ids) {
+  for (const std::uint32_t c : cluster_ids) {
+    if (c >= partitions_.size()) {
+      return Status::invalid("cluster id out of range");
+    }
+  }
+  // Membership test over the selected node ranges.
+  std::vector<std::pair<NodeId, NodeId>> ranges;
+  ranges.reserve(cluster_ids.size());
+  for (const std::uint32_t c : cluster_ids) {
+    ranges.push_back({partitions_[c].begin_node, partitions_[c].end_node});
+  }
+  std::sort(ranges.begin(), ranges.end());
+  auto selected = [&](NodeId v) {
+    auto it = std::upper_bound(
+        ranges.begin(), ranges.end(), std::make_pair(v, kInvalidNode));
+    if (it == ranges.begin()) return false;
+    --it;
+    return v >= it->first && v < it->second;
+  };
+
+  // Induced subgraph: for every node in the selected clusters, keep the
+  // neighbors that are themselves selected.
+  MiniBatchSample sample;
+  LayerSample layer;
+  std::vector<NodeId> slice;
+  for (const std::uint32_t c : cluster_ids) {
+    RS_RETURN_IF_ERROR(load_cluster(c, slice));
+    const graph::PartitionInfo& info = partitions_[c];
+    for (NodeId v = info.begin_node; v < info.end_node; ++v) {
+      layer.targets.push_back(v);
+      if (layer.sample_begin.empty()) layer.sample_begin.push_back(0);
+      const EdgeIdx begin = offsets_[v] - info.begin_edge;
+      const EdgeIdx end = offsets_[v + 1] - info.begin_edge;
+      for (EdgeIdx e = begin; e < end; ++e) {
+        if (selected(slice[static_cast<std::size_t>(e)])) {
+          layer.neighbors.push_back(slice[static_cast<std::size_t>(e)]);
+        }
+      }
+      layer.sample_begin.push_back(
+          static_cast<std::uint32_t>(layer.neighbors.size()));
+    }
+  }
+  if (layer.sample_begin.empty()) layer.sample_begin.push_back(0);
+  sample.layers.push_back(std::move(layer));
+  return sample;
+}
+
+Result<EpochResult> ClusterSampler::run_epoch(
+    std::span<const NodeId> targets) {
+  // Training-node membership (empty targets = every node counts).
+  std::vector<bool> is_target;
+  if (!targets.empty()) {
+    is_target.assign(offsets_.size() - 1, false);
+    for (const NodeId v : targets) {
+      if (v + 1 >= offsets_.size()) {
+        return Status::invalid("target out of range");
+      }
+      is_target[v] = true;
+    }
+  }
+
+  // Seeded random grouping: every cluster exactly once per epoch.
+  std::vector<std::uint32_t> order(partitions_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  shuffle(rng_, order);
+
+  EpochResult result;
+  WallTimer timer;
+  std::vector<std::uint32_t> group;
+  for (std::size_t i = 0; i < order.size();
+       i += config_.clusters_per_batch) {
+    group.assign(order.begin() + static_cast<std::ptrdiff_t>(i),
+                 order.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                     i + config_.clusters_per_batch,
+                                     order.size())));
+    RS_ASSIGN_OR_RETURN(MiniBatchSample sample, sample_clusters(group));
+    for (const std::uint32_t c : group) {
+      result.read_ops += 1;
+      result.bytes_read += partitions_[c].bytes();
+    }
+    const LayerSample& layer = sample.layers[0];
+    for (std::size_t t = 0; t < layer.targets.size(); ++t) {
+      const NodeId v = layer.targets[t];
+      if (!is_target.empty() && !is_target[v]) continue;
+      for (const NodeId nbr : layer.neighbors_of(t)) {
+        result.checksum = edge_checksum_mix(result.checksum, v, nbr);
+        ++result.sampled_neighbors;
+      }
+    }
+    ++result.batches;
+  }
+  result.seconds = timer.elapsed_seconds();
+  result.peak_memory_bytes = budget_->peak();
+  return result;
+}
+
+}  // namespace rs::core

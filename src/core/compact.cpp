@@ -1,0 +1,43 @@
+#include "core/compact.h"
+
+namespace rs::core {
+
+CompactBlock compact_layer(const LayerSample& layer) {
+  CompactBlock block;
+  block.num_targets = static_cast<std::uint32_t>(layer.targets.size());
+  block.global_ids = layer.targets;
+
+  std::unordered_map<NodeId, std::uint32_t> local_of;
+  local_of.reserve(layer.targets.size() + layer.neighbors.size());
+  for (std::uint32_t i = 0; i < block.num_targets; ++i) {
+    // Targets are unique within a layer (sort+dedup between layers; the
+    // seed batch comes from distinct target picks).
+    local_of.emplace(layer.targets[i], i);
+  }
+
+  block.edge_src.reserve(layer.neighbors.size());
+  block.edge_dst.reserve(layer.neighbors.size());
+  for (std::uint32_t t = 0; t < block.num_targets; ++t) {
+    for (std::uint32_t s = layer.sample_begin[t];
+         s < layer.sample_begin[t + 1]; ++s) {
+      const NodeId nbr = layer.neighbors[s];
+      auto [it, inserted] = local_of.emplace(
+          nbr, static_cast<std::uint32_t>(block.global_ids.size()));
+      if (inserted) block.global_ids.push_back(nbr);
+      block.edge_src.push_back(it->second);
+      block.edge_dst.push_back(t);
+    }
+  }
+  return block;
+}
+
+std::vector<CompactBlock> compact_batch(const MiniBatchSample& sample) {
+  std::vector<CompactBlock> blocks;
+  blocks.reserve(sample.layers.size());
+  for (const LayerSample& layer : sample.layers) {
+    blocks.push_back(compact_layer(layer));
+  }
+  return blocks;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,43 @@
+// Compaction of sampled layers into tensor-ready blocks — what DGL's
+// "message flow graph" blocks are: node ids relabeled to a dense local
+// space so feature matrices and adjacency tensors can be built directly.
+//
+// Layout contract (matches GNN framework conventions):
+//   * local ids [0, num_targets) are the layer's targets, in order;
+//   * local ids [num_targets, num_nodes) are the distinct sampled
+//     neighbors that are not themselves targets, in first-appearance
+//     order;
+//   * edges are COO pairs (edge_src -> edge_dst), dst always a target
+//     local id, src any local id. One pair per sampled neighbor slot
+//     (duplicates sampled with replacement stay duplicated, as training
+//     semantics require).
+//
+// Feature gathering then touches each distinct node once:
+// `global_ids.size()` rows instead of `neighbors.size()` rows.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/subgraph.h"
+#include "util/common.h"
+
+namespace rs::core {
+
+struct CompactBlock {
+  std::vector<NodeId> global_ids;      // local -> global
+  std::uint32_t num_targets = 0;       // prefix of global_ids
+  std::vector<std::uint32_t> edge_src; // local neighbor id per edge
+  std::vector<std::uint32_t> edge_dst; // local target id per edge
+
+  std::size_t num_nodes() const { return global_ids.size(); }
+  std::size_t num_edges() const { return edge_src.size(); }
+};
+
+// Compacts one layer.
+CompactBlock compact_layer(const LayerSample& layer);
+
+// Compacts every layer of a mini-batch.
+std::vector<CompactBlock> compact_batch(const MiniBatchSample& sample);
+
+}  // namespace rs::core

@@ -1,0 +1,101 @@
+#include "core/data_loader.h"
+
+namespace rs::core {
+
+DataLoader::DataLoader(Sampler& sampler, std::vector<NodeId> targets,
+                       Options options)
+    : sampler_(sampler),
+      targets_(std::move(targets)),
+      options_(options),
+      shuffle_rng_(options.seed) {
+  RS_CHECK_MSG(options_.prefetch_depth > 0, "prefetch_depth must be > 0");
+}
+
+DataLoader::~DataLoader() {
+  {
+    // Unblock a producer stuck on a full queue, then drain it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch_active_ = false;
+    queue_.clear();
+  }
+  not_full_.notify_all();
+  join_producer();
+}
+
+void DataLoader::join_producer() {
+  if (producer_.joinable()) producer_.join();
+}
+
+Status DataLoader::start_epoch() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (epoch_active_) {
+      return Status::invalid("start_epoch while an epoch is active");
+    }
+  }
+  join_producer();
+
+  if (options_.shuffle) shuffle(shuffle_rng_, targets_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.clear();
+    epoch_status_ = Status::ok();
+    producer_done_ = false;
+    epoch_active_ = true;
+    ++epochs_started_;
+  }
+
+  producer_ = std::thread([this] {
+    auto result = sampler_.run_epoch_collect(
+        targets_, [this](MiniBatchSample&& sample) {
+          std::unique_lock<std::mutex> lock(mutex_);
+          not_full_.wait(lock, [this] {
+            return queue_.size() < options_.prefetch_depth ||
+                   !epoch_active_;
+          });
+          if (!epoch_active_) return;  // shutting down: drop the batch
+          queue_.push_back(std::move(sample));
+          lock.unlock();
+          not_empty_.notify_one();
+        });
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (result.is_ok()) {
+        last_stats_ = std::move(result).value();
+      } else {
+        epoch_status_ = result.status();
+      }
+      producer_done_ = true;
+    }
+    not_empty_.notify_all();
+  });
+  return Status::ok();
+}
+
+bool DataLoader::next(MiniBatchSample* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] {
+    return !queue_.empty() || producer_done_;
+  });
+  if (queue_.empty()) {
+    epoch_active_ = false;
+    return false;  // epoch drained (or failed: see status())
+  }
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+Status DataLoader::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_status_;
+}
+
+std::optional<EpochResult> DataLoader::last_epoch_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_stats_;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,81 @@
+// DataLoader: the integration surface the paper's §5 sketches — "a
+// custom DataLoader that invokes our CPU-based sampler to prefetch
+// subgraphs asynchronously and yield them as they become ready".
+//
+// A background thread drives Sampler::run_epoch_collect, pushing sampled
+// mini-batches into a bounded queue; the training loop pulls them with
+// next(). Sampling (CPU + SSD) and consumption (the stage a GPU would
+// own) overlap naturally; the queue bound provides back-pressure so
+// prefetching cannot run arbitrarily ahead of the consumer.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/sampler_iface.h"
+#include "util/rng.h"
+
+namespace rs::core {
+
+class DataLoader {
+ public:
+  struct Options {
+    // Mini-batches buffered ahead of the consumer.
+    std::size_t prefetch_depth = 8;
+    // Reshuffle the target order at the start of every epoch (standard
+    // GNN training behavior).
+    bool shuffle = true;
+    std::uint64_t seed = 13;
+  };
+
+  // `sampler` must outlive the loader and support run_epoch_collect.
+  DataLoader(Sampler& sampler, std::vector<NodeId> targets,
+             Options options);
+  ~DataLoader();
+
+  DataLoader(const DataLoader&) = delete;
+  DataLoader& operator=(const DataLoader&) = delete;
+
+  // Begins an epoch: (re)shuffles targets and launches the prefetcher.
+  // Invalid while an epoch is still being consumed.
+  Status start_epoch();
+
+  // Pops the next mini-batch; blocks while the prefetcher is behind.
+  // Returns false when the epoch is exhausted (or failed — check
+  // status()).
+  bool next(MiniBatchSample* out);
+
+  // Error state of the current/last epoch (OK if none).
+  Status status() const;
+
+  // Sampler-side statistics of the last *completed* epoch.
+  std::optional<EpochResult> last_epoch_stats() const;
+
+  std::size_t num_targets() const { return targets_.size(); }
+  std::size_t epochs_started() const { return epochs_started_; }
+
+ private:
+  void join_producer();
+
+  Sampler& sampler_;
+  std::vector<NodeId> targets_;
+  Options options_;
+  Xoshiro256 shuffle_rng_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<MiniBatchSample> queue_;
+  bool producer_done_ = true;
+  bool epoch_active_ = false;
+  Status epoch_status_;
+  std::optional<EpochResult> last_stats_;
+  std::size_t epochs_started_ = 0;
+  std::thread producer_;
+};
+
+}  // namespace rs::core

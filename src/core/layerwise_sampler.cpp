@@ -1,0 +1,228 @@
+#include "core/layerwise_sampler.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "graph/binary_format.h"
+#include "util/timer.h"
+
+namespace rs::core {
+
+Result<std::unique_ptr<LayerWiseSampler>> LayerWiseSampler::open(
+    const std::string& graph_base, const LayerWiseConfig& config,
+    MemoryBudget* budget) {
+  auto sampler = std::unique_ptr<LayerWiseSampler>(new LayerWiseSampler());
+  RS_RETURN_IF_ERROR(sampler->init(graph_base, config, budget));
+  return sampler;
+}
+
+Status LayerWiseSampler::init(const std::string& graph_base,
+                              const LayerWiseConfig& config,
+                              MemoryBudget* budget) {
+  if (config.layer_sizes.empty()) {
+    return Status::invalid("layer_sizes must be non-empty");
+  }
+  if (config.batch_size == 0 || config.num_threads == 0 ||
+      config.queue_depth == 0) {
+    return Status::invalid("batch_size, threads, queue_depth must be > 0");
+  }
+  config_ = config;
+  budget_ = budget != nullptr ? budget : &internal_budget_;
+
+  RS_ASSIGN_OR_RETURN(edge_file_,
+                      io::File::open(graph::edges_path(graph_base),
+                                     io::OpenMode::kRead));
+  RS_ASSIGN_OR_RETURN(index_, OffsetIndex::load(graph_base, *budget_));
+
+  // Scratch capacity: targets per layer never exceed
+  // max(batch, max layer budget); the plan never exceeds the max budget.
+  const std::uint32_t max_budget = *std::max_element(
+      config.layer_sizes.begin(), config.layer_sizes.end());
+  const std::size_t max_targets =
+      std::max<std::size_t>(config.batch_size, max_budget);
+  const std::uint64_t per_thread =
+      (max_targets + 1) * sizeof(EdgeIdx) +             // cumulative
+      max_budget * (sizeof(SampleItem) + 4 + 4) +       // plan+owner+values
+      max_targets * sizeof(NodeId);                     // targets
+  const std::uint64_t scratch = per_thread * config.num_threads;
+  RS_RETURN_IF_ERROR(budget_->charge(scratch, "layer-wise scratch"));
+  scratch_charge_ = scratch;
+
+  contexts_.reserve(config.num_threads);
+  for (std::uint32_t t = 0; t < config.num_threads; ++t) {
+    auto ctx = std::make_unique<ThreadContext>();
+    io::BackendConfig backend_config;
+    backend_config.kind = config.backend;
+    backend_config.queue_depth = config.queue_depth;
+    RS_ASSIGN_OR_RETURN(ctx->backend,
+                        io::make_backend(backend_config, edge_file_.fd()));
+    PipelineOptions options;
+    options.async = config.async_pipeline;
+    options.group_size = config.queue_depth;
+    RS_ASSIGN_OR_RETURN(
+        ctx->pipeline,
+        ReadPipeline::create(*ctx->backend, nullptr, options, *budget_));
+    std::uint64_t sm = config.seed + 0x9e3779b97f4a7c15ULL * (t + 1);
+    ctx->rng = Xoshiro256(splitmix64(sm));
+    ctx->cumulative.reserve(max_targets + 1);
+    ctx->plan.reserve(max_budget);
+    ctx->owner.reserve(max_budget);
+    ctx->values.resize(max_budget);
+    ctx->targets.reserve(max_targets);
+    contexts_.push_back(std::move(ctx));
+  }
+  return Status::ok();
+}
+
+Status LayerWiseSampler::sample_batch(ThreadContext& ctx,
+                                      std::span<const NodeId> batch,
+                                      MiniBatchSample* out,
+                                      EpochResult& acc) {
+  ctx.targets.assign(batch.begin(), batch.end());
+
+  for (std::size_t layer = 0; layer < config_.layer_sizes.size(); ++layer) {
+    if (ctx.targets.empty()) break;
+
+    // Concatenate the targets' index ranges: position p in [0, total)
+    // identifies one incident edge of the current layer.
+    ctx.cumulative.assign(1, 0);
+    for (const NodeId v : ctx.targets) {
+      ctx.cumulative.push_back(ctx.cumulative.back() + index_.degree(v));
+    }
+    const EdgeIdx total = ctx.cumulative.back();
+    const std::uint64_t k =
+        std::min<std::uint64_t>(config_.layer_sizes[layer], total);
+
+    // Draw k distinct edge positions — candidates enter the layer with
+    // probability proportional to their edge frequency (importance
+    // sampling by in-neighborhood multiplicity).
+    std::vector<std::uint64_t> positions;
+    positions.reserve(k);
+    if (k > 0) sample_distinct_range(ctx.rng, 0, total, k, positions);
+
+    ctx.plan.clear();
+    ctx.owner.clear();
+    for (const std::uint64_t p : positions) {
+      // Map position -> owning target i and its edge-file offset.
+      const auto it = std::upper_bound(ctx.cumulative.begin(),
+                                       ctx.cumulative.end(), p);
+      const auto i = static_cast<std::size_t>(
+          it - ctx.cumulative.begin() - 1);
+      const NodeId v = ctx.targets[i];
+      const EdgeIdx edge_idx =
+          index_.begin(v) + (p - ctx.cumulative[i]);
+      ctx.plan.push_back(
+          {edge_idx, static_cast<std::uint32_t>(ctx.plan.size())});
+      ctx.owner.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    SpanItemSource source(ctx.plan);
+    RS_RETURN_IF_ERROR(ctx.pipeline->run(source, ctx.values.data()));
+
+    // Digest + optional collection: edge (owner target, fetched node).
+    std::uint64_t digest = 0;
+    for (std::size_t s = 0; s < ctx.plan.size(); ++s) {
+      digest = edge_checksum_mix(digest, ctx.targets[ctx.owner[s]],
+                                 ctx.values[s]);
+    }
+    acc.checksum += digest;
+    acc.sampled_neighbors += ctx.plan.size();
+
+    if (out != nullptr) {
+      LayerSample layer_sample;
+      layer_sample.targets = ctx.targets;
+      // Group sampled nodes by owner to build the prefix table.
+      std::vector<std::uint32_t> counts(ctx.targets.size() + 1, 0);
+      for (const std::uint32_t o : ctx.owner) ++counts[o + 1];
+      for (std::size_t i = 1; i < counts.size(); ++i) {
+        counts[i] += counts[i - 1];
+      }
+      layer_sample.sample_begin = counts;
+      layer_sample.neighbors.resize(ctx.plan.size());
+      std::vector<std::uint32_t> cursor(counts.begin(), counts.end() - 1);
+      for (std::size_t s = 0; s < ctx.plan.size(); ++s) {
+        layer_sample.neighbors[cursor[ctx.owner[s]]++] = ctx.values[s];
+      }
+      out->layers.push_back(std::move(layer_sample));
+    }
+
+    // Next layer's targets: the distinct sampled nodes.
+    if (layer + 1 < config_.layer_sizes.size()) {
+      std::vector<NodeId> next(ctx.values.begin(),
+                               ctx.values.begin() +
+                                   static_cast<std::ptrdiff_t>(k));
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      ctx.targets = std::move(next);
+    }
+  }
+  ++acc.batches;
+  return Status::ok();
+}
+
+Result<EpochResult> LayerWiseSampler::run_epoch(
+    std::span<const NodeId> targets) {
+  const std::size_t num_batches =
+      targets.empty()
+          ? 0
+          : (targets.size() + config_.batch_size - 1) / config_.batch_size;
+  const std::size_t num_workers =
+      std::min<std::size_t>(config_.num_threads,
+                            std::max<std::size_t>(num_batches, 1));
+
+  for (auto& ctx : contexts_) ctx->pipeline->reset_stats();
+  std::vector<EpochResult> partials(num_workers);
+  std::vector<Status> statuses(num_workers);
+
+  WallTimer timer;
+  auto worker = [&](std::size_t t) {
+    for (std::size_t b = t; b < num_batches; b += num_workers) {
+      const std::size_t begin = b * config_.batch_size;
+      const std::size_t end =
+          std::min(begin + config_.batch_size, targets.size());
+      const Status status =
+          sample_batch(*contexts_[t], targets.subspan(begin, end - begin),
+                       nullptr, partials[t]);
+      if (!status.is_ok()) {
+        statuses[t] = status;
+        return;
+      }
+    }
+  };
+  if (num_workers == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    for (std::size_t t = 0; t < num_workers; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  EpochResult result;
+  for (std::size_t t = 0; t < num_workers; ++t) {
+    RS_RETURN_IF_ERROR(statuses[t]);
+    result.merge(partials[t]);
+    const PipelineStats& stats = contexts_[t]->pipeline->stats();
+    result.read_ops += stats.read_ops;
+    result.bytes_read += stats.bytes_read;
+  }
+  result.seconds = timer.elapsed_seconds();
+  result.peak_memory_bytes = budget_->peak();
+  return result;
+}
+
+Result<MiniBatchSample> LayerWiseSampler::sample_one(
+    std::span<const NodeId> targets) {
+  if (targets.size() > config_.batch_size) {
+    return Status::invalid("sample_one: more targets than batch_size");
+  }
+  MiniBatchSample sample;
+  EpochResult scratch;
+  RS_RETURN_IF_ERROR(
+      sample_batch(*contexts_[0], targets, &sample, scratch));
+  return sample;
+}
+
+}  // namespace rs::core

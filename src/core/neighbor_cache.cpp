@@ -1,0 +1,72 @@
+#include "core/neighbor_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/binary_format.h"
+#include "io/file.h"
+#include "util/log.h"
+
+namespace rs::core {
+
+Result<NeighborCache> NeighborCache::build(const std::string& graph_base,
+                                           const OffsetIndex& index,
+                                           std::uint64_t bytes_allowed,
+                                           MemoryBudget& budget) {
+  NeighborCache cache;
+  if (bytes_allowed == 0 || index.num_nodes() == 0) return cache;
+
+  // Greedy by degree: sort node ids by descending degree, admit while
+  // the byte budget lasts.
+  const NodeId n = index.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return index.degree(a) > index.degree(b);
+  });
+
+  std::uint64_t admitted_entries = 0;
+  std::size_t admitted_nodes = 0;
+  const std::uint64_t max_entries = bytes_allowed / sizeof(NodeId);
+  for (const NodeId v : order) {
+    const EdgeIdx degree = index.degree(v);
+    if (degree == 0) break;  // rest are zero-degree
+    if (admitted_entries + degree > max_entries) break;
+    admitted_entries += degree;
+    ++admitted_nodes;
+  }
+  if (admitted_nodes == 0) return cache;
+
+  RS_ASSIGN_OR_RETURN(
+      cache.storage_,
+      TrackedBuffer<NodeId>::create(
+          budget, static_cast<std::size_t>(admitted_entries),
+          "neighbor cache"));
+  RS_ASSIGN_OR_RETURN(
+      io::File file,
+      io::File::open(graph::edges_path(graph_base), io::OpenMode::kRead));
+
+  // Load admitted lists, ordered by node id so the reads sweep forward.
+  std::vector<NodeId> admitted(order.begin(),
+                               order.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       admitted_nodes));
+  std::sort(admitted.begin(), admitted.end());
+  std::size_t cursor = 0;
+  cache.entries_.reserve(admitted_nodes);
+  for (const NodeId v : admitted) {
+    const auto count = static_cast<std::size_t>(index.degree(v));
+    RS_RETURN_IF_ERROR(file.pread_exact(
+        cache.storage_.data() + cursor, count * kEdgeEntryBytes,
+        index.begin(v) * kEdgeEntryBytes));
+    cache.entries_.emplace(v, Entry{cursor, count});
+    cursor += count;
+  }
+  cache.stored_count_ = cursor;
+  RS_DEBUG("neighbor cache: %zu nodes, %s",
+           cache.entries_.size(),
+           std::to_string(cache.cached_bytes()).c_str());
+  return cache;
+}
+
+}  // namespace rs::core

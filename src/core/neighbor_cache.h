@@ -1,0 +1,83 @@
+// NeighborCache: the "smart caching strategy" the paper's §4.4 calls for
+// to make RingSampler fully inference-ready (and the in-memory analogue
+// of Ginex's preprocessed neighbor cache, §2.2.1).
+//
+// At setup time the highest-degree nodes' full adjacency lists are
+// pinned in memory, greedily by degree until a byte budget is exhausted
+// — on skewed graphs a small budget covers a large fraction of sampled
+// edges, because sampling visits hubs with probability proportional to
+// their in-edges. Sampling for a cached node then happens entirely in
+// memory: zero disk I/O, which is what cuts the on-demand tail.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/offset_index.h"
+#include "util/common.h"
+#include "util/mem_budget.h"
+#include "util/status.h"
+
+namespace rs::core {
+
+class NeighborCache {
+ public:
+  NeighborCache() = default;
+
+  // Builds from an open graph: selects nodes by descending degree while
+  // their adjacency fits in `bytes_allowed`, loads those lists from the
+  // edge file, and charges the total to `budget`. `bytes_allowed == 0`
+  // returns a disabled cache.
+  static Result<NeighborCache> build(const std::string& graph_base,
+                                     const OffsetIndex& index,
+                                     std::uint64_t bytes_allowed,
+                                     MemoryBudget& budget);
+
+  bool enabled() const { return !entries_.empty(); }
+  std::size_t cached_nodes() const { return entries_.size(); }
+  std::uint64_t cached_bytes() const {
+    return stored_count_ * sizeof(NodeId);
+  }
+
+  // Full adjacency of v if cached, else an empty span. Thread-safe (the
+  // cache is immutable after build; counters are atomic), so one cache
+  // is shared by all sampling threads.
+  std::span<const NodeId> lookup(NodeId v) const {
+    const auto it = entries_.find(v);
+    if (it == entries_.end()) {
+      counters_->misses.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
+    counters_->hits.fetch_add(1, std::memory_order_relaxed);
+    return {storage_.data() + it->second.begin, it->second.count};
+  }
+
+  bool contains(NodeId v) const { return entries_.count(v) != 0; }
+
+  std::uint64_t hits() const {
+    return counters_->hits.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return counters_->misses.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::size_t begin;
+    std::size_t count;
+  };
+  struct Counters {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+  };
+  std::unordered_map<NodeId, Entry> entries_;
+  TrackedBuffer<NodeId> storage_;
+  std::size_t stored_count_ = 0;
+  std::unique_ptr<Counters> counters_ = std::make_unique<Counters>();
+};
+
+}  // namespace rs::core

@@ -1,0 +1,48 @@
+#include "core/offset_index.h"
+
+#include <algorithm>
+
+#include "graph/binary_format.h"
+#include "io/file.h"
+
+namespace rs::core {
+
+Result<OffsetIndex> OffsetIndex::load(const std::string& base,
+                                      MemoryBudget& budget) {
+  RS_ASSIGN_OR_RETURN(graph::GraphMeta meta, graph::read_meta(base));
+  const std::size_t count = static_cast<std::size_t>(meta.num_nodes) + 1;
+
+  OffsetIndex index;
+  RS_ASSIGN_OR_RETURN(
+      index.buffer_,
+      TrackedBuffer<EdgeIdx>::create(budget, count, "offset index"));
+  RS_ASSIGN_OR_RETURN(
+      io::File file,
+      io::File::open(graph::offsets_path(base), io::OpenMode::kRead));
+  RS_RETURN_IF_ERROR(file.pread_exact(index.buffer_.data(),
+                                      count * sizeof(EdgeIdx), 0));
+  index.data_ = index.buffer_.data();
+  index.size_ = count;
+  if (index.data_[0] != 0 || index.num_edges() != meta.num_edges) {
+    return Status::corrupt(base + ": offset index disagrees with meta");
+  }
+  return index;
+}
+
+Result<OffsetIndex> OffsetIndex::from_offsets(
+    std::span<const EdgeIdx> offsets, MemoryBudget& budget) {
+  RS_CHECK_MSG(!offsets.empty(), "offset array must be non-empty");
+  RS_CHECK_MSG(offsets.front() == 0, "offsets[0] must be 0");
+  RS_CHECK_MSG(std::is_sorted(offsets.begin(), offsets.end()),
+               "offsets must be non-decreasing");
+  OffsetIndex index;
+  RS_ASSIGN_OR_RETURN(index.buffer_,
+                      TrackedBuffer<EdgeIdx>::create(budget, offsets.size(),
+                                                     "offset index"));
+  std::copy(offsets.begin(), offsets.end(), index.buffer_.data());
+  index.data_ = index.buffer_.data();
+  index.size_ = offsets.size();
+  return index;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,47 @@
+// The in-memory offset index (paper §3.1, Fig. 2): for node v, its
+// neighbors occupy entries [index[v], index[v+1]) of the on-disk edge
+// file. This plus the target index is the only per-graph state RingSampler
+// keeps in memory — space is O(|V|), independent of |E|, which is the
+// property that lets it run under tight memory budgets (Fig. 5).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "util/common.h"
+#include "util/mem_budget.h"
+#include "util/status.h"
+
+namespace rs::core {
+
+class OffsetIndex {
+ public:
+  OffsetIndex() = default;
+
+  // Loads `base`.offsets, charging the index bytes to `budget`.
+  static Result<OffsetIndex> load(const std::string& base,
+                                  MemoryBudget& budget);
+
+  // Builds from an in-memory array (tests, in-memory deployments).
+  static Result<OffsetIndex> from_offsets(std::span<const EdgeIdx> offsets,
+                                          MemoryBudget& budget);
+
+  NodeId num_nodes() const {
+    return size_ == 0 ? 0 : static_cast<NodeId>(size_ - 1);
+  }
+  EdgeIdx num_edges() const { return size_ == 0 ? 0 : data_[size_ - 1]; }
+
+  // Neighbor range of v in edge-file *entries* (not bytes).
+  EdgeIdx begin(NodeId v) const { return data_[v]; }
+  EdgeIdx end(NodeId v) const { return data_[v + 1]; }
+  EdgeIdx degree(NodeId v) const { return end(v) - begin(v); }
+
+  std::uint64_t memory_bytes() const { return size_ * sizeof(EdgeIdx); }
+
+ private:
+  TrackedBuffer<EdgeIdx> buffer_;
+  const EdgeIdx* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rs::core

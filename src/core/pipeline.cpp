@@ -1,0 +1,254 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "util/timer.h"
+
+namespace rs::core {
+
+Result<std::unique_ptr<ReadPipeline>> ReadPipeline::create(
+    io::IoBackend& backend, BlockCache* cache,
+    const PipelineOptions& options, MemoryBudget& budget) {
+  RS_CHECK(options.group_size > 0);
+  if (options.group_size > backend.capacity()) {
+    return Status::invalid("pipeline group size " +
+                           std::to_string(options.group_size) +
+                           " exceeds backend capacity " +
+                           std::to_string(backend.capacity()));
+  }
+  // Double-buffered scratch: items + requests + ref table (+ block
+  // buffers in block mode), for both groups.
+  const std::uint64_t per_group =
+      options.group_size *
+          (sizeof(SampleItem) + sizeof(io::ReadRequest) +
+           sizeof(std::uint32_t)) +
+      (options.block_mode
+           ? static_cast<std::uint64_t>(options.group_size) *
+                 options.block_bytes
+           : 0);
+  const std::uint64_t scratch_bytes = 2 * per_group;
+  RS_RETURN_IF_ERROR(budget.charge(scratch_bytes, "pipeline scratch"));
+
+  auto pipeline = std::unique_ptr<ReadPipeline>(
+      new ReadPipeline(backend, cache, options, budget, scratch_bytes));
+  for (Group& group : pipeline->groups_) {
+    group.items.resize(options.group_size);
+    group.requests.resize(options.group_size);
+    group.ref_begin.resize(options.group_size + 1);
+    if (options.block_mode) {
+      group.block_buf = aligned_alloc_bytes(
+          static_cast<std::size_t>(options.group_size) * options.block_bytes,
+          std::max<std::size_t>(kDirectIoAlign, options.block_bytes));
+    }
+  }
+  return pipeline;
+}
+
+ReadPipeline::ReadPipeline(io::IoBackend& backend, BlockCache* cache,
+                           const PipelineOptions& options,
+                           MemoryBudget& budget, std::uint64_t scratch_bytes)
+    : backend_(backend),
+      cache_(cache),
+      options_(options),
+      budget_(budget),
+      scratch_bytes_(scratch_bytes) {}
+
+ReadPipeline::~ReadPipeline() { budget_.release(scratch_bytes_); }
+
+std::size_t ReadPipeline::fill_group(ItemSource& source, Group& group,
+                                     NodeId* values) {
+  ScopedAccumulator phase(stats_.prepare_seconds);
+  const std::size_t n =
+      source.next(std::span<SampleItem>(group.items.data(),
+                                        options_.group_size));
+  group.num_items = n;
+  group.num_requests = 0;
+  if (n == 0) return 0;
+  stats_.items += n;
+
+  if (!options_.block_mode) {
+    // Exact mode: one 4-byte read per sampled entry, straight into its
+    // value slot.
+    for (std::size_t i = 0; i < n; ++i) {
+      io::ReadRequest& req = group.requests[i];
+      req.offset = group.items[i].edge_idx * kEdgeEntryBytes;
+      req.len = kEdgeEntryBytes;
+      req.buf = values + group.items[i].slot;
+      req.user_data = i;
+    }
+    group.num_requests = n;
+    return n;
+  }
+
+  // Block mode. Probe the cache first; survivors are coalesced by block.
+  const std::uint32_t bs = options_.block_bytes;
+  auto block_of = [bs](const SampleItem& item) {
+    return item.edge_idx * kEdgeEntryBytes / bs;
+  };
+  std::size_t misses = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SampleItem item = group.items[i];
+    const std::uint64_t byte_off = item.edge_idx * kEdgeEntryBytes;
+    if (cache_ != nullptr &&
+        cache_->lookup(byte_off / bs,
+                       static_cast<std::uint32_t>(byte_off % bs),
+                       kEdgeEntryBytes, values + item.slot)) {
+      ++stats_.cache_hits;
+      continue;
+    }
+    group.items[misses++] = item;  // compact misses to the front
+  }
+  if (misses == 0) return n;
+
+  std::sort(group.items.begin(),
+            group.items.begin() + static_cast<std::ptrdiff_t>(misses),
+            [&](const SampleItem& a, const SampleItem& b) {
+              return block_of(a) < block_of(b) ||
+                     (block_of(a) == block_of(b) && a.slot < b.slot);
+            });
+
+  // One request per *extent*: a maximal run of adjacent distinct blocks
+  // (capped at max_extent_blocks), read in one shot into consecutive
+  // buffer slots. With merging disabled this degenerates to one request
+  // per distinct block.
+  const std::uint32_t max_blocks =
+      std::max<std::uint32_t>(1, options_.max_extent_blocks);
+  std::size_t r = 0;          // request index
+  std::size_t slot_base = 0;  // buffer slots consumed
+  std::size_t i = 0;
+  auto* buf = group.block_buf.get();
+  while (i < misses) {
+    const std::uint64_t first_block = block_of(group.items[i]);
+    group.ref_begin[r] = static_cast<std::uint32_t>(i);
+    std::uint64_t last_block = first_block;
+    std::uint32_t extent_blocks = 1;
+    ++i;
+    while (i < misses) {
+      const std::uint64_t block = block_of(group.items[i]);
+      if (block == last_block) {  // same block, same extent
+        ++i;
+        continue;
+      }
+      if (block == last_block + 1 && extent_blocks < max_blocks) {
+        last_block = block;
+        ++extent_blocks;
+        ++i;
+        continue;
+      }
+      break;
+    }
+    io::ReadRequest& req = group.requests[r];
+    req.offset = first_block * bs;
+    req.len = extent_blocks * bs;
+    req.buf = buf + slot_base * bs;
+    req.user_data = r;
+    slot_base += extent_blocks;
+    ++r;
+  }
+  group.ref_begin[r] = static_cast<std::uint32_t>(misses);
+  group.num_requests = r;
+  group.num_items = misses;  // items now means "miss items to scatter"
+  return n;
+}
+
+Status ReadPipeline::submit_group(Group& group) {
+  if (group.num_requests == 0) return Status::ok();
+  ScopedAccumulator phase(stats_.submit_seconds);
+  ++stats_.groups;
+  stats_.read_ops += group.num_requests;
+  for (std::size_t i = 0; i < group.num_requests; ++i) {
+    stats_.bytes_read += group.requests[i].len;
+  }
+  return backend_.submit(
+      std::span<const io::ReadRequest>(group.requests.data(),
+                                       group.num_requests));
+}
+
+void ReadPipeline::handle_completion(const io::Completion& completion,
+                                     Group& group, NodeId* values) {
+  const auto r = static_cast<std::size_t>(completion.user_data);
+  const io::ReadRequest& req = group.requests[r];
+  if (completion.result < 0) {
+    if (deferred_error_.is_ok()) {
+      deferred_error_ = Status::io_error(
+          "read at offset " + std::to_string(req.offset) +
+          " failed: errno=" + std::to_string(-completion.result));
+    }
+    return;
+  }
+  if (static_cast<std::uint32_t>(completion.result) < req.len) {
+    if (deferred_error_.is_ok()) {
+      deferred_error_ = Status::io_error(
+          "short read at offset " + std::to_string(req.offset) + ": " +
+          std::to_string(completion.result) + " of " +
+          std::to_string(req.len) + " bytes");
+    }
+    return;
+  }
+  if (!options_.block_mode) return;  // payload landed in the value slot
+
+  // Scatter the extent's sampled entries into their slots (offsets are
+  // relative to the extent's first byte).
+  const auto* extent = static_cast<const unsigned char*>(req.buf);
+  const std::uint32_t bs = options_.block_bytes;
+  for (std::uint32_t i = group.ref_begin[r]; i < group.ref_begin[r + 1];
+       ++i) {
+    const SampleItem item = group.items[i];
+    const std::uint64_t within =
+        item.edge_idx * kEdgeEntryBytes - req.offset;
+    std::memcpy(values + item.slot, extent + within, kEdgeEntryBytes);
+  }
+  if (cache_ != nullptr) {
+    for (std::uint32_t b = 0; b * bs < req.len; ++b) {
+      cache_->insert(req.offset / bs + b, extent + b * bs);
+    }
+  }
+}
+
+Status ReadPipeline::drain_group(Group& group, NodeId* values) {
+  ScopedAccumulator phase(stats_.drain_seconds);
+  std::array<io::Completion, 128> completions;
+  while (backend_.in_flight() > 0) {
+    RS_ASSIGN_OR_RETURN(unsigned n, backend_.wait(completions));
+    for (unsigned i = 0; i < n; ++i) {
+      handle_completion(completions[i], group, values);
+    }
+  }
+  return Status::ok();
+}
+
+Status ReadPipeline::run(ItemSource& source, NodeId* values) {
+  deferred_error_ = Status::ok();
+
+  if (!options_.async) {
+    // Synchronous pipeline (Fig. 3b top): prepare -> submit -> block.
+    Group& group = groups_[0];
+    while (fill_group(source, group, values) > 0) {
+      RS_RETURN_IF_ERROR(submit_group(group));
+      RS_RETURN_IF_ERROR(drain_group(group, values));
+    }
+    return deferred_error_;
+  }
+
+  // Asynchronous pipeline (Fig. 3b bottom): while group `cur` is in
+  // flight, prepare the other group; its completions accumulate in the
+  // CQ meanwhile and drain without blocking.
+  int cur = 0;
+  if (fill_group(source, groups_[cur], values) == 0) {
+    return deferred_error_;
+  }
+  RS_RETURN_IF_ERROR(submit_group(groups_[cur]));
+  for (;;) {
+    const int nxt = 1 - cur;
+    const std::size_t produced = fill_group(source, groups_[nxt], values);
+    RS_RETURN_IF_ERROR(drain_group(groups_[cur], values));
+    if (produced == 0) break;
+    RS_RETURN_IF_ERROR(submit_group(groups_[nxt]));
+    cur = nxt;
+  }
+  return deferred_error_;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,113 @@
+// ReadPipeline: executes a layer's planned sample items against an
+// IoBackend, writing each fetched 4-byte edge entry into its value slot.
+//
+// Two pipeline shapes (paper Fig. 3b):
+//  * async (default): I/O group k+1 is *prepared* — offsets sampled,
+//    cache probed, requests built — while group k's reads are in flight;
+//    by the time preparation finishes, k's completions are already
+//    sitting in the CQ and k+1 submits immediately.
+//  * sync: prepare, submit, and fully drain each group before touching
+//    the next; the CPU idles during every I/O wait.
+//
+// Two read granularities:
+//  * exact: one read per sampled entry (4 bytes) — the paper's
+//    index-based sampling; minimal I/O volume on buffered files.
+//  * block: items are coalesced per aligned block, one read per distinct
+//    block in the group. Required for O_DIRECT, and the granularity at
+//    which the BlockCache (if any) is probed and filled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/block_cache.h"
+#include "core/sample_plan.h"
+#include "io/backend.h"
+#include "util/align.h"
+#include "util/mem_budget.h"
+
+namespace rs::core {
+
+struct PipelineOptions {
+  bool async = true;
+  bool block_mode = false;
+  std::uint32_t block_bytes = 512;
+  std::uint32_t group_size = 512;  // == queue depth
+  // Block mode: merge runs of *adjacent* blocks into single larger reads
+  // (an extent), up to this many blocks per read. Contiguous sampled
+  // offsets — common when fanout ~ degree, since a node's neighbors are
+  // adjacent on disk — then cost one I/O instead of several. 1 disables
+  // merging.
+  std::uint32_t max_extent_blocks = 8;
+};
+
+struct PipelineStats {
+  std::uint64_t items = 0;       // sampled entries fetched
+  std::uint64_t read_ops = 0;    // requests issued to storage
+  std::uint64_t bytes_read = 0;  // bytes requested from storage
+  std::uint64_t cache_hits = 0;
+  std::uint64_t groups = 0;
+
+  // Phase attribution (Fig. 3b's lifecycle): time spent preparing
+  // groups (offset sampling, cache probes, request building), in the
+  // submit call, and draining completions. In the async pipeline the
+  // drain share shrinks because completions accumulate during prepare.
+  double prepare_seconds = 0;
+  double submit_seconds = 0;
+  double drain_seconds = 0;
+};
+
+class ReadPipeline {
+ public:
+  // `cache` may be null. Group scratch (double-buffered request arrays
+  // and block buffers) is charged to `budget`.
+  static Result<std::unique_ptr<ReadPipeline>> create(
+      io::IoBackend& backend, BlockCache* cache,
+      const PipelineOptions& options, MemoryBudget& budget);
+
+  ~ReadPipeline();
+
+  // Drains `source`, writing each item's edge entry to values[slot].
+  // All I/O issued by this call completes before it returns.
+  Status run(ItemSource& source, NodeId* values);
+
+  const PipelineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = PipelineStats{}; }
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  struct Group {
+    std::vector<SampleItem> items;  // block mode: cache misses, block-sorted
+    std::vector<io::ReadRequest> requests;
+    // Block mode: requests[r] covers items[ref_begin[r], ref_begin[r+1]).
+    std::vector<std::uint32_t> ref_begin;
+    AlignedPtr block_buf;
+    std::size_t num_requests = 0;
+    std::size_t num_items = 0;
+  };
+
+  ReadPipeline(io::IoBackend& backend, BlockCache* cache,
+               const PipelineOptions& options, MemoryBudget& budget,
+               std::uint64_t scratch_bytes);
+
+  // Pulls up to group_size items, probes the cache, builds requests.
+  // Returns the number of items consumed from the source.
+  std::size_t fill_group(ItemSource& source, Group& group, NodeId* values);
+  Status submit_group(Group& group);
+  // Blocks until every in-flight read of `group` completed, scattering
+  // block-mode payloads into value slots.
+  Status drain_group(Group& group, NodeId* values);
+  void handle_completion(const io::Completion& completion, Group& group,
+                         NodeId* values);
+
+  io::IoBackend& backend_;
+  BlockCache* cache_;
+  PipelineOptions options_;
+  MemoryBudget& budget_;
+  std::uint64_t scratch_bytes_;
+  Group groups_[2];
+  PipelineStats stats_;
+  Status deferred_error_;
+};
+
+}  // namespace rs::core

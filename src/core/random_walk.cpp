@@ -1,0 +1,221 @@
+#include "core/random_walk.h"
+
+#include <algorithm>
+#include <array>
+#include <thread>
+
+#include "core/subgraph.h"
+#include "graph/binary_format.h"
+#include "util/timer.h"
+
+namespace rs::core {
+
+Result<std::unique_ptr<RandomWalkSampler>> RandomWalkSampler::open(
+    const std::string& graph_base, const RandomWalkConfig& config,
+    MemoryBudget* budget) {
+  auto sampler =
+      std::unique_ptr<RandomWalkSampler>(new RandomWalkSampler());
+  RS_RETURN_IF_ERROR(sampler->init(graph_base, config, budget));
+  return sampler;
+}
+
+RandomWalkSampler::~RandomWalkSampler() {
+  if (scratch_charge_ > 0) budget_->release(scratch_charge_);
+}
+
+Status RandomWalkSampler::init(const std::string& graph_base,
+                               const RandomWalkConfig& config,
+                               MemoryBudget* budget) {
+  if (config.walk_length == 0 || config.walks_per_start == 0 ||
+      config.num_threads == 0 || config.queue_depth == 0) {
+    return Status::invalid("bad RandomWalkConfig");
+  }
+  config_ = config;
+  budget_ = budget != nullptr ? budget : &internal_budget_;
+
+  RS_ASSIGN_OR_RETURN(edge_file_,
+                      io::File::open(graph::edges_path(graph_base),
+                                     io::OpenMode::kRead));
+  RS_ASSIGN_OR_RETURN(index_, OffsetIndex::load(graph_base, *budget_));
+
+  backends_.reserve(config.num_threads);
+  for (std::uint32_t t = 0; t < config.num_threads; ++t) {
+    io::BackendConfig backend_config;
+    backend_config.kind = config.backend;
+    backend_config.queue_depth = config.queue_depth;
+    RS_ASSIGN_OR_RETURN(auto backend,
+                        io::make_backend(backend_config, edge_file_.fd()));
+    backends_.push_back(std::move(backend));
+  }
+  // Per-thread in-flight state: one pending step per concurrent walk.
+  const std::uint64_t scratch = static_cast<std::uint64_t>(
+      config.num_threads) * config.queue_depth * 64;
+  RS_RETURN_IF_ERROR(budget_->charge(scratch, "random-walk state"));
+  scratch_charge_ = scratch;
+  return Status::ok();
+}
+
+namespace {
+
+// In-flight state of one walk.
+struct WalkState {
+  std::size_t row = 0;        // index into WalkResult::walks
+  std::uint32_t pos = 0;      // nodes written so far - 1
+  NodeId current = kInvalidNode;
+  NodeId fetched = kInvalidNode;  // landing buffer for the 4-byte read
+  Xoshiro256 rng{0};
+};
+
+}  // namespace
+
+Status RandomWalkSampler::run_range(std::size_t thread_index,
+                                    std::size_t begin, std::size_t end,
+                                    WalkResult& result,
+                                    std::uint64_t& read_ops,
+                                    std::uint64_t& checksum) {
+  io::IoBackend& backend = *backends_[thread_index];
+  const std::uint32_t width = result.row_width;
+
+  std::vector<WalkState> slots(
+      std::min<std::size_t>(config_.queue_depth, end - begin));
+  std::vector<io::ReadRequest> requests(slots.size());
+  std::array<io::Completion, 64> completions;
+
+  std::size_t next_walk = begin;
+  std::size_t active = 0;
+
+  // Starts walk `w` in slot `s`; returns false if it dies immediately.
+  auto start_walk = [&](std::size_t s, std::size_t w) {
+    WalkState& walk = slots[s];
+    walk.row = w;
+    walk.pos = 0;
+    // Private stream: determinism independent of completion order.
+    std::uint64_t sm = config_.seed ^ (0x9e3779b97f4a7c15ULL * (w + 1));
+    walk.rng = Xoshiro256(splitmix64(sm));
+    walk.current = result.walks[w * width];
+    return true;
+  };
+
+  // Plans the next step of the walk in slot s; returns true if a read
+  // was prepared into requests[s].
+  auto plan_step = [&](std::size_t s) {
+    WalkState& walk = slots[s];
+    for (;;) {
+      if (walk.pos >= config_.walk_length) return false;  // done
+      const EdgeIdx degree = index_.degree(walk.current);
+      if (degree == 0) return false;  // dead end (row stays padded)
+      const EdgeIdx pick =
+          index_.begin(walk.current) + walk.rng.uniform(degree);
+      requests[s] = {pick * kEdgeEntryBytes, kEdgeEntryBytes,
+                     &walk.fetched, s};
+      return true;
+    }
+  };
+
+  // Steps ready for submission are batched so one io_uring_enter covers
+  // many walks (the whole point of running walks concurrently).
+  std::vector<io::ReadRequest> batch;
+  batch.reserve(slots.size());
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::ok();
+    RS_RETURN_IF_ERROR(backend.submit(batch));
+    read_ops += batch.size();
+    active += batch.size();
+    batch.clear();
+    return Status::ok();
+  };
+
+  // Fill initial slots.
+  for (std::size_t s = 0; s < slots.size() && next_walk < end; ++s) {
+    bool planned = false;
+    while (!planned && next_walk < end) {
+      start_walk(s, next_walk++);
+      planned = plan_step(s);
+    }
+    if (planned) batch.push_back(requests[s]);
+  }
+  RS_RETURN_IF_ERROR(flush());
+
+  while (active > 0) {
+    RS_ASSIGN_OR_RETURN(unsigned reaped, backend.wait(completions));
+    for (unsigned i = 0; i < reaped; ++i) {
+      const auto s = static_cast<std::size_t>(completions[i].user_data);
+      WalkState& walk = slots[s];
+      --active;
+      if (completions[i].result !=
+          static_cast<std::int32_t>(kEdgeEntryBytes)) {
+        return Status::io_error("walk step read failed (res=" +
+                                std::to_string(completions[i].result) +
+                                ")");
+      }
+      // Record the step.
+      checksum = edge_checksum_mix(checksum, walk.current, walk.fetched);
+      walk.current = walk.fetched;
+      ++walk.pos;
+      result.walks[walk.row * width + walk.pos] = walk.current;
+
+      // Continue this walk, or recycle the slot for a fresh one.
+      bool planned = plan_step(s);
+      while (!planned && next_walk < end) {
+        start_walk(s, next_walk++);
+        planned = plan_step(s);
+      }
+      if (planned) batch.push_back(requests[s]);
+    }
+    RS_RETURN_IF_ERROR(flush());
+  }
+  return Status::ok();
+}
+
+Result<RandomWalkSampler::WalkResult> RandomWalkSampler::run(
+    std::span<const NodeId> starts) {
+  WalkResult result;
+  result.row_width = config_.walk_length + 1;
+  result.num_walks =
+      starts.size() * static_cast<std::size_t>(config_.walks_per_start);
+  result.walks.assign(result.num_walks * result.row_width, kInvalidNode);
+  for (std::size_t i = 0; i < result.num_walks; ++i) {
+    const NodeId start = starts[i / config_.walks_per_start];
+    if (start >= index_.num_nodes()) {
+      return Status::invalid("walk start out of range");
+    }
+    result.walks[i * result.row_width] = start;
+  }
+  if (result.num_walks == 0) return result;
+
+  const std::size_t num_workers = std::min<std::size_t>(
+      config_.num_threads, std::max<std::size_t>(result.num_walks, 1));
+  std::vector<Status> statuses(num_workers);
+  std::vector<std::uint64_t> reads(num_workers, 0);
+  std::vector<std::uint64_t> checksums(num_workers, 0);
+
+  WallTimer timer;
+  const std::size_t chunk =
+      (result.num_walks + num_workers - 1) / num_workers;
+  auto worker = [&](std::size_t t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(begin + chunk, result.num_walks);
+    if (begin >= end) return;
+    statuses[t] =
+        run_range(t, begin, end, result, reads[t], checksums[t]);
+  };
+  if (num_workers == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    for (std::size_t t = 0; t < num_workers; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  result.seconds = timer.elapsed_seconds();
+  for (std::size_t t = 0; t < num_workers; ++t) {
+    RS_RETURN_IF_ERROR(statuses[t]);
+    result.read_ops += reads[t];
+    result.checksum += checksums[t];
+  }
+  return result;
+}
+
+}  // namespace rs::core

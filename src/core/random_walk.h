@@ -1,0 +1,85 @@
+// RandomWalkSampler: uniform random walks over the SSD-resident graph —
+// the sampling primitive of PinSAGE-style methods and of Node2Vec
+// feature pipelines.
+//
+// A walk step is a *dependent* read: the next node is one uniformly
+// random neighbor of the current node, so its edge-file offset is not
+// known until the previous 4-byte read completes. Serially that is one
+// device round-trip per step; here many walks run concurrently per
+// thread, so every completion immediately seeds the next step's SQE and
+// the ring stays full (the io_uring analogue of BeaconGNN's out-of-order
+// streaming). Each walk owns a private RNG stream seeded by its index,
+// which makes the walks bit-deterministic regardless of I/O completion
+// order — asynchrony never changes the result.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/offset_index.h"
+#include "io/backend.h"
+#include "io/file.h"
+#include "util/mem_budget.h"
+#include "util/rng.h"
+
+namespace rs::core {
+
+struct RandomWalkConfig {
+  std::uint32_t walk_length = 3;     // steps per walk (nodes visited - 1)
+  std::uint32_t walks_per_start = 1; // independent walks per start node
+  std::uint32_t num_threads = 8;
+  std::uint32_t queue_depth = 512;   // concurrent walk steps per thread
+  io::BackendKind backend = io::BackendKind::kUringPoll;
+  std::uint64_t seed = 7;
+};
+
+class RandomWalkSampler {
+ public:
+  static Result<std::unique_ptr<RandomWalkSampler>> open(
+      const std::string& graph_base, const RandomWalkConfig& config,
+      MemoryBudget* budget = nullptr);
+
+  ~RandomWalkSampler();
+
+  struct WalkResult {
+    // walks.size() == num_walks * (walk_length + 1), row-major; slot 0
+    // is the start node. Walks that hit a zero-degree node early are
+    // padded with kInvalidNode.
+    std::vector<NodeId> walks;
+    std::size_t num_walks = 0;
+    std::uint32_t row_width = 0;
+    double seconds = 0;
+    std::uint64_t read_ops = 0;
+    std::uint64_t checksum = 0;
+
+    std::span<const NodeId> walk(std::size_t i) const {
+      return {walks.data() + i * row_width, row_width};
+    }
+  };
+
+  // Runs walks_per_start walks from every start node.
+  Result<WalkResult> run(std::span<const NodeId> starts);
+
+  NodeId num_nodes() const { return index_.num_nodes(); }
+
+ private:
+  RandomWalkSampler() : internal_budget_(0) {}
+  Status init(const std::string& graph_base,
+              const RandomWalkConfig& config, MemoryBudget* budget);
+
+  // Advances walks [begin, end) of `result` to completion on one thread.
+  Status run_range(std::size_t thread_index, std::size_t begin,
+                   std::size_t end, WalkResult& result,
+                   std::uint64_t& read_ops, std::uint64_t& checksum);
+
+  RandomWalkConfig config_;
+  MemoryBudget internal_budget_;
+  MemoryBudget* budget_ = nullptr;
+  std::uint64_t scratch_charge_ = 0;
+  io::File edge_file_;
+  OffsetIndex index_;
+  std::vector<std::unique_ptr<io::IoBackend>> backends_;
+};
+
+}  // namespace rs::core

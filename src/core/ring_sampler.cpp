@@ -1,0 +1,498 @@
+#include "core/ring_sampler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "graph/binary_format.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace rs::core {
+
+Result<std::unique_ptr<RingSampler>> RingSampler::open(
+    const std::string& graph_base, const SamplerConfig& config,
+    MemoryBudget* budget) {
+  auto sampler = std::unique_ptr<RingSampler>(new RingSampler());
+  RS_RETURN_IF_ERROR(sampler->init(graph_base, config, budget));
+  return sampler;
+}
+
+Status RingSampler::init(const std::string& graph_base,
+                         const SamplerConfig& config, MemoryBudget* budget) {
+  if (config.fanouts.empty()) {
+    return Status::invalid("SamplerConfig.fanouts must be non-empty");
+  }
+  if (config.num_threads == 0 || config.batch_size == 0 ||
+      config.queue_depth == 0) {
+    return Status::invalid("threads, batch_size, queue_depth must be > 0");
+  }
+  config_ = config;
+  graph_base_ = graph_base;
+  budget_ = budget != nullptr ? budget : &internal_budget_;
+
+  RS_ASSIGN_OR_RETURN(
+      edge_file_,
+      io::File::open(graph::edges_path(graph_base),
+                     config.direct_io ? io::OpenMode::kReadDirect
+                                      : io::OpenMode::kRead));
+  RS_ASSIGN_OR_RETURN(index_, OffsetIndex::load(graph_base, *budget_));
+  if (config.hot_cache_bytes > 0) {
+    RS_ASSIGN_OR_RETURN(hot_cache_,
+                        NeighborCache::build(graph_base, index_,
+                                             config.hot_cache_bytes,
+                                             *budget_));
+  }
+  return build_contexts();
+}
+
+Status RingSampler::build_contexts() {
+  // Pass 1: backends and workspaces for every worker. Done before cache
+  // sizing so the cache sees the true leftover budget.
+  contexts_.reserve(config_.num_threads);
+  for (std::uint32_t t = 0; t < config_.num_threads; ++t) {
+    auto ctx = std::make_unique<ThreadContext>();
+    io::BackendConfig backend_config;
+    backend_config.kind = config_.backend;
+    backend_config.queue_depth = config_.queue_depth;
+    backend_config.register_file = config_.register_file;
+    RS_ASSIGN_OR_RETURN(ctx->backend,
+                        io::make_backend(backend_config, edge_file_.fd()));
+    RS_ASSIGN_OR_RETURN(ctx->workspace,
+                        Workspace::create(config_, *budget_));
+    // Distinct, decorrelated stream per worker (SplitMix64-expanded).
+    std::uint64_t sm = config_.seed + 0x9e3779b97f4a7c15ULL * (t + 1);
+    ctx->rng = Xoshiro256(splitmix64(sm));
+    contexts_.push_back(std::move(ctx));
+  }
+
+  // Pass 2: spend leftover budget on per-thread block caches (§A.2).
+  std::uint64_t cache_bytes_per_thread = 0;
+  if (budget_->is_limited() && config_.enable_block_cache) {
+    const std::uint64_t used = budget_->used();
+    const std::uint64_t leftover =
+        budget_->limit() > used ? budget_->limit() - used : 0;
+    cache_bytes_per_thread = static_cast<std::uint64_t>(
+        static_cast<double>(leftover) * config_.cache_budget_fraction /
+        config_.num_threads);
+  }
+  bool any_cache = false;
+  for (auto& ctx : contexts_) {
+    if (cache_bytes_per_thread > 0) {
+      RS_ASSIGN_OR_RETURN(ctx->cache,
+                          BlockCache::create(*budget_,
+                                             cache_bytes_per_thread,
+                                             config_.block_bytes));
+      any_cache = any_cache || ctx->cache.enabled();
+    }
+  }
+
+  // Read granularity: O_DIRECT and the block cache both require
+  // block-granular reads; otherwise exact 4-byte entry reads (the
+  // paper's buffered mode) unless coalescing was requested explicitly.
+  block_mode_ =
+      config_.direct_io || config_.coalesce_blocks || any_cache;
+
+  // Pass 3: pipelines (need the block-mode decision).
+  for (auto& ctx : contexts_) {
+    PipelineOptions options;
+    options.async = config_.async_pipeline;
+    options.block_mode = block_mode_;
+    options.block_bytes = config_.block_bytes;
+    options.group_size = config_.queue_depth;
+    options.max_extent_blocks = config_.max_extent_blocks;
+    RS_ASSIGN_OR_RETURN(
+        ctx->pipeline,
+        ReadPipeline::create(*ctx->backend,
+                             ctx->cache.enabled() ? &ctx->cache : nullptr,
+                             options, *budget_));
+  }
+  RS_DEBUG("RingSampler ready: %u threads, block_mode=%d, budget used %s",
+           config_.num_threads, block_mode_ ? 1 : 0,
+           std::to_string(budget_->used()).c_str());
+  return Status::ok();
+}
+
+Status RingSampler::sample_batch(ThreadContext& ctx,
+                                 std::span<const NodeId> batch,
+                                 MiniBatchSample* out, EpochResult& acc) {
+  Workspace& ws = ctx.workspace;
+  RS_CHECK_MSG(batch.size() <= config_.batch_size,
+               "batch larger than configured batch_size");
+  std::copy(batch.begin(), batch.end(), ws.targets());
+  std::size_t num_targets = batch.size();
+
+  const std::uint32_t num_layers = config_.num_layers();
+  for (std::uint32_t layer = 0; layer < num_layers; ++layer) {
+    if (num_targets == 0) break;
+    LayerSampleCursor cursor(
+        index_, std::span<const NodeId>(ws.targets(), num_targets),
+        config_.fanouts[layer], ctx.rng, ws.begins(), &hot_cache_,
+        ws.values(), config_.sample_with_replacement);
+    RS_RETURN_IF_ERROR(ctx.pipeline->run(cursor, ws.values()));
+    const std::uint32_t width = cursor.slots_planned();
+
+    // Fold the layer into the order-independent digest (also keeps the
+    // sampled data "used" in benchmarks).
+    std::uint64_t digest = 0;
+    const std::uint32_t* begins = ws.begins();
+    for (std::size_t i = 0; i < num_targets; ++i) {
+      const NodeId target = ws.targets()[i];
+      for (std::uint32_t s = begins[i]; s < begins[i + 1]; ++s) {
+        digest = edge_checksum_mix(digest, target, ws.values()[s]);
+      }
+    }
+    acc.checksum += digest;
+    acc.sampled_neighbors += width;
+
+    if (out != nullptr) {
+      LayerSample layer_sample;
+      layer_sample.targets.assign(ws.targets(), ws.targets() + num_targets);
+      layer_sample.sample_begin.assign(begins, begins + num_targets + 1);
+      layer_sample.neighbors.assign(ws.values(), ws.values() + width);
+      out->layers.push_back(std::move(layer_sample));
+    }
+
+    if (layer + 1 < num_layers) {
+      // Fig. 1b: sort and deduplicate to form the next layer's targets.
+      num_targets = ws.dedup_into_targets(width);
+    }
+  }
+  ++acc.batches;
+  return Status::ok();
+}
+
+Result<EpochResult> RingSampler::epoch_batch_parallel(
+    std::span<const NodeId> targets, const BatchSink* sink) {
+  RS_ASSIGN_OR_RETURN(
+      TargetIndex target_index,
+      TargetIndex::create(targets, config_.batch_size, *budget_));
+
+  for (auto& ctx : contexts_) ctx->pipeline->reset_stats();
+  const std::uint64_t hot_hits_before = hot_cache_.hits();
+
+  const std::size_t num_batches = target_index.num_batches();
+  const std::size_t num_workers =
+      std::min<std::size_t>(config_.num_threads, std::max<std::size_t>(
+                                                     num_batches, 1));
+  std::vector<EpochResult> partials(num_workers);
+  std::vector<Status> statuses(num_workers);
+  std::vector<MiniBatchSample> collected;
+
+  WallTimer timer;
+  auto worker = [&](std::size_t t) {
+    ThreadContext& ctx = *contexts_[t];
+    // Round-robin batch ownership: batch b belongs to thread b % n.
+    for (std::size_t b = t; b < num_batches; b += num_workers) {
+      MiniBatchSample sample;
+      MiniBatchSample* out =
+          (sink != nullptr || config_.collect_blocks) ? &sample : nullptr;
+      if (out != nullptr) out->batch_index = static_cast<std::uint32_t>(b);
+      const Status status =
+          sample_batch(ctx, target_index.batch(b), out, partials[t]);
+      if (!status.is_ok()) {
+        statuses[t] = status;
+        return;
+      }
+      if (sink != nullptr) {
+        std::lock_guard<std::mutex> lock(sink_mutex_);
+        (*sink)(std::move(sample));
+      }
+    }
+  };
+
+  if (num_workers == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    for (std::size_t t = 0; t < num_workers; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const double elapsed = timer.elapsed_seconds();
+
+  EpochResult result;
+  for (std::size_t t = 0; t < num_workers; ++t) {
+    RS_RETURN_IF_ERROR(statuses[t]);
+    result.merge(partials[t]);
+    const PipelineStats& stats = contexts_[t]->pipeline->stats();
+    result.read_ops += stats.read_ops;
+    result.bytes_read += stats.bytes_read;
+    result.cache_hits += stats.cache_hits;
+    result.prepare_seconds += stats.prepare_seconds;
+    result.drain_seconds += stats.drain_seconds;
+  }
+  result.cache_hits += hot_cache_.hits() - hot_hits_before;
+  result.seconds = elapsed;
+  result.peak_memory_bytes = budget_->peak();
+  return result;
+}
+
+Result<EpochResult> RingSampler::epoch_intra_batch(
+    std::span<const NodeId> targets) {
+  // Fig. 3a upper scheme (the comparison point): all threads cooperate
+  // on one mini-batch; a barrier separates GraphSAGE layers because
+  // layer l+1's targets need every thread's layer-l samples.
+  RS_ASSIGN_OR_RETURN(
+      TargetIndex target_index,
+      TargetIndex::create(targets, config_.batch_size, *budget_));
+  for (auto& ctx : contexts_) ctx->pipeline->reset_stats();
+
+  RS_ASSIGN_OR_RETURN(
+      TrackedBuffer<NodeId> combined,
+      TrackedBuffer<NodeId>::create(*budget_, config_.max_width(),
+                                    "intra-batch merge buffer"));
+
+  const std::size_t num_workers = config_.num_threads;
+  EpochResult result;
+  std::vector<Status> statuses(num_workers);
+
+  WallTimer timer;
+  for (std::size_t b = 0; b < target_index.num_batches(); ++b) {
+    const auto batch = target_index.batch(b);
+    // Current layer targets live in worker 0's target buffer.
+    Workspace& ws0 = contexts_[0]->workspace;
+    std::copy(batch.begin(), batch.end(), ws0.targets());
+    std::size_t num_targets = batch.size();
+
+    for (std::uint32_t layer = 0; layer < config_.num_layers(); ++layer) {
+      if (num_targets == 0) break;
+      const std::span<const NodeId> layer_targets(ws0.targets(),
+                                                  num_targets);
+      std::vector<std::uint32_t> widths(num_workers, 0);
+      std::fill(statuses.begin(), statuses.end(), Status::ok());
+
+      // Static split of targets across threads, then a full barrier
+      // (thread join) before dedup — the synchronization RingSampler's
+      // batch-parallel design eliminates.
+      const std::size_t chunk =
+          (num_targets + num_workers - 1) / num_workers;
+      auto layer_worker = [&](std::size_t t) {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(begin + chunk, num_targets);
+        if (begin >= end) return;
+        ThreadContext& ctx = *contexts_[t];
+        LayerSampleCursor cursor(
+            index_, layer_targets.subspan(begin, end - begin),
+            config_.fanouts[layer], ctx.rng, ctx.workspace.begins(),
+            &hot_cache_, ctx.workspace.values(),
+            config_.sample_with_replacement);
+        const Status status =
+            ctx.pipeline->run(cursor, ctx.workspace.values());
+        if (!status.is_ok()) {
+          statuses[t] = status;
+          return;
+        }
+        widths[t] = cursor.slots_planned();
+        std::uint64_t digest = 0;
+        const std::uint32_t* begins = ctx.workspace.begins();
+        for (std::size_t i = begin; i < end; ++i) {
+          const NodeId target = layer_targets[i];
+          const std::size_t local = i - begin;
+          for (std::uint32_t s = begins[local]; s < begins[local + 1];
+               ++s) {
+            digest = edge_checksum_mix(digest, target,
+                                       ctx.workspace.values()[s]);
+          }
+        }
+        __atomic_fetch_add(&result.checksum, digest, __ATOMIC_RELAXED);
+      };
+
+      {
+        std::vector<std::thread> threads;
+        threads.reserve(num_workers);
+        for (std::size_t t = 0; t < num_workers; ++t) {
+          threads.emplace_back(layer_worker, t);
+        }
+        for (auto& thread : threads) thread.join();  // the layer barrier
+      }
+      for (const Status& status : statuses) RS_RETURN_IF_ERROR(status);
+
+      // Merge per-thread samples, then dedup for the next layer.
+      std::size_t total = 0;
+      for (std::size_t t = 0; t < num_workers; ++t) {
+        std::copy(contexts_[t]->workspace.values(),
+                  contexts_[t]->workspace.values() + widths[t],
+                  combined.data() + total);
+        total += widths[t];
+      }
+      result.sampled_neighbors += total;
+      if (layer + 1 < config_.num_layers()) {
+        NodeId* begin = combined.data();
+        NodeId* end = begin + total;
+        std::sort(begin, end);
+        end = std::unique(begin, end);
+        num_targets = static_cast<std::size_t>(end - begin);
+        std::copy(begin, end, ws0.targets());
+      }
+    }
+    ++result.batches;
+  }
+  result.seconds = timer.elapsed_seconds();
+  for (auto& ctx : contexts_) {
+    const PipelineStats& stats = ctx->pipeline->stats();
+    result.read_ops += stats.read_ops;
+    result.bytes_read += stats.bytes_read;
+    result.cache_hits += stats.cache_hits;
+    result.prepare_seconds += stats.prepare_seconds;
+    result.drain_seconds += stats.drain_seconds;
+  }
+  result.peak_memory_bytes = budget_->peak();
+  return result;
+}
+
+Result<EpochResult> RingSampler::run_epoch(std::span<const NodeId> targets) {
+  if (config_.parallelism == ParallelismMode::kIntraBatch) {
+    return epoch_intra_batch(targets);
+  }
+  return epoch_batch_parallel(targets, nullptr);
+}
+
+Result<EpochResult> RingSampler::run_epoch_collect(
+    std::span<const NodeId> targets, const BatchSink& sink) {
+  return epoch_batch_parallel(targets, &sink);
+}
+
+Result<MiniBatchSample> RingSampler::sample_one(
+    std::span<const NodeId> targets) {
+  if (targets.size() > config_.batch_size) {
+    return Status::invalid("sample_one: more targets than batch_size");
+  }
+  MiniBatchSample sample;
+  EpochResult scratch;
+  RS_RETURN_IF_ERROR(
+      sample_batch(*contexts_[0], targets, &sample, scratch));
+  return sample;
+}
+
+Result<RingSampler::OnDemandResult> RingSampler::run_on_demand(
+    std::span<const NodeId> targets) {
+  const std::size_t num_workers = config_.num_threads;
+  std::vector<LatencyRecorder> recorders(num_workers);
+  std::vector<EpochResult> partials(num_workers);
+  std::vector<Status> statuses(num_workers);
+
+  WallTimer epoch_timer;
+  auto worker = [&](std::size_t t) {
+    ThreadContext& ctx = *contexts_[t];
+    recorders[t].reserve(targets.size() / num_workers + 1);
+    for (std::size_t i = t; i < targets.size(); i += num_workers) {
+      const NodeId target = targets[i];
+      const Status status = sample_batch(
+          ctx, std::span<const NodeId>(&target, 1), nullptr, partials[t]);
+      if (!status.is_ok()) {
+        statuses[t] = status;
+        return;
+      }
+      // Fig. 6 records when each request's sampling completed, measured
+      // from the start of the run.
+      recorders[t].record_ns(epoch_timer.elapsed_nanos());
+    }
+  };
+
+  if (num_workers == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    for (std::size_t t = 0; t < num_workers; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  OnDemandResult result;
+  result.total_seconds = epoch_timer.elapsed_seconds();
+  for (std::size_t t = 0; t < num_workers; ++t) {
+    RS_RETURN_IF_ERROR(statuses[t]);
+    result.latencies.merge(recorders[t]);
+    result.checksum += partials[t].checksum;
+    result.sampled_neighbors += partials[t].sampled_neighbors;
+  }
+  return result;
+}
+
+Result<RingSampler::OpenLoopResult> RingSampler::run_open_loop(
+    std::span<const NodeId> targets, double arrival_rate_per_sec) {
+  if (arrival_rate_per_sec <= 0) {
+    return Status::invalid("arrival rate must be positive");
+  }
+  // Precompute Poisson arrival times (exponential interarrivals),
+  // deterministic in the seed.
+  std::vector<double> arrivals(targets.size());
+  {
+    Xoshiro256 rng(config_.seed ^ 0x5e41ULL);
+    double t = 0;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const double u = std::max(rng.uniform_double(), 1e-12);
+      t += -std::log(u) / arrival_rate_per_sec;
+      arrivals[i] = t;
+    }
+  }
+
+  const std::size_t num_workers = config_.num_threads;
+  std::vector<LatencyRecorder> recorders(num_workers);
+  std::vector<EpochResult> partials(num_workers);
+  std::vector<Status> statuses(num_workers);
+  std::atomic<std::size_t> next{0};
+
+  WallTimer clock;
+  auto worker = [&](std::size_t t) {
+    ThreadContext& ctx = *contexts_[t];
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= targets.size()) return;
+      // FCFS: this worker owns request i; wait for it to arrive.
+      for (;;) {
+        const double now = clock.elapsed_seconds();
+        if (now >= arrivals[i]) break;
+        const double wait = arrivals[i] - now;
+        if (wait > 200e-6) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              wait - 100e-6));
+        }
+      }
+      const NodeId target = targets[i];
+      const Status status = sample_batch(
+          ctx, std::span<const NodeId>(&target, 1), nullptr, partials[t]);
+      if (!status.is_ok()) {
+        statuses[t] = status;
+        return;
+      }
+      const double sojourn = clock.elapsed_seconds() - arrivals[i];
+      recorders[t].record_seconds(sojourn);
+    }
+  };
+
+  if (num_workers == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    for (std::size_t t = 0; t < num_workers; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  OpenLoopResult result;
+  result.total_seconds = clock.elapsed_seconds();
+  result.offered_rate = arrival_rate_per_sec;
+  for (std::size_t t = 0; t < num_workers; ++t) {
+    RS_RETURN_IF_ERROR(statuses[t]);
+    result.latencies.merge(recorders[t]);
+    result.checksum += partials[t].checksum;
+  }
+  result.achieved_rate =
+      result.total_seconds > 0
+          ? static_cast<double>(result.latencies.count()) /
+                result.total_seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,130 @@
+// RingSampler: the paper's contribution. An io_uring-based GraphSAGE
+// neighborhood sampler over an SSD-resident edge file:
+//
+//   * index-based sampling — random *offsets* are drawn from each
+//     target's offset-index range and only those 4-byte entries are
+//     fetched, so disk traffic is proportional to the sample;
+//   * batch-parallel threading — mini-batches are distributed across
+//     worker threads, each owning a private ring, workspace, and RNG
+//     stream, with zero inter-thread synchronization (Fig. 3a);
+//   * an asynchronous prepare/submit/reap pipeline per thread that
+//     overlaps offset planning with in-flight I/O (Fig. 3b);
+//   * O(|V|) resident state (offset index + target index + per-thread
+//     workspaces) regardless of |E|, plus an optional block cache funded
+//     by leftover memory budget (Fig. 5 / §A.2).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/block_cache.h"
+#include "core/config.h"
+#include "core/neighbor_cache.h"
+#include "core/offset_index.h"
+#include "core/pipeline.h"
+#include "core/sampler_iface.h"
+#include "core/target_index.h"
+#include "core/workspace.h"
+#include "io/file.h"
+#include "util/histogram.h"
+#include "util/mem_budget.h"
+
+namespace rs::core {
+
+class RingSampler final : public Sampler {
+ public:
+  // Opens a graph written by graph::write_graph at `graph_base`. All
+  // long-lived memory (offset index, workspaces, caches, pipeline
+  // scratch) is charged to `budget`; nullptr means unlimited. Worker
+  // state is created eagerly so OOM surfaces here, not mid-epoch.
+  static Result<std::unique_ptr<RingSampler>> open(
+      const std::string& graph_base, const SamplerConfig& config,
+      MemoryBudget* budget = nullptr);
+
+  std::string name() const override { return "RingSampler"; }
+  const SamplerConfig& config() const { return config_; }
+  const OffsetIndex& index() const { return index_; }
+  NodeId num_nodes() const { return index_.num_nodes(); }
+  EdgeIdx num_edges() const { return index_.num_edges(); }
+
+  Result<EpochResult> run_epoch(std::span<const NodeId> targets) override;
+  Result<EpochResult> run_epoch_collect(std::span<const NodeId> targets,
+                                        const BatchSink& sink) override;
+
+  // Samples a single mini-batch and returns the full subgraph (examples,
+  // unit tests, serving). Uses worker 0's state; not thread-safe.
+  Result<MiniBatchSample> sample_one(std::span<const NodeId> targets);
+
+  // On-demand serving experiment (Fig. 6): every target is an individual
+  // sampling request; each request's completion time since the start of
+  // the run is recorded.
+  struct OnDemandResult {
+    LatencyRecorder latencies;
+    double total_seconds = 0.0;
+    std::uint64_t checksum = 0;
+    std::uint64_t sampled_neighbors = 0;
+  };
+  Result<OnDemandResult> run_on_demand(std::span<const NodeId> targets);
+
+  // Open-loop serving: requests *arrive* at `arrival_rate_per_sec`
+  // (Poisson process, deterministic in the config seed) instead of being
+  // issued as fast as workers free up. Recorded latency is per-request
+  // sojourn time (completion - arrival), i.e. queueing + service — the
+  // quantity a latency SLO is written against. The closed-loop Fig. 6
+  // run measures throughput; this measures responsiveness under load.
+  struct OpenLoopResult {
+    LatencyRecorder latencies;  // sojourn times
+    double total_seconds = 0.0;
+    double offered_rate = 0.0;
+    double achieved_rate = 0.0;
+    std::uint64_t checksum = 0;
+  };
+  Result<OpenLoopResult> run_open_loop(std::span<const NodeId> targets,
+                                       double arrival_rate_per_sec);
+
+  // Drops the edge file's OS page-cache pages (cold-cache benchmarking).
+  Status drop_page_cache() const { return edge_file_.drop_cache(); }
+
+  // Hot-neighbor cache introspection (enabled via
+  // SamplerConfig::hot_cache_bytes).
+  const NeighborCache& hot_cache() const { return hot_cache_; }
+
+ private:
+  struct ThreadContext {
+    std::unique_ptr<io::IoBackend> backend;
+    BlockCache cache;
+    std::unique_ptr<ReadPipeline> pipeline;
+    Workspace workspace;
+    Xoshiro256 rng{0};
+  };
+
+  RingSampler() : internal_budget_(0) {}
+
+  Status init(const std::string& graph_base, const SamplerConfig& config,
+              MemoryBudget* budget);
+  Status build_contexts();
+
+  // Samples one mini-batch with `ctx`, accumulating into `acc`; fills
+  // `out` with the subgraph when non-null.
+  Status sample_batch(ThreadContext& ctx, std::span<const NodeId> batch,
+                      MiniBatchSample* out, EpochResult& acc);
+
+  Result<EpochResult> epoch_batch_parallel(std::span<const NodeId> targets,
+                                           const BatchSink* sink);
+  Result<EpochResult> epoch_intra_batch(std::span<const NodeId> targets);
+
+  SamplerConfig config_;
+  std::string graph_base_;
+  io::File edge_file_;
+  MemoryBudget internal_budget_;
+  MemoryBudget* budget_ = nullptr;
+  OffsetIndex index_;
+  NeighborCache hot_cache_;
+  bool block_mode_ = false;
+  std::vector<std::unique_ptr<ThreadContext>> contexts_;
+  std::mutex sink_mutex_;
+};
+
+}  // namespace rs::core

@@ -1,0 +1,72 @@
+// The Sampler interface every system in the evaluation implements:
+// RingSampler itself and all baselines (in-memory, GPU-simulated,
+// Marius-like, SmartSSD-simulated). The harness drives them uniformly and
+// reports the paper's per-epoch sampling time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "core/subgraph.h"
+#include "util/status.h"
+
+namespace rs::core {
+
+struct EpochResult {
+  // Sampling time for the epoch. For hardware-simulated baselines
+  // (GPU, SmartSSD) this is model-derived and `simulated_time` is set.
+  double seconds = 0.0;
+  bool simulated_time = false;
+
+  std::uint64_t batches = 0;
+  std::uint64_t sampled_neighbors = 0;  // edges emitted across all layers
+  std::uint64_t read_ops = 0;           // storage requests issued
+  std::uint64_t bytes_read = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t checksum = 0;           // order-independent edge digest
+  std::uint64_t peak_memory_bytes = 0;  // budget high-water mark
+
+  // Pipeline phase attribution, summed over threads (engines that use
+  // the ReadPipeline fill these; zero elsewhere).
+  double prepare_seconds = 0;  // offset sampling + request building
+  double drain_seconds = 0;    // blocked collecting completions
+
+  void merge(const EpochResult& other) {
+    seconds = std::max(seconds, other.seconds);
+    simulated_time = simulated_time || other.simulated_time;
+    batches += other.batches;
+    sampled_neighbors += other.sampled_neighbors;
+    read_ops += other.read_ops;
+    bytes_read += other.bytes_read;
+    cache_hits += other.cache_hits;
+    checksum += other.checksum;
+    peak_memory_bytes = std::max(peak_memory_bytes, other.peak_memory_bytes);
+    prepare_seconds += other.prepare_seconds;
+    drain_seconds += other.drain_seconds;
+  }
+};
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  virtual std::string name() const = 0;
+
+  // Samples one epoch over `targets` (split into mini-batches internally).
+  // A kOutOfMemory status is the harness's "OOM" marker.
+  virtual Result<EpochResult> run_epoch(std::span<const NodeId> targets) = 0;
+
+  // Optional: stream sampled mini-batches to `sink` as they complete
+  // (training pipelines, on-demand serving). Default: unsupported.
+  using BatchSink = std::function<void(MiniBatchSample&&)>;
+  virtual Result<EpochResult> run_epoch_collect(
+      std::span<const NodeId> targets, const BatchSink& sink) {
+    (void)targets;
+    (void)sink;
+    return Status::unsupported(name() + " does not stream mini-batches");
+  }
+};
+
+}  // namespace rs::core

@@ -1,0 +1,35 @@
+#include "core/subgraph.h"
+
+#include "util/rng.h"
+
+namespace rs::core {
+
+std::uint64_t edge_checksum_mix(std::uint64_t acc, NodeId target,
+                                NodeId neighbor) {
+  // SplitMix64 over the packed pair gives a well-distributed per-edge
+  // hash; addition makes the combine order-independent so multi-threaded
+  // runs with different batch interleavings agree.
+  std::uint64_t packed =
+      (static_cast<std::uint64_t>(target) << 32) | neighbor;
+  return acc + splitmix64(packed);
+}
+
+std::uint64_t MiniBatchSample::checksum() const {
+  std::uint64_t acc = 0;
+  for (const LayerSample& layer : layers) {
+    for (std::size_t i = 0; i < layer.targets.size(); ++i) {
+      for (const NodeId nbr : layer.neighbors_of(i)) {
+        acc = edge_checksum_mix(acc, layer.targets[i], nbr);
+      }
+    }
+  }
+  return acc;
+}
+
+std::uint64_t MiniBatchSample::total_sampled_neighbors() const {
+  std::uint64_t total = 0;
+  for (const LayerSample& layer : layers) total += layer.neighbors.size();
+  return total;
+}
+
+}  // namespace rs::core

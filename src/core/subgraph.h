@@ -1,0 +1,44 @@
+// Sampled-subgraph containers: what one mini-batch of GraphSAGE sampling
+// produces (the "blocks" a training framework feeds to aggregation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace rs::core {
+
+// One GNN layer's sample for a mini-batch. Target i's sampled neighbors
+// are neighbors[sample_begin[i] .. sample_begin[i+1]).
+struct LayerSample {
+  std::vector<NodeId> targets;
+  std::vector<std::uint32_t> sample_begin;  // targets.size() + 1 entries
+  std::vector<NodeId> neighbors;
+
+  std::span<const NodeId> neighbors_of(std::size_t i) const {
+    return {neighbors.data() + sample_begin[i],
+            static_cast<std::size_t>(sample_begin[i + 1] - sample_begin[i])};
+  }
+};
+
+// All layers for one mini-batch, outermost (seed targets) first.
+struct MiniBatchSample {
+  std::uint32_t batch_index = 0;
+  std::vector<LayerSample> layers;
+
+  // Order-independent digest of the sampled edges; used to prove
+  // different pipelines/backends produced identical samples, and to keep
+  // benchmark work from being optimized away.
+  std::uint64_t checksum() const;
+
+  std::uint64_t total_sampled_neighbors() const;
+};
+
+// Mixes one (target, neighbor) pair into a running order-independent
+// checksum (commutative combine of a strong per-pair hash).
+std::uint64_t edge_checksum_mix(std::uint64_t acc, NodeId target,
+                                NodeId neighbor);
+
+}  // namespace rs::core

@@ -1,0 +1,23 @@
+#include "core/target_index.h"
+
+#include <algorithm>
+
+namespace rs::core {
+
+Result<TargetIndex> TargetIndex::create(std::span<const NodeId> targets,
+                                        std::uint32_t batch_size,
+                                        MemoryBudget& budget) {
+  RS_CHECK_MSG(batch_size > 0, "batch_size must be positive");
+  TargetIndex index;
+  RS_ASSIGN_OR_RETURN(
+      index.data_,
+      TrackedBuffer<NodeId>::create(budget, std::max<std::size_t>(
+                                                targets.size(), 1),
+                                    "target index"));
+  std::copy(targets.begin(), targets.end(), index.data_.data());
+  index.size_ = targets.size();
+  index.batch_size_ = batch_size;
+  return index;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,51 @@
+// The target index (paper §3.1, Fig. 2): the epoch's target nodes, stored
+// contiguously and divided into mini-batches. Mini-batches are assigned
+// to threads round-robin ("transparently assigning mini-batches to
+// threads") — since batches are mutually independent, threads proceed
+// without any coordination.
+#pragma once
+
+#include <span>
+
+#include "util/common.h"
+#include "util/mem_budget.h"
+#include "util/status.h"
+
+namespace rs::core {
+
+class TargetIndex {
+ public:
+  TargetIndex() = default;
+
+  static Result<TargetIndex> create(std::span<const NodeId> targets,
+                                    std::uint32_t batch_size,
+                                    MemoryBudget& budget);
+
+  std::size_t num_targets() const { return size_; }
+  std::uint32_t batch_size() const { return batch_size_; }
+
+  std::size_t num_batches() const {
+    return size_ == 0 ? 0 : (size_ + batch_size_ - 1) / batch_size_;
+  }
+
+  // Targets of mini-batch b (the last batch may be short).
+  std::span<const NodeId> batch(std::size_t b) const {
+    const std::size_t begin = b * batch_size_;
+    const std::size_t end = std::min(begin + batch_size_, size_);
+    return {data_.data() + begin, end - begin};
+  }
+
+  // Batches owned by thread t of n: t, t+n, t+2n, ... Contiguous blocks
+  // would also work; round-robin keeps tail imbalance to one batch.
+  std::size_t batches_for_thread(std::size_t t, std::size_t n) const {
+    const std::size_t total = num_batches();
+    return t >= total ? 0 : (total - t + n - 1) / n;
+  }
+
+ private:
+  TrackedBuffer<NodeId> data_;
+  std::size_t size_ = 0;
+  std::uint32_t batch_size_ = 1;
+};
+
+}  // namespace rs::core

@@ -1,0 +1,103 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/table.h"
+
+namespace rs::eval {
+
+std::string RunOutcome::cell() const {
+  if (oom) return "OOM";
+  if (!failure.empty()) return "ERR";
+  std::string out = Table::fmt_seconds(mean.seconds);
+  if (mean.simulated_time) out += "*";
+  return out;
+}
+
+RunOutcome run_system(const std::string& system,
+                      const SamplerFactory& factory,
+                      std::span<const NodeId> targets,
+                      const RunOptions& options) {
+  RunOutcome outcome;
+  outcome.system = system;
+
+  auto sampler_result = factory();
+  if (!sampler_result.is_ok()) {
+    const Status status = sampler_result.status();
+    outcome.oom = status.code() == ErrorCode::kOutOfMemory;
+    outcome.failure = status.to_string();
+    RS_INFO("%s: %s", system.c_str(),
+            outcome.oom ? "OOM" : outcome.failure.c_str());
+    return outcome;
+  }
+  std::unique_ptr<core::Sampler> sampler = std::move(sampler_result).value();
+
+  for (std::size_t e = 0; e < options.epochs; ++e) {
+    if (options.before_epoch) options.before_epoch();
+    auto epoch_result = sampler->run_epoch(targets);
+    if (!epoch_result.is_ok()) {
+      const Status status = epoch_result.status();
+      outcome.oom = status.code() == ErrorCode::kOutOfMemory;
+      outcome.failure = status.to_string();
+      RS_INFO("%s epoch %zu: %s", system.c_str(), e,
+              outcome.failure.c_str());
+      return outcome;
+    }
+    outcome.epochs.push_back(std::move(epoch_result).value());
+  }
+
+  // Average seconds; sum-style counters are per-epoch means too.
+  core::EpochResult& mean = outcome.mean;
+  for (const core::EpochResult& epoch : outcome.epochs) {
+    mean.seconds += epoch.seconds;
+    mean.simulated_time |= epoch.simulated_time;
+    mean.batches += epoch.batches;
+    mean.sampled_neighbors += epoch.sampled_neighbors;
+    mean.read_ops += epoch.read_ops;
+    mean.bytes_read += epoch.bytes_read;
+    mean.cache_hits += epoch.cache_hits;
+    mean.checksum += epoch.checksum;
+    mean.prepare_seconds += epoch.prepare_seconds;
+    mean.drain_seconds += epoch.drain_seconds;
+    mean.peak_memory_bytes =
+        std::max(mean.peak_memory_bytes, epoch.peak_memory_bytes);
+  }
+  const auto n = static_cast<double>(outcome.epochs.size());
+  if (n > 0) {
+    mean.seconds /= n;
+    mean.prepare_seconds /= n;
+    mean.drain_seconds /= n;
+    mean.batches = static_cast<std::uint64_t>(mean.batches / n);
+    mean.sampled_neighbors =
+        static_cast<std::uint64_t>(mean.sampled_neighbors / n);
+    mean.read_ops = static_cast<std::uint64_t>(mean.read_ops / n);
+    mean.bytes_read = static_cast<std::uint64_t>(mean.bytes_read / n);
+    mean.cache_hits = static_cast<std::uint64_t>(mean.cache_hits / n);
+  }
+  RS_INFO("%s: %.3fs/epoch%s (%llu samples, %llu reads)", system.c_str(),
+          mean.seconds, mean.simulated_time ? " [simulated]" : "",
+          static_cast<unsigned long long>(mean.sampled_neighbors),
+          static_cast<unsigned long long>(mean.read_ops));
+  return outcome;
+}
+
+std::vector<NodeId> pick_targets(NodeId num_nodes, std::size_t count,
+                                 std::uint64_t seed) {
+  RS_CHECK(num_nodes > 0);
+  count = std::min<std::size_t>(count, num_nodes);
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> picked;
+  picked.reserve(count);
+  sample_distinct_range(rng, 0, num_nodes, count, picked);
+  std::vector<NodeId> targets;
+  targets.reserve(count);
+  for (const std::uint64_t v : picked) {
+    targets.push_back(static_cast<NodeId>(v));
+  }
+  // Shuffle so mini-batches are not degree-correlated with pick order.
+  shuffle(rng, targets);
+  return targets;
+}
+
+}  // namespace rs::eval

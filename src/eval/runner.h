@@ -1,0 +1,53 @@
+// Experiment runner: drives any Sampler through the paper's measurement
+// protocol — N epochs over a fixed target set, averaged — and converts
+// kOutOfMemory failures into the "OOM" markers the figures show.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sampler_iface.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rs::eval {
+
+// Outcome of running one system on one workload.
+struct RunOutcome {
+  std::string system;
+  bool oom = false;
+  std::string failure;            // OOM or error detail
+  core::EpochResult mean;         // averaged over epochs (empty if oom)
+  std::vector<core::EpochResult> epochs;
+
+  bool ok() const { return failure.empty(); }
+  // Figure cell: mean seconds, or the paper's OOM marker.
+  std::string cell() const;
+};
+
+using SamplerFactory =
+    std::function<Result<std::unique_ptr<core::Sampler>>()>;
+
+struct RunOptions {
+  std::size_t epochs = 5;  // paper: average across five epochs
+  // Invoked before each epoch (e.g. drop the page cache for cold runs).
+  std::function<void()> before_epoch;
+};
+
+// Builds the sampler via `factory` (OOM may surface here — preprocessing
+// failures count), then runs the epochs. Non-OOM errors propagate into
+// `failure` too, marked distinctly.
+RunOutcome run_system(const std::string& system, const SamplerFactory& factory,
+                      std::span<const NodeId> targets,
+                      const RunOptions& options);
+
+// Selects `count` distinct target nodes uniformly from [0, num_nodes),
+// deterministically in `seed`. The paper's epochs sample a training
+// split; we model it as a random 1% of nodes by default (benches pass
+// the fraction explicitly).
+std::vector<NodeId> pick_targets(NodeId num_nodes, std::size_t count,
+                                 std::uint64_t seed);
+
+}  // namespace rs::eval

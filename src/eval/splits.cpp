@@ -1,0 +1,41 @@
+#include "eval/splits.h"
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace rs::eval {
+
+Result<NodeSplits> make_splits(NodeId num_nodes, double train_frac,
+                               double validation_frac, double test_frac,
+                               std::uint64_t seed) {
+  if (train_frac < 0 || validation_frac < 0 || test_frac < 0 ||
+      train_frac + validation_frac + test_frac > 1.0 + 1e-9) {
+    return Status::invalid("split fractions must be >= 0 and sum to <= 1");
+  }
+  std::vector<NodeId> permutation(num_nodes);
+  std::iota(permutation.begin(), permutation.end(), NodeId{0});
+  Xoshiro256 rng(seed);
+  shuffle(rng, permutation);
+
+  const auto n = static_cast<double>(num_nodes);
+  const auto train_count = static_cast<std::size_t>(n * train_frac);
+  const auto validation_count =
+      static_cast<std::size_t>(n * validation_frac);
+  const auto test_count = static_cast<std::size_t>(n * test_frac);
+
+  NodeSplits splits;
+  auto cursor = permutation.begin();
+  splits.train.assign(cursor, cursor + static_cast<std::ptrdiff_t>(
+                                           train_count));
+  cursor += static_cast<std::ptrdiff_t>(train_count);
+  splits.validation.assign(cursor,
+                           cursor + static_cast<std::ptrdiff_t>(
+                                        validation_count));
+  cursor += static_cast<std::ptrdiff_t>(validation_count);
+  splits.test.assign(cursor,
+                     cursor + static_cast<std::ptrdiff_t>(test_count));
+  return splits;
+}
+
+}  // namespace rs::eval

@@ -1,0 +1,27 @@
+// Train/validation/test node splits: the standard GNN-training
+// preliminary. Deterministic in the seed, disjoint, and covering the
+// requested fractions of [0, num_nodes).
+#pragma once
+
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace rs::eval {
+
+struct NodeSplits {
+  std::vector<NodeId> train;
+  std::vector<NodeId> validation;
+  std::vector<NodeId> test;
+};
+
+// Partitions a random permutation of the node ids: the first
+// train_frac go to train, the next validation_frac to validation, the
+// next test_frac to test (fractions must sum to <= 1; the remainder is
+// unused, like unlabeled nodes in ogbn-papers).
+Result<NodeSplits> make_splits(NodeId num_nodes, double train_frac,
+                               double validation_frac, double test_frac,
+                               std::uint64_t seed);
+
+}  // namespace rs::eval

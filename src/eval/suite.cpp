@@ -1,0 +1,142 @@
+#include "eval/suite.h"
+
+#include "baselines/gpu_sim.h"
+#include "baselines/inmem_sampler.h"
+#include "baselines/marius_like.h"
+#include "baselines/smartssd_sim.h"
+#include "core/ring_sampler.h"
+
+namespace rs::eval {
+namespace {
+
+// Couples a sampler to the MemoryBudget it is charged against, so the
+// budget outlives the system for exactly as long as it is in use.
+class BudgetedSampler final : public core::Sampler {
+ public:
+  BudgetedSampler(std::unique_ptr<MemoryBudget> budget,
+                  std::unique_ptr<core::Sampler> inner)
+      : budget_(std::move(budget)), inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+  Result<core::EpochResult> run_epoch(
+      std::span<const NodeId> targets) override {
+    return inner_->run_epoch(targets);
+  }
+  Result<core::EpochResult> run_epoch_collect(
+      std::span<const NodeId> targets, const BatchSink& sink) override {
+    return inner_->run_epoch_collect(targets, sink);
+  }
+
+ private:
+  std::unique_ptr<MemoryBudget> budget_;  // destroyed after inner_
+  std::unique_ptr<core::Sampler> inner_;
+};
+
+Result<std::unique_ptr<core::Sampler>> wrap(
+    std::unique_ptr<MemoryBudget> budget,
+    Result<std::unique_ptr<core::Sampler>> inner) {
+  if (!inner.is_ok()) return inner.status();
+  if (budget == nullptr) return inner;
+  return std::unique_ptr<core::Sampler>(std::make_unique<BudgetedSampler>(
+      std::move(budget), std::move(inner).value()));
+}
+
+template <typename T>
+Result<std::unique_ptr<core::Sampler>> upcast(
+    Result<std::unique_ptr<T>> result) {
+  if (!result.is_ok()) return result.status();
+  return std::unique_ptr<core::Sampler>(std::move(result).value());
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_system_names() {
+  static const std::vector<std::string> names = {
+      "RingSampler", "DGL-CPU",      "DGL-UVA",  "DGL-GPU",
+      "gSampler-UVA", "gSampler-GPU", "SmartSSD", "Marius",
+  };
+  return names;
+}
+
+const std::vector<std::string>& out_of_core_system_names() {
+  static const std::vector<std::string> names = {"RingSampler", "SmartSSD",
+                                                 "Marius"};
+  return names;
+}
+
+Result<std::unique_ptr<core::Sampler>> make_system(
+    const std::string& name, const SystemParams& params) {
+  std::unique_ptr<MemoryBudget> budget;
+  MemoryBudget* budget_ptr = nullptr;
+  if (params.budget_bytes > 0) {
+    budget = std::make_unique<MemoryBudget>(params.budget_bytes);
+    budget_ptr = budget.get();
+  }
+
+  if (name == "RingSampler") {
+    core::SamplerConfig config;
+    config.fanouts = params.fanouts;
+    config.batch_size = params.batch_size;
+    config.num_threads = params.threads;
+    config.queue_depth = params.queue_depth;
+    config.seed = params.seed;
+    // Under a budget, bypass the page cache and let the block cache use
+    // what the budget allows.
+    config.direct_io = params.budget_bytes > 0;
+    return wrap(std::move(budget),
+                upcast(core::RingSampler::open(params.graph_base, config,
+                                               budget_ptr)));
+  }
+  if (name == "DGL-CPU") {
+    baselines::InMemConfig config;
+    config.fanouts = params.fanouts;
+    config.batch_size = params.batch_size;
+    config.num_threads = params.threads;
+    config.seed = params.seed;
+    // Model DGL's real CPU sampling cost (~2M samples/s/core through its
+    // CSR + tensor path; see InMemConfig doc). [cal]
+    config.per_sample_overhead_seconds = 400e-9;
+    return wrap(std::move(budget),
+                upcast(baselines::InMemSampler::open(
+                    params.graph_base, config, budget_ptr, params.paper)));
+  }
+  if (name == "DGL-GPU" || name == "DGL-UVA" || name == "gSampler-GPU" ||
+      name == "gSampler-UVA") {
+    baselines::GpuSimConfig config;
+    config.fanouts = params.fanouts;
+    config.batch_size = params.batch_size;
+    config.seed = params.seed;
+    if (name == "DGL-GPU") config.variant = baselines::GpuVariant::kDglGpu;
+    if (name == "DGL-UVA") config.variant = baselines::GpuVariant::kDglUva;
+    if (name == "gSampler-GPU") {
+      config.variant = baselines::GpuVariant::kGSamplerGpu;
+    }
+    if (name == "gSampler-UVA") {
+      config.variant = baselines::GpuVariant::kGSamplerUva;
+    }
+    return wrap(std::move(budget),
+                upcast(baselines::GpuSimSampler::open(
+                    params.graph_base, config, params.paper)));
+  }
+  if (name == "SmartSSD") {
+    baselines::SmartSsdConfig config;
+    config.fanouts = params.fanouts;
+    config.batch_size = params.batch_size;
+    config.seed = params.seed;
+    return wrap(std::move(budget),
+                upcast(baselines::SmartSsdSimSampler::open(
+                    params.graph_base, config, budget_ptr)));
+  }
+  if (name == "Marius") {
+    baselines::MariusConfig config;
+    config.fanouts = params.fanouts;
+    config.batch_size = params.batch_size;
+    config.seed = params.seed;
+    return wrap(std::move(budget),
+                upcast(baselines::MariusLikeSampler::open(
+                    params.graph_base, config, budget_ptr, params.paper)));
+  }
+  return Status::invalid("unknown system '" + name + "'");
+}
+
+}  // namespace rs::eval

@@ -1,0 +1,42 @@
+// System suite: uniform construction of every evaluated sampler —
+// RingSampler plus the seven baselines of Fig. 4 — from one parameter
+// set, with an optional per-system memory budget (the cgroup stand-in).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cost_models.h"
+#include "core/sampler_iface.h"
+#include "util/mem_budget.h"
+
+namespace rs::eval {
+
+struct SystemParams {
+  std::string graph_base;
+  baselines::PaperGraphInfo paper;  // zero => skip paper-scale OOM checks
+
+  std::vector<std::uint32_t> fanouts = {20, 15, 10};
+  std::uint32_t batch_size = 1024;
+  std::uint32_t threads = 8;
+  std::uint32_t queue_depth = 512;
+  std::uint64_t seed = 7;
+
+  // 0 = unlimited. When limited, disk-based systems run with O_DIRECT so
+  // the OS page cache cannot hide the constraint.
+  std::uint64_t budget_bytes = 0;
+};
+
+// Display names, in the paper's Fig. 4 legend order.
+const std::vector<std::string>& all_system_names();
+
+// Out-of-core subset used by Fig. 5 / Fig. 7.
+const std::vector<std::string>& out_of_core_system_names();
+
+// Builds the named system. The returned sampler owns its budget (if
+// any); construction failures with kOutOfMemory are the "OOM" markers.
+Result<std::unique_ptr<core::Sampler>> make_system(
+    const std::string& name, const SystemParams& params);
+
+}  // namespace rs::eval

@@ -1,0 +1,164 @@
+#include "feat/feature_store.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/align.h"
+#include "util/rng.h"
+
+namespace rs::feat {
+namespace {
+
+struct HeaderOnDisk {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t num_nodes;
+  std::uint32_t dim;
+};
+
+}  // namespace
+
+std::string features_path(const std::string& base) { return base + ".feat"; }
+
+Status write_features(const std::string& base, const float* data,
+                      NodeId num_nodes, std::uint32_t dim) {
+  if (dim == 0) return Status::invalid("feature dim must be > 0");
+  RS_ASSIGN_OR_RETURN(io::File file,
+                      io::File::open(features_path(base),
+                                     io::OpenMode::kWriteTrunc));
+  HeaderOnDisk header{kFeatureMagic, kFeatureVersion, num_nodes, dim};
+  std::vector<unsigned char> header_block(kHeaderBytes, 0);
+  std::memcpy(header_block.data(), &header, sizeof(header));
+  RS_RETURN_IF_ERROR(
+      file.pwrite_exact(header_block.data(), header_block.size(), 0));
+
+  const std::uint64_t data_bytes =
+      static_cast<std::uint64_t>(num_nodes) * dim * sizeof(float);
+  // Stream in chunks.
+  constexpr std::uint64_t kChunk = 16ULL << 20;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  std::uint64_t written = 0;
+  while (written < data_bytes) {
+    const std::uint64_t n = std::min(kChunk, data_bytes - written);
+    RS_RETURN_IF_ERROR(
+        file.pwrite_exact(bytes + written, n, kHeaderBytes + written));
+    written += n;
+  }
+  const std::uint64_t padded = align_up(kHeaderBytes + data_bytes, 4096);
+  if (padded > kHeaderBytes + data_bytes) {
+    std::vector<unsigned char> zeros(
+        static_cast<std::size_t>(padded - kHeaderBytes - data_bytes), 0);
+    RS_RETURN_IF_ERROR(file.pwrite_exact(zeros.data(), zeros.size(),
+                                         kHeaderBytes + data_bytes));
+  }
+  return Status::ok();
+}
+
+std::vector<float> synthesize_features(NodeId num_nodes, std::uint32_t dim,
+                                       std::uint64_t seed) {
+  std::vector<float> features(static_cast<std::size_t>(num_nodes) * dim);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    std::uint64_t state = seed ^ (static_cast<std::uint64_t>(v) << 20);
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      features[static_cast<std::size_t>(v) * dim + d] =
+          static_cast<float>(splitmix64(state) >> 40) / (1 << 24);
+    }
+  }
+  return features;
+}
+
+Result<FeatureStore> FeatureStore::open(const std::string& base,
+                                        io::BackendKind backend_kind,
+                                        unsigned queue_depth) {
+  FeatureStore store;
+  RS_ASSIGN_OR_RETURN(
+      store.file_,
+      io::File::open(features_path(base), io::OpenMode::kRead));
+  HeaderOnDisk header{};
+  RS_RETURN_IF_ERROR(store.file_.pread_exact(&header, sizeof(header), 0));
+  if (header.magic != kFeatureMagic) {
+    return Status::corrupt(base + ": bad feature magic");
+  }
+  if (header.version != kFeatureVersion) {
+    return Status::corrupt(base + ": unsupported feature version");
+  }
+  store.num_nodes_ = static_cast<NodeId>(header.num_nodes);
+  store.dim_ = header.dim;
+
+  io::BackendConfig config;
+  config.kind = backend_kind;
+  config.queue_depth = queue_depth;
+  RS_ASSIGN_OR_RETURN(store.backend_,
+                      io::make_backend(config, store.file_.fd()));
+  return store;
+}
+
+Status FeatureStore::gather(std::span<const NodeId> nodes, float* out) {
+  if (nodes.empty()) return Status::ok();
+  const std::uint64_t row = row_bytes();
+
+  // Dedup: fetch each distinct row once, then fan out to duplicates.
+  // user_data carries the index of the *first* occurrence.
+  std::unordered_map<NodeId, std::size_t> first_occurrence;
+  first_occurrence.reserve(nodes.size());
+  std::vector<io::ReadRequest> requests;
+  requests.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId v = nodes[i];
+    if (v >= num_nodes_) {
+      return Status::invalid("gather: node " + std::to_string(v) +
+                             " out of range");
+    }
+    if (first_occurrence.emplace(v, i).second) {
+      io::ReadRequest req;
+      req.offset = kHeaderBytes + static_cast<std::uint64_t>(v) * row;
+      req.len = static_cast<std::uint32_t>(row);
+      req.buf = out + i * dim_;
+      req.user_data = i;
+      requests.push_back(req);
+    }
+  }
+
+  // Pump the backend: keep the queue full, drain completions.
+  std::size_t next = 0;
+  std::size_t completed = 0;
+  std::array<io::Completion, 64> completions;
+  while (completed < requests.size()) {
+    const unsigned room = backend_->capacity() - backend_->in_flight();
+    const std::size_t n =
+        std::min<std::size_t>(room, requests.size() - next);
+    if (n > 0) {
+      RS_RETURN_IF_ERROR(backend_->submit(
+          std::span<const io::ReadRequest>(requests.data() + next, n)));
+      next += n;
+    }
+    RS_ASSIGN_OR_RETURN(unsigned reaped, backend_->wait(completions));
+    for (unsigned i = 0; i < reaped; ++i) {
+      if (completions[i].result < 0 ||
+          static_cast<std::uint64_t>(completions[i].result) != row) {
+        return Status::io_error(
+            "feature row read failed or short (res=" +
+            std::to_string(completions[i].result) + ")");
+      }
+    }
+    completed += reaped;
+  }
+
+  // Fan out duplicates from their first occurrence.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::size_t first = first_occurrence[nodes[i]];
+    if (first != i) {
+      std::memcpy(out + i * dim_, out + first * dim_, row);
+    }
+  }
+  return Status::ok();
+}
+
+Status FeatureStore::fetch_row(NodeId node, float* out) {
+  const NodeId nodes[] = {node};
+  return gather(nodes, out);
+}
+
+}  // namespace rs::feat

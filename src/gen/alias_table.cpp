@@ -1,0 +1,53 @@
+#include "gen/alias_table.h"
+
+#include <numeric>
+
+namespace rs::gen {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  RS_CHECK_MSG(n > 0, "AliasTable needs at least one weight");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  RS_CHECK_MSG(total > 0.0, "AliasTable needs positive total weight");
+
+  prob_.resize(n);
+  alias_.resize(n);
+
+  // Scaled probabilities; columns < 1 are "small", >= 1 "large".
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RS_CHECK_MSG(weights[i] >= 0.0, "negative weight");
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Residuals are exactly 1 up to FP error.
+  for (const std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+}  // namespace rs::gen

@@ -1,0 +1,33 @@
+// Walker alias method: O(1) sampling from a fixed discrete distribution,
+// O(n) setup. Used by the Chung-Lu generator, which draws hundreds of
+// millions of endpoint indexes proportional to node weights.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace rs::gen {
+
+class AliasTable {
+ public:
+  // Builds from non-negative weights (at least one must be positive).
+  explicit AliasTable(std::span<const double> weights);
+
+  std::size_t size() const { return prob_.size(); }
+
+  // Draws an index with probability weight[i] / sum(weights).
+  std::size_t sample(Xoshiro256& rng) const {
+    const std::size_t column = rng.uniform(prob_.size());
+    return rng.uniform_double() < prob_[column] ? column : alias_[column];
+  }
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per column
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace rs::gen

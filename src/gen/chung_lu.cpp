@@ -1,0 +1,37 @@
+#include "gen/chung_lu.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gen/alias_table.h"
+#include "util/rng.h"
+
+namespace rs::gen {
+
+graph::EdgeList generate_chung_lu(const ChungLuConfig& config) {
+  RS_CHECK(config.num_nodes > 0);
+  RS_CHECK_MSG(config.alpha > 1.0, "power-law exponent must exceed 1");
+
+  Xoshiro256 rng(config.seed);
+
+  // Zipf-like weights over a random rank assignment (so heavy nodes are
+  // spread across the id space like in relabeled real datasets).
+  const double exponent = -1.0 / (config.alpha - 1.0);
+  std::vector<double> weights(config.num_nodes);
+  for (NodeId v = 0; v < config.num_nodes; ++v) {
+    weights[v] = std::pow(static_cast<double>(v) + 1.0, exponent);
+  }
+  shuffle(rng, weights);
+
+  const AliasTable table(weights);
+  graph::EdgeList edges(config.num_nodes);
+  edges.reserve(config.num_edges);
+  for (std::uint64_t e = 0; e < config.num_edges; ++e) {
+    const auto src = static_cast<NodeId>(table.sample(rng));
+    const auto dst = static_cast<NodeId>(table.sample(rng));
+    edges.add_edge(src, dst);
+  }
+  return edges;
+}
+
+}  // namespace rs::gen

@@ -1,0 +1,27 @@
+// Chung-Lu generator: random graph with an expected power-law degree
+// sequence. Stand-in for the paper's social/web graphs (Friendster,
+// Yahoo), whose defining property for sampling cost is heavy-tailed
+// degree skew.
+//
+// Node v gets weight w_v = (v + v0)^(-1/(alpha-1)) (Zipf-like ranks); both
+// edge endpoints are drawn from the weight distribution via an alias
+// table, giving expected degree proportional to w_v and a tail exponent
+// of ~alpha.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace rs::gen {
+
+struct ChungLuConfig {
+  NodeId num_nodes = 1 << 20;
+  std::uint64_t num_edges = 1 << 22;
+  double alpha = 2.2;  // power-law exponent, > 1
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList generate_chung_lu(const ChungLuConfig& config);
+
+}  // namespace rs::gen

@@ -1,0 +1,170 @@
+#include "gen/dataset.h"
+
+#include <cmath>
+
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "gen/kronecker.h"
+#include "graph/binary_format.h"
+#include "util/fs.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace rs::gen {
+
+std::vector<DatasetProfile> standard_profiles() {
+  std::vector<DatasetProfile> profiles;
+
+  // ogbn-papers: citation graph, 111M nodes / 1.6B edges (avg deg ~14.4).
+  // Scaled ~1/100: R-MAT-skewed Kronecker, 2^20 nodes, 16M edges.
+  {
+    DatasetProfile p;
+    p.name = "ogbn-papers-s";
+    p.paper_name = "ogbn-papers";
+    p.kind = GeneratorKind::kKronecker;
+    p.scale = 20;
+    p.a = 0.45; p.b = 0.22; p.c = 0.22;  // milder skew than Graph500
+    p.num_edges = 16'000'000;
+    p.seed = 101;
+    p.paper_nodes = 111'000'000;
+    p.paper_edges = 1'600'000'000;
+    profiles.push_back(p);
+  }
+  // Friendster: social network, 65M nodes / 3.6B edges (avg deg ~55).
+  // Scaled ~1/100: Chung-Lu power law, 650K nodes, 36M edges.
+  {
+    DatasetProfile p;
+    p.name = "friendster-s";
+    p.paper_name = "Friendster";
+    p.kind = GeneratorKind::kChungLu;
+    p.num_nodes = 650'000;
+    p.alpha = 2.5;
+    p.num_edges = 36'000'000;
+    p.seed = 102;
+    p.paper_nodes = 65'000'000;
+    p.paper_edges = 3'600'000'000;
+    profiles.push_back(p);
+  }
+  // Yahoo: web graph, 1.4B nodes / 6.6B edges (avg deg ~4.7, very heavy
+  // tail). Scaled ~1/1000: Chung-Lu with steep skew.
+  {
+    DatasetProfile p;
+    p.name = "yahoo-s";
+    p.paper_name = "Yahoo";
+    p.kind = GeneratorKind::kChungLu;
+    p.num_nodes = 1'400'000;
+    p.alpha = 2.05;
+    p.num_edges = 6'600'000;
+    p.seed = 103;
+    p.paper_nodes = 1'400'000'000;
+    p.paper_edges = 6'600'000'000;
+    profiles.push_back(p);
+  }
+  // Synthetic: Graph500 Kronecker, 134M nodes / 8.2B edges (avg deg ~61).
+  // Scaled ~1/100: Graph500 parameters at scale 20, 64M edges.
+  {
+    DatasetProfile p;
+    p.name = "synthetic-s";
+    p.paper_name = "Synthetic";
+    p.kind = GeneratorKind::kKronecker;
+    p.scale = 20;
+    p.a = 0.57; p.b = 0.19; p.c = 0.19;  // Graph500 defaults
+    p.num_edges = 64'000'000;
+    p.seed = 104;
+    p.paper_nodes = 134'000'000;
+    p.paper_edges = 8'200'000'000;
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+Result<DatasetProfile> profile_by_name(const std::string& name) {
+  for (DatasetProfile& p : standard_profiles()) {
+    if (p.name == name || p.paper_name == name) return p;
+  }
+  return Status::not_found("no dataset profile named '" + name + "'");
+}
+
+DatasetProfile scaled_profile(DatasetProfile profile, double factor) {
+  RS_CHECK_MSG(factor > 0.0 && factor <= 1.0,
+               "scale factor must be in (0, 1]");
+  if (factor == 1.0) return profile;
+  profile.num_edges = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(profile.num_edges) * factor));
+  if (profile.kind == GeneratorKind::kKronecker) {
+    const auto drop =
+        static_cast<unsigned>(std::lround(std::log2(1.0 / factor)));
+    profile.scale = profile.scale > drop + 4 ? profile.scale - drop : 4;
+  } else {
+    profile.num_nodes = std::max<NodeId>(
+        16, static_cast<NodeId>(
+                static_cast<double>(profile.num_nodes) * factor));
+  }
+  return profile;
+}
+
+graph::EdgeList generate(const DatasetProfile& profile) {
+  switch (profile.kind) {
+    case GeneratorKind::kKronecker: {
+      KroneckerConfig config;
+      config.scale = profile.scale;
+      config.num_edges = profile.num_edges;
+      config.a = profile.a;
+      config.b = profile.b;
+      config.c = profile.c;
+      config.seed = profile.seed;
+      return generate_kronecker(config);
+    }
+    case GeneratorKind::kChungLu: {
+      ChungLuConfig config;
+      config.num_nodes = profile.num_nodes;
+      config.num_edges = profile.num_edges;
+      config.alpha = profile.alpha;
+      config.seed = profile.seed;
+      return generate_chung_lu(config);
+    }
+    case GeneratorKind::kErdosRenyi: {
+      ErdosRenyiConfig config;
+      config.num_nodes = profile.num_nodes;
+      config.num_edges = profile.num_edges;
+      config.seed = profile.seed;
+      return generate_erdos_renyi(config);
+    }
+  }
+  RS_CHECK_MSG(false, "unknown generator kind");
+  return graph::EdgeList{};
+}
+
+Result<std::string> materialize_dataset(const DatasetProfile& profile) {
+  return materialize_dataset(profile, data_dir());
+}
+
+Result<std::string> materialize_dataset(const DatasetProfile& profile,
+                                        const std::string& dir) {
+  RS_RETURN_IF_ERROR(make_dirs(dir));
+  const std::string base = dir + "/" + profile.name + "-e" +
+                           std::to_string(profile.num_edges) + "-s" +
+                           std::to_string(profile.seed);
+  if (graph::graph_files_exist(base)) {
+    // Sanity-check the cached copy before trusting it.
+    auto meta = graph::read_meta(base);
+    if (meta.is_ok() && meta.value().num_edges == profile.num_edges) {
+      RS_DEBUG("dataset cache hit: %s", base.c_str());
+      return base;
+    }
+    RS_WARN("dataset cache at %s is stale; regenerating", base.c_str());
+  }
+  WallTimer timer;
+  RS_INFO("generating dataset %s (%llu edges)...", profile.name.c_str(),
+          static_cast<unsigned long long>(profile.num_edges));
+  const graph::EdgeList edges = generate(profile);
+  const graph::Csr csr = graph::Csr::from_edge_list(edges);
+  RS_RETURN_IF_ERROR(graph::write_graph(csr, base));
+  RS_INFO("dataset %s ready in %.1fs (%u nodes, %llu edges)",
+          profile.name.c_str(), timer.elapsed_seconds(), csr.num_nodes(),
+          static_cast<unsigned long long>(csr.num_edges()));
+  return base;
+}
+
+}  // namespace rs::gen

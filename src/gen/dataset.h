@@ -1,0 +1,71 @@
+// Dataset registry: named generator profiles standing in for the paper's
+// four evaluation graphs (Table 1), plus materialization with an on-disk
+// cache so benchmark binaries share generated data.
+//
+// Substitution note (DESIGN.md §3): the real datasets are 1.6-8.2 B edges
+// and not obtainable offline. Profiles reproduce each graph's structural
+// character — degree skew and edges-per-node ratio — at ~1/100 scale,
+// which is what determines sampling cost. `scale_factor` shrinks profiles
+// further for quick runs; paper-scale reference counts ride along so
+// Table 1 can print "paper vs ours" side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace rs::gen {
+
+enum class GeneratorKind { kKronecker, kChungLu, kErdosRenyi };
+
+struct DatasetProfile {
+  std::string name;        // e.g. "ogbn-papers-s"; cache key component
+  std::string paper_name;  // e.g. "ogbn-papers"
+  GeneratorKind kind = GeneratorKind::kKronecker;
+
+  // Kronecker parameters (kind == kKronecker): 2^scale nodes.
+  unsigned scale = 20;
+  double a = 0.57, b = 0.19, c = 0.19;
+
+  // Chung-Lu / Erdős-Rényi parameters.
+  NodeId num_nodes = 0;
+  double alpha = 2.2;
+
+  std::uint64_t num_edges = 0;
+  std::uint64_t seed = 42;
+
+  // Reference numbers from the paper's Table 1.
+  std::uint64_t paper_nodes = 0;
+  std::uint64_t paper_edges = 0;
+
+  // Nodes this profile will actually produce.
+  NodeId effective_nodes() const {
+    return kind == GeneratorKind::kKronecker ? (NodeId{1} << scale)
+                                             : num_nodes;
+  }
+};
+
+// The four evaluation graphs: ogbn-papers-s, friendster-s, yahoo-s,
+// synthetic-s (in the paper's Table 1 order).
+std::vector<DatasetProfile> standard_profiles();
+
+Result<DatasetProfile> profile_by_name(const std::string& name);
+
+// Shrinks a profile by `factor` in (0, 1]: edges scale linearly, node
+// counts proportionally (Kronecker scale drops by log2(1/factor)).
+DatasetProfile scaled_profile(DatasetProfile profile, double factor);
+
+// Runs the profile's generator.
+graph::EdgeList generate(const DatasetProfile& profile);
+
+// Generates + writes the binary graph files unless they are already
+// cached under `dir` (default: util data_dir()). Returns the base path
+// usable with graph::load_offsets / edges_path.
+Result<std::string> materialize_dataset(const DatasetProfile& profile);
+Result<std::string> materialize_dataset(const DatasetProfile& profile,
+                                        const std::string& dir);
+
+}  // namespace rs::gen

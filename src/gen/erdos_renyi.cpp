@@ -1,0 +1,25 @@
+#include "gen/erdos_renyi.h"
+
+#include "util/rng.h"
+
+namespace rs::gen {
+
+graph::EdgeList generate_erdos_renyi(const ErdosRenyiConfig& config) {
+  RS_CHECK(config.num_nodes > 0);
+  Xoshiro256 rng(config.seed);
+  graph::EdgeList edges(config.num_nodes);
+  edges.reserve(config.num_edges);
+  for (std::uint64_t e = 0; e < config.num_edges; ++e) {
+    const auto src = static_cast<NodeId>(rng.uniform(config.num_nodes));
+    auto dst = static_cast<NodeId>(rng.uniform(config.num_nodes));
+    if (!config.allow_self_loops) {
+      while (dst == src && config.num_nodes > 1) {
+        dst = static_cast<NodeId>(rng.uniform(config.num_nodes));
+      }
+    }
+    edges.add_edge(src, dst);
+  }
+  return edges;
+}
+
+}  // namespace rs::gen

@@ -1,0 +1,20 @@
+// Erdős–Rényi G(n, m): m uniformly random edges. The no-skew control case
+// for generator and sampler tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace rs::gen {
+
+struct ErdosRenyiConfig {
+  NodeId num_nodes = 1 << 16;
+  std::uint64_t num_edges = 1 << 18;
+  bool allow_self_loops = false;
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList generate_erdos_renyi(const ErdosRenyiConfig& config);
+
+}  // namespace rs::gen

@@ -1,0 +1,44 @@
+#include "gen/kronecker.h"
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rs::gen {
+
+graph::EdgeList generate_kronecker(const KroneckerConfig& config) {
+  RS_CHECK(config.scale > 0 && config.scale < 32);
+  const double d = 1.0 - config.a - config.b - config.c;
+  RS_CHECK_MSG(d >= 0.0, "Kronecker quadrant probabilities exceed 1");
+
+  const NodeId num_nodes = NodeId{1} << config.scale;
+  Xoshiro256 rng(config.seed);
+
+  std::vector<NodeId> permutation(num_nodes);
+  std::iota(permutation.begin(), permutation.end(), NodeId{0});
+  if (config.permute_labels) shuffle(rng, permutation);
+
+  graph::EdgeList edges(num_nodes);
+  edges.reserve(config.num_edges);
+
+  const double ab = config.a + config.b;
+  const double a_norm = config.a / ab;            // P(left | top)
+  const double c_norm = config.c / (config.c + d);  // P(left | bottom)
+
+  for (std::uint64_t e = 0; e < config.num_edges; ++e) {
+    NodeId src = 0;
+    NodeId dst = 0;
+    for (unsigned level = 0; level < config.scale; ++level) {
+      const bool top = rng.uniform_double() < ab;
+      const bool left =
+          rng.uniform_double() < (top ? a_norm : c_norm);
+      src = (src << 1) | (top ? 0U : 1U);
+      dst = (dst << 1) | (left ? 0U : 1U);
+    }
+    edges.add_edge(permutation[src], permutation[dst]);
+  }
+  return edges;
+}
+
+}  // namespace rs::gen

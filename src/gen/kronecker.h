@@ -1,0 +1,30 @@
+// Graph500-style stochastic Kronecker (R-MAT) generator — the paper's
+// "Synthetic" dataset comes from the Graph500 Kronecker generator [26].
+//
+// Each edge is placed by descending `scale` levels of a 2x2 probability
+// matrix [[a, b], [c, d]]; Graph500 uses (0.57, 0.19, 0.19, 0.05). Vertex
+// labels are optionally permuted so that high-degree vertices are not
+// clustered at low ids (Graph500 does this too); the permutation is
+// deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace rs::gen {
+
+struct KroneckerConfig {
+  unsigned scale = 16;        // 2^scale vertices
+  std::uint64_t num_edges = 1 << 20;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c
+  bool permute_labels = true;
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList generate_kronecker(const KroneckerConfig& config);
+
+}  // namespace rs::gen

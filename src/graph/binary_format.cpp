@@ -1,0 +1,126 @@
+#include "graph/binary_format.h"
+
+#include <cstring>
+
+#include "io/file.h"
+#include "util/align.h"
+#include "util/fs.h"
+#include "util/log.h"
+
+namespace rs::graph {
+namespace {
+
+struct MetaOnDisk {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t num_nodes;
+  std::uint64_t num_edges;
+};
+
+// Stream a span to a file in bounded chunks (avoids one giant write and
+// keeps peak extra memory at zero — the data is already in the CSR).
+template <typename T>
+Status write_span(const io::File& file, std::span<const T> data,
+                  std::uint64_t offset) {
+  constexpr std::size_t kChunkBytes = 16U << 20;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t remaining = data.size() * sizeof(T);
+  std::uint64_t pos = offset;
+  while (remaining > 0) {
+    const std::size_t n = std::min(remaining, kChunkBytes);
+    RS_RETURN_IF_ERROR(file.pwrite_exact(bytes, n, pos));
+    bytes += n;
+    remaining -= n;
+    pos += n;
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+std::string meta_path(const std::string& base) { return base + ".meta"; }
+std::string offsets_path(const std::string& base) { return base + ".offsets"; }
+std::string edges_path(const std::string& base) { return base + ".edges"; }
+
+bool graph_files_exist(const std::string& base) {
+  return file_exists(meta_path(base)) && file_exists(offsets_path(base)) &&
+         file_exists(edges_path(base));
+}
+
+Status write_graph(const Csr& csr, const std::string& base) {
+  // Meta.
+  MetaOnDisk meta{kGraphMagic, kGraphVersion, csr.num_nodes(),
+                  csr.num_edges()};
+  RS_RETURN_IF_ERROR(write_file(meta_path(base), &meta, sizeof(meta)));
+
+  // Offsets.
+  {
+    RS_ASSIGN_OR_RETURN(
+        io::File file, io::File::open(offsets_path(base),
+                                      io::OpenMode::kWriteTrunc));
+    RS_RETURN_IF_ERROR(write_span(file, csr.offsets(), 0));
+  }
+
+  // Edges, padded to the direct-I/O block size.
+  {
+    RS_ASSIGN_OR_RETURN(
+        io::File file,
+        io::File::open(edges_path(base), io::OpenMode::kWriteTrunc));
+    RS_RETURN_IF_ERROR(write_span(file, csr.neighbor_array(), 0));
+    const std::uint64_t data_bytes = csr.num_edges() * kEdgeEntryBytes;
+    const std::uint64_t padded = align_up(data_bytes, kDirectIoAlign);
+    if (padded > data_bytes) {
+      std::vector<unsigned char> zeros(padded - data_bytes, 0);
+      RS_RETURN_IF_ERROR(
+          file.pwrite_exact(zeros.data(), zeros.size(), data_bytes));
+    }
+  }
+  RS_DEBUG("wrote graph %s: %u nodes, %llu edges", base.c_str(),
+           csr.num_nodes(),
+           static_cast<unsigned long long>(csr.num_edges()));
+  return Status::ok();
+}
+
+Result<GraphMeta> read_meta(const std::string& base) {
+  RS_ASSIGN_OR_RETURN(io::File file,
+                      io::File::open(meta_path(base), io::OpenMode::kRead));
+  MetaOnDisk meta{};
+  RS_RETURN_IF_ERROR(file.pread_exact(&meta, sizeof(meta), 0));
+  if (meta.magic != kGraphMagic) {
+    return Status::corrupt(base + ": bad magic");
+  }
+  if (meta.version != kGraphVersion) {
+    return Status::corrupt(base + ": unsupported version " +
+                           std::to_string(meta.version));
+  }
+  GraphMeta out;
+  out.num_nodes = static_cast<NodeId>(meta.num_nodes);
+  out.num_edges = meta.num_edges;
+  return out;
+}
+
+Result<std::vector<EdgeIdx>> load_offsets(const std::string& base) {
+  RS_ASSIGN_OR_RETURN(GraphMeta meta, read_meta(base));
+  RS_ASSIGN_OR_RETURN(
+      io::File file, io::File::open(offsets_path(base), io::OpenMode::kRead));
+  std::vector<EdgeIdx> offsets(static_cast<std::size_t>(meta.num_nodes) + 1);
+  RS_RETURN_IF_ERROR(file.pread_exact(
+      offsets.data(), offsets.size() * sizeof(EdgeIdx), 0));
+  if (offsets.front() != 0 || offsets.back() != meta.num_edges) {
+    return Status::corrupt(base + ": offset index inconsistent with meta");
+  }
+  return offsets;
+}
+
+Result<Csr> load_csr(const std::string& base) {
+  RS_ASSIGN_OR_RETURN(GraphMeta meta, read_meta(base));
+  RS_ASSIGN_OR_RETURN(std::vector<EdgeIdx> offsets, load_offsets(base));
+  RS_ASSIGN_OR_RETURN(
+      io::File file, io::File::open(edges_path(base), io::OpenMode::kRead));
+  std::vector<NodeId> neighbors(static_cast<std::size_t>(meta.num_edges));
+  RS_RETURN_IF_ERROR(file.pread_exact(
+      neighbors.data(), neighbors.size() * sizeof(NodeId), 0));
+  return Csr::from_parts(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace rs::graph

@@ -1,0 +1,51 @@
+// The RingSampler on-disk graph format (paper §3.1, Fig. 2).
+//
+// A dataset at base path X consists of three files:
+//   X.meta     fixed header: magic, version, |V|, |E|, checksum seeds
+//   X.offsets  (|V|+1) little-endian u64 entries; neighbors of node v
+//              occupy edge-file indexes [offsets[v], offsets[v+1])
+//   X.edges    |E| little-endian u32 entries: destination node ids,
+//              grouped by source ("all neighbors of a given source node
+//              are stored contiguously on disk")
+//
+// Preprocessing loads X.offsets into memory (the offset index) and leaves
+// X.edges on the SSD; sampling then reads only the sampled entries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace rs::graph {
+
+inline constexpr std::uint32_t kGraphMagic = 0x52534746;  // "RSGF"
+inline constexpr std::uint32_t kGraphVersion = 1;
+
+struct GraphMeta {
+  NodeId num_nodes = 0;
+  EdgeIdx num_edges = 0;
+};
+
+std::string meta_path(const std::string& base);
+std::string offsets_path(const std::string& base);
+std::string edges_path(const std::string& base);
+
+// True if all three files exist (used for dataset caching).
+bool graph_files_exist(const std::string& base);
+
+// Serializes a CSR. Writes are streamed in large chunks; the .edges file
+// is padded to a 4096-byte multiple so O_DIRECT block reads near EOF stay
+// in bounds (padding is not addressable: offsets never reach into it).
+Status write_graph(const Csr& csr, const std::string& base);
+
+Result<GraphMeta> read_meta(const std::string& base);
+
+// Loads the offset index (|V|+1 u64s). The caller charges it to a budget.
+Result<std::vector<EdgeIdx>> load_offsets(const std::string& base);
+
+// Loads the entire graph back into an in-memory CSR (baselines, tests).
+Result<Csr> load_csr(const std::string& base);
+
+}  // namespace rs::graph

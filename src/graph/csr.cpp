@@ -1,0 +1,52 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace rs::graph {
+
+Csr Csr::from_edge_list(const EdgeList& edges) {
+  const NodeId n = edges.num_nodes();
+  Csr csr;
+  csr.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // Counting sort by source: histogram, prefix sum, scatter.
+  for (const Edge& e : edges.edges()) {
+    ++csr.offsets_[e.src + 1];
+  }
+  for (std::size_t v = 1; v < csr.offsets_.size(); ++v) {
+    csr.offsets_[v] += csr.offsets_[v - 1];
+  }
+  csr.neighbors_.resize(edges.num_edges());
+  std::vector<EdgeIdx> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    csr.neighbors_[cursor[e.src]++] = e.dst;
+  }
+  // Sort each adjacency list so lookups can binary-search and so the
+  // on-disk layout is deterministic.
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(csr.neighbors_.begin() + static_cast<std::ptrdiff_t>(csr.offsets_[v]),
+              csr.neighbors_.begin() + static_cast<std::ptrdiff_t>(csr.offsets_[v + 1]));
+  }
+  return csr;
+}
+
+Csr Csr::from_parts(std::vector<EdgeIdx> offsets,
+                    std::vector<NodeId> neighbors) {
+  RS_CHECK_MSG(!offsets.empty(), "offsets must have at least one entry");
+  RS_CHECK_MSG(offsets.front() == 0, "offsets[0] must be 0");
+  RS_CHECK_MSG(offsets.back() == neighbors.size(),
+               "offsets.back() must equal neighbor count");
+  RS_CHECK_MSG(std::is_sorted(offsets.begin(), offsets.end()),
+               "offsets must be non-decreasing");
+  Csr csr;
+  csr.offsets_ = std::move(offsets);
+  csr.neighbors_ = std::move(neighbors);
+  return csr;
+}
+
+bool Csr::has_edge(NodeId src, NodeId dst) const {
+  const auto nbrs = neighbors(src);
+  return std::binary_search(nbrs.begin(), nbrs.end(), dst);
+}
+
+}  // namespace rs::graph

@@ -1,0 +1,63 @@
+// Compressed Sparse Row adjacency: the in-memory twin of the on-disk
+// layout in Fig. 2. `offsets[v]..offsets[v+1]` indexes the flat neighbor
+// array, exactly as the on-disk offset index brackets the edge file. The
+// in-memory baseline samples directly from a Csr; RingSampler's
+// preprocessing serializes one to disk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/common.h"
+
+namespace rs::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Builds from an edge list (need not be sorted; counting sort inside).
+  // Parallel duplicate edges are preserved (multigraph semantics, matching
+  // raw dataset dumps).
+  static Csr from_edge_list(const EdgeList& edges);
+
+  // Takes ownership of prebuilt arrays. offsets.size() == num_nodes + 1,
+  // offsets.front() == 0, offsets.back() == neighbors.size().
+  static Csr from_parts(std::vector<EdgeIdx> offsets,
+                        std::vector<NodeId> neighbors);
+
+  NodeId num_nodes() const {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  EdgeIdx num_edges() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+  EdgeIdx degree(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {neighbors_.data() + offsets_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  std::span<const EdgeIdx> offsets() const { return offsets_; }
+  std::span<const NodeId> neighbor_array() const { return neighbors_; }
+
+  // Bytes of heap the structure occupies (for memory accounting).
+  std::uint64_t memory_bytes() const {
+    return offsets_.size() * sizeof(EdgeIdx) +
+           neighbors_.size() * sizeof(NodeId);
+  }
+
+  bool has_edge(NodeId src, NodeId dst) const;
+
+ private:
+  std::vector<EdgeIdx> offsets_;   // num_nodes + 1 entries
+  std::vector<NodeId> neighbors_;  // num_edges entries, grouped by source
+};
+
+}  // namespace rs::graph

@@ -1,0 +1,35 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace rs::graph {
+
+void EdgeList::add_edge(NodeId src, NodeId dst) {
+  edges_.push_back({src, dst});
+  const NodeId needed = std::max(src, dst) + 1;
+  if (needed > num_nodes_) num_nodes_ = needed;
+}
+
+void EdgeList::sort() {
+  std::sort(edges_.begin(), edges_.end());
+}
+
+void EdgeList::dedup() {
+  RS_CHECK_MSG(is_sorted(), "dedup requires a sorted edge list");
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void EdgeList::symmetrize() {
+  const std::size_t n = edges_.size();
+  edges_.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Edge e = edges_[i];
+    if (e.src != e.dst) edges_.push_back({e.dst, e.src});
+  }
+}
+
+bool EdgeList::is_sorted() const {
+  return std::is_sorted(edges_.begin(), edges_.end());
+}
+
+}  // namespace rs::graph

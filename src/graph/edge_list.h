@@ -1,0 +1,56 @@
+// EdgeList: the COO-format container graphs are generated into before
+// being laid out as CSR / on-disk edge files.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace rs::graph {
+
+struct Edge {
+  NodeId src;
+  NodeId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  // Grows num_nodes to cover the endpoints.
+  void add_edge(NodeId src, NodeId dst);
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  std::span<const Edge> edges() const { return edges_; }
+  std::span<Edge> edges_mut() { return edges_; }
+
+  // Sorts by (src, dst) — the layout the on-disk edge file requires
+  // ("constructed by sorting all edges based on their source nodes",
+  // paper §3.1).
+  void sort();
+
+  // Removes duplicate (src, dst) pairs; requires sorted().
+  void dedup();
+
+  // Appends the reverse of every edge (directed -> symmetric), excluding
+  // self-loop duplication.
+  void symmetrize();
+
+  bool is_sorted() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rs::graph

@@ -1,0 +1,235 @@
+#include "graph/external_build.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <queue>
+
+#include "io/file.h"
+#include "util/align.h"
+#include "util/fs.h"
+#include "util/log.h"
+
+namespace rs::graph {
+namespace {
+
+// Buffered sequential reader over one spilled run.
+class RunReader {
+ public:
+  static Result<RunReader> open(const std::string& path) {
+    RunReader reader;
+    RS_ASSIGN_OR_RETURN(reader.file_,
+                        io::File::open(path, io::OpenMode::kRead));
+    RS_ASSIGN_OR_RETURN(const std::uint64_t bytes, reader.file_.size());
+    reader.remaining_ = bytes / sizeof(Edge);
+    RS_RETURN_IF_ERROR(reader.refill());
+    return reader;
+  }
+
+  bool done() const { return pos_ >= buffer_.size() && remaining_ == 0; }
+  const Edge& head() const { return buffer_[pos_]; }
+
+  Status advance() {
+    ++pos_;
+    if (pos_ >= buffer_.size() && remaining_ > 0) {
+      RS_RETURN_IF_ERROR(refill());
+    }
+    return Status::ok();
+  }
+
+ private:
+  Status refill() {
+    const std::size_t n =
+        std::min<std::uint64_t>(remaining_, kBufferEdges);
+    buffer_.resize(n);
+    if (n > 0) {
+      RS_RETURN_IF_ERROR(file_.pread_exact(buffer_.data(),
+                                           n * sizeof(Edge), offset_));
+      offset_ += n * sizeof(Edge);
+      remaining_ -= n;
+    }
+    pos_ = 0;
+    return Status::ok();
+  }
+
+  static constexpr std::size_t kBufferEdges = 1 << 16;  // 512 KB
+  io::File file_;
+  std::vector<Edge> buffer_;
+  std::size_t pos_ = 0;
+  std::uint64_t offset_ = 0;
+  std::uint64_t remaining_ = 0;
+};
+
+// Buffered sequential writer for the final edge file.
+class EdgeFileWriter {
+ public:
+  static Result<EdgeFileWriter> open(const std::string& path) {
+    EdgeFileWriter writer;
+    RS_ASSIGN_OR_RETURN(writer.file_,
+                        io::File::open(path, io::OpenMode::kWriteTrunc));
+    writer.buffer_.reserve(kBufferEntries);
+    return writer;
+  }
+
+  Status push(NodeId dst) {
+    buffer_.push_back(dst);
+    if (buffer_.size() >= kBufferEntries) return flush();
+    return Status::ok();
+  }
+
+  Status finish() {
+    RS_RETURN_IF_ERROR(flush());
+    // Pad to the direct-I/O block size, like graph::write_graph.
+    const std::uint64_t padded = align_up(offset_, kDirectIoAlign);
+    if (padded > offset_) {
+      std::vector<unsigned char> zeros(
+          static_cast<std::size_t>(padded - offset_), 0);
+      RS_RETURN_IF_ERROR(
+          file_.pwrite_exact(zeros.data(), zeros.size(), offset_));
+    }
+    return Status::ok();
+  }
+
+ private:
+  Status flush() {
+    if (buffer_.empty()) return Status::ok();
+    RS_RETURN_IF_ERROR(file_.pwrite_exact(
+        buffer_.data(), buffer_.size() * sizeof(NodeId), offset_));
+    offset_ += buffer_.size() * sizeof(NodeId);
+    buffer_.clear();
+    return Status::ok();
+  }
+
+  static constexpr std::size_t kBufferEntries = 1 << 18;  // 1 MB
+  io::File file_;
+  std::vector<NodeId> buffer_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace
+
+ExternalGraphBuilder::ExternalGraphBuilder(ExternalBuildConfig config)
+    : config_(std::move(config)) {
+  RS_CHECK_MSG(config_.chunk_edges > 0, "chunk_edges must be > 0");
+  buffer_.reserve(std::min<std::size_t>(config_.chunk_edges, 1 << 20));
+}
+
+ExternalGraphBuilder::~ExternalGraphBuilder() { cleanup_runs(); }
+
+void ExternalGraphBuilder::cleanup_runs() {
+  for (const std::string& path : run_paths_) {
+    (void)remove_file(path);
+  }
+  run_paths_.clear();
+}
+
+Status ExternalGraphBuilder::add_edge(NodeId src, NodeId dst) {
+  RS_CHECK_MSG(!finalized_, "add_edge after finalize");
+  buffer_.push_back({src, dst});
+  max_node_ = std::max({max_node_, src, dst});
+  ++edges_added_;
+  if (buffer_.size() >= config_.chunk_edges) return spill();
+  return Status::ok();
+}
+
+Status ExternalGraphBuilder::add_edges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) {
+    RS_RETURN_IF_ERROR(add_edge(e.src, e.dst));
+  }
+  return Status::ok();
+}
+
+Status ExternalGraphBuilder::spill() {
+  if (buffer_.empty()) return Status::ok();
+  std::sort(buffer_.begin(), buffer_.end());
+  const std::string dir =
+      config_.temp_dir.empty()
+          ? std::filesystem::temp_directory_path().string()
+          : config_.temp_dir;
+  RS_RETURN_IF_ERROR(make_dirs(dir));
+  const std::string path = temp_path(dir, "rs_run");
+  RS_RETURN_IF_ERROR(
+      write_file(path, buffer_.data(), buffer_.size() * sizeof(Edge)));
+  run_paths_.push_back(path);
+  RS_DEBUG("spilled run %zu (%zu edges)", run_paths_.size(),
+           buffer_.size());
+  buffer_.clear();
+  return Status::ok();
+}
+
+Result<GraphMeta> ExternalGraphBuilder::finalize(const std::string& base) {
+  RS_CHECK_MSG(!finalized_, "finalize called twice");
+  finalized_ = true;
+  RS_RETURN_IF_ERROR(spill());
+
+  const NodeId num_nodes = edges_added_ == 0 ? 0 : max_node_ + 1;
+  std::vector<EdgeIdx> degrees(static_cast<std::size_t>(num_nodes), 0);
+
+  // K-way merge of the sorted runs, streaming to the edge file.
+  std::vector<RunReader> readers;
+  readers.reserve(run_paths_.size());
+  for (const std::string& path : run_paths_) {
+    RS_ASSIGN_OR_RETURN(RunReader reader, RunReader::open(path));
+    if (!reader.done()) readers.push_back(std::move(reader));
+  }
+  using QueueEntry = std::pair<Edge, std::size_t>;  // (edge, reader)
+  auto cmp = [](const QueueEntry& a, const QueueEntry& b) {
+    return b.first < a.first;  // min-heap
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)>
+      heap(cmp);
+  for (std::size_t r = 0; r < readers.size(); ++r) {
+    heap.push({readers[r].head(), r});
+  }
+
+  RS_ASSIGN_OR_RETURN(EdgeFileWriter writer,
+                      EdgeFileWriter::open(edges_path(base)));
+  std::uint64_t written = 0;
+  while (!heap.empty()) {
+    const auto [edge, r] = heap.top();
+    heap.pop();
+    RS_RETURN_IF_ERROR(writer.push(edge.dst));
+    ++degrees[edge.src];
+    ++written;
+    RS_RETURN_IF_ERROR(readers[r].advance());
+    if (!readers[r].done()) heap.push({readers[r].head(), r});
+  }
+  RS_RETURN_IF_ERROR(writer.finish());
+  cleanup_runs();
+  if (written != edges_added_) {
+    return Status::internal("external merge lost edges: " +
+                            std::to_string(written) + " of " +
+                            std::to_string(edges_added_));
+  }
+
+  // Offsets: prefix-sum of degrees.
+  {
+    std::vector<EdgeIdx> offsets(static_cast<std::size_t>(num_nodes) + 1,
+                                 0);
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      offsets[v + 1] = offsets[v] + degrees[v];
+    }
+    RS_ASSIGN_OR_RETURN(io::File file,
+                        io::File::open(offsets_path(base),
+                                       io::OpenMode::kWriteTrunc));
+    RS_RETURN_IF_ERROR(file.pwrite_exact(
+        offsets.data(), offsets.size() * sizeof(EdgeIdx), 0));
+  }
+  // Meta (reuse the canonical header layout via a tiny local struct
+  // identical to write_graph's).
+  {
+    struct MetaOnDisk {
+      std::uint32_t magic;
+      std::uint32_t version;
+      std::uint64_t num_nodes;
+      std::uint64_t num_edges;
+    } meta{kGraphMagic, kGraphVersion, num_nodes, edges_added_};
+    RS_RETURN_IF_ERROR(write_file(meta_path(base), &meta, sizeof(meta)));
+  }
+
+  GraphMeta out;
+  out.num_nodes = num_nodes;
+  out.num_edges = edges_added_;
+  return out;
+}
+
+}  // namespace rs::graph

@@ -1,0 +1,74 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace rs::graph {
+
+DegreeStats compute_degree_stats(const Csr& csr) {
+  DegreeStats stats;
+  const NodeId n = csr.num_nodes();
+  if (n == 0) return stats;
+
+  std::vector<EdgeIdx> degrees(n);
+  for (NodeId v = 0; v < n; ++v) degrees[v] = csr.degree(v);
+  std::sort(degrees.begin(), degrees.end());
+
+  stats.min_degree = degrees.front();
+  stats.max_degree = degrees.back();
+  stats.mean_degree =
+      static_cast<double>(csr.num_edges()) / static_cast<double>(n);
+  auto pct = [&](double p) {
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(n - 1));
+    return degrees[idx];
+  };
+  stats.p50 = pct(0.50);
+  stats.p90 = pct(0.90);
+  stats.p99 = pct(0.99);
+  stats.zero_degree_nodes = static_cast<NodeId>(
+      std::upper_bound(degrees.begin(), degrees.end(), 0) - degrees.begin());
+  return stats;
+}
+
+std::string DegreeStats::to_string() const {
+  std::ostringstream out;
+  out << "deg[min=" << min_degree << " mean=" << mean_degree
+      << " p50=" << p50 << " p90=" << p90 << " p99=" << p99
+      << " max=" << max_degree << " zeros=" << zero_degree_nodes << "]";
+  return out.str();
+}
+
+namespace {
+// Number of decimal digits of v.
+std::uint64_t digits(std::uint64_t v) {
+  std::uint64_t d = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++d;
+  }
+  return d;
+}
+}  // namespace
+
+std::uint64_t raw_text_size_bytes(const Csr& csr) {
+  // Per edge: digits(src) + ' ' + digits(dst) + '\n'.
+  // Sum digits(src) over edges = sum over nodes of degree * digits(node);
+  // digits(dst) is summed by bucketing destination ids by digit count.
+  std::uint64_t total = 0;
+  const NodeId n = csr.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    total += csr.degree(v) * (digits(v) + 2);  // src digits + space + \n
+  }
+  for (const NodeId dst : csr.neighbor_array()) {
+    total += digits(dst);
+  }
+  return total;
+}
+
+double degree_skew(const DegreeStats& stats) {
+  if (stats.mean_degree <= 0.0) return 0.0;
+  return static_cast<double>(stats.max_degree) / stats.mean_degree;
+}
+
+}  // namespace rs::graph

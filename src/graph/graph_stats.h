@@ -1,0 +1,42 @@
+// Dataset statistics: the quantities Table 1 reports (|V|, |E|, raw text
+// size, binary size) plus degree-distribution summaries used to validate
+// that generated stand-in graphs match their target profiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.h"
+
+namespace rs::graph {
+
+struct DegreeStats {
+  EdgeIdx min_degree = 0;
+  EdgeIdx max_degree = 0;
+  double mean_degree = 0.0;
+  EdgeIdx p50 = 0;
+  EdgeIdx p90 = 0;
+  EdgeIdx p99 = 0;
+  NodeId zero_degree_nodes = 0;
+
+  std::string to_string() const;
+};
+
+DegreeStats compute_degree_stats(const Csr& csr);
+
+// Size of the graph as a raw text edge list ("src dst\n" per edge) —
+// computed arithmetically, without materializing the file (Table 1's
+// "Raw Size" column).
+std::uint64_t raw_text_size_bytes(const Csr& csr);
+
+// Size of the binary edge list (Table 1's "Bin Size" column): one NodeId
+// per edge.
+inline std::uint64_t binary_size_bytes(const Csr& csr) {
+  return csr.num_edges() * kEdgeEntryBytes;
+}
+
+// Pearson-style skewness indicator: max_degree / mean_degree. Power-law
+// graphs score orders of magnitude above uniform ones.
+double degree_skew(const DegreeStats& stats);
+
+}  // namespace rs::graph

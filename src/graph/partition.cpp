@@ -1,0 +1,50 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+
+namespace rs::graph {
+
+std::vector<PartitionInfo> partition_by_edges(
+    std::span<const EdgeIdx> offsets, std::size_t num_partitions) {
+  RS_CHECK(!offsets.empty());
+  RS_CHECK(num_partitions > 0);
+  const NodeId num_nodes = static_cast<NodeId>(offsets.size() - 1);
+  const EdgeIdx num_edges = offsets.back();
+
+  std::vector<PartitionInfo> parts;
+  if (num_nodes == 0) return parts;
+
+  const EdgeIdx target = (num_edges + num_partitions - 1) / num_partitions;
+  NodeId begin = 0;
+  while (begin < num_nodes) {
+    PartitionInfo part;
+    part.id = static_cast<std::uint32_t>(parts.size());
+    part.begin_node = begin;
+    part.begin_edge = offsets[begin];
+
+    // Advance until this partition holds ~target edges (always at least
+    // one node so zero-degree stretches terminate).
+    NodeId end = begin + 1;
+    while (end < num_nodes && offsets[end] - part.begin_edge < target) {
+      ++end;
+    }
+    // Don't leave a rump partition if we're at the cap.
+    if (parts.size() + 1 == num_partitions) end = num_nodes;
+    part.end_node = end;
+    part.end_edge = offsets[end];
+    parts.push_back(part);
+    begin = end;
+  }
+  return parts;
+}
+
+std::size_t find_partition(std::span<const PartitionInfo> parts, NodeId v) {
+  const auto it = std::upper_bound(
+      parts.begin(), parts.end(), v,
+      [](NodeId node, const PartitionInfo& p) { return node < p.end_node; });
+  RS_CHECK_MSG(it != parts.end() && it->contains_node(v),
+               "node outside all partitions");
+  return static_cast<std::size_t>(it - parts.begin());
+}
+
+}  // namespace rs::graph

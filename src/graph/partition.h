@@ -1,0 +1,40 @@
+// Range partitioning of a CSR by source node, balanced by edge count.
+// This is the layout the Marius-like out-of-core baseline loads into its
+// buffer pool (one partition = one contiguous slice of the edge file),
+// and it mirrors the "Partition 1..n" boxes of the paper's Fig. 2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace rs::graph {
+
+struct PartitionInfo {
+  std::uint32_t id = 0;
+  NodeId begin_node = 0;  // inclusive
+  NodeId end_node = 0;    // exclusive
+  EdgeIdx begin_edge = 0; // inclusive index into the edge file
+  EdgeIdx end_edge = 0;   // exclusive
+
+  EdgeIdx num_edges() const { return end_edge - begin_edge; }
+  NodeId num_nodes() const { return end_node - begin_node; }
+  std::uint64_t bytes() const { return num_edges() * kEdgeEntryBytes; }
+  bool contains_node(NodeId v) const {
+    return v >= begin_node && v < end_node;
+  }
+};
+
+// Splits nodes [0, V) into at most `num_partitions` contiguous ranges with
+// roughly equal edge counts (each partition gets ~|E|/n edges; a node's
+// adjacency is never split). offsets is the CSR/offset-index array of
+// V+1 entries. Returns at least one partition for a non-empty graph.
+std::vector<PartitionInfo> partition_by_edges(
+    std::span<const EdgeIdx> offsets, std::size_t num_partitions);
+
+// Maps a node to the partition containing it (binary search).
+std::size_t find_partition(std::span<const PartitionInfo> parts, NodeId v);
+
+}  // namespace rs::graph

@@ -1,0 +1,139 @@
+#include "graph/sharded_format.h"
+
+#include <algorithm>
+
+#include "util/fs.h"
+
+namespace rs::graph {
+namespace {
+
+struct ShardManifestHeader {
+  std::uint32_t magic;   // "RSSH"
+  std::uint32_t version;
+  std::uint64_t num_shards;
+};
+
+constexpr std::uint32_t kShardMagic = 0x52535348;
+
+}  // namespace
+
+std::string shard_path(const std::string& base, std::size_t shard) {
+  return base + ".edges." + std::to_string(shard);
+}
+
+std::string shard_meta_path(const std::string& base) {
+  return base + ".shards";
+}
+
+bool sharded_files_exist(const std::string& base) {
+  return file_exists(shard_meta_path(base));
+}
+
+Status shard_graph(const std::string& base, std::size_t num_shards) {
+  if (num_shards == 0) return Status::invalid("num_shards must be > 0");
+  RS_ASSIGN_OR_RETURN(auto offsets, load_offsets(base));
+  const auto parts = partition_by_edges(offsets, num_shards);
+
+  RS_ASSIGN_OR_RETURN(
+      io::File flat,
+      io::File::open(edges_path(base), io::OpenMode::kRead));
+
+  // Copy each partition's byte range into its shard file.
+  std::vector<NodeId> buffer(1 << 18);
+  for (const PartitionInfo& part : parts) {
+    RS_ASSIGN_OR_RETURN(io::File shard,
+                        io::File::open(shard_path(base, part.id),
+                                       io::OpenMode::kWriteTrunc));
+    EdgeIdx copied = 0;
+    while (copied < part.num_edges()) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<EdgeIdx>(buffer.size(), part.num_edges() - copied));
+      RS_RETURN_IF_ERROR(flat.pread_exact(
+          buffer.data(), n * kEdgeEntryBytes,
+          (part.begin_edge + copied) * kEdgeEntryBytes));
+      RS_RETURN_IF_ERROR(shard.pwrite_exact(
+          buffer.data(), n * kEdgeEntryBytes, copied * kEdgeEntryBytes));
+      copied += n;
+    }
+  }
+
+  // Manifest: header + per-shard (begin_edge, end_edge).
+  std::vector<unsigned char> manifest(
+      sizeof(ShardManifestHeader) + parts.size() * 2 * sizeof(EdgeIdx));
+  auto* header = reinterpret_cast<ShardManifestHeader*>(manifest.data());
+  header->magic = kShardMagic;
+  header->version = 1;
+  header->num_shards = parts.size();
+  auto* ranges = reinterpret_cast<EdgeIdx*>(manifest.data() +
+                                            sizeof(ShardManifestHeader));
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    ranges[2 * k] = parts[k].begin_edge;
+    ranges[2 * k + 1] = parts[k].end_edge;
+  }
+  return write_file(shard_meta_path(base), manifest.data(),
+                    manifest.size());
+}
+
+Result<ShardedEdgeReader> ShardedEdgeReader::open(const std::string& base) {
+  RS_ASSIGN_OR_RETURN(std::string manifest,
+                      read_file(shard_meta_path(base)));
+  if (manifest.size() < sizeof(ShardManifestHeader)) {
+    return Status::corrupt(base + ": shard manifest truncated");
+  }
+  const auto* header =
+      reinterpret_cast<const ShardManifestHeader*>(manifest.data());
+  if (header->magic != kShardMagic || header->version != 1) {
+    return Status::corrupt(base + ": bad shard manifest header");
+  }
+  const std::size_t num_shards =
+      static_cast<std::size_t>(header->num_shards);
+  if (manifest.size() !=
+      sizeof(ShardManifestHeader) + num_shards * 2 * sizeof(EdgeIdx)) {
+    return Status::corrupt(base + ": shard manifest size mismatch");
+  }
+
+  ShardedEdgeReader reader;
+  const auto* ranges = reinterpret_cast<const EdgeIdx*>(
+      manifest.data() + sizeof(ShardManifestHeader));
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    RS_ASSIGN_OR_RETURN(io::File shard,
+                        io::File::open(shard_path(base, k),
+                                       io::OpenMode::kRead));
+    reader.shards_.push_back(std::move(shard));
+    reader.shard_begin_.push_back(ranges[2 * k]);
+    reader.boundaries_.push_back(ranges[2 * k + 1]);
+    if (k > 0 && ranges[2 * k] != reader.boundaries_[k - 1]) {
+      return Status::corrupt(base + ": shard ranges not contiguous");
+    }
+  }
+  return reader;
+}
+
+std::size_t ShardedEdgeReader::shard_of(EdgeIdx edge_idx) const {
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(),
+                                   edge_idx);
+  RS_CHECK_MSG(it != boundaries_.end(), "edge index out of range");
+  return static_cast<std::size_t>(it - boundaries_.begin());
+}
+
+Status ShardedEdgeReader::read_entries(EdgeIdx edge_idx, std::size_t count,
+                                       NodeId* out) const {
+  if (edge_idx + count > num_edges()) {
+    return Status::invalid("read_entries past the end of the edge file");
+  }
+  while (count > 0) {
+    const std::size_t k = shard_of(edge_idx);
+    const EdgeIdx local = edge_idx - shard_begin_[k];
+    const EdgeIdx shard_remaining = boundaries_[k] - edge_idx;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<EdgeIdx>(count, shard_remaining));
+    RS_RETURN_IF_ERROR(shards_[k].pread_exact(
+        out, n * kEdgeEntryBytes, local * kEdgeEntryBytes));
+    out += n;
+    edge_idx += n;
+    count -= n;
+  }
+  return Status::ok();
+}
+
+}  // namespace rs::graph

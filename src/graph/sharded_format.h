@@ -1,0 +1,60 @@
+// Sharded (partitioned) edge storage — the "Partition 1 … Partition n"
+// boxes of the paper's Fig. 2. The flat edge file is split at partition
+// boundaries into `base.edges.<k>` files; the offset index and meta are
+// unchanged, so the same offset arithmetic addresses entries, routed to
+// (shard, local offset) by a binary search over shard boundaries.
+//
+// Sharding matters operationally, not algorithmically: shards can live
+// on different devices, be fetched/cached independently, or bound the
+// unit of replication. ShardedEdgeReader exposes the same entry-fetch
+// primitive the sampler uses, and the tests prove it returns exactly the
+// flat file's bytes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/binary_format.h"
+#include "graph/partition.h"
+#include "io/file.h"
+#include "util/status.h"
+
+namespace rs::graph {
+
+std::string shard_path(const std::string& base, std::size_t shard);
+std::string shard_meta_path(const std::string& base);
+
+// Splits an existing flat graph (written by write_graph or the external
+// builder) into `num_shards` partition files plus a shard manifest.
+// The flat .edges file is left in place (callers may delete it).
+Status shard_graph(const std::string& base, std::size_t num_shards);
+
+// True if base has a shard manifest.
+bool sharded_files_exist(const std::string& base);
+
+class ShardedEdgeReader {
+ public:
+  static Result<ShardedEdgeReader> open(const std::string& base);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  EdgeIdx num_edges() const {
+    return boundaries_.empty() ? 0 : boundaries_.back();
+  }
+
+  // Which shard holds edge-file entry `edge_idx`.
+  std::size_t shard_of(EdgeIdx edge_idx) const;
+
+  // Reads `count` entries starting at global entry `edge_idx` into out.
+  // Spans shard boundaries transparently.
+  Status read_entries(EdgeIdx edge_idx, std::size_t count,
+                      NodeId* out) const;
+
+ private:
+  std::vector<io::File> shards_;
+  // boundaries_[k] = first global entry of shard k+1; size == shards.
+  std::vector<EdgeIdx> boundaries_;
+  std::vector<EdgeIdx> shard_begin_;  // first global entry of shard k
+};
+
+}  // namespace rs::graph

@@ -1,0 +1,20 @@
+// Raw text edge-list I/O ("src dst\n" per line, '#' comments), the
+// interchange format real graph dumps (SNAP, OGB) ship in. The
+// examples/dataset_tool converter and Table 1's raw-size validation use
+// these.
+#pragma once
+
+#include <string>
+
+#include "graph/edge_list.h"
+#include "util/status.h"
+
+namespace rs::graph {
+
+Status write_text_edge_list(const EdgeList& edges, const std::string& path);
+
+// Parses a text edge list. Tolerates '#'-prefixed comment lines, blank
+// lines, and tab or space separators. Malformed lines are an error.
+Result<EdgeList> parse_text_edge_list(const std::string& path);
+
+}  // namespace rs::graph

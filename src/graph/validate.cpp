@@ -1,0 +1,82 @@
+#include "graph/validate.h"
+
+#include <vector>
+
+#include "graph/binary_format.h"
+#include "io/file.h"
+#include "util/fs.h"
+
+namespace rs::graph {
+
+Result<ValidationReport> validate_graph(const std::string& base,
+                                        std::uint64_t sample_every) {
+  RS_CHECK(sample_every > 0);
+  ValidationReport report;
+
+  auto fail = [&](std::string why) {
+    report.ok = false;
+    report.detail = std::move(why);
+    return report;
+  };
+
+  // Meta.
+  auto meta = read_meta(base);
+  if (!meta.is_ok()) return fail(meta.status().to_string());
+  report.num_nodes = meta.value().num_nodes;
+  report.num_edges = meta.value().num_edges;
+
+  // Offsets.
+  auto offsets_size = file_size(offsets_path(base));
+  if (!offsets_size.is_ok()) return fail(offsets_size.status().to_string());
+  const std::uint64_t want_offsets =
+      (report.num_nodes + 1) * sizeof(EdgeIdx);
+  if (offsets_size.value() != want_offsets) {
+    return fail("offsets file is " + std::to_string(offsets_size.value()) +
+                " bytes, expected " + std::to_string(want_offsets));
+  }
+  auto offsets = load_offsets(base);
+  if (!offsets.is_ok()) return fail(offsets.status().to_string());
+  const std::vector<EdgeIdx>& off = offsets.value();
+  for (std::size_t v = 0; v + 1 < off.size(); ++v) {
+    if (off[v] > off[v + 1]) {
+      return fail("offsets not monotone at node " + std::to_string(v));
+    }
+  }
+
+  // Edges file size (data + block padding).
+  auto edges_size = file_size(edges_path(base));
+  if (!edges_size.is_ok()) return fail(edges_size.status().to_string());
+  const std::uint64_t data_bytes = report.num_edges * kEdgeEntryBytes;
+  if (edges_size.value() < data_bytes) {
+    return fail("edges file is " + std::to_string(edges_size.value()) +
+                " bytes, need at least " + std::to_string(data_bytes));
+  }
+
+  // Destination ids in range (streamed).
+  auto file = io::File::open(edges_path(base), io::OpenMode::kRead);
+  if (!file.is_ok()) return fail(file.status().to_string());
+  constexpr std::size_t kChunkEntries = 1 << 18;
+  std::vector<NodeId> chunk(kChunkEntries);
+  std::uint64_t index = 0;
+  while (index < report.num_edges) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kChunkEntries, report.num_edges - index));
+    const Status status = file.value().pread_exact(
+        chunk.data(), n * kEdgeEntryBytes, index * kEdgeEntryBytes);
+    if (!status.is_ok()) return fail(status.to_string());
+    for (std::size_t i = 0; i < n; i += sample_every) {
+      if (chunk[i] >= report.num_nodes) {
+        return fail("edge " + std::to_string(index + i) +
+                    " points at node " + std::to_string(chunk[i]) +
+                    " >= |V|=" + std::to_string(report.num_nodes));
+      }
+      ++report.edges_checked;
+    }
+    index += n;
+  }
+
+  report.ok = true;
+  return report;
+}
+
+}  // namespace rs::graph

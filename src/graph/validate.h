@@ -1,0 +1,32 @@
+// On-disk graph integrity checking: verifies that a base.{meta,offsets,
+// edges} triple is internally consistent before a sampler trusts it.
+// Datasets move between machines and converters; a corrupted offset
+// index would otherwise surface as out-of-bounds reads deep inside an
+// epoch.
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+namespace rs::graph {
+
+struct ValidationReport {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t edges_checked = 0;
+  bool ok = false;
+  std::string detail;  // first problem found, empty if ok
+};
+
+// Checks, in order:
+//  * meta header magic/version,
+//  * offsets file size == (|V|+1) * 8, offsets[0] == 0, monotone,
+//    offsets[|V|] == |E|,
+//  * edges file large enough for |E| entries (incl. block padding),
+//  * every destination id < |V| (streamed; `sample_every` > 1 spot-checks
+//    1/N of the entries for large graphs).
+Result<ValidationReport> validate_graph(const std::string& base,
+                                        std::uint64_t sample_every = 1);
+
+}  // namespace rs::graph

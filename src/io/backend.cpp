@@ -1,0 +1,86 @@
+#include "io/backend.h"
+
+#include <array>
+
+#include "io/mmap_backend.h"
+#include "io/psync_backend.h"
+#include "io/uring_backend.h"
+
+namespace rs::io {
+
+Status IoBackend::read_batch_sync(std::span<ReadRequest> requests) {
+  std::size_t next = 0;
+  std::size_t completed = 0;
+  std::array<Completion, 64> completions;
+  while (completed < requests.size()) {
+    // Keep the queue as full as possible.
+    const unsigned free_slots = capacity() - in_flight();
+    const std::size_t to_submit =
+        std::min<std::size_t>(free_slots, requests.size() - next);
+    if (to_submit > 0) {
+      RS_RETURN_IF_ERROR(submit(requests.subspan(next, to_submit)));
+      next += to_submit;
+    }
+    RS_ASSIGN_OR_RETURN(unsigned n, wait(completions));
+    completed += n;
+    for (unsigned i = 0; i < n; ++i) {
+      if (completions[i].result < 0) {
+        return Status::io_error(
+            "read failed: errno=" + std::to_string(-completions[i].result));
+      }
+    }
+  }
+  return Status::ok();
+}
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kUring: return "uring";
+    case BackendKind::kUringPoll: return "uring-poll";
+    case BackendKind::kUringSqpoll: return "uring-sqpoll";
+    case BackendKind::kPsync: return "psync";
+    case BackendKind::kMmap: return "mmap";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<IoBackend>> make_backend(const BackendConfig& config,
+                                                int fd) {
+  switch (config.kind) {
+    case BackendKind::kUring: {
+      RS_ASSIGN_OR_RETURN(
+          auto backend,
+          UringBackend::create(fd, config.queue_depth,
+                               UringBackend::WaitMode::kInterrupt,
+                               /*sqpoll=*/false, config.register_file));
+      return std::unique_ptr<IoBackend>(std::move(backend));
+    }
+    case BackendKind::kUringPoll: {
+      RS_ASSIGN_OR_RETURN(
+          auto backend,
+          UringBackend::create(fd, config.queue_depth,
+                               UringBackend::WaitMode::kBusyPoll,
+                               /*sqpoll=*/false, config.register_file));
+      return std::unique_ptr<IoBackend>(std::move(backend));
+    }
+    case BackendKind::kUringSqpoll: {
+      RS_ASSIGN_OR_RETURN(
+          auto backend,
+          UringBackend::create(fd, config.queue_depth,
+                               UringBackend::WaitMode::kBusyPoll,
+                               /*sqpoll=*/true, config.register_file));
+      return std::unique_ptr<IoBackend>(std::move(backend));
+    }
+    case BackendKind::kPsync:
+      return std::unique_ptr<IoBackend>(
+          std::make_unique<PsyncBackend>(fd, config.queue_depth));
+    case BackendKind::kMmap: {
+      RS_ASSIGN_OR_RETURN(auto backend,
+                          MmapBackend::create(fd, config.queue_depth));
+      return std::unique_ptr<IoBackend>(std::move(backend));
+    }
+  }
+  return Status::invalid("unknown backend kind");
+}
+
+}  // namespace rs::io

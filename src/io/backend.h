@@ -1,0 +1,103 @@
+// IoBackend: a uniform submit/poll interface over storage-read mechanisms.
+//
+// The RingSampler engine drives this interface from its asynchronous
+// pipeline. The io_uring backend is the paper's design; psync, mmap, and
+// in-memory backends exist as baselines, ablations (bench/micro_uring,
+// bench/ablation_sync_vs_async), and test doubles. Because the pipeline is
+// written against this interface, swapping the I/O mechanism changes
+// *only* how bytes are fetched — sampling logic and results are identical,
+// which the property tests assert.
+//
+// Contract:
+//  * submit() enqueues up to capacity() - in_flight() requests; callers
+//    keep request buffers alive until the matching completion is seen.
+//  * poll() returns immediately with whatever completions are ready.
+//  * wait() blocks until at least one completion is ready (unless none
+//    are in flight, which returns 0).
+//  * user_data round-trips untouched.
+// Implementations are single-threaded by design: RingSampler gives each
+// worker thread its own backend instance (paper §3.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace rs::io {
+
+struct ReadRequest {
+  std::uint64_t offset = 0;  // byte offset in the file
+  std::uint32_t len = 0;     // bytes to read
+  void* buf = nullptr;       // destination, caller-owned
+  std::uint64_t user_data = 0;
+};
+
+struct Completion {
+  std::uint64_t user_data = 0;
+  std::int32_t result = 0;  // bytes read, or -errno
+};
+
+struct IoStats {
+  std::uint64_t requests = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bytes_completed = 0;
+  std::uint64_t submit_calls = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t io_errors = 0;
+
+  void add_submission(std::size_t n, std::uint64_t bytes) {
+    requests += n;
+    bytes_requested += bytes;
+    ++submit_calls;
+  }
+};
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  // Maximum number of requests that may be in flight at once (the paper's
+  // queue depth / "ring size").
+  virtual unsigned capacity() const = 0;
+  virtual unsigned in_flight() const = 0;
+
+  virtual Status submit(std::span<const ReadRequest> requests) = 0;
+  virtual Result<unsigned> poll(std::span<Completion> out) = 0;
+  virtual Result<unsigned> wait(std::span<Completion> out) = 0;
+
+  virtual const IoStats& stats() const = 0;
+  virtual void reset_stats() = 0;
+  virtual std::string name() const = 0;
+
+  // Convenience: submit and drain a whole batch synchronously.
+  Status read_batch_sync(std::span<ReadRequest> requests);
+};
+
+enum class BackendKind {
+  kUring,       // io_uring, interrupt-driven completion waits
+  kUringPoll,   // io_uring, busy-poll completions (the paper's mode)
+  kUringSqpoll, // io_uring with kernel-side SQ polling (paper future work)
+  kPsync,       // pread(2) per request (the classic blocking baseline)
+  kMmap,        // memcpy from a shared file mapping
+};
+
+const char* backend_kind_name(BackendKind kind);
+
+struct BackendConfig {
+  BackendKind kind = BackendKind::kUringPoll;
+  unsigned queue_depth = 512;
+  // io_uring only: register the fd with the ring (IORING_REGISTER_FILES)
+  // and issue reads against the fixed-file slot, skipping the per-op fd
+  // refcount in the kernel.
+  bool register_file = false;
+};
+
+// Opens `fd`-independent state as needed and returns a backend reading
+// from the given fd (not owned).
+Result<std::unique_ptr<IoBackend>> make_backend(const BackendConfig& config,
+                                                int fd);
+
+}  // namespace rs::io

@@ -1,0 +1,132 @@
+#include "io/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace rs::io {
+
+File::~File() { (void)close(); }
+
+File::File(File&& other) noexcept { *this = std::move(other); }
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    (void)close();
+    fd_ = std::exchange(other.fd_, -1);
+    direct_ = other.direct_;
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+Result<File> File::open(const std::string& path, OpenMode mode) {
+  int flags = 0;
+  mode_t create_mode = 0644;
+  bool direct = false;
+  switch (mode) {
+    case OpenMode::kRead:
+      flags = O_RDONLY;
+      break;
+    case OpenMode::kReadDirect:
+      flags = O_RDONLY | O_DIRECT;
+      direct = true;
+      break;
+    case OpenMode::kWriteTrunc:
+      flags = O_WRONLY | O_CREAT | O_TRUNC;
+      break;
+    case OpenMode::kReadWrite:
+      flags = O_RDWR | O_CREAT;
+      break;
+  }
+  const int fd = ::open(path.c_str(), flags, create_mode);
+  if (fd < 0) return Status::from_errno("open(" + path + ")");
+  File file;
+  file.fd_ = fd;
+  file.direct_ = direct;
+  file.path_ = path;
+  return file;
+}
+
+Result<std::uint64_t> File::size() const {
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) return Status::from_errno("fstat(" + path_ + ")");
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+Status File::pread_exact(void* buf, std::size_t len,
+                         std::uint64_t offset) const {
+  auto* dst = static_cast<unsigned char*>(buf);
+  std::size_t remaining = len;
+  std::uint64_t pos = offset;
+  while (remaining > 0) {
+    const ssize_t n = ::pread(fd_, dst, remaining, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("pread(" + path_ + ")");
+    }
+    if (n == 0) {
+      return Status::io_error("pread(" + path_ + "): unexpected EOF at " +
+                              std::to_string(pos));
+    }
+    dst += n;
+    remaining -= static_cast<std::size_t>(n);
+    pos += static_cast<std::uint64_t>(n);
+  }
+  return Status::ok();
+}
+
+Result<std::size_t> File::pread_some(void* buf, std::size_t len,
+                                     std::uint64_t offset) const {
+  for (;;) {
+    const ssize_t n = ::pread(fd_, buf, len, static_cast<off_t>(offset));
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno != EINTR) return Status::from_errno("pread(" + path_ + ")");
+  }
+}
+
+Status File::pwrite_exact(const void* buf, std::size_t len,
+                          std::uint64_t offset) const {
+  const auto* src = static_cast<const unsigned char*>(buf);
+  std::size_t remaining = len;
+  std::uint64_t pos = offset;
+  while (remaining > 0) {
+    const ssize_t n = ::pwrite(fd_, src, remaining, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("pwrite(" + path_ + ")");
+    }
+    src += n;
+    remaining -= static_cast<std::size_t>(n);
+    pos += static_cast<std::uint64_t>(n);
+  }
+  return Status::ok();
+}
+
+Status File::drop_cache() const {
+  if (::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED) != 0) {
+    return Status::from_errno("posix_fadvise(" + path_ + ")");
+  }
+  return Status::ok();
+}
+
+Status File::drop_cache_range(std::uint64_t offset, std::uint64_t len) const {
+  if (::posix_fadvise(fd_, static_cast<off_t>(offset),
+                      static_cast<off_t>(len), POSIX_FADV_DONTNEED) != 0) {
+    return Status::from_errno("posix_fadvise(" + path_ + ")");
+  }
+  return Status::ok();
+}
+
+Status File::close() {
+  if (fd_ < 0) return Status::ok();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) return Status::from_errno("close(" + path_ + ")");
+  return Status::ok();
+}
+
+}  // namespace rs::io

@@ -1,0 +1,68 @@
+// RAII file handle with the open modes RingSampler needs: buffered or
+// O_DIRECT reads (direct mode is used under memory budgets so the OS page
+// cache cannot mask the constraint), plus exact-length positional I/O for
+// the writers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace rs::io {
+
+enum class OpenMode {
+  kRead,          // buffered read-only
+  kReadDirect,    // O_DIRECT read-only (callers must align)
+  kWriteTrunc,    // create/truncate for writing
+  kReadWrite,     // create if missing, read+write
+};
+
+class File {
+ public:
+  File() = default;
+  ~File();
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  static Result<File> open(const std::string& path, OpenMode mode);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+  bool is_direct() const { return direct_; }
+
+  Result<std::uint64_t> size() const;
+
+  // Reads exactly `len` bytes at `offset` (looping over short reads).
+  // Fails if EOF is hit first.
+  Status pread_exact(void* buf, std::size_t len, std::uint64_t offset) const;
+
+  // Reads up to `len` bytes; returns the byte count (0 at EOF).
+  Result<std::size_t> pread_some(void* buf, std::size_t len,
+                                 std::uint64_t offset) const;
+
+  Status pwrite_exact(const void* buf, std::size_t len,
+                      std::uint64_t offset) const;
+
+  // Hints the kernel to drop this file's page-cache pages; used between
+  // benchmark repetitions to cold-start the cache.
+  Status drop_cache() const;
+
+  // Drops only [offset, offset+len) from the page cache — used by
+  // systems that manage their own buffers (e.g. the Marius-like baseline
+  // evicting a partition) so reloads do real storage I/O.
+  Status drop_cache_range(std::uint64_t offset, std::uint64_t len) const;
+
+  Status close();
+
+ private:
+  int fd_ = -1;
+  bool direct_ = false;
+  std::string path_;
+};
+
+}  // namespace rs::io

@@ -1,0 +1,71 @@
+#include "io/mem_backend.h"
+
+#include <string.h>
+
+namespace rs::io {
+
+Status MemBackend::submit(std::span<const ReadRequest> requests) {
+  if (requests.size() > capacity_ - in_flight()) {
+    return Status::invalid("MemBackend::submit: batch exceeds capacity");
+  }
+  std::uint64_t bytes = 0;
+  for (const ReadRequest& req : requests) {
+    bytes += req.len;
+    ++request_counter_;
+    Completion completion;
+    completion.user_data = req.user_data;
+    if (fault_period_ != 0 && request_counter_ % fault_period_ == 0) {
+      completion.result = -fault_errno_;
+      ++stats_.io_errors;
+    } else if (req.offset >= data_.size()) {
+      completion.result = 0;
+    } else {
+      const std::size_t available =
+          std::min<std::size_t>(req.len, data_.size() - req.offset);
+      memcpy(req.buf, data_.data() + req.offset, available);
+      completion.result = static_cast<std::int32_t>(available);
+      stats_.bytes_completed += available;
+    }
+    if (completion_delay_ == 0) {
+      ready_.push_back(completion);
+    } else {
+      pending_.push_back({completion, completion_delay_});
+    }
+  }
+  stats_.add_submission(requests.size(), bytes);
+  return Status::ok();
+}
+
+void MemBackend::age_pending() {
+  while (!pending_.empty()) {
+    Pending& front = pending_.front();
+    if (front.remaining_delay > 0) {
+      for (auto& p : pending_) {
+        if (p.remaining_delay > 0) --p.remaining_delay;
+      }
+      if (front.remaining_delay > 0) break;
+    }
+    ready_.push_back(front.completion);
+    pending_.pop_front();
+  }
+}
+
+Result<unsigned> MemBackend::poll(std::span<Completion> out) {
+  age_pending();
+  std::size_t n = 0;
+  while (n < out.size() && !ready_.empty()) {
+    out[n++] = ready_.front();
+    ready_.pop_front();
+  }
+  stats_.completions += n;
+  return static_cast<unsigned>(n);
+}
+
+Result<unsigned> MemBackend::wait(std::span<Completion> out) {
+  // Pending completions mature on every poll; force them ripe so wait
+  // cannot spin forever.
+  for (auto& p : pending_) p.remaining_delay = 0;
+  return poll(out);
+}
+
+}  // namespace rs::io

@@ -1,0 +1,61 @@
+// MemBackend: a test double serving reads from a caller-provided byte
+// buffer, with optional fault injection (fail every Nth request with a
+// chosen errno) so error paths in the sampler pipeline can be exercised
+// deterministically.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "io/backend.h"
+
+namespace rs::io {
+
+class MemBackend final : public IoBackend {
+ public:
+  MemBackend(std::vector<unsigned char> data, unsigned queue_depth)
+      : data_(std::move(data)), capacity_(queue_depth) {}
+
+  // Fault injection: every `period`-th request (1-based) completes with
+  // -error_errno instead of data. period == 0 disables.
+  void inject_faults(std::uint64_t period, int error_errno) {
+    fault_period_ = period;
+    fault_errno_ = error_errno;
+  }
+
+  // Delay completions: hold back each completion for `delay` poll() calls,
+  // emulating device latency for pipeline tests.
+  void set_completion_delay(unsigned delay) { completion_delay_ = delay; }
+
+  unsigned capacity() const override { return capacity_; }
+  unsigned in_flight() const override {
+    return static_cast<unsigned>(pending_.size() + ready_.size());
+  }
+
+  Status submit(std::span<const ReadRequest> requests) override;
+  Result<unsigned> poll(std::span<Completion> out) override;
+  Result<unsigned> wait(std::span<Completion> out) override;
+
+  const IoStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = IoStats{}; }
+  std::string name() const override { return "mem"; }
+
+ private:
+  struct Pending {
+    Completion completion;
+    unsigned remaining_delay;
+  };
+  void age_pending();
+
+  std::vector<unsigned char> data_;
+  unsigned capacity_;
+  std::uint64_t fault_period_ = 0;
+  int fault_errno_ = 0;
+  unsigned completion_delay_ = 0;
+  std::uint64_t request_counter_ = 0;
+  std::deque<Pending> pending_;
+  std::deque<Completion> ready_;
+  IoStats stats_;
+};
+
+}  // namespace rs::io

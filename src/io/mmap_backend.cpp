@@ -1,0 +1,66 @@
+#include "io/mmap_backend.h"
+
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+
+namespace rs::io {
+
+Result<std::unique_ptr<MmapBackend>> MmapBackend::create(
+    int fd, unsigned queue_depth) {
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) return Status::from_errno("fstat");
+  const auto bytes = static_cast<std::uint64_t>(st.st_size);
+  if (bytes == 0) return Status::invalid("MmapBackend: empty file");
+  void* base = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) return Status::from_errno("mmap");
+  return std::unique_ptr<MmapBackend>(
+      new MmapBackend(base, bytes, queue_depth));
+}
+
+MmapBackend::~MmapBackend() {
+  ::munmap(const_cast<unsigned char*>(base_), file_bytes_);
+}
+
+Status MmapBackend::submit(std::span<const ReadRequest> requests) {
+  if (requests.size() > capacity_ - ready_.size()) {
+    return Status::invalid("MmapBackend::submit: batch exceeds capacity");
+  }
+  std::uint64_t bytes = 0;
+  for (const ReadRequest& req : requests) {
+    bytes += req.len;
+    Completion completion;
+    completion.user_data = req.user_data;
+    if (req.offset >= file_bytes_) {
+      completion.result = 0;  // read past EOF
+    } else {
+      const auto available = static_cast<std::uint64_t>(req.len) <
+                                     file_bytes_ - req.offset
+                                 ? req.len
+                                 : static_cast<std::uint32_t>(file_bytes_ -
+                                                              req.offset);
+      memcpy(req.buf, base_ + req.offset, available);
+      completion.result = static_cast<std::int32_t>(available);
+      stats_.bytes_completed += available;
+    }
+    ready_.push_back(completion);
+  }
+  stats_.add_submission(requests.size(), bytes);
+  return Status::ok();
+}
+
+Result<unsigned> MmapBackend::poll(std::span<Completion> out) {
+  std::size_t n = 0;
+  while (n < out.size() && !ready_.empty()) {
+    out[n++] = ready_.front();
+    ready_.pop_front();
+  }
+  stats_.completions += n;
+  return static_cast<unsigned>(n);
+}
+
+Result<unsigned> MmapBackend::wait(std::span<Completion> out) {
+  return poll(out);
+}
+
+}  // namespace rs::io

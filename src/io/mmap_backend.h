@@ -1,0 +1,47 @@
+// MmapBackend: serves reads by memcpy from a shared read-only mapping of
+// the file. Models the "let the page cache do it" design point: fast when
+// the file is cached, page-fault-bound when it is not, and — unlike
+// RingSampler — its memory consumption is bounded by the file size rather
+// than the sample size.
+#pragma once
+
+#include <deque>
+
+#include "io/backend.h"
+
+namespace rs::io {
+
+class MmapBackend final : public IoBackend {
+ public:
+  // Maps `fd` (whole file) read-only.
+  static Result<std::unique_ptr<MmapBackend>> create(int fd,
+                                                     unsigned queue_depth);
+  ~MmapBackend() override;
+
+  unsigned capacity() const override { return capacity_; }
+  unsigned in_flight() const override {
+    return static_cast<unsigned>(ready_.size());
+  }
+
+  Status submit(std::span<const ReadRequest> requests) override;
+  Result<unsigned> poll(std::span<Completion> out) override;
+  Result<unsigned> wait(std::span<Completion> out) override;
+
+  const IoStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = IoStats{}; }
+  std::string name() const override { return "mmap"; }
+
+ private:
+  MmapBackend(void* base, std::uint64_t bytes, unsigned queue_depth)
+      : base_(static_cast<const unsigned char*>(base)),
+        file_bytes_(bytes),
+        capacity_(queue_depth) {}
+
+  const unsigned char* base_;
+  std::uint64_t file_bytes_;
+  unsigned capacity_;
+  std::deque<Completion> ready_;
+  IoStats stats_;
+};
+
+}  // namespace rs::io

@@ -1,0 +1,48 @@
+#include "io/psync_backend.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+namespace rs::io {
+
+Status PsyncBackend::submit(std::span<const ReadRequest> requests) {
+  if (requests.size() > capacity_ - ready_.size()) {
+    return Status::invalid("PsyncBackend::submit: batch exceeds capacity");
+  }
+  std::uint64_t bytes = 0;
+  for (const ReadRequest& req : requests) {
+    bytes += req.len;
+    ssize_t n;
+    do {
+      n = ::pread(fd_, req.buf, req.len, static_cast<off_t>(req.offset));
+    } while (n < 0 && errno == EINTR);
+    Completion completion;
+    completion.user_data = req.user_data;
+    completion.result = n < 0 ? -errno : static_cast<std::int32_t>(n);
+    if (n < 0) {
+      ++stats_.io_errors;
+    } else {
+      stats_.bytes_completed += static_cast<std::uint64_t>(n);
+    }
+    ready_.push_back(completion);
+  }
+  stats_.add_submission(requests.size(), bytes);
+  return Status::ok();
+}
+
+Result<unsigned> PsyncBackend::poll(std::span<Completion> out) {
+  std::size_t n = 0;
+  while (n < out.size() && !ready_.empty()) {
+    out[n++] = ready_.front();
+    ready_.pop_front();
+  }
+  stats_.completions += n;
+  return static_cast<unsigned>(n);
+}
+
+Result<unsigned> PsyncBackend::wait(std::span<Completion> out) {
+  // Everything completes synchronously at submit, so wait == poll.
+  return poll(out);
+}
+
+}  // namespace rs::io

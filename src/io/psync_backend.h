@@ -1,0 +1,38 @@
+// PsyncBackend: the classic blocking-I/O baseline. Each request is served
+// with a synchronous pread(2) at submit() time and its completion queued
+// for poll()/wait(). One syscall per request, no overlap — exactly the
+// cost profile io_uring's batched submission eliminates (paper §5 /
+// bench/micro_uring).
+#pragma once
+
+#include <deque>
+
+#include "io/backend.h"
+
+namespace rs::io {
+
+class PsyncBackend final : public IoBackend {
+ public:
+  PsyncBackend(int fd, unsigned queue_depth) : fd_(fd), capacity_(queue_depth) {}
+
+  unsigned capacity() const override { return capacity_; }
+  unsigned in_flight() const override {
+    return static_cast<unsigned>(ready_.size());
+  }
+
+  Status submit(std::span<const ReadRequest> requests) override;
+  Result<unsigned> poll(std::span<Completion> out) override;
+  Result<unsigned> wait(std::span<Completion> out) override;
+
+  const IoStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = IoStats{}; }
+  std::string name() const override { return "psync"; }
+
+ private:
+  int fd_;
+  unsigned capacity_;
+  std::deque<Completion> ready_;
+  IoStats stats_;
+};
+
+}  // namespace rs::io

@@ -1,0 +1,59 @@
+// The io_uring implementation of IoBackend — the mechanism the paper is
+// built around. Three completion-retrieval modes:
+//   * kUring:      poll() peeks the CQ; wait() blocks in io_uring_enter.
+//   * kUringPoll:  wait() busy-polls the CQ in user space ("completion
+//                  polling mode", paper §3.1) — no syscall on the
+//                  completion side.
+//   * kUringSqpoll: adds IORING_SETUP_SQPOLL so submission needs no
+//                  syscall either (paper §5, future work).
+#pragma once
+
+#include <deque>
+
+#include "io/backend.h"
+#include "uring/ring.h"
+
+namespace rs::io {
+
+class UringBackend final : public IoBackend {
+ public:
+  enum class WaitMode { kInterrupt, kBusyPoll };
+
+  static Result<std::unique_ptr<UringBackend>> create(
+      int fd, unsigned queue_depth, WaitMode wait_mode, bool sqpoll,
+      bool register_file = false);
+
+  unsigned capacity() const override { return capacity_; }
+  unsigned in_flight() const override { return in_flight_; }
+
+  Status submit(std::span<const ReadRequest> requests) override;
+  Result<unsigned> poll(std::span<Completion> out) override;
+  Result<unsigned> wait(std::span<Completion> out) override;
+
+  const IoStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = IoStats{}; }
+  std::string name() const override;
+
+  const uring::RingStats& ring_stats() const { return ring_.stats(); }
+
+ private:
+  UringBackend(uring::Ring ring, int fd, unsigned capacity,
+               WaitMode wait_mode, bool fixed_file)
+      : ring_(std::move(ring)),
+        fd_(fd),
+        capacity_(capacity),
+        wait_mode_(wait_mode),
+        fixed_file_(fixed_file) {}
+
+  unsigned drain_cq(std::span<Completion> out);
+
+  uring::Ring ring_;
+  int fd_;
+  unsigned capacity_;
+  WaitMode wait_mode_;
+  bool fixed_file_ = false;
+  unsigned in_flight_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace rs::io

@@ -1,0 +1,86 @@
+#include "uring/probe.h"
+
+#include <linux/io_uring.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <vector>
+
+#include "uring/ring.h"
+#include "uring/uring_syscalls.h"
+#include "util/log.h"
+
+namespace rs::uring {
+namespace {
+
+bool probe_opcode_support(Features& features) {
+  // IORING_REGISTER_PROBE fills a table of supported opcodes.
+  constexpr unsigned kOps = 64;
+  std::vector<unsigned char> storage(
+      sizeof(io_uring_probe) + kOps * sizeof(io_uring_probe_op), 0);
+  auto* probe = reinterpret_cast<io_uring_probe*>(storage.data());
+
+  io_uring_params params{};
+  const int fd = sys_io_uring_setup(2, &params);
+  if (fd < 0) return false;
+  const int rc =
+      sys_io_uring_register(fd, IORING_REGISTER_PROBE, probe, kOps);
+  ::close(fd);
+  if (rc < 0) return false;
+
+  auto supported = [&](unsigned op) {
+    if (op > probe->last_op) return false;
+    return (probe->ops[op].flags & IO_URING_OP_SUPPORTED) != 0;
+  };
+  features.op_read = supported(IORING_OP_READ);
+  features.op_read_fixed = supported(IORING_OP_READ_FIXED);
+  return true;
+}
+
+bool probe_sqpoll() {
+  RingConfig config;
+  config.entries = 4;
+  config.sqpoll = true;
+  config.sqpoll_idle_ms = 100;
+  auto ring = Ring::create(config);
+  return ring.is_ok();
+}
+
+}  // namespace
+
+std::string Features::to_string() const {
+  std::ostringstream out;
+  out << "io_uring=" << (io_uring_available ? "yes" : "no")
+      << " single_mmap=" << (single_mmap ? "yes" : "no")
+      << " nodrop=" << (nodrop ? "yes" : "no")
+      << " sqpoll=" << (sqpoll_allowed ? "yes" : "no")
+      << " op_read=" << (op_read ? "yes" : "no")
+      << " op_read_fixed=" << (op_read_fixed ? "yes" : "no") << " raw=0x"
+      << std::hex << raw_feature_bits;
+  return out.str();
+}
+
+const Features& probe_features() {
+  static const Features features = [] {
+    Features f;
+    io_uring_params params{};
+    const int fd = sys_io_uring_setup(2, &params);
+    if (fd < 0) {
+      RS_WARN("io_uring unavailable: %s", strerror(-fd));
+      return f;
+    }
+    ::close(fd);
+    f.io_uring_available = true;
+    f.raw_feature_bits = params.features;
+    f.single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    f.nodrop = (params.features & IORING_FEAT_NODROP) != 0;
+    probe_opcode_support(f);
+    f.sqpoll_allowed = probe_sqpoll();
+    RS_DEBUG("io_uring features: %s", f.to_string().c_str());
+    return f;
+  }();
+  return features;
+}
+
+}  // namespace rs::uring

@@ -1,0 +1,27 @@
+// Runtime feature probing: which io_uring capabilities the running kernel
+// offers. RingSampler adapts at startup (e.g. falls back from SQPOLL, or
+// from io_uring entirely to psync in sandboxes that filter the syscalls).
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+namespace rs::uring {
+
+struct Features {
+  bool io_uring_available = false;  // io_uring_setup usable at all
+  bool single_mmap = false;         // IORING_FEAT_SINGLE_MMAP
+  bool nodrop = false;              // IORING_FEAT_NODROP
+  bool sqpoll_allowed = false;      // IORING_SETUP_SQPOLL accepted
+  bool op_read = false;             // IORING_OP_READ supported
+  bool op_read_fixed = false;       // IORING_OP_READ_FIXED supported
+  std::uint32_t raw_feature_bits = 0;
+
+  std::string to_string() const;
+};
+
+// Probes once and caches. Safe to call from multiple threads.
+const Features& probe_features();
+
+}  // namespace rs::uring

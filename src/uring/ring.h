@@ -1,0 +1,180 @@
+// Ring: a from-scratch userspace io_uring implementation (the role
+// liburing usually plays), sized for RingSampler's per-thread rings.
+//
+// Each sampling thread owns one Ring: a Submission Queue (SQ) it fills
+// with read requests and a Completion Queue (CQ) it drains for results
+// (paper §3.1, "each thread is assigned a dedicated pair of io_uring ring
+// buffers"). The class encapsulates:
+//   * ring setup and the shared-memory mmap layout (single- and
+//     double-mmap kernels),
+//   * the SQ producer / CQ consumer protocols with the required
+//     acquire/release ordering against the kernel,
+//   * SQE preparation for the opcodes the sampler needs,
+//   * completion retrieval in three styles: non-blocking peek (the
+//     paper's "completion polling mode" — no syscall), blocking wait
+//     (io_uring_enter GETEVENTS), and batch drain,
+//   * optional kernel-side submission polling (IORING_SETUP_SQPOLL),
+//     which the paper lists as future work,
+//   * registered buffers and files (io_uring_register).
+//
+// Thread-compatibility: a Ring must be used from one thread at a time;
+// cross-thread parallelism comes from one Ring per thread.
+#pragma once
+
+#include <linux/io_uring.h>
+
+#include <cstdint>
+#include <span>
+#include <sys/uio.h>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace rs::uring {
+
+struct RingConfig {
+  // SQ size; the kernel rounds up to a power of two. The paper's default
+  // "ring size" is 512.
+  unsigned entries = 512;
+  // Kernel-side SQ polling (IORING_SETUP_SQPOLL). Avoids the submit
+  // syscall entirely; needs kernel >= 5.11 for unprivileged use.
+  bool sqpoll = false;
+  unsigned sqpoll_idle_ms = 1000;
+  // Ask for a CQ twice the SQ size so bursts of completions can't
+  // overflow while the next I/O group is being prepared.
+  unsigned cq_entries_hint = 0;  // 0 -> 2 * entries
+};
+
+// A completed I/O: user_data echoes the SQE's, res is bytes-read or
+// -errno, exactly as the kernel reports it.
+struct Cqe {
+  std::uint64_t user_data = 0;
+  std::int32_t res = 0;
+  std::uint32_t flags = 0;
+};
+
+// Counters for understanding syscall behavior (micro benches, tests).
+struct RingStats {
+  std::uint64_t sqes_submitted = 0;
+  std::uint64_t enter_calls = 0;
+  std::uint64_t cqes_reaped = 0;
+  std::uint64_t peek_spins = 0;  // empty peeks (busy-poll iterations)
+};
+
+class Ring {
+ public:
+  Ring() = default;
+  ~Ring();
+
+  Ring(Ring&& other) noexcept;
+  Ring& operator=(Ring&& other) noexcept;
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  static Result<Ring> create(const RingConfig& config);
+
+  bool valid() const { return ring_fd_ >= 0; }
+  unsigned sq_entries() const { return sq_entries_; }
+  unsigned cq_entries() const { return cq_entries_; }
+  bool sqpoll_enabled() const { return (setup_flags_ & IORING_SETUP_SQPOLL) != 0; }
+
+  // ---- Submission ----
+
+  // Number of SQE slots currently free (not yet handed out).
+  unsigned sq_space_left() const;
+  // Count of prepared-but-unsubmitted SQEs.
+  unsigned sq_pending() const { return sqe_tail_ - sqe_head_; }
+
+  // Grabs the next free SQE, zeroed; nullptr if the SQ is full.
+  io_uring_sqe* get_sqe();
+
+  // Opcode preparation (on an SQE from get_sqe()).
+  static void prep_read(io_uring_sqe* sqe, int fd, void* buf, unsigned len,
+                        std::uint64_t offset, std::uint64_t user_data);
+  static void prep_readv(io_uring_sqe* sqe, int fd, const iovec* iov,
+                         unsigned nr, std::uint64_t offset,
+                         std::uint64_t user_data);
+  // Read into a buffer registered via register_buffers().
+  static void prep_read_fixed(io_uring_sqe* sqe, int fd, void* buf,
+                              unsigned len, std::uint64_t offset,
+                              unsigned buf_index, std::uint64_t user_data);
+  static void prep_nop(io_uring_sqe* sqe, std::uint64_t user_data);
+  // Use an fd registered via register_files(); `fd` becomes an index.
+  static void set_fixed_file(io_uring_sqe* sqe, unsigned file_index);
+
+  // Publishes prepared SQEs to the kernel. Returns the number accepted.
+  // With SQPOLL this usually costs no syscall (only a wakeup if the
+  // kernel thread has idled).
+  Result<unsigned> submit();
+
+  // Submit and block until at least `min_complete` completions are
+  // available (single io_uring_enter with GETEVENTS).
+  Result<unsigned> submit_and_wait(unsigned min_complete);
+
+  // ---- Completion ----
+
+  // Non-blocking: pops one CQE if available. This is the paper's
+  // completion-polling primitive — it reads only shared memory, issuing
+  // no syscall.
+  bool peek_cqe(Cqe* out);
+
+  // Pops up to `max` CQEs without blocking; returns the count.
+  unsigned peek_batch(std::span<Cqe> out);
+
+  // Blocks (io_uring_enter GETEVENTS) until one CQE is available.
+  Status wait_cqe(Cqe* out);
+
+  // Number of completions currently sitting in the CQ.
+  unsigned cq_ready() const;
+
+  // ---- Registration ----
+
+  Status register_buffers(std::span<const iovec> buffers);
+  Status unregister_buffers();
+  Status register_files(std::span<const int> fds);
+  Status unregister_files();
+
+  const RingStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = RingStats{}; }
+
+ private:
+  Status init(const RingConfig& config);
+  void destroy();
+  Status enter_getevents(unsigned min_complete);
+
+  int ring_fd_ = -1;
+  unsigned setup_flags_ = 0;
+  std::uint32_t features_ = 0;
+
+  // SQ ring shared memory.
+  void* sq_ring_mem_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  unsigned* sq_khead_ = nullptr;
+  unsigned* sq_ktail_ = nullptr;
+  unsigned* sq_kflags_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_ring_mask_ = 0;
+  unsigned sq_entries_ = 0;
+
+  // SQE array shared memory.
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqe_bytes_ = 0;
+
+  // CQ ring shared memory (aliases sq_ring_mem_ on single-mmap kernels).
+  void* cq_ring_mem_ = nullptr;
+  std::size_t cq_ring_bytes_ = 0;
+  unsigned* cq_khead_ = nullptr;
+  unsigned* cq_ktail_ = nullptr;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned cq_ring_mask_ = 0;
+  unsigned cq_entries_ = 0;
+
+  // Local SQE cursor: head tracks what we've published, tail what we've
+  // handed out via get_sqe().
+  unsigned sqe_head_ = 0;
+  unsigned sqe_tail_ = 0;
+
+  RingStats stats_;
+};
+
+}  // namespace rs::uring

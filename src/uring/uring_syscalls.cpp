@@ -1,0 +1,39 @@
+#include "uring/uring_syscalls.h"
+
+#include <errno.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace rs::uring {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  const long rc = ::syscall(__NR_io_uring_setup, entries, params);
+  return rc < 0 ? -errno : static_cast<int>(rc);
+}
+
+int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags, sigset_t* sig) {
+  const long rc = ::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                            min_complete, flags, sig, _NSIG / 8);
+  return rc < 0 ? -errno : static_cast<int>(rc);
+}
+
+int sys_io_uring_register(int ring_fd, unsigned opcode, const void* arg,
+                          unsigned nr_args) {
+  const long rc =
+      ::syscall(__NR_io_uring_register, ring_fd, opcode, arg, nr_args);
+  return rc < 0 ? -errno : static_cast<int>(rc);
+}
+
+bool kernel_supports_io_uring() {
+  static const bool supported = [] {
+    io_uring_params params{};
+    const int fd = sys_io_uring_setup(2, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+}  // namespace rs::uring

@@ -1,0 +1,28 @@
+// Thin wrappers over the three io_uring system calls. liburing is not a
+// dependency of this project: the Ring class (ring.h) implements the full
+// userspace side (mmap layout, memory ordering, SQE/CQE protocol) on top
+// of these wrappers.
+#pragma once
+
+#include <linux/io_uring.h>
+#include <signal.h>
+
+namespace rs::uring {
+
+// Returns the ring fd, or -errno on failure.
+int sys_io_uring_setup(unsigned entries, io_uring_params* params);
+
+// Returns the number of SQEs consumed (or CQEs available semantics per
+// flags), or -errno on failure.
+int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags, sigset_t* sig);
+
+// Returns 0 or -errno.
+int sys_io_uring_register(int ring_fd, unsigned opcode, const void* arg,
+                          unsigned nr_args);
+
+// True if the running kernel accepts io_uring_setup (not blocked by
+// seccomp or sysctl); probed once and cached.
+bool kernel_supports_io_uring();
+
+}  // namespace rs::uring

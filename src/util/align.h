@@ -1,0 +1,38 @@
+// Aligned heap buffers for O_DIRECT I/O. Direct reads require the buffer,
+// file offset and length to be aligned to the logical block size (512 B on
+// this device; we align to 4096 to also satisfy page alignment).
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+
+#include "util/common.h"
+
+namespace rs {
+
+inline constexpr std::size_t kDirectIoAlign = 4096;
+
+struct FreeDeleter {
+  void operator()(void* p) const { std::free(p); }
+};
+
+using AlignedPtr = std::unique_ptr<unsigned char[], FreeDeleter>;
+
+// Allocates `bytes` rounded up to `align`, aligned to `align`.
+inline AlignedPtr aligned_alloc_bytes(std::size_t bytes,
+                                      std::size_t align = kDirectIoAlign) {
+  const std::size_t rounded = (bytes + align - 1) / align * align;
+  void* p = nullptr;
+  const int rc = ::posix_memalign(&p, align, rounded);
+  RS_CHECK_MSG(rc == 0, "posix_memalign failed");
+  return AlignedPtr(static_cast<unsigned char*>(p));
+}
+
+inline std::uint64_t align_down(std::uint64_t v, std::uint64_t align) {
+  return v / align * align;
+}
+inline std::uint64_t align_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace rs

@@ -1,0 +1,132 @@
+#include "util/argparse.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rs {
+namespace {
+
+std::string bool_repr(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+void ArgParser::add_flag(const std::string& name, bool* target,
+                         const std::string& help) {
+  specs_[name] = {Kind::kBool, target, help, bool_repr(*target)};
+}
+void ArgParser::add_int(const std::string& name, std::int64_t* target,
+                        const std::string& help) {
+  specs_[name] = {Kind::kInt, target, help, std::to_string(*target)};
+}
+void ArgParser::add_uint(const std::string& name, std::uint64_t* target,
+                         const std::string& help) {
+  specs_[name] = {Kind::kUint, target, help, std::to_string(*target)};
+}
+void ArgParser::add_double(const std::string& name, double* target,
+                           const std::string& help) {
+  specs_[name] = {Kind::kDouble, target, help, std::to_string(*target)};
+}
+void ArgParser::add_string(const std::string& name, std::string* target,
+                           const std::string& help) {
+  specs_[name] = {Kind::kString, target, help, *target};
+}
+
+Status ArgParser::set_value(const std::string& name, Spec& spec,
+                            const std::string& value) {
+  try {
+    switch (spec.kind) {
+      case Kind::kBool: {
+        if (value == "true" || value == "1") {
+          *static_cast<bool*>(spec.target) = true;
+        } else if (value == "false" || value == "0") {
+          *static_cast<bool*>(spec.target) = false;
+        } else {
+          return Status::invalid("--" + name + ": bad bool '" + value + "'");
+        }
+        return Status::ok();
+      }
+      case Kind::kInt:
+        *static_cast<std::int64_t*>(spec.target) = std::stoll(value);
+        return Status::ok();
+      case Kind::kUint:
+        *static_cast<std::uint64_t*>(spec.target) = std::stoull(value);
+        return Status::ok();
+      case Kind::kDouble:
+        *static_cast<double*>(spec.target) = std::stod(value);
+        return Status::ok();
+      case Kind::kString:
+        *static_cast<std::string*>(spec.target) = value;
+        return Status::ok();
+    }
+  } catch (const std::exception&) {
+    return Status::invalid("--" + name + ": cannot parse '" + value + "'");
+  }
+  return Status::internal("unreachable");
+}
+
+Status ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return Status::invalid("help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+
+    auto it = specs_.find(body);
+    // Boolean negation: --no-foo.
+    if (it == specs_.end() && body.rfind("no-", 0) == 0) {
+      auto neg = specs_.find(body.substr(3));
+      if (neg != specs_.end() && neg->second.kind == Kind::kBool) {
+        *static_cast<bool*>(neg->second.target) = false;
+        continue;
+      }
+    }
+    if (it == specs_.end()) {
+      return Status::invalid("unknown flag --" + body + "\n" + usage());
+    }
+
+    if (!has_value) {
+      if (it->second.kind == Kind::kBool) {
+        *static_cast<bool*>(it->second.target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::invalid("--" + body + " expects a value");
+      }
+      value = argv[++i];
+    }
+    RS_RETURN_IF_ERROR(set_value(body, it->second, value));
+  }
+  return Status::ok();
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << name;
+    switch (spec.kind) {
+      case Kind::kBool: out << " (bool)"; break;
+      case Kind::kInt: out << " <int>"; break;
+      case Kind::kUint: out << " <uint>"; break;
+      case Kind::kDouble: out << " <float>"; break;
+      case Kind::kString: out << " <string>"; break;
+    }
+    out << "  " << spec.help << " [default: " << spec.default_repr << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace rs

@@ -1,0 +1,58 @@
+// Tiny command-line flag parser for bench and example binaries.
+// Supports --flag=value, --flag value, and boolean --flag / --no-flag.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rs {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  // Registration: each returns a pointer whose target is filled by parse().
+  void add_flag(const std::string& name, bool* target,
+                const std::string& help);
+  void add_int(const std::string& name, std::int64_t* target,
+               const std::string& help);
+  void add_uint(const std::string& name, std::uint64_t* target,
+                const std::string& help);
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+
+  // Parses argv. Unknown flags are an error. "--help" prints usage and
+  // returns a non-OK status the caller should treat as "exit 0".
+  Status parse(int argc, char** argv);
+
+  // Positional (non-flag) arguments encountered during parse.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kBool, kInt, kUint, kDouble, kString };
+  struct Spec {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status set_value(const std::string& name, Spec& spec,
+                   const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rs

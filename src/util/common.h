@@ -1,0 +1,46 @@
+// Basic shared types and checking macros used across the RingSampler
+// codebase. Keep this header tiny: it is included nearly everywhere.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rs {
+
+// Node identifier. The paper's largest graph (Yahoo) has 1.4B nodes, which
+// fits in 32 bits; using 4-byte ids also matches the paper's binary edge
+// file sizes (Table 1: Friendster, 3.6B edges -> 13.5 GB ~= 4 B/edge).
+using NodeId = std::uint32_t;
+
+// Index into the on-disk edge file (one entry per edge); 64-bit because
+// edge counts exceed 2^32.
+using EdgeIdx = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+// Size in bytes of one edge-file entry (a NodeId).
+inline constexpr std::size_t kEdgeEntryBytes = sizeof(NodeId);
+
+}  // namespace rs
+
+// Fatal-check macro for programmer errors (broken invariants, misuse of an
+// API). Recoverable conditions use rs::Result instead (see status.h).
+#define RS_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RS_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define RS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RS_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, std::string(msg).c_str());             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

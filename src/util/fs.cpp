@@ -1,0 +1,87 @@
+#include "util/fs.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace rs {
+
+namespace stdfs = std::filesystem;
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(path, ec);
+}
+
+Result<std::uint64_t> file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = stdfs::file_size(path, ec);
+  if (ec) return Status::io_error("file_size(" + path + "): " + ec.message());
+  return static_cast<std::uint64_t>(size);
+}
+
+Status remove_file(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove(path, ec);
+  if (ec) return Status::io_error("remove(" + path + "): " + ec.message());
+  return Status::ok();
+}
+
+Status make_dirs(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(path, ec);
+  if (ec) {
+    return Status::io_error("create_directories(" + path + "): " +
+                            ec.message());
+  }
+  return Status::ok();
+}
+
+std::string data_dir() {
+  static const std::string dir = [] {
+    std::string d;
+    if (const char* env = std::getenv("RS_DATA_DIR")) {
+      d = env;
+    } else {
+      d = (stdfs::current_path() / "rs_data").string();
+    }
+    const Status status = make_dirs(d);
+    RS_CHECK_MSG(status.is_ok(), status.to_string());
+    return d;
+  }();
+  return dir;
+}
+
+std::string temp_path(const std::string& dir, const std::string& prefix) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream out;
+  out << dir << '/' << prefix << '.' << ::getpid() << '.'
+      << counter.fetch_add(1);
+  return out.str();
+}
+
+Status write_file(const std::string& path, const void* data,
+                  std::size_t size) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::io_error("cannot open " + path);
+  file.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!file) return Status::io_error("write failed for " + path);
+  return Status::ok();
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::io_error("cannot open " + path);
+  std::ostringstream out;
+  out << file.rdbuf();
+  if (file.bad()) return Status::io_error("read failed for " + path);
+  return out.str();
+}
+
+}  // namespace rs

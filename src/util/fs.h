@@ -1,0 +1,28 @@
+// Filesystem helpers: sizes, existence, scratch directories, and whole-file
+// read/write used by dataset caching and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace rs {
+
+bool file_exists(const std::string& path);
+Result<std::uint64_t> file_size(const std::string& path);
+Status remove_file(const std::string& path);
+Status make_dirs(const std::string& path);
+
+// Root scratch directory for generated datasets and test files. Honors
+// RS_DATA_DIR, else uses "<cwd>/rs_data". Created on first use.
+std::string data_dir();
+
+// Unique path inside dir (not created); prefix is embedded in the name.
+std::string temp_path(const std::string& dir, const std::string& prefix);
+
+Status write_file(const std::string& path, const void* data,
+                  std::size_t size);
+Result<std::string> read_file(const std::string& path);
+
+}  // namespace rs

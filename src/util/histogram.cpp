@@ -1,0 +1,102 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rs {
+
+void LatencyRecorder::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_ns_.begin(), samples_ns_.end());
+    sorted_ = true;
+  }
+}
+
+std::uint64_t LatencyRecorder::percentile_ns(double p) {
+  RS_CHECK_MSG(!samples_ns_.empty(), "percentile of empty recorder");
+  RS_CHECK(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (p <= 0.0) return samples_ns_.front();
+  // Nearest-rank: ceil(p/100 * N), 1-indexed.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_ns_.size())));
+  return samples_ns_[std::min(rank, samples_ns_.size()) - 1];
+}
+
+std::uint64_t LatencyRecorder::min_ns() {
+  RS_CHECK(!samples_ns_.empty());
+  ensure_sorted();
+  return samples_ns_.front();
+}
+
+std::uint64_t LatencyRecorder::max_ns() {
+  RS_CHECK(!samples_ns_.empty());
+  ensure_sorted();
+  return samples_ns_.back();
+}
+
+double LatencyRecorder::mean_ns() const {
+  if (samples_ns_.empty()) return 0.0;
+  const double sum = std::accumulate(samples_ns_.begin(), samples_ns_.end(),
+                                     0.0);
+  return sum / static_cast<double>(samples_ns_.size());
+}
+
+std::vector<LatencyRecorder::CdfPoint> LatencyRecorder::cdf(
+    std::size_t max_points) {
+  std::vector<CdfPoint> points;
+  if (samples_ns_.empty()) return points;
+  ensure_sorted();
+  const std::size_t n = samples_ns_.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / max_points);
+  points.reserve(n / stride + 1);
+  for (std::size_t i = stride - 1; i < n; i += stride) {
+    points.push_back({static_cast<double>(samples_ns_[i]) / 1e9,
+                      static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (points.empty() || points.back().cumulative_fraction < 1.0) {
+    points.push_back({static_cast<double>(samples_ns_.back()) / 1e9, 1.0});
+  }
+  return points;
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  samples_ns_.insert(samples_ns_.end(), other.samples_ns_.begin(),
+                     other.samples_ns_.end());
+  sorted_ = false;
+}
+
+void Histogram::record(double value) {
+  std::size_t bucket;
+  if (value <= 0) {
+    bucket = 0;
+  } else if (value >= max_value_) {
+    bucket = counts_.size() - 1;
+  } else {
+    bucket = static_cast<std::size_t>(value / bucket_width());
+    bucket = std::min(bucket, counts_.size() - 1);
+  }
+  ++counts_[bucket];
+  ++total_;
+}
+
+double Histogram::percentile(double p) const {
+  RS_CHECK(total_ > 0 && p >= 0.0 && p <= 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t next = cumulative + counts_[i];
+    if (next >= target && counts_[i] > 0) {
+      const double within =
+          static_cast<double>(target - cumulative) /
+          static_cast<double>(counts_[i]);
+      return (static_cast<double>(i) + within) * bucket_width();
+    }
+    cumulative = next;
+  }
+  return max_value_;
+}
+
+}  // namespace rs

@@ -1,0 +1,82 @@
+// Latency recording for the on-demand sampling experiment (Fig. 6).
+//
+// LatencyRecorder keeps raw samples (exact percentiles; the Fig. 6 workload
+// is ~10^5-10^6 points which comfortably fits in memory). Histogram offers
+// fixed-bucket counting when raw retention is too costly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace rs {
+
+class LatencyRecorder {
+ public:
+  void reserve(std::size_t n) { samples_ns_.reserve(n); }
+  void record_ns(std::uint64_t ns) {
+    samples_ns_.push_back(ns);
+    sorted_ = false;
+  }
+  void record_seconds(double s) {
+    samples_ns_.push_back(static_cast<std::uint64_t>(s * 1e9));
+  }
+
+  std::size_t count() const { return samples_ns_.size(); }
+  bool empty() const { return samples_ns_.empty(); }
+
+  // Exact percentile (p in [0,100]) by nearest-rank; sorts lazily.
+  std::uint64_t percentile_ns(double p);
+  double percentile_seconds(double p) { return percentile_ns(p) / 1e9; }
+
+  std::uint64_t min_ns();
+  std::uint64_t max_ns();
+  double mean_ns() const;
+
+  // CDF points (sorted values with cumulative fraction), downsampled to at
+  // most `max_points` for plotting/printing.
+  struct CdfPoint {
+    double value_seconds;
+    double cumulative_fraction;
+  };
+  std::vector<CdfPoint> cdf(std::size_t max_points = 200);
+
+  void merge(const LatencyRecorder& other);
+  void clear() {
+    samples_ns_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted();
+  std::vector<std::uint64_t> samples_ns_;
+  bool sorted_ = false;
+};
+
+// Simple fixed-width bucket histogram over [0, max); the last bucket
+// absorbs overflow.
+class Histogram {
+ public:
+  Histogram(double max_value, std::size_t buckets)
+      : max_value_(max_value), counts_(buckets, 0) {
+    RS_CHECK(buckets > 0 && max_value > 0);
+  }
+
+  void record(double value);
+  std::uint64_t total() const { return total_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  double bucket_width() const {
+    return max_value_ / static_cast<double>(counts_.size());
+  }
+  // Approximate percentile by linear interpolation within the bucket.
+  double percentile(double p) const;
+
+ private:
+  double max_value_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rs

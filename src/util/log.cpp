@@ -1,0 +1,93 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace rs {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+// One-time init from the environment so test/bench binaries can be made
+// verbose without code changes.
+struct EnvInit {
+  EnvInit() {
+    if (const char* env = std::getenv("RS_LOG_LEVEL")) {
+      g_level.store(static_cast<int>(parse_log_level(env)),
+                    std::memory_order_relaxed);
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void vlog(LogLevel level, const char* file, int line, const char* fmt,
+          std::va_list args) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Strip the directory for compact output.
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+
+  char message[2048];
+  std::vsnprintf(message, sizeof(message), fmt, args);
+
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm_utc{};
+  gmtime_r(&ts.tv_sec, &tm_utc);
+
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%02d:%02d:%02d.%03ld %s %s:%d] %s\n", tm_utc.tm_hour,
+               tm_utc.tm_min, tm_utc.tm_sec, ts.tv_nsec / 1000000,
+               level_tag(level), base, line, message);
+}
+
+void log(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(level, file, line, fmt, args);
+  va_end(args);
+}
+
+}  // namespace detail
+}  // namespace rs

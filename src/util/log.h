@@ -1,0 +1,45 @@
+// Minimal leveled, thread-safe logger. Output goes to stderr so bench
+// binaries can pipe structured results on stdout. Level is controlled
+// programmatically or via the RS_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace rs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Parse "info", "debug", ... ; returns kInfo for unknown strings.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void vlog(LogLevel level, const char* file, int line, const char* fmt,
+          std::va_list args);
+// printf-style sink used by the RS_LOG macros.
+void log(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+}  // namespace detail
+
+}  // namespace rs
+
+#define RS_LOG(level, ...) \
+  ::rs::detail::log((level), __FILE__, __LINE__, __VA_ARGS__)
+
+#define RS_TRACE(...) RS_LOG(::rs::LogLevel::kTrace, __VA_ARGS__)
+#define RS_DEBUG(...) RS_LOG(::rs::LogLevel::kDebug, __VA_ARGS__)
+#define RS_INFO(...) RS_LOG(::rs::LogLevel::kInfo, __VA_ARGS__)
+#define RS_WARN(...) RS_LOG(::rs::LogLevel::kWarn, __VA_ARGS__)
+#define RS_ERROR(...) RS_LOG(::rs::LogLevel::kError, __VA_ARGS__)

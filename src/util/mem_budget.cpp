@@ -1,0 +1,33 @@
+#include "util/mem_budget.h"
+
+namespace rs {
+
+Status MemoryBudget::charge(std::uint64_t bytes, const std::string& what) {
+  std::uint64_t current = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next = current + bytes;
+    if (limit_ != 0 && next > limit_) {
+      return Status::oom(what + ": budget exceeded (used=" +
+                         std::to_string(current) + ", request=" +
+                         std::to_string(bytes) + ", limit=" +
+                         std::to_string(limit_) + " bytes)");
+    }
+    if (used_.compare_exchange_weak(current, next,
+                                    std::memory_order_relaxed)) {
+      // Update the high-water mark (racy max loop).
+      std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+      while (next > peak && !peak_.compare_exchange_weak(
+                                peak, next, std::memory_order_relaxed)) {
+      }
+      return Status::ok();
+    }
+  }
+}
+
+void MemoryBudget::release(std::uint64_t bytes) {
+  const std::uint64_t prev = used_.fetch_sub(bytes,
+                                             std::memory_order_relaxed);
+  RS_CHECK_MSG(prev >= bytes, "MemoryBudget::release of more than charged");
+}
+
+}  // namespace rs

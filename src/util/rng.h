@@ -1,0 +1,129 @@
+// Fast deterministic random-number generation for sampling.
+//
+// xoshiro256** is used instead of std::mt19937_64 because neighborhood
+// sampling draws hundreds of millions of variates per epoch and the
+// generator sits on the hot path. SplitMix64 seeds it (the construction
+// recommended by the xoshiro authors) so that nearby integer seeds yield
+// uncorrelated streams — important when thread t is seeded with
+// `base_seed + t`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace rs {
+
+// SplitMix64: used for seeding and as a cheap stateless mixer.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Unbiased uniform draw from [0, bound) using Lemire's multiply-shift
+  // rejection method; avoids the modulo bias of `rng() % bound`.
+  std::uint64_t uniform(std::uint64_t bound) {
+    RS_CHECK(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (-bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform draw from [lo, hi), hi > lo.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    RS_CHECK(hi > lo);
+    return lo + uniform(hi - lo);
+  }
+
+  double uniform_double() {  // [0, 1)
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_;
+};
+
+// Samples `k` distinct values from the integer range [lo, hi) using
+// Robert Floyd's algorithm: O(k) expected time and O(k) space, regardless
+// of the range width. Results are appended to `out` in *unsorted* order.
+// Precondition: k <= hi - lo.
+//
+// This is the core primitive of offset-based sampling: the range is a
+// node's slice of the edge file and k is the layer fanout.
+template <typename Out>
+void sample_distinct_range(Xoshiro256& rng, std::uint64_t lo,
+                           std::uint64_t hi, std::uint64_t k, Out& out) {
+  const std::uint64_t n = hi - lo;
+  RS_CHECK_MSG(k <= n, "sample_distinct_range: k exceeds range width");
+  if (k == n) {
+    for (std::uint64_t v = lo; v < hi; ++v) out.push_back(v);
+    return;
+  }
+  // Floyd's algorithm. For the small k (fanout <= ~20) used in GNN
+  // sampling, the membership scan over the last k appended items is
+  // faster than maintaining a hash set.
+  const std::size_t base = out.size();
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = lo + rng.uniform(j + 1);
+    bool seen = false;
+    for (std::size_t i = base; i < out.size(); ++i) {
+      if (out[i] == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? lo + j : t);
+  }
+}
+
+// Fisher-Yates shuffle of a vector (used to permute target nodes between
+// epochs, as GNN training frameworks do).
+template <typename T>
+void shuffle(Xoshiro256& rng, std::vector<T>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = rng.uniform(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace rs

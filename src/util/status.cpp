@@ -1,0 +1,19 @@
+#include "util/status.h"
+
+namespace rs {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case ErrorCode::kUnsupported: return "UNSUPPORTED";
+    case ErrorCode::kCorruptData: return "CORRUPT_DATA";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace rs

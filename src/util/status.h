@@ -1,0 +1,130 @@
+// Lightweight error handling: Status for fallible void operations and
+// Result<T> for fallible value-returning operations. C++23's std::expected
+// is not available under -std=c++20, so we provide the minimal subset the
+// codebase needs. Errors carry a code and a human-readable message.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/common.h"
+
+namespace rs {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfMemory,   // raised when a MemoryBudget is exhausted
+  kUnsupported,   // e.g. kernel lacks an io_uring feature
+  kCorruptData,   // malformed on-disk file
+  kInternal,
+};
+
+const char* error_code_name(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid(std::string msg) {
+    return {ErrorCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {ErrorCode::kNotFound, std::move(msg)};
+  }
+  static Status io_error(std::string msg) {
+    return {ErrorCode::kIoError, std::move(msg)};
+  }
+  // Convenience: build an I/O error from the current errno.
+  static Status from_errno(const std::string& what) {
+    return {ErrorCode::kIoError, what + ": " + std::strerror(errno)};
+  }
+  static Status oom(std::string msg) {
+    return {ErrorCode::kOutOfMemory, std::move(msg)};
+  }
+  static Status unsupported(std::string msg) {
+    return {ErrorCode::kUnsupported, std::move(msg)};
+  }
+  static Status corrupt(std::string msg) {
+    return {ErrorCode::kCorruptData, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {ErrorCode::kInternal, std::move(msg)};
+  }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(error_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(implicit)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT(implicit)
+    RS_CHECK_MSG(!std::get<Status>(storage_).is_ok(),
+                 "Result constructed from OK status without a value");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    RS_CHECK_MSG(is_ok(), status().to_string());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    RS_CHECK_MSG(is_ok(), status().to_string());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    RS_CHECK_MSG(is_ok(), status().to_string());
+    return std::get<T>(std::move(storage_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(storage_);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace rs
+
+// Propagate a non-OK Status to the caller.
+#define RS_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::rs::Status rs_status__ = (expr);            \
+    if (!rs_status__.is_ok()) return rs_status__; \
+  } while (0)
+
+// Assign from a Result<T> or propagate its error.
+#define RS_CONCAT_INNER(a, b) a##b
+#define RS_CONCAT(a, b) RS_CONCAT_INNER(a, b)
+#define RS_ASSIGN_OR_RETURN(lhs, expr) \
+  RS_ASSIGN_OR_RETURN_IMPL(RS_CONCAT(rs_result_, __LINE__), lhs, expr)
+#define RS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.is_ok()) return tmp.status();         \
+  lhs = std::move(tmp).value()

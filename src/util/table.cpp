@@ -1,0 +1,137 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rs {
+
+void Table::add_row(std::vector<std::string> cells) {
+  RS_CHECK_MSG(cells.size() == headers_.size(),
+               "row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (auto w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out << ',';
+    out << csv_escape(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status Table::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::io_error("cannot open " + path);
+  file << to_csv();
+  if (!file) return Status::io_error("write failed for " + path);
+  return Status::ok();
+}
+
+std::string Table::fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string Table::fmt_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB", b / (1ULL << 30));
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / (1ULL << 20));
+  } else if (bytes >= (1ULL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / (1ULL << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string Table::fmt_count(std::uint64_t n) {
+  char buf[64];
+  const double v = static_cast<double>(n);
+  if (n >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fB", v / 1e9);
+  } else if (n >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (n >= 1000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+}  // namespace rs

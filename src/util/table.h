@@ -1,0 +1,43 @@
+// Console table / CSV emission for the benchmark harness. Every bench
+// binary prints the same rows/series the paper's table or figure reports,
+// via this formatter, and can optionally mirror them to a CSV file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rs {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers)
+      : title_(std::move(title)), headers_(std::move(headers)) {}
+
+  // Cells are preformatted strings; helpers below format numbers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Aligned, boxed console rendering.
+  std::string to_string() const;
+  void print() const;
+
+  // RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+  Status write_csv(const std::string& path) const;
+
+  // Numeric formatting helpers.
+  static std::string fmt_double(double v, int precision = 3);
+  static std::string fmt_seconds(double seconds);   // "12.34s" / "56.7ms"
+  static std::string fmt_bytes(std::uint64_t bytes);  // "1.5 GB"
+  static std::string fmt_count(std::uint64_t n);      // "1.6B", "65M"
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rs

@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+namespace rs {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  RS_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RS_CHECK_MSG(!stop_, "submit after ThreadPool shutdown");
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for_chunks(
+    std::size_t n, std::size_t num_threads,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  RS_CHECK(num_threads > 0);
+  if (n == 0) return;
+  num_threads = std::min(num_threads, n);
+  if (num_threads == 1) {
+    fn(0, n, 0);
+    return;
+  }
+  const std::size_t chunk = (n + num_threads - 1) / num_threads;
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end, t] { fn(begin, end, t); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace rs

@@ -1,0 +1,56 @@
+// A small fixed-size thread pool plus a parallel_for helper.
+//
+// The RingSampler engine itself manages its own long-lived worker threads
+// (each owns an io_uring instance), so this pool serves the substrates:
+// graph generation, CSR construction, and baseline samplers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace rs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  // Blocks until all currently queued tasks have run.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+// Splits [0, n) into contiguous chunks, one per worker, and runs
+// fn(begin, end, worker_index) on each. Blocks until all chunks finish.
+// With num_threads == 1 it runs inline (no thread overhead).
+void parallel_for_chunks(
+    std::size_t n, std::size_t num_threads,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+}  // namespace rs

@@ -1,0 +1,166 @@
+// GPU and SmartSSD simulator baselines: capacity-model OOM patterns must
+// match Fig. 4, reported times must be flagged simulated, and the real
+// sampling underneath must stay correct.
+#include <gtest/gtest.h>
+
+#include "baselines/gpu_sim.h"
+#include "baselines/smartssd_sim.h"
+#include "testutil.h"
+
+namespace rs::baselines {
+namespace {
+
+using test::TempDir;
+
+PaperGraphInfo paper(const char* which) {
+  PaperGraphInfo info;
+  if (std::string(which) == "ogbn") {
+    info.nodes = 111'000'000;
+    info.edges = 1'600'000'000;
+  } else if (std::string(which) == "friendster") {
+    info.nodes = 65'000'000;
+    info.edges = 3'600'000'000;
+  } else if (std::string(which) == "yahoo") {
+    info.nodes = 1'400'000'000;
+    info.edges = 6'600'000'000;
+  } else {  // synthetic
+    info.nodes = 134'000'000;
+    info.edges = 8'200'000'000;
+  }
+  return info;
+}
+
+class HwSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csr_ = test::make_test_csr(1000, 8000, 41);
+    base_ = test::write_test_graph(dir_, csr_);
+  }
+  GpuSimConfig gpu_config(GpuVariant variant) const {
+    GpuSimConfig config;
+    config.variant = variant;
+    config.fanouts = {4, 3};
+    config.batch_size = 64;
+    config.seed = 5;
+    return config;
+  }
+  TempDir dir_;
+  graph::Csr csr_;
+  std::string base_;
+};
+
+TEST_F(HwSimTest, Fig4OomPatternGpuResident) {
+  // DGL-GPU / gSampler-GPU fit ogbn + friendster in 80 GB, OOM on
+  // yahoo + synthetic.
+  for (const auto variant :
+       {GpuVariant::kDglGpu, GpuVariant::kGSamplerGpu}) {
+    RS_EXPECT_OK(
+        GpuSimSampler::open(base_, gpu_config(variant), paper("ogbn")));
+    RS_EXPECT_OK(GpuSimSampler::open(base_, gpu_config(variant),
+                                     paper("friendster")));
+    auto yahoo =
+        GpuSimSampler::open(base_, gpu_config(variant), paper("yahoo"));
+    ASSERT_FALSE(yahoo.is_ok());
+    EXPECT_EQ(yahoo.status().code(), ErrorCode::kOutOfMemory);
+    EXPECT_FALSE(GpuSimSampler::open(base_, gpu_config(variant),
+                                     paper("synthetic"))
+                     .is_ok());
+  }
+}
+
+TEST_F(HwSimTest, Fig4OomPatternUvaHostResident) {
+  for (const auto variant :
+       {GpuVariant::kDglUva, GpuVariant::kGSamplerUva}) {
+    RS_EXPECT_OK(
+        GpuSimSampler::open(base_, gpu_config(variant), paper("ogbn")));
+    RS_EXPECT_OK(GpuSimSampler::open(base_, gpu_config(variant),
+                                     paper("friendster")));
+    EXPECT_FALSE(
+        GpuSimSampler::open(base_, gpu_config(variant), paper("yahoo"))
+            .is_ok());
+    EXPECT_FALSE(GpuSimSampler::open(base_, gpu_config(variant),
+                                     paper("synthetic"))
+                     .is_ok());
+  }
+}
+
+TEST_F(HwSimTest, GpuTimesAreSimulatedAndOrdered) {
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < 500; ++v) targets.push_back(v);
+
+  auto run = [&](GpuVariant variant) {
+    auto sampler = GpuSimSampler::open(base_, gpu_config(variant), {});
+    RS_CHECK_MSG(sampler.is_ok(), sampler.status().to_string());
+    auto epoch = sampler.value()->run_epoch(targets);
+    RS_CHECK_MSG(epoch.is_ok(), epoch.status().to_string());
+    EXPECT_TRUE(epoch.value().simulated_time);
+    EXPECT_GT(epoch.value().sampled_neighbors, 0u);
+    return epoch.value().seconds;
+  };
+
+  const double dgl_gpu = run(GpuVariant::kDglGpu);
+  const double dgl_uva = run(GpuVariant::kDglUva);
+  const double gsampler_gpu = run(GpuVariant::kGSamplerGpu);
+  const double gsampler_uva = run(GpuVariant::kGSamplerUva);
+  // Paper ordering: GPU-resident beats UVA; gSampler beats DGL.
+  EXPECT_LT(dgl_gpu, dgl_uva);
+  EXPECT_LT(gsampler_gpu, dgl_gpu);
+  EXPECT_LT(gsampler_uva, dgl_uva);
+}
+
+TEST_F(HwSimTest, SmartSsdRunsEverywhereButSlowly) {
+  SmartSsdConfig config;
+  config.fanouts = {4, 3};
+  config.batch_size = 64;
+
+  auto sampler = SmartSsdSimSampler::open(base_, config);
+  RS_ASSERT_OK(sampler);
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < 500; ++v) targets.push_back(v);
+  auto epoch = sampler.value()->run_epoch(targets);
+  RS_ASSERT_OK(epoch);
+  EXPECT_TRUE(epoch.value().simulated_time);
+  EXPECT_GT(epoch.value().sampled_neighbors, 0u);
+  // The device examined at least every sampled neighbor (it streams full
+  // lists).
+  EXPECT_GE(epoch.value().read_ops, epoch.value().sampled_neighbors);
+}
+
+TEST_F(HwSimTest, SmartSsdHostFloorChargesBudget) {
+  SmartSsdConfig config;
+  config.fanouts = {4, 3};
+  const std::uint64_t bin = csr_.num_edges() * kEdgeEntryBytes;
+  const std::uint64_t floor = config.cost.host_floor_bytes(bin);
+
+  MemoryBudget roomy(floor * 2);
+  {
+    auto ok = SmartSsdSimSampler::open(base_, config, &roomy);
+    RS_ASSERT_OK(ok);
+    EXPECT_EQ(roomy.used(), floor);
+  }
+  EXPECT_EQ(roomy.used(), 0u);
+
+  MemoryBudget tight(floor - 1);
+  auto oom = SmartSsdSimSampler::open(base_, config, &tight);
+  ASSERT_FALSE(oom.is_ok());
+  EXPECT_EQ(oom.status().code(), ErrorCode::kOutOfMemory);
+}
+
+TEST_F(HwSimTest, SimulatedTimeScalesWithWork) {
+  SmartSsdConfig config;
+  config.fanouts = {4, 3};
+  auto sampler = SmartSsdSimSampler::open(base_, config);
+  RS_ASSERT_OK(sampler);
+  std::vector<NodeId> small_targets(100);
+  std::vector<NodeId> big_targets(900);
+  for (NodeId v = 0; v < 100; ++v) small_targets[v] = v;
+  for (NodeId v = 0; v < 900; ++v) big_targets[v] = v;
+  auto small = sampler.value()->run_epoch(small_targets);
+  auto big = sampler.value()->run_epoch(big_targets);
+  RS_ASSERT_OK(small);
+  RS_ASSERT_OK(big);
+  EXPECT_GT(big.value().seconds, small.value().seconds);
+}
+
+}  // namespace
+}  // namespace rs::baselines

@@ -1,0 +1,130 @@
+#include "baselines/inmem_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testutil.h"
+
+namespace rs::baselines {
+namespace {
+
+using test::TempDir;
+
+InMemConfig small_config() {
+  InMemConfig config;
+  config.fanouts = {5, 3};
+  config.batch_size = 64;
+  config.num_threads = 2;
+  config.seed = 11;
+  return config;
+}
+
+TEST(InMemSamplerTest, SamplesAreValidNeighbors) {
+  const graph::Csr csr = test::make_test_csr();
+  auto sampler = InMemSampler::from_csr(test::make_test_csr(),
+                                        small_config());
+  RS_ASSERT_OK(sampler);
+
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < 200; ++v) targets.push_back(v * 3);
+
+  std::vector<core::MiniBatchSample> batches;
+  auto epoch = sampler.value()->run_epoch_collect(
+      targets,
+      [&](core::MiniBatchSample&& s) { batches.push_back(std::move(s)); });
+  RS_ASSERT_OK(epoch);
+
+  ASSERT_EQ(batches.size(), 4u);  // ceil(200/64)
+  for (const auto& batch : batches) {
+    for (std::size_t l = 0; l < batch.layers.size(); ++l) {
+      const auto& layer = batch.layers[l];
+      for (std::size_t i = 0; i < layer.targets.size(); ++i) {
+        const NodeId target = layer.targets[i];
+        const auto sampled = layer.neighbors_of(i);
+        EXPECT_EQ(sampled.size(),
+                  std::min<std::uint64_t>(small_config().fanouts[l],
+                                          csr.degree(target)));
+        std::set<NodeId> distinct;
+        for (const NodeId nbr : sampled) {
+          EXPECT_TRUE(csr.has_edge(target, nbr));
+          distinct.insert(nbr);
+        }
+        EXPECT_EQ(distinct.size(), sampled.size());
+      }
+    }
+  }
+}
+
+TEST(InMemSamplerTest, OpenFromDiskMatchesGraph) {
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(800, 6000);
+  const std::string base = test::write_test_graph(dir, csr);
+  auto sampler = InMemSampler::open(base, small_config());
+  RS_ASSERT_OK(sampler);
+  EXPECT_EQ(sampler.value()->csr().num_edges(), csr.num_edges());
+  auto epoch = sampler.value()->run_epoch(
+      std::vector<NodeId>{1, 2, 3, 4, 5});
+  RS_ASSERT_OK(epoch);
+  EXPECT_GT(epoch.value().sampled_neighbors, 0u);
+  EXPECT_FALSE(epoch.value().simulated_time);
+}
+
+TEST(InMemSamplerTest, ChargesCsrToBudget) {
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(500, 4000);
+  const std::string base = test::write_test_graph(dir, csr);
+  MemoryBudget budget(64 << 20);
+  {
+    auto sampler = InMemSampler::open(base, small_config(), &budget);
+    RS_ASSERT_OK(sampler);
+    EXPECT_EQ(budget.used(), csr.memory_bytes());
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(InMemSamplerTest, BudgetTooSmallOoms) {
+  TempDir dir;
+  const std::string base =
+      test::write_test_graph(dir, test::make_test_csr(500, 4000));
+  MemoryBudget budget(512);
+  auto sampler = InMemSampler::open(base, small_config(), &budget);
+  ASSERT_FALSE(sampler.is_ok());
+  EXPECT_EQ(sampler.status().code(), ErrorCode::kOutOfMemory);
+}
+
+TEST(InMemSamplerTest, PaperScaleHostCheckOoms) {
+  TempDir dir;
+  const std::string base =
+      test::write_test_graph(dir, test::make_test_csr(100, 500));
+  // Yahoo at paper scale does not fit the modeled host representation.
+  PaperGraphInfo yahoo;
+  yahoo.nodes = 1'400'000'000;
+  yahoo.edges = 6'600'000'000;
+  auto sampler = InMemSampler::open(base, small_config(), nullptr, yahoo);
+  ASSERT_FALSE(sampler.is_ok());
+  EXPECT_EQ(sampler.status().code(), ErrorCode::kOutOfMemory);
+
+  // ogbn-papers fits.
+  PaperGraphInfo ogbn;
+  ogbn.nodes = 111'000'000;
+  ogbn.edges = 1'600'000'000;
+  RS_EXPECT_OK(InMemSampler::open(base, small_config(), nullptr, ogbn));
+}
+
+TEST(InMemSamplerTest, DeterministicPerSeed) {
+  auto a = InMemSampler::from_csr(test::make_test_csr(), small_config());
+  auto b = InMemSampler::from_csr(test::make_test_csr(), small_config());
+  RS_ASSERT_OK(a);
+  RS_ASSERT_OK(b);
+  std::vector<NodeId> targets(100);
+  for (NodeId v = 0; v < 100; ++v) targets[v] = v;
+  auto ea = a.value()->run_epoch(targets);
+  auto eb = b.value()->run_epoch(targets);
+  RS_ASSERT_OK(ea);
+  RS_ASSERT_OK(eb);
+  EXPECT_EQ(ea.value().checksum, eb.value().checksum);
+}
+
+}  // namespace
+}  // namespace rs::baselines

@@ -1,0 +1,93 @@
+#include "core/compact.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ring_sampler.h"
+#include "eval/runner.h"
+#include "testutil.h"
+
+namespace rs::core {
+namespace {
+
+TEST(CompactTest, RelabelsAndPreservesEdges) {
+  LayerSample layer;
+  layer.targets = {100, 200, 300};
+  layer.sample_begin = {0, 2, 2, 5};
+  layer.neighbors = {200, 900, 100, 900, 800};
+
+  const CompactBlock block = compact_layer(layer);
+  EXPECT_EQ(block.num_targets, 3u);
+  // Locals: 100->0, 200->1, 300->2, then 900->3, 800->4 by appearance.
+  ASSERT_EQ(block.global_ids.size(), 5u);
+  EXPECT_EQ(block.global_ids[0], 100u);
+  EXPECT_EQ(block.global_ids[1], 200u);
+  EXPECT_EQ(block.global_ids[2], 300u);
+  EXPECT_EQ(block.global_ids[3], 900u);
+  EXPECT_EQ(block.global_ids[4], 800u);
+
+  ASSERT_EQ(block.num_edges(), 5u);
+  // Target 100 sampled {200, 900}.
+  EXPECT_EQ(block.edge_dst[0], 0u);
+  EXPECT_EQ(block.edge_src[0], 1u);  // 200 is a target, reuses local 1
+  EXPECT_EQ(block.edge_dst[1], 0u);
+  EXPECT_EQ(block.edge_src[1], 3u);
+  // Target 300 sampled {100, 900, 800}.
+  EXPECT_EQ(block.edge_src[2], 0u);
+  EXPECT_EQ(block.edge_src[3], 3u);  // 900 deduped
+  EXPECT_EQ(block.edge_src[4], 4u);
+  EXPECT_EQ(block.edge_dst[4], 2u);
+}
+
+TEST(CompactTest, EmptyLayer) {
+  LayerSample layer;
+  layer.sample_begin = {0};
+  const CompactBlock block = compact_layer(layer);
+  EXPECT_EQ(block.num_nodes(), 0u);
+  EXPECT_EQ(block.num_edges(), 0u);
+}
+
+TEST(CompactTest, RoundTripsRealSamples) {
+  test::TempDir dir;
+  const graph::Csr csr = test::make_test_csr(800, 7000, 91);
+  const std::string base = test::write_test_graph(dir, csr);
+  SamplerConfig config;
+  config.fanouts = {5, 3};
+  config.batch_size = 64;
+  config.num_threads = 1;
+  config.queue_depth = 32;
+  auto sampler = RingSampler::open(base, config);
+  RS_ASSERT_OK(sampler);
+  auto sample = sampler.value()->sample_one(
+      eval::pick_targets(csr.num_nodes(), 64, 4));
+  RS_ASSERT_OK(sample);
+
+  const auto blocks = compact_batch(sample.value());
+  ASSERT_EQ(blocks.size(), sample.value().layers.size());
+  for (std::size_t l = 0; l < blocks.size(); ++l) {
+    const CompactBlock& block = blocks[l];
+    const LayerSample& layer = sample.value().layers[l];
+    EXPECT_EQ(block.num_targets, layer.targets.size());
+    EXPECT_EQ(block.num_edges(), layer.neighbors.size());
+
+    // Locals are dense and unique.
+    std::set<NodeId> globals(block.global_ids.begin(),
+                             block.global_ids.end());
+    EXPECT_EQ(globals.size(), block.global_ids.size());
+    // Compaction saves feature rows whenever neighbors repeat.
+    EXPECT_LE(block.global_ids.size(),
+              layer.targets.size() + layer.neighbors.size());
+
+    // Every COO pair maps back to a true graph edge.
+    for (std::size_t e = 0; e < block.num_edges(); ++e) {
+      const NodeId dst = block.global_ids[block.edge_dst[e]];
+      const NodeId src = block.global_ids[block.edge_src[e]];
+      EXPECT_TRUE(csr.has_edge(dst, src)) << dst << "->" << src;
+      EXPECT_LT(block.edge_dst[e], block.num_targets);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rs::core

@@ -1,0 +1,127 @@
+// NeighborCache and its engine integration: degree-greedy admission,
+// byte budgeting, correct cached adjacency, and the bit-identical
+// cache-on/cache-off sampling property.
+#include "core/neighbor_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ring_sampler.h"
+#include "eval/runner.h"
+#include "testutil.h"
+
+namespace rs::core {
+namespace {
+
+using test::TempDir;
+
+class NeighborCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csr_ = test::make_test_csr(1500, 15000, 88);
+    base_ = test::write_test_graph(dir_, csr_);
+    MemoryBudget unlimited;
+    auto index = OffsetIndex::load(base_, index_budget_);
+    RS_CHECK(index.is_ok());
+    index_ = std::move(index).value();
+  }
+  TempDir dir_;
+  graph::Csr csr_;
+  std::string base_;
+  MemoryBudget index_budget_;
+  OffsetIndex index_;
+};
+
+TEST_F(NeighborCacheTest, AdmitsHighestDegreeFirstWithinBudget) {
+  MemoryBudget budget;
+  auto cache = NeighborCache::build(base_, index_, 8 << 10, budget);
+  RS_ASSERT_OK(cache);
+  ASSERT_TRUE(cache.value().enabled());
+  EXPECT_LE(cache.value().cached_bytes(), 8u << 10);
+  EXPECT_EQ(budget.used(), cache.value().cached_bytes());
+
+  // Every cached node's degree >= every uncached (nonzero) node's
+  // degree would require strict greedy; at minimum the cache must hold
+  // the single highest-degree node.
+  NodeId hottest = 0;
+  for (NodeId v = 1; v < csr_.num_nodes(); ++v) {
+    if (csr_.degree(v) > csr_.degree(hottest)) hottest = v;
+  }
+  EXPECT_TRUE(cache.value().contains(hottest));
+}
+
+TEST_F(NeighborCacheTest, CachedAdjacencyMatchesGraph) {
+  MemoryBudget budget;
+  auto cache = NeighborCache::build(base_, index_, 64 << 10, budget);
+  RS_ASSERT_OK(cache);
+  std::size_t verified = 0;
+  for (NodeId v = 0; v < csr_.num_nodes(); ++v) {
+    const auto cached = cache.value().lookup(v);
+    if (cached.empty()) continue;
+    const auto truth = csr_.neighbors(v);
+    ASSERT_EQ(cached.size(), truth.size()) << "node " << v;
+    EXPECT_TRUE(std::equal(cached.begin(), cached.end(), truth.begin()));
+    ++verified;
+  }
+  EXPECT_GT(verified, 0u);
+  EXPECT_EQ(cache.value().hits(), verified);
+}
+
+TEST_F(NeighborCacheTest, ZeroBudgetDisabled) {
+  MemoryBudget budget;
+  auto cache = NeighborCache::build(base_, index_, 0, budget);
+  RS_ASSERT_OK(cache);
+  EXPECT_FALSE(cache.value().enabled());
+  EXPECT_TRUE(cache.value().lookup(0).empty());
+}
+
+TEST_F(NeighborCacheTest, BudgetOverflowFailsCleanly) {
+  MemoryBudget tiny(64);
+  auto cache = NeighborCache::build(base_, index_, 1 << 20, tiny);
+  ASSERT_FALSE(cache.is_ok());
+  EXPECT_EQ(cache.status().code(), ErrorCode::kOutOfMemory);
+  EXPECT_EQ(tiny.used(), 0u);
+}
+
+TEST_F(NeighborCacheTest, SamplingIdenticalWithAndWithoutHotCache) {
+  const auto targets = eval::pick_targets(csr_.num_nodes(), 300, 12);
+  auto run = [&](std::uint64_t hot_bytes) {
+    SamplerConfig config;
+    config.fanouts = {6, 4};
+    config.batch_size = 64;
+    config.num_threads = 2;
+    config.queue_depth = 32;
+    config.seed = 31;
+    config.hot_cache_bytes = hot_bytes;
+    auto sampler = RingSampler::open(base_, config);
+    RS_CHECK_MSG(sampler.is_ok(), sampler.status().to_string());
+    auto epoch = sampler.value()->run_epoch(targets);
+    RS_CHECK_MSG(epoch.is_ok(), epoch.status().to_string());
+    return std::pair<std::uint64_t, std::uint64_t>(
+        epoch.value().checksum, epoch.value().read_ops);
+  };
+  const auto [plain_checksum, plain_reads] = run(0);
+  const auto [cached_checksum, cached_reads] = run(512 << 10);
+  // Same sample, strictly less I/O (the whole graph fits the cache).
+  EXPECT_EQ(plain_checksum, cached_checksum);
+  EXPECT_LT(cached_reads, plain_reads);
+}
+
+TEST_F(NeighborCacheTest, EngineReportsHotHits) {
+  SamplerConfig config;
+  config.fanouts = {5};
+  config.batch_size = 64;
+  config.num_threads = 1;
+  config.queue_depth = 32;
+  config.hot_cache_bytes = 1 << 20;  // whole graph cacheable
+  auto sampler = RingSampler::open(base_, config);
+  RS_ASSERT_OK(sampler);
+  EXPECT_TRUE(sampler.value()->hot_cache().enabled());
+  const auto targets = eval::pick_targets(csr_.num_nodes(), 200, 2);
+  auto epoch = sampler.value()->run_epoch(targets);
+  RS_ASSERT_OK(epoch);
+  EXPECT_GT(epoch.value().cache_hits, 0u);
+  EXPECT_EQ(epoch.value().read_ops, 0u);  // everything served hot
+}
+
+}  // namespace
+}  // namespace rs::core

@@ -1,0 +1,73 @@
+#include "core/offset_index.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace rs::core {
+namespace {
+
+using test::TempDir;
+
+TEST(OffsetIndexTest, FromOffsetsDegreesMatch) {
+  MemoryBudget budget;
+  const std::vector<EdgeIdx> offs = {0, 3, 3, 10};
+  auto index = OffsetIndex::from_offsets(offs, budget);
+  RS_ASSERT_OK(index);
+  EXPECT_EQ(index.value().num_nodes(), 3u);
+  EXPECT_EQ(index.value().num_edges(), 10u);
+  EXPECT_EQ(index.value().degree(0), 3u);
+  EXPECT_EQ(index.value().degree(1), 0u);
+  EXPECT_EQ(index.value().degree(2), 7u);
+  EXPECT_EQ(index.value().begin(2), 3u);
+  EXPECT_EQ(index.value().end(2), 10u);
+}
+
+TEST(OffsetIndexTest, LoadRoundTripsThroughDisk) {
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(500, 3000);
+  const std::string base = test::write_test_graph(dir, csr);
+
+  MemoryBudget budget;
+  auto index = OffsetIndex::load(base, budget);
+  RS_ASSERT_OK(index);
+  ASSERT_EQ(index.value().num_nodes(), csr.num_nodes());
+  ASSERT_EQ(index.value().num_edges(), csr.num_edges());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    EXPECT_EQ(index.value().degree(v), csr.degree(v));
+    EXPECT_EQ(index.value().begin(v), csr.offsets()[v]);
+  }
+}
+
+TEST(OffsetIndexTest, ChargesBudgetProportionalToNodes) {
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(1000, 8000);
+  const std::string base = test::write_test_graph(dir, csr);
+  MemoryBudget budget(1 << 30);
+  {
+    auto index = OffsetIndex::load(base, budget);
+    RS_ASSERT_OK(index);
+    // |V|+1 u64 entries — independent of |E| (the Fig. 5 property).
+    EXPECT_EQ(budget.used(), (csr.num_nodes() + 1) * sizeof(EdgeIdx));
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(OffsetIndexTest, OomWhenBudgetTooSmall) {
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(1000, 8000);
+  const std::string base = test::write_test_graph(dir, csr);
+  MemoryBudget budget(128);
+  auto index = OffsetIndex::load(base, budget);
+  ASSERT_FALSE(index.is_ok());
+  EXPECT_EQ(index.status().code(), ErrorCode::kOutOfMemory);
+}
+
+TEST(OffsetIndexTest, MissingFilesFail) {
+  MemoryBudget budget;
+  auto index = OffsetIndex::load("/nonexistent/path", budget);
+  EXPECT_FALSE(index.is_ok());
+}
+
+}  // namespace
+}  // namespace rs::core

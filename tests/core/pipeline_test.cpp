@@ -1,0 +1,314 @@
+// ReadPipeline unit tests against the in-memory fault-injecting backend:
+// exact and block modes, sync and async, cache interaction, and error
+// propagation.
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "io/mem_backend.h"
+#include "testutil.h"
+
+namespace rs::core {
+namespace {
+
+// An ItemSource over a fixed list of items.
+class VectorSource final : public ItemSource {
+ public:
+  explicit VectorSource(std::vector<SampleItem> items)
+      : items_(std::move(items)) {}
+  std::size_t next(std::span<SampleItem> out) override {
+    std::size_t n = 0;
+    while (n < out.size() && pos_ < items_.size()) {
+      out[n++] = items_[pos_++];
+    }
+    return n;
+  }
+
+ private:
+  std::vector<SampleItem> items_;
+  std::size_t pos_ = 0;
+};
+
+// Edge file contents: entry i == i * 3 + 1.
+std::vector<unsigned char> make_edge_bytes(std::size_t entries) {
+  std::vector<NodeId> values(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    values[i] = static_cast<NodeId>(i * 3 + 1);
+  }
+  const auto* bytes = reinterpret_cast<const unsigned char*>(values.data());
+  return {bytes, bytes + entries * sizeof(NodeId)};
+}
+
+std::vector<SampleItem> make_items(std::size_t count, std::size_t entries,
+                                   std::uint64_t stride = 17) {
+  std::vector<SampleItem> items;
+  items.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    items.push_back({(i * stride) % entries,
+                     static_cast<std::uint32_t>(i)});
+  }
+  return items;
+}
+
+void verify_values(const std::vector<SampleItem>& items,
+                   const std::vector<NodeId>& values) {
+  for (const SampleItem& item : items) {
+    EXPECT_EQ(values[item.slot],
+              static_cast<NodeId>(item.edge_idx * 3 + 1))
+        << "slot " << item.slot;
+  }
+}
+
+struct PipelineParam {
+  std::string name;
+  bool async;
+  bool block_mode;
+  std::uint32_t group_size;
+};
+
+class PipelineModeTest : public ::testing::TestWithParam<PipelineParam> {};
+
+TEST_P(PipelineModeTest, FetchesEveryItemCorrectly) {
+  constexpr std::size_t kEntries = 4096;
+  const PipelineParam& param = GetParam();
+
+  io::MemBackend backend(make_edge_bytes(kEntries), param.group_size);
+  MemoryBudget budget;
+  PipelineOptions options;
+  options.async = param.async;
+  options.block_mode = param.block_mode;
+  options.block_bytes = 512;
+  options.group_size = param.group_size;
+  auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+  RS_ASSERT_OK(pipeline);
+
+  const auto items = make_items(1000, kEntries);
+  std::vector<NodeId> values(items.size(), 0);
+  VectorSource source(items);
+  test::assert_ok(pipeline.value()->run(source, values.data()));
+  verify_values(items, values);
+
+  const PipelineStats& stats = pipeline.value()->stats();
+  EXPECT_EQ(stats.items, items.size());
+  if (param.block_mode) {
+    // Coalescing cannot exceed one request per item; with groups larger
+    // than one, stride-17 items at 128 entries/block coalesce strictly.
+    if (param.group_size > 1) {
+      EXPECT_LT(stats.read_ops, items.size());
+    } else {
+      EXPECT_EQ(stats.read_ops, items.size());
+    }
+    EXPECT_GT(stats.read_ops, 0u);
+  } else {
+    EXPECT_EQ(stats.read_ops, items.size());
+    EXPECT_EQ(stats.bytes_read, items.size() * kEdgeEntryBytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, PipelineModeTest,
+    ::testing::Values(PipelineParam{"exact_sync", false, false, 64},
+                      PipelineParam{"exact_async", true, false, 64},
+                      PipelineParam{"block_sync", false, true, 64},
+                      PipelineParam{"block_async", true, true, 64},
+                      PipelineParam{"tiny_groups", true, false, 4},
+                      PipelineParam{"group_of_one", true, true, 1}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+TEST(PipelineTest, DelayedCompletionsStillAllArrive) {
+  constexpr std::size_t kEntries = 1024;
+  io::MemBackend backend(make_edge_bytes(kEntries), 32);
+  backend.set_completion_delay(3);
+  MemoryBudget budget;
+  PipelineOptions options;
+  options.group_size = 32;
+  auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+  RS_ASSERT_OK(pipeline);
+
+  const auto items = make_items(200, kEntries);
+  std::vector<NodeId> values(items.size(), 0);
+  VectorSource source(items);
+  test::assert_ok(pipeline.value()->run(source, values.data()));
+  verify_values(items, values);
+}
+
+TEST(PipelineTest, IoErrorSurfacesAsStatus) {
+  constexpr std::size_t kEntries = 1024;
+  io::MemBackend backend(make_edge_bytes(kEntries), 32);
+  backend.inject_faults(/*period=*/50, EIO);
+  MemoryBudget budget;
+  PipelineOptions options;
+  options.group_size = 32;
+  auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+  RS_ASSERT_OK(pipeline);
+
+  const auto items = make_items(200, kEntries);
+  std::vector<NodeId> values(items.size(), 0);
+  VectorSource source(items);
+  const Status status = pipeline.value()->run(source, values.data());
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kIoError);
+}
+
+TEST(PipelineTest, BlockCacheAbsorbsRepeatedBlocks) {
+  constexpr std::size_t kEntries = 1024;
+  io::MemBackend backend(make_edge_bytes(kEntries), 64);
+  MemoryBudget budget;
+  auto cache = BlockCache::create(budget, 1 << 20, 512);
+  RS_ASSERT_OK(cache);
+  ASSERT_TRUE(cache.value().enabled());
+
+  PipelineOptions options;
+  options.block_mode = true;
+  options.block_bytes = 512;
+  options.group_size = 64;
+  auto pipeline =
+      ReadPipeline::create(backend, &cache.value(), options, budget);
+  RS_ASSERT_OK(pipeline);
+
+  const auto items = make_items(500, kEntries);
+  std::vector<NodeId> values(items.size(), 0);
+
+  VectorSource first(items);
+  test::assert_ok(pipeline.value()->run(first, values.data()));
+  verify_values(items, values);
+  const std::uint64_t ops_first = pipeline.value()->stats().read_ops;
+
+  // Second pass over the same items: everything should come from cache.
+  std::fill(values.begin(), values.end(), 0);
+  VectorSource second(items);
+  test::assert_ok(pipeline.value()->run(second, values.data()));
+  verify_values(items, values);
+  EXPECT_EQ(pipeline.value()->stats().read_ops, ops_first);
+  EXPECT_GE(pipeline.value()->stats().cache_hits, items.size());
+}
+
+TEST(PipelineTest, AdjacentBlocksMergeIntoExtents) {
+  constexpr std::size_t kEntries = 4096;
+  // Queue deep enough that all items land in ONE group, so the group
+  // spans all 8 blocks and merging has something to merge.
+  io::MemBackend backend(make_edge_bytes(kEntries), 512);
+  MemoryBudget budget;
+
+  // Contiguous items spanning 8 blocks (entries 0..1023 at 128/block).
+  std::vector<SampleItem> items;
+  for (std::size_t i = 0; i < 1024; i += 2) {
+    items.push_back({i, static_cast<std::uint32_t>(items.size())});
+  }
+
+  auto run_with = [&](std::uint32_t max_extent) {
+    PipelineOptions options;
+    options.block_mode = true;
+    options.block_bytes = 512;
+    options.group_size = 512;
+    options.max_extent_blocks = max_extent;
+    auto pipeline =
+        ReadPipeline::create(backend, nullptr, options, budget);
+    RS_CHECK_MSG(pipeline.is_ok(), pipeline.status().to_string());
+    std::vector<NodeId> values(items.size(), 0);
+    VectorSource source(items);
+    const Status status = pipeline.value()->run(source, values.data());
+    RS_CHECK_MSG(status.is_ok(), status.to_string());
+    verify_values(items, values);
+    return pipeline.value()->stats().read_ops;
+  };
+
+  const std::uint64_t unmerged = run_with(1);
+  const std::uint64_t merged = run_with(8);
+  EXPECT_EQ(unmerged, 8u);  // one request per distinct block
+  EXPECT_EQ(merged, 1u);    // all 8 adjacent blocks in one extent
+}
+
+TEST(PipelineTest, ExtentCapRespected) {
+  constexpr std::size_t kEntries = 4096;
+  io::MemBackend backend(make_edge_bytes(kEntries), 64);
+  MemoryBudget budget;
+  std::vector<SampleItem> items;
+  for (std::size_t i = 0; i < 2048; i += 64) {  // 16 adjacent blocks
+    items.push_back({i, static_cast<std::uint32_t>(items.size())});
+  }
+  PipelineOptions options;
+  options.block_mode = true;
+  options.block_bytes = 512;
+  options.group_size = 64;
+  options.max_extent_blocks = 4;
+  auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+  RS_ASSERT_OK(pipeline);
+  std::vector<NodeId> values(items.size(), 0);
+  VectorSource source(items);
+  test::assert_ok(pipeline.value()->run(source, values.data()));
+  verify_values(items, values);
+  EXPECT_EQ(pipeline.value()->stats().read_ops, 4u);  // 16 blocks / 4
+}
+
+TEST(PipelineTest, ExtentsFillCacheBlockwise) {
+  constexpr std::size_t kEntries = 4096;
+  io::MemBackend backend(make_edge_bytes(kEntries), 64);
+  MemoryBudget budget;
+  auto cache = BlockCache::create(budget, 1 << 20, 512);
+  RS_ASSERT_OK(cache);
+  PipelineOptions options;
+  options.block_mode = true;
+  options.block_bytes = 512;
+  options.group_size = 64;
+  options.max_extent_blocks = 8;
+  auto pipeline =
+      ReadPipeline::create(backend, &cache.value(), options, budget);
+  RS_ASSERT_OK(pipeline);
+
+  // One extent covering blocks 0..7.
+  std::vector<SampleItem> items;
+  for (std::size_t i = 0; i < 1024; i += 128) {
+    items.push_back({i, static_cast<std::uint32_t>(items.size())});
+  }
+  std::vector<NodeId> values(items.size(), 0);
+  VectorSource first(items);
+  test::assert_ok(pipeline.value()->run(first, values.data()));
+  // Every covered block must now be cached individually.
+  for (std::uint64_t block = 0; block < 8; ++block) {
+    std::uint32_t out = 0;
+    EXPECT_TRUE(cache.value().lookup(block, 0, 4, &out))
+        << "block " << block;
+    EXPECT_EQ(out, static_cast<NodeId>(block * 128 * 3 + 1));
+  }
+}
+
+TEST(PipelineTest, GroupSizeBeyondBackendCapacityRejected) {
+  io::MemBackend backend(make_edge_bytes(64), 8);
+  MemoryBudget budget;
+  PipelineOptions options;
+  options.group_size = 16;  // backend holds only 8
+  auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+  EXPECT_FALSE(pipeline.is_ok());
+}
+
+TEST(PipelineTest, EmptySourceIsANoop) {
+  io::MemBackend backend(make_edge_bytes(64), 8);
+  MemoryBudget budget;
+  PipelineOptions options;
+  options.group_size = 8;
+  auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+  RS_ASSERT_OK(pipeline);
+  VectorSource source({});
+  NodeId dummy = 0;
+  test::assert_ok(pipeline.value()->run(source, &dummy));
+  EXPECT_EQ(pipeline.value()->stats().items, 0u);
+}
+
+TEST(PipelineTest, ScratchChargedAndReleased) {
+  io::MemBackend backend(make_edge_bytes(64), 8);
+  MemoryBudget budget(10 << 20);
+  PipelineOptions options;
+  options.group_size = 8;
+  {
+    auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+    RS_ASSERT_OK(pipeline);
+    EXPECT_GT(budget.used(), 0u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+}  // namespace
+}  // namespace rs::core

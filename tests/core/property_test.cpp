@@ -1,0 +1,262 @@
+// Property-based tests of the sampling engine, parameterized over graph
+// shapes and sampler configurations: invariants that must hold for any
+// input, not just the fixtures used elsewhere.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/ring_sampler.h"
+#include "eval/runner.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "gen/kronecker.h"
+#include "testutil.h"
+
+namespace rs::core {
+namespace {
+
+using test::TempDir;
+
+struct GraphCase {
+  std::string name;
+  int kind;  // 0 = ER, 1 = ChungLu, 2 = Kronecker, 3 = star, 4 = chain
+  NodeId nodes;
+  std::uint64_t edges;
+};
+
+struct ConfigCase {
+  std::string name;
+  std::vector<std::uint32_t> fanouts;
+  std::uint32_t batch_size;
+  std::uint32_t threads;
+  std::uint32_t queue_depth;
+};
+
+using PropertyParam = std::tuple<GraphCase, ConfigCase>;
+
+graph::Csr build_graph(const GraphCase& gc) {
+  switch (gc.kind) {
+    case 0: {
+      gen::ErdosRenyiConfig config;
+      config.num_nodes = gc.nodes;
+      config.num_edges = gc.edges;
+      config.seed = 91;
+      graph::EdgeList list = gen::generate_erdos_renyi(config);
+      list.sort();
+      list.dedup();
+      return graph::Csr::from_edge_list(list);
+    }
+    case 1: {
+      gen::ChungLuConfig config;
+      config.num_nodes = gc.nodes;
+      config.num_edges = gc.edges;
+      config.alpha = 2.1;
+      config.seed = 92;
+      graph::EdgeList list = gen::generate_chung_lu(config);
+      list.sort();
+      list.dedup();
+      return graph::Csr::from_edge_list(list);
+    }
+    case 2: {
+      gen::KroneckerConfig config;
+      config.scale = 10;
+      config.num_edges = gc.edges;
+      config.seed = 93;
+      graph::EdgeList list = gen::generate_kronecker(config);
+      list.sort();
+      list.dedup();
+      return graph::Csr::from_edge_list(list);
+    }
+    case 3: {  // star: node 0 -> all, all -> 0
+      graph::EdgeList list(gc.nodes);
+      for (NodeId v = 1; v < gc.nodes; ++v) {
+        list.add_edge(0, v);
+        list.add_edge(v, 0);
+      }
+      return graph::Csr::from_edge_list(list);
+    }
+    default: {  // chain
+      graph::EdgeList list(gc.nodes);
+      for (NodeId v = 0; v + 1 < gc.nodes; ++v) list.add_edge(v, v + 1);
+      return graph::Csr::from_edge_list(list);
+    }
+  }
+}
+
+class SamplerPropertyTest
+    : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(SamplerPropertyTest, InvariantsHoldForEveryBatch) {
+  const auto& [graph_case, config_case] = GetParam();
+  TempDir dir;
+  const graph::Csr csr = build_graph(graph_case);
+  const std::string base = test::write_test_graph(dir, csr);
+
+  SamplerConfig config;
+  config.fanouts = config_case.fanouts;
+  config.batch_size = config_case.batch_size;
+  config.num_threads = config_case.threads;
+  config.queue_depth = config_case.queue_depth;
+  config.seed = 7;
+  auto sampler = RingSampler::open(base, config);
+  RS_ASSERT_OK(sampler);
+
+  const auto targets =
+      eval::pick_targets(csr.num_nodes(),
+                         std::min<std::size_t>(csr.num_nodes(), 200), 3);
+
+  std::uint64_t total_targets_seen = 0;
+  auto epoch = sampler.value()->run_epoch_collect(
+      targets, [&](MiniBatchSample&& sample) {
+        ASSERT_FALSE(sample.layers.empty());
+        total_targets_seen += sample.layers[0].targets.size();
+        for (std::size_t l = 0; l < sample.layers.size(); ++l) {
+          const LayerSample& layer = sample.layers[l];
+          // Prefix table well-formed.
+          ASSERT_EQ(layer.sample_begin.size(), layer.targets.size() + 1);
+          ASSERT_TRUE(std::is_sorted(layer.sample_begin.begin(),
+                                     layer.sample_begin.end()));
+          ASSERT_EQ(layer.sample_begin.back(), layer.neighbors.size());
+          for (std::size_t i = 0; i < layer.targets.size(); ++i) {
+            const NodeId v = layer.targets[i];
+            const auto sampled = layer.neighbors_of(i);
+            // Exactly min(fanout, degree), distinct, true neighbors.
+            ASSERT_EQ(sampled.size(),
+                      std::min<std::uint64_t>(config.fanouts[l],
+                                              csr.degree(v)));
+            std::set<NodeId> distinct;
+            for (const NodeId nbr : sampled) {
+              ASSERT_TRUE(csr.has_edge(v, nbr))
+                  << v << "->" << nbr << " not an edge";
+              distinct.insert(nbr);
+            }
+            ASSERT_EQ(distinct.size(), sampled.size());
+          }
+          // Layer targets sorted-unique beyond layer 0.
+          if (l > 0) {
+            ASSERT_TRUE(std::is_sorted(layer.targets.begin(),
+                                       layer.targets.end()));
+            ASSERT_TRUE(std::adjacent_find(layer.targets.begin(),
+                                           layer.targets.end()) ==
+                        layer.targets.end());
+          }
+        }
+      });
+  RS_ASSERT_OK(epoch);
+  EXPECT_EQ(total_targets_seen, targets.size());
+}
+
+const GraphCase kGraphs[] = {
+    {"er", 0, 3000, 24000},
+    {"chung_lu", 1, 2000, 20000},
+    {"kronecker", 2, 1024, 12000},
+    {"star", 3, 500, 0},
+    {"chain", 4, 400, 0},
+};
+
+const ConfigCase kConfigs[] = {
+    {"default_like", {20, 15, 10}, 128, 2, 64},
+    {"single_layer", {5}, 32, 1, 8},
+    {"deep", {3, 3, 3, 3}, 16, 2, 16},
+    {"wide_fanout", {64, 64}, 8, 1, 32},
+    {"qd_smaller_than_fanout", {10}, 64, 2, 4},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SamplerPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(kGraphs),
+                       ::testing::ValuesIn(kConfigs)),
+    [](const auto& param_info) {
+      return std::get<0>(param_info.param).name + "_" +
+             std::get<1>(param_info.param).name;
+    });
+
+// Sampling from a hub with degree >> fanout never repeats a neighbor and
+// spreads over the whole neighborhood over repeated draws.
+TEST(SamplerDistributionTest, HubCoverageOverEpochs) {
+  TempDir dir;
+  constexpr NodeId kFanDegree = 2000;
+  graph::EdgeList edges(kFanDegree + 1);
+  for (NodeId v = 1; v <= kFanDegree; ++v) edges.add_edge(0, v);
+  const graph::Csr csr = graph::Csr::from_edge_list(edges);
+  const std::string base = test::write_test_graph(dir, csr);
+
+  SamplerConfig config;
+  config.fanouts = {16};
+  config.batch_size = 1;
+  config.num_threads = 1;
+  config.queue_depth = 32;
+  auto sampler = RingSampler::open(base, config);
+  RS_ASSERT_OK(sampler);
+
+  std::set<NodeId> seen;
+  const std::vector<NodeId> target = {0};
+  for (int i = 0; i < 800; ++i) {
+    auto sample = sampler.value()->sample_one(target);
+    RS_ASSERT_OK(sample);
+    const auto& nbrs = sample.value().layers[0].neighbors;
+    ASSERT_EQ(nbrs.size(), 16u);
+    seen.insert(nbrs.begin(), nbrs.end());
+  }
+  // 800 draws x 16 = 12800 samples over 2000 neighbors: expect nearly
+  // total coverage (coupon-collector says ~99.8%).
+  EXPECT_GT(seen.size(), kFanDegree * 95 / 100);
+}
+
+// Epoch results are reproducible across run_epoch and run_epoch_collect
+// (collection must not perturb sampling).
+TEST(SamplerDistributionTest, CollectionDoesNotPerturbSampling) {
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(1200, 9000, 55);
+  const std::string base = test::write_test_graph(dir, csr);
+  SamplerConfig config;
+  config.fanouts = {6, 4};
+  config.batch_size = 64;
+  config.num_threads = 2;
+  config.queue_depth = 32;
+  const auto targets = eval::pick_targets(csr.num_nodes(), 256, 9);
+
+  auto s1 = RingSampler::open(base, config);
+  RS_ASSERT_OK(s1);
+  auto plain = s1.value()->run_epoch(targets);
+  RS_ASSERT_OK(plain);
+
+  auto s2 = RingSampler::open(base, config);
+  RS_ASSERT_OK(s2);
+  std::uint64_t collected_checksum = 0;
+  auto collected = s2.value()->run_epoch_collect(
+      targets, [&](MiniBatchSample&& sample) {
+        collected_checksum += sample.checksum();
+      });
+  RS_ASSERT_OK(collected);
+
+  EXPECT_EQ(plain.value().checksum, collected.value().checksum);
+  EXPECT_EQ(plain.value().checksum, collected_checksum);
+}
+
+// Back-to-back epochs advance the RNG: same sampler, fresh samples.
+TEST(SamplerDistributionTest, EpochsAreNotIdentical) {
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(1000, 12000, 66);
+  const std::string base = test::write_test_graph(dir, csr);
+  SamplerConfig config;
+  config.fanouts = {5};
+  config.batch_size = 128;
+  config.num_threads = 1;
+  config.queue_depth = 32;
+  auto sampler = RingSampler::open(base, config);
+  RS_ASSERT_OK(sampler);
+  const auto targets = eval::pick_targets(csr.num_nodes(), 300, 4);
+  auto first = sampler.value()->run_epoch(targets);
+  auto second = sampler.value()->run_epoch(targets);
+  RS_ASSERT_OK(first);
+  RS_ASSERT_OK(second);
+  EXPECT_NE(first.value().checksum, second.value().checksum);
+  // But volumes agree exactly: single layer, same min(fanout, degree).
+  EXPECT_EQ(first.value().sampled_neighbors,
+            second.value().sampled_neighbors);
+}
+
+}  // namespace
+}  // namespace rs::core

@@ -1,0 +1,204 @@
+// RandomWalkSampler: every consecutive pair is a true edge, dead ends
+// pad, walks are deterministic in the seed regardless of I/O order and
+// backend, and concurrency limits are respected.
+#include "core/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "eval/runner.h"
+#include "testutil.h"
+
+namespace rs::core {
+namespace {
+
+using test::TempDir;
+
+class RandomWalkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csr_ = test::make_test_csr(1500, 12000, 83);
+    base_ = test::write_test_graph(dir_, csr_);
+  }
+
+  RandomWalkConfig small_config() const {
+    RandomWalkConfig config;
+    config.walk_length = 4;
+    config.walks_per_start = 2;
+    config.num_threads = 2;
+    config.queue_depth = 16;
+    config.seed = 21;
+    return config;
+  }
+
+  TempDir dir_;
+  graph::Csr csr_;
+  std::string base_;
+};
+
+TEST_F(RandomWalkTest, StepsFollowEdges) {
+  auto sampler = RandomWalkSampler::open(base_, small_config());
+  RS_ASSERT_OK(sampler);
+  const auto starts = eval::pick_targets(csr_.num_nodes(), 100, 3);
+  auto result = sampler.value()->run(starts);
+  RS_ASSERT_OK(result);
+  const auto& r = result.value();
+  ASSERT_EQ(r.num_walks, 200u);  // 2 walks per start
+  ASSERT_EQ(r.row_width, 5u);
+
+  std::uint64_t steps = 0;
+  for (std::size_t i = 0; i < r.num_walks; ++i) {
+    const auto walk = r.walk(i);
+    ASSERT_EQ(walk[0], starts[i / 2]);
+    bool ended = false;
+    for (std::size_t pos = 1; pos < walk.size(); ++pos) {
+      if (walk[pos] == kInvalidNode) {
+        ended = true;  // dead end: everything after must be padding
+        continue;
+      }
+      ASSERT_FALSE(ended) << "walk resumed after a dead end";
+      ASSERT_TRUE(csr_.has_edge(walk[pos - 1], walk[pos]))
+          << walk[pos - 1] << "->" << walk[pos];
+      ++steps;
+    }
+  }
+  EXPECT_EQ(steps, r.read_ops);  // one 4-byte read per step taken
+  EXPECT_GT(steps, 0u);
+}
+
+TEST_F(RandomWalkTest, DeterministicAcrossRunsAndBackends) {
+  const auto starts = eval::pick_targets(csr_.num_nodes(), 60, 1);
+  auto walks_with = [&](io::BackendKind kind, std::uint32_t threads) {
+    RandomWalkConfig config = small_config();
+    config.backend = kind;
+    config.num_threads = threads;
+    auto sampler = RandomWalkSampler::open(base_, config);
+    RS_CHECK_MSG(sampler.is_ok(), sampler.status().to_string());
+    auto result = sampler.value()->run(starts);
+    RS_CHECK_MSG(result.is_ok(), result.status().to_string());
+    return result.value().walks;
+  };
+  const auto reference = walks_with(io::BackendKind::kPsync, 1);
+  // Per-walk RNG streams: identical walks whatever the backend, the
+  // thread count, or the completion interleaving.
+  EXPECT_EQ(walks_with(io::BackendKind::kUringPoll, 1), reference);
+  EXPECT_EQ(walks_with(io::BackendKind::kUring, 2), reference);
+  EXPECT_EQ(walks_with(io::BackendKind::kMmap, 2), reference);
+}
+
+TEST_F(RandomWalkTest, SeedChangesWalks) {
+  const auto starts = eval::pick_targets(csr_.num_nodes(), 40, 1);
+  RandomWalkConfig a = small_config();
+  RandomWalkConfig b = small_config();
+  b.seed = a.seed + 1;
+  auto sa = RandomWalkSampler::open(base_, a);
+  auto sb = RandomWalkSampler::open(base_, b);
+  RS_ASSERT_OK(sa);
+  RS_ASSERT_OK(sb);
+  auto ra = sa.value()->run(starts);
+  auto rb = sb.value()->run(starts);
+  RS_ASSERT_OK(ra);
+  RS_ASSERT_OK(rb);
+  EXPECT_NE(ra.value().walks, rb.value().walks);
+  EXPECT_NE(ra.value().checksum, rb.value().checksum);
+}
+
+TEST_F(RandomWalkTest, DeadEndPadsRow) {
+  // 0 -> 1 -> (nothing): a 3-step walk from 0 records 1 then pads.
+  graph::EdgeList edges(4);
+  edges.add_edge(0, 1);
+  const graph::Csr csr = graph::Csr::from_edge_list(edges);
+  TempDir dir;
+  const std::string base = test::write_test_graph(dir, csr);
+
+  RandomWalkConfig config = small_config();
+  config.walk_length = 3;
+  config.walks_per_start = 1;
+  config.num_threads = 1;
+  auto sampler = RandomWalkSampler::open(base, config);
+  RS_ASSERT_OK(sampler);
+  const std::vector<NodeId> starts = {0};
+  auto result = sampler.value()->run(starts);
+  RS_ASSERT_OK(result);
+  const auto walk = result.value().walk(0);
+  EXPECT_EQ(walk[0], 0u);
+  EXPECT_EQ(walk[1], 1u);
+  EXPECT_EQ(walk[2], kInvalidNode);
+  EXPECT_EQ(walk[3], kInvalidNode);
+  EXPECT_EQ(result.value().read_ops, 1u);
+}
+
+TEST_F(RandomWalkTest, ZeroDegreeStartPadsEntirely) {
+  graph::EdgeList edges(4);
+  edges.add_edge(1, 2);
+  const graph::Csr csr = graph::Csr::from_edge_list(edges);
+  TempDir dir;
+  const std::string base = test::write_test_graph(dir, csr);
+  RandomWalkConfig config = small_config();
+  config.walks_per_start = 1;
+  config.num_threads = 1;
+  auto sampler = RandomWalkSampler::open(base, config);
+  RS_ASSERT_OK(sampler);
+  const std::vector<NodeId> starts = {0, 3};
+  auto result = sampler.value()->run(starts);
+  RS_ASSERT_OK(result);
+  EXPECT_EQ(result.value().read_ops, 0u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto walk = result.value().walk(i);
+    EXPECT_EQ(walk[0], starts[i]);
+    for (std::size_t pos = 1; pos < walk.size(); ++pos) {
+      EXPECT_EQ(walk[pos], kInvalidNode);
+    }
+  }
+}
+
+TEST_F(RandomWalkTest, UniformStepOnFixedNeighborhood) {
+  // One-hop walks from a hub: step distribution is uniform over its
+  // neighbors.
+  graph::EdgeList edges(34);
+  for (NodeId v = 1; v <= 32; ++v) edges.add_edge(0, v);
+  const graph::Csr csr = graph::Csr::from_edge_list(edges);
+  TempDir dir;
+  const std::string base = test::write_test_graph(dir, csr);
+
+  RandomWalkConfig config = small_config();
+  config.walk_length = 1;
+  config.walks_per_start = 8000;
+  config.num_threads = 1;
+  auto sampler = RandomWalkSampler::open(base, config);
+  RS_ASSERT_OK(sampler);
+  const std::vector<NodeId> starts = {0};
+  auto result = sampler.value()->run(starts);
+  RS_ASSERT_OK(result);
+
+  std::map<NodeId, std::uint64_t> counts;
+  for (std::size_t i = 0; i < result.value().num_walks; ++i) {
+    ++counts[result.value().walk(i)[1]];
+  }
+  ASSERT_EQ(counts.size(), 32u);
+  const double expected = 8000.0 / 32.0;
+  double chi2 = 0;
+  for (const auto& [node, count] : counts) {
+    const double d = static_cast<double>(count) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 61.1);  // 31 dof, 99.9th percentile
+}
+
+TEST_F(RandomWalkTest, InvalidInputs) {
+  RandomWalkConfig config = small_config();
+  config.walk_length = 0;
+  EXPECT_FALSE(RandomWalkSampler::open(base_, config).is_ok());
+
+  auto sampler = RandomWalkSampler::open(base_, small_config());
+  RS_ASSERT_OK(sampler);
+  const std::vector<NodeId> bad = {csr_.num_nodes()};
+  EXPECT_FALSE(sampler.value()->run(bad).is_ok());
+  auto empty = sampler.value()->run({});
+  RS_ASSERT_OK(empty);
+  EXPECT_EQ(empty.value().num_walks, 0u);
+}
+
+}  // namespace
+}  // namespace rs::core

@@ -1,0 +1,63 @@
+#include "core/subgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::core {
+namespace {
+
+MiniBatchSample make_sample() {
+  MiniBatchSample sample;
+  LayerSample layer;
+  layer.targets = {1, 2};
+  layer.sample_begin = {0, 2, 3};
+  layer.neighbors = {10, 11, 20};
+  sample.layers.push_back(layer);
+  return sample;
+}
+
+TEST(SubgraphTest, NeighborsOfSlices) {
+  const MiniBatchSample sample = make_sample();
+  const LayerSample& layer = sample.layers[0];
+  const auto n0 = layer.neighbors_of(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 10u);
+  EXPECT_EQ(n0[1], 11u);
+  const auto n1 = layer.neighbors_of(1);
+  ASSERT_EQ(n1.size(), 1u);
+  EXPECT_EQ(n1[0], 20u);
+}
+
+TEST(SubgraphTest, ChecksumOrderIndependent) {
+  // acc is commutative: mixing edges in any order agrees.
+  std::uint64_t a = 0;
+  a = edge_checksum_mix(a, 1, 10);
+  a = edge_checksum_mix(a, 2, 20);
+  a = edge_checksum_mix(a, 1, 11);
+
+  std::uint64_t b = 0;
+  b = edge_checksum_mix(b, 1, 11);
+  b = edge_checksum_mix(b, 1, 10);
+  b = edge_checksum_mix(b, 2, 20);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SubgraphTest, ChecksumSensitiveToEdges) {
+  std::uint64_t a = edge_checksum_mix(0, 1, 10);
+  std::uint64_t b = edge_checksum_mix(0, 1, 11);
+  std::uint64_t c = edge_checksum_mix(0, 10, 1);  // direction matters
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SubgraphTest, SampleChecksumAndCounts) {
+  const MiniBatchSample sample = make_sample();
+  EXPECT_EQ(sample.total_sampled_neighbors(), 3u);
+  std::uint64_t want = 0;
+  want = edge_checksum_mix(want, 1, 10);
+  want = edge_checksum_mix(want, 1, 11);
+  want = edge_checksum_mix(want, 2, 20);
+  EXPECT_EQ(sample.checksum(), want);
+}
+
+}  // namespace
+}  // namespace rs::core

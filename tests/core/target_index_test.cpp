@@ -1,0 +1,66 @@
+#include "core/target_index.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "testutil.h"
+
+namespace rs::core {
+namespace {
+
+TEST(TargetIndexTest, BatchSlicingCoversAllTargetsOnce) {
+  std::vector<NodeId> targets(1000);
+  std::iota(targets.begin(), targets.end(), NodeId{0});
+  MemoryBudget budget;
+  auto index = TargetIndex::create(targets, 64, budget);
+  RS_ASSERT_OK(index);
+
+  EXPECT_EQ(index.value().num_batches(), 16u);  // ceil(1000/64)
+  std::vector<NodeId> seen;
+  for (std::size_t b = 0; b < index.value().num_batches(); ++b) {
+    const auto batch = index.value().batch(b);
+    EXPECT_LE(batch.size(), 64u);
+    seen.insert(seen.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(seen, targets);
+  // The tail batch is short: 1000 - 15*64 = 40.
+  EXPECT_EQ(index.value().batch(15).size(), 40u);
+}
+
+TEST(TargetIndexTest, ThreadAssignmentBalanced) {
+  std::vector<NodeId> targets(1000);
+  MemoryBudget budget;
+  auto index = TargetIndex::create(targets, 64, budget);
+  RS_ASSERT_OK(index);
+  // 16 batches over 5 threads round-robin: 4,3,3,3,3.
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < 5; ++t) {
+    const std::size_t n = index.value().batches_for_thread(t, 5);
+    EXPECT_LE(n, 4u);
+    EXPECT_GE(n, 3u);
+    total += n;
+  }
+  EXPECT_EQ(total, 16u);
+  // More threads than batches: extras idle.
+  EXPECT_EQ(index.value().batches_for_thread(20, 32), 0u);
+}
+
+TEST(TargetIndexTest, EmptyTargets) {
+  MemoryBudget budget;
+  auto index = TargetIndex::create({}, 64, budget);
+  RS_ASSERT_OK(index);
+  EXPECT_EQ(index.value().num_batches(), 0u);
+  EXPECT_EQ(index.value().num_targets(), 0u);
+}
+
+TEST(TargetIndexTest, ChargesBudget) {
+  std::vector<NodeId> targets(4096);
+  MemoryBudget budget(1 << 20);
+  auto index = TargetIndex::create(targets, 64, budget);
+  RS_ASSERT_OK(index);
+  EXPECT_EQ(budget.used(), 4096 * sizeof(NodeId));
+}
+
+}  // namespace
+}  // namespace rs::core

@@ -1,0 +1,89 @@
+#include "core/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace rs::core {
+namespace {
+
+SamplerConfig config_with(std::vector<std::uint32_t> fanouts,
+                          std::uint32_t batch) {
+  SamplerConfig config;
+  config.fanouts = std::move(fanouts);
+  config.batch_size = batch;
+  return config;
+}
+
+TEST(SamplerConfigTest, WidthMath) {
+  const SamplerConfig config = config_with({20, 15, 10}, 1024);
+  EXPECT_EQ(config.max_layer_width(0), 1024u * 20);
+  EXPECT_EQ(config.max_layer_width(1), 1024u * 20 * 15);
+  EXPECT_EQ(config.max_layer_width(2), 1024u * 20 * 15 * 10);
+  EXPECT_EQ(config.max_width(), 1024u * 20 * 15 * 10);
+  EXPECT_EQ(config.num_layers(), 3u);
+}
+
+TEST(WorkspaceTest, CapacitiesMatchWorstCase) {
+  MemoryBudget budget;
+  const SamplerConfig config = config_with({4, 3}, 16);
+  auto ws = Workspace::create(config, budget);
+  RS_ASSERT_OK(ws);
+  EXPECT_EQ(ws.value().values_capacity(), 16u * 4 * 3);
+  // Widest target set: layer-0 output (16*4) before the last layer.
+  EXPECT_EQ(ws.value().targets_capacity(), 16u * 4);
+  EXPECT_EQ(ws.value().begins_capacity(), 16u * 4 + 1);
+}
+
+TEST(WorkspaceTest, SingleLayerTargetsAreBatchSized) {
+  MemoryBudget budget;
+  auto ws = Workspace::create(config_with({7}, 32), budget);
+  RS_ASSERT_OK(ws);
+  EXPECT_EQ(ws.value().targets_capacity(), 32u);
+  EXPECT_EQ(ws.value().values_capacity(), 32u * 7);
+}
+
+TEST(WorkspaceTest, DedupSortsAndUniques) {
+  MemoryBudget budget;
+  auto ws_result = Workspace::create(config_with({4, 4}, 8), budget);
+  RS_ASSERT_OK(ws_result);
+  Workspace& ws = ws_result.value();
+
+  const std::vector<NodeId> raw = {5, 3, 5, 1, 3, 3, 9, 1};
+  std::copy(raw.begin(), raw.end(), ws.values());
+  const std::size_t n = ws.dedup_into_targets(raw.size());
+  ASSERT_EQ(n, 4u);
+  EXPECT_EQ(ws.targets()[0], 1u);
+  EXPECT_EQ(ws.targets()[1], 3u);
+  EXPECT_EQ(ws.targets()[2], 5u);
+  EXPECT_EQ(ws.targets()[3], 9u);
+}
+
+TEST(WorkspaceTest, DedupOfNothing) {
+  MemoryBudget budget;
+  auto ws = Workspace::create(config_with({2}, 4), budget);
+  RS_ASSERT_OK(ws);
+  EXPECT_EQ(ws.value().dedup_into_targets(0), 0u);
+}
+
+TEST(WorkspaceTest, BudgetChargedAndReleased) {
+  MemoryBudget budget(64 << 20);
+  {
+    auto ws = Workspace::create(config_with({20, 15}, 128), budget);
+    RS_ASSERT_OK(ws);
+    EXPECT_EQ(budget.used(), ws.value().memory_bytes());
+    EXPECT_GT(budget.used(), 128u * 20 * 15 * sizeof(NodeId));
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(WorkspaceTest, OomOnTinyBudget) {
+  MemoryBudget budget(1024);
+  auto ws = Workspace::create(config_with({20, 15, 10}, 1024), budget);
+  ASSERT_FALSE(ws.is_ok());
+  EXPECT_EQ(ws.status().code(), ErrorCode::kOutOfMemory);
+  EXPECT_EQ(budget.used(), 0u);  // nothing leaked on failure
+}
+
+}  // namespace
+}  // namespace rs::core

@@ -1,0 +1,133 @@
+// Regression guards for the paper's headline figure *shapes*, pinned as
+// unit tests at miniature scale: if a change to budgets, cost models, or
+// the engine breaks "who OOMs where", these fail long before anyone
+// reruns the full benches.
+#include <gtest/gtest.h>
+
+#include "eval/runner.h"
+#include "eval/suite.h"
+#include "gen/erdos_renyi.h"
+#include "testutil.h"
+
+namespace rs::eval {
+namespace {
+
+using test::TempDir;
+
+// A graph big enough that its binary size dominates the sampler's
+// fixed footprint (the Fig. 5 regime).
+class FigureShapeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gen::ErdosRenyiConfig config;
+    config.num_nodes = 20000;
+    config.num_edges = 300000;
+    config.seed = 47;
+    graph::EdgeList list = gen::generate_erdos_renyi(config);
+    list.sort();
+    list.dedup();
+    csr_ = graph::Csr::from_edge_list(list);
+    base_ = test::write_test_graph(dir_, csr_);
+    bin_ = csr_.num_edges() * kEdgeEntryBytes;
+  }
+
+  SystemParams params(std::uint64_t budget) const {
+    SystemParams p;
+    p.graph_base = base_;
+    p.fanouts = {4, 3};
+    p.batch_size = 16;
+    p.threads = 1;
+    p.queue_depth = 16;
+    p.budget_bytes = budget;
+    return p;
+  }
+
+  // Construction + one epoch; returns the OOM flag.
+  bool ooms(const std::string& system, std::uint64_t budget) const {
+    auto sampler = make_system(system, params(budget));
+    if (!sampler.is_ok()) {
+      RS_CHECK_MSG(sampler.status().code() == ErrorCode::kOutOfMemory,
+                   sampler.status().to_string());
+      return true;
+    }
+    const auto targets = pick_targets(csr_.num_nodes(), 64, 3);
+    auto epoch = sampler.value()->run_epoch(targets);
+    if (!epoch.is_ok()) {
+      RS_CHECK_MSG(epoch.status().code() == ErrorCode::kOutOfMemory,
+                   epoch.status().to_string());
+      return true;
+    }
+    return false;
+  }
+
+  TempDir dir_;
+  graph::Csr csr_;
+  std::string base_;
+  std::uint64_t bin_ = 0;
+};
+
+TEST_F(FigureShapeTest, Fig5OnlyRingSamplerSurvivesSmallestBudget) {
+  // The paper's budget ladder as bin-size multiples: 4 GB / 6.8 GB etc.
+  const auto b4 = static_cast<std::uint64_t>(bin_ * 4.0 / 6.8);
+  const auto b8 = static_cast<std::uint64_t>(bin_ * 8.0 / 6.8);
+  const auto b16 = static_cast<std::uint64_t>(bin_ * 16.0 / 6.8);
+
+  // RingSampler: survives every point (O(|V|) footprint).
+  EXPECT_FALSE(ooms("RingSampler", b4));
+  EXPECT_FALSE(ooms("RingSampler", b16));
+
+  // SmartSSD: host floor 1.15x bin -> dies at the 4GB point, lives at 8.
+  EXPECT_TRUE(ooms("SmartSSD", b4));
+  EXPECT_FALSE(ooms("SmartSSD", b8));
+
+  // Marius: per-node state + pool -> needs the 16GB-equivalent point.
+  EXPECT_TRUE(ooms("Marius", b4));
+  EXPECT_TRUE(ooms("Marius", b8));
+  EXPECT_FALSE(ooms("Marius", b16));
+}
+
+TEST_F(FigureShapeTest, Fig4OomPatternAtPaperScale) {
+  // Paper-scale capacity checks: on the large graphs (yahoo here) every
+  // GPU/in-memory baseline and Marius must OOM; on ogbn-papers all run.
+  baselines::PaperGraphInfo yahoo;
+  yahoo.nodes = 1'400'000'000;
+  yahoo.edges = 6'600'000'000;
+  baselines::PaperGraphInfo ogbn;
+  ogbn.nodes = 111'000'000;
+  ogbn.edges = 1'600'000'000;
+
+  for (const std::string& system : all_system_names()) {
+    SystemParams p = params(0);
+    p.paper = yahoo;
+    const bool should_survive =
+        system == "RingSampler" || system == "SmartSSD";
+    EXPECT_EQ(make_system(system, p).is_ok(), should_survive)
+        << system << " on yahoo";
+
+    p.paper = ogbn;
+    EXPECT_TRUE(make_system(system, p).is_ok()) << system << " on ogbn";
+  }
+}
+
+TEST_F(FigureShapeTest, Fig4SimulatedOrderingHolds) {
+  // gSampler-GPU < DGL-GPU and DGL-GPU < DGL-UVA < DGL-CPU-with-
+  // framework-cost relationships that Fig. 4 relies on.
+  const auto targets = pick_targets(csr_.num_nodes(), 256, 5);
+  auto seconds = [&](const std::string& system) {
+    auto sampler = make_system(system, params(0));
+    RS_CHECK_MSG(sampler.is_ok(), sampler.status().to_string());
+    auto epoch = sampler.value()->run_epoch(targets);
+    RS_CHECK_MSG(epoch.is_ok(), epoch.status().to_string());
+    return epoch.value().seconds;
+  };
+  const double gsampler_gpu = seconds("gSampler-GPU");
+  const double dgl_gpu = seconds("DGL-GPU");
+  const double dgl_uva = seconds("DGL-UVA");
+  const double smartssd = seconds("SmartSSD");
+  EXPECT_LT(gsampler_gpu, dgl_gpu);
+  EXPECT_LT(dgl_gpu, dgl_uva);
+  EXPECT_GT(smartssd, dgl_uva);  // in-storage is the slow end
+}
+
+}  // namespace
+}  // namespace rs::eval

@@ -1,0 +1,185 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/suite.h"
+#include "testutil.h"
+
+namespace rs::eval {
+namespace {
+
+// A scripted fake sampler for runner behavior tests.
+class FakeSampler final : public core::Sampler {
+ public:
+  explicit FakeSampler(std::vector<double> epoch_seconds)
+      : epoch_seconds_(std::move(epoch_seconds)) {}
+  std::string name() const override { return "fake"; }
+  Result<core::EpochResult> run_epoch(std::span<const NodeId>) override {
+    core::EpochResult result;
+    if (calls_ >= epoch_seconds_.size()) {
+      return Status::oom("scripted OOM");
+    }
+    result.seconds = epoch_seconds_[calls_++];
+    result.sampled_neighbors = 100;
+    result.checksum = 1;
+    return result;
+  }
+
+ private:
+  std::vector<double> epoch_seconds_;
+  std::size_t calls_ = 0;
+};
+
+TEST(RunnerTest, AveragesEpochs) {
+  RunOptions options;
+  options.epochs = 3;
+  int before_calls = 0;
+  options.before_epoch = [&] { ++before_calls; };
+  const RunOutcome outcome = run_system(
+      "fake",
+      [] {
+        return Result<std::unique_ptr<core::Sampler>>(
+            std::make_unique<FakeSampler>(std::vector<double>{1.0, 2.0,
+                                                              3.0}));
+      },
+      {}, options);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_DOUBLE_EQ(outcome.mean.seconds, 2.0);
+  EXPECT_EQ(outcome.epochs.size(), 3u);
+  EXPECT_EQ(before_calls, 3);
+  EXPECT_EQ(outcome.mean.sampled_neighbors, 100u);
+  EXPECT_EQ(outcome.cell(), "2.00s");
+}
+
+TEST(RunnerTest, FactoryOomBecomesMarker) {
+  RunOptions options;
+  const RunOutcome outcome = run_system(
+      "oomer",
+      []() -> Result<std::unique_ptr<core::Sampler>> {
+        return Status::oom("no memory");
+      },
+      {}, options);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.oom);
+  EXPECT_EQ(outcome.cell(), "OOM");
+}
+
+TEST(RunnerTest, MidEpochOomCaught) {
+  RunOptions options;
+  options.epochs = 5;
+  const RunOutcome outcome = run_system(
+      "flaky",
+      [] {
+        return Result<std::unique_ptr<core::Sampler>>(
+            std::make_unique<FakeSampler>(std::vector<double>{1.0}));
+      },
+      {}, options);
+  EXPECT_TRUE(outcome.oom);  // second epoch OOMs
+}
+
+TEST(RunnerTest, SimulatedTimesMarkedInCell) {
+  class SimSampler final : public core::Sampler {
+   public:
+    std::string name() const override { return "sim"; }
+    Result<core::EpochResult> run_epoch(std::span<const NodeId>) override {
+      core::EpochResult result;
+      result.seconds = 1.5;
+      result.simulated_time = true;
+      return result;
+    }
+  };
+  RunOptions options;
+  options.epochs = 1;
+  const RunOutcome outcome = run_system(
+      "sim",
+      [] {
+        return Result<std::unique_ptr<core::Sampler>>(
+            std::make_unique<SimSampler>());
+      },
+      {}, options);
+  EXPECT_EQ(outcome.cell(), "1.50s*");
+}
+
+TEST(RunnerTest, NonOomErrorIsErrCell) {
+  RunOptions options;
+  const RunOutcome outcome = run_system(
+      "broken",
+      []() -> Result<std::unique_ptr<core::Sampler>> {
+        return Status::io_error("disk gone");
+      },
+      {}, options);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_FALSE(outcome.oom);
+  EXPECT_EQ(outcome.cell(), "ERR");
+}
+
+TEST(PickTargetsTest, DistinctInRangeDeterministic) {
+  const auto a = pick_targets(10000, 500, 3);
+  const auto b = pick_targets(10000, 500, 3);
+  const auto c = pick_targets(10000, 500, 4);
+  ASSERT_EQ(a.size(), 500u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  std::set<NodeId> distinct(a.begin(), a.end());
+  EXPECT_EQ(distinct.size(), 500u);
+  for (const NodeId v : a) EXPECT_LT(v, 10000u);
+}
+
+TEST(PickTargetsTest, CountClampedToNodes) {
+  const auto targets = pick_targets(10, 100, 1);
+  EXPECT_EQ(targets.size(), 10u);
+}
+
+TEST(SuiteTest, NamesAndUnknown) {
+  EXPECT_EQ(all_system_names().size(), 8u);
+  EXPECT_EQ(out_of_core_system_names().size(), 3u);
+  SystemParams params;
+  params.graph_base = "/nonexistent";
+  EXPECT_FALSE(make_system("NotASystem", params).is_ok());
+}
+
+TEST(SuiteTest, BuildsEverySystemOnRealGraph) {
+  test::TempDir dir;
+  const graph::Csr csr = test::make_test_csr(600, 4000);
+  const std::string base = test::write_test_graph(dir, csr);
+
+  SystemParams params;
+  params.graph_base = base;
+  params.fanouts = {3, 2};
+  params.batch_size = 32;
+  params.threads = 2;
+  params.queue_depth = 16;
+
+  const auto targets = pick_targets(csr.num_nodes(), 100, 9);
+  for (const std::string& name : all_system_names()) {
+    auto sampler = make_system(name, params);
+    RS_ASSERT_OK(sampler);
+    EXPECT_FALSE(sampler.value()->name().empty());
+    auto epoch = sampler.value()->run_epoch(targets);
+    RS_ASSERT_OK(epoch);
+    EXPECT_GT(epoch.value().sampled_neighbors, 0u) << name;
+  }
+}
+
+TEST(SuiteTest, BudgetedRingSamplerStillRuns) {
+  test::TempDir dir;
+  const graph::Csr csr = test::make_test_csr(600, 4000);
+  const std::string base = test::write_test_graph(dir, csr);
+  SystemParams params;
+  params.graph_base = base;
+  params.fanouts = {3, 2};
+  params.batch_size = 32;
+  params.threads = 2;
+  params.queue_depth = 16;
+  params.budget_bytes = 64ULL << 20;
+  auto sampler = make_system("RingSampler", params);
+  RS_ASSERT_OK(sampler);
+  auto epoch =
+      sampler.value()->run_epoch(pick_targets(csr.num_nodes(), 50, 2));
+  RS_ASSERT_OK(epoch);
+}
+
+}  // namespace
+}  // namespace rs::eval

@@ -1,0 +1,62 @@
+#include "eval/splits.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testutil.h"
+
+namespace rs::eval {
+namespace {
+
+TEST(SplitsTest, DisjointAndSized) {
+  auto splits = make_splits(10000, 0.8, 0.1, 0.1, 7);
+  RS_ASSERT_OK(splits);
+  const NodeSplits& s = splits.value();
+  EXPECT_EQ(s.train.size(), 8000u);
+  EXPECT_EQ(s.validation.size(), 1000u);
+  EXPECT_EQ(s.test.size(), 1000u);
+
+  std::set<NodeId> all;
+  for (const auto* part : {&s.train, &s.validation, &s.test}) {
+    for (const NodeId v : *part) {
+      EXPECT_TRUE(all.insert(v).second) << "node " << v << " duplicated";
+      EXPECT_LT(v, 10000u);
+    }
+  }
+  EXPECT_EQ(all.size(), 10000u);
+}
+
+TEST(SplitsTest, PartialCoverageLeavesUnlabeled) {
+  auto splits = make_splits(1000, 0.01, 0.005, 0.005, 3);
+  RS_ASSERT_OK(splits);
+  EXPECT_EQ(splits.value().train.size(), 10u);
+  EXPECT_EQ(splits.value().validation.size(), 5u);
+  EXPECT_EQ(splits.value().test.size(), 5u);
+}
+
+TEST(SplitsTest, DeterministicPerSeed) {
+  auto a = make_splits(500, 0.5, 0.25, 0.25, 11);
+  auto b = make_splits(500, 0.5, 0.25, 0.25, 11);
+  auto c = make_splits(500, 0.5, 0.25, 0.25, 12);
+  RS_ASSERT_OK(a);
+  RS_ASSERT_OK(b);
+  RS_ASSERT_OK(c);
+  EXPECT_EQ(a.value().train, b.value().train);
+  EXPECT_NE(a.value().train, c.value().train);
+}
+
+TEST(SplitsTest, ShuffledNotSorted) {
+  auto splits = make_splits(5000, 0.5, 0.0, 0.0, 1);
+  RS_ASSERT_OK(splits);
+  EXPECT_FALSE(std::is_sorted(splits.value().train.begin(),
+                              splits.value().train.end()));
+}
+
+TEST(SplitsTest, BadFractionsRejected) {
+  EXPECT_FALSE(make_splits(100, 0.8, 0.3, 0.1, 1).is_ok());
+  EXPECT_FALSE(make_splits(100, -0.1, 0.1, 0.1, 1).is_ok());
+}
+
+}  // namespace
+}  // namespace rs::eval

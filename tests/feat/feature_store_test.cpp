@@ -1,0 +1,130 @@
+#include "feat/feature_store.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "uring/uring_syscalls.h"
+
+namespace rs::feat {
+namespace {
+
+using test::TempDir;
+
+class FeatureStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = dir_.file("graph");
+    features_ = synthesize_features(kNodes, kDim, 5);
+    test::assert_ok(
+        write_features(base_, features_.data(), kNodes, kDim));
+  }
+
+  static constexpr NodeId kNodes = 500;
+  static constexpr std::uint32_t kDim = 16;
+  TempDir dir_;
+  std::string base_;
+  std::vector<float> features_;
+};
+
+TEST_F(FeatureStoreTest, OpenReadsHeader) {
+  auto store = FeatureStore::open(base_);
+  RS_ASSERT_OK(store);
+  EXPECT_EQ(store.value().num_nodes(), kNodes);
+  EXPECT_EQ(store.value().dim(), kDim);
+  EXPECT_EQ(store.value().row_bytes(), kDim * sizeof(float));
+}
+
+TEST_F(FeatureStoreTest, FetchRowMatchesWritten) {
+  auto store = FeatureStore::open(base_);
+  RS_ASSERT_OK(store);
+  std::vector<float> row(kDim);
+  for (const NodeId v : {NodeId{0}, NodeId{17}, NodeId{kNodes - 1}}) {
+    test::assert_ok(store.value().fetch_row(v, row.data()));
+    for (std::uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_EQ(row[d], features_[static_cast<std::size_t>(v) * kDim + d])
+          << "node " << v << " dim " << d;
+    }
+  }
+}
+
+TEST_F(FeatureStoreTest, GatherPreservesOrderAndDuplicates) {
+  auto store = FeatureStore::open(base_);
+  RS_ASSERT_OK(store);
+  const std::vector<NodeId> nodes = {7, 3, 7, 499, 0, 3};
+  std::vector<float> out(nodes.size() * kDim, -1.0f);
+  test::assert_ok(store.value().gather(nodes, out.data()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_EQ(out[i * kDim + d],
+                features_[static_cast<std::size_t>(nodes[i]) * kDim + d])
+          << "slot " << i;
+    }
+  }
+  // Duplicates fetched once: 4 distinct rows -> 4 requests.
+  EXPECT_EQ(store.value().io_stats().requests, 4u);
+}
+
+TEST_F(FeatureStoreTest, LargeGatherThroughSmallQueue) {
+  auto store = FeatureStore::open(base_, io::BackendKind::kUringPoll, 8);
+  RS_ASSERT_OK(store);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < kNodes; ++v) nodes.push_back(v);
+  std::vector<float> out(nodes.size() * kDim);
+  test::assert_ok(store.value().gather(nodes, out.data()));
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), features_.begin()));
+}
+
+TEST_F(FeatureStoreTest, BackendsAgree) {
+  for (const auto kind :
+       {io::BackendKind::kPsync, io::BackendKind::kMmap,
+        io::BackendKind::kUring}) {
+    if (kind != io::BackendKind::kPsync && kind != io::BackendKind::kMmap &&
+        !uring::kernel_supports_io_uring()) {
+      continue;
+    }
+    auto store = FeatureStore::open(base_, kind);
+    RS_ASSERT_OK(store);
+    std::vector<float> row(kDim);
+    test::assert_ok(store.value().fetch_row(42, row.data()));
+    EXPECT_EQ(row[3], features_[42 * kDim + 3]);
+  }
+}
+
+TEST_F(FeatureStoreTest, OutOfRangeNodeRejected) {
+  auto store = FeatureStore::open(base_);
+  RS_ASSERT_OK(store);
+  std::vector<float> out(kDim);
+  const std::vector<NodeId> nodes = {kNodes};
+  EXPECT_FALSE(store.value().gather(nodes, out.data()).is_ok());
+}
+
+TEST_F(FeatureStoreTest, CorruptHeaderRejected) {
+  const std::uint32_t bad = 0xdeadbeef;
+  auto file = io::File::open(features_path(base_),
+                             io::OpenMode::kReadWrite);
+  RS_ASSERT_OK(file);
+  test::assert_ok(file.value().pwrite_exact(&bad, 4, 0));
+  EXPECT_FALSE(FeatureStore::open(base_).is_ok());
+}
+
+TEST_F(FeatureStoreTest, EmptyGatherIsNoop) {
+  auto store = FeatureStore::open(base_);
+  RS_ASSERT_OK(store);
+  test::assert_ok(store.value().gather({}, nullptr));
+}
+
+TEST(FeatureSynthesisTest, DeterministicAndSeedSensitive) {
+  const auto a = synthesize_features(10, 4, 1);
+  const auto b = synthesize_features(10, 4, 1);
+  const auto c = synthesize_features(10, 4, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  ASSERT_EQ(a.size(), 40u);
+  for (const float f : a) {
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace rs::feat

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/alias_table.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "gen/kronecker.h"
+#include "graph/graph_stats.h"
+#include "testutil.h"
+
+namespace rs::gen {
+namespace {
+
+TEST(AliasTableTest, MatchesWeightsStatistically) {
+  const std::vector<double> weights = {1.0, 2.0, 4.0, 1.0};
+  AliasTable table(weights);
+  Xoshiro256 rng(3);
+  std::map<std::size_t, std::uint64_t> counts;
+  constexpr std::uint64_t kDraws = 200000;
+  for (std::uint64_t i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+
+  const double total = 8.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = kDraws * weights[i] / total;
+    EXPECT_NEAR(counts[i], expected, expected * 0.05) << "bucket " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverDrawn) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  AliasTable table(weights);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(table.sample(rng), 1u);
+  }
+}
+
+TEST(AliasTableTest, SingleBucket) {
+  AliasTable table(std::vector<double>{5.0});
+  Xoshiro256 rng(1);
+  EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(KroneckerTest, ShapeAndDeterminism) {
+  KroneckerConfig config;
+  config.scale = 12;
+  config.num_edges = 40000;
+  config.seed = 9;
+  const graph::EdgeList a = generate_kronecker(config);
+  EXPECT_EQ(a.num_nodes(), 1u << 12);
+  EXPECT_EQ(a.num_edges(), 40000u);
+  for (const graph::Edge& e : a.edges()) {
+    EXPECT_LT(e.src, 1u << 12);
+    EXPECT_LT(e.dst, 1u << 12);
+  }
+  const graph::EdgeList b = generate_kronecker(config);
+  EXPECT_TRUE(std::equal(a.edges().begin(), a.edges().end(),
+                         b.edges().begin()));
+  config.seed = 10;
+  const graph::EdgeList c = generate_kronecker(config);
+  EXPECT_FALSE(std::equal(a.edges().begin(), a.edges().end(),
+                          c.edges().begin()));
+}
+
+TEST(KroneckerTest, Graph500ParamsAreSkewed) {
+  KroneckerConfig config;
+  config.scale = 12;
+  config.num_edges = 60000;
+  const auto csr = graph::Csr::from_edge_list(generate_kronecker(config));
+  const auto stats = graph::compute_degree_stats(csr);
+  // Graph500 parameters produce strong degree skew.
+  EXPECT_GT(graph::degree_skew(stats), 10.0);
+}
+
+TEST(ChungLuTest, SteeperAlphaMeansMoreSkew) {
+  ChungLuConfig config;
+  config.num_nodes = 20000;
+  config.num_edges = 200000;
+  config.seed = 2;
+
+  config.alpha = 2.05;
+  const auto heavy = graph::compute_degree_stats(
+      graph::Csr::from_edge_list(generate_chung_lu(config)));
+  config.alpha = 3.5;
+  const auto light = graph::compute_degree_stats(
+      graph::Csr::from_edge_list(generate_chung_lu(config)));
+
+  EXPECT_GT(graph::degree_skew(heavy), graph::degree_skew(light));
+  EXPECT_GT(graph::degree_skew(heavy), 30.0);
+}
+
+TEST(ChungLuTest, ExactCounts) {
+  ChungLuConfig config;
+  config.num_nodes = 5000;
+  config.num_edges = 33333;
+  const graph::EdgeList edges = generate_chung_lu(config);
+  EXPECT_EQ(edges.num_nodes(), 5000u);
+  EXPECT_EQ(edges.num_edges(), 33333u);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsByDefaultAndUniformish) {
+  ErdosRenyiConfig config;
+  config.num_nodes = 1000;
+  config.num_edges = 50000;
+  const graph::EdgeList edges = generate_erdos_renyi(config);
+  EXPECT_EQ(edges.num_edges(), 50000u);
+  for (const graph::Edge& e : edges.edges()) {
+    EXPECT_NE(e.src, e.dst);
+  }
+  const auto stats = graph::compute_degree_stats(
+      graph::Csr::from_edge_list(edges));
+  // Poisson(50): max degree stays within a small factor of the mean.
+  EXPECT_LT(graph::degree_skew(stats), 3.0);
+}
+
+TEST(ErdosRenyiTest, SelfLoopsAllowedWhenAsked) {
+  ErdosRenyiConfig config;
+  config.num_nodes = 4;
+  config.num_edges = 2000;
+  config.allow_self_loops = true;
+  const graph::EdgeList edges = generate_erdos_renyi(config);
+  bool found_loop = false;
+  for (const graph::Edge& e : edges.edges()) {
+    found_loop |= e.src == e.dst;
+  }
+  EXPECT_TRUE(found_loop);
+}
+
+}  // namespace
+}  // namespace rs::gen

@@ -1,0 +1,107 @@
+#include "graph/binary_format.h"
+
+#include <gtest/gtest.h>
+
+#include "io/file.h"
+#include "testutil.h"
+#include "util/align.h"
+#include "util/fs.h"
+
+namespace rs::graph {
+namespace {
+
+using test::TempDir;
+
+TEST(BinaryFormatTest, RoundTripPreservesGraph) {
+  TempDir dir;
+  const Csr original = test::make_test_csr(700, 5000, 13);
+  const std::string base = dir.file("graph");
+  test::assert_ok(write_graph(original, base));
+  EXPECT_TRUE(graph_files_exist(base));
+
+  auto loaded = load_csr(base);
+  RS_ASSERT_OK(loaded);
+  const Csr& csr = loaded.value();
+  ASSERT_EQ(csr.num_nodes(), original.num_nodes());
+  ASSERT_EQ(csr.num_edges(), original.num_edges());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    const auto a = csr.neighbors(v);
+    const auto b = original.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "node " << v;
+  }
+}
+
+TEST(BinaryFormatTest, MetaMatches) {
+  TempDir dir;
+  const Csr csr = test::make_test_csr(256, 1000);
+  const std::string base = dir.file("graph");
+  test::assert_ok(write_graph(csr, base));
+  auto meta = read_meta(base);
+  RS_ASSERT_OK(meta);
+  EXPECT_EQ(meta.value().num_nodes, csr.num_nodes());
+  EXPECT_EQ(meta.value().num_edges, csr.num_edges());
+}
+
+TEST(BinaryFormatTest, EdgeFilePaddedToDirectIoBlock) {
+  TempDir dir;
+  const Csr csr = test::make_test_csr(100, 333);  // odd size
+  const std::string base = dir.file("graph");
+  test::assert_ok(write_graph(csr, base));
+  auto size = file_size(edges_path(base));
+  RS_ASSERT_OK(size);
+  EXPECT_EQ(size.value() % kDirectIoAlign, 0u);
+  EXPECT_GE(size.value(), csr.num_edges() * kEdgeEntryBytes);
+}
+
+TEST(BinaryFormatTest, LoadOffsetsConsistent) {
+  TempDir dir;
+  const Csr csr = test::make_test_csr(400, 2000);
+  const std::string base = dir.file("graph");
+  test::assert_ok(write_graph(csr, base));
+  auto offsets = load_offsets(base);
+  RS_ASSERT_OK(offsets);
+  ASSERT_EQ(offsets.value().size(), csr.num_nodes() + 1u);
+  EXPECT_TRUE(std::equal(offsets.value().begin(), offsets.value().end(),
+                         csr.offsets().begin()));
+}
+
+TEST(BinaryFormatTest, CorruptMagicRejected) {
+  TempDir dir;
+  const Csr csr = test::make_test_csr(64, 200);
+  const std::string base = dir.file("graph");
+  test::assert_ok(write_graph(csr, base));
+
+  // Clobber the magic.
+  const std::uint32_t bad = 0x12345678;
+  auto file = io::File::open(meta_path(base), io::OpenMode::kReadWrite);
+  RS_ASSERT_OK(file);
+  test::assert_ok(file.value().pwrite_exact(&bad, 4, 0));
+
+  auto meta = read_meta(base);
+  ASSERT_FALSE(meta.is_ok());
+  EXPECT_EQ(meta.status().code(), ErrorCode::kCorruptData);
+}
+
+TEST(BinaryFormatTest, TruncatedOffsetsRejected) {
+  TempDir dir;
+  const Csr csr = test::make_test_csr(64, 200);
+  const std::string base = dir.file("graph");
+  test::assert_ok(write_graph(csr, base));
+
+  // Truncate the offsets file.
+  auto content = read_file(offsets_path(base));
+  RS_ASSERT_OK(content);
+  test::assert_ok(write_file(offsets_path(base), content.value().data(),
+                             content.value().size() / 2));
+  EXPECT_FALSE(load_offsets(base).is_ok());
+}
+
+TEST(BinaryFormatTest, MissingFilesDetected) {
+  TempDir dir;
+  EXPECT_FALSE(graph_files_exist(dir.file("nope")));
+  EXPECT_FALSE(read_meta(dir.file("nope")).is_ok());
+}
+
+}  // namespace
+}  // namespace rs::graph

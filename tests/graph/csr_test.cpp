@@ -1,0 +1,88 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gen/erdos_renyi.h"
+
+namespace rs::graph {
+namespace {
+
+TEST(CsrTest, FromEdgeListSmall) {
+  EdgeList edges(5);
+  edges.add_edge(0, 1);
+  edges.add_edge(0, 4);
+  edges.add_edge(0, 2);
+  edges.add_edge(2, 3);
+  edges.add_edge(4, 0);
+
+  const Csr csr = Csr::from_edge_list(edges);
+  EXPECT_EQ(csr.num_nodes(), 5u);
+  EXPECT_EQ(csr.num_edges(), 5u);
+  EXPECT_EQ(csr.degree(0), 3u);
+  EXPECT_EQ(csr.degree(1), 0u);
+  EXPECT_EQ(csr.degree(2), 1u);
+  EXPECT_EQ(csr.degree(3), 0u);
+  EXPECT_EQ(csr.degree(4), 1u);
+
+  // Adjacency sorted within node.
+  const auto n0 = csr.neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(n0[2], 4u);
+
+  EXPECT_TRUE(csr.has_edge(0, 4));
+  EXPECT_FALSE(csr.has_edge(0, 3));
+  EXPECT_TRUE(csr.has_edge(4, 0));
+}
+
+TEST(CsrTest, MatchesBruteForceOnRandomGraph) {
+  gen::ErdosRenyiConfig config;
+  config.num_nodes = 300;
+  config.num_edges = 2000;
+  config.seed = 5;
+  const EdgeList edges = gen::generate_erdos_renyi(config);
+  const Csr csr = Csr::from_edge_list(edges);
+
+  std::map<NodeId, std::multiset<NodeId>> truth;
+  for (const Edge& e : edges.edges()) truth[e.src].insert(e.dst);
+
+  ASSERT_EQ(csr.num_edges(), edges.num_edges());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    const auto nbrs = csr.neighbors(v);
+    const auto it = truth.find(v);
+    const std::size_t want = it == truth.end() ? 0 : it->second.size();
+    ASSERT_EQ(nbrs.size(), want) << "node " << v;
+    if (want > 0) {
+      const std::multiset<NodeId> got(nbrs.begin(), nbrs.end());
+      EXPECT_EQ(got, it->second);
+    }
+  }
+}
+
+TEST(CsrTest, ParallelEdgesPreserved) {
+  EdgeList edges(3);
+  edges.add_edge(0, 1);
+  edges.add_edge(0, 1);
+  const Csr csr = Csr::from_edge_list(edges);
+  EXPECT_EQ(csr.degree(0), 2u);
+}
+
+TEST(CsrTest, FromPartsValidates) {
+  Csr csr = Csr::from_parts({0, 2, 3}, {1, 2, 0});
+  EXPECT_EQ(csr.num_nodes(), 2u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_EQ(csr.memory_bytes(), 3 * sizeof(EdgeIdx) + 3 * sizeof(NodeId));
+}
+
+TEST(CsrTest, EmptyGraph) {
+  const Csr csr;
+  EXPECT_EQ(csr.num_nodes(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace rs::graph

@@ -1,0 +1,53 @@
+#include "graph/edge_list.h"
+
+#include <gtest/gtest.h>
+
+namespace rs::graph {
+namespace {
+
+TEST(EdgeListTest, AddGrowsNodeCount) {
+  EdgeList edges;
+  EXPECT_EQ(edges.num_nodes(), 0u);
+  edges.add_edge(3, 7);
+  EXPECT_EQ(edges.num_nodes(), 8u);
+  edges.add_edge(1, 2);
+  EXPECT_EQ(edges.num_nodes(), 8u);  // no shrink
+  EXPECT_EQ(edges.num_edges(), 2u);
+}
+
+TEST(EdgeListTest, PresizedKeepsNodeCount) {
+  EdgeList edges(100);
+  edges.add_edge(1, 2);
+  EXPECT_EQ(edges.num_nodes(), 100u);
+}
+
+TEST(EdgeListTest, SortAndDedup) {
+  EdgeList edges;
+  edges.add_edge(2, 1);
+  edges.add_edge(0, 5);
+  edges.add_edge(2, 1);
+  edges.add_edge(0, 3);
+  EXPECT_FALSE(edges.is_sorted());
+  edges.sort();
+  EXPECT_TRUE(edges.is_sorted());
+  edges.dedup();
+  ASSERT_EQ(edges.num_edges(), 3u);
+  EXPECT_EQ(edges.edges()[0], (Edge{0, 3}));
+  EXPECT_EQ(edges.edges()[1], (Edge{0, 5}));
+  EXPECT_EQ(edges.edges()[2], (Edge{2, 1}));
+}
+
+TEST(EdgeListTest, SymmetrizeAddsReverseSkippingSelfLoops) {
+  EdgeList edges;
+  edges.add_edge(0, 1);
+  edges.add_edge(2, 2);  // self-loop stays single
+  edges.symmetrize();
+  ASSERT_EQ(edges.num_edges(), 3u);
+  edges.sort();
+  EXPECT_EQ(edges.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(edges.edges()[1], (Edge{1, 0}));
+  EXPECT_EQ(edges.edges()[2], (Edge{2, 2}));
+}
+
+}  // namespace
+}  // namespace rs::graph

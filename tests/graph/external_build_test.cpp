@@ -1,0 +1,145 @@
+// ExternalGraphBuilder: the out-of-core preprocessing path must produce
+// exactly the graph the in-memory path produces, across run counts.
+#include "graph/external_build.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.h"
+#include "testutil.h"
+#include "util/fs.h"
+
+namespace rs::graph {
+namespace {
+
+using test::TempDir;
+
+void expect_same_graph(const Csr& want, const std::string& base) {
+  auto got = load_csr(base);
+  RS_ASSERT_OK(got);
+  ASSERT_EQ(got.value().num_nodes(), want.num_nodes());
+  ASSERT_EQ(got.value().num_edges(), want.num_edges());
+  for (NodeId v = 0; v < want.num_nodes(); ++v) {
+    const auto a = got.value().neighbors(v);
+    const auto b = want.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "node " << v;
+  }
+}
+
+TEST(ExternalBuildTest, MatchesInMemoryBuildSingleRun) {
+  TempDir dir;
+  gen::ErdosRenyiConfig config;
+  config.num_nodes = 500;
+  config.num_edges = 4000;
+  config.seed = 3;
+  const EdgeList edges = gen::generate_erdos_renyi(config);
+  const Csr want = Csr::from_edge_list(edges);
+
+  ExternalBuildConfig build;
+  build.chunk_edges = 1 << 20;  // everything in one run
+  build.temp_dir = dir.path();
+  ExternalGraphBuilder builder(build);
+  test::assert_ok(builder.add_edges(edges.edges()));
+  const std::string base = dir.file("ext");
+  auto meta = builder.finalize(base);
+  RS_ASSERT_OK(meta);
+  EXPECT_EQ(meta.value().num_edges, edges.num_edges());
+  expect_same_graph(want, base);
+}
+
+TEST(ExternalBuildTest, MatchesAcrossManySpilledRuns) {
+  TempDir dir;
+  gen::ErdosRenyiConfig config;
+  config.num_nodes = 800;
+  config.num_edges = 20000;
+  config.seed = 9;
+  const EdgeList edges = gen::generate_erdos_renyi(config);
+  const Csr want = Csr::from_edge_list(edges);
+
+  ExternalBuildConfig build;
+  build.chunk_edges = 777;  // ~26 runs
+  build.temp_dir = dir.path();
+  ExternalGraphBuilder builder(build);
+  test::assert_ok(builder.add_edges(edges.edges()));
+  EXPECT_EQ(builder.edges_added(), edges.num_edges());
+  const std::string base = dir.file("ext");
+  RS_ASSERT_OK(builder.finalize(base));
+  expect_same_graph(want, base);
+}
+
+TEST(ExternalBuildTest, SampleableByRingSampler) {
+  // The externally built files must be directly consumable.
+  TempDir dir;
+  const Csr csr = test::make_test_csr(400, 3000, 15);
+  ExternalBuildConfig build;
+  build.chunk_edges = 500;
+  build.temp_dir = dir.path();
+  ExternalGraphBuilder builder(build);
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    for (const NodeId nbr : csr.neighbors(v)) {
+      test::assert_ok(builder.add_edge(v, nbr));
+    }
+  }
+  const std::string base = dir.file("ext");
+  RS_ASSERT_OK(builder.finalize(base));
+  auto offsets = load_offsets(base);
+  RS_ASSERT_OK(offsets);
+  EXPECT_TRUE(std::equal(offsets.value().begin(), offsets.value().end(),
+                         csr.offsets().begin()));
+}
+
+TEST(ExternalBuildTest, EmptyInput) {
+  TempDir dir;
+  ExternalGraphBuilder builder({.chunk_edges = 64, .temp_dir = dir.path()});
+  const std::string base = dir.file("empty");
+  auto meta = builder.finalize(base);
+  RS_ASSERT_OK(meta);
+  EXPECT_EQ(meta.value().num_nodes, 0u);
+  EXPECT_EQ(meta.value().num_edges, 0u);
+  EXPECT_TRUE(graph_files_exist(base));
+}
+
+TEST(ExternalBuildTest, RunFilesCleanedUp) {
+  TempDir dir;
+  std::string scratch = dir.file("scratch");
+  test::assert_ok(make_dirs(scratch));
+  {
+    ExternalGraphBuilder builder(
+        {.chunk_edges = 16, .temp_dir = scratch});
+    for (NodeId v = 0; v < 100; ++v) {
+      test::assert_ok(builder.add_edge(v, (v + 1) % 100));
+    }
+    RS_ASSERT_OK(builder.finalize(dir.file("g")));
+  }
+  std::size_t leftover = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(scratch)) {
+    (void)entry;
+    ++leftover;
+  }
+  EXPECT_EQ(leftover, 0u);
+}
+
+TEST(ExternalBuildTest, AbandonedBuilderCleansRuns) {
+  TempDir dir;
+  std::string scratch = dir.file("scratch2");
+  test::assert_ok(make_dirs(scratch));
+  {
+    ExternalGraphBuilder builder(
+        {.chunk_edges = 8, .temp_dir = scratch});
+    for (NodeId v = 0; v < 64; ++v) {
+      test::assert_ok(builder.add_edge(v, v / 2));
+    }
+    // Destroyed without finalize.
+  }
+  std::size_t leftover = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(scratch)) {
+    (void)entry;
+    ++leftover;
+  }
+  EXPECT_EQ(leftover, 0u);
+}
+
+}  // namespace
+}  // namespace rs::graph

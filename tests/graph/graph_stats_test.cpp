@@ -1,0 +1,72 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/text_io.h"
+#include "testutil.h"
+#include "util/fs.h"
+
+namespace rs::graph {
+namespace {
+
+TEST(GraphStatsTest, DegreeStatsSmall) {
+  EdgeList edges(4);
+  edges.add_edge(0, 1);
+  edges.add_edge(0, 2);
+  edges.add_edge(0, 3);
+  edges.add_edge(1, 0);
+  const Csr csr = Csr::from_edge_list(edges);
+  const DegreeStats stats = compute_degree_stats(csr);
+  EXPECT_EQ(stats.min_degree, 0u);
+  EXPECT_EQ(stats.max_degree, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 1.0);
+  EXPECT_EQ(stats.zero_degree_nodes, 2u);
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+TEST(GraphStatsTest, RawTextSizeMatchesActualFile) {
+  // The arithmetic size estimate must equal the bytes a real text dump
+  // produces.
+  test::TempDir dir;
+  const Csr csr = test::make_test_csr(300, 2500, 17);
+
+  EdgeList edges(csr.num_nodes());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    for (const NodeId nbr : csr.neighbors(v)) edges.add_edge(v, nbr);
+  }
+  const std::string path = dir.file("dump.txt");
+  test::assert_ok(write_text_edge_list(edges, path));
+  auto actual = file_size(path);
+  RS_ASSERT_OK(actual);
+  EXPECT_EQ(raw_text_size_bytes(csr), actual.value());
+}
+
+TEST(GraphStatsTest, BinarySizeIsFourBytesPerEdge) {
+  const Csr csr = test::make_test_csr(100, 999);
+  EXPECT_EQ(binary_size_bytes(csr), csr.num_edges() * kEdgeEntryBytes);
+}
+
+TEST(GraphStatsTest, SkewDetectsPowerLaw) {
+  // Star graph: one hub with degree n-1 vs a ring with degree 1.
+  EdgeList star(100);
+  for (NodeId v = 1; v < 100; ++v) star.add_edge(0, v);
+  EdgeList ring(100);
+  for (NodeId v = 0; v < 100; ++v) ring.add_edge(v, (v + 1) % 100);
+
+  const double star_skew =
+      degree_skew(compute_degree_stats(Csr::from_edge_list(star)));
+  const double ring_skew =
+      degree_skew(compute_degree_stats(Csr::from_edge_list(ring)));
+  EXPECT_GT(star_skew, 50.0);
+  EXPECT_DOUBLE_EQ(ring_skew, 1.0);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  const Csr csr;
+  const DegreeStats stats = compute_degree_stats(csr);
+  EXPECT_EQ(stats.max_degree, 0u);
+  EXPECT_EQ(raw_text_size_bytes(csr), 0u);
+}
+
+}  // namespace
+}  // namespace rs::graph

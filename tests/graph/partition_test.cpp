@@ -1,0 +1,63 @@
+#include "graph/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace rs::graph {
+namespace {
+
+TEST(PartitionTest, CoversAllNodesAndEdgesContiguously) {
+  const Csr csr = test::make_test_csr(1000, 8000);
+  const auto parts = partition_by_edges(csr.offsets(), 8);
+  ASSERT_FALSE(parts.empty());
+  ASSERT_LE(parts.size(), 8u);
+
+  EXPECT_EQ(parts.front().begin_node, 0u);
+  EXPECT_EQ(parts.back().end_node, csr.num_nodes());
+  EXPECT_EQ(parts.front().begin_edge, 0u);
+  EXPECT_EQ(parts.back().end_edge, csr.num_edges());
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i].begin_node, parts[i - 1].end_node);
+    EXPECT_EQ(parts[i].begin_edge, parts[i - 1].end_edge);
+    EXPECT_EQ(parts[i].id, i);
+  }
+}
+
+TEST(PartitionTest, RoughlyBalancedByEdges) {
+  const Csr csr = test::make_test_csr(4000, 64000);
+  const auto parts = partition_by_edges(csr.offsets(), 8);
+  const EdgeIdx target = csr.num_edges() / 8;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {  // tail may be small
+    EXPECT_GE(parts[i].num_edges(), target / 2) << "partition " << i;
+    EXPECT_LE(parts[i].num_edges(), target * 2) << "partition " << i;
+  }
+}
+
+TEST(PartitionTest, FindPartitionAgreesWithContains) {
+  const Csr csr = test::make_test_csr(500, 4000);
+  const auto parts = partition_by_edges(csr.offsets(), 5);
+  for (NodeId v = 0; v < csr.num_nodes(); v += 7) {
+    const std::size_t p = find_partition(parts, v);
+    EXPECT_TRUE(parts[p].contains_node(v));
+  }
+}
+
+TEST(PartitionTest, SinglePartitionIsWholeGraph) {
+  const Csr csr = test::make_test_csr(100, 500);
+  const auto parts = partition_by_edges(csr.offsets(), 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].num_nodes(), csr.num_nodes());
+  EXPECT_EQ(parts[0].num_edges(), csr.num_edges());
+  EXPECT_EQ(parts[0].bytes(), csr.num_edges() * kEdgeEntryBytes);
+}
+
+TEST(PartitionTest, MorePartitionsThanNodesClamps) {
+  const Csr csr = test::make_test_csr(10, 30);
+  const auto parts = partition_by_edges(csr.offsets(), 64);
+  EXPECT_LE(parts.size(), 10u);
+  EXPECT_EQ(parts.back().end_node, csr.num_nodes());
+}
+
+}  // namespace
+}  // namespace rs::graph

@@ -1,0 +1,102 @@
+// Sharded (Fig. 2 partitioned) edge storage: byte-exact equivalence with
+// the flat file, boundary-spanning reads, manifest integrity.
+#include "graph/sharded_format.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "util/fs.h"
+
+namespace rs::graph {
+namespace {
+
+using test::TempDir;
+
+class ShardedFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csr_ = test::make_test_csr(800, 6000, 53);
+    base_ = test::write_test_graph(dir_, csr_);
+    test::assert_ok(shard_graph(base_, 5));
+  }
+  TempDir dir_;
+  graph::Csr csr_;
+  std::string base_;
+};
+
+TEST_F(ShardedFormatTest, ManifestAndFilesExist) {
+  EXPECT_TRUE(sharded_files_exist(base_));
+  auto reader = ShardedEdgeReader::open(base_);
+  RS_ASSERT_OK(reader);
+  EXPECT_LE(reader.value().num_shards(), 5u);
+  EXPECT_EQ(reader.value().num_edges(), csr_.num_edges());
+  for (std::size_t k = 0; k < reader.value().num_shards(); ++k) {
+    EXPECT_TRUE(file_exists(shard_path(base_, k)));
+  }
+}
+
+TEST_F(ShardedFormatTest, EveryEntryMatchesFlatFile) {
+  auto reader = ShardedEdgeReader::open(base_);
+  RS_ASSERT_OK(reader);
+  // Read everything in awkward chunk sizes that straddle shards.
+  std::vector<NodeId> sharded(csr_.num_edges());
+  EdgeIdx pos = 0;
+  std::size_t chunk = 7;
+  while (pos < csr_.num_edges()) {
+    const std::size_t n = static_cast<std::size_t>(std::min<EdgeIdx>(
+        chunk, csr_.num_edges() - pos));
+    test::assert_ok(
+        reader.value().read_entries(pos, n, sharded.data() + pos));
+    pos += n;
+    chunk = chunk * 3 + 1;  // vary: 7, 22, 67, ... spans boundaries
+  }
+  const auto flat = csr_.neighbor_array();
+  EXPECT_TRUE(std::equal(sharded.begin(), sharded.end(), flat.begin()));
+}
+
+TEST_F(ShardedFormatTest, ShardOfRoutesConsistently) {
+  auto reader = ShardedEdgeReader::open(base_);
+  RS_ASSERT_OK(reader);
+  std::size_t previous = 0;
+  for (EdgeIdx e = 0; e < csr_.num_edges(); e += 97) {
+    const std::size_t shard = reader.value().shard_of(e);
+    EXPECT_GE(shard, previous);  // monotone over entries
+    EXPECT_LT(shard, reader.value().num_shards());
+    previous = shard;
+  }
+}
+
+TEST_F(ShardedFormatTest, OutOfRangeRejected) {
+  auto reader = ShardedEdgeReader::open(base_);
+  RS_ASSERT_OK(reader);
+  NodeId out;
+  EXPECT_FALSE(
+      reader.value().read_entries(csr_.num_edges(), 1, &out).is_ok());
+}
+
+TEST_F(ShardedFormatTest, CorruptManifestRejected) {
+  // Truncate the manifest.
+  auto content = read_file(shard_meta_path(base_));
+  RS_ASSERT_OK(content);
+  test::assert_ok(write_file(shard_meta_path(base_),
+                             content.value().data(), 8));
+  EXPECT_FALSE(ShardedEdgeReader::open(base_).is_ok());
+}
+
+TEST_F(ShardedFormatTest, MoreShardsThanPartitionableClamps) {
+  TempDir dir;
+  const graph::Csr tiny = test::make_test_csr(10, 40, 2);
+  const std::string base = test::write_test_graph(dir, tiny);
+  test::assert_ok(shard_graph(base, 64));
+  auto reader = ShardedEdgeReader::open(base);
+  RS_ASSERT_OK(reader);
+  EXPECT_LE(reader.value().num_shards(), 10u);
+  std::vector<NodeId> all(tiny.num_edges());
+  test::assert_ok(
+      reader.value().read_entries(0, all.size(), all.data()));
+  EXPECT_TRUE(std::equal(all.begin(), all.end(),
+                         tiny.neighbor_array().begin()));
+}
+
+}  // namespace
+}  // namespace rs::graph

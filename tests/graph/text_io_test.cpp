@@ -1,0 +1,83 @@
+#include "graph/text_io.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "util/fs.h"
+
+namespace rs::graph {
+namespace {
+
+using test::TempDir;
+
+TEST(TextIoTest, RoundTrip) {
+  TempDir dir;
+  EdgeList edges;
+  edges.add_edge(0, 1);
+  edges.add_edge(42, 7);
+  edges.add_edge(1000000, 999999);
+  const std::string path = dir.file("edges.txt");
+  test::assert_ok(write_text_edge_list(edges, path));
+
+  auto parsed = parse_text_edge_list(path);
+  RS_ASSERT_OK(parsed);
+  ASSERT_EQ(parsed.value().num_edges(), 3u);
+  EXPECT_EQ(parsed.value().edges()[2], (Edge{1000000, 999999}));
+  EXPECT_EQ(parsed.value().num_nodes(), 1000001u);
+}
+
+TEST(TextIoTest, ToleratesCommentsBlanksAndTabs) {
+  TempDir dir;
+  const std::string path = dir.file("snap.txt");
+  const std::string content =
+      "# SNAP-style header\n"
+      "# Nodes: 3 Edges: 2\n"
+      "\n"
+      "0\t1\n"
+      "  2 0\n";
+  test::assert_ok(write_file(path, content.data(), content.size()));
+  auto parsed = parse_text_edge_list(path);
+  RS_ASSERT_OK(parsed);
+  ASSERT_EQ(parsed.value().num_edges(), 2u);
+  EXPECT_EQ(parsed.value().edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(parsed.value().edges()[1], (Edge{2, 0}));
+}
+
+TEST(TextIoTest, MalformedLineRejectedWithLineNumber) {
+  TempDir dir;
+  const std::string path = dir.file("bad.txt");
+  const std::string content = "0 1\nhello world\n";
+  test::assert_ok(write_file(path, content.data(), content.size()));
+  auto parsed = parse_text_edge_list(path);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kCorruptData);
+  EXPECT_NE(parsed.status().message().find(":2"), std::string::npos);
+}
+
+TEST(TextIoTest, MissingSecondFieldRejected) {
+  TempDir dir;
+  const std::string path = dir.file("bad2.txt");
+  const std::string content = "5\n";
+  test::assert_ok(write_file(path, content.data(), content.size()));
+  EXPECT_FALSE(parse_text_edge_list(path).is_ok());
+}
+
+TEST(TextIoTest, LargeRoundTripPreservesEveryEdge) {
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(400, 5000, 29);
+  EdgeList edges(csr.num_nodes());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    for (const NodeId nbr : csr.neighbors(v)) edges.add_edge(v, nbr);
+  }
+  const std::string path = dir.file("big.txt");
+  test::assert_ok(write_text_edge_list(edges, path));
+  auto parsed = parse_text_edge_list(path);
+  RS_ASSERT_OK(parsed);
+  ASSERT_EQ(parsed.value().num_edges(), edges.num_edges());
+  EXPECT_TRUE(std::equal(parsed.value().edges().begin(),
+                         parsed.value().edges().end(),
+                         edges.edges().begin()));
+}
+
+}  // namespace
+}  // namespace rs::graph

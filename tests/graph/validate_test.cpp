@@ -1,0 +1,96 @@
+#include "graph/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/binary_format.h"
+#include "io/file.h"
+#include "testutil.h"
+#include "util/fs.h"
+
+namespace rs::graph {
+namespace {
+
+using test::TempDir;
+
+TEST(ValidateTest, HealthyGraphPasses) {
+  TempDir dir;
+  const Csr csr = test::make_test_csr(600, 5000);
+  const std::string base = test::write_test_graph(dir, csr);
+  auto report = validate_graph(base);
+  RS_ASSERT_OK(report);
+  EXPECT_TRUE(report.value().ok) << report.value().detail;
+  EXPECT_EQ(report.value().num_nodes, csr.num_nodes());
+  EXPECT_EQ(report.value().num_edges, csr.num_edges());
+  EXPECT_EQ(report.value().edges_checked, csr.num_edges());
+}
+
+TEST(ValidateTest, SamplingChecksFewerEdges) {
+  TempDir dir;
+  const Csr csr = test::make_test_csr(600, 5000);
+  const std::string base = test::write_test_graph(dir, csr);
+  auto report = validate_graph(base, /*sample_every=*/10);
+  RS_ASSERT_OK(report);
+  EXPECT_TRUE(report.value().ok);
+  EXPECT_LT(report.value().edges_checked, csr.num_edges());
+  EXPECT_GT(report.value().edges_checked, csr.num_edges() / 20);
+}
+
+TEST(ValidateTest, OutOfRangeDestinationCaught) {
+  TempDir dir;
+  const Csr csr = test::make_test_csr(100, 800);
+  const std::string base = test::write_test_graph(dir, csr);
+  // Corrupt one edge entry to an out-of-range id.
+  const NodeId bogus = csr.num_nodes() + 7;
+  auto file = io::File::open(edges_path(base), io::OpenMode::kReadWrite);
+  RS_ASSERT_OK(file);
+  test::assert_ok(file.value().pwrite_exact(&bogus, sizeof(bogus),
+                                            13 * kEdgeEntryBytes));
+  auto report = validate_graph(base);
+  RS_ASSERT_OK(report);
+  EXPECT_FALSE(report.value().ok);
+  EXPECT_NE(report.value().detail.find("edge 13"), std::string::npos);
+}
+
+TEST(ValidateTest, TruncatedEdgesCaught) {
+  TempDir dir;
+  const Csr csr = test::make_test_csr(100, 800);
+  const std::string base = test::write_test_graph(dir, csr);
+  auto content = read_file(edges_path(base));
+  RS_ASSERT_OK(content);
+  test::assert_ok(write_file(edges_path(base), content.value().data(),
+                             content.value().size() / 4));
+  auto report = validate_graph(base);
+  RS_ASSERT_OK(report);
+  EXPECT_FALSE(report.value().ok);
+  EXPECT_NE(report.value().detail.find("edges file"), std::string::npos);
+}
+
+TEST(ValidateTest, NonMonotoneOffsetsCaught) {
+  TempDir dir;
+  const Csr csr = test::make_test_csr(100, 800);
+  const std::string base = test::write_test_graph(dir, csr);
+  // Swap two offsets to break monotonicity (avoid [0], it must be 0).
+  auto offsets = load_offsets(base);
+  RS_ASSERT_OK(offsets);
+  auto broken = offsets.value();
+  std::swap(broken[10], broken[40]);
+  auto file =
+      io::File::open(offsets_path(base), io::OpenMode::kReadWrite);
+  RS_ASSERT_OK(file);
+  test::assert_ok(file.value().pwrite_exact(
+      broken.data(), broken.size() * sizeof(EdgeIdx), 0));
+  auto report = validate_graph(base);
+  RS_ASSERT_OK(report);
+  EXPECT_FALSE(report.value().ok);
+  EXPECT_NE(report.value().detail.find("monotone"), std::string::npos);
+}
+
+TEST(ValidateTest, MissingFilesReported) {
+  TempDir dir;
+  auto report = validate_graph(dir.file("nope"));
+  RS_ASSERT_OK(report);
+  EXPECT_FALSE(report.value().ok);
+}
+
+}  // namespace
+}  // namespace rs::graph

@@ -1,0 +1,267 @@
+// Full-stack integration: text dump -> parse -> CSR -> binary format ->
+// RingSampler + every baseline over the same graph, with cross-system
+// agreement on structural properties of the samples, plus statistical
+// uniformity of the sampler itself.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/inmem_sampler.h"
+#include "core/random_walk.h"
+#include "core/ring_sampler.h"
+#include "feat/feature_store.h"
+#include "graph/external_build.h"
+#include "graph/validate.h"
+#include "eval/runner.h"
+#include "eval/suite.h"
+#include "gen/chung_lu.h"
+#include "graph/text_io.h"
+#include "testutil.h"
+
+namespace rs {
+namespace {
+
+using test::TempDir;
+
+TEST(EndToEndTest, TextToBinaryToSampling) {
+  TempDir dir;
+
+  // 1. Produce a "raw dataset dump" as text.
+  gen::ChungLuConfig gen_config;
+  gen_config.num_nodes = 3000;
+  gen_config.num_edges = 30000;
+  gen_config.alpha = 2.3;
+  gen_config.seed = 12;
+  const graph::EdgeList original = gen::generate_chung_lu(gen_config);
+  const std::string text_path = dir.file("raw.txt");
+  test::assert_ok(graph::write_text_edge_list(original, text_path));
+
+  // 2. Ingest it the way dataset_tool does.
+  auto parsed = graph::parse_text_edge_list(text_path);
+  RS_ASSERT_OK(parsed);
+  const graph::Csr csr = graph::Csr::from_edge_list(parsed.value());
+  const std::string base = dir.file("graph");
+  test::assert_ok(graph::write_graph(csr, base));
+
+  // 3. Sample with RingSampler over the on-disk files.
+  core::SamplerConfig config;
+  config.fanouts = {10, 5};
+  config.batch_size = 128;
+  config.num_threads = 2;
+  config.queue_depth = 64;
+  auto sampler = core::RingSampler::open(base, config);
+  RS_ASSERT_OK(sampler);
+  EXPECT_EQ(sampler.value()->num_nodes(), csr.num_nodes());
+  EXPECT_EQ(sampler.value()->num_edges(), csr.num_edges());
+
+  const auto targets = eval::pick_targets(csr.num_nodes(), 400, 8);
+  std::uint64_t validated = 0;
+  auto epoch = sampler.value()->run_epoch_collect(
+      targets, [&](core::MiniBatchSample&& sample) {
+        for (const auto& layer : sample.layers) {
+          for (std::size_t i = 0; i < layer.targets.size(); ++i) {
+            for (const NodeId nbr : layer.neighbors_of(i)) {
+              ASSERT_TRUE(csr.has_edge(layer.targets[i], nbr));
+              ++validated;
+            }
+          }
+        }
+      });
+  RS_ASSERT_OK(epoch);
+  EXPECT_EQ(validated, epoch.value().sampled_neighbors);
+  EXPECT_GT(validated, targets.size() * 5);  // most targets have degree
+}
+
+TEST(EndToEndTest, AllSystemsAgreeOnSampleVolumeStatistics) {
+  // Sampling is randomized per system, but per-layer sample counts are a
+  // function of (targets, fanouts, degrees) for layer 0 — identical
+  // across systems — and layer-1 volumes should agree within a few
+  // percent because dedup sets are similar in size.
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(2500, 30000, 3);
+  const std::string base = test::write_test_graph(dir, csr);
+
+  eval::SystemParams params;
+  params.graph_base = base;
+  params.fanouts = {6, 4};
+  params.batch_size = 64;
+  params.threads = 2;
+  params.queue_depth = 32;
+
+  const auto targets = eval::pick_targets(csr.num_nodes(), 512, 77);
+
+  // Layer-0 ground truth: sum over targets of min(fanout, degree).
+  std::uint64_t layer0 = 0;
+  for (const NodeId v : targets) {
+    layer0 += std::min<std::uint64_t>(6, csr.degree(v));
+  }
+
+  std::map<std::string, std::uint64_t> totals;
+  for (const std::string& name : eval::all_system_names()) {
+    auto sampler = eval::make_system(name, params);
+    RS_ASSERT_OK(sampler);
+    auto epoch = sampler.value()->run_epoch(targets);
+    RS_ASSERT_OK(epoch);
+    totals[name] = epoch.value().sampled_neighbors;
+    EXPECT_GE(epoch.value().sampled_neighbors, layer0) << name;
+  }
+
+  const double reference = static_cast<double>(totals["RingSampler"]);
+  for (const auto& [name, total] : totals) {
+    EXPECT_NEAR(static_cast<double>(total), reference, reference * 0.05)
+        << name;
+  }
+}
+
+TEST(EndToEndTest, SamplingIsStatisticallyUniform) {
+  // Fix one target with a known neighborhood; over many epochs each
+  // neighbor must be selected with equal frequency (chi-square).
+  TempDir dir;
+  graph::EdgeList edges(40);
+  const NodeId hub = 0;
+  for (NodeId v = 1; v <= 30; ++v) edges.add_edge(hub, v);
+  const graph::Csr csr = graph::Csr::from_edge_list(edges);
+  const std::string base = test::write_test_graph(dir, csr);
+
+  core::SamplerConfig config;
+  config.fanouts = {6};
+  config.batch_size = 4;
+  config.num_threads = 1;
+  config.queue_depth = 16;
+  auto sampler = core::RingSampler::open(base, config);
+  RS_ASSERT_OK(sampler);
+
+  std::map<NodeId, std::uint64_t> counts;
+  constexpr int kTrials = 5000;
+  const std::vector<NodeId> target = {hub};
+  for (int t = 0; t < kTrials; ++t) {
+    auto sample = sampler.value()->sample_one(target);
+    RS_ASSERT_OK(sample);
+    for (const NodeId nbr : sample.value().layers[0].neighbors) {
+      ++counts[nbr];
+    }
+  }
+  ASSERT_EQ(counts.size(), 30u);  // every neighbor eventually chosen
+  const double expected = kTrials * 6.0 / 30.0;
+  double chi2 = 0;
+  for (const auto& [nbr, count] : counts) {
+    const double d = static_cast<double>(count) - expected;
+    chi2 += d * d / expected;
+  }
+  // 29 dof, 99.9th percentile ~58.3.
+  EXPECT_LT(chi2, 58.3);
+}
+
+TEST(EndToEndTest, RingSamplerMatchesInMemoryNeighborDistribution) {
+  // Property: for a fixed target set and single layer, RingSampler and
+  // the in-memory sampler draw from identical distributions. Compare
+  // total sample counts (deterministic) and per-target sets validity.
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(1500, 20000, 19);
+  const std::string base = test::write_test_graph(dir, csr);
+  const auto targets = eval::pick_targets(csr.num_nodes(), 300, 6);
+
+  core::SamplerConfig ring_config;
+  ring_config.fanouts = {8};
+  ring_config.batch_size = 64;
+  ring_config.num_threads = 1;
+  ring_config.queue_depth = 32;
+  auto ring = core::RingSampler::open(base, ring_config);
+  RS_ASSERT_OK(ring);
+  auto ring_epoch = ring.value()->run_epoch(targets);
+  RS_ASSERT_OK(ring_epoch);
+
+  baselines::InMemConfig mem_config;
+  mem_config.fanouts = {8};
+  mem_config.batch_size = 64;
+  mem_config.num_threads = 1;
+  auto mem = baselines::InMemSampler::open(base, mem_config);
+  RS_ASSERT_OK(mem);
+  auto mem_epoch = mem.value()->run_epoch(targets);
+  RS_ASSERT_OK(mem_epoch);
+
+  // Single layer: counts are min(fanout, degree) sums — exactly equal.
+  EXPECT_EQ(ring_epoch.value().sampled_neighbors,
+            mem_epoch.value().sampled_neighbors);
+}
+
+TEST(EndToEndTest, ExternalBuildValidateSampleChain) {
+  // Out-of-core preprocessing -> integrity validation -> sampling, the
+  // full production path for a graph that never fits in memory at once.
+  TempDir dir;
+  gen::ChungLuConfig gen_config;
+  gen_config.num_nodes = 2000;
+  gen_config.num_edges = 24000;
+  gen_config.seed = 31;
+  const graph::EdgeList edges = gen::generate_chung_lu(gen_config);
+
+  graph::ExternalBuildConfig build;
+  build.chunk_edges = 1000;  // force ~24 spill runs
+  build.temp_dir = dir.path();
+  graph::ExternalGraphBuilder builder(build);
+  test::assert_ok(builder.add_edges(edges.edges()));
+  const std::string base = dir.file("ooc");
+  auto meta = builder.finalize(base);
+  RS_ASSERT_OK(meta);
+
+  auto report = graph::validate_graph(base);
+  RS_ASSERT_OK(report);
+  ASSERT_TRUE(report.value().ok) << report.value().detail;
+
+  core::SamplerConfig config;
+  config.fanouts = {5, 4};
+  config.batch_size = 64;
+  config.num_threads = 2;
+  config.queue_depth = 32;
+  auto sampler = core::RingSampler::open(base, config);
+  RS_ASSERT_OK(sampler);
+  auto epoch = sampler.value()->run_epoch(
+      eval::pick_targets(meta.value().num_nodes, 300, 8));
+  RS_ASSERT_OK(epoch);
+  EXPECT_GT(epoch.value().sampled_neighbors, 0u);
+}
+
+TEST(EndToEndTest, WalkThenGatherEmbeddingPipeline) {
+  // Random walks produce node sequences; the feature store supplies
+  // their rows — a skip-gram-style embedding data pipeline end to end.
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(800, 9000, 27);
+  const std::string base = test::write_test_graph(dir, csr);
+  constexpr std::uint32_t kDim = 8;
+  const auto features = feat::synthesize_features(csr.num_nodes(), kDim, 2);
+  test::assert_ok(
+      feat::write_features(base, features.data(), csr.num_nodes(), kDim));
+
+  core::RandomWalkConfig walk_config;
+  walk_config.walk_length = 5;
+  walk_config.walks_per_start = 1;
+  walk_config.num_threads = 2;
+  walk_config.queue_depth = 32;
+  auto walker = core::RandomWalkSampler::open(base, walk_config);
+  RS_ASSERT_OK(walker);
+  const auto starts = eval::pick_targets(csr.num_nodes(), 100, 14);
+  auto walks = walker.value()->run(starts);
+  RS_ASSERT_OK(walks);
+
+  auto store = feat::FeatureStore::open(base);
+  RS_ASSERT_OK(store);
+  std::vector<float> rows;
+  std::size_t gathered = 0;
+  for (std::size_t w = 0; w < walks.value().num_walks; ++w) {
+    std::vector<NodeId> nodes;
+    for (const NodeId v : walks.value().walk(w)) {
+      if (v != kInvalidNode) nodes.push_back(v);
+    }
+    rows.resize(nodes.size() * kDim);
+    test::assert_ok(store.value().gather(nodes, rows.data()));
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      ASSERT_EQ(rows[i * kDim],
+                features[static_cast<std::size_t>(nodes[i]) * kDim]);
+    }
+    gathered += nodes.size();
+  }
+  EXPECT_GT(gathered, starts.size());  // walks actually moved
+}
+
+}  // namespace
+}  // namespace rs

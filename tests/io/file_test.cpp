@@ -1,0 +1,116 @@
+#include "io/file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "testutil.h"
+#include "util/align.h"
+
+namespace rs::io {
+namespace {
+
+using test::TempDir;
+
+TEST(FileTest, WriteThenReadExact) {
+  TempDir dir;
+  const std::string path = dir.file("f.bin");
+  std::vector<std::uint32_t> data(1000);
+  std::iota(data.begin(), data.end(), 0u);
+  {
+    auto file = File::open(path, OpenMode::kWriteTrunc);
+    RS_ASSERT_OK(file);
+    test::assert_ok(
+        file.value().pwrite_exact(data.data(), data.size() * 4, 0));
+  }
+  auto file = File::open(path, OpenMode::kRead);
+  RS_ASSERT_OK(file);
+  EXPECT_EQ(file.value().size().value(), data.size() * 4);
+
+  std::uint32_t value = 0;
+  test::assert_ok(file.value().pread_exact(&value, 4, 500 * 4));
+  EXPECT_EQ(value, 500u);
+}
+
+TEST(FileTest, PreadExactPastEofFails) {
+  TempDir dir;
+  const std::string path = dir.file("short.bin");
+  const char payload[] = "abc";
+  test::assert_ok(write_file(path, payload, 3));
+  auto file = File::open(path, OpenMode::kRead);
+  RS_ASSERT_OK(file);
+  char buf[8];
+  const Status status = file.value().pread_exact(buf, 8, 0);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kIoError);
+}
+
+TEST(FileTest, PreadSomeReportsShortAtEof) {
+  TempDir dir;
+  const std::string path = dir.file("short.bin");
+  test::assert_ok(write_file(path, "abcdef", 6));
+  auto file = File::open(path, OpenMode::kRead);
+  RS_ASSERT_OK(file);
+  char buf[16];
+  auto n = file.value().pread_some(buf, 16, 2);
+  RS_ASSERT_OK(n);
+  EXPECT_EQ(n.value(), 4u);
+  EXPECT_EQ(std::memcmp(buf, "cdef", 4), 0);
+  // At EOF: zero bytes, not an error.
+  auto eof = file.value().pread_some(buf, 16, 6);
+  RS_ASSERT_OK(eof);
+  EXPECT_EQ(eof.value(), 0u);
+}
+
+TEST(FileTest, DirectReadRequiresAlignmentAndWorks) {
+  TempDir dir;
+  const std::string path = dir.file("direct.bin");
+  std::vector<unsigned char> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<unsigned char>(i);
+  }
+  test::assert_ok(write_file(path, data.data(), data.size()));
+
+  auto file = File::open(path, OpenMode::kReadDirect);
+  RS_ASSERT_OK(file);
+  EXPECT_TRUE(file.value().is_direct());
+
+  AlignedPtr buf = aligned_alloc_bytes(4096);
+  test::assert_ok(file.value().pread_exact(buf.get(), 4096, 4096));
+  EXPECT_EQ(std::memcmp(buf.get(), data.data() + 4096, 4096), 0);
+}
+
+TEST(FileTest, OpenMissingFails) {
+  auto file = File::open("/nonexistent/nope", OpenMode::kRead);
+  EXPECT_FALSE(file.is_ok());
+}
+
+TEST(FileTest, MoveAndClose) {
+  TempDir dir;
+  const std::string path = dir.file("m.bin");
+  test::assert_ok(write_file(path, "x", 1));
+  auto file_result = File::open(path, OpenMode::kRead);
+  RS_ASSERT_OK(file_result);
+  File a = std::move(file_result).value();
+  File b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  test::assert_ok(b.close());
+  EXPECT_FALSE(b.valid());
+  test::assert_ok(b.close());  // idempotent
+}
+
+TEST(FileTest, DropCacheSucceedsOnOpenFile) {
+  TempDir dir;
+  const std::string path = dir.file("c.bin");
+  std::vector<char> data(1 << 16, 'a');
+  test::assert_ok(write_file(path, data.data(), data.size()));
+  auto file = File::open(path, OpenMode::kRead);
+  RS_ASSERT_OK(file);
+  test::assert_ok(file.value().drop_cache());
+}
+
+}  // namespace
+}  // namespace rs::io

@@ -1,0 +1,85 @@
+// Shared helpers for the RingSampler test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "gen/erdos_renyi.h"
+#include "graph/binary_format.h"
+#include "graph/csr.h"
+#include "util/fs.h"
+#include "util/status.h"
+
+namespace rs::test {
+
+// Asserts a Status/Result is OK with a useful message.
+#define RS_ASSERT_OK(expr)                                 \
+  do {                                                     \
+    const auto& rs_assert_ok_status = (expr);              \
+    ASSERT_TRUE(rs_assert_ok_status.is_ok())               \
+        << rs_assert_ok_status.status().to_string();       \
+  } while (0)
+
+#define RS_EXPECT_OK(expr)                                 \
+  do {                                                     \
+    const auto& rs_expect_ok_status = (expr);              \
+    EXPECT_TRUE(rs_expect_ok_status.is_ok())               \
+        << rs_expect_ok_status.status().to_string();       \
+  } while (0)
+
+// Status (not Result) variants.
+inline void assert_ok(const Status& status) {
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+}
+
+// Self-cleaning scratch directory under the system temp dir.
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = temp_path(std::filesystem::temp_directory_path().string(),
+                     "rs_test");
+    const Status status = make_dirs(dir_);
+    RS_CHECK_MSG(status.is_ok(), status.to_string());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  const std::string& path() const { return dir_; }
+  std::string file(const std::string& name) const { return dir_ + "/" + name; }
+
+ private:
+  std::string dir_;
+};
+
+// A small deterministic test graph: Erdős–Rényi, default 2k nodes / 16k
+// edges — big enough to exercise multi-batch, multi-layer sampling but
+// quick to build.
+inline graph::Csr make_test_csr(NodeId nodes = 2000,
+                                std::uint64_t edges = 16000,
+                                std::uint64_t seed = 11) {
+  gen::ErdosRenyiConfig config;
+  config.num_nodes = nodes;
+  config.num_edges = edges;
+  config.seed = seed;
+  graph::EdgeList list = gen::generate_erdos_renyi(config);
+  // Simple graph (no parallel edges): distinct sampled offsets then imply
+  // distinct neighbor values, which validity tests assert.
+  list.sort();
+  list.dedup();
+  return graph::Csr::from_edge_list(list);
+}
+
+// Writes a CSR as a binary graph in `dir`; returns the base path.
+inline std::string write_test_graph(const TempDir& dir,
+                                    const graph::Csr& csr,
+                                    const std::string& name = "g") {
+  const std::string base = dir.file(name);
+  const Status status = graph::write_graph(csr, base);
+  RS_CHECK_MSG(status.is_ok(), status.to_string());
+  return base;
+}
+
+}  // namespace rs::test

@@ -1,0 +1,89 @@
+#include "util/argparse.h"
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+std::vector<char*> make_argv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(ArgParserTest, ParsesAllTypesBothSyntaxes) {
+  ArgParser parser("prog", "test");
+  bool flag = false;
+  std::int64_t count = 5;
+  std::uint64_t size = 0;
+  double ratio = 1.0;
+  std::string name = "default";
+  parser.add_flag("verbose", &flag, "verbosity");
+  parser.add_int("count", &count, "a count");
+  parser.add_uint("size", &size, "a size");
+  parser.add_double("ratio", &ratio, "a ratio");
+  parser.add_string("name", &name, "a name");
+
+  std::vector<std::string> storage = {"prog",        "--verbose",
+                                      "--count=-3",  "--size", "42",
+                                      "--ratio=0.5", "--name", "abc",
+                                      "positional"};
+  auto argv = make_argv(storage);
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data())
+                  .is_ok());
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(count, -3);
+  EXPECT_EQ(size, 42u);
+  EXPECT_DOUBLE_EQ(ratio, 0.5);
+  EXPECT_EQ(name, "abc");
+  ASSERT_EQ(parser.positional().size(), 1u);
+  EXPECT_EQ(parser.positional()[0], "positional");
+}
+
+TEST(ArgParserTest, NoPrefixNegatesBool) {
+  ArgParser parser("prog", "test");
+  bool flag = true;
+  parser.add_flag("cache", &flag, "caching");
+  std::vector<std::string> storage = {"prog", "--no-cache"};
+  auto argv = make_argv(storage);
+  ASSERT_TRUE(parser.parse(2, argv.data()).is_ok());
+  EXPECT_FALSE(flag);
+}
+
+TEST(ArgParserTest, UnknownFlagRejected) {
+  ArgParser parser("prog", "test");
+  std::vector<std::string> storage = {"prog", "--mystery"};
+  auto argv = make_argv(storage);
+  EXPECT_FALSE(parser.parse(2, argv.data()).is_ok());
+}
+
+TEST(ArgParserTest, MissingValueRejected) {
+  ArgParser parser("prog", "test");
+  std::int64_t v = 0;
+  parser.add_int("v", &v, "v");
+  std::vector<std::string> storage = {"prog", "--v"};
+  auto argv = make_argv(storage);
+  EXPECT_FALSE(parser.parse(2, argv.data()).is_ok());
+}
+
+TEST(ArgParserTest, BadNumberRejected) {
+  ArgParser parser("prog", "test");
+  std::int64_t v = 0;
+  parser.add_int("v", &v, "v");
+  std::vector<std::string> storage = {"prog", "--v=abc"};
+  auto argv = make_argv(storage);
+  EXPECT_FALSE(parser.parse(2, argv.data()).is_ok());
+}
+
+TEST(ArgParserTest, UsageListsFlagsAndDefaults) {
+  ArgParser parser("prog", "does things");
+  std::int64_t v = 17;
+  parser.add_int("value", &v, "the value");
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--value"), std::string::npos);
+  EXPECT_NE(usage.find("17"), std::string::npos);
+  EXPECT_NE(usage.find("the value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,56 @@
+#include "util/fs.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace rs {
+namespace {
+
+TEST(FsTest, WriteReadRoundTrip) {
+  test::TempDir dir;
+  const std::string path = dir.file("f.txt");
+  const std::string content = "hello\0world";
+  test::assert_ok(write_file(path, content.data(), content.size()));
+  EXPECT_TRUE(file_exists(path));
+  auto size = file_size(path);
+  RS_ASSERT_OK(size);
+  EXPECT_EQ(size.value(), content.size());
+  auto read = read_file(path);
+  RS_ASSERT_OK(read);
+  EXPECT_EQ(read.value(), content);
+}
+
+TEST(FsTest, MissingFile) {
+  test::TempDir dir;
+  EXPECT_FALSE(file_exists(dir.file("nope")));
+  EXPECT_FALSE(file_size(dir.file("nope")).is_ok());
+  EXPECT_FALSE(read_file(dir.file("nope")).is_ok());
+}
+
+TEST(FsTest, MakeDirsNested) {
+  test::TempDir dir;
+  const std::string nested = dir.file("a/b/c");
+  test::assert_ok(make_dirs(nested));
+  EXPECT_TRUE(file_exists(nested));
+  test::assert_ok(make_dirs(nested));  // idempotent
+}
+
+TEST(FsTest, RemoveFile) {
+  test::TempDir dir;
+  const std::string path = dir.file("rm.txt");
+  test::assert_ok(write_file(path, "x", 1));
+  test::assert_ok(remove_file(path));
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST(FsTest, TempPathsUnique) {
+  test::TempDir dir;
+  const std::string a = temp_path(dir.path(), "p");
+  const std::string b = temp_path(dir.path(), "p");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.find(dir.path()), 0u);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,82 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(LatencyRecorderTest, ExactPercentiles) {
+  LatencyRecorder recorder;
+  for (std::uint64_t i = 1; i <= 100; ++i) recorder.record_ns(i * 10);
+  EXPECT_EQ(recorder.count(), 100u);
+  EXPECT_EQ(recorder.percentile_ns(50), 500u);
+  EXPECT_EQ(recorder.percentile_ns(90), 900u);
+  EXPECT_EQ(recorder.percentile_ns(99), 990u);
+  EXPECT_EQ(recorder.percentile_ns(100), 1000u);
+  EXPECT_EQ(recorder.min_ns(), 10u);
+  EXPECT_EQ(recorder.max_ns(), 1000u);
+  EXPECT_DOUBLE_EQ(recorder.mean_ns(), 505.0);
+}
+
+TEST(LatencyRecorderTest, RecordSecondsConverts) {
+  LatencyRecorder recorder;
+  recorder.record_seconds(1.5);
+  EXPECT_EQ(recorder.percentile_ns(100), 1500000000u);
+  EXPECT_DOUBLE_EQ(recorder.percentile_seconds(100), 1.5);
+}
+
+TEST(LatencyRecorderTest, RecordingAfterSortResorts) {
+  LatencyRecorder recorder;
+  recorder.record_ns(100);
+  EXPECT_EQ(recorder.percentile_ns(50), 100u);
+  recorder.record_ns(50);  // smaller, after a sorted query
+  EXPECT_EQ(recorder.percentile_ns(50), 50u);
+}
+
+TEST(LatencyRecorderTest, CdfMonotoneAndComplete) {
+  LatencyRecorder recorder;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    recorder.record_ns((i * 7919) % 100000);
+  }
+  const auto cdf = recorder.cdf(50);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_LE(cdf.size(), 52u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value_seconds, cdf[i - 1].value_seconds);
+    EXPECT_GT(cdf[i].cumulative_fraction, cdf[i - 1].cumulative_fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_fraction, 1.0);
+}
+
+TEST(LatencyRecorderTest, MergeCombines) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  a.record_ns(10);
+  b.record_ns(20);
+  b.record_ns(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max_ns(), 30u);
+}
+
+TEST(HistogramTest, BucketsAndPercentile) {
+  Histogram hist(/*max_value=*/10.0, /*buckets=*/10);
+  for (int i = 0; i < 100; ++i) hist.record(0.5);   // bucket 0
+  for (int i = 0; i < 100; ++i) hist.record(9.5);   // bucket 9
+  EXPECT_EQ(hist.total(), 200u);
+  EXPECT_EQ(hist.counts()[0], 100u);
+  EXPECT_EQ(hist.counts()[9], 100u);
+  EXPECT_LT(hist.percentile(25), 1.0);
+  EXPECT_GT(hist.percentile(75), 9.0);
+}
+
+TEST(HistogramTest, OverflowGoesToLastBucket) {
+  Histogram hist(1.0, 4);
+  hist.record(100.0);
+  hist.record(-5.0);
+  EXPECT_EQ(hist.counts()[3], 1u);
+  EXPECT_EQ(hist.counts()[0], 1u);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,97 @@
+#include "util/mem_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rs {
+namespace {
+
+TEST(MemoryBudgetTest, UnlimitedNeverFails) {
+  MemoryBudget budget = MemoryBudget::unlimited();
+  EXPECT_FALSE(budget.is_limited());
+  EXPECT_TRUE(budget.charge(1ULL << 40, "huge").is_ok());
+  EXPECT_EQ(budget.used(), 1ULL << 40);
+  budget.release(1ULL << 40);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, LimitedRejectsOverage) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.charge(600, "a").is_ok());
+  const Status status = budget.charge(500, "b");
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOutOfMemory);
+  EXPECT_NE(status.message().find("b"), std::string::npos);
+  EXPECT_EQ(budget.used(), 600u);  // failed charge not applied
+  EXPECT_TRUE(budget.charge(400, "c").is_ok());  // exactly to the limit
+}
+
+TEST(MemoryBudgetTest, PeakTracksHighWater) {
+  MemoryBudget budget(1000);
+  ASSERT_TRUE(budget.charge(800, "a").is_ok());
+  budget.release(700);
+  ASSERT_TRUE(budget.charge(100, "b").is_ok());
+  EXPECT_EQ(budget.used(), 200u);
+  EXPECT_EQ(budget.peak(), 800u);
+  budget.reset_peak();
+  EXPECT_EQ(budget.peak(), 200u);
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesNeverExceedLimit) {
+  MemoryBudget budget(10000);
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (budget.charge(10, "x").is_ok()) {
+          ++successes;
+          budget.release(10);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_LE(budget.peak(), 10000u);
+  EXPECT_GT(successes.load(), 0);
+}
+
+TEST(TrackedBufferTest, ChargesForLifetime) {
+  MemoryBudget budget(1 << 20);
+  {
+    auto buffer = TrackedBuffer<std::uint64_t>::create(budget, 100, "buf");
+    ASSERT_TRUE(buffer.is_ok());
+    EXPECT_EQ(budget.used(), 800u);
+    buffer.value()[99] = 7;
+    EXPECT_EQ(buffer.value()[99], 7u);
+    EXPECT_EQ(buffer.value().size(), 100u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(TrackedBufferTest, MoveTransfersCharge) {
+  MemoryBudget budget(1 << 20);
+  auto a = TrackedBuffer<int>::create(budget, 10, "a");
+  ASSERT_TRUE(a.is_ok());
+  TrackedBuffer<int> b = std::move(a).value();
+  EXPECT_EQ(budget.used(), 40u);
+  TrackedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(budget.used(), 40u);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c = TrackedBuffer<int>();  // assignment releases old charge
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(TrackedBufferTest, FailsCleanlyOverBudget) {
+  MemoryBudget budget(100);
+  auto buffer = TrackedBuffer<std::uint64_t>::create(budget, 1000, "big");
+  ASSERT_FALSE(buffer.is_ok());
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+}  // namespace
+}  // namespace rs

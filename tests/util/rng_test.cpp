@@ -1,0 +1,125 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <numeric>
+#include <vector>
+
+namespace rs {
+namespace {
+
+TEST(XoshiroTest, DeterministicPerSeed) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(1);
+  Xoshiro256 c(2);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    any_diff |= va != c();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(XoshiroTest, UniformStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const auto v = rng.uniform_range(100, 110);
+    EXPECT_GE(v, 100u);
+    EXPECT_LT(v, 110u);
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(XoshiroTest, UniformIsUnbiasedChiSquare) {
+  // chi-square over 16 buckets; 99.9th percentile for 15 dof is ~37.7.
+  Xoshiro256 rng(99);
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr std::uint64_t kDraws = 160000;
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  for (std::uint64_t i = 0; i < kDraws; ++i) ++counts[rng.uniform(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0;
+  for (const auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(SampleDistinctTest, ExactlyKDistinctInRange) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> out;
+    sample_distinct_range(rng, 1000, 1100, 13, out);
+    ASSERT_EQ(out.size(), 13u);
+    std::set<std::uint64_t> distinct(out.begin(), out.end());
+    EXPECT_EQ(distinct.size(), 13u);
+    for (const auto v : out) {
+      EXPECT_GE(v, 1000u);
+      EXPECT_LT(v, 1100u);
+    }
+  }
+}
+
+TEST(SampleDistinctTest, KEqualsNReturnsWholeRange) {
+  Xoshiro256 rng(5);
+  std::vector<std::uint64_t> out;
+  sample_distinct_range(rng, 10, 15, 5, out);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{10, 11, 12, 13, 14}));
+}
+
+TEST(SampleDistinctTest, AppendsAfterExistingContent) {
+  Xoshiro256 rng(6);
+  std::vector<std::uint64_t> out = {111};
+  sample_distinct_range(rng, 0, 50, 3, out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 111u);
+}
+
+TEST(SampleDistinctTest, UniformCoverage) {
+  // Every element of a 20-wide range should be picked roughly equally
+  // often when sampling 5 of 20 many times.
+  Xoshiro256 rng(17);
+  std::vector<std::uint64_t> counts(20, 0);
+  constexpr int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<std::uint64_t> out;
+    sample_distinct_range(rng, 0, 20, 5, out);
+    for (const auto v : out) ++counts[v];
+  }
+  const double expected = kTrials * 5.0 / 20.0;
+  double chi2 = 0;
+  for (const auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  // 19 dof, 99.9th percentile ~43.8.
+  EXPECT_LT(chi2, 43.8);
+}
+
+TEST(ShuffleTest, PermutationPreservesElements) {
+  Xoshiro256 rng(3);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  shuffle(rng, v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(SplitMixTest, AdvancesState) {
+  std::uint64_t state = 42;
+  const auto a = splitmix64(state);
+  const auto b = splitmix64(state);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rs

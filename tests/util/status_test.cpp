@@ -1,0 +1,97 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_TRUE(static_cast<bool>(status));
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::io_error("disk on fire");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kIoError);
+  EXPECT_EQ(status.message(), "disk on fire");
+  EXPECT_EQ(status.to_string(), "IO_ERROR: disk on fire");
+}
+
+TEST(StatusTest, FromErrnoIncludesStrerror) {
+  errno = ENOENT;
+  const Status status = Status::from_errno("open(x)");
+  EXPECT_NE(status.message().find("open(x)"), std::string::npos);
+  EXPECT_NE(status.message().find("No such file"), std::string::npos);
+}
+
+TEST(StatusTest, AllCodesNamed) {
+  for (const ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kIoError, ErrorCode::kOutOfMemory, ErrorCode::kUnsupported,
+        ErrorCode::kCorruptData, ErrorCode::kInternal}) {
+    EXPECT_STRNE(error_code_name(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::not_found("gone"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.is_ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+Status fails() { return Status::invalid("nope"); }
+Status succeeds() { return Status::ok(); }
+
+Status chain_ok() {
+  RS_RETURN_IF_ERROR(succeeds());
+  return Status::ok();
+}
+Status chain_fail() {
+  RS_RETURN_IF_ERROR(fails());
+  return Status::internal("unreachable");
+}
+
+Result<int> half(int v) {
+  if (v % 2 != 0) return Status::invalid("odd");
+  return v / 2;
+}
+Status use_assign(int v, int* out) {
+  RS_ASSIGN_OR_RETURN(int h, half(v));
+  RS_ASSIGN_OR_RETURN(int q, half(h));  // two on adjacent lines compile
+  *out = q;
+  return Status::ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_TRUE(chain_ok().is_ok());
+  const Status status = chain_fail();
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(use_assign(8, &out).is_ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(use_assign(7, &out).is_ok());
+  EXPECT_FALSE(use_assign(6, &out).is_ok());  // 6/2=3 odd at second step
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "util/fs.h"
+
+namespace rs {
+namespace {
+
+TEST(TableTest, RendersAlignedGrid) {
+  Table table("Demo", {"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| longer-name |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table table("", {"a", "b"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"quote\"inside", "line\nbreak"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvToDisk) {
+  test::TempDir dir;
+  Table table("", {"x"});
+  table.add_row({"1"});
+  const std::string path = dir.file("t.csv");
+  test::assert_ok(table.write_csv(path));
+  auto content = read_file(path);
+  RS_ASSERT_OK(content);
+  EXPECT_EQ(content.value(), "x\n1\n");
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(Table::fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_seconds(12.345), "12.35s");
+  EXPECT_EQ(Table::fmt_seconds(0.0123), "12.30ms");
+  EXPECT_EQ(Table::fmt_seconds(0.0000123), "12.3us");
+  EXPECT_EQ(Table::fmt_bytes(1536), "1.5 KB");
+  EXPECT_EQ(Table::fmt_bytes(3ULL << 30), "3.0 GB");
+  EXPECT_EQ(Table::fmt_bytes(10), "10 B");
+  EXPECT_EQ(Table::fmt_count(1600000000ULL), "1.6B");
+  EXPECT_EQ(Table::fmt_count(65000000ULL), "65.0M");
+  EXPECT_EQ(Table::fmt_count(1500), "1.5K");
+  EXPECT_EQ(Table::fmt_count(12), "12");
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace rs {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ExceptionsCapturedInFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // Pool still alive afterwards.
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_chunks(1000, 4,
+                      [&](std::size_t lo, std::size_t hi, std::size_t) {
+                        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                      });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  parallel_for_chunks(10, 1, [&](std::size_t, std::size_t, std::size_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelForTest, EmptyRangeNoCalls) {
+  bool called = false;
+  parallel_for_chunks(0, 4, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::atomic<int> calls{0};
+  parallel_for_chunks(3, 16, [&](std::size_t lo, std::size_t hi,
+                                 std::size_t) {
+    calls += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+}  // namespace
+}  // namespace rs
