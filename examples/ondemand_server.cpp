@@ -4,12 +4,51 @@
 // live summary.
 //
 //   ./examples/ondemand_server [--requests N] [--threads T]
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <thread>
 
 #include "core/ring_sampler.h"
 #include "eval/runner.h"
 #include "gen/dataset.h"
+#include "io/backend.h"
+#include "obs/metrics.h"
 #include "util/argparse.h"
+
+namespace {
+
+// Background reporter: prints the merged metrics table every
+// `interval_seconds` while the serving run is in flight — the kind of
+// periodic stats line a real service would log.
+class StatsReporter {
+ public:
+  explicit StatsReporter(double interval_seconds) {
+    if (interval_seconds <= 0) return;
+    thread_ = std::thread([this, interval_seconds] {
+      const auto interval =
+          std::chrono::duration<double>(interval_seconds);
+      while (!done_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(interval);
+        if (done_.load(std::memory_order_relaxed)) break;
+        std::printf("---- periodic metrics snapshot ----\n%s",
+                    rs::obs::Registry::global().snapshot()
+                        .to_table().c_str());
+      }
+    });
+  }
+  ~StatsReporter() {
+    done_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rs;
@@ -19,6 +58,8 @@ int main(int argc, char** argv) {
   double scale = 0.05;
   std::uint64_t hot_cache_kb = 0;
   double arrival_rate = 0;
+  double stats_interval = 0;
+  std::string metrics_json;
   ArgParser parser("ondemand_server",
                    "Near-real-time GNN serving simulation (paper S4.4)");
   parser.add_uint("requests", &requests, "number of client requests");
@@ -28,8 +69,15 @@ int main(int argc, char** argv) {
                   "hot-neighbor cache budget (0 = off)");
   parser.add_double("arrival-rate", &arrival_rate,
                     "open-loop Poisson arrivals/sec (0 = closed loop)");
+  parser.add_double("stats-interval", &stats_interval,
+                    "seconds between live metrics dumps (0 = off)");
+  parser.add_string("metrics-json", &metrics_json,
+                    "write final obs metrics snapshot JSON here");
   if (Status status = parser.parse(argc, argv); !status.is_ok()) {
     return status.message() == "help requested" ? 0 : 2;
+  }
+  if (!metrics_json.empty() || stats_interval > 0) {
+    io::set_io_timing(true);  // per-completion latency histograms
   }
 
   auto profile = gen::profile_by_name("ogbn-papers-s");
@@ -52,6 +100,18 @@ int main(int argc, char** argv) {
               targets.size(), static_cast<unsigned long long>(threads),
               sampler.value()->hot_cache().cached_nodes());
 
+  StatsReporter reporter(stats_interval);
+  auto dump_metrics = [&metrics_json] {
+    if (metrics_json.empty()) return;
+    std::ofstream out(metrics_json, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_json.c_str());
+      return;
+    }
+    out << rs::obs::Registry::global().snapshot().to_json() << '\n';
+    std::printf("[metrics] %s\n", metrics_json.c_str());
+  };
+
   if (arrival_rate > 0) {
     // Open loop: requests arrive on a Poisson clock; latency is
     // per-request sojourn (queueing + service).
@@ -64,6 +124,7 @@ int main(int argc, char** argv) {
       std::printf("  P%-3.0f sojourn %8.2f ms\n", p,
                   o.latencies.percentile_seconds(p) * 1e3);
     }
+    dump_metrics();
     return 0;
   }
 
@@ -85,5 +146,6 @@ int main(int argc, char** argv) {
               "as in Fig. 6)\n",
               r.latencies.percentile_seconds(99) /
                   r.latencies.percentile_seconds(50));
+  dump_metrics();
   return 0;
 }

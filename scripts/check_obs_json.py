@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a bench run produces.
+
+Usage:
+  check_obs_json.py metrics <metrics.json> [--backend NAME]
+  check_obs_json.py trace <trace.json> [--expect-span NAME ...]
+
+`metrics` checks the file parses with json.loads, has the
+counters/gauges/histograms sections, and that every histogram's bucket
+counts sum to its count. With --backend it additionally requires the
+io.<backend>.completion_latency_ns histogram to be present and
+non-empty.
+
+`trace` checks the file is Chrome trace-event JSON Perfetto can load
+(a traceEvents list of dicts with name/ph/pid/tid/ts) and that every
+--expect-span name occurs as a complete ("X") event.
+
+Exits non-zero with a message on the first violation; prints a summary
+on success. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    sys.exit(f"check_obs_json: FAIL: {message}")
+
+
+def load_json(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError as error:
+        fail(f"{path}: {error.strerror}")
+    except json.JSONDecodeError as error:
+        fail(f"{path}: not valid JSON: {error}")
+
+
+def check_metrics(path, backend=None):
+    metrics = load_json(path)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics:
+            fail(f"{path}: missing section {section!r}")
+        if not isinstance(metrics[section], dict):
+            fail(f"{path}: section {section!r} is not an object")
+    for name, hist in metrics["histograms"].items():
+        for key in ("count", "sum_ns", "buckets"):
+            if key not in hist:
+                fail(f"{path}: histogram {name!r} missing {key!r}")
+        bucket_total = sum(b["count"] for b in hist["buckets"])
+        if bucket_total != hist["count"]:
+            fail(f"{path}: histogram {name!r} buckets sum to "
+                 f"{bucket_total}, count says {hist['count']}")
+        bounds = [b["le_ns"] for b in hist["buckets"]]
+        if bounds != sorted(bounds):
+            fail(f"{path}: histogram {name!r} bucket bounds not sorted")
+    if backend is not None:
+        name = f"io.{backend}.completion_latency_ns"
+        hist = metrics["histograms"].get(name)
+        if hist is None:
+            fail(f"{path}: expected histogram {name!r} "
+                 f"(have: {sorted(metrics['histograms'])})")
+        if hist["count"] == 0:
+            fail(f"{path}: histogram {name!r} recorded nothing")
+    print(f"check_obs_json: OK: {path}: "
+          f"{len(metrics['counters'])} counters, "
+          f"{len(metrics['gauges'])} gauges, "
+          f"{len(metrics['histograms'])} histograms")
+
+
+def check_trace(path, expect_spans):
+    trace = load_json(path)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no traceEvents list")
+    if not events:
+        fail(f"{path}: traceEvents is empty")
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                fail(f"{path}: event {i} missing {key!r}: {event}")
+        if event["ph"] == "X" and "dur" not in event:
+            fail(f"{path}: complete event {i} missing dur: {event}")
+    spans = {e["name"] for e in events if e["ph"] == "X"}
+    for name in expect_spans:
+        if name not in spans:
+            fail(f"{path}: no {name!r} span (have: {sorted(spans)})")
+    print(f"check_obs_json: OK: {path}: {len(events)} events, "
+          f"{len(spans)} distinct spans")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers(dest="mode", required=True)
+    metrics = sub.add_parser("metrics")
+    metrics.add_argument("path")
+    metrics.add_argument("--backend")
+    trace = sub.add_parser("trace")
+    trace.add_argument("path")
+    trace.add_argument("--expect-span", action="append", default=[])
+    args = parser.parse_args()
+    if args.mode == "metrics":
+        check_metrics(args.path, args.backend)
+    else:
+        check_trace(args.path, args.expect_span)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,12 +8,17 @@ Produces PNGs next to the CSVs:
   fig6_cdf.png       completion-time CDF curve
   fig7_layers.png    lines over hop counts, log time axis
   fig8_threads.png   lines over thread counts
+  io_latency_cdf.png per-backend I/O completion-latency CDFs, from the
+                     metrics.json a bench writes with --metrics-json
+                     (bench_results/metrics.json or a path passed as the
+                     second argument)
 
 Only matplotlib is required; figures are skipped (with a note) when
 their CSV is absent.
 """
 
 import csv
+import json
 import os
 import re
 import sys
@@ -103,6 +108,46 @@ def line_over_columns(rows, title, png, xlabel, logy=True):
     save(fig, png)
 
 
+def plot_io_latency_cdf(metrics_path):
+    """Per-backend completion-latency CDFs from the obs metrics JSON.
+
+    Each histogram is log2-bucketed; the CDF steps at each bucket's
+    upper bound (le_ns) by that bucket's cumulative fraction.
+    """
+    if not os.path.exists(metrics_path):
+        print(f"skip: {metrics_path} not found")
+        return
+    with open(metrics_path) as handle:
+        metrics = json.load(handle)
+    histograms = metrics.get("histograms", {})
+    curves = []
+    for name, hist in sorted(histograms.items()):
+        match = re.fullmatch(r"io\.([^.]+)\.completion_latency_ns", name)
+        if not match or not hist.get("count"):
+            continue
+        total = hist["count"]
+        xs, ys, cumulative = [], [], 0
+        for bucket in hist.get("buckets", []):
+            cumulative += bucket["count"]
+            xs.append(max(bucket["le_ns"], 1) / 1e9)
+            ys.append(cumulative / total)
+        curves.append((match.group(1), xs, ys))
+    if not curves:
+        print(f"skip: no io.*.completion_latency_ns histograms in "
+              f"{metrics_path} (run a bench with --metrics-json)")
+        return
+    fig, axis = plt.subplots(figsize=(6, 4))
+    for backend, xs, ys in curves:
+        axis.plot(xs, ys, marker="o", drawstyle="steps-post", label=backend)
+    axis.set_xscale("log")
+    axis.set_xlabel("per-completion I/O latency (s)")
+    axis.set_ylabel("fraction of completions")
+    axis.set_title("Per-backend I/O completion-latency CDF")
+    axis.grid(alpha=0.3)
+    axis.legend(fontsize=8)
+    save(fig, "io_latency_cdf.png")
+
+
 def main():
     rows = read_csv("fig4_overall.csv")
     if rows:
@@ -147,6 +192,10 @@ def main():
         axis.set_title("Fig. 8: thread scalability")
         axis.legend(fontsize=8)
         save(fig, "fig8_threads.png")
+
+    metrics_path = (sys.argv[2] if len(sys.argv) > 2
+                    else os.path.join(RESULTS, "metrics.json"))
+    plot_io_latency_cdf(metrics_path)
 
 
 if __name__ == "__main__":

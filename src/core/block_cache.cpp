@@ -31,6 +31,9 @@ Result<BlockCache> BlockCache::create(MemoryBudget& budget,
   std::memset(cache.tags_.data(), 0, blocks * sizeof(std::uint64_t));
   cache.num_blocks_ = blocks;
   cache.shift_ = 64 - static_cast<unsigned>(std::countr_zero(blocks));
+  auto& registry = obs::Registry::global();
+  cache.hits_counter_ = registry.counter("block_cache.hits");
+  cache.misses_counter_ = registry.counter("block_cache.misses");
   return cache;
 }
 
@@ -41,11 +44,13 @@ bool BlockCache::lookup(std::uint64_t block_id, std::uint32_t offset_in_block,
   const std::size_t slot = slot_of(block_id);
   if (tags_[slot] != block_id + 1) {
     ++misses_;
+    misses_counter_.add();
     return false;
   }
   std::memcpy(dst, data_.data() + slot * block_bytes_ + offset_in_block,
               len);
   ++hits_;
+  hits_counter_.add();
   return true;
 }
 

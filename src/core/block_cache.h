@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "util/common.h"
 #include "util/mem_budget.h"
 #include "util/status.h"
@@ -61,6 +62,8 @@ class BlockCache {
   unsigned shift_ = 64;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  obs::Counter hits_counter_;
+  obs::Counter misses_counter_;
 };
 
 }  // namespace rs::core

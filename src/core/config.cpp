@@ -21,6 +21,7 @@ std::string SamplerConfig::describe() const {
       << (coalesce_blocks ? " coalesce" : "")
       << (register_file ? " fixed-file" : "");
   if (hot_cache_bytes > 0) out << " hot-cache=" << hot_cache_bytes << "B";
+  if (!trace_path.empty()) out << " trace=" << trace_path;
   out << " seed=" << seed;
   return out.str();
 }

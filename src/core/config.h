@@ -84,6 +84,11 @@ struct SamplerConfig {
 
   std::uint64_t seed = 7;
 
+  // When non-empty, start the Chrome trace-event recorder (obs::trace)
+  // writing to this path on init, unless tracing is already active
+  // (e.g. via the RS_TRACE environment variable, which takes priority).
+  std::string trace_path;
+
   // Retain sampled subgraphs and hand them to the caller (examples,
   // tests, training pipelines). Benchmarks leave this off and rely on
   // the checksum to keep the work alive.

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace rs::core {
@@ -53,13 +54,21 @@ ReadPipeline::ReadPipeline(io::IoBackend& backend, BlockCache* cache,
       cache_(cache),
       options_(options),
       budget_(budget),
-      scratch_bytes_(scratch_bytes) {}
+      scratch_bytes_(scratch_bytes) {
+  auto& registry = obs::Registry::global();
+  groups_counter_ = registry.counter("pipeline.groups");
+  items_counter_ = registry.counter("pipeline.items");
+  read_ops_counter_ = registry.counter("pipeline.read_ops");
+  bytes_counter_ = registry.counter("pipeline.bytes_read");
+  cache_hits_counter_ = registry.counter("pipeline.cache_hits");
+}
 
 ReadPipeline::~ReadPipeline() { budget_.release(scratch_bytes_); }
 
 std::size_t ReadPipeline::fill_group(ItemSource& source, Group& group,
                                      NodeId* values) {
   ScopedAccumulator phase(stats_.prepare_seconds);
+  RS_OBS_SPAN("pipeline", "prepare");
   const std::size_t n =
       source.next(std::span<SampleItem>(group.items.data(),
                                         options_.group_size));
@@ -67,6 +76,7 @@ std::size_t ReadPipeline::fill_group(ItemSource& source, Group& group,
   group.num_requests = 0;
   if (n == 0) return 0;
   stats_.items += n;
+  items_counter_.add(n);
 
   if (!options_.block_mode) {
     // Exact mode: one 4-byte read per sampled entry, straight into its
@@ -100,6 +110,7 @@ std::size_t ReadPipeline::fill_group(ItemSource& source, Group& group,
     }
     group.items[misses++] = item;  // compact misses to the front
   }
+  cache_hits_counter_.add(n - misses);
   if (misses == 0) return n;
 
   std::sort(group.items.begin(),
@@ -156,11 +167,18 @@ std::size_t ReadPipeline::fill_group(ItemSource& source, Group& group,
 Status ReadPipeline::submit_group(Group& group) {
   if (group.num_requests == 0) return Status::ok();
   ScopedAccumulator phase(stats_.submit_seconds);
+  RS_OBS_SPAN("pipeline", "submit", "requests",
+              static_cast<std::uint64_t>(group.num_requests));
   ++stats_.groups;
+  groups_counter_.add();
   stats_.read_ops += group.num_requests;
+  read_ops_counter_.add(group.num_requests);
+  std::uint64_t group_bytes = 0;
   for (std::size_t i = 0; i < group.num_requests; ++i) {
-    stats_.bytes_read += group.requests[i].len;
+    group_bytes += group.requests[i].len;
   }
+  stats_.bytes_read += group_bytes;
+  bytes_counter_.add(group_bytes);
   return backend_.submit(
       std::span<const io::ReadRequest>(group.requests.data(),
                                        group.num_requests));
@@ -209,6 +227,7 @@ void ReadPipeline::handle_completion(const io::Completion& completion,
 
 Status ReadPipeline::drain_group(Group& group, NodeId* values) {
   ScopedAccumulator phase(stats_.drain_seconds);
+  RS_OBS_SPAN("pipeline", "drain");
   std::array<io::Completion, 128> completions;
   while (backend_.in_flight() > 0) {
     RS_ASSIGN_OR_RETURN(unsigned n, backend_.wait(completions));

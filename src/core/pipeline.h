@@ -23,6 +23,7 @@
 #include "core/block_cache.h"
 #include "core/sample_plan.h"
 #include "io/backend.h"
+#include "obs/metrics.h"
 #include "util/align.h"
 #include "util/mem_budget.h"
 
@@ -108,6 +109,14 @@ class ReadPipeline {
   Group groups_[2];
   PipelineStats stats_;
   Status deferred_error_;
+
+  // Registry mirrors of PipelineStats (merged across worker threads by
+  // the obs registry; bumped once per group, not per item).
+  obs::Counter groups_counter_;
+  obs::Counter items_counter_;
+  obs::Counter read_ops_counter_;
+  obs::Counter bytes_counter_;
+  obs::Counter cache_hits_counter_;
 };
 
 }  // namespace rs::core

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "graph/binary_format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -32,6 +34,10 @@ Status RingSampler::init(const std::string& graph_base,
   config_ = config;
   graph_base_ = graph_base;
   budget_ = budget != nullptr ? budget : &internal_budget_;
+
+  if (!config.trace_path.empty() && !obs::trace_enabled()) {
+    RS_RETURN_IF_ERROR(obs::trace_start(config.trace_path));
+  }
 
   RS_ASSIGN_OR_RETURN(
       edge_file_,
@@ -121,12 +127,15 @@ Status RingSampler::sample_batch(ThreadContext& ctx,
   Workspace& ws = ctx.workspace;
   RS_CHECK_MSG(batch.size() <= config_.batch_size,
                "batch larger than configured batch_size");
+  RS_OBS_SPAN("sampler", "batch", "targets",
+              static_cast<std::uint64_t>(batch.size()));
   std::copy(batch.begin(), batch.end(), ws.targets());
   std::size_t num_targets = batch.size();
 
   const std::uint32_t num_layers = config_.num_layers();
   for (std::uint32_t layer = 0; layer < num_layers; ++layer) {
     if (num_targets == 0) break;
+    RS_OBS_SPAN("sampler", "layer", "layer", layer);
     LayerSampleCursor cursor(
         index_, std::span<const NodeId>(ws.targets(), num_targets),
         config_.fanouts[layer], ctx.rng, ws.begins(), &hot_cache_,
@@ -146,6 +155,9 @@ Status RingSampler::sample_batch(ThreadContext& ctx,
     }
     acc.checksum += digest;
     acc.sampled_neighbors += width;
+    static obs::Counter neighbors_counter =
+        obs::Registry::global().counter("sampler.sampled_neighbors");
+    neighbors_counter.add(width);
 
     if (out != nullptr) {
       LayerSample layer_sample;
@@ -161,6 +173,9 @@ Status RingSampler::sample_batch(ThreadContext& ctx,
     }
   }
   ++acc.batches;
+  static obs::Counter batches_counter =
+      obs::Registry::global().counter("sampler.batches");
+  batches_counter.add();
   return Status::ok();
 }
 

@@ -1,12 +1,51 @@
 #include "io/backend.h"
 
 #include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 #include "io/mmap_backend.h"
 #include "io/psync_backend.h"
 #include "io/uring_backend.h"
 
 namespace rs::io {
+namespace {
+
+std::atomic<bool> g_io_timing{false};
+
+// RS_IO_TIMING=1 turns stamping on before main(), mirroring RS_LOG_LEVEL.
+struct IoTimingEnvInit {
+  IoTimingEnvInit() {
+    const char* env = std::getenv("RS_IO_TIMING");
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+      g_io_timing.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+IoTimingEnvInit g_io_timing_env_init;
+
+}  // namespace
+
+bool io_timing_enabled() {
+  return g_io_timing.load(std::memory_order_relaxed);
+}
+
+void set_io_timing(bool enabled) {
+  g_io_timing.store(enabled, std::memory_order_relaxed);
+}
+
+IoInstruments IoInstruments::for_backend(const std::string& backend_name) {
+  obs::Registry& registry = obs::Registry::global();
+  IoInstruments instruments;
+  instruments.requests = registry.counter("io." + backend_name + ".requests");
+  instruments.bytes_requested =
+      registry.counter("io." + backend_name + ".bytes_requested");
+  instruments.errors = registry.counter("io." + backend_name + ".errors");
+  instruments.completion_latency =
+      registry.histogram("io." + backend_name + ".completion_latency_ns");
+  return instruments;
+}
 
 Status IoBackend::read_batch_sync(std::span<ReadRequest> requests) {
   std::size_t next = 0;

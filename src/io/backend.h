@@ -24,6 +24,7 @@
 #include <span>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace rs::io {
@@ -46,6 +47,9 @@ struct IoStats {
   std::uint64_t bytes_completed = 0;
   std::uint64_t submit_calls = 0;
   std::uint64_t completions = 0;
+  // Completions that did not deliver the requested bytes: failures
+  // (negative result) and short reads. Every backend counts both, so the
+  // counter is comparable across uring/psync/mmap/mem.
   std::uint64_t io_errors = 0;
 
   void add_submission(std::size_t n, std::uint64_t bytes) {
@@ -53,6 +57,27 @@ struct IoStats {
     bytes_requested += bytes;
     ++submit_calls;
   }
+};
+
+// Per-completion latency stamping: when enabled, every backend stamps
+// requests at submit and records submit-to-completion latency into a
+// per-backend histogram in obs::Registry::global() (metric
+// "io.<backend>.completion_latency_ns"). Off by default because the
+// stamp costs a clock read per request batch; enable via RS_IO_TIMING=1
+// or programmatically (bench --metrics-json does).
+bool io_timing_enabled();
+void set_io_timing(bool enabled);
+
+// The obs instruments every backend implementation feeds. One set per
+// backend object, but names are keyed by the backend's reported name, so
+// per-thread instances of the same kind merge in the global registry.
+struct IoInstruments {
+  obs::Counter requests;
+  obs::Counter bytes_requested;
+  obs::Counter errors;
+  obs::LatencyHistogram completion_latency;
+
+  static IoInstruments for_backend(const std::string& backend_name);
 };
 
 class IoBackend {

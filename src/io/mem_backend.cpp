@@ -8,23 +8,35 @@ Status MemBackend::submit(std::span<const ReadRequest> requests) {
   if (requests.size() > capacity_ - in_flight()) {
     return Status::invalid("MemBackend::submit: batch exceeds capacity");
   }
+  const bool timing = io_timing_enabled();
   std::uint64_t bytes = 0;
   for (const ReadRequest& req : requests) {
     bytes += req.len;
     ++request_counter_;
+    const std::uint64_t start_ns = timing ? obs::now_ns() : 0;
     Completion completion;
     completion.user_data = req.user_data;
     if (fault_period_ != 0 && request_counter_ % fault_period_ == 0) {
       completion.result = -fault_errno_;
       ++stats_.io_errors;
-    } else if (req.offset >= data_.size()) {
-      completion.result = 0;
+      instruments_.errors.add();
     } else {
-      const std::size_t available =
-          std::min<std::size_t>(req.len, data_.size() - req.offset);
-      memcpy(req.buf, data_.data() + req.offset, available);
-      completion.result = static_cast<std::int32_t>(available);
-      stats_.bytes_completed += available;
+      if (req.offset >= data_.size()) {
+        completion.result = 0;
+      } else {
+        const std::size_t available =
+            std::min<std::size_t>(req.len, data_.size() - req.offset);
+        memcpy(req.buf, data_.data() + req.offset, available);
+        completion.result = static_cast<std::int32_t>(available);
+        stats_.bytes_completed += available;
+      }
+      if (static_cast<std::uint32_t>(completion.result) < req.len) {
+        ++stats_.io_errors;  // short read
+        instruments_.errors.add();
+      }
+    }
+    if (timing) {
+      instruments_.completion_latency.record_ns(obs::now_ns() - start_ns);
     }
     if (completion_delay_ == 0) {
       ready_.push_back(completion);
@@ -33,6 +45,8 @@ Status MemBackend::submit(std::span<const ReadRequest> requests) {
     }
   }
   stats_.add_submission(requests.size(), bytes);
+  instruments_.requests.add(requests.size());
+  instruments_.bytes_requested.add(bytes);
   return Status::ok();
 }
 

@@ -14,7 +14,9 @@ namespace rs::io {
 class MemBackend final : public IoBackend {
  public:
   MemBackend(std::vector<unsigned char> data, unsigned queue_depth)
-      : data_(std::move(data)), capacity_(queue_depth) {}
+      : data_(std::move(data)),
+        capacity_(queue_depth),
+        instruments_(IoInstruments::for_backend("mem")) {}
 
   // Fault injection: every `period`-th request (1-based) completes with
   // -error_errno instead of data. period == 0 disables.
@@ -56,6 +58,7 @@ class MemBackend final : public IoBackend {
   std::deque<Pending> pending_;
   std::deque<Completion> ready_;
   IoStats stats_;
+  IoInstruments instruments_;
 };
 
 }  // namespace rs::io

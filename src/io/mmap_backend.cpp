@@ -18,6 +18,13 @@ Result<std::unique_ptr<MmapBackend>> MmapBackend::create(
       new MmapBackend(base, bytes, queue_depth));
 }
 
+MmapBackend::MmapBackend(void* base, std::uint64_t bytes,
+                         unsigned queue_depth)
+    : base_(static_cast<const unsigned char*>(base)),
+      file_bytes_(bytes),
+      capacity_(queue_depth),
+      instruments_(IoInstruments::for_backend("mmap")) {}
+
 MmapBackend::~MmapBackend() {
   ::munmap(const_cast<unsigned char*>(base_), file_bytes_);
 }
@@ -26,9 +33,11 @@ Status MmapBackend::submit(std::span<const ReadRequest> requests) {
   if (requests.size() > capacity_ - ready_.size()) {
     return Status::invalid("MmapBackend::submit: batch exceeds capacity");
   }
+  const bool timing = io_timing_enabled();
   std::uint64_t bytes = 0;
   for (const ReadRequest& req : requests) {
     bytes += req.len;
+    const std::uint64_t start_ns = timing ? obs::now_ns() : 0;
     Completion completion;
     completion.user_data = req.user_data;
     if (req.offset >= file_bytes_) {
@@ -43,9 +52,18 @@ Status MmapBackend::submit(std::span<const ReadRequest> requests) {
       completion.result = static_cast<std::int32_t>(available);
       stats_.bytes_completed += available;
     }
+    if (timing) {
+      instruments_.completion_latency.record_ns(obs::now_ns() - start_ns);
+    }
+    if (static_cast<std::uint32_t>(completion.result) < req.len) {
+      ++stats_.io_errors;  // short read (past-EOF counts as zero bytes)
+      instruments_.errors.add();
+    }
     ready_.push_back(completion);
   }
   stats_.add_submission(requests.size(), bytes);
+  instruments_.requests.add(requests.size());
+  instruments_.bytes_requested.add(bytes);
   return Status::ok();
 }
 

@@ -32,16 +32,14 @@ class MmapBackend final : public IoBackend {
   std::string name() const override { return "mmap"; }
 
  private:
-  MmapBackend(void* base, std::uint64_t bytes, unsigned queue_depth)
-      : base_(static_cast<const unsigned char*>(base)),
-        file_bytes_(bytes),
-        capacity_(queue_depth) {}
+  MmapBackend(void* base, std::uint64_t bytes, unsigned queue_depth);
 
   const unsigned char* base_;
   std::uint64_t file_bytes_;
   unsigned capacity_;
   std::deque<Completion> ready_;
   IoStats stats_;
+  IoInstruments instruments_;
 };
 
 }  // namespace rs::io

@@ -5,28 +5,42 @@
 
 namespace rs::io {
 
+PsyncBackend::PsyncBackend(int fd, unsigned queue_depth)
+    : fd_(fd),
+      capacity_(queue_depth),
+      instruments_(IoInstruments::for_backend("psync")) {}
+
 Status PsyncBackend::submit(std::span<const ReadRequest> requests) {
   if (requests.size() > capacity_ - ready_.size()) {
     return Status::invalid("PsyncBackend::submit: batch exceeds capacity");
   }
+  const bool timing = io_timing_enabled();
   std::uint64_t bytes = 0;
   for (const ReadRequest& req : requests) {
     bytes += req.len;
+    const std::uint64_t start_ns = timing ? obs::now_ns() : 0;
     ssize_t n;
     do {
       n = ::pread(fd_, req.buf, req.len, static_cast<off_t>(req.offset));
     } while (n < 0 && errno == EINTR);
+    if (timing) {
+      instruments_.completion_latency.record_ns(obs::now_ns() - start_ns);
+    }
     Completion completion;
     completion.user_data = req.user_data;
     completion.result = n < 0 ? -errno : static_cast<std::int32_t>(n);
-    if (n < 0) {
-      ++stats_.io_errors;
-    } else {
+    if (n < 0 || static_cast<std::uint32_t>(n) < req.len) {
+      ++stats_.io_errors;  // failure or short read
+      instruments_.errors.add();
+    }
+    if (n >= 0) {
       stats_.bytes_completed += static_cast<std::uint64_t>(n);
     }
     ready_.push_back(completion);
   }
   stats_.add_submission(requests.size(), bytes);
+  instruments_.requests.add(requests.size());
+  instruments_.bytes_requested.add(bytes);
   return Status::ok();
 }
 

@@ -13,7 +13,7 @@ namespace rs::io {
 
 class PsyncBackend final : public IoBackend {
  public:
-  PsyncBackend(int fd, unsigned queue_depth) : fd_(fd), capacity_(queue_depth) {}
+  PsyncBackend(int fd, unsigned queue_depth);
 
   unsigned capacity() const override { return capacity_; }
   unsigned in_flight() const override {
@@ -33,6 +33,7 @@ class PsyncBackend final : public IoBackend {
   unsigned capacity_;
   std::deque<Completion> ready_;
   IoStats stats_;
+  IoInstruments instruments_;
 };
 
 }  // namespace rs::io

@@ -2,7 +2,26 @@
 
 #include <string.h>
 
+#include <numeric>
+
+#include "obs/trace.h"
+
 namespace rs::io {
+
+UringBackend::UringBackend(uring::Ring ring, int fd, unsigned capacity,
+                           WaitMode wait_mode, bool fixed_file)
+    : ring_(std::move(ring)),
+      fd_(fd),
+      capacity_(capacity),
+      wait_mode_(wait_mode),
+      fixed_file_(fixed_file) {
+  instruments_ = IoInstruments::for_backend(name());
+  // One slot per SQ entry — in_flight_ <= capacity_, so the freelist can
+  // never run dry while the capacity check in submit() holds.
+  pending_.resize(capacity_);
+  free_slots_.resize(capacity_);
+  std::iota(free_slots_.begin(), free_slots_.end(), 0u);
+}
 
 Result<std::unique_ptr<UringBackend>> UringBackend::create(
     int fd, unsigned queue_depth, WaitMode wait_mode, bool sqpoll,
@@ -28,12 +47,21 @@ Status UringBackend::submit(std::span<const ReadRequest> requests) {
                            " exceeds free capacity " +
                            std::to_string(capacity_ - in_flight_));
   }
+  RS_OBS_SPAN("io", "uring_submit", "requests",
+              static_cast<std::int64_t>(requests.size()));
+  // One stamp for the whole batch: submission is batched by design, and
+  // SQE prep is nanoseconds next to the device round-trip we measure.
+  const std::uint64_t submit_ns = io_timing_enabled() ? obs::now_ns() : 0;
   std::uint64_t bytes = 0;
   for (const ReadRequest& req : requests) {
     io_uring_sqe* sqe = ring_.get_sqe();
     RS_CHECK_MSG(sqe != nullptr, "SQ full despite capacity check");
-    uring::Ring::prep_read(sqe, fd_, req.buf, req.len, req.offset,
-                           req.user_data);
+    // The SQE carries the slot index; the caller's user_data is parked in
+    // the slot and restored on completion (see drain_cq).
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    pending_[slot] = PendingRead{req.user_data, submit_ns, req.len};
+    uring::Ring::prep_read(sqe, fd_, req.buf, req.len, req.offset, slot);
     if (fixed_file_) uring::Ring::set_fixed_file(sqe, 0);
     bytes += req.len;
   }
@@ -45,6 +73,8 @@ Status UringBackend::submit(std::span<const ReadRequest> requests) {
   }
   in_flight_ += accepted;
   stats_.add_submission(requests.size(), bytes);
+  instruments_.requests.add(requests.size());
+  instruments_.bytes_requested.add(bytes);
   return Status::ok();
 }
 
@@ -52,13 +82,26 @@ unsigned UringBackend::drain_cq(std::span<Completion> out) {
   std::size_t n = 0;
   uring::Cqe cqe;
   while (n < out.size() && ring_.peek_cqe(&cqe)) {
-    out[n].user_data = cqe.user_data;
+    const auto slot = static_cast<std::size_t>(cqe.user_data);
+    RS_CHECK_MSG(slot < pending_.size(), "CQE slot index out of range");
+    const PendingRead& entry = pending_[slot];
+    out[n].user_data = entry.user_data;
     out[n].result = cqe.res;
     if (cqe.res < 0) {
       ++stats_.io_errors;
+      instruments_.errors.add();
     } else {
       stats_.bytes_completed += static_cast<std::uint64_t>(cqe.res);
+      if (static_cast<std::uint32_t>(cqe.res) < entry.len) {
+        ++stats_.io_errors;  // short read
+        instruments_.errors.add();
+      }
     }
+    if (entry.submit_ns != 0) {
+      instruments_.completion_latency.record_ns(obs::now_ns() -
+                                                entry.submit_ns);
+    }
+    free_slots_.push_back(static_cast<std::uint32_t>(slot));
     ++n;
   }
   const auto count = static_cast<unsigned>(n);
@@ -73,6 +116,7 @@ Result<unsigned> UringBackend::poll(std::span<Completion> out) {
 
 Result<unsigned> UringBackend::wait(std::span<Completion> out) {
   if (in_flight_ == 0 || out.empty()) return 0u;
+  RS_OBS_SPAN("io", "uring_wait");
   for (;;) {
     const unsigned n = drain_cq(out);
     if (n > 0) return n;

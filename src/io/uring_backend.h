@@ -8,7 +8,7 @@
 //                  syscall either (paper §5, future work).
 #pragma once
 
-#include <deque>
+#include <vector>
 
 #include "io/backend.h"
 #include "uring/ring.h"
@@ -38,14 +38,27 @@ class UringBackend final : public IoBackend {
 
  private:
   UringBackend(uring::Ring ring, int fd, unsigned capacity,
-               WaitMode wait_mode, bool fixed_file)
-      : ring_(std::move(ring)),
-        fd_(fd),
-        capacity_(capacity),
-        wait_mode_(wait_mode),
-        fixed_file_(fixed_file) {}
+               WaitMode wait_mode, bool fixed_file);
 
   unsigned drain_cq(std::span<Completion> out);
+
+  // In-flight request table. Tracks each read's requested length
+  // (short-read detection in drain_cq — the CQE alone cannot tell a
+  // 4-byte read that got 4 bytes from a 512-byte read that got 4) and,
+  // when io_timing_enabled(), the submit timestamp for the
+  // per-completion latency histogram.
+  //
+  // Because in-flight requests are bounded by capacity_, the table is a
+  // flat slot array with a freelist: the SQE carries the slot index as
+  // its kernel-side user_data and the caller's user_data is restored
+  // from the slot on completion (the round-trip contract holds; the
+  // rewrite is invisible outside the backend). Put/take are O(1) with
+  // no hashing — this sits on the million-IOPS path.
+  struct PendingRead {
+    std::uint64_t user_data = 0;  // caller's value, restored on reap
+    std::uint64_t submit_ns = 0;
+    std::uint32_t len = 0;
+  };
 
   uring::Ring ring_;
   int fd_;
@@ -54,6 +67,9 @@ class UringBackend final : public IoBackend {
   bool fixed_file_ = false;
   unsigned in_flight_ = 0;
   IoStats stats_;
+  IoInstruments instruments_;
+  std::vector<PendingRead> pending_;  // slot index -> in-flight read
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace rs::io

@@ -1,0 +1,327 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/common.h"
+
+namespace rs::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+// Per-thread shard cache. The map handles arbitrarily many registries
+// (tests create private ones); the one-entry inline cache makes the
+// common single-registry case a pointer compare.
+struct ThreadShardCache {
+  std::uint64_t last_id = 0;
+  void* last_shard = nullptr;
+  std::unordered_map<std::uint64_t, std::shared_ptr<void>> by_registry;
+};
+thread_local ThreadShardCache t_shards;
+
+std::size_t bucket_of(std::uint64_t ns) {
+  const auto width = static_cast<std::size_t>(std::bit_width(ns));
+  return std::min(width, kHistogramBuckets - 1);
+}
+
+std::uint64_t bucket_upper_ns(std::size_t b) {
+  // Bucket b holds values with bit_width == b: [2^(b-1), 2^b - 1];
+  // bucket 0 holds the single value 0.
+  if (b == 0) return 0;
+  if (b >= 63) return ~0ULL;
+  return (1ULL << b) - 1;
+}
+
+std::uint64_t bucket_lower_ns(std::size_t b) {
+  return b == 0 ? 0 : 1ULL << (b - 1);
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---- Handles ----
+
+void Counter::add(std::uint64_t delta) const {
+  if (registry_ == nullptr) return;
+  registry_->shard().counters[index_].fetch_add(delta,
+                                                std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t value) const {
+  if (registry_ == nullptr) return;
+  registry_->shard().gauges[index_].store(value, std::memory_order_relaxed);
+}
+
+void Gauge::add(std::int64_t delta) const {
+  if (registry_ == nullptr) return;
+  registry_->shard().gauges[index_].fetch_add(delta,
+                                              std::memory_order_relaxed);
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) const {
+  if (registry_ == nullptr) return;
+  Registry::HistShard& hist = registry_->shard().hist(index_);
+  hist.buckets[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  hist.count.fetch_add(1, std::memory_order_relaxed);
+  hist.sum.fetch_add(ns, std::memory_order_relaxed);
+}
+
+// ---- Shards ----
+
+Registry::Shard::~Shard() {
+  for (auto& slot : hists) delete slot.load(std::memory_order_relaxed);
+}
+
+Registry::HistShard& Registry::Shard::hist(std::uint32_t index) {
+  std::atomic<HistShard*>& slot = hists[index];
+  HistShard* existing = slot.load(std::memory_order_acquire);
+  if (existing == nullptr) {
+    // Only the owning thread allocates into its shard, so this is a
+    // plain lazy init, not a race; the release store pairs with the
+    // snapshot reader's acquire load.
+    existing = new HistShard();
+    slot.store(existing, std::memory_order_release);
+  }
+  return *existing;
+}
+
+Registry::Shard& Registry::shard() {
+  if (t_shards.last_id == id_) {
+    return *static_cast<Shard*>(t_shards.last_shard);
+  }
+  return shard_slow();
+}
+
+Registry::Shard& Registry::shard_slow() {
+  auto it = t_shards.by_registry.find(id_);
+  if (it == t_shards.by_registry.end()) {
+    auto shard = std::make_shared<Shard>();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shards_.push_back(shard);
+    }
+    it = t_shards.by_registry.emplace(id_, shard).first;
+  }
+  auto* raw = static_cast<Shard*>(it->second.get());
+  t_shards.last_id = id_;
+  t_shards.last_shard = raw;
+  return *raw;
+}
+
+// ---- Registry ----
+
+Registry::Registry() : id_(g_next_registry_id.fetch_add(1)) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+std::uint32_t Registry::register_name(std::vector<std::string>& names,
+                                      std::string_view name,
+                                      std::size_t capacity,
+                                      const char* kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  RS_CHECK_MSG(names.size() < capacity,
+               std::string("metrics registry out of ") + kind + " slots");
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+Counter Registry::counter(std::string_view name) {
+  return {this, register_name(counter_names_, name, kMaxCounters, "counter")};
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  return {this, register_name(gauge_names_, name, kMaxGauges, "gauge")};
+}
+
+LatencyHistogram Registry::histogram(std::string_view name) {
+  return {this,
+          register_name(histogram_names_, name, kMaxHistograms, "histogram")};
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(counter_names_[i], total);
+  }
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    std::int64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->gauges[i].load(std::memory_order_relaxed);
+    }
+    snap.gauges.emplace_back(gauge_names_[i], total);
+  }
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    HistogramSnapshot hist;
+    hist.name = histogram_names_[i];
+    for (const auto& shard : shards_) {
+      const HistShard* hs = shard->hists[i].load(std::memory_order_acquire);
+      if (hs == nullptr) continue;
+      hist.count += hs->count.load(std::memory_order_relaxed);
+      hist.sum_ns += hs->sum.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        hist.buckets[b] += hs->buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    snap.histograms.push_back(std::move(hist));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& g : shard->gauges) g.store(0, std::memory_order_relaxed);
+    for (auto& slot : shard->hists) {
+      HistShard* hs = slot.load(std::memory_order_acquire);
+      if (hs == nullptr) continue;
+      for (auto& b : hs->buckets) b.store(0, std::memory_order_relaxed);
+      hs->count.store(0, std::memory_order_relaxed);
+      hs->sum.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---- Snapshot formatting ----
+
+std::uint64_t HistogramSnapshot::percentile_ns(double p) const {
+  if (count == 0) return 0;
+  const double rank = std::max(1.0, p / 100.0 * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t prev = seen;
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= rank) {
+      const std::uint64_t lower = bucket_lower_ns(b);
+      const std::uint64_t upper = bucket_upper_ns(b);
+      const double frac = (rank - static_cast<double>(prev)) /
+                          static_cast<double>(buckets[b]);
+      return lower + static_cast<std::uint64_t>(
+                         static_cast<double>(upper - lower) * frac);
+    }
+  }
+  return bucket_upper_ns(kHistogramBuckets - 1);
+}
+
+double HistogramSnapshot::mean_ns() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum_ns) / static_cast<double>(count);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':' + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':' + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& hist : histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, hist.name);
+    out += ":{\"count\":" + std::to_string(hist.count) +
+           ",\"sum_ns\":" + std::to_string(hist.sum_ns) + ",\"mean_ns\":" +
+           std::to_string(static_cast<std::uint64_t>(hist.mean_ns())) +
+           ",\"p50_ns\":" + std::to_string(hist.percentile_ns(50)) +
+           ",\"p90_ns\":" + std::to_string(hist.percentile_ns(90)) +
+           ",\"p99_ns\":" + std::to_string(hist.percentile_ns(99)) +
+           ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (hist.buckets[b] == 0) continue;  // sparse: empty buckets elided
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += "{\"le_ns\":" + std::to_string(bucket_upper_ns(b)) +
+             ",\"count\":" + std::to_string(hist.buckets[b]) + '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_table() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    std::snprintf(line, sizeof(line), "  %-40s %20llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    if (value == 0) continue;
+    std::snprintf(line, sizeof(line), "  %-40s %20lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& hist : histograms) {
+    if (hist.count == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "  %-40s n=%llu mean=%.1fus p50=%.1fus p99=%.1fus\n",
+                  hist.name.c_str(),
+                  static_cast<unsigned long long>(hist.count),
+                  hist.mean_ns() / 1e3,
+                  static_cast<double>(hist.percentile_ns(50)) / 1e3,
+                  static_cast<double>(hist.percentile_ns(99)) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rs::obs

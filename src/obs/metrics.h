@@ -1,0 +1,167 @@
+// Metrics registry: named counters, gauges, and log-bucket latency
+// histograms, recorded from many threads without locks on the hot path.
+//
+// Design (mirrors the engine's share-nothing threading): every recording
+// thread owns a private *shard* of plain relaxed atomics; handles index
+// into the calling thread's shard, so a record is one fetch_add on a
+// cache line no other thread writes. snapshot() walks all shards under
+// the registration mutex and merges, which is the only cross-thread
+// traffic. Shards are kept alive by the registry after thread exit so
+// totals never go backwards.
+//
+// Registration (counter()/gauge()/histogram()) is mutex-guarded and
+// idempotent by name; do it once at setup, keep the handle, record
+// freely. Capacity is fixed (kMaxCounters etc.) because shards are
+// pre-sized; exceeding it is a programmer error.
+//
+// Histograms use power-of-two nanosecond buckets (bucket b counts values
+// with bit_width b, i.e. [2^(b-1), 2^b)), trading ~2x bucket resolution
+// for a fixed 64-slot footprint and a branchless record path — the same
+// trade DiskGNN-style systems make for per-request device latency.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rs::obs {
+
+inline constexpr std::size_t kMaxCounters = 256;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 64;
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+class Registry;
+
+// Cheap value-type handles; default-constructed handles are inert no-ops
+// so instruments can live in structs that are sometimes unwired.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t delta = 1) const;
+
+ private:
+  friend class Registry;
+  Counter(Registry* registry, std::uint32_t index)
+      : registry_(registry), index_(index) {}
+  Registry* registry_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+// Gauges are last-written-wins per thread and *summed* across threads on
+// snapshot — the right semantics for "in flight per worker"-style values.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t value) const;
+  void add(std::int64_t delta) const;
+
+ private:
+  friend class Registry;
+  Gauge(Registry* registry, std::uint32_t index)
+      : registry_(registry), index_(index) {}
+  Registry* registry_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  void record_ns(std::uint64_t ns) const;
+
+ private:
+  friend class Registry;
+  LatencyHistogram(Registry* registry, std::uint32_t index)
+      : registry_(registry), index_(index) {}
+  Registry* registry_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  // Nearest-rank percentile, linearly interpolated inside the winning
+  // power-of-two bucket. Approximate by construction (<= ~2x).
+  std::uint64_t percentile_ns(double p) const;
+  double mean_ns() const;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum_ns,
+  //  mean_ns,p50_ns,p90_ns,p99_ns,buckets:[{le_ns,count},...]}}}
+  std::string to_json() const;
+  // Human-readable table for log/interval dumps.
+  std::string to_table() const;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The process-wide registry every subsystem records into by default.
+  static Registry& global();
+
+  // Find-or-create by name (thread-safe; same name -> same slot).
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  LatencyHistogram histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+  // Zeroes every shard's values; registrations survive.
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class LatencyHistogram;
+
+  struct HistShard {
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+    // Bucket arrays are lazily allocated per (thread, histogram) pair so
+    // idle histograms cost one pointer, not 64 atomics, per thread.
+    std::array<std::atomic<HistShard*>, kMaxHistograms> hists{};
+    ~Shard();
+    HistShard& hist(std::uint32_t index);
+  };
+
+  // The calling thread's shard (cached; creates and registers on first
+  // touch from each thread).
+  Shard& shard();
+  Shard& shard_slow();
+  std::uint32_t register_name(std::vector<std::string>& names,
+                              std::string_view name, std::size_t capacity,
+                              const char* kind);
+
+  const std::uint64_t id_;  // distinguishes registries in thread caches
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+};
+
+// steady_clock nanoseconds; the time base all obs instruments share.
+std::uint64_t now_ns();
+
+}  // namespace rs::obs

@@ -1,0 +1,220 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/log.h"
+
+namespace rs::obs {
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// One recorded event; name/cat/arg_name point at string literals.
+struct TraceEvent {
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  const char* arg_name = nullptr;
+  std::int64_t arg = 0;
+  std::uint64_t ts_ns = 0;   // relative to trace start
+  std::uint64_t dur_ns = 0;
+  char phase = 'X';
+};
+
+struct TraceBuffer {
+  explicit TraceBuffer(std::size_t capacity, std::uint32_t tid_in)
+      : events(capacity), tid(tid_in) {}
+  std::vector<TraceEvent> events;  // ring; recorded % capacity is next slot
+  std::uint64_t recorded = 0;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  std::string path;
+  std::size_t events_per_thread = 1 << 16;
+  // Read lock-free on the record path; written only in trace_start.
+  std::atomic<std::uint64_t> t0_ns{0};
+  std::atomic<std::uint64_t> generation{0};
+  std::uint32_t next_tid = 1;
+  bool atexit_registered = false;
+};
+
+TraceState& state() {
+  static TraceState* instance = new TraceState();  // never destroyed
+  return *instance;
+}
+
+struct ThreadTraceCache {
+  TraceBuffer* buffer = nullptr;
+  std::uint64_t generation = 0;
+};
+thread_local ThreadTraceCache t_trace;
+
+TraceBuffer& thread_buffer() {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  auto buffer =
+      std::make_shared<TraceBuffer>(st.events_per_thread, st.next_tid++);
+  st.buffers.push_back(buffer);
+  t_trace.buffer = buffer.get();  // kept alive by st.buffers
+  t_trace.generation = st.generation.load(std::memory_order_relaxed);
+  return *buffer;
+}
+
+void record_event(const char* cat, const char* name, std::uint64_t start_ns,
+                  std::uint64_t dur_ns, const char* arg_name,
+                  std::int64_t arg, char phase) {
+  TraceState& st = state();
+  TraceBuffer* buffer = t_trace.buffer;
+  if (buffer == nullptr ||
+      t_trace.generation !=
+          st.generation.load(std::memory_order_relaxed)) {
+    buffer = &thread_buffer();  // first event, or a new session started
+  }
+  TraceEvent& event =
+      buffer->events[buffer->recorded % buffer->events.size()];
+  ++buffer->recorded;
+  event.cat = cat;
+  event.name = name;
+  event.arg_name = arg_name;
+  event.arg = arg;
+  event.ts_ns = start_ns - st.t0_ns.load(std::memory_order_relaxed);
+  event.dur_ns = dur_ns;
+  event.phase = phase;
+}
+
+Status write_json(const std::string& path) {
+  TraceState& st = state();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::from_errno("open " + path);
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : st.buffers) {
+    const std::size_t capacity = buffer->events.size();
+    const std::size_t kept =
+        static_cast<std::size_t>(std::min<std::uint64_t>(buffer->recorded,
+                                                         capacity));
+    if (buffer->recorded > capacity) dropped += buffer->recorded - capacity;
+    for (std::size_t i = 0; i < kept; ++i) {
+      const TraceEvent& event = buffer->events[i];
+      if (!first) std::fputc(',', f);
+      first = false;
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                   "\"pid\":1,\"tid\":%u,\"ts\":%.3f",
+                   event.name, event.cat, event.phase, buffer->tid,
+                   static_cast<double>(event.ts_ns) / 1e3);
+      if (event.phase == 'X') {
+        std::fprintf(f, ",\"dur\":%.3f",
+                     static_cast<double>(event.dur_ns) / 1e3);
+      }
+      if (event.arg_name != nullptr) {
+        std::fprintf(f, ",\"args\":{\"%s\":%lld}", event.arg_name,
+                     static_cast<long long>(event.arg));
+      }
+      std::fputc('}', f);
+    }
+  }
+  std::fputs("]}", f);
+  if (std::fclose(f) != 0) return Status::from_errno("close " + path);
+  if (dropped > 0) {
+    RS_WARN("trace ring overflow: %llu events dropped (raise "
+            "events_per_thread)",
+            static_cast<unsigned long long>(dropped));
+  }
+  return Status::ok();
+}
+
+void stop_at_exit() {
+  const Status status = trace_stop();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "RS_TRACE flush failed: %s\n",
+                 status.to_string().c_str());
+  }
+}
+
+// Mirrors log.cpp's RS_LOG_LEVEL bootstrap: RS_TRACE=<path> arms the
+// recorder before main() and flushes at exit.
+struct TraceEnvInit {
+  TraceEnvInit() {
+    const char* env = std::getenv("RS_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      const Status status = trace_start(env);
+      if (!status.is_ok()) {
+        std::fprintf(stderr, "RS_TRACE init failed: %s\n",
+                     status.to_string().c_str());
+      }
+    }
+  }
+};
+TraceEnvInit g_trace_env_init;
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t trace_now_ns() { return now_ns(); }
+
+void trace_record(const char* cat, const char* name, std::uint64_t start_ns,
+                  std::uint64_t dur_ns, const char* arg_name,
+                  std::int64_t arg) {
+  record_event(cat, name, start_ns, dur_ns, arg_name, arg, 'X');
+}
+
+}  // namespace detail
+
+Status trace_start(const std::string& path, std::size_t events_per_thread) {
+  if (path.empty() || events_per_thread == 0) {
+    return Status::invalid("trace_start: empty path or zero capacity");
+  }
+  TraceState& st = state();
+  bool register_atexit = false;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (detail::g_trace_enabled.load(std::memory_order_relaxed)) {
+      return Status::invalid("trace already active (writing to " + st.path +
+                             ")");
+    }
+    st.path = path;
+    st.events_per_thread = events_per_thread;
+    st.t0_ns.store(now_ns(), std::memory_order_relaxed);
+    st.buffers.clear();  // previous session's rings
+    st.next_tid = 1;
+    st.generation.fetch_add(1, std::memory_order_relaxed);
+    if (!st.atexit_registered) {
+      st.atexit_registered = true;
+      register_atexit = true;
+    }
+  }
+  if (register_atexit) std::atexit(stop_at_exit);
+  detail::g_trace_enabled.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+Status trace_stop() {
+  TraceState& st = state();
+  if (!detail::g_trace_enabled.exchange(false, std::memory_order_acq_rel)) {
+    return Status::ok();
+  }
+  // Recording threads may race the flag flip by one event; take the lock
+  // they would need for a new buffer, then write what the rings hold.
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return write_json(st.path);
+}
+
+void trace_instant(const char* cat, const char* name) {
+  if (!trace_enabled()) return;
+  record_event(cat, name, now_ns(), 0, nullptr, 0, 'i');
+}
+
+}  // namespace rs::obs

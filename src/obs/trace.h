@@ -1,0 +1,95 @@
+// Trace-event recorder: Chrome/Perfetto "trace_event" JSON spans from
+// per-thread ring buffers.
+//
+// Enabling: set RS_TRACE=<out.json> in the environment (the file is
+// written at process exit), or call trace_start()/trace_stop() directly
+// (SamplerConfig::trace_path does the former for engine embedders).
+//
+// Recording: RS_OBS_SPAN("pipeline", "prepare") stamps a complete event
+// ("ph":"X") covering the enclosing scope. When tracing is off a span
+// costs one relaxed atomic load — cheap enough to leave in the hot
+// prepare/submit/drain paths permanently. Events land in a fixed-size
+// per-thread ring (newest wins; drops are counted), so a trace of an
+// unbounded run stays bounded and allocation-free after warmup.
+//
+// Output: open the JSON in https://ui.perfetto.dev or chrome://tracing.
+// Timestamps are microseconds since trace_start on the steady clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace rs::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+// Records a complete ("X") event. `name`/`cat`/`arg_name` must be
+// string literals (stored by pointer). arg_name == nullptr omits args.
+void trace_record(const char* cat, const char* name, std::uint64_t start_ns,
+                  std::uint64_t dur_ns, const char* arg_name,
+                  std::int64_t arg);
+std::uint64_t trace_now_ns();
+}  // namespace detail
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Starts recording; events_per_thread bounds each thread's ring buffer.
+// Fails if a trace is already active.
+Status trace_start(const std::string& path,
+                   std::size_t events_per_thread = 1 << 16);
+
+// Stops recording and writes the JSON to the trace_start path. Called
+// automatically at process exit for env-initiated traces. No-op (OK) if
+// no trace is active.
+Status trace_stop();
+
+// Instant event ("i" phase), e.g. epoch boundaries.
+void trace_instant(const char* cat, const char* name);
+
+// RAII span: one complete event covering construction to destruction.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name, const char* arg_name = nullptr,
+            std::int64_t arg = 0)
+      : active_(trace_enabled()) {
+    if (active_) {
+      cat_ = cat;
+      name_ = name;
+      arg_name_ = arg_name;
+      arg_ = arg;
+      start_ns_ = detail::trace_now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (active_) {
+      detail::trace_record(cat_, name_,
+                           start_ns_, detail::trace_now_ns() - start_ns_,
+                           arg_name_, arg_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::int64_t arg_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace rs::obs
+
+#define RS_OBS_SPAN_CONCAT_INNER(a, b) a##b
+#define RS_OBS_SPAN_CONCAT(a, b) RS_OBS_SPAN_CONCAT_INNER(a, b)
+// Span over the rest of the enclosing scope. Optional trailing
+// (arg_name, arg) pair labels the span, e.g.
+//   RS_OBS_SPAN("sampler", "layer", "layer", layer);
+#define RS_OBS_SPAN(...) \
+  ::rs::obs::TraceSpan RS_OBS_SPAN_CONCAT(rs_obs_span_, __LINE__)(__VA_ARGS__)

@@ -22,6 +22,7 @@ class LatencyRecorder {
   }
   void record_seconds(double s) {
     samples_ns_.push_back(static_cast<std::uint64_t>(s * 1e9));
+    sorted_ = false;
   }
 
   std::size_t count() const { return samples_ns_.size(); }

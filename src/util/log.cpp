@@ -28,16 +28,18 @@ const char* level_tag(LogLevel level) {
 // One-time init from the environment so test/bench binaries can be made
 // verbose without code changes.
 struct EnvInit {
-  EnvInit() {
-    if (const char* env = std::getenv("RS_LOG_LEVEL")) {
-      g_level.store(static_cast<int>(parse_log_level(env)),
-                    std::memory_order_relaxed);
-    }
-  }
+  EnvInit() { init_log_level_from_env(); }
 };
 EnvInit g_env_init;
 
 }  // namespace
+
+void init_log_level_from_env() {
+  if (const char* env = std::getenv("RS_LOG_LEVEL")) {
+    g_level.store(static_cast<int>(parse_log_level(env)),
+                  std::memory_order_relaxed);
+  }
+}
 
 void set_log_level(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);

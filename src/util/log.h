@@ -25,6 +25,11 @@ LogLevel log_level();
 // Parse "info", "debug", ... ; returns kInfo for unknown strings.
 LogLevel parse_log_level(const std::string& name);
 
+// Re-applies RS_LOG_LEVEL from the current environment (no-op when the
+// variable is unset). Runs automatically before main; exposed so tests
+// can exercise the env path after setenv().
+void init_log_level_from_env();
+
 namespace detail {
 void vlog(LogLevel level, const char* file, int line, const char* fmt,
           std::va_list args);

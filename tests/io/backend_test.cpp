@@ -223,6 +223,183 @@ TEST(MemBackendTest, ReadPastEndShortens) {
   auto n = backend.wait(completions);
   RS_ASSERT_OK(n);
   EXPECT_EQ(completions[0].result, 4);  // only 4 bytes available
+  // Short reads count as io_errors, same as every other backend.
+  EXPECT_EQ(backend.stats().io_errors, 1u);
+}
+
+// io_errors semantics: every backend must count failed reads *and*
+// short reads identically, so cross-backend benches report comparable
+// error rates. One test per backend, injecting the error each backend
+// can actually produce.
+
+// Drains `backend` until nothing is in flight, discarding completions.
+void drain_all(IoBackend& backend) {
+  std::array<Completion, 32> completions;
+  while (backend.in_flight() > 0) {
+    auto n = backend.wait(completions);
+    RS_ASSERT_OK(n);
+  }
+}
+
+TEST(IoErrorsTest, PsyncCountsFailedRead) {
+  // A request whose buffer page is unmapped makes pread fail with
+  // EFAULT; simpler and more portable: read from a closed fd.
+  TempDir dir;
+  const std::string path = dir.file("data.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char payload[16] = {0};
+  fwrite(payload, 1, sizeof(payload), f);
+  fclose(f);
+  const int fd = open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+
+  BackendConfig config;
+  config.kind = BackendKind::kPsync;
+  config.queue_depth = 4;
+  auto backend = make_backend(config, fd);
+  RS_ASSERT_OK(backend);
+  close(fd);  // invalidate: the next pread returns -EBADF
+
+  unsigned char buf[4];
+  ReadRequest req{0, 4, buf, 1};
+  test::assert_ok(backend.value()->submit({&req, 1}));
+  std::array<Completion, 1> completions;
+  auto n = backend.value()->wait(completions);
+  RS_ASSERT_OK(n);
+  ASSERT_EQ(n.value(), 1u);
+  EXPECT_EQ(completions[0].result, -EBADF);
+  EXPECT_EQ(backend.value()->stats().io_errors, 1u);
+}
+
+TEST(IoErrorsTest, PsyncCountsShortReadPastEof) {
+  TempDir dir;
+  const std::string path = dir.file("data.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char payload[10] = {0};
+  fwrite(payload, 1, sizeof(payload), f);
+  fclose(f);
+  const int fd = open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+
+  BackendConfig config;
+  config.kind = BackendKind::kPsync;
+  config.queue_depth = 4;
+  auto backend = make_backend(config, fd);
+  RS_ASSERT_OK(backend);
+
+  unsigned char buf[8];
+  ReadRequest req{6, 8, buf, 1};  // only 4 bytes before EOF
+  test::assert_ok(backend.value()->submit({&req, 1}));
+  std::array<Completion, 1> completions;
+  auto n = backend.value()->wait(completions);
+  RS_ASSERT_OK(n);
+  ASSERT_EQ(n.value(), 1u);
+  EXPECT_EQ(completions[0].result, 4);
+  EXPECT_EQ(backend.value()->stats().io_errors, 1u);
+  close(fd);
+}
+
+TEST(IoErrorsTest, UringCountsFailedRead) {
+  if (!uring::kernel_supports_io_uring()) GTEST_SKIP();
+  TempDir dir;
+  const std::string path = dir.file("data.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char payload[16] = {0};
+  fwrite(payload, 1, sizeof(payload), f);
+  fclose(f);
+  const int fd = open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+
+  BackendConfig config;
+  config.kind = BackendKind::kUringPoll;
+  config.queue_depth = 4;
+  auto backend = make_backend(config, fd);
+  RS_ASSERT_OK(backend);
+  close(fd);  // ring holds the raw fd number; reads now fail with -EBADF
+
+  unsigned char buf[4];
+  ReadRequest req{0, 4, buf, 1};
+  test::assert_ok(backend.value()->submit({&req, 1}));
+  std::array<Completion, 1> completions;
+  auto n = backend.value()->wait(completions);
+  RS_ASSERT_OK(n);
+  ASSERT_EQ(n.value(), 1u);
+  EXPECT_LT(completions[0].result, 0);
+  EXPECT_EQ(backend.value()->stats().io_errors, 1u);
+}
+
+TEST(IoErrorsTest, UringCountsShortReadPastEof) {
+  if (!uring::kernel_supports_io_uring()) GTEST_SKIP();
+  TempDir dir;
+  const std::string path = dir.file("data.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char payload[10] = {0};
+  fwrite(payload, 1, sizeof(payload), f);
+  fclose(f);
+  const int fd = open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+
+  BackendConfig config;
+  config.kind = BackendKind::kUringPoll;
+  config.queue_depth = 4;
+  auto backend = make_backend(config, fd);
+  RS_ASSERT_OK(backend);
+
+  unsigned char buf[8];
+  ReadRequest req{6, 8, buf, 1};  // only 4 bytes before EOF
+  test::assert_ok(backend.value()->submit({&req, 1}));
+  drain_all(*backend.value());
+  EXPECT_EQ(backend.value()->stats().io_errors, 1u);
+  close(fd);
+}
+
+TEST(IoErrorsTest, MmapCountsShortReadPastEof) {
+  TempDir dir;
+  const std::string path = dir.file("data.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char payload[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  fwrite(payload, 1, sizeof(payload), f);
+  fclose(f);
+  const int fd = open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+
+  BackendConfig config;
+  config.kind = BackendKind::kMmap;
+  config.queue_depth = 4;
+  auto backend = make_backend(config, fd);
+  RS_ASSERT_OK(backend);
+
+  unsigned char buf[8] = {0};
+  std::vector<ReadRequest> requests = {
+      {0, 4, buf, 1},    // fully satisfied
+      {6, 8, buf, 2},    // 4 of 8 bytes -> short
+      {100, 4, buf, 3},  // entirely past EOF -> 0 bytes, short
+  };
+  test::assert_ok(backend.value()->submit(requests));
+  drain_all(*backend.value());
+  EXPECT_EQ(backend.value()->stats().io_errors, 2u);
+  close(fd);
+}
+
+TEST(IoErrorsTest, MemCountsFaultsAndShortReads) {
+  std::vector<unsigned char> bytes(8, 9);
+  MemBackend backend(bytes, 8);
+  backend.inject_faults(2, EIO);  // every 2nd request fails
+
+  unsigned char buf[16];
+  std::vector<ReadRequest> requests = {
+      {0, 4, buf, 1},   // ok
+      {0, 4, buf, 2},   // injected fault
+      {4, 16, buf, 3},  // short: 4 of 16 bytes
+  };
+  test::assert_ok(backend.submit(requests));
+  drain_all(backend);
+  EXPECT_EQ(backend.stats().io_errors, 2u);  // one fault + one short
 }
 
 }  // namespace

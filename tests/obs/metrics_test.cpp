@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace rs::obs {
+namespace {
+
+std::uint64_t counter_value(const MetricsSnapshot& snap,
+                            const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "counter not in snapshot: " << name;
+  return 0;
+}
+
+std::int64_t gauge_value(const MetricsSnapshot& snap,
+                         const std::string& name) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "gauge not in snapshot: " << name;
+  return 0;
+}
+
+const HistogramSnapshot* hist_of(const MetricsSnapshot& snap,
+                                 const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(MetricsRegistryTest, CounterAddAndSnapshot) {
+  Registry registry;
+  Counter c = registry.counter("reads");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(counter_value(registry.snapshot(), "reads"), 42u);
+}
+
+TEST(MetricsRegistryTest, SameNameSameSlot) {
+  Registry registry;
+  Counter a = registry.counter("x");
+  Counter b = registry.counter("x");
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(counter_value(registry.snapshot(), "x"), 3u);
+}
+
+TEST(MetricsRegistryTest, DefaultConstructedHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  LatencyHistogram h;
+  c.add(5);         // must not crash
+  g.set(7);
+  h.record_ns(100);
+}
+
+TEST(MetricsRegistryTest, GaugesSumAcrossThreads) {
+  Registry registry;
+  Gauge g = registry.gauge("in_flight");
+  g.set(3);
+  std::thread other([&] { g.set(4); });
+  other.join();
+  EXPECT_EQ(gauge_value(registry.snapshot(), "in_flight"), 7);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesKeepsNames) {
+  Registry registry;
+  Counter c = registry.counter("n");
+  LatencyHistogram h = registry.histogram("lat");
+  c.add(9);
+  h.record_ns(1000);
+  registry.reset();
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(counter_value(snap, "n"), 0u);
+  const HistogramSnapshot* hist = hist_of(snap, "lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 0u);
+  // Recording still works after reset (handles stay wired).
+  c.add(2);
+  EXPECT_EQ(counter_value(registry.snapshot(), "n"), 2u);
+}
+
+TEST(MetricsRegistryTest, HistogramCountSumAndPercentiles) {
+  Registry registry;
+  LatencyHistogram h = registry.histogram("lat");
+  for (std::uint64_t ns = 1; ns <= 1000; ++ns) h.record_ns(ns);
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramSnapshot* hist = hist_of(snap, "lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1000u);
+  EXPECT_EQ(hist->sum_ns, 1000u * 1001u / 2);
+  EXPECT_NEAR(hist->mean_ns(), 500.5, 1e-9);
+  // Power-of-two buckets: percentiles are approximate, but must stay
+  // within a factor of ~2 of the exact value and be monotone.
+  const std::uint64_t p50 = hist->percentile_ns(50);
+  const std::uint64_t p99 = hist->percentile_ns(99);
+  EXPECT_GE(p50, 250u);
+  EXPECT_LE(p50, 1024u);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 1024u);
+}
+
+TEST(MetricsRegistryTest, HistogramExtremeValues) {
+  Registry registry;
+  LatencyHistogram h = registry.histogram("lat");
+  h.record_ns(0);
+  h.record_ns(~std::uint64_t{0});  // must not index out of bounds
+  const HistogramSnapshot* hist = hist_of(registry.snapshot(), "lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);
+  EXPECT_EQ(hist->buckets.front(), 1u);
+  EXPECT_EQ(hist->buckets.back(), 1u);
+}
+
+// The core claim of the shard design: N threads recording concurrently
+// merge to exactly the same totals a single thread would produce.
+TEST(MetricsRegistryTest, ConcurrentRecordingMergesExactly) {
+  Registry registry;
+  Counter counter = registry.counter("ops");
+  Gauge gauge = registry.gauge("level");
+  LatencyHistogram hist = registry.histogram("lat");
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        hist.record_ns(i % 4096);
+      }
+      gauge.set(t + 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(counter_value(snap, "ops"), kThreads * kPerThread);
+  // Gauges sum per-thread last values: 1 + 2 + ... + kThreads.
+  EXPECT_EQ(gauge_value(snap, "level"), kThreads * (kThreads + 1) / 2);
+  const HistogramSnapshot* h = hist_of(snap, "lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kThreads * kPerThread);
+  std::uint64_t single_sum = 0;
+  for (std::uint64_t i = 0; i < kPerThread; ++i) single_sum += i % 4096;
+  EXPECT_EQ(h->sum_ns, kThreads * single_sum);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : h->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h->count);
+}
+
+// Totals must survive the recording thread exiting before snapshot.
+TEST(MetricsRegistryTest, ShardOutlivesThread) {
+  Registry registry;
+  Counter c = registry.counter("ops");
+  std::thread worker([&] { c.add(123); });
+  worker.join();
+  EXPECT_EQ(counter_value(registry.snapshot(), "ops"), 123u);
+}
+
+TEST(MetricsSnapshotTest, JsonContainsAllSections) {
+  Registry registry;
+  registry.counter("a.b").add(7);
+  registry.gauge("g").set(-2);
+  registry.histogram("h").record_ns(100);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.b\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"g\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  // Structural validity is checked end to end by
+  // scripts/check_obs_json.py (python json.loads) in CI.
+}
+
+TEST(MetricsSnapshotTest, TableMentionsEveryInstrument) {
+  Registry registry;
+  registry.counter("reads").add(3);
+  registry.histogram("lat").record_ns(50);
+  const std::string table = registry.snapshot().to_table();
+  EXPECT_NE(table.find("reads"), std::string::npos);
+  EXPECT_NE(table.find("lat"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+TEST(NowNsTest, Monotone) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace rs::obs

@@ -33,6 +33,19 @@ TEST(LatencyRecorderTest, RecordingAfterSortResorts) {
   EXPECT_EQ(recorder.percentile_ns(50), 50u);
 }
 
+TEST(LatencyRecorderTest, RecordSecondsAfterSortResorts) {
+  // Regression: record_seconds used to leave the recorder marked sorted,
+  // so a sample added after a percentile query was never re-sorted and
+  // percentiles silently read an unsorted array.
+  LatencyRecorder recorder;
+  recorder.record_seconds(1e-6);  // 1000 ns
+  EXPECT_EQ(recorder.percentile_ns(100), 1000u);
+  recorder.record_seconds(1e-7);  // 100 ns, after a sorted query
+  EXPECT_EQ(recorder.percentile_ns(0), 100u);
+  EXPECT_EQ(recorder.min_ns(), 100u);
+  EXPECT_EQ(recorder.max_ns(), 1000u);
+}
+
 TEST(LatencyRecorderTest, CdfMonotoneAndComplete) {
   LatencyRecorder recorder;
   for (std::uint64_t i = 0; i < 1000; ++i) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 
 #include "util/log.h"
@@ -46,6 +47,46 @@ TEST(LogLevelTest, ParseKnownAndUnknown) {
   EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
   EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
   EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);  // case-sensitive
+  EXPECT_EQ(parse_log_level("Error"), LogLevel::kInfo);
+}
+
+TEST(LogLevelTest, EnvInitAppliesEveryLevel) {
+  const LogLevel original = log_level();
+  const struct {
+    const char* name;
+    LogLevel level;
+  } cases[] = {
+      {"trace", LogLevel::kTrace}, {"debug", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},   {"warn", LogLevel::kWarn},
+      {"error", LogLevel::kError}, {"off", LogLevel::kOff},
+  };
+  for (const auto& c : cases) {
+    ASSERT_EQ(setenv("RS_LOG_LEVEL", c.name, 1), 0);
+    init_log_level_from_env();
+    EXPECT_EQ(log_level(), c.level) << "RS_LOG_LEVEL=" << c.name;
+  }
+  unsetenv("RS_LOG_LEVEL");
+  set_log_level(original);
+}
+
+TEST(LogLevelTest, EnvInitUnknownFallsBackToInfo) {
+  const LogLevel original = log_level();
+  ASSERT_EQ(setenv("RS_LOG_LEVEL", "chatty", 1), 0);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  unsetenv("RS_LOG_LEVEL");
+  set_log_level(original);
+}
+
+TEST(LogLevelTest, EnvInitUnsetLeavesLevelAlone) {
+  const LogLevel original = log_level();
+  unsetenv("RS_LOG_LEVEL");
+  set_log_level(LogLevel::kWarn);
+  init_log_level_from_env();  // no env var -> no change
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(original);
 }
 
 TEST(LogLevelTest, SetAndGetRoundTrip) {
