@@ -40,7 +40,7 @@ Status HybridSampler::init(const std::string& graph_base,
   backend_config.kind = config.backend;
   backend_config.queue_depth = config.queue_depth;
   RS_ASSIGN_OR_RETURN(backend_,
-                      io::make_backend(backend_config, edge_file_.fd()));
+                      io::make_backend_auto(backend_config, edge_file_.fd()));
   core::PipelineOptions options;
   options.group_size = config.queue_depth;
   RS_ASSIGN_OR_RETURN(pipeline_, core::ReadPipeline::create(

@@ -82,6 +82,18 @@ struct SamplerConfig {
   // min(fanout, degree).
   bool sample_with_replacement = false;
 
+  // ---- Fault tolerance (see docs/fault_tolerance.md) ----
+  // Total tries per read (1 initial + N-1 retries) for retryable errnos
+  // and short reads before the batch errors out.
+  std::uint32_t max_io_attempts = 6;
+  // Capped exponential backoff between retries of one read:
+  // min(initial << (retry-1), max) microseconds; initial = 0 disables.
+  std::uint32_t retry_backoff_initial_us = 20;
+  std::uint32_t retry_backoff_max_us = 2000;
+  // Stall detector: error out (TIMED_OUT) instead of hanging when no
+  // completion arrives for this long. 0 disables.
+  std::uint32_t wait_deadline_ms = 30'000;
+
   std::uint64_t seed = 7;
 
   // When non-empty, start the Chrome trace-event recorder (obs::trace)

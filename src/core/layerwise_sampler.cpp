@@ -55,7 +55,8 @@ Status LayerWiseSampler::init(const std::string& graph_base,
     backend_config.kind = config.backend;
     backend_config.queue_depth = config.queue_depth;
     RS_ASSIGN_OR_RETURN(ctx->backend,
-                        io::make_backend(backend_config, edge_file_.fd()));
+                        io::make_backend_auto(backend_config,
+                                              edge_file_.fd()));
     PipelineOptions options;
     options.async = config.async_pipeline;
     options.group_size = config.queue_depth;

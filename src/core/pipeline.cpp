@@ -1,10 +1,13 @@
 #include "core/pipeline.h"
 
+#include <time.h>
+
 #include <algorithm>
 #include <array>
 #include <cstring>
 
 #include "obs/trace.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace rs::core {
@@ -24,7 +27,7 @@ Result<std::unique_ptr<ReadPipeline>> ReadPipeline::create(
   const std::uint64_t per_group =
       options.group_size *
           (sizeof(SampleItem) + sizeof(io::ReadRequest) +
-           sizeof(std::uint32_t)) +
+           sizeof(std::uint32_t) + sizeof(RetryState)) +
       (options.block_mode
            ? static_cast<std::uint64_t>(options.group_size) *
                  options.block_bytes
@@ -38,6 +41,7 @@ Result<std::unique_ptr<ReadPipeline>> ReadPipeline::create(
     group.items.resize(options.group_size);
     group.requests.resize(options.group_size);
     group.ref_begin.resize(options.group_size + 1);
+    group.retry.resize(options.group_size);
     if (options.block_mode) {
       group.block_buf = aligned_alloc_bytes(
           static_cast<std::size_t>(options.group_size) * options.block_bytes,
@@ -61,6 +65,8 @@ ReadPipeline::ReadPipeline(io::IoBackend& backend, BlockCache* cache,
   read_ops_counter_ = registry.counter("pipeline.read_ops");
   bytes_counter_ = registry.counter("pipeline.bytes_read");
   cache_hits_counter_ = registry.counter("pipeline.cache_hits");
+  retries_counter_ = registry.counter("io.retries");
+  stalls_counter_ = registry.counter("io.stalls");
 }
 
 ReadPipeline::~ReadPipeline() { budget_.release(scratch_bytes_); }
@@ -166,6 +172,10 @@ std::size_t ReadPipeline::fill_group(ItemSource& source, Group& group,
 
 Status ReadPipeline::submit_group(Group& group) {
   if (group.num_requests == 0) return Status::ok();
+  std::fill(group.retry.begin(),
+            group.retry.begin() +
+                static_cast<std::ptrdiff_t>(group.num_requests),
+            RetryState{});
   ScopedAccumulator phase(stats_.submit_seconds);
   RS_OBS_SPAN("pipeline", "submit", "requests",
               static_cast<std::uint64_t>(group.num_requests));
@@ -184,28 +194,71 @@ Status ReadPipeline::submit_group(Group& group) {
                                        group.num_requests));
 }
 
-void ReadPipeline::handle_completion(const io::Completion& completion,
-                                     Group& group, NodeId* values) {
+Status ReadPipeline::handle_completion(const io::Completion& completion,
+                                       Group& group, NodeId* values) {
   const auto r = static_cast<std::size_t>(completion.user_data);
   const io::ReadRequest& req = group.requests[r];
-  if (completion.result < 0) {
-    if (deferred_error_.is_ok()) {
-      deferred_error_ = Status::io_error(
-          "read at offset " + std::to_string(req.offset) +
-          " failed: errno=" + std::to_string(-completion.result));
+  RetryState& st = group.retry[r];
+  if (st.attempts == 0) st.attempts = 1;  // the initial submission
+  const std::int32_t res = completion.result;
+
+  bool retry = false;
+  if (res < 0) {
+    switch (io::retry_class(-res)) {
+      case io::RetryClass::kTransient:
+        retry = ++st.transient <= io::kTransientRetryCap;
+        break;
+      case io::RetryClass::kRetryable:
+        retry = st.attempts < options_.max_io_attempts;
+        if (retry) ++st.attempts;
+        break;
+      case io::RetryClass::kPermanent:
+        break;
     }
-    return;
-  }
-  if (static_cast<std::uint32_t>(completion.result) < req.len) {
-    if (deferred_error_.is_ok()) {
-      deferred_error_ = Status::io_error(
-          "short read at offset " + std::to_string(req.offset) + ": " +
-          std::to_string(completion.result) + " of " +
-          std::to_string(req.len) + " bytes");
+    if (!retry) {
+      if (deferred_error_.is_ok()) {
+        deferred_error_ = Status::io_error(
+            "read at offset " + std::to_string(req.offset) +
+            " failed: errno=" + std::to_string(-res) + " after " +
+            std::to_string(st.attempts) + " attempts");
+      }
+      return Status::ok();
     }
-    return;
+  } else {
+    st.done += static_cast<std::uint32_t>(res);
+    if (st.done < req.len) {
+      // Short read — legal per POSIX on a regular file. Resume from the
+      // delivered prefix: the bytes we have are real, only the tail is
+      // re-requested.
+      retry = st.attempts < options_.max_io_attempts;
+      if (!retry) {
+        if (deferred_error_.is_ok()) {
+          deferred_error_ = Status::io_error(
+              "short read at offset " + std::to_string(req.offset) + ": " +
+              std::to_string(st.done) + " of " + std::to_string(req.len) +
+              " bytes after " + std::to_string(st.attempts) + " attempts");
+        }
+        return Status::ok();
+      }
+      ++st.attempts;
+    }
   }
-  if (!options_.block_mode) return;  // payload landed in the value slot
+
+  if (retry) {
+    ++stats_.retries;
+    retries_counter_.add();
+    io::retry_backoff_sleep(st.attempts - 1, options_.retry_backoff_initial_us,
+                            options_.retry_backoff_max_us);
+    io::ReadRequest tail = req;
+    tail.offset += st.done;
+    tail.len -= st.done;
+    tail.buf = static_cast<unsigned char*>(req.buf) + st.done;
+    // The completion just reaped freed a backend slot, so this single
+    // re-submission can never exceed capacity.
+    return backend_.submit({&tail, 1});
+  }
+
+  if (!options_.block_mode) return Status::ok();  // payload is in its slot
 
   // Scatter the extent's sampled entries into their slots (offsets are
   // relative to the extent's first byte).
@@ -223,16 +276,87 @@ void ReadPipeline::handle_completion(const io::Completion& completion,
       cache_->insert(req.offset / bs + b, extent + b * bs);
     }
   }
+  return Status::ok();
+}
+
+void ReadPipeline::quiesce() {
+  // Abort path: the group's buffers are about to be recycled (or freed),
+  // but the kernel may still own in-flight reads aimed at them. Discard-
+  // drain with a bounded patience budget; completions that never arrive
+  // (hung device) are abandoned with a warning rather than blocking the
+  // error return forever.
+  std::array<io::Completion, 128> completions;
+  constexpr std::uint64_t kSliceNs = 10'000'000;   // 10 ms
+  constexpr unsigned kMaxIdleSlices = 50;          // ~0.5 s of no progress
+  unsigned idle = 0;
+  while (backend_.in_flight() > 0 && idle < kMaxIdleSlices) {
+    auto drained = backend_.wait_for(completions, kSliceNs);
+    if (!drained.is_ok()) break;
+    if (drained.value() == 0) {
+      ++idle;
+      // Synchronous backends' wait_for returns instantly; make each idle
+      // slice cost real time so the budget is time-bounded, not
+      // iteration-bounded.
+      timespec ts{0, 1'000'000};
+      ::nanosleep(&ts, nullptr);
+    } else {
+      idle = 0;
+    }
+  }
+  if (backend_.in_flight() > 0) {
+    RS_WARN("pipeline quiesce: abandoning %u in-flight reads on %s",
+            backend_.in_flight(), backend_.name().c_str());
+  }
 }
 
 Status ReadPipeline::drain_group(Group& group, NodeId* values) {
   ScopedAccumulator phase(stats_.drain_seconds);
   RS_OBS_SPAN("pipeline", "drain");
   std::array<io::Completion, 128> completions;
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(options_.wait_deadline_ms) * 1'000'000;
+  // Slice blocking waits so the stall clock is re-checked even when the
+  // backend never delivers (lost completion / hung device).
+  constexpr std::uint64_t kStallSliceNs = 10'000'000;  // 10 ms
+  std::uint64_t last_progress_ns = deadline_ns ? obs::now_ns() : 0;
   while (backend_.in_flight() > 0) {
-    RS_ASSIGN_OR_RETURN(unsigned n, backend_.wait(completions));
+    unsigned n = 0;
+    if (deadline_ns == 0) {
+      auto waited = backend_.wait(completions);
+      if (!waited.is_ok()) {
+        quiesce();
+        return waited.status();
+      }
+      n = waited.value();
+    } else {
+      auto waited =
+          backend_.wait_for(completions, std::min(deadline_ns, kStallSliceNs));
+      if (!waited.is_ok()) {
+        quiesce();
+        return waited.status();
+      }
+      n = waited.value();
+      if (n == 0) {
+        if (obs::now_ns() - last_progress_ns >= deadline_ns) {
+          ++stats_.stalls;
+          stalls_counter_.add();
+          const Status stalled = Status::timed_out(
+              "I/O stall: " + std::to_string(backend_.in_flight()) +
+              " read(s) stuck > " + std::to_string(options_.wait_deadline_ms) +
+              " ms on " + backend_.name());
+          quiesce();
+          return stalled;
+        }
+        continue;
+      }
+      last_progress_ns = obs::now_ns();
+    }
     for (unsigned i = 0; i < n; ++i) {
-      handle_completion(completions[i], group, values);
+      const Status handled = handle_completion(completions[i], group, values);
+      if (!handled.is_ok()) {
+        quiesce();
+        return handled;
+      }
     }
   }
   return Status::ok();
@@ -241,12 +365,23 @@ Status ReadPipeline::drain_group(Group& group, NodeId* values) {
 Status ReadPipeline::run(ItemSource& source, NodeId* values) {
   deferred_error_ = Status::ok();
 
+  // submit_group failures quiesce before returning: the backend may have
+  // accepted part of the batch, and those reads target group scratch.
+  auto submit_or_quiesce = [this](Group& group) {
+    Status submitted = submit_group(group);
+    if (!submitted.is_ok()) quiesce();
+    return submitted;
+  };
+
   if (!options_.async) {
     // Synchronous pipeline (Fig. 3b top): prepare -> submit -> block.
     Group& group = groups_[0];
     while (fill_group(source, group, values) > 0) {
-      RS_RETURN_IF_ERROR(submit_group(group));
+      RS_RETURN_IF_ERROR(submit_or_quiesce(group));
       RS_RETURN_IF_ERROR(drain_group(group, values));
+      // Retries exhausted somewhere in that group: the error is latched
+      // and every read is accounted for, so stop fetching more.
+      if (!deferred_error_.is_ok()) break;
     }
     return deferred_error_;
   }
@@ -258,13 +393,13 @@ Status ReadPipeline::run(ItemSource& source, NodeId* values) {
   if (fill_group(source, groups_[cur], values) == 0) {
     return deferred_error_;
   }
-  RS_RETURN_IF_ERROR(submit_group(groups_[cur]));
+  RS_RETURN_IF_ERROR(submit_or_quiesce(groups_[cur]));
   for (;;) {
     const int nxt = 1 - cur;
     const std::size_t produced = fill_group(source, groups_[nxt], values);
     RS_RETURN_IF_ERROR(drain_group(groups_[cur], values));
-    if (produced == 0) break;
-    RS_RETURN_IF_ERROR(submit_group(groups_[nxt]));
+    if (produced == 0 || !deferred_error_.is_ok()) break;
+    RS_RETURN_IF_ERROR(submit_or_quiesce(groups_[nxt]));
     cur = nxt;
   }
   return deferred_error_;

@@ -40,6 +40,22 @@ struct PipelineOptions {
   // adjacent on disk — then cost one I/O instead of several. 1 disables
   // merging.
   std::uint32_t max_extent_blocks = 8;
+
+  // ---- Fault tolerance ----
+  // Total tries per request (1 initial + max_io_attempts-1 retries) for
+  // retryable errnos and short reads; transient errnos (EINTR/EAGAIN)
+  // ride io::kTransientRetryCap instead, and permanent errnos
+  // (EBADF/EINVAL/...) never retry. Short reads resume from the
+  // delivered prefix rather than re-reading from scratch.
+  unsigned max_io_attempts = 6;
+  // Capped exponential backoff between retries of the same request:
+  // min(initial << (retry-1), max). initial == 0 disables backoff.
+  std::uint32_t retry_backoff_initial_us = 20;
+  std::uint32_t retry_backoff_max_us = 2000;
+  // Stall detector: if no completion arrives for this long while reads
+  // are in flight, drain_group gives up with a TIMED_OUT error instead
+  // of hanging (0 disables; waits then block indefinitely).
+  std::uint32_t wait_deadline_ms = 30'000;
 };
 
 struct PipelineStats {
@@ -48,6 +64,8 @@ struct PipelineStats {
   std::uint64_t bytes_read = 0;  // bytes requested from storage
   std::uint64_t cache_hits = 0;
   std::uint64_t groups = 0;
+  std::uint64_t retries = 0;  // re-submissions after failed/short reads
+  std::uint64_t stalls = 0;   // wait deadlines exceeded
 
   // Phase attribution (Fig. 3b's lifecycle): time spent preparing
   // groups (offset sampling, cache probes, request building), in the
@@ -77,11 +95,19 @@ class ReadPipeline {
   const PipelineOptions& options() const { return options_; }
 
  private:
+  // Per-request retry bookkeeping, reset on every submit_group.
+  struct RetryState {
+    std::uint32_t done = 0;       // bytes delivered so far (prefix)
+    std::uint16_t attempts = 0;   // tries so far (initial + retries)
+    std::uint16_t transient = 0;  // EINTR/EAGAIN retries, capped separately
+  };
+
   struct Group {
     std::vector<SampleItem> items;  // block mode: cache misses, block-sorted
     std::vector<io::ReadRequest> requests;
     // Block mode: requests[r] covers items[ref_begin[r], ref_begin[r+1]).
     std::vector<std::uint32_t> ref_begin;
+    std::vector<RetryState> retry;
     AlignedPtr block_buf;
     std::size_t num_requests = 0;
     std::size_t num_items = 0;
@@ -95,11 +121,20 @@ class ReadPipeline {
   // Returns the number of items consumed from the source.
   std::size_t fill_group(ItemSource& source, Group& group, NodeId* values);
   Status submit_group(Group& group);
-  // Blocks until every in-flight read of `group` completed, scattering
-  // block-mode payloads into value slots.
+  // Blocks until every in-flight read of `group` completed (including
+  // retried re-submissions), scattering block-mode payloads into value
+  // slots. Returns TIMED_OUT if the stall detector fires.
   Status drain_group(Group& group, NodeId* values);
-  void handle_completion(const io::Completion& completion, Group& group,
-                         NodeId* values);
+  // Scatters a successful completion, or classifies a failed/short one
+  // and re-submits its unread tail. Non-OK only when a retry submission
+  // itself fails; exhausted retries latch deferred_error_ instead so the
+  // rest of the group still drains.
+  Status handle_completion(const io::Completion& completion, Group& group,
+                           NodeId* values);
+  // Best-effort bounded discard-drain of everything still in flight,
+  // called before every error return so the kernel never holds
+  // completions aimed at group scratch we are about to recycle.
+  void quiesce();
 
   io::IoBackend& backend_;
   BlockCache* cache_;
@@ -117,6 +152,8 @@ class ReadPipeline {
   obs::Counter read_ops_counter_;
   obs::Counter bytes_counter_;
   obs::Counter cache_hits_counter_;
+  obs::Counter retries_counter_;
+  obs::Counter stalls_counter_;
 };
 
 }  // namespace rs::core

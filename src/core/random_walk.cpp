@@ -44,7 +44,8 @@ Status RandomWalkSampler::init(const std::string& graph_base,
     backend_config.kind = config.backend;
     backend_config.queue_depth = config.queue_depth;
     RS_ASSIGN_OR_RETURN(auto backend,
-                        io::make_backend(backend_config, edge_file_.fd()));
+                        io::make_backend_auto(backend_config,
+                                              edge_file_.fd()));
     backends_.push_back(std::move(backend));
   }
   // Per-thread in-flight state: one pending step per concurrent walk.
@@ -80,6 +81,12 @@ Status RandomWalkSampler::run_range(std::size_t thread_index,
       std::min<std::size_t>(config_.queue_depth, end - begin));
   std::vector<io::ReadRequest> requests(slots.size());
   std::array<io::Completion, 64> completions;
+  // Per-slot retry counters for the in-flight step read. A 4-byte edge
+  // read is idempotent, so failed and short completions are retried by
+  // reissuing requests[s] whole.
+  constexpr unsigned kMaxAttempts = 6;
+  std::vector<std::uint8_t> attempts(slots.size(), 1);
+  std::vector<std::uint8_t> transients(slots.size(), 0);
 
   std::size_t next_walk = begin;
   std::size_t active = 0;
@@ -142,12 +149,37 @@ Status RandomWalkSampler::run_range(std::size_t thread_index,
       const auto s = static_cast<std::size_t>(completions[i].user_data);
       WalkState& walk = slots[s];
       --active;
-      if (completions[i].result !=
-          static_cast<std::int32_t>(kEdgeEntryBytes)) {
-        return Status::io_error("walk step read failed (res=" +
-                                std::to_string(completions[i].result) +
-                                ")");
+      const std::int32_t res = completions[i].result;
+      if (res != static_cast<std::int32_t>(kEdgeEntryBytes)) {
+        bool retry = false;
+        if (res < 0) {
+          switch (io::retry_class(-res)) {
+            case io::RetryClass::kTransient:
+              retry = ++transients[s] <= io::kTransientRetryCap;
+              break;
+            case io::RetryClass::kRetryable:
+              retry = attempts[s] < kMaxAttempts;
+              if (retry) ++attempts[s];
+              break;
+            case io::RetryClass::kPermanent:
+              break;
+          }
+        } else {
+          // Short read of a 4-byte entry: reissue the whole request.
+          retry = attempts[s] < kMaxAttempts;
+          if (retry) ++attempts[s];
+        }
+        if (!retry) {
+          return Status::io_error(
+              "walk step read failed (res=" + std::to_string(res) +
+              ") after " + std::to_string(attempts[s]) + " attempts");
+        }
+        io::retry_backoff_sleep(attempts[s] - 1, 20, 2000);
+        batch.push_back(requests[s]);
+        continue;
       }
+      attempts[s] = 1;
+      transients[s] = 0;
       // Record the step.
       checksum = edge_checksum_mix(checksum, walk.current, walk.fetched);
       walk.current = walk.fetched;

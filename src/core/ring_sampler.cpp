@@ -64,8 +64,9 @@ Status RingSampler::build_contexts() {
     backend_config.kind = config_.backend;
     backend_config.queue_depth = config_.queue_depth;
     backend_config.register_file = config_.register_file;
-    RS_ASSIGN_OR_RETURN(ctx->backend,
-                        io::make_backend(backend_config, edge_file_.fd()));
+    RS_ASSIGN_OR_RETURN(
+        ctx->backend,
+        io::make_backend_auto(backend_config, edge_file_.fd()));
     RS_ASSIGN_OR_RETURN(ctx->workspace,
                         Workspace::create(config_, *budget_));
     // Distinct, decorrelated stream per worker (SplitMix64-expanded).
@@ -109,6 +110,10 @@ Status RingSampler::build_contexts() {
     options.block_bytes = config_.block_bytes;
     options.group_size = config_.queue_depth;
     options.max_extent_blocks = config_.max_extent_blocks;
+    options.max_io_attempts = config_.max_io_attempts;
+    options.retry_backoff_initial_us = config_.retry_backoff_initial_us;
+    options.retry_backoff_max_us = config_.retry_backoff_max_us;
+    options.wait_deadline_ms = config_.wait_deadline_ms;
     RS_ASSIGN_OR_RETURN(
         ctx->pipeline,
         ReadPipeline::create(*ctx->backend,

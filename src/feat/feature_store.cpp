@@ -91,7 +91,7 @@ Result<FeatureStore> FeatureStore::open(const std::string& base,
   config.kind = backend_kind;
   config.queue_depth = queue_depth;
   RS_ASSIGN_OR_RETURN(store.backend_,
-                      io::make_backend(config, store.file_.fd()));
+                      io::make_backend_auto(config, store.file_.fd()));
   return store;
 }
 
@@ -121,30 +121,9 @@ Status FeatureStore::gather(std::span<const NodeId> nodes, float* out) {
     }
   }
 
-  // Pump the backend: keep the queue full, drain completions.
-  std::size_t next = 0;
-  std::size_t completed = 0;
-  std::array<io::Completion, 64> completions;
-  while (completed < requests.size()) {
-    const unsigned room = backend_->capacity() - backend_->in_flight();
-    const std::size_t n =
-        std::min<std::size_t>(room, requests.size() - next);
-    if (n > 0) {
-      RS_RETURN_IF_ERROR(backend_->submit(
-          std::span<const io::ReadRequest>(requests.data() + next, n)));
-      next += n;
-    }
-    RS_ASSIGN_OR_RETURN(unsigned reaped, backend_->wait(completions));
-    for (unsigned i = 0; i < reaped; ++i) {
-      if (completions[i].result < 0 ||
-          static_cast<std::uint64_t>(completions[i].result) != row) {
-        return Status::io_error(
-            "feature row read failed or short (res=" +
-            std::to_string(completions[i].result) + ")");
-      }
-    }
-    completed += reaped;
-  }
+  // Pump the backend, retrying failed and short row reads with the
+  // shared bounded-retry policy (resume-from-prefix included).
+  RS_RETURN_IF_ERROR(backend_->read_batch_sync(requests));
 
   // Fan out duplicates from their first occurrence.
   for (std::size_t i = 0; i < nodes.size(); ++i) {

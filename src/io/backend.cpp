@@ -1,13 +1,19 @@
 #include "io/backend.h"
 
+#include <time.h>
+
 #include <array>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
+#include "io/fault_inject.h"
 #include "io/mmap_backend.h"
 #include "io/psync_backend.h"
 #include "io/uring_backend.h"
+#include "uring/uring_syscalls.h"
+#include "util/log.h"
 
 namespace rs::io {
 namespace {
@@ -47,7 +53,52 @@ IoInstruments IoInstruments::for_backend(const std::string& backend_name) {
   return instruments;
 }
 
+RetryClass retry_class(int error_number) {
+  switch (error_number) {
+    case EINTR:
+    case EAGAIN:
+      return RetryClass::kTransient;
+    case EBADF:
+    case EINVAL:
+    case EFAULT:
+    case ESPIPE:
+    case ENXIO:
+    case EOPNOTSUPP:
+      return RetryClass::kPermanent;
+    default:
+      return RetryClass::kRetryable;
+  }
+}
+
+void retry_backoff_sleep(unsigned attempt, std::uint32_t initial_us,
+                         std::uint32_t max_us) {
+  if (attempt == 0 || initial_us == 0) return;
+  const unsigned shift = std::min(attempt - 1, 31u);
+  std::uint64_t sleep_us = static_cast<std::uint64_t>(initial_us) << shift;
+  sleep_us = std::min<std::uint64_t>(sleep_us, max_us);
+  if (sleep_us == 0) return;
+  timespec ts{static_cast<time_t>(sleep_us / 1'000'000),
+              static_cast<long>((sleep_us % 1'000'000) * 1'000)};
+  ::nanosleep(&ts, nullptr);
+}
+
 Status IoBackend::read_batch_sync(std::span<ReadRequest> requests) {
+  // Per-request retry state; user_data is repurposed as the request
+  // index so completions (including retried tails) map back.
+  struct State {
+    std::uint32_t done = 0;      // bytes delivered so far (prefix)
+    std::uint16_t attempts = 0;  // tries so far (initial + retries)
+    std::uint16_t transient = 0;
+  };
+  // 6 tries keeps the chance of legitimate exhaustion negligible even
+  // under heavy injected fault rates (0.05^6 per request chain).
+  constexpr unsigned kMaxAttempts = 6;
+  std::vector<State> state(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user_data = i;
+    state[i].attempts = 1;
+  }
+
   std::size_t next = 0;
   std::size_t completed = 0;
   std::array<Completion, 64> completions;
@@ -61,12 +112,53 @@ Status IoBackend::read_batch_sync(std::span<ReadRequest> requests) {
       next += to_submit;
     }
     RS_ASSIGN_OR_RETURN(unsigned n, wait(completions));
-    completed += n;
     for (unsigned i = 0; i < n; ++i) {
-      if (completions[i].result < 0) {
-        return Status::io_error(
-            "read failed: errno=" + std::to_string(-completions[i].result));
+      const auto r = static_cast<std::size_t>(completions[i].user_data);
+      ReadRequest& req = requests[r];
+      State& st = state[r];
+      const std::int32_t res = completions[i].result;
+      if (res < 0) {
+        bool retry = false;
+        switch (retry_class(-res)) {
+          case RetryClass::kTransient:
+            // Transient interruptions ride a separate generous cap so a
+            // run of EINTRs cannot exhaust the retryable budget.
+            retry = ++st.transient <= kTransientRetryCap;
+            break;
+          case RetryClass::kRetryable:
+            retry = st.attempts < kMaxAttempts;
+            if (retry) ++st.attempts;
+            break;
+          case RetryClass::kPermanent:
+            break;
+        }
+        if (!retry) {
+          return Status::io_error(
+              "read at offset " + std::to_string(req.offset) +
+              " failed: errno=" + std::to_string(-res) + " after " +
+              std::to_string(st.attempts) + " attempts");
+        }
+      } else {
+        st.done += static_cast<std::uint32_t>(res);
+        if (st.done >= req.len) {
+          ++completed;
+          continue;
+        }
+        // Short read: legal per POSIX; resume from the delivered prefix.
+        if (st.attempts >= kMaxAttempts) {
+          return Status::io_error(
+              "short read at offset " + std::to_string(req.offset) + ": " +
+              std::to_string(st.done) + " of " + std::to_string(req.len) +
+              " bytes after " + std::to_string(st.attempts) + " attempts");
+        }
+        ++st.attempts;
       }
+      retry_backoff_sleep(st.attempts - 1, 20, 2000);
+      ReadRequest tail = req;
+      tail.offset += st.done;
+      tail.len -= st.done;
+      tail.buf = static_cast<unsigned char*>(req.buf) + st.done;
+      RS_RETURN_IF_ERROR(submit({&tail, 1}));
     }
   }
   return Status::ok();
@@ -120,6 +212,88 @@ Result<std::unique_ptr<IoBackend>> make_backend(const BackendConfig& config,
     }
   }
   return Status::invalid("unknown backend kind");
+}
+
+namespace {
+
+// Downgrades are counted once per process, not once per worker thread:
+// every thread's factory call hits the same root cause, and the
+// acceptance signal is "did this process degrade", not "how many
+// threads noticed".
+std::atomic<std::uint64_t> g_backend_downgrades{0};
+std::atomic<bool> g_downgrade_counted{false};
+
+void note_downgrade(BackendKind from, BackendKind to, const Status& cause) {
+  RS_WARN("io backend downgrade: %s -> %s (%s)", backend_kind_name(from),
+          backend_kind_name(to), cause.to_string().c_str());
+  if (!g_downgrade_counted.exchange(true, std::memory_order_relaxed)) {
+    g_backend_downgrades.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("io.backend_downgrades").add();
+  }
+}
+
+// The next kind down the degradation ladder, or kPsync's terminal.
+BackendKind downgrade_target(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kUringSqpoll: return BackendKind::kUringPoll;
+    case BackendKind::kUringPoll:
+    case BackendKind::kUring:
+      return BackendKind::kPsync;
+    default: return kind;
+  }
+}
+
+bool is_uring_kind(BackendKind kind) {
+  return kind == BackendKind::kUring || kind == BackendKind::kUringPoll ||
+         kind == BackendKind::kUringSqpoll;
+}
+
+}  // namespace
+
+std::uint64_t backend_downgrade_count() {
+  return g_backend_downgrades.load(std::memory_order_relaxed);
+}
+
+Result<std::unique_ptr<IoBackend>> make_backend_auto(
+    const BackendConfig& config, int fd) {
+  BackendConfig attempt = config;
+  const bool injecting = fault_injection_active();
+  const FaultConfig fault_config =
+      injecting ? active_fault_config() : FaultConfig{};
+
+  std::unique_ptr<IoBackend> backend;
+  while (backend == nullptr) {
+    Status cause = Status::ok();
+    if (is_uring_kind(attempt.kind)) {
+      if (injecting && fault_config.fail_setup) {
+        cause = Status::unsupported("injected io_uring setup failure");
+      } else if (!uring::kernel_supports_io_uring()) {
+        cause = Status::unsupported("io_uring_setup rejected by kernel");
+      }
+    }
+    if (cause.is_ok()) {
+      Result<std::unique_ptr<IoBackend>> made = make_backend(attempt, fd);
+      if (made.is_ok()) {
+        backend = std::move(made).value();
+        break;
+      }
+      cause = made.status();
+      // Only capability errors degrade; real failures (bad fd, OOM)
+      // propagate so callers don't silently run on the wrong substrate.
+      if (cause.code() != ErrorCode::kUnsupported) return cause;
+    }
+    const BackendKind next = downgrade_target(attempt.kind);
+    if (next == attempt.kind) return cause;  // bottom of the ladder
+    note_downgrade(attempt.kind, next, cause);
+    attempt.kind = next;
+    attempt.register_file = false;  // fixed files are a uring feature
+  }
+
+  if (injecting && fault_config.injects_completions()) {
+    backend = std::make_unique<FaultInjectBackend>(std::move(backend),
+                                                   fault_config);
+  }
+  return backend;
 }
 
 }  // namespace rs::io

@@ -49,7 +49,12 @@ struct IoStats {
   std::uint64_t completions = 0;
   // Completions that did not deliver the requested bytes: failures
   // (negative result) and short reads. Every backend counts both, so the
-  // counter is comparable across uring/psync/mmap/mem.
+  // counter is comparable across uring/psync/mmap/mem. Note that neither
+  // is necessarily fatal — a short read on a regular file is legal per
+  // POSIX, and most errnos are transient — so consumers (ReadPipeline,
+  // read_batch_sync) retry per retry_class() before declaring an error;
+  // this counter tallies every imperfect completion including the ones a
+  // retry later heals.
   std::uint64_t io_errors = 0;
 
   void add_submission(std::size_t n, std::uint64_t bytes) {
@@ -93,13 +98,56 @@ class IoBackend {
   virtual Result<unsigned> poll(std::span<Completion> out) = 0;
   virtual Result<unsigned> wait(std::span<Completion> out) = 0;
 
+  // Like wait(), but gives up after `timeout_ns` and returns 0 with no
+  // completions. A 0 return with in_flight() > 0 therefore means "timed
+  // out", which callers surface as a stall. The default implementation
+  // falls back to wait() — correct for the synchronous backends (psync,
+  // mmap, mem), whose completions are ready the moment submit() returns,
+  // so their wait() can never block. UringBackend overrides this with a
+  // real deadline (IORING_ENTER_EXT_ARG when available).
+  virtual Result<unsigned> wait_for(std::span<Completion> out,
+                                    std::uint64_t timeout_ns) {
+    (void)timeout_ns;
+    return wait(out);
+  }
+
   virtual const IoStats& stats() const = 0;
   virtual void reset_stats() = 0;
   virtual std::string name() const = 0;
 
-  // Convenience: submit and drain a whole batch synchronously.
+  // Convenience: submit and drain a whole batch synchronously, retrying
+  // failed and short reads per retry_class() with a bounded budget.
   Status read_batch_sync(std::span<ReadRequest> requests);
 };
+
+// ---- Retry policy ----
+//
+// Classification of a failed completion's -errno, shared by every retry
+// loop in the tree (ReadPipeline, read_batch_sync, the random-walk and
+// feature-gather pumps):
+//  * kTransient: interruptions that carry no information about the
+//    device (EINTR, EAGAIN) — always retried, against a generous hard
+//    cap only.
+//  * kRetryable: possibly-transient device errors (EIO and anything not
+//    otherwise classified) — retried up to the caller's attempt budget
+//    with capped exponential backoff.
+//  * kPermanent: caller bugs or configuration errors that retrying can
+//    never fix (EBADF, EINVAL, EFAULT, ESPIPE, ENXIO, EOPNOTSUPP) —
+//    surfaced immediately.
+enum class RetryClass { kTransient, kRetryable, kPermanent };
+
+RetryClass retry_class(int error_number);
+
+// Transient errnos retry against this cap instead of the caller's budget
+// (a run of EINTRs should not exhaust the attempts meant for EIO).
+inline constexpr unsigned kTransientRetryCap = 64;
+
+// Capped exponential backoff before retry attempt `attempt` (1-based
+// count of already-failed tries): min(initial << (attempt-1), max),
+// slept with clock_nanosleep. attempt == 0 or initial == 0 sleeps not at
+// all.
+void retry_backoff_sleep(unsigned attempt, std::uint32_t initial_us,
+                         std::uint32_t max_us);
 
 enum class BackendKind {
   kUring,       // io_uring, interrupt-driven completion waits
@@ -121,8 +169,23 @@ struct BackendConfig {
 };
 
 // Opens `fd`-independent state as needed and returns a backend reading
-// from the given fd (not owned).
+// from the given fd (not owned). Strict: a backend that cannot be set up
+// is an error (tests and benches want exactly what they asked for).
 Result<std::unique_ptr<IoBackend>> make_backend(const BackendConfig& config,
                                                 int fd);
+
+// Production factory: like make_backend, but degrades gracefully when
+// io_uring is unavailable (old kernel, seccomp, RLIMIT_MEMLOCK, or an
+// injected setup fault): uring-sqpoll -> uring-poll -> psync, logging the
+// downgrade and bumping the process-wide `io.backend_downgrades` counter
+// once per process. Also wraps the result in a FaultInjectBackend when a
+// completion-perturbing fault config is active (RS_FAULT or
+// set_fault_config).
+Result<std::unique_ptr<IoBackend>> make_backend_auto(
+    const BackendConfig& config, int fd);
+
+// How many times this process has downgraded a backend kind (0 or 1 —
+// counted once even when every worker thread's factory call falls back).
+std::uint64_t backend_downgrade_count();
 
 }  // namespace rs::io

@@ -1,0 +1,355 @@
+#include "io/fault_inject.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/log.h"
+
+namespace rs::io {
+namespace {
+
+// Process-wide config. RS_FAULT is parsed at most once; a programmatic
+// set_fault_config()/clear_fault_config() always wins over the env.
+std::mutex g_fault_mutex;
+FaultConfig g_fault_config;
+bool g_fault_active = false;
+std::once_flag g_fault_env_once;
+
+void load_fault_config_from_env() {
+  const char* env = std::getenv("RS_FAULT");
+  if (env == nullptr || env[0] == '\0') return;
+  Result<FaultConfig> parsed = parse_fault_config(env);
+  if (!parsed.is_ok()) {
+    RS_WARN("ignoring invalid RS_FAULT=\"%s\": %s", env,
+            parsed.status().to_string().c_str());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  g_fault_config = parsed.value();
+  g_fault_active = g_fault_config.any_fault();
+  RS_WARN("RS_FAULT active: %s", g_fault_config.to_string().c_str());
+}
+
+Result<int> parse_errno_value(std::string_view value) {
+  struct Name {
+    const char* name;
+    int number;
+  };
+  static constexpr Name kNames[] = {
+      {"EIO", EIO},       {"EAGAIN", EAGAIN}, {"EINTR", EINTR},
+      {"EBADF", EBADF},   {"EINVAL", EINVAL}, {"ENOSPC", ENOSPC},
+      {"EFAULT", EFAULT}, {"ENXIO", ENXIO},
+  };
+  for (const Name& n : kNames) {
+    if (value == n.name) return n.number;
+  }
+  int number = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return Status::invalid("RS_FAULT errno: unknown name \"" +
+                             std::string(value) + "\"");
+    }
+    number = number * 10 + (c - '0');
+  }
+  if (value.empty() || number <= 0) {
+    return Status::invalid("RS_FAULT errno: expected a name or positive "
+                           "number, got \"" +
+                           std::string(value) + "\"");
+  }
+  return number;
+}
+
+Result<double> parse_rate(std::string_view key, std::string_view value) {
+  char* end = nullptr;
+  const std::string copy(value);
+  const double rate = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    return Status::invalid("RS_FAULT " + std::string(key) +
+                           ": malformed number \"" + copy + "\"");
+  }
+  if (rate < 0.0 || rate > 1.0) {
+    return Status::invalid("RS_FAULT " + std::string(key) + "=" + copy +
+                           " out of range [0,1]");
+  }
+  return rate;
+}
+
+Result<std::uint64_t> parse_u64(std::string_view key, std::string_view value) {
+  std::uint64_t number = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return Status::invalid("RS_FAULT " + std::string(key) +
+                             ": malformed number \"" + std::string(value) +
+                             "\"");
+    }
+    number = number * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value.empty()) {
+    return Status::invalid("RS_FAULT " + std::string(key) + ": empty value");
+  }
+  return number;
+}
+
+}  // namespace
+
+std::string FaultConfig::to_string() const {
+  std::string out = "fail_rate=" + std::to_string(fail_rate) +
+                    ",short_rate=" + std::to_string(short_rate) +
+                    ",delay_rate=" + std::to_string(delay_rate) +
+                    ",delay_polls=" + std::to_string(delay_polls) +
+                    ",errno=" + std::to_string(fail_errno) +
+                    ",seed=" + std::to_string(seed);
+  if (max_faults != ~0ULL) out += ",max_faults=" + std::to_string(max_faults);
+  if (fail_setup) out += ",fail_setup=1";
+  return out;
+}
+
+Result<FaultConfig> parse_fault_config(std::string_view spec) {
+  FaultConfig config;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view field = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::invalid("RS_FAULT: field \"" + std::string(field) +
+                             "\" is not key=value");
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "fail_rate") {
+      RS_ASSIGN_OR_RETURN(config.fail_rate, parse_rate(key, value));
+    } else if (key == "short_rate") {
+      RS_ASSIGN_OR_RETURN(config.short_rate, parse_rate(key, value));
+    } else if (key == "delay_rate") {
+      RS_ASSIGN_OR_RETURN(config.delay_rate, parse_rate(key, value));
+    } else if (key == "delay_polls") {
+      RS_ASSIGN_OR_RETURN(std::uint64_t polls, parse_u64(key, value));
+      config.delay_polls = static_cast<unsigned>(polls);
+    } else if (key == "errno") {
+      RS_ASSIGN_OR_RETURN(config.fail_errno, parse_errno_value(value));
+    } else if (key == "seed") {
+      RS_ASSIGN_OR_RETURN(config.seed, parse_u64(key, value));
+    } else if (key == "max_faults") {
+      RS_ASSIGN_OR_RETURN(config.max_faults, parse_u64(key, value));
+    } else if (key == "fail_setup") {
+      RS_ASSIGN_OR_RETURN(std::uint64_t flag, parse_u64(key, value));
+      config.fail_setup = flag != 0;
+    } else {
+      return Status::invalid("RS_FAULT: unknown key \"" + std::string(key) +
+                             "\"");
+    }
+  }
+  return config;
+}
+
+bool fault_injection_active() {
+  std::call_once(g_fault_env_once, load_fault_config_from_env);
+  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  return g_fault_active;
+}
+
+FaultConfig active_fault_config() {
+  std::call_once(g_fault_env_once, load_fault_config_from_env);
+  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  return g_fault_config;
+}
+
+void set_fault_config(const FaultConfig& config) {
+  // Consume the env parse first so it cannot race in and clobber us.
+  std::call_once(g_fault_env_once, load_fault_config_from_env);
+  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  g_fault_config = config;
+  g_fault_active = config.any_fault();
+}
+
+void clear_fault_config() {
+  std::call_once(g_fault_env_once, load_fault_config_from_env);
+  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  g_fault_config = FaultConfig{};
+  g_fault_active = false;
+}
+
+FaultInjectBackend::FaultInjectBackend(IoBackend& inner,
+                                       const FaultConfig& config)
+    : inner_(&inner), config_(config), rng_(config.seed) {
+  faults_counter_ = obs::Registry::global().counter("io.faults_injected");
+  slots_.resize(inner_->capacity());
+  free_slots_.resize(inner_->capacity());
+  for (std::uint32_t i = 0; i < free_slots_.size(); ++i) free_slots_[i] = i;
+}
+
+FaultInjectBackend::FaultInjectBackend(std::unique_ptr<IoBackend> inner,
+                                       const FaultConfig& config)
+    : FaultInjectBackend(*inner, config) {
+  owned_ = std::move(inner);
+}
+
+FaultInjectBackend::Outcome FaultInjectBackend::draw_outcome() {
+  // The draw is consumed before the max_faults check so the per-request
+  // fault pattern does not shift once the budget runs out.
+  const double u = rng_.uniform_double();
+  if (injected_ >= config_.max_faults) return Outcome::kNone;
+  if (u < config_.fail_rate) return Outcome::kFail;
+  if (u < config_.fail_rate + config_.short_rate) return Outcome::kShort;
+  if (u < config_.fail_rate + config_.short_rate + config_.delay_rate) {
+    return Outcome::kDelay;
+  }
+  return Outcome::kNone;
+}
+
+Status FaultInjectBackend::submit(std::span<const ReadRequest> requests) {
+  if (requests.size() > capacity() - in_flight()) {
+    return Status::invalid("FaultInjectBackend::submit: batch exceeds "
+                           "free capacity");
+  }
+  std::uint64_t bytes = 0;
+  // Forward in contiguous runs so inner submission stays batched; only a
+  // fault outcome breaks a run.
+  std::vector<ReadRequest> forward;
+  forward.reserve(requests.size());
+  for (const ReadRequest& req : requests) {
+    bytes += req.len;
+    const Outcome outcome = draw_outcome();
+    if (outcome == Outcome::kFail) {
+      ++injected_;
+      ++fault_stats_.failed;
+      faults_counter_.add();
+      ++stats_.io_errors;
+      ready_.push_back(Completion{req.user_data, -config_.fail_errno});
+      continue;
+    }
+    RS_CHECK_MSG(!free_slots_.empty(), "fault-inject slot table exhausted");
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = Slot{req.user_data, req.len, outcome == Outcome::kDelay};
+    ReadRequest inner_req = req;
+    inner_req.user_data = slot;
+    if (outcome == Outcome::kShort) {
+      ++injected_;
+      ++fault_stats_.shortened;
+      faults_counter_.add();
+      // Deliver a strict prefix; retries see real bytes, just fewer.
+      inner_req.len = std::max<std::uint32_t>(1, req.len / 2);
+    } else if (outcome == Outcome::kDelay) {
+      ++injected_;
+      ++fault_stats_.delayed;
+      faults_counter_.add();
+    }
+    forward.push_back(inner_req);
+  }
+  if (!forward.empty()) {
+    RS_RETURN_IF_ERROR(inner_->submit(
+        std::span<const ReadRequest>(forward.data(), forward.size())));
+  }
+  stats_.add_submission(requests.size(), bytes);
+  return Status::ok();
+}
+
+void FaultInjectBackend::translate_inner(
+    std::span<const Completion> inner_completions) {
+  for (const Completion& inner : inner_completions) {
+    const auto slot_idx = static_cast<std::size_t>(inner.user_data);
+    RS_CHECK_MSG(slot_idx < slots_.size(),
+                 "fault-inject completion with unknown slot");
+    const Slot slot = slots_[slot_idx];
+    free_slots_.push_back(static_cast<std::uint32_t>(slot_idx));
+    Completion restored{slot.user_data, inner.result};
+    if (inner.result < 0) {
+      ++stats_.io_errors;
+    } else {
+      stats_.bytes_completed += static_cast<std::uint64_t>(inner.result);
+      if (static_cast<std::uint32_t>(inner.result) < slot.requested_len) {
+        ++stats_.io_errors;  // short (injected or genuine)
+      }
+    }
+    if (slot.delay) {
+      delayed_.push_back(Delayed{restored, config_.delay_polls});
+    } else {
+      ready_.push_back(restored);
+    }
+  }
+}
+
+void FaultInjectBackend::age_delayed() {
+  for (auto& d : delayed_) {
+    if (d.remaining > 0) --d.remaining;
+  }
+  while (!delayed_.empty() && delayed_.front().remaining == 0) {
+    ready_.push_back(delayed_.front().completion);
+    delayed_.pop_front();
+  }
+}
+
+Result<unsigned> FaultInjectBackend::emit(std::span<Completion> out) {
+  std::vector<Completion> scratch(out.size());
+  RS_ASSIGN_OR_RETURN(
+      unsigned inner_n,
+      inner_->poll(std::span<Completion>(scratch.data(), scratch.size())));
+  translate_inner(std::span<const Completion>(scratch.data(), inner_n));
+  age_delayed();
+  std::size_t n = 0;
+  while (n < out.size() && !ready_.empty()) {
+    out[n++] = ready_.front();
+    ready_.pop_front();
+  }
+  stats_.completions += n;
+  return static_cast<unsigned>(n);
+}
+
+Result<unsigned> FaultInjectBackend::poll(std::span<Completion> out) {
+  return emit(out);
+}
+
+Result<unsigned> FaultInjectBackend::wait(std::span<Completion> out) {
+  if (out.empty()) return 0u;
+  for (;;) {
+    RS_ASSIGN_OR_RETURN(unsigned n, emit(out));
+    if (n > 0) return n;
+    if (!delayed_.empty()) {
+      // Nothing ready and nothing ripening on its own: force the delayed
+      // completions ripe so wait() cannot spin forever (mirrors
+      // MemBackend::wait).
+      for (auto& d : delayed_) d.remaining = 0;
+      continue;
+    }
+    if (inner_->in_flight() == 0) return 0u;
+    std::vector<Completion> scratch(out.size());
+    RS_ASSIGN_OR_RETURN(
+        unsigned inner_n,
+        inner_->wait(std::span<Completion>(scratch.data(), scratch.size())));
+    translate_inner(std::span<const Completion>(scratch.data(), inner_n));
+  }
+}
+
+Result<unsigned> FaultInjectBackend::wait_for(std::span<Completion> out,
+                                              std::uint64_t timeout_ns) {
+  if (out.empty()) return 0u;
+  const std::uint64_t deadline = obs::now_ns() + timeout_ns;
+  for (;;) {
+    RS_ASSIGN_OR_RETURN(unsigned n, emit(out));
+    if (n > 0) return n;
+    if (!delayed_.empty()) {
+      for (auto& d : delayed_) d.remaining = 0;
+      continue;
+    }
+    if (inner_->in_flight() == 0) return 0u;
+    const std::uint64_t now = obs::now_ns();
+    if (now >= deadline) return 0u;
+    std::vector<Completion> scratch(out.size());
+    RS_ASSIGN_OR_RETURN(
+        unsigned inner_n,
+        inner_->wait_for(std::span<Completion>(scratch.data(), scratch.size()),
+                         deadline - now));
+    translate_inner(std::span<const Completion>(scratch.data(), inner_n));
+    if (inner_n == 0 && ready_.empty() && delayed_.empty()) {
+      return 0u;  // inner timed out
+    }
+  }
+}
+
+}  // namespace rs::io

@@ -1,0 +1,144 @@
+// FaultInjectBackend: a decorator over any IoBackend that injects
+// storage-level faults — failed completions (-EIO/-EAGAIN/...), short
+// reads, and delayed completions — from a deterministic seeded RNG, so
+// the retry/deadline/degradation machinery above it can be exercised
+// reproducibly on every backend (uring, psync, mmap, mem).
+//
+// Configuration comes from the RS_FAULT environment variable or the
+// programmatic set_fault_config() API. Grammar (comma-separated k=v):
+//
+//   RS_FAULT="fail_rate=0.05,short_rate=0.05,seed=42"
+//
+//   fail_rate=F    probability in [0,1] a request completes with -errno
+//   short_rate=F   probability a read is truncated (delivers a prefix)
+//   delay_rate=F   probability a completion is held back delay_polls polls
+//   delay_polls=N  how long a delayed completion is held (default 3)
+//   errno=E        EIO|EAGAIN|EINTR|EBADF|EINVAL|ENOSPC or a number
+//                  (default EIO)
+//   seed=N         RNG seed (default 1); same seed => same fault pattern
+//   max_faults=N   stop injecting after N faults ("fail-once" = 1)
+//   fail_setup=1   make io_uring backend creation fail, forcing the
+//                  factory's uring->psync downgrade path
+//
+// Exactly one RNG draw is consumed per submitted request regardless of
+// outcome, so the fault pattern for a request stream is independent of
+// which fault types are enabled — a retried request is a *new* request
+// and draws again.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "io/backend.h"
+#include "util/rng.h"
+
+namespace rs::io {
+
+struct FaultConfig {
+  double fail_rate = 0.0;
+  double short_rate = 0.0;
+  double delay_rate = 0.0;
+  unsigned delay_polls = 3;
+  int fail_errno = 5;  // EIO
+  std::uint64_t seed = 1;
+  std::uint64_t max_faults = ~0ULL;
+  bool fail_setup = false;
+
+  // True when the config perturbs completions (as opposed to only
+  // fail_setup, which perturbs backend creation).
+  bool injects_completions() const {
+    return fail_rate > 0 || short_rate > 0 || delay_rate > 0;
+  }
+  bool any_fault() const { return injects_completions() || fail_setup; }
+
+  std::string to_string() const;
+};
+
+// Parses the RS_FAULT grammar above. Unknown keys, malformed numbers,
+// and out-of-range rates are invalid-argument errors.
+Result<FaultConfig> parse_fault_config(std::string_view spec);
+
+// Process-wide fault configuration. The RS_FAULT environment variable is
+// parsed once on first query; set_fault_config() overrides it (tests,
+// harnesses), clear_fault_config() disables injection entirely.
+// make_backend_auto() consults this to decide whether to wrap backends.
+bool fault_injection_active();
+FaultConfig active_fault_config();
+void set_fault_config(const FaultConfig& config);
+void clear_fault_config();
+
+// Per-type injection counts of one FaultInjectBackend instance.
+struct FaultStats {
+  std::uint64_t failed = 0;
+  std::uint64_t shortened = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t total() const { return failed + shortened + delayed; }
+};
+
+class FaultInjectBackend final : public IoBackend {
+ public:
+  // Non-owning: `inner` must outlive the decorator (tests wrapping a
+  // stack backend).
+  FaultInjectBackend(IoBackend& inner, const FaultConfig& config);
+  // Owning: the factory path.
+  FaultInjectBackend(std::unique_ptr<IoBackend> inner,
+                     const FaultConfig& config);
+
+  unsigned capacity() const override { return inner_->capacity(); }
+  unsigned in_flight() const override {
+    return inner_->in_flight() +
+           static_cast<unsigned>(ready_.size() + delayed_.size());
+  }
+
+  Status submit(std::span<const ReadRequest> requests) override;
+  Result<unsigned> poll(std::span<Completion> out) override;
+  Result<unsigned> wait(std::span<Completion> out) override;
+  Result<unsigned> wait_for(std::span<Completion> out,
+                            std::uint64_t timeout_ns) override;
+
+  const IoStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = IoStats{}; }
+  std::string name() const override { return inner_->name() + "+fault"; }
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  IoBackend& inner() { return *inner_; }
+
+ private:
+  enum class Outcome { kNone, kFail, kShort, kDelay };
+
+  Outcome draw_outcome();
+  // Moves inner completions into ready_/delayed_, restoring caller
+  // user_data from the slot table.
+  void translate_inner(std::span<const Completion> inner_completions);
+  // Non-blocking: pump inner completions, age delayed ones, then emit up
+  // to out.size() completions.
+  Result<unsigned> emit(std::span<Completion> out);
+  void age_delayed();
+
+  struct Slot {
+    std::uint64_t user_data = 0;
+    std::uint32_t requested_len = 0;  // caller's len (pre-truncation)
+    bool delay = false;
+  };
+  struct Delayed {
+    Completion completion;
+    unsigned remaining;
+  };
+
+  std::unique_ptr<IoBackend> owned_;  // null in the non-owning mode
+  IoBackend* inner_;
+  FaultConfig config_;
+  Xoshiro256 rng_;
+  std::uint64_t injected_ = 0;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::deque<Completion> ready_;
+  std::deque<Delayed> delayed_;
+
+  IoStats stats_;
+  FaultStats fault_stats_;
+  obs::Counter faults_counter_;
+};
+
+}  // namespace rs::io

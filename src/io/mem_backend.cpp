@@ -13,6 +13,10 @@ Status MemBackend::submit(std::span<const ReadRequest> requests) {
   for (const ReadRequest& req : requests) {
     bytes += req.len;
     ++request_counter_;
+    if (lose_period_ != 0 && request_counter_ % lose_period_ == 0) {
+      ++lost_;  // swallowed: stays in flight, never completes
+      continue;
+    }
     const std::uint64_t start_ns = timing ? obs::now_ns() : 0;
     Completion completion;
     completion.user_data = req.user_data;

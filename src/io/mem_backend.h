@@ -29,9 +29,16 @@ class MemBackend final : public IoBackend {
   // emulating device latency for pipeline tests.
   void set_completion_delay(unsigned delay) { completion_delay_ = delay; }
 
+  // Lose completions: every `period`-th request (1-based) is swallowed —
+  // it stays in_flight forever and no completion is ever delivered.
+  // Emulates a hung device so stall-detector paths can be tested;
+  // wait()/wait_for() return 0 once only lost requests remain.
+  void lose_completions(std::uint64_t period) { lose_period_ = period; }
+  std::uint64_t lost_count() const { return lost_; }
+
   unsigned capacity() const override { return capacity_; }
   unsigned in_flight() const override {
-    return static_cast<unsigned>(pending_.size() + ready_.size());
+    return static_cast<unsigned>(pending_.size() + ready_.size() + lost_);
   }
 
   Status submit(std::span<const ReadRequest> requests) override;
@@ -54,6 +61,8 @@ class MemBackend final : public IoBackend {
   std::uint64_t fault_period_ = 0;
   int fault_errno_ = 0;
   unsigned completion_delay_ = 0;
+  std::uint64_t lose_period_ = 0;
+  std::uint64_t lost_ = 0;
   std::uint64_t request_counter_ = 0;
   std::deque<Pending> pending_;
   std::deque<Completion> ready_;

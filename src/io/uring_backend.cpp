@@ -81,28 +81,35 @@ Status UringBackend::submit(std::span<const ReadRequest> requests) {
 unsigned UringBackend::drain_cq(std::span<Completion> out) {
   std::size_t n = 0;
   uring::Cqe cqe;
-  while (n < out.size() && ring_.peek_cqe(&cqe)) {
-    const auto slot = static_cast<std::size_t>(cqe.user_data);
-    RS_CHECK_MSG(slot < pending_.size(), "CQE slot index out of range");
-    const PendingRead& entry = pending_[slot];
-    out[n].user_data = entry.user_data;
-    out[n].result = cqe.res;
-    if (cqe.res < 0) {
-      ++stats_.io_errors;
-      instruments_.errors.add();
-    } else {
-      stats_.bytes_completed += static_cast<std::uint64_t>(cqe.res);
-      if (static_cast<std::uint32_t>(cqe.res) < entry.len) {
-        ++stats_.io_errors;  // short read
+  for (;;) {
+    while (n < out.size() && ring_.peek_cqe(&cqe)) {
+      const auto slot = static_cast<std::size_t>(cqe.user_data);
+      RS_CHECK_MSG(slot < pending_.size(), "CQE slot index out of range");
+      const PendingRead& entry = pending_[slot];
+      out[n].user_data = entry.user_data;
+      out[n].result = cqe.res;
+      if (cqe.res < 0) {
+        ++stats_.io_errors;
         instruments_.errors.add();
+      } else {
+        stats_.bytes_completed += static_cast<std::uint64_t>(cqe.res);
+        if (static_cast<std::uint32_t>(cqe.res) < entry.len) {
+          ++stats_.io_errors;  // short read
+          instruments_.errors.add();
+        }
       }
+      if (entry.submit_ns != 0) {
+        instruments_.completion_latency.record_ns(obs::now_ns() -
+                                                  entry.submit_ns);
+      }
+      free_slots_.push_back(static_cast<std::uint32_t>(slot));
+      ++n;
     }
-    if (entry.submit_ns != 0) {
-      instruments_.completion_latency.record_ns(obs::now_ns() -
-                                                entry.submit_ns);
-    }
-    free_slots_.push_back(static_cast<std::uint32_t>(slot));
-    ++n;
+    // The CQ we just consumed may have been hiding a kernel-side
+    // overflow backlog; flush it into the freed space and keep reaping.
+    if (n >= out.size() || !ring_.cq_overflow_flagged()) break;
+    if (!ring_.flush_cq_overflow().is_ok()) break;
+    if (ring_.cq_ready() == 0) break;  // flush made no progress
   }
   const auto count = static_cast<unsigned>(n);
   in_flight_ -= count;
@@ -127,6 +134,27 @@ Result<unsigned> UringBackend::wait(std::span<Completion> out) {
     }
     RS_ASSIGN_OR_RETURN(unsigned reaped, ring_.submit_and_wait(1));
     (void)reaped;
+  }
+}
+
+Result<unsigned> UringBackend::wait_for(std::span<Completion> out,
+                                        std::uint64_t timeout_ns) {
+  if (in_flight_ == 0 || out.empty()) return 0u;
+  RS_OBS_SPAN("io", "uring_wait");
+  const std::uint64_t deadline = obs::now_ns() + timeout_ns;
+  unsigned spins = 0;
+  for (;;) {
+    const unsigned n = drain_cq(out);
+    if (n > 0) return n;
+    if (wait_mode_ == WaitMode::kBusyPoll) {
+      // Spin as in wait(), but check the clock every so often — a clock
+      // read per empty peek would dominate the busy-poll loop.
+      if ((++spins & 1023u) == 0 && obs::now_ns() >= deadline) return 0u;
+      continue;
+    }
+    const std::uint64_t now = obs::now_ns();
+    if (now >= deadline) return 0u;
+    RS_RETURN_IF_ERROR(ring_.enter_getevents_timeout(1, deadline - now));
   }
 }
 

@@ -29,6 +29,8 @@ class UringBackend final : public IoBackend {
   Status submit(std::span<const ReadRequest> requests) override;
   Result<unsigned> poll(std::span<Completion> out) override;
   Result<unsigned> wait(std::span<Completion> out) override;
+  Result<unsigned> wait_for(std::span<Completion> out,
+                            std::uint64_t timeout_ns) override;
 
   const IoStats& stats() const override { return stats_; }
   void reset_stats() override { stats_ = IoStats{}; }

@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <string.h>
 #include <sys/mman.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -10,6 +11,22 @@
 
 #include "uring/uring_syscalls.h"
 #include "util/log.h"
+
+// Fallbacks for toolchains whose <linux/io_uring.h> predates the
+// features we use at runtime (the kernel still honors them; we check
+// the reported feature bits before relying on EXT_ARG).
+#ifndef IORING_FEAT_EXT_ARG
+#define IORING_FEAT_EXT_ARG (1U << 8)
+#endif
+#ifndef IORING_ENTER_EXT_ARG
+#define IORING_ENTER_EXT_ARG (1U << 3)
+#endif
+#ifndef IORING_FEAT_NODROP
+#define IORING_FEAT_NODROP (1U << 1)
+#endif
+#ifndef IORING_SQ_CQ_OVERFLOW
+#define IORING_SQ_CQ_OVERFLOW (1U << 1)
+#endif
 
 namespace rs::uring {
 namespace {
@@ -263,13 +280,24 @@ Result<unsigned> Ring::submit() {
     return to_submit;
   }
 
-  ++stats_.enter_calls;
-  const int rc = sys_io_uring_enter(ring_fd_, to_submit, 0, 0, nullptr);
-  if (rc < 0) {
-    return Status::io_error(std::string("io_uring_enter(submit): ") +
-                            ::strerror(-rc));
+  // -EBUSY means the kernel's CQ-overflow backlog is non-empty and must
+  // drain before new SQEs are accepted; flush and retry a bounded number
+  // of times (progress requires the consumer to free CQ space, so an
+  // unbounded loop could spin forever against a full, undrained CQ).
+  for (unsigned attempt = 0; attempt < 64; ++attempt) {
+    ++stats_.enter_calls;
+    const int rc = sys_io_uring_enter(ring_fd_, to_submit, 0, 0, nullptr);
+    if (rc >= 0) return static_cast<unsigned>(rc);
+    if (rc != -EBUSY) {
+      return Status::io_error(std::string("io_uring_enter(submit): ") +
+                              ::strerror(-rc));
+    }
+    ++stats_.ebusy_retries;
+    RS_RETURN_IF_ERROR(flush_cq_overflow());
   }
-  return static_cast<unsigned>(rc);
+  return Status::io_error(
+      "io_uring_enter(submit): EBUSY persists (CQ overflow backlog not "
+      "draining; consumer must reap completions)");
 }
 
 Result<unsigned> Ring::submit_and_wait(unsigned min_complete) {
@@ -357,8 +385,57 @@ Status Ring::enter_getevents(unsigned min_complete) {
   }
 }
 
+Status Ring::enter_getevents_timeout(unsigned min_complete,
+                                     std::uint64_t timeout_ns) {
+  if (features_ & IORING_FEAT_EXT_ARG) {
+    KernelTimespec ts;
+    ts.tv_sec = static_cast<std::int64_t>(timeout_ns / 1'000'000'000ULL);
+    ts.tv_nsec = static_cast<std::int64_t>(timeout_ns % 1'000'000'000ULL);
+    GeteventsArg arg;
+    arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+    for (;;) {
+      ++stats_.enter_calls;
+      const int rc = sys_io_uring_enter_ext_arg(
+          ring_fd_, 0, min_complete,
+          IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg);
+      if (rc >= 0 || rc == -ETIME) return Status::ok();
+      if (rc == -EINTR) continue;  // remaining budget handled by caller
+      return Status::io_error(
+          std::string("io_uring_enter(getevents,timeout): ") +
+          ::strerror(-rc));
+    }
+  }
+  // Pre-5.11 fallback: sleep-poll the CQ in 100us steps. GETEVENTS with
+  // min_complete=0 flushes any overflow backlog on each step.
+  std::uint64_t waited_ns = 0;
+  constexpr std::uint64_t kStepNs = 100'000;
+  for (;;) {
+    if (cq_ready() >= min_complete) return Status::ok();
+    RS_RETURN_IF_ERROR(enter_getevents(0));
+    if (cq_ready() >= min_complete) return Status::ok();
+    if (waited_ns >= timeout_ns) return Status::ok();  // timed out
+    const std::uint64_t step = std::min(kStepNs, timeout_ns - waited_ns);
+    timespec ts{static_cast<time_t>(step / 1'000'000'000ULL),
+                static_cast<long>(step % 1'000'000'000ULL)};
+    ::nanosleep(&ts, nullptr);
+    waited_ns += step;
+  }
+}
+
 unsigned Ring::cq_ready() const {
   return load_acquire(cq_ktail_) - load_relaxed(cq_khead_);
+}
+
+bool Ring::cq_overflow_flagged() const {
+  return (load_acquire(sq_kflags_) & IORING_SQ_CQ_OVERFLOW) != 0;
+}
+
+Status Ring::flush_cq_overflow() {
+  if (!cq_overflow_flagged()) return Status::ok();
+  ++stats_.overflow_flushes;
+  // GETEVENTS with min_complete=0 makes the kernel move backlogged CQEs
+  // into whatever CQ space the consumer has freed, without blocking.
+  return enter_getevents(0);
 }
 
 Status Ring::register_buffers(std::span<const iovec> buffers) {

@@ -59,6 +59,8 @@ struct RingStats {
   std::uint64_t enter_calls = 0;
   std::uint64_t cqes_reaped = 0;
   std::uint64_t peek_spins = 0;  // empty peeks (busy-poll iterations)
+  std::uint64_t overflow_flushes = 0;  // CQ-overflow backlog drains
+  std::uint64_t ebusy_retries = 0;     // submit retries after -EBUSY
 };
 
 class Ring {
@@ -77,6 +79,8 @@ class Ring {
   unsigned sq_entries() const { return sq_entries_; }
   unsigned cq_entries() const { return cq_entries_; }
   bool sqpoll_enabled() const { return (setup_flags_ & IORING_SETUP_SQPOLL) != 0; }
+  // IORING_FEAT_* bits the kernel reported at setup.
+  std::uint32_t features() const { return features_; }
 
   // ---- Submission ----
 
@@ -124,8 +128,25 @@ class Ring {
   // Blocks (io_uring_enter GETEVENTS) until one CQE is available.
   Status wait_cqe(Cqe* out);
 
+  // Blocks until at least one CQE is available or `timeout_ns` elapses
+  // (returns OK either way — peek afterwards to see which). Uses
+  // IORING_ENTER_EXT_ARG when the kernel reports IORING_FEAT_EXT_ARG;
+  // otherwise degrades to a sleep-poll loop in 100us steps.
+  Status enter_getevents_timeout(unsigned min_complete,
+                                 std::uint64_t timeout_ns);
+
   // Number of completions currently sitting in the CQ.
   unsigned cq_ready() const;
+
+  // ---- CQ overflow ----
+  //
+  // With IORING_FEAT_NODROP the kernel parks completions it cannot post
+  // to a full CQ on an internal backlog and raises IORING_SQ_CQ_OVERFLOW
+  // in the SQ flags (it also answers further submits with -EBUSY, which
+  // submit() absorbs by flushing). flush_cq_overflow() asks the kernel
+  // to move backlogged CQEs into CQ space freed by the consumer.
+  bool cq_overflow_flagged() const;
+  Status flush_cq_overflow();
 
   // ---- Registration ----
 

@@ -18,6 +18,14 @@ int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
   return rc < 0 ? -errno : static_cast<int>(rc);
 }
 
+int sys_io_uring_enter_ext_arg(int ring_fd, unsigned to_submit,
+                               unsigned min_complete, unsigned flags,
+                               const GeteventsArg* arg) {
+  const long rc = ::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                            min_complete, flags, arg, sizeof(*arg));
+  return rc < 0 ? -errno : static_cast<int>(rc);
+}
+
 int sys_io_uring_register(int ring_fd, unsigned opcode, const void* arg,
                           unsigned nr_args) {
   const long rc =

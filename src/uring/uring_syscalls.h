@@ -7,6 +7,8 @@
 #include <linux/io_uring.h>
 #include <signal.h>
 
+#include <cstdint>
+
 namespace rs::uring {
 
 // Returns the ring fd, or -errno on failure.
@@ -16,6 +18,25 @@ int sys_io_uring_setup(unsigned entries, io_uring_params* params);
 // flags), or -errno on failure.
 int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
                        unsigned flags, sigset_t* sig);
+
+// io_uring_enter with IORING_ENTER_EXT_ARG (kernel >= 5.11): the last
+// two syscall arguments become a struct io_uring_getevents_arg pointer
+// and its size, letting GETEVENTS carry a wait timeout. Callers must
+// have checked IORING_FEAT_EXT_ARG. We define the arg struct ourselves
+// so old <linux/io_uring.h> headers still compile.
+struct GeteventsArg {
+  std::uint64_t sigmask = 0;
+  std::uint32_t sigmask_sz = 0;
+  std::uint32_t pad = 0;
+  std::uint64_t ts = 0;  // pointer to a __kernel_timespec-layout struct
+};
+struct KernelTimespec {
+  std::int64_t tv_sec = 0;
+  std::int64_t tv_nsec = 0;
+};
+int sys_io_uring_enter_ext_arg(int ring_fd, unsigned to_submit,
+                               unsigned min_complete, unsigned flags,
+                               const GeteventsArg* arg);
 
 // Returns 0 or -errno.
 int sys_io_uring_register(int ring_fd, unsigned opcode, const void* arg,

@@ -11,6 +11,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kOutOfMemory: return "OUT_OF_MEMORY";
     case ErrorCode::kUnsupported: return "UNSUPPORTED";
     case ErrorCode::kCorruptData: return "CORRUPT_DATA";
+    case ErrorCode::kTimedOut: return "TIMED_OUT";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -22,6 +22,7 @@ enum class ErrorCode {
   kOutOfMemory,   // raised when a MemoryBudget is exhausted
   kUnsupported,   // e.g. kernel lacks an io_uring feature
   kCorruptData,   // malformed on-disk file
+  kTimedOut,      // wait deadline exceeded (I/O stall detector)
   kInternal,
 };
 
@@ -55,6 +56,9 @@ class [[nodiscard]] Status {
   }
   static Status corrupt(std::string msg) {
     return {ErrorCode::kCorruptData, std::move(msg)};
+  }
+  static Status timed_out(std::string msg) {
+    return {ErrorCode::kTimedOut, std::move(msg)};
   }
   static Status internal(std::string msg) {
     return {ErrorCode::kInternal, std::move(msg)};

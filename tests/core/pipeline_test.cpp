@@ -134,10 +134,11 @@ TEST(PipelineTest, DelayedCompletionsStillAllArrive) {
   verify_values(items, values);
 }
 
-TEST(PipelineTest, IoErrorSurfacesAsStatus) {
+TEST(PipelineTest, PermanentIoErrorSurfacesAsStatus) {
+  // EBADF is a permanent errno: no retry, the error surfaces directly.
   constexpr std::size_t kEntries = 1024;
   io::MemBackend backend(make_edge_bytes(kEntries), 32);
-  backend.inject_faults(/*period=*/50, EIO);
+  backend.inject_faults(/*period=*/50, EBADF);
   MemoryBudget budget;
   PipelineOptions options;
   options.group_size = 32;
@@ -150,6 +151,79 @@ TEST(PipelineTest, IoErrorSurfacesAsStatus) {
   const Status status = pipeline.value()->run(source, values.data());
   EXPECT_FALSE(status.is_ok());
   EXPECT_EQ(status.code(), ErrorCode::kIoError);
+  EXPECT_EQ(pipeline.value()->stats().retries, 0u);
+  // After a failed run every in-flight read has been quiesced.
+  EXPECT_EQ(backend.in_flight(), 0u);
+}
+
+TEST(PipelineTest, RetryableIoErrorIsRetriedToSuccess) {
+  // EIO is retryable: every 50th request fails once, the pipeline
+  // resubmits it (a fresh request, off the fault period), and the run
+  // succeeds with bit-identical values.
+  constexpr std::size_t kEntries = 1024;
+  io::MemBackend backend(make_edge_bytes(kEntries), 32);
+  backend.inject_faults(/*period=*/50, EIO);
+  MemoryBudget budget;
+  PipelineOptions options;
+  options.group_size = 32;
+  options.retry_backoff_initial_us = 0;  // keep the test fast
+  auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+  RS_ASSERT_OK(pipeline);
+
+  const auto items = make_items(200, kEntries);
+  std::vector<NodeId> values(items.size(), 0);
+  VectorSource source(items);
+  test::assert_ok(pipeline.value()->run(source, values.data()));
+  verify_values(items, values);
+  EXPECT_GT(pipeline.value()->stats().retries, 0u);
+}
+
+TEST(PipelineTest, RetryExhaustionReportsAttemptCount) {
+  // Every request fails with EIO: the retry budget runs out and the
+  // deferred error names the attempt count.
+  constexpr std::size_t kEntries = 256;
+  io::MemBackend backend(make_edge_bytes(kEntries), 8);
+  backend.inject_faults(/*period=*/1, EIO);
+  MemoryBudget budget;
+  PipelineOptions options;
+  options.group_size = 8;
+  options.max_io_attempts = 3;
+  options.retry_backoff_initial_us = 0;
+  auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+  RS_ASSERT_OK(pipeline);
+
+  const auto items = make_items(16, kEntries);
+  std::vector<NodeId> values(items.size(), 0);
+  VectorSource source(items);
+  const Status status = pipeline.value()->run(source, values.data());
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kIoError);
+  EXPECT_NE(status.message().find("3 attempts"), std::string::npos)
+      << status.to_string();
+  EXPECT_EQ(backend.in_flight(), 0u);
+}
+
+TEST(PipelineTest, StallDetectorTimesOutOnLostCompletions) {
+  // A swallowed completion never arrives; instead of hanging forever the
+  // pipeline errors out with TIMED_OUT once the wait deadline passes.
+  constexpr std::size_t kEntries = 1024;
+  io::MemBackend backend(make_edge_bytes(kEntries), 32);
+  backend.lose_completions(/*period=*/40);
+  MemoryBudget budget;
+  PipelineOptions options;
+  options.group_size = 32;
+  options.wait_deadline_ms = 50;
+  auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+  RS_ASSERT_OK(pipeline);
+
+  const auto items = make_items(200, kEntries);
+  std::vector<NodeId> values(items.size(), 0);
+  VectorSource source(items);
+  const Status status = pipeline.value()->run(source, values.data());
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kTimedOut);
+  EXPECT_GE(pipeline.value()->stats().stalls, 1u);
+  EXPECT_GT(backend.lost_count(), 0u);
 }
 
 TEST(PipelineTest, BlockCacheAbsorbsRepeatedBlocks) {

@@ -10,6 +10,8 @@
 #include "core/random_walk.h"
 #include "core/ring_sampler.h"
 #include "feat/feature_store.h"
+#include "io/fault_inject.h"
+#include "obs/metrics.h"
 #include "graph/external_build.h"
 #include "graph/validate.h"
 #include "eval/runner.h"
@@ -261,6 +263,62 @@ TEST(EndToEndTest, WalkThenGatherEmbeddingPipeline) {
     gathered += nodes.size();
   }
   EXPECT_GT(gathered, starts.size());  // walks actually moved
+}
+
+std::uint64_t global_counter(const std::string& name) {
+  for (const auto& [counter, value] :
+       obs::Registry::global().snapshot().counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+TEST(EndToEndTest, FaultInjectionPreservesSamplingResults) {
+  // The acceptance bar for the fault-tolerant I/O layer: with 5% failed
+  // and 5% shortened completions injected, an epoch completes with a
+  // bit-identical checksum — retries are fully transparent.
+  io::clear_fault_config();
+  TempDir dir;
+  const graph::Csr csr = test::make_test_csr(1200, 14000, 5);
+  const std::string base = test::write_test_graph(dir, csr);
+  const auto targets = eval::pick_targets(csr.num_nodes(), 200, 9);
+
+  core::SamplerConfig config;
+  config.fanouts = {6, 4};
+  config.batch_size = 64;
+  config.num_threads = 2;
+  config.queue_depth = 32;
+  config.seed = 1234;
+
+  std::uint64_t clean_checksum = 0;
+  std::uint64_t clean_sampled = 0;
+  {
+    auto sampler = core::RingSampler::open(base, config);
+    RS_ASSERT_OK(sampler);
+    auto epoch = sampler.value()->run_epoch(targets);
+    RS_ASSERT_OK(epoch);
+    clean_checksum = epoch.value().checksum;
+    clean_sampled = epoch.value().sampled_neighbors;
+  }
+
+  io::FaultConfig faults;
+  faults.fail_rate = 0.05;
+  faults.short_rate = 0.05;
+  faults.seed = 42;
+  io::set_fault_config(faults);
+  const std::uint64_t retries_before = global_counter("io.retries");
+  const std::uint64_t faults_before = global_counter("io.faults_injected");
+  {
+    auto sampler = core::RingSampler::open(base, config);
+    RS_ASSERT_OK(sampler);
+    auto epoch = sampler.value()->run_epoch(targets);
+    RS_ASSERT_OK(epoch);
+    EXPECT_EQ(epoch.value().checksum, clean_checksum);
+    EXPECT_EQ(epoch.value().sampled_neighbors, clean_sampled);
+  }
+  io::clear_fault_config();
+  EXPECT_GT(global_counter("io.faults_injected"), faults_before);
+  EXPECT_GT(global_counter("io.retries"), retries_before);
 }
 
 }  // namespace

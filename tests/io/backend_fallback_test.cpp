@@ -1,0 +1,132 @@
+// make_backend_auto graceful degradation: when io_uring setup fails the
+// factory falls back uring -> psync, logs it, and counts the downgrade
+// exactly once per process.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <numeric>
+
+#include "io/backend.h"
+#include "io/fault_inject.h"
+#include "testutil.h"
+
+namespace rs::io {
+namespace {
+
+using test::TempDir;
+
+class BackendFallbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_fault_config();
+    path_ = dir_.file("data.bin");
+    data_.resize(1024);
+    std::iota(data_.begin(), data_.end(), 0u);
+    FILE* f = fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fwrite(data_.data(), 4, data_.size(), f);
+    fclose(f);
+    fd_ = open(path_.c_str(), O_RDONLY);
+    ASSERT_GE(fd_, 0);
+  }
+  void TearDown() override {
+    clear_fault_config();
+    if (fd_ >= 0) close(fd_);
+  }
+
+  TempDir dir_;
+  std::string path_;
+  std::vector<std::uint32_t> data_;
+  int fd_ = -1;
+};
+
+TEST_F(BackendFallbackTest, UringSetupFailureFallsBackToPsync) {
+  // fail_setup makes every io_uring creation report kUnsupported, the
+  // same shape as a kernel without io_uring.
+  FaultConfig config;
+  config.fail_setup = true;
+  set_fault_config(config);
+
+  const std::uint64_t downgrades_before = backend_downgrade_count();
+
+  BackendConfig backend_config;
+  backend_config.kind = BackendKind::kUringPoll;
+  backend_config.queue_depth = 8;
+  auto backend = make_backend_auto(backend_config, fd_);
+  RS_ASSERT_OK(backend);
+  EXPECT_EQ(backend.value()->name(), "psync");
+
+  // The downgrade is observable (once per process, so the delta is 1 the
+  // first time and 0 on repeats — never more than 1 per creation).
+  const std::uint64_t delta = backend_downgrade_count() - downgrades_before;
+  EXPECT_LE(delta, 1u);
+  EXPECT_GE(backend_downgrade_count(), 1u);
+
+  // The fallback backend actually works.
+  std::uint32_t value = 0;
+  ReadRequest request{40, 4, &value, 1};
+  test::assert_ok(backend.value()->read_batch_sync({&request, 1}));
+  EXPECT_EQ(value, 10u);
+
+  // A second downgraded creation must not inflate the counter.
+  const std::uint64_t after_first = backend_downgrade_count();
+  auto second = make_backend_auto(backend_config, fd_);
+  RS_ASSERT_OK(second);
+  EXPECT_EQ(second.value()->name(), "psync");
+  EXPECT_EQ(backend_downgrade_count(), after_first);
+}
+
+TEST_F(BackendFallbackTest, SqpollDegradesThroughTheLadder) {
+  FaultConfig config;
+  config.fail_setup = true;
+  set_fault_config(config);
+
+  BackendConfig backend_config;
+  backend_config.kind = BackendKind::kUringSqpoll;
+  backend_config.queue_depth = 8;
+  auto backend = make_backend_auto(backend_config, fd_);
+  RS_ASSERT_OK(backend);
+  EXPECT_EQ(backend.value()->name(), "psync");
+}
+
+TEST_F(BackendFallbackTest, PsyncIsNeverDowngraded) {
+  FaultConfig config;
+  config.fail_setup = true;
+  set_fault_config(config);
+
+  const std::uint64_t before = backend_downgrade_count();
+  BackendConfig backend_config;
+  backend_config.kind = BackendKind::kPsync;
+  backend_config.queue_depth = 8;
+  auto backend = make_backend_auto(backend_config, fd_);
+  RS_ASSERT_OK(backend);
+  EXPECT_EQ(backend.value()->name(), "psync");
+  EXPECT_EQ(backend_downgrade_count(), before);
+}
+
+TEST_F(BackendFallbackTest, CompletionFaultsWrapTheBackend) {
+  FaultConfig config;
+  config.fail_rate = 0.5;
+  config.seed = 3;
+  set_fault_config(config);
+
+  BackendConfig backend_config;
+  backend_config.kind = BackendKind::kPsync;
+  backend_config.queue_depth = 8;
+  auto backend = make_backend_auto(backend_config, fd_);
+  RS_ASSERT_OK(backend);
+  EXPECT_EQ(backend.value()->name(), "psync+fault");
+}
+
+TEST_F(BackendFallbackTest, NoFaultConfigMeansNoWrapping) {
+  BackendConfig backend_config;
+  backend_config.kind = BackendKind::kPsync;
+  backend_config.queue_depth = 8;
+  auto backend = make_backend_auto(backend_config, fd_);
+  RS_ASSERT_OK(backend);
+  EXPECT_EQ(backend.value()->name(), "psync");
+}
+
+}  // namespace
+}  // namespace rs::io

@@ -1,0 +1,336 @@
+// FaultInjectBackend tests: the RS_FAULT grammar, the process-wide
+// config, deterministic injection, and the fault matrix — fail-once /
+// fail-always / short-read / delay across every real backend kind —
+// asserting the retry machinery recovers bit-identical results.
+#include "io/fault_inject.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <array>
+#include <numeric>
+
+#include "io/mem_backend.h"
+#include "testutil.h"
+#include "uring/uring_syscalls.h"
+
+namespace rs::io {
+namespace {
+
+using test::TempDir;
+
+// Clears the process-wide fault config around each test so RS_FAULT in
+// the environment (the CI fault rerun) cannot leak into assertions.
+class FaultConfigGuard {
+ public:
+  FaultConfigGuard() { clear_fault_config(); }
+  ~FaultConfigGuard() { clear_fault_config(); }
+};
+
+std::vector<unsigned char> pattern_bytes(std::size_t n) {
+  std::vector<unsigned char> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<unsigned char>((i * 131 + 7) & 0xff);
+  }
+  return data;
+}
+
+TEST(FaultConfigParseTest, FullGrammarRoundTrips) {
+  auto config = parse_fault_config(
+      "fail_rate=0.25,short_rate=0.5,delay_rate=0.125,delay_polls=7,"
+      "errno=EAGAIN,seed=99,max_faults=3,fail_setup=1");
+  RS_ASSERT_OK(config);
+  EXPECT_DOUBLE_EQ(config.value().fail_rate, 0.25);
+  EXPECT_DOUBLE_EQ(config.value().short_rate, 0.5);
+  EXPECT_DOUBLE_EQ(config.value().delay_rate, 0.125);
+  EXPECT_EQ(config.value().delay_polls, 7u);
+  EXPECT_EQ(config.value().fail_errno, EAGAIN);
+  EXPECT_EQ(config.value().seed, 99u);
+  EXPECT_EQ(config.value().max_faults, 3u);
+  EXPECT_TRUE(config.value().fail_setup);
+  EXPECT_TRUE(config.value().injects_completions());
+  EXPECT_TRUE(config.value().any_fault());
+  EXPECT_FALSE(config.value().to_string().empty());
+}
+
+TEST(FaultConfigParseTest, NumericErrnoAccepted) {
+  auto config = parse_fault_config("fail_rate=1,errno=28");  // ENOSPC
+  RS_ASSERT_OK(config);
+  EXPECT_EQ(config.value().fail_errno, 28);
+}
+
+TEST(FaultConfigParseTest, RejectsBadInput) {
+  EXPECT_FALSE(parse_fault_config("bogus_key=1").is_ok());
+  EXPECT_FALSE(parse_fault_config("fail_rate=1.5").is_ok());
+  EXPECT_FALSE(parse_fault_config("fail_rate=-0.1").is_ok());
+  EXPECT_FALSE(parse_fault_config("fail_rate=abc").is_ok());
+  EXPECT_FALSE(parse_fault_config("errno=EWHAT").is_ok());
+  EXPECT_FALSE(parse_fault_config("fail_rate").is_ok());
+}
+
+TEST(FaultConfigParseTest, EmptySpecIsInert) {
+  auto config = parse_fault_config("");
+  RS_ASSERT_OK(config);
+  EXPECT_FALSE(config.value().any_fault());
+}
+
+TEST(FaultConfigTest, SetQueryClearProcessConfig) {
+  FaultConfigGuard guard;
+  EXPECT_FALSE(fault_injection_active());
+
+  FaultConfig config;
+  config.fail_rate = 0.5;
+  config.seed = 11;
+  set_fault_config(config);
+  EXPECT_TRUE(fault_injection_active());
+  EXPECT_DOUBLE_EQ(active_fault_config().fail_rate, 0.5);
+  EXPECT_EQ(active_fault_config().seed, 11u);
+
+  clear_fault_config();
+  EXPECT_FALSE(fault_injection_active());
+}
+
+TEST(FaultInjectTest, SameSeedSameFaultPattern) {
+  // Two decorated backends fed the identical request stream observe the
+  // identical per-request outcomes.
+  const auto data = pattern_bytes(4096);
+  auto run_once = [&](std::uint64_t seed) {
+    MemBackend inner(data, 16);
+    FaultConfig config;
+    config.fail_rate = 0.3;
+    config.short_rate = 0.2;
+    config.seed = seed;
+    FaultInjectBackend backend(inner, config);
+
+    std::vector<std::array<unsigned char, 8>> bufs(64);
+    std::vector<std::int32_t> results;
+    std::array<Completion, 16> completions;
+    for (std::size_t i = 0; i < 64; ++i) {
+      ReadRequest req{(i * 61) % 4000, 8, bufs[i].data(), i};
+      test::assert_ok(backend.submit({&req, 1}));
+      auto reaped = backend.wait(completions);
+      RS_CHECK_MSG(reaped.is_ok(), reaped.status().to_string());
+      RS_CHECK_MSG(reaped.value() == 1, "expected one completion");
+      results.push_back(completions[0].result);
+    }
+    return results;
+  };
+
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  const auto c = run_once(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide
+}
+
+TEST(FaultInjectTest, MaxFaultsBoundsInjection) {
+  // "Fail once": exactly one request is failed, then the stream is clean.
+  const auto data = pattern_bytes(1024);
+  MemBackend inner(data, 8);
+  FaultConfig config;
+  config.fail_rate = 1.0;
+  config.max_faults = 1;
+  FaultInjectBackend backend(inner, config);
+
+  std::array<unsigned char, 4> buf{};
+  std::array<Completion, 8> completions;
+  unsigned failures = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    ReadRequest req{i * 4, 4, buf.data(), i};
+    test::assert_ok(backend.submit({&req, 1}));
+    auto reaped = backend.wait(completions);
+    RS_ASSERT_OK(reaped);
+    ASSERT_EQ(reaped.value(), 1u);
+    if (completions[0].result < 0) ++failures;
+  }
+  EXPECT_EQ(failures, 1u);
+  EXPECT_EQ(backend.fault_stats().failed, 1u);
+  EXPECT_EQ(backend.fault_stats().total(), 1u);
+}
+
+TEST(FaultInjectTest, DelayedCompletionsRipenOnWait) {
+  const auto data = pattern_bytes(1024);
+  MemBackend inner(data, 8);
+  FaultConfig config;
+  config.delay_rate = 1.0;
+  config.delay_polls = 5;
+  FaultInjectBackend backend(inner, config);
+
+  std::uint32_t value = 0;
+  ReadRequest req{16, 4, &value, 9};
+  test::assert_ok(backend.submit({&req, 1}));
+  EXPECT_EQ(backend.in_flight(), 1u);
+
+  // wait() must not spin forever on a delayed completion.
+  std::array<Completion, 8> completions;
+  auto reaped = backend.wait(completions);
+  RS_ASSERT_OK(reaped);
+  ASSERT_EQ(reaped.value(), 1u);
+  EXPECT_EQ(completions[0].user_data, 9u);
+  EXPECT_EQ(completions[0].result, 4);
+  EXPECT_EQ(backend.fault_stats().delayed, 1u);
+  EXPECT_EQ(backend.in_flight(), 0u);
+}
+
+TEST(FaultInjectTest, ShortReadsDeliverTruePrefix) {
+  // A shortened completion must deliver the real leading bytes — the
+  // retry machinery depends on resuming from a correct prefix.
+  const auto data = pattern_bytes(1024);
+  MemBackend inner(data, 8);
+  FaultConfig config;
+  config.short_rate = 1.0;
+  FaultInjectBackend backend(inner, config);
+
+  std::array<unsigned char, 8> buf{};
+  ReadRequest req{100, 8, buf.data(), 1};
+  test::assert_ok(backend.submit({&req, 1}));
+  std::array<Completion, 8> completions;
+  auto reaped = backend.wait(completions);
+  RS_ASSERT_OK(reaped);
+  ASSERT_EQ(reaped.value(), 1u);
+  ASSERT_EQ(completions[0].result, 4);  // max(1, 8/2)
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(buf[i], data[100 + i]);
+  EXPECT_EQ(backend.fault_stats().shortened, 1u);
+}
+
+// ---- Fault matrix: every real backend kind under every fault mode, ----
+// ---- driven through the retrying read_batch_sync.                  ----
+
+class FaultMatrixTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    if ((GetParam() == BackendKind::kUring ||
+         GetParam() == BackendKind::kUringPoll) &&
+        !uring::kernel_supports_io_uring()) {
+      GTEST_SKIP() << "io_uring unavailable";
+    }
+    path_ = dir_.file("data.bin");
+    data_.resize(16384);
+    std::iota(data_.begin(), data_.end(), 0u);
+    FILE* f = fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fwrite(data_.data(), 4, data_.size(), f);
+    fclose(f);
+    fd_ = open(path_.c_str(), O_RDONLY);
+    ASSERT_GE(fd_, 0);
+  }
+  void TearDown() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  std::unique_ptr<IoBackend> make_inner(unsigned queue_depth = 16) {
+    BackendConfig config;
+    config.kind = GetParam();
+    config.queue_depth = queue_depth;
+    auto backend = make_backend(config, fd_);
+    RS_CHECK_MSG(backend.is_ok(), backend.status().to_string());
+    return std::move(backend).value();
+  }
+
+  // Reads 200 scattered 4-byte entries through `backend` with the
+  // retrying batch helper and asserts bit-identical values.
+  void read_and_verify(IoBackend& backend, bool expect_ok = true) {
+    constexpr std::size_t kReads = 200;
+    std::vector<std::uint32_t> out(kReads, 0xdeadbeef);
+    std::vector<ReadRequest> requests(kReads);
+    for (std::size_t i = 0; i < kReads; ++i) {
+      const std::uint64_t idx = (i * 97) % data_.size();
+      requests[i] = {idx * 4, 4, &out[i], i};
+    }
+    const Status status = backend.read_batch_sync(requests);
+    if (!expect_ok) {
+      EXPECT_FALSE(status.is_ok());
+      return;
+    }
+    test::assert_ok(status);
+    for (std::size_t i = 0; i < kReads; ++i) {
+      EXPECT_EQ(out[i], (i * 97) % data_.size()) << "read " << i;
+    }
+  }
+
+  TempDir dir_;
+  std::string path_;
+  std::vector<std::uint32_t> data_;
+  int fd_ = -1;
+};
+
+TEST_P(FaultMatrixTest, FailOnceIsTransparent) {
+  auto inner = make_inner();
+  FaultConfig config;
+  config.fail_rate = 1.0;
+  config.max_faults = 1;
+  FaultInjectBackend backend(*inner, config);
+  read_and_verify(backend);
+  EXPECT_EQ(backend.fault_stats().failed, 1u);
+}
+
+TEST_P(FaultMatrixTest, SporadicFailuresAreTransparent) {
+  auto inner = make_inner();
+  FaultConfig config;
+  config.fail_rate = 0.1;
+  config.seed = 42;
+  FaultInjectBackend backend(*inner, config);
+  read_and_verify(backend);
+  EXPECT_GT(backend.fault_stats().failed, 0u);
+}
+
+TEST_P(FaultMatrixTest, FailAlwaysExhaustsRetries) {
+  auto inner = make_inner();
+  FaultConfig config;
+  config.fail_rate = 1.0;
+  FaultInjectBackend backend(*inner, config);
+  read_and_verify(backend, /*expect_ok=*/false);
+}
+
+TEST_P(FaultMatrixTest, ShortReadsResumeFromPrefix) {
+  auto inner = make_inner();
+  FaultConfig config;
+  config.short_rate = 1.0;  // every attempt truncated; prefixes resume
+  config.seed = 7;
+  FaultInjectBackend backend(*inner, config);
+  read_and_verify(backend);
+  EXPECT_GT(backend.fault_stats().shortened, 0u);
+}
+
+TEST_P(FaultMatrixTest, DelaysOnlyAddLatency) {
+  auto inner = make_inner();
+  FaultConfig config;
+  config.delay_rate = 0.3;
+  config.delay_polls = 4;
+  config.seed = 5;
+  FaultInjectBackend backend(*inner, config);
+  read_and_verify(backend);
+  EXPECT_GT(backend.fault_stats().delayed, 0u);
+}
+
+TEST_P(FaultMatrixTest, MixedFaultsAreTransparent) {
+  auto inner = make_inner();
+  FaultConfig config;
+  config.fail_rate = 0.05;
+  config.short_rate = 0.05;
+  config.delay_rate = 0.05;
+  config.seed = 42;
+  FaultInjectBackend backend(*inner, config);
+  read_and_verify(backend);
+  EXPECT_GT(backend.fault_stats().total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, FaultMatrixTest,
+                         ::testing::Values(BackendKind::kPsync,
+                                           BackendKind::kMmap,
+                                           BackendKind::kUring,
+                                           BackendKind::kUringPoll),
+                         [](const auto& param_info) {
+                           std::string name =
+                               backend_kind_name(param_info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rs::io

@@ -336,6 +336,73 @@ TEST_F(RingTest, StatsResetClears) {
   EXPECT_EQ(ring.stats().cqes_reaped, 0u);
 }
 
+#ifndef IORING_FEAT_NODROP
+#define IORING_FEAT_NODROP (1U << 1)
+#endif
+
+TEST_F(RingTest, CqOverflowIsFlaggedAndFlushedWithoutLoss) {
+  // Overfill the CQ: with FEAT_NODROP the kernel buffers the excess in
+  // an overflow list and raises IORING_SQ_CQ_OVERFLOW; flushing after
+  // the CQ drains recovers every completion.
+  auto ring_result = Ring::create({.entries = 4});
+  RS_ASSERT_OK(ring_result);
+  Ring ring = std::move(ring_result).value();
+  if ((ring.features() & IORING_FEAT_NODROP) == 0) {
+    GTEST_SKIP() << "kernel predates IORING_FEAT_NODROP";
+  }
+  const unsigned sq = ring.sq_entries();
+  const unsigned cq = ring.cq_entries();
+  const unsigned total = cq + sq;  // cq fills, sq more overflow
+
+  std::vector<bool> seen(total, false);
+  unsigned submitted = 0;
+  while (submitted < total) {
+    unsigned wave = 0;
+    while (wave < sq && submitted < total) {
+      io_uring_sqe* sqe = ring.get_sqe();
+      ASSERT_NE(sqe, nullptr);
+      Ring::prep_nop(sqe, submitted);
+      ++submitted;
+      ++wave;
+    }
+    RS_ASSERT_OK(ring.submit());
+  }
+  // Everything beyond the CQ capacity went to the overflow backlog.
+  EXPECT_EQ(ring.cq_ready(), cq);
+  EXPECT_TRUE(ring.cq_overflow_flagged());
+
+  unsigned reaped = 0;
+  std::vector<Cqe> cqes(total);
+  while (reaped < total) {
+    const unsigned n = ring.peek_batch(cqes);
+    for (unsigned i = 0; i < n; ++i) {
+      ASSERT_LT(cqes[i].user_data, total);
+      EXPECT_FALSE(seen[cqes[i].user_data]) << cqes[i].user_data;
+      seen[cqes[i].user_data] = true;
+    }
+    reaped += n;
+    if (n == 0) {
+      // CQ drained but the backlog still holds completions: flush.
+      ASSERT_TRUE(ring.cq_overflow_flagged());
+      test::assert_ok(ring.flush_cq_overflow());
+      ASSERT_GT(ring.cq_ready(), 0u);
+    }
+  }
+  EXPECT_EQ(reaped, total);
+  EXPECT_GE(ring.stats().overflow_flushes, 1u);
+  for (unsigned i = 0; i < total; ++i) EXPECT_TRUE(seen[i]) << i;
+}
+
+TEST_F(RingTest, GeteventsTimeoutExpiresWithoutCompletions) {
+  // No pending I/O: a timed wait must return (not hang) and report that
+  // nothing arrived.
+  auto ring_result = Ring::create({.entries = 4});
+  RS_ASSERT_OK(ring_result);
+  Ring ring = std::move(ring_result).value();
+  test::assert_ok(ring.enter_getevents_timeout(1, 5'000'000));  // 5 ms
+  EXPECT_EQ(ring.cq_ready(), 0u);
+}
+
 TEST_F(RingTest, DefaultConstructedIsInvalid) {
   Ring ring;
   EXPECT_FALSE(ring.valid());
