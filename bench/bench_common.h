@@ -164,6 +164,8 @@ inline eval::RunOptions run_options(const BenchEnv& env,
     options.before_epoch = [base] {
       auto file =
           io::File::open(graph::edges_path(base), io::OpenMode::kRead);
+      // rs-lint: allow(void-discard) advisory pre-epoch cache drop; if it
+      // fails the bench still runs, just warmer (visible in the numbers).
       if (file.is_ok()) (void)file.value().drop_cache();
     };
   }

@@ -58,6 +58,8 @@ int main(int argc, char** argv) {
                  Table::fmt_double(point.cumulative_fraction, 4)});
   }
   if (!env.csv_dir.empty() && make_dirs(env.csv_dir).is_ok()) {
+    // rs-lint: allow(void-discard) CSV export is a side artifact; the
+    // table was already printed, so a write failure costs only the file.
     (void)cdf.write_csv(env.csv_dir + "/fig6_cdf.csv");
     std::printf("[csv] %s/fig6_cdf.csv (%zu points)\n", env.csv_dir.c_str(),
                 cdf.num_rows());

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Run every static gate the `lint` CI lane enforces, locally:
+#
+#   1. scripts/rs_lint.py          — repo-specific invariants (always runs)
+#   2. clang -Wthread-safety build — proves the rs::Mutex lock discipline
+#   3. clang-tidy                  — bugprone/concurrency/performance/cert
+#
+# Gates 2 and 3 need clang/clang-tidy on PATH; when absent they are
+# SKIPPED with a notice (GCC-only dev boxes stay usable) but the CI lane
+# always has them, so skipping locally never hides a CI failure for long.
+#
+# Usage: scripts/check_lint_clean.sh [build-dir]
+#   build-dir: an existing configure with compile_commands.json for the
+#              clang-tidy gate (default: build). Created for the
+#              thread-safety gate if missing and clang is available.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+failed=0
+
+echo "== [1/3] rs_lint.py =="
+python3 "$repo_root/scripts/rs_lint.py" --root "$repo_root" || failed=1
+
+echo
+echo "== [2/3] clang -Wthread-safety =="
+if command -v clang++ >/dev/null 2>&1; then
+  ts_dir="$repo_root/build-threadsafety"
+  cmake -S "$repo_root" -B "$ts_dir" \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Wthread-safety-beta" \
+    -DRS_WERROR=ON >/dev/null || failed=1
+  cmake --build "$ts_dir" -j "$(nproc)" || failed=1
+else
+  echo "SKIPPED: clang++ not on PATH (CI runs this gate)"
+fi
+
+echo
+echo "== [3/3] clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "no $build_dir/compile_commands.json — configuring"
+    cmake -S "$repo_root" -B "$build_dir" >/dev/null || failed=1
+  fi
+  # Sources only; headers are covered through HeaderFilterRegex.
+  run-clang-tidy -quiet -p "$build_dir" "$repo_root/src/.*\.cpp$" || failed=1
+else
+  echo "SKIPPED: clang-tidy/run-clang-tidy not on PATH (CI runs this gate)"
+fi
+
+echo
+if [ "$failed" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: clean"

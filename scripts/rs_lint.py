@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""RingSampler project linter: repo-specific invariants generic tools miss.
+
+Rules (each can be waived per-line with an inline justification comment
+`// rs-lint: allow(<rule>) <reason>` — the reason is mandatory and shows
+up in review, which is the point):
+
+  raw-mutex       std::mutex / std::lock_guard / std::unique_lock /
+                  std::condition_variable (and friends) are forbidden in
+                  src/ outside util/sync.h. All locking goes through
+                  rs::Mutex / rs::MutexLock / rs::CondVar so the clang
+                  -Wthread-safety build can prove the lock discipline.
+                  A raw std::mutex is invisible to that analysis.
+
+  void-discard    `(void)call(...)` statements silently swallow Status /
+                  Result errors ([[nodiscard]] is why the cast is there
+                  at all). Each one needs an inline justification.
+
+  sqe-user-data   io_uring user_data discipline. (a) SQE user_data may
+                  only be written by Ring::prep_* (src/uring/ring.cpp);
+                  (b) I/O backends must not forward the caller's
+                  ReadRequest::user_data into an SQE — it must be mapped
+                  through a slot table (freed only on CQE reap), because
+                  a caller is free to reuse user_data values while an
+                  older read with the same value is still in flight.
+
+  bench-date      bench output must be byte-stable across runs and
+                  machines for diffing and CI comparison: no wall-clock
+                  dates/times (__DATE__, system_clock, strftime, ...) in
+                  bench/ or the eval JSON/CSV emitters. Durations from
+                  the steady clock are fine.
+
+Exit status: 0 clean, 1 violations, 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ALLOW_RE = re.compile(r"rs-lint:\s*allow\((?P<rules>[\w,-]+)\)\s*(?P<reason>.*)")
+
+# rule -> (file predicate, line regex, message)
+RAW_MUTEX_TOKENS = (
+    r"std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b"
+)
+
+DATE_TOKENS = (
+    r"(__DATE__|__TIME__|__TIMESTAMP__|std::chrono::system_clock|"
+    r"\bstrftime\s*\(|\basctime\s*\(|\bctime\s*\(|\blocaltime(_r)?\s*\(|"
+    r"\bgmtime(_r)?\s*\(|(?<![\w_])time\s*\(\s*(nullptr|NULL|0)\s*\))"
+)
+
+
+def is_comment_or_string_hit(line: str, match_start: int) -> bool:
+    """Crude but effective: ignore hits inside // comments and quotes."""
+    comment = line.find("//")
+    if 0 <= comment < match_start:
+        return True
+    # Inside a string literal if an odd number of unescaped quotes precede.
+    prefix = line[:match_start]
+    return prefix.count('"') - prefix.count('\\"') * 2 % 2 == 1 \
+        if prefix.count('"') % 2 == 1 else False
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.violations = []
+
+    def report(self, path: Path, lineno: int, rule: str, message: str):
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def allowed(self, lines, idx: int, rule: str) -> bool:
+        """Waived if the line itself or the contiguous run of // comment
+        lines immediately above carries a matching allow() with a reason."""
+        candidates = [lines[idx]]
+        j = idx - 1
+        while j >= 0 and lines[j].lstrip().startswith("//"):
+            candidates.append(lines[j])
+            j -= 1
+        for candidate in candidates:
+            m = ALLOW_RE.search(candidate)
+            if m and rule in m.group("rules").split(","):
+                return bool(m.group("reason").strip())
+        return False
+
+    def lint_file(self, path: Path):
+        rel = path.relative_to(self.root).as_posix()
+        try:
+            lines = path.read_text(errors="replace").splitlines()
+        except OSError as e:
+            self.report(path, 0, "io", f"unreadable: {e}")
+            return
+
+        in_src = rel.startswith("src/")
+        in_bench = rel.startswith("bench/")
+        in_eval = rel.startswith("src/eval/")
+        is_sync_h = rel == "src/util/sync.h"
+        is_ring_cpp = rel == "src/uring/ring.cpp"
+        in_io = rel.startswith("src/io/")
+
+        for lineno, line in enumerate(lines, 1):
+            # raw-mutex: src/ only, sync.h exempt.
+            if in_src and not is_sync_h:
+                m = re.search(RAW_MUTEX_TOKENS, line)
+                if m and not is_comment_or_string_hit(line, m.start()) \
+                        and not self.allowed(lines, lineno - 1, "raw-mutex"):
+                    self.report(path, lineno, "raw-mutex",
+                                f"{m.group(0)} outside util/sync.h — use "
+                                "rs::Mutex/MutexLock/CondVar so "
+                                "-Wthread-safety sees the lock")
+
+            # void-discard: a (void)call(...) statement discarding a result.
+            if in_src or in_bench:
+                m = re.search(r"\(void\)\s*[A-Za-z_][\w:]*[\w\].\->]*\s*\(",
+                              line)
+                if m and not is_comment_or_string_hit(line, m.start()) \
+                        and not self.allowed(lines, lineno - 1, "void-discard"):
+                    self.report(path, lineno, "void-discard",
+                                "discarded call result — justify with "
+                                "// rs-lint: allow(void-discard) <why>")
+
+            # sqe-user-data (a): SQE user_data writes outside ring.cpp.
+            if in_src and not is_ring_cpp:
+                m = re.search(r"sqe\s*->\s*user_data\s*=", line)
+                if m and not is_comment_or_string_hit(line, m.start()) \
+                        and not self.allowed(lines, lineno - 1, "sqe-user-data"):
+                    self.report(path, lineno, "sqe-user-data",
+                                "SQE user_data may only be set via "
+                                "Ring::prep_* (src/uring/ring.cpp)")
+
+            # sqe-user-data (b): forwarding caller user_data into an SQE.
+            if in_io:
+                m = re.search(
+                    r"prep_(read|readv|read_fixed|nop)\s*\(.*"
+                    r"\breq(uest)?s?\w*\.user_data\b", line)
+                if m and not self.allowed(lines, lineno - 1, "sqe-user-data"):
+                    self.report(path, lineno, "sqe-user-data",
+                                "caller user_data forwarded into an SQE — "
+                                "map it through a slot table freed on CQE "
+                                "reap (reuse-before-reap hazard)")
+
+            # bench-date: nondeterministic wall-clock output.
+            if in_bench or in_eval:
+                m = re.search(DATE_TOKENS, line)
+                if m and not is_comment_or_string_hit(line, m.start()) \
+                        and not self.allowed(lines, lineno - 1, "bench-date"):
+                    self.report(path, lineno, "bench-date",
+                                f"{m.group(0).strip()} in bench/eval output "
+                                "path — results must be date-free and "
+                                "byte-stable (steady-clock durations only)")
+
+
+    def run(self) -> int:
+        for sub in ("src", "bench"):
+            base = self.root / sub
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in (".h", ".cpp", ".cc", ".hpp"):
+                    self.lint_file(path)
+        for v in self.violations:
+            print(v)
+        n = len(self.violations)
+        print(f"rs_lint: {n} violation{'s' if n != 1 else ''}"
+              f"{' (clean)' if n == 0 else ''}")
+        return 1 if self.violations else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the repo this "
+                             "script lives in)")
+    args = parser.parse_args()
+    if not (args.root / "src").is_dir():
+        print(f"rs_lint: {args.root} has no src/ directory", file=sys.stderr)
+        return 2
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,6 +124,8 @@ Result<const NodeId*> MariusLikeSampler::acquire_partition(
   if (config_.unbuffered_io) {
     // Marius owns its partition buffers; don't let the OS page cache
     // double-buffer them (a reload must hit storage).
+    // rs-lint: allow(void-discard) cache-drop is advisory; a failure only
+    // warms the next reload, it cannot corrupt results.
     (void)edge_file_.drop_cache_range(info.begin_edge * kEdgeEntryBytes,
                                       info.bytes());
   }

@@ -13,12 +13,14 @@ DataLoader::DataLoader(Sampler& sampler, std::vector<NodeId> targets,
 
 DataLoader::~DataLoader() {
   {
-    // Unblock a producer stuck on a full queue, then drain it.
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Unblock a producer stuck on a full queue, then drain it. Notify
+    // under the lock so the producer cannot miss the wake-up and block
+    // on a condition variable this destructor is about to destroy.
+    MutexLock lock(mutex_);
     epoch_active_ = false;
     queue_.clear();
+    not_full_.notify_all();
   }
-  not_full_.notify_all();
   join_producer();
 }
 
@@ -28,7 +30,7 @@ void DataLoader::join_producer() {
 
 Status DataLoader::start_epoch() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (epoch_active_) {
       return Status::invalid("start_epoch while an epoch is active");
     }
@@ -37,7 +39,7 @@ Status DataLoader::start_epoch() {
 
   if (options_.shuffle) shuffle(shuffle_rng_, targets_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.clear();
     epoch_status_ = Status::ok();
     producer_done_ = false;
@@ -48,54 +50,58 @@ Status DataLoader::start_epoch() {
   producer_ = std::thread([this] {
     auto result = sampler_.run_epoch_collect(
         targets_, [this](MiniBatchSample&& sample) {
-          std::unique_lock<std::mutex> lock(mutex_);
-          not_full_.wait(lock, [this] {
-            return queue_.size() < options_.prefetch_depth ||
-                   !epoch_active_;
-          });
+          ReleasableMutexLock lock(mutex_);
+          while (queue_.size() >= options_.prefetch_depth && epoch_active_) {
+            not_full_.wait(mutex_);
+          }
           if (!epoch_active_) return;  // shutting down: drop the batch
           queue_.push_back(std::move(sample));
-          lock.unlock();
+          lock.release();
           not_empty_.notify_one();
         });
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (result.is_ok()) {
         last_stats_ = std::move(result).value();
       } else {
         epoch_status_ = result.status();
       }
       producer_done_ = true;
+      not_empty_.notify_all();
     }
-    not_empty_.notify_all();
   });
   return Status::ok();
 }
 
 bool DataLoader::next(MiniBatchSample* out) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [this] {
-    return !queue_.empty() || producer_done_;
-  });
+  ReleasableMutexLock lock(mutex_);
+  while (queue_.empty() && !producer_done_) not_empty_.wait(mutex_);
   if (queue_.empty()) {
     epoch_active_ = false;
     return false;  // epoch drained (or failed: see status())
   }
   *out = std::move(queue_.front());
   queue_.pop_front();
-  lock.unlock();
+  lock.release();
   not_full_.notify_one();
   return true;
 }
 
 Status DataLoader::status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return epoch_status_;
 }
 
 std::optional<EpochResult> DataLoader::last_epoch_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return last_stats_;
+}
+
+std::size_t DataLoader::epochs_started() const {
+  // Locked: written by start_epoch on whatever thread drives epochs, so
+  // an unlocked read would be a (benign-looking but real) data race.
+  MutexLock lock(mutex_);
+  return epochs_started_;
 }
 
 }  // namespace rs::core

@@ -9,15 +9,14 @@
 // prefetching cannot run arbitrarily ahead of the consumer.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "core/sampler_iface.h"
 #include "util/rng.h"
+#include "util/sync.h"
 
 namespace rs::core {
 
@@ -56,7 +55,7 @@ class DataLoader {
   std::optional<EpochResult> last_epoch_stats() const;
 
   std::size_t num_targets() const { return targets_.size(); }
-  std::size_t epochs_started() const { return epochs_started_; }
+  std::size_t epochs_started() const;
 
  private:
   void join_producer();
@@ -66,15 +65,15 @@ class DataLoader {
   Options options_;
   Xoshiro256 shuffle_rng_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<MiniBatchSample> queue_;
-  bool producer_done_ = true;
-  bool epoch_active_ = false;
-  Status epoch_status_;
-  std::optional<EpochResult> last_stats_;
-  std::size_t epochs_started_ = 0;
+  mutable Mutex mutex_;
+  CondVar not_full_;   // producer: "queue has room (or epoch cancelled)"
+  CondVar not_empty_;  // consumer: "a batch is ready (or producer done)"
+  std::deque<MiniBatchSample> queue_ RS_GUARDED_BY(mutex_);
+  bool producer_done_ RS_GUARDED_BY(mutex_) = true;
+  bool epoch_active_ RS_GUARDED_BY(mutex_) = false;
+  Status epoch_status_ RS_GUARDED_BY(mutex_);
+  std::optional<EpochResult> last_stats_ RS_GUARDED_BY(mutex_);
+  std::size_t epochs_started_ RS_GUARDED_BY(mutex_) = 0;
   std::thread producer_;
 };
 

@@ -217,7 +217,7 @@ Result<EpochResult> RingSampler::epoch_batch_parallel(
         return;
       }
       if (sink != nullptr) {
-        std::lock_guard<std::mutex> lock(sink_mutex_);
+        MutexLock lock(sink_mutex_);
         (*sink)(std::move(sample));
       }
     }

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +29,7 @@
 #include "io/file.h"
 #include "util/histogram.h"
 #include "util/mem_budget.h"
+#include "util/sync.h"
 
 namespace rs::core {
 
@@ -124,7 +124,9 @@ class RingSampler final : public Sampler {
   NeighborCache hot_cache_;
   bool block_mode_ = false;
   std::vector<std::unique_ptr<ThreadContext>> contexts_;
-  std::mutex sink_mutex_;
+  // Serializes BatchSink invocations across worker threads (the sink is
+  // caller-supplied and not required to be thread-safe).
+  Mutex sink_mutex_;
 };
 
 }  // namespace rs::core

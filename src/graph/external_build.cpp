@@ -117,6 +117,8 @@ ExternalGraphBuilder::~ExternalGraphBuilder() { cleanup_runs(); }
 
 void ExternalGraphBuilder::cleanup_runs() {
   for (const std::string& path : run_paths_) {
+    // rs-lint: allow(void-discard) best-effort temp cleanup; a leaked run
+    // file is harmless and the build result is already durable.
     (void)remove_file(path);
   }
   run_paths_.clear();

@@ -94,9 +94,15 @@ class IoBackend {
   virtual unsigned capacity() const = 0;
   virtual unsigned in_flight() const = 0;
 
-  virtual Status submit(std::span<const ReadRequest> requests) = 0;
-  virtual Result<unsigned> poll(std::span<Completion> out) = 0;
-  virtual Result<unsigned> wait(std::span<Completion> out) = 0;
+  // [[nodiscard]] is belt-and-suspenders here: Status and Result are
+  // already nodiscard as class types, but marking the entry points keeps
+  // the contract visible at the interface and survives a future return-
+  // type change. Dropping a submit/wait result hides real I/O errors —
+  // use (void) only with an inline rs-lint justification.
+  [[nodiscard]] virtual Status submit(
+      std::span<const ReadRequest> requests) = 0;
+  [[nodiscard]] virtual Result<unsigned> poll(std::span<Completion> out) = 0;
+  [[nodiscard]] virtual Result<unsigned> wait(std::span<Completion> out) = 0;
 
   // Like wait(), but gives up after `timeout_ns` and returns 0 with no
   // completions. A 0 return with in_flight() > 0 therefore means "timed
@@ -105,9 +111,9 @@ class IoBackend {
   // mmap, mem), whose completions are ready the moment submit() returns,
   // so their wait() can never block. UringBackend overrides this with a
   // real deadline (IORING_ENTER_EXT_ARG when available).
-  virtual Result<unsigned> wait_for(std::span<Completion> out,
-                                    std::uint64_t timeout_ns) {
-    (void)timeout_ns;
+  [[nodiscard]] virtual Result<unsigned> wait_for(std::span<Completion> out,
+                                                  std::uint64_t timeout_ns) {
+    (void)timeout_ns;  // rs-lint: allow(void-discard) unused param, not a Status
     return wait(out);
   }
 
@@ -117,7 +123,7 @@ class IoBackend {
 
   // Convenience: submit and drain a whole batch synchronously, retrying
   // failed and short reads per retry_class() with a bounded budget.
-  Status read_batch_sync(std::span<ReadRequest> requests);
+  [[nodiscard]] Status read_batch_sync(std::span<ReadRequest> requests);
 };
 
 // ---- Retry policy ----

@@ -2,18 +2,19 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <mutex>  // rs-lint: allow(raw-mutex) std::once_flag only; locks go through sync.h
 
 #include "util/log.h"
+#include "util/sync.h"
 
 namespace rs::io {
 namespace {
 
 // Process-wide config. RS_FAULT is parsed at most once; a programmatic
 // set_fault_config()/clear_fault_config() always wins over the env.
-std::mutex g_fault_mutex;
-FaultConfig g_fault_config;
-bool g_fault_active = false;
+Mutex g_fault_mutex;
+FaultConfig g_fault_config RS_GUARDED_BY(g_fault_mutex);
+bool g_fault_active RS_GUARDED_BY(g_fault_mutex) = false;
 std::once_flag g_fault_env_once;
 
 void load_fault_config_from_env() {
@@ -25,7 +26,7 @@ void load_fault_config_from_env() {
             parsed.status().to_string().c_str());
     return;
   }
-  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  MutexLock lock(g_fault_mutex);
   g_fault_config = parsed.value();
   g_fault_active = g_fault_config.any_fault();
   RS_WARN("RS_FAULT active: %s", g_fault_config.to_string().c_str());
@@ -149,27 +150,27 @@ Result<FaultConfig> parse_fault_config(std::string_view spec) {
 
 bool fault_injection_active() {
   std::call_once(g_fault_env_once, load_fault_config_from_env);
-  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  MutexLock lock(g_fault_mutex);
   return g_fault_active;
 }
 
 FaultConfig active_fault_config() {
   std::call_once(g_fault_env_once, load_fault_config_from_env);
-  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  MutexLock lock(g_fault_mutex);
   return g_fault_config;
 }
 
 void set_fault_config(const FaultConfig& config) {
   // Consume the env parse first so it cannot race in and clobber us.
   std::call_once(g_fault_env_once, load_fault_config_from_env);
-  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  MutexLock lock(g_fault_mutex);
   g_fault_config = config;
   g_fault_active = config.any_fault();
 }
 
 void clear_fault_config() {
   std::call_once(g_fault_env_once, load_fault_config_from_env);
-  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  MutexLock lock(g_fault_mutex);
   g_fault_config = FaultConfig{};
   g_fault_active = false;
 }

@@ -9,12 +9,16 @@
 
 namespace rs::io {
 
+// rs-lint: allow(void-discard) destructor must not throw/propagate; a
+// failed close of a read-only fd loses nothing.
 File::~File() { (void)close(); }
 
 File::File(File&& other) noexcept { *this = std::move(other); }
 
 File& File::operator=(File&& other) noexcept {
   if (this != &other) {
+    // rs-lint: allow(void-discard) same as the destructor: move-assign
+    // replaces this fd; a failed close of the old one loses nothing.
     (void)close();
     fd_ = std::exchange(other.fd_, -1);
     direct_ = other.direct_;

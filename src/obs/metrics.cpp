@@ -126,7 +126,7 @@ Registry::Shard& Registry::shard_slow() {
   if (it == t_shards.by_registry.end()) {
     auto shard = std::make_shared<Shard>();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       shards_.push_back(shard);
     }
     it = t_shards.by_registry.emplace(id_, shard).first;
@@ -151,7 +151,6 @@ std::uint32_t Registry::register_name(std::vector<std::string>& names,
                                       std::string_view name,
                                       std::size_t capacity,
                                       const char* kind) {
-  std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (names[i] == name) return static_cast<std::uint32_t>(i);
   }
@@ -162,20 +161,23 @@ std::uint32_t Registry::register_name(std::vector<std::string>& names,
 }
 
 Counter Registry::counter(std::string_view name) {
+  MutexLock lock(mutex_);
   return {this, register_name(counter_names_, name, kMaxCounters, "counter")};
 }
 
 Gauge Registry::gauge(std::string_view name) {
+  MutexLock lock(mutex_);
   return {this, register_name(gauge_names_, name, kMaxGauges, "gauge")};
 }
 
 LatencyHistogram Registry::histogram(std::string_view name) {
+  MutexLock lock(mutex_);
   return {this,
           register_name(histogram_names_, name, kMaxHistograms, "histogram")};
 }
 
 MetricsSnapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counter_names_.size());
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {
@@ -210,7 +212,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& shard : shards_) {
     for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
     for (auto& g : shard->gauges) g.store(0, std::memory_order_relaxed);

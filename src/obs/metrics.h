@@ -24,10 +24,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace rs::obs {
 
@@ -151,14 +152,16 @@ class Registry {
   Shard& shard_slow();
   std::uint32_t register_name(std::vector<std::string>& names,
                               std::string_view name, std::size_t capacity,
-                              const char* kind);
+                              const char* kind) RS_REQUIRES(mutex_);
 
   const std::uint64_t id_;  // distinguishes registries in thread caches
-  mutable std::mutex mutex_;
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::string> histogram_names_;
-  std::vector<std::shared_ptr<Shard>> shards_;
+  // Guards registration and the shard list; never taken on the record
+  // path (records go through the caller's cached shard).
+  mutable Mutex mutex_;
+  std::vector<std::string> counter_names_ RS_GUARDED_BY(mutex_);
+  std::vector<std::string> gauge_names_ RS_GUARDED_BY(mutex_);
+  std::vector<std::string> histogram_names_ RS_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<Shard>> shards_ RS_GUARDED_BY(mutex_);
 };
 
 // steady_clock nanoseconds; the time base all obs instruments share.

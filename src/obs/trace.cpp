@@ -4,11 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "util/log.h"
+#include "util/sync.h"
 
 namespace rs::obs {
 namespace detail {
@@ -31,21 +31,29 @@ struct TraceEvent {
 struct TraceBuffer {
   explicit TraceBuffer(std::size_t capacity, std::uint32_t tid_in)
       : events(capacity), tid(tid_in) {}
-  std::vector<TraceEvent> events;  // ring; recorded % capacity is next slot
-  std::uint64_t recorded = 0;
-  std::uint32_t tid = 0;
+  // Per-buffer lock: the owning thread holds it per record, the flusher
+  // holds it while serializing. Uncontended for the whole recording
+  // lifetime (only trace_stop ever contends), so the record path stays
+  // cheap while flushing a live ring is race-free — previously a
+  // recording thread that had already loaded g_trace_enabled could write
+  // an event while write_json read the same slot.
+  Mutex mutex;
+  // Ring; recorded % capacity is the next slot.
+  std::vector<TraceEvent> events RS_GUARDED_BY(mutex);
+  std::uint64_t recorded RS_GUARDED_BY(mutex) = 0;
+  const std::uint32_t tid = 0;
 };
 
 struct TraceState {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<TraceBuffer>> buffers;
-  std::string path;
-  std::size_t events_per_thread = 1 << 16;
+  Mutex mutex;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers RS_GUARDED_BY(mutex);
+  std::string path RS_GUARDED_BY(mutex);
+  std::size_t events_per_thread RS_GUARDED_BY(mutex) = 1 << 16;
   // Read lock-free on the record path; written only in trace_start.
   std::atomic<std::uint64_t> t0_ns{0};
   std::atomic<std::uint64_t> generation{0};
-  std::uint32_t next_tid = 1;
-  bool atexit_registered = false;
+  std::uint32_t next_tid RS_GUARDED_BY(mutex) = 1;
+  bool atexit_registered RS_GUARDED_BY(mutex) = false;
 };
 
 TraceState& state() {
@@ -61,7 +69,7 @@ thread_local ThreadTraceCache t_trace;
 
 TraceBuffer& thread_buffer() {
   TraceState& st = state();
-  std::lock_guard<std::mutex> lock(st.mutex);
+  MutexLock lock(st.mutex);
   auto buffer =
       std::make_shared<TraceBuffer>(st.events_per_thread, st.next_tid++);
   st.buffers.push_back(buffer);
@@ -80,6 +88,7 @@ void record_event(const char* cat, const char* name, std::uint64_t start_ns,
           st.generation.load(std::memory_order_relaxed)) {
     buffer = &thread_buffer();  // first event, or a new session started
   }
+  MutexLock lock(buffer->mutex);
   TraceEvent& event =
       buffer->events[buffer->recorded % buffer->events.size()];
   ++buffer->recorded;
@@ -92,14 +101,15 @@ void record_event(const char* cat, const char* name, std::uint64_t start_ns,
   event.phase = phase;
 }
 
-Status write_json(const std::string& path) {
-  TraceState& st = state();
+Status write_json(TraceState& st, const std::string& path)
+    RS_REQUIRES(st.mutex) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::from_errno("open " + path);
   std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
   bool first = true;
   std::uint64_t dropped = 0;
   for (const auto& buffer : st.buffers) {
+    MutexLock buffer_lock(buffer->mutex);
     const std::size_t capacity = buffer->events.size();
     const std::size_t kept =
         static_cast<std::size_t>(std::min<std::uint64_t>(buffer->recorded,
@@ -180,7 +190,7 @@ Status trace_start(const std::string& path, std::size_t events_per_thread) {
   TraceState& st = state();
   bool register_atexit = false;
   {
-    std::lock_guard<std::mutex> lock(st.mutex);
+    MutexLock lock(st.mutex);
     if (detail::g_trace_enabled.load(std::memory_order_relaxed)) {
       return Status::invalid("trace already active (writing to " + st.path +
                              ")");
@@ -206,10 +216,11 @@ Status trace_stop() {
   if (!detail::g_trace_enabled.exchange(false, std::memory_order_acq_rel)) {
     return Status::ok();
   }
-  // Recording threads may race the flag flip by one event; take the lock
-  // they would need for a new buffer, then write what the rings hold.
-  std::lock_guard<std::mutex> lock(st.mutex);
-  return write_json(st.path);
+  // Recording threads may race the flag flip by one trailing event; the
+  // per-buffer locks inside write_json serialize against them, so the
+  // flush sees each ring in a consistent state.
+  MutexLock lock(st.mutex);
+  return write_json(st, st.path);
 }
 
 void trace_instant(const char* cat, const char* name) {

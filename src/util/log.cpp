@@ -5,13 +5,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace rs {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+// Serializes the fprintf so concurrent log lines never interleave.
+Mutex g_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -78,7 +80,7 @@ void vlog(LogLevel level, const char* file, int line, const char* fmt,
   std::tm tm_utc{};
   gmtime_r(&ts.tv_sec, &tm_utc);
 
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%02d:%02d:%02d.%03ld %s %s:%d] %s\n", tm_utc.tm_hour,
                tm_utc.tm_min, tm_utc.tm_sec, ts.tv_nsec / 1000000,
                level_tag(level), base, line, message);

@@ -12,10 +12,15 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
+    // Notify under the lock: a thread blocked in wait_idle() must see
+    // stop_ and leave before the condition variables are destroyed.
+    cv_.notify_all();
+    idle_cv_.notify_all();
   }
-  cv_.notify_all();
+  // Workers drain every queued task before exiting, so futures returned
+  // by submit() are always satisfied.
   for (auto& worker : workers_) worker.join();
 }
 
@@ -23,25 +28,33 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     RS_CHECK_MSG(!stop_, "submit after ThreadPool shutdown");
     tasks_.push(std::move(packaged));
+    // Notify while still holding the lock: if the notify happened after
+    // unlocking, the destructor could run to completion in the window
+    // between, leaving this thread signalling a destroyed condition
+    // variable. Holding the lock means the destructor (which must take
+    // it to set stop_) cannot get past that point until the notify has
+    // returned.
+    cv_.notify_one();
   }
-  cv_.notify_one();
   return future;
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!(tasks_.empty() && in_flight_ == 0) && !stop_) {
+    idle_cv_.wait(mutex_);
+  }
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -49,7 +62,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (tasks_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }

@@ -5,22 +5,24 @@
 // graph generation, CSR construction, and baseline samplers.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/common.h"
+#include "util/sync.h"
 
 namespace rs {
 
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
+  // Drains every queued task, then joins the workers. Tasks submitted
+  // before destruction always run; submitting concurrently with
+  // destruction is a contract violation (checked in submit).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -31,19 +33,20 @@ class ThreadPool {
   // Enqueues a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
-  // Blocks until all currently queued tasks have run.
+  // Blocks until all currently queued tasks have run (returns early if
+  // the pool starts shutting down while waiting).
   void wait_idle();
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;       // workers: "a task was queued or stop was set"
+  CondVar idle_cv_;  // waiters: "the pool may have gone idle"
+  std::queue<std::packaged_task<void()>> tasks_ RS_GUARDED_BY(mutex_);
+  std::size_t in_flight_ RS_GUARDED_BY(mutex_) = 0;
+  bool stop_ RS_GUARDED_BY(mutex_) = false;
 };
 
 // Splits [0, n) into contiguous chunks, one per worker, and runs

@@ -39,6 +39,58 @@ TEST(ThreadPoolTest, ExceptionsCapturedInFuture) {
   EXPECT_TRUE(ran.load());
 }
 
+TEST(ThreadPoolTest, DestructionWithQueuedTasksDoesNotHang) {
+  // Regression: tearing down a pool whose queue is still full used to
+  // notify the condition variable after releasing the lock, letting a
+  // worker observe stop_, exit, and run the CV destructor while the
+  // notifying thread was still inside notify_all — a use-after-free TSan
+  // flags and a shutdown hang in the field. The destructor must drain
+  // already-queued tasks, then join.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&] {
+        ++ran;
+        std::this_thread::yield();
+      });
+    }
+    // Destructor runs here with most tasks still queued.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConstructDestroyChurn) {
+  // Shutdown-ordering races are timing-dependent; churning pools with a
+  // submitter racing the destructor gives TSan many interleavings. Keep
+  // iterations modest: this runs in every plain CI pass too.
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::thread submitter([&] {
+      for (int i = 0; i < 8; ++i) pool.submit([&] { ++ran; });
+    });
+    if (round % 2 == 0) pool.wait_idle();  // alternate drained/undrained
+    submitter.join();
+    // Pool destructor races the just-submitted tail of tasks.
+  }
+}
+
+TEST(ThreadPoolTest, WaitIdleFromManyThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { ++ran; });
+  }
+  std::vector<std::thread> waiters;
+  waiters.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    waiters.emplace_back([&] { pool.wait_idle(); });
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(ran.load(), 100);
+}
+
 TEST(ParallelForTest, CoversRangeExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);
   parallel_for_chunks(1000, 4,
