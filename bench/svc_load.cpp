@@ -1,0 +1,253 @@
+// Load generator for the net::Server sampling service.
+//
+// Drives a running server (examples/ondemand_server --listen PORT) over
+// the wire protocol in either of two modes:
+//
+//   closed loop (default): each client thread keeps exactly one request
+//     in flight — measures service latency and peak throughput;
+//   open loop (--arrival-rate R): requests arrive on a Poisson clock at
+//     R req/s across all threads for --duration-s — measures sojourn
+//     time under a fixed offered load, the quantity an SLO is written
+//     against.
+//
+// The target graph's shape is discovered via the protocol's Info
+// request, so the generator needs no out-of-band dataset knowledge:
+//
+//   ./bench/svc_load --port 7950 --threads 4 --requests 2000
+//   ./bench/svc_load --port 7950 --arrival-rate 500 --duration-s 10
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+struct WorkerResult {
+  rs::LatencyRecorder latencies;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t transport_failures = 0;
+  rs::Status status;  // first hard failure, if any
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rs;
+
+  std::string host = "127.0.0.1";
+  std::uint64_t port = 0;
+  std::uint64_t threads = 4;
+  std::uint64_t requests = 1000;
+  std::uint64_t nodes_per_request = 4;
+  double arrival_rate = 0;
+  double duration_s = 10;
+  std::uint64_t connect_retry_ms = 2000;
+  std::uint64_t seed = 7;
+  std::string metrics_json;
+  ArgParser parser("svc_load", "Sampling-service load generator");
+  parser.add_string("host", &host, "server IPv4 address");
+  parser.add_uint("port", &port, "server TCP port (required)");
+  parser.add_uint("threads", &threads, "client connections");
+  parser.add_uint("requests", &requests,
+                  "closed loop: requests per thread");
+  parser.add_uint("nodes-per-request", &nodes_per_request,
+                  "seed nodes per sample request");
+  parser.add_double("arrival-rate", &arrival_rate,
+                    "open loop: total Poisson arrivals/sec (0 = closed)");
+  parser.add_double("duration-s", &duration_s,
+                    "open loop: run this long");
+  parser.add_uint("connect-retry-ms", &connect_retry_ms,
+                  "keep retrying a refused connect this long");
+  parser.add_uint("seed", &seed, "RNG seed");
+  parser.add_string("metrics-json", &metrics_json,
+                    "write obs metrics snapshot JSON here at exit");
+  if (Status status = parser.parse(argc, argv); !status.is_ok()) {
+    return status.message() == "help requested" ? 0 : 2;
+  }
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "svc_load: --port is required (1..65535)\n");
+    return 2;
+  }
+  if (threads == 0) threads = 1;
+  bench::stabilize_allocator();
+  if (!metrics_json.empty()) {
+    bench::metrics_json_path() = metrics_json;
+    std::atexit(bench::dump_metrics_at_exit);
+  }
+
+  net::ClientOptions client_options;
+  client_options.host = host;
+  client_options.port = static_cast<std::uint16_t>(port);
+  client_options.connect_retry_ms =
+      static_cast<std::uint32_t>(connect_retry_ms);
+
+  // Discover the served graph: node-id range, fanout caps, batch cap.
+  auto probe = net::Client::connect(client_options);
+  RS_CHECK_MSG(probe.is_ok(), probe.status().to_string());
+  auto info = probe.value().info();
+  RS_CHECK_MSG(info.is_ok(), info.status().to_string());
+  const std::uint64_t num_nodes = info.value().num_nodes;
+  const std::uint32_t max_batch = info.value().max_batch;
+  std::vector<std::uint32_t> fanouts = info.value().fanouts;
+  for (std::uint32_t& f : fanouts) {
+    f = std::min(f, net::wire::kMaxFanout);
+  }
+  nodes_per_request = std::min<std::uint64_t>(
+      std::max<std::uint64_t>(nodes_per_request, 1),
+      std::min<std::uint64_t>(max_batch, net::wire::kMaxRequestNodes));
+  RS_CHECK_MSG(num_nodes > 0, "server reports an empty graph");
+  probe.value().close();
+
+  std::printf("svc_load: %s:%llu — %llu nodes, fanouts(", host.c_str(),
+              static_cast<unsigned long long>(port),
+              static_cast<unsigned long long>(num_nodes));
+  for (std::size_t i = 0; i < fanouts.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : ",", fanouts[i]);
+  }
+  std::printf("), %llu nodes/request, %llu threads, %s\n",
+              static_cast<unsigned long long>(nodes_per_request),
+              static_cast<unsigned long long>(threads),
+              arrival_rate > 0 ? "open loop" : "closed loop");
+
+  auto& registry = obs::Registry::global();
+  const obs::LatencyHistogram latency_hist =
+      registry.histogram("net.client.request_latency_ns");
+  const obs::Counter ok_counter = registry.counter("net.client.ok");
+  const obs::Counter shed_counter =
+      registry.counter("net.client.overloaded");
+  const obs::Counter error_counter = registry.counter("net.client.errors");
+
+  std::vector<WorkerResult> results(threads);
+  WallTimer run_timer;
+  auto worker = [&](std::size_t t) {
+    WorkerResult& result = results[t];
+    auto client = net::Client::connect(client_options);
+    if (!client.is_ok()) {
+      result.status = client.status();
+      return;
+    }
+    std::uint64_t sm = seed + 0x9e3779b97f4a7c15ULL * (t + 1);
+    Xoshiro256 rng(splitmix64(sm));
+    const double per_thread_rate =
+        arrival_rate / static_cast<double>(threads);
+    double next_arrival = 0;  // open-loop clock, seconds
+    std::uint64_t sent = 0;
+
+    for (;;) {
+      if (arrival_rate > 0) {
+        // Poisson arrivals: exponential interarrival gaps.
+        const double u = std::max(rng.uniform_double(), 1e-12);
+        next_arrival += -std::log(u) / per_thread_rate;
+        if (next_arrival > duration_s) break;
+        for (;;) {
+          const double now = run_timer.elapsed_seconds();
+          if (now >= next_arrival) break;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(next_arrival - now));
+        }
+      } else if (sent >= requests) {
+        break;
+      }
+      net::wire::SampleRequest request;
+      request.request_id = (static_cast<std::uint64_t>(t) << 32) | sent;
+      request.rng_seed = rng();
+      request.fanouts = fanouts;
+      request.nodes.resize(nodes_per_request);
+      for (auto& node : request.nodes) {
+        node = static_cast<NodeId>(rng() % num_nodes);
+      }
+      ++sent;
+
+      const std::uint64_t start_ns = obs::now_ns();
+      auto response = client.value().sample(request);
+      if (!response.is_ok()) {
+        ++result.transport_failures;
+        error_counter.add();
+        // Transport failure (e.g. injected socket fault closed the
+        // conn): reconnect and keep offering load.
+        client.value().close();
+        client = net::Client::connect(client_options);
+        if (!client.is_ok()) {
+          result.status = client.status();
+          return;
+        }
+        continue;
+      }
+      const std::uint64_t elapsed_ns = obs::now_ns() - start_ns;
+      result.latencies.record_ns(elapsed_ns);
+      latency_hist.record_ns(elapsed_ns);
+      switch (response.value().status) {
+        case net::wire::WireStatus::kOk:
+          ++result.ok;
+          ok_counter.add();
+          break;
+        case net::wire::WireStatus::kOverloaded:
+          ++result.overloaded;
+          shed_counter.add();
+          break;
+        case net::wire::WireStatus::kMalformed:
+          ++result.malformed;
+          error_counter.add();
+          break;
+        case net::wire::WireStatus::kError:
+          ++result.errors;
+          error_counter.add();
+          break;
+      }
+    }
+  };
+
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& thread : pool) thread.join();
+  }
+  const double elapsed = run_timer.elapsed_seconds();
+
+  WorkerResult total;
+  for (const WorkerResult& result : results) {
+    if (!result.status.is_ok() && total.status.is_ok()) {
+      total.status = result.status;
+    }
+    total.latencies.merge(result.latencies);
+    total.ok += result.ok;
+    total.overloaded += result.overloaded;
+    total.malformed += result.malformed;
+    total.errors += result.errors;
+    total.transport_failures += result.transport_failures;
+  }
+  if (!total.status.is_ok()) {
+    std::fprintf(stderr, "svc_load: %s\n", total.status.to_string().c_str());
+    return 1;
+  }
+
+  const std::uint64_t answered = total.latencies.count();
+  std::printf("%llu responses in %.3fs (%.0f req/s): %llu ok, "
+              "%llu overloaded, %llu malformed, %llu error, "
+              "%llu transport failures\n",
+              static_cast<unsigned long long>(answered), elapsed,
+              elapsed > 0 ? static_cast<double>(answered) / elapsed : 0.0,
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.overloaded),
+              static_cast<unsigned long long>(total.malformed),
+              static_cast<unsigned long long>(total.errors),
+              static_cast<unsigned long long>(total.transport_failures));
+  if (answered > 0) {
+    for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+      std::printf("  P%-3.0f %10.3f ms\n", p,
+                  total.latencies.percentile_seconds(p) * 1e3);
+    }
+  }
+  return total.ok > 0 ? 0 : 1;
+}

@@ -1,10 +1,13 @@
-// On-demand sampling service (paper §4.4): simulate concurrent inference
-// clients each requesting the neighborhood sample of a single node, and
-// report the completion-time distribution — a miniature of Fig. 6 with a
-// live summary.
+// On-demand sampling service (paper §4.4). Two modes:
+//
+//   simulation (default): simulate concurrent inference clients each
+//     requesting the neighborhood sample of a single node, and report
+//     the completion-time distribution — a miniature of Fig. 6;
+//   network (--listen PORT): start the real net::Server and answer the
+//     wire protocol over TCP (drive it with bench/svc_load).
 //
 //   ./examples/ondemand_server [--requests N] [--threads T]
-#include <atomic>
+//   ./examples/ondemand_server --listen 7950 --serve-seconds 30
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -14,41 +17,11 @@
 #include "eval/runner.h"
 #include "gen/dataset.h"
 #include "io/backend.h"
+#include "net/server.h"
 #include "obs/metrics.h"
+#include "obs/stats_reporter.h"
 #include "util/argparse.h"
-
-namespace {
-
-// Background reporter: prints the merged metrics table every
-// `interval_seconds` while the serving run is in flight — the kind of
-// periodic stats line a real service would log.
-class StatsReporter {
- public:
-  explicit StatsReporter(double interval_seconds) {
-    if (interval_seconds <= 0) return;
-    thread_ = std::thread([this, interval_seconds] {
-      const auto interval =
-          std::chrono::duration<double>(interval_seconds);
-      while (!done_.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(interval);
-        if (done_.load(std::memory_order_relaxed)) break;
-        std::printf("---- periodic metrics snapshot ----\n%s",
-                    rs::obs::Registry::global().snapshot()
-                        .to_table().c_str());
-      }
-    });
-  }
-  ~StatsReporter() {
-    done_.store(true, std::memory_order_relaxed);
-    if (thread_.joinable()) thread_.join();
-  }
-
- private:
-  std::atomic<bool> done_{false};
-  std::thread thread_;
-};
-
-}  // namespace
+#include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace rs;
@@ -60,6 +33,13 @@ int main(int argc, char** argv) {
   double arrival_rate = 0;
   double stats_interval = 0;
   std::string metrics_json;
+  std::uint64_t listen_port = 0;
+  std::uint64_t serve_seconds = 0;
+  std::uint64_t max_connections = 64;
+  std::uint64_t max_queue_depth = 64;
+  std::uint64_t batch_window_us = 0;
+  std::uint64_t idle_timeout_ms = 0;
+  bool force_psync = false;
   ArgParser parser("ondemand_server",
                    "Near-real-time GNN serving simulation (paper S4.4)");
   parser.add_uint("requests", &requests, "number of client requests");
@@ -73,6 +53,22 @@ int main(int argc, char** argv) {
                     "seconds between live metrics dumps (0 = off)");
   parser.add_string("metrics-json", &metrics_json,
                     "write final obs metrics snapshot JSON here");
+  parser.add_uint("listen", &listen_port,
+                  "serve the wire protocol on this TCP port "
+                  "(0 = simulation mode)");
+  parser.add_uint("serve-seconds", &serve_seconds,
+                  "with --listen: stop after this long (0 = forever)");
+  parser.add_uint("max-connections", &max_connections,
+                  "with --listen: per-thread connection slots");
+  parser.add_uint("max-queue-depth", &max_queue_depth,
+                  "with --listen: admitted requests before shedding");
+  parser.add_uint("batch-window-us", &batch_window_us,
+                  "with --listen: request coalescing window");
+  parser.add_uint("idle-timeout-ms", &idle_timeout_ms,
+                  "with --listen: close idle connections (0 = never)");
+  parser.add_flag("force-psync", &force_psync,
+                  "with --listen: use the poll(2) loop even if the "
+                  "kernel supports io_uring network ops");
   if (Status status = parser.parse(argc, argv); !status.is_ok()) {
     return status.message() == "help requested" ? 0 : 2;
   }
@@ -87,20 +83,15 @@ int main(int argc, char** argv) {
   RS_CHECK_MSG(base.is_ok(), base.status().to_string());
 
   core::SamplerConfig config;
-  config.batch_size = 1;  // each request samples one node's neighborhood
+  // Simulation requests sample one node each; network requests may carry
+  // up to a mini-batch of seed nodes.
+  config.batch_size = listen_port != 0 ? 256 : 1;
   config.num_threads = static_cast<std::uint32_t>(threads);
   config.hot_cache_bytes = hot_cache_kb << 10;
   auto sampler = core::RingSampler::open(base.value(), config);
   RS_CHECK_MSG(sampler.is_ok(), sampler.status().to_string());
 
-  const auto targets = eval::pick_targets(
-      sampler.value()->num_nodes(), static_cast<std::size_t>(requests), 3);
-  std::printf("serving %zu single-node sampling requests on %llu "
-              "threads (hot cache: %zu nodes)...\n",
-              targets.size(), static_cast<unsigned long long>(threads),
-              sampler.value()->hot_cache().cached_nodes());
-
-  StatsReporter reporter(stats_interval);
+  obs::PeriodicStatsReporter reporter(stats_interval);
   auto dump_metrics = [&metrics_json] {
     if (metrics_json.empty()) return;
     std::ofstream out(metrics_json, std::ios::trunc);
@@ -111,6 +102,52 @@ int main(int argc, char** argv) {
     out << rs::obs::Registry::global().snapshot().to_json() << '\n';
     std::printf("[metrics] %s\n", metrics_json.c_str());
   };
+
+  if (listen_port != 0) {
+    net::ServerOptions server_options;
+    server_options.port = static_cast<std::uint16_t>(listen_port);
+    server_options.threads = static_cast<std::uint32_t>(threads);
+    server_options.max_connections =
+        static_cast<std::uint32_t>(max_connections);
+    server_options.max_queue_depth =
+        static_cast<std::uint32_t>(max_queue_depth);
+    server_options.batch_window_us =
+        static_cast<std::uint32_t>(batch_window_us);
+    server_options.idle_timeout_ms =
+        static_cast<std::uint32_t>(idle_timeout_ms);
+    server_options.force_psync = force_psync;
+    auto server = net::Server::start(*sampler.value(), server_options);
+    RS_CHECK_MSG(server.is_ok(), server.status().to_string());
+    std::printf("listening on port %u (%s loop, %llu threads); "
+                "%s\n",
+                server.value()->port(),
+                server.value()->using_uring() ? "io_uring" : "psync",
+                static_cast<unsigned long long>(threads),
+                serve_seconds > 0 ? "bounded run" : "ctrl-c to stop");
+    WallTimer uptime;
+    while (serve_seconds == 0 ||
+           uptime.elapsed_seconds() < static_cast<double>(serve_seconds)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    server.value()->stop();
+    const net::ServerStats stats = server.value()->stats();
+    std::printf("served %llu requests on %llu connections "
+                "(%llu shed, %llu idle-closed, %llu malformed)\n",
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.accepts),
+                static_cast<unsigned long long>(stats.overload_sheds),
+                static_cast<unsigned long long>(stats.conn_timeouts),
+                static_cast<unsigned long long>(stats.malformed));
+    dump_metrics();
+    return 0;
+  }
+
+  const auto targets = eval::pick_targets(
+      sampler.value()->num_nodes(), static_cast<std::size_t>(requests), 3);
+  std::printf("serving %zu single-node sampling requests on %llu "
+              "threads (hot cache: %zu nodes)...\n",
+              targets.size(), static_cast<unsigned long long>(threads),
+              sampler.value()->hot_cache().cached_nodes());
 
   if (arrival_rate > 0) {
     // Open loop: requests arrive on a Poisson clock; latency is

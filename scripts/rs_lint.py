@@ -18,11 +18,23 @@ up in review, which is the point):
 
   sqe-user-data   io_uring user_data discipline. (a) SQE user_data may
                   only be written by Ring::prep_* (src/uring/ring.cpp);
-                  (b) I/O backends must not forward the caller's
-                  ReadRequest::user_data into an SQE — it must be mapped
+                  (b) I/O backends and the network server must not
+                  forward a caller's ReadRequest::user_data (or any
+                  caller-chosen id) into an SQE — it must be mapped
                   through a slot table (freed only on CQE reap), because
                   a caller is free to reuse user_data values while an
-                  older read with the same value is still in flight.
+                  older op with the same value is still in flight. This
+                  covers every prep flavor: disk (read/readv/read_fixed/
+                  nop) and network (accept/recv/send/timeout).
+
+  raw-endian      raw byte-order calls (htons/htonl/ntohs/ntohl and the
+                  htobe*/be*toh/htole*/le*toh families) are forbidden in
+                  src/ and bench/ outside src/net/wire.h. The wire
+                  format is little-endian by definition; all conversions
+                  go through wire.h's load_le/store_le (byte-shift,
+                  endian-agnostic, no aliasing UB) or host_to_be16 for
+                  sockaddr ports. A raw htons is either redundant or a
+                  byte-order bug waiting for a big-endian host.
 
   bench-date      bench output must be byte-stable across runs and
                   machines for diffing and CI comparison: no wall-clock
@@ -45,6 +57,11 @@ RAW_MUTEX_TOKENS = (
     r"std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
     r"shared_lock|condition_variable|condition_variable_any)\b"
+)
+
+ENDIAN_TOKENS = (
+    r"\b(hton[sl]|ntoh[sl]|htobe(16|32|64)|be(16|32|64)toh|"
+    r"htole(16|32|64)|le(16|32|64)toh)\s*\("
 )
 
 DATE_TOKENS = (
@@ -102,6 +119,8 @@ class Linter:
         is_sync_h = rel == "src/util/sync.h"
         is_ring_cpp = rel == "src/uring/ring.cpp"
         in_io = rel.startswith("src/io/")
+        in_net = rel.startswith("src/net/")
+        is_wire_h = rel == "src/net/wire.h"
 
         for lineno, line in enumerate(lines, 1):
             # raw-mutex: src/ only, sync.h exempt.
@@ -134,15 +153,27 @@ class Linter:
                                 "Ring::prep_* (src/uring/ring.cpp)")
 
             # sqe-user-data (b): forwarding caller user_data into an SQE.
-            if in_io:
+            if in_io or in_net:
                 m = re.search(
-                    r"prep_(read|readv|read_fixed|nop)\s*\(.*"
+                    r"prep_(read|readv|read_fixed|nop|accept|recv|send|"
+                    r"timeout)\s*\(.*"
                     r"\breq(uest)?s?\w*\.user_data\b", line)
                 if m and not self.allowed(lines, lineno - 1, "sqe-user-data"):
                     self.report(path, lineno, "sqe-user-data",
                                 "caller user_data forwarded into an SQE — "
                                 "map it through a slot table freed on CQE "
                                 "reap (reuse-before-reap hazard)")
+
+            # raw-endian: byte-order conversions outside net/wire.h.
+            if (in_src or in_bench) and not is_wire_h:
+                m = re.search(ENDIAN_TOKENS, line)
+                if m and not is_comment_or_string_hit(line, m.start()) \
+                        and not self.allowed(lines, lineno - 1, "raw-endian"):
+                    self.report(path, lineno, "raw-endian",
+                                f"{m.group(0).strip()} outside net/wire.h — "
+                                "use wire::load_le/store_le (wire format is "
+                                "little-endian) or wire::host_to_be16 for "
+                                "sockaddr ports")
 
             # bench-date: nondeterministic wall-clock output.
             if in_bench or in_eval:

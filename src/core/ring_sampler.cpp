@@ -129,6 +129,14 @@ Status RingSampler::build_contexts() {
 Status RingSampler::sample_batch(ThreadContext& ctx,
                                  std::span<const NodeId> batch,
                                  MiniBatchSample* out, EpochResult& acc) {
+  return sample_batch_with(ctx, batch, config_.fanouts, out, acc);
+}
+
+Status RingSampler::sample_batch_with(ThreadContext& ctx,
+                                      std::span<const NodeId> batch,
+                                      std::span<const std::uint32_t> fanouts,
+                                      MiniBatchSample* out,
+                                      EpochResult& acc) {
   Workspace& ws = ctx.workspace;
   RS_CHECK_MSG(batch.size() <= config_.batch_size,
                "batch larger than configured batch_size");
@@ -137,13 +145,14 @@ Status RingSampler::sample_batch(ThreadContext& ctx,
   std::copy(batch.begin(), batch.end(), ws.targets());
   std::size_t num_targets = batch.size();
 
-  const std::uint32_t num_layers = config_.num_layers();
+  const std::uint32_t num_layers =
+      static_cast<std::uint32_t>(fanouts.size());
   for (std::uint32_t layer = 0; layer < num_layers; ++layer) {
     if (num_targets == 0) break;
     RS_OBS_SPAN("sampler", "layer", "layer", layer);
     LayerSampleCursor cursor(
         index_, std::span<const NodeId>(ws.targets(), num_targets),
-        config_.fanouts[layer], ctx.rng, ws.begins(), &hot_cache_,
+        fanouts[layer], ctx.rng, ws.begins(), &hot_cache_,
         ws.values(), config_.sample_with_replacement);
     RS_RETURN_IF_ERROR(ctx.pipeline->run(cursor, ws.values()));
     const std::uint32_t width = cursor.slots_planned();
@@ -386,6 +395,44 @@ Result<MiniBatchSample> RingSampler::sample_one(
   EpochResult scratch;
   RS_RETURN_IF_ERROR(
       sample_batch(*contexts_[0], targets, &sample, scratch));
+  return sample;
+}
+
+Result<MiniBatchSample> RingSampler::sample_for_serving(
+    std::uint32_t ctx_index, std::span<const NodeId> targets,
+    std::span<const std::uint32_t> fanouts, std::uint64_t rng_seed) {
+  if (ctx_index >= contexts_.size()) {
+    return Status::invalid("sample_for_serving: ctx_index out of range");
+  }
+  if (targets.empty() || targets.size() > config_.batch_size) {
+    return Status::invalid(
+        "sample_for_serving: target count must be 1..batch_size");
+  }
+  if (fanouts.empty() || fanouts.size() > config_.fanouts.size()) {
+    return Status::invalid(
+        "sample_for_serving: fanout count must be 1..configured layers");
+  }
+  // Worker workspaces are sized for the configured fanout schedule, so a
+  // serving request may only shrink it, never widen it.
+  for (std::size_t i = 0; i < fanouts.size(); ++i) {
+    if (fanouts[i] == 0 || fanouts[i] > config_.fanouts[i]) {
+      return Status::invalid(
+          "sample_for_serving: fanout exceeds configured fanout");
+    }
+  }
+  for (const NodeId node : targets) {
+    if (node >= index_.num_nodes()) {
+      return Status::invalid("sample_for_serving: node id out of range");
+    }
+  }
+  ThreadContext& ctx = *contexts_[ctx_index];
+  // Per-request reseed: the epoch RNG stream is irrelevant to serving
+  // determinism; SplitMix64 decorrelates adjacent client-chosen seeds.
+  ctx.rng = Xoshiro256(splitmix64(rng_seed));
+  MiniBatchSample sample;
+  EpochResult scratch;
+  RS_RETURN_IF_ERROR(
+      sample_batch_with(ctx, targets, fanouts, &sample, scratch));
   return sample;
 }
 

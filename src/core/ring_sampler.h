@@ -57,6 +57,20 @@ class RingSampler final : public Sampler {
   // unit tests, serving). Uses worker 0's state; not thread-safe.
   Result<MiniBatchSample> sample_one(std::span<const NodeId> targets);
 
+  // Serving entry point (net::Server): samples one request on worker
+  // `ctx_index`'s private state with caller-chosen fanouts and a
+  // per-request RNG seed. Reseeding per request makes the result a pure
+  // function of (graph, targets, fanouts, rng_seed) — independent of
+  // arrival order or batching — so any replica answers bit-identically
+  // and a client can verify a response against a local sampler.
+  // Fanouts must be elementwise <= the configured fanouts (worker
+  // workspaces are sized for those); targets must fit batch_size and
+  // reference existing nodes. Distinct ctx_index values may be driven
+  // from distinct threads concurrently; one index must not be shared.
+  Result<MiniBatchSample> sample_for_serving(
+      std::uint32_t ctx_index, std::span<const NodeId> targets,
+      std::span<const std::uint32_t> fanouts, std::uint64_t rng_seed);
+
   // On-demand serving experiment (Fig. 6): every target is an individual
   // sampling request; each request's completion time since the start of
   // the run is recorded.
@@ -110,6 +124,12 @@ class RingSampler final : public Sampler {
   // `out` with the subgraph when non-null.
   Status sample_batch(ThreadContext& ctx, std::span<const NodeId> batch,
                       MiniBatchSample* out, EpochResult& acc);
+  // Generalization of sample_batch with explicit per-layer fanouts
+  // (sample_for_serving); fanouts are pre-validated by the caller.
+  Status sample_batch_with(ThreadContext& ctx,
+                           std::span<const NodeId> batch,
+                           std::span<const std::uint32_t> fanouts,
+                           MiniBatchSample* out, EpochResult& acc);
 
   Result<EpochResult> epoch_batch_parallel(std::span<const NodeId> targets,
                                            const BatchSink* sink);

@@ -1,0 +1,199 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace rs::net {
+namespace {
+
+Result<int> connect_once(const ClientOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::from_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = wire::host_to_be16(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::invalid("client: bad IPv4 address: " + options.host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const Status status = Status::from_errno("connect");
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  // rs-lint: allow(void-discard) best-effort latency tuning
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      recv_timeout_ms_(other.recv_timeout_ms_),
+      rx_(std::move(other.rx_)),
+      next_request_id_(other.next_request_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    recv_timeout_ms_ = other.recv_timeout_ms_;
+    rx_ = std::move(other.rx_);
+    next_request_id_ = other.next_request_id_;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+Result<Client> Client::connect(const ClientOptions& options) {
+  const std::uint64_t deadline_ns =
+      obs::now_ns() + std::uint64_t{options.connect_retry_ms} * 1'000'000;
+  for (;;) {
+    auto fd = connect_once(options);
+    if (fd.is_ok()) {
+      Client client;
+      client.fd_ = fd.value();
+      client.recv_timeout_ms_ = options.recv_timeout_ms;
+      return client;
+    }
+    if (obs::now_ns() >= deadline_ns) return fd.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Status Client::send_all(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) return Status::invalid("client: not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status Client::send_raw(std::span<const std::uint8_t> bytes) {
+  return send_all(bytes);
+}
+
+Status Client::fill_rx(std::size_t needed) {
+  const std::uint64_t deadline_ns =
+      recv_timeout_ms_ == 0
+          ? 0
+          : obs::now_ns() + std::uint64_t{recv_timeout_ms_} * 1'000'000;
+  std::uint8_t chunk[16 * 1024];
+  while (rx_.size() < needed) {
+    if (deadline_ns != 0) {
+      const std::uint64_t now = obs::now_ns();
+      if (now >= deadline_ns) {
+        return Status::timed_out("client: response deadline exceeded");
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(
+          &pfd, 1,
+          static_cast<int>((deadline_ns - now) / 1'000'000 + 1));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Status::from_errno("poll");
+      }
+      if (ready == 0) continue;  // re-check the deadline
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::io_error("client: connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("recv");
+    }
+    rx_.insert(rx_.end(), chunk, chunk + n);
+  }
+  return Status::ok();
+}
+
+Status Client::read_frame(wire::FrameHeader* header,
+                          std::vector<std::uint8_t>* body) {
+  RS_RETURN_IF_ERROR(fill_rx(wire::kFrameHeaderBytes));
+  RS_RETURN_IF_ERROR(wire::decode_frame_header(rx_, header));
+  RS_RETURN_IF_ERROR(fill_rx(wire::kFrameHeaderBytes + header->body_len));
+  body->assign(rx_.begin() + wire::kFrameHeaderBytes,
+               rx_.begin() + static_cast<std::ptrdiff_t>(
+                                 wire::kFrameHeaderBytes + header->body_len));
+  rx_.erase(rx_.begin(), rx_.begin() + static_cast<std::ptrdiff_t>(
+                                           wire::kFrameHeaderBytes +
+                                           header->body_len));
+  return Status::ok();
+}
+
+Result<wire::InfoResponse> Client::info() {
+  std::vector<std::uint8_t> frame;
+  wire::encode_info_request(next_request_id_++, frame);
+  RS_RETURN_IF_ERROR(send_all(frame));
+  wire::FrameHeader header;
+  std::vector<std::uint8_t> body;
+  RS_RETURN_IF_ERROR(read_frame(&header, &body));
+  if (header.kind != wire::FrameKind::kInfoResponse) {
+    return Status::corrupt("client: expected info response");
+  }
+  wire::InfoResponse info;
+  RS_RETURN_IF_ERROR(wire::decode_info_response(body, &info));
+  return info;
+}
+
+Status Client::send_request(const wire::SampleRequest& request) {
+  std::vector<std::uint8_t> frame;
+  wire::encode_sample_request(request, frame);
+  return send_all(frame);
+}
+
+Result<wire::SampleResponse> Client::read_sample_response() {
+  wire::FrameHeader header;
+  std::vector<std::uint8_t> body;
+  RS_RETURN_IF_ERROR(read_frame(&header, &body));
+  if (header.kind != wire::FrameKind::kSampleResponse) {
+    return Status::corrupt("client: expected sample response");
+  }
+  wire::SampleResponse response;
+  RS_RETURN_IF_ERROR(wire::decode_sample_response(body, &response));
+  return response;
+}
+
+Result<wire::SampleResponse> Client::sample(
+    const wire::SampleRequest& request) {
+  RS_RETURN_IF_ERROR(send_request(request));
+  for (;;) {
+    RS_ASSIGN_OR_RETURN(wire::SampleResponse response,
+                        read_sample_response());
+    if (response.request_id == request.request_id) return response;
+    // A response for an older pipelined request; skip past it.
+  }
+}
+
+}  // namespace rs::net

@@ -1,0 +1,77 @@
+// net::Client: a blocking sampling-service client (tests, svc_load).
+//
+// One Client == one TCP connection, used from one thread at a time.
+// sample() is the simple request/response call; the split
+// send_request()/read_sample_response() pair lets callers pipeline
+// several requests on one connection (the overload tests do this to
+// fill the server's admission queue faster than it drains).
+//
+// Responses are matched to requests by the echoed request_id, not by
+// order: a shed (kOverloaded) response can legally overtake an admitted
+// request that is still waiting out the server's batch window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace rs::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  // Keep retrying a refused connect for this long (a just-started
+  // server may not be listening yet). 0 = single attempt.
+  std::uint32_t connect_retry_ms = 0;
+  // Give up on a response after this long (guards tests against a hung
+  // server). 0 = wait forever.
+  std::uint32_t recv_timeout_ms = 30'000;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Result<Client> connect(const ClientOptions& options);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // Queries graph shape + server fanout caps (load generators draw
+  // valid node ids from this instead of out-of-band knowledge).
+  Result<wire::InfoResponse> info();
+
+  // Blocking request/response round trip.
+  Result<wire::SampleResponse> sample(const wire::SampleRequest& request);
+
+  // Pipelining split: write one request without waiting...
+  Status send_request(const wire::SampleRequest& request);
+  // ...and read the next sample response off the wire (any request_id).
+  Result<wire::SampleResponse> read_sample_response();
+
+  // Writes arbitrary bytes to the socket (protocol-violation tests).
+  Status send_raw(std::span<const std::uint8_t> bytes);
+
+ private:
+  Status send_all(std::span<const std::uint8_t> bytes);
+  // Reads one complete frame (header validated, body filled).
+  Status read_frame(wire::FrameHeader* header,
+                    std::vector<std::uint8_t>* body);
+  Status fill_rx(std::size_t needed);
+
+  int fd_ = -1;
+  std::uint32_t recv_timeout_ms_ = 0;
+  std::vector<std::uint8_t> rx_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace rs::net

@@ -1,0 +1,842 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <deque>
+
+#include "io/fault_inject.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "uring/probe.h"
+#include "uring/ring.h"
+#include "uring/uring_syscalls.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace rs::net {
+namespace {
+
+// user_data layout: [63:56] tag | [55:32] conn slot | [31:0] slot
+// generation. The generation makes completions self-identifying: a CQE
+// for a connection whose slot was closed and reused carries a stale gen
+// and is dropped instead of touching the new occupant's buffers.
+constexpr std::uint64_t kTagAccept = 1;
+constexpr std::uint64_t kTagRecv = 2;
+constexpr std::uint64_t kTagSend = 3;
+constexpr std::uint64_t kTagTick = 4;
+
+std::uint64_t make_user_data(std::uint64_t tag, std::uint32_t slot,
+                             std::uint32_t gen) {
+  return (tag << 56) | (static_cast<std::uint64_t>(slot) << 32) | gen;
+}
+std::uint64_t user_data_tag(std::uint64_t ud) { return ud >> 56; }
+std::uint32_t user_data_slot(std::uint64_t ud) {
+  return static_cast<std::uint32_t>((ud >> 32) & 0xffffff);
+}
+std::uint32_t user_data_gen(std::uint64_t ud) {
+  return static_cast<std::uint32_t>(ud);
+}
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+// The loop never sleeps longer than this, bounding stop() latency and
+// the idle-sweep granularity.
+constexpr std::uint64_t kMaxWaitNs = 50'000'000;
+// Period of the standing IORING_OP_TIMEOUT tick (uring mode).
+constexpr std::uint64_t kTickNs = 10'000'000;
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::from_errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::ok();
+}
+
+Result<int> make_listen_socket(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::from_errno("socket");
+  const int one = 1;
+  // SO_REUSEPORT gives every loop thread its own accept queue on the
+  // same port — the kernel load-balances connections, so no accept
+  // handoff between threads is ever needed.
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+    const Status status = Status::from_errno("setsockopt(SO_REUSE*)");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = INADDR_ANY;
+  addr.sin_port = wire::host_to_be16(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::from_errno("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status status = Status::from_errno("listen");
+    ::close(fd);
+    return status;
+  }
+  RS_RETURN_IF_ERROR(set_nonblocking(fd));
+  return fd;
+}
+
+Result<std::uint16_t> bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Status::from_errno("getsockname");
+  }
+  const std::uint8_t* p =
+      reinterpret_cast<const std::uint8_t*>(&addr.sin_port);
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+struct NetMetrics {
+  obs::Counter accepts;
+  obs::Counter requests;
+  obs::Counter bytes_rx;
+  obs::Counter bytes_tx;
+  obs::Counter overload_sheds;
+  obs::Counter conn_timeouts;
+  obs::Counter malformed;
+  obs::Counter socket_faults;
+  obs::LatencyHistogram request_latency;
+
+  static const NetMetrics& get() {
+    static const NetMetrics metrics = [] {
+      auto& reg = obs::Registry::global();
+      NetMetrics m;
+      m.accepts = reg.counter("net.accepts");
+      m.requests = reg.counter("net.requests");
+      m.bytes_rx = reg.counter("net.bytes_rx");
+      m.bytes_tx = reg.counter("net.bytes_tx");
+      m.overload_sheds = reg.counter("net.overload_sheds");
+      m.conn_timeouts = reg.counter("net.conn_timeouts");
+      m.malformed = reg.counter("net.malformed");
+      m.socket_faults = reg.counter("net.socket_faults");
+      m.request_latency = reg.histogram("net.request_latency_ns");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+struct Conn {
+  int fd = -1;
+  std::uint32_t gen = 0;
+  bool in_use = false;
+  // shutdown() issued; the slot is freed once outstanding SQEs drain.
+  bool closing = false;
+  bool close_after_flush = false;
+  unsigned outstanding = 0;  // in-flight SQEs referencing this slot
+  bool recv_armed = false;
+  bool send_armed = false;
+  std::uint64_t last_activity_ns = 0;
+  std::vector<std::uint8_t> rx;        // unparsed inbound bytes
+  std::vector<std::uint8_t> tx;        // in flight; frozen while armed
+  std::size_t tx_off = 0;
+  std::vector<std::uint8_t> tx_queue;  // staged responses
+  // Stable recv target (Conn slots are preallocated and never move).
+  std::array<std::uint8_t, kRecvChunk> rbuf;
+};
+
+struct PendingRequest {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+  std::uint64_t enqueue_ns = 0;
+  wire::SampleRequest request;
+};
+
+}  // namespace
+
+// One event loop == one thread == one ring == one sampler context. All
+// fields are owned by the loop thread; `stats` members are relaxed
+// atomics so Server::stats() can snapshot them live.
+struct Server::Loop {
+  Server* server = nullptr;
+  std::uint32_t index = 0;
+  int listen_fd = -1;
+  uring::Ring ring;            // valid only in uring mode
+  bool use_uring = false;
+
+  std::vector<Conn> conns;     // fixed size; addresses are stable
+  std::vector<std::uint32_t> free_slots;
+  std::deque<PendingRequest> queue;
+  std::uint64_t batch_deadline_ns = 0;  // 0 = queue empty
+
+  bool accept_armed = false;
+  bool tick_armed = false;
+  uring::KernelTimespec tick_ts{};  // must outlive its SQE
+
+  // Socket-level fault injection (RS_FAULT fail_rate).
+  bool faults_enabled = false;
+  double fault_rate = 0.0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t max_faults = ~0ULL;
+  Xoshiro256 fault_rng{1};
+
+  std::atomic<std::uint64_t> accepts{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> bytes_rx{0};
+  std::atomic<std::uint64_t> bytes_tx{0};
+  std::atomic<std::uint64_t> overload_sheds{0};
+  std::atomic<std::uint64_t> conn_timeouts{0};
+  std::atomic<std::uint64_t> malformed{0};
+  std::atomic<std::uint64_t> socket_faults{0};
+
+  ~Loop() {
+    for (Conn& conn : conns) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  const ServerOptions& options() const { return server->options_; }
+  bool stop_requested() const {
+    return server->stop_flag_.load(std::memory_order_acquire);
+  }
+
+  // Returns true when RS_FAULT says this socket op should fail.
+  bool draw_socket_fault() {
+    if (!faults_enabled || faults_injected >= max_faults) return false;
+    if (fault_rng.uniform_double() >= fault_rate) return false;
+    ++faults_injected;
+    socket_faults.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().socket_faults.add();
+    return true;
+  }
+
+  // ---- Connection slot management ----
+
+  Conn* slot_for(std::uint64_t user_data) {
+    const std::uint32_t slot = user_data_slot(user_data);
+    if (slot >= conns.size()) return nullptr;
+    Conn& conn = conns[slot];
+    if (!conn.in_use || conn.gen != user_data_gen(user_data)) {
+      return nullptr;  // stale completion for a recycled slot
+    }
+    return &conn;
+  }
+
+  void adopt_connection(int fd, std::uint64_t now) {
+    accepts.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().accepts.add();
+    if (free_slots.empty()) {
+      ::close(fd);  // connection-limit admission gate
+      return;
+    }
+    // rs-lint: allow(void-discard) best-effort socket tuning; a conn that
+    // stays blocking/Nagle'd still works, just slower
+    (void)set_nonblocking(fd);
+    const int one = 1;
+    // rs-lint: allow(void-discard) see above
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint32_t slot = free_slots.back();
+    free_slots.pop_back();
+    Conn& conn = conns[slot];
+    ++conn.gen;
+    conn.fd = fd;
+    conn.in_use = true;
+    conn.closing = false;
+    conn.close_after_flush = false;
+    conn.outstanding = 0;
+    conn.recv_armed = false;
+    conn.send_armed = false;
+    conn.last_activity_ns = now;
+    conn.rx.clear();
+    conn.tx.clear();
+    conn.tx_off = 0;
+    conn.tx_queue.clear();
+  }
+
+  void begin_close(Conn& conn) {
+    if (conn.closing) return;
+    conn.closing = true;
+    // Wakes any in-flight recv/send with res=0/-EPIPE so outstanding
+    // SQEs drain promptly; the fd itself closes in reap_closed().
+    // rs-lint: allow(void-discard) shutdown on an already-dead peer
+    // reports ENOTCONN, which is exactly the state we want anyway
+    (void)::shutdown(conn.fd, SHUT_RDWR);
+  }
+
+  void reap_closed() {
+    for (std::uint32_t slot = 0; slot < conns.size(); ++slot) {
+      Conn& conn = conns[slot];
+      if (conn.in_use && conn.closing && conn.outstanding == 0) {
+        ::close(conn.fd);
+        conn.fd = -1;
+        conn.in_use = false;
+        conn.rx.clear();
+        conn.tx.clear();
+        conn.tx_queue.clear();
+        free_slots.push_back(slot);
+      }
+    }
+  }
+
+  void sweep_idle(std::uint64_t now) {
+    if (options().idle_timeout_ms == 0) return;
+    const std::uint64_t limit =
+        std::uint64_t{options().idle_timeout_ms} * 1'000'000;
+    for (Conn& conn : conns) {
+      if (conn.in_use && !conn.closing &&
+          now - conn.last_activity_ns > limit) {
+        conn_timeouts.fetch_add(1, std::memory_order_relaxed);
+        NetMetrics::get().conn_timeouts.add();
+        begin_close(conn);
+      }
+    }
+  }
+
+  // ---- Protocol handling (engine-independent) ----
+
+  void queue_response(Conn& conn, std::uint64_t request_id,
+                      wire::WireStatus status) {
+    wire::SampleResponse response;
+    response.request_id = request_id;
+    response.status = status;
+    wire::encode_sample_response(response, conn.tx_queue);
+  }
+
+  void handle_sample_request(Conn& conn, std::uint32_t slot,
+                             std::span<const std::uint8_t> body,
+                             std::uint64_t now) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().requests.add();
+    PendingRequest pending;
+    const Status decoded =
+        wire::decode_sample_request(body, &pending.request);
+    if (!decoded.is_ok()) {
+      malformed.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().malformed.add();
+      queue_response(conn, 0, wire::WireStatus::kMalformed);
+      conn.close_after_flush = true;
+      return;
+    }
+    if (queue.size() >= options().max_queue_depth) {
+      overload_sheds.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().overload_sheds.add();
+      queue_response(conn, pending.request.request_id,
+                     wire::WireStatus::kOverloaded);
+      return;
+    }
+    pending.slot = slot;
+    pending.gen = conn.gen;
+    pending.enqueue_ns = now;
+    queue.push_back(std::move(pending));
+    if (batch_deadline_ns == 0) {
+      batch_deadline_ns =
+          now + std::uint64_t{options().batch_window_us} * 1'000;
+    }
+  }
+
+  void handle_info_request(Conn& conn,
+                           std::span<const std::uint8_t> body) {
+    std::uint64_t request_id = 0;
+    if (!wire::decode_info_request(body, &request_id).is_ok()) {
+      malformed.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().malformed.add();
+      queue_response(conn, 0, wire::WireStatus::kMalformed);
+      conn.close_after_flush = true;
+      return;
+    }
+    const core::RingSampler& sampler = *server->sampler_;
+    wire::InfoResponse info;
+    info.num_nodes = sampler.num_nodes();
+    info.num_edges = sampler.num_edges();
+    info.max_batch = sampler.config().batch_size;
+    info.fanouts = sampler.config().fanouts;
+    wire::encode_info_response(info, conn.tx_queue);
+  }
+
+  // Parses every complete frame in conn.rx; a malformed header poisons
+  // the stream (a kMalformed response is flushed, then the conn closes).
+  void parse_frames(Conn& conn, std::uint32_t slot, std::uint64_t now) {
+    std::size_t consumed = 0;
+    while (!conn.close_after_flush &&
+           conn.rx.size() - consumed >= wire::kFrameHeaderBytes) {
+      const std::span<const std::uint8_t> rest(conn.rx.data() + consumed,
+                                               conn.rx.size() - consumed);
+      wire::FrameHeader header;
+      if (!wire::decode_frame_header(rest, &header).is_ok()) {
+        malformed.fetch_add(1, std::memory_order_relaxed);
+        NetMetrics::get().malformed.add();
+        queue_response(conn, 0, wire::WireStatus::kMalformed);
+        conn.close_after_flush = true;
+        consumed = conn.rx.size();
+        break;
+      }
+      if (rest.size() < wire::kFrameHeaderBytes + header.body_len) {
+        break;  // whole frame not here yet
+      }
+      const auto body =
+          rest.subspan(wire::kFrameHeaderBytes, header.body_len);
+      switch (header.kind) {
+        case wire::FrameKind::kSampleRequest:
+          handle_sample_request(conn, slot, body, now);
+          break;
+        case wire::FrameKind::kInfoRequest:
+          handle_info_request(conn, body);
+          break;
+        default:
+          // A server only consumes requests; a response frame from a
+          // client is a protocol violation.
+          malformed.fetch_add(1, std::memory_order_relaxed);
+          NetMetrics::get().malformed.add();
+          queue_response(conn, 0, wire::WireStatus::kMalformed);
+          conn.close_after_flush = true;
+          break;
+      }
+      consumed += wire::kFrameHeaderBytes + header.body_len;
+    }
+    if (consumed > 0) {
+      conn.rx.erase(conn.rx.begin(),
+                    conn.rx.begin() + static_cast<std::ptrdiff_t>(consumed));
+    }
+  }
+
+  void on_bytes_received(Conn& conn, std::uint32_t slot,
+                         const std::uint8_t* data, std::size_t n,
+                         std::uint64_t now) {
+    bytes_rx.fetch_add(n, std::memory_order_relaxed);
+    NetMetrics::get().bytes_rx.add(n);
+    conn.last_activity_ns = now;
+    conn.rx.insert(conn.rx.end(), data, data + n);
+    parse_frames(conn, slot, now);
+  }
+
+  // Runs every admitted request through the sampler in one pass. The
+  // per-request rng_seed makes each response independent of the pass'
+  // composition, so coalescing is invisible to clients.
+  void process_queue() {
+    const NetMetrics& metrics = NetMetrics::get();
+    while (!queue.empty()) {
+      PendingRequest pending = std::move(queue.front());
+      queue.pop_front();
+      Conn& conn = conns[pending.slot];
+      if (!conn.in_use || conn.gen != pending.gen || conn.closing) {
+        continue;  // requester hung up while queued
+      }
+      auto result = server->sampler_->sample_for_serving(
+          index, pending.request.nodes, pending.request.fanouts,
+          pending.request.rng_seed);
+      wire::SampleResponse response;
+      response.request_id = pending.request.request_id;
+      if (result.is_ok()) {
+        response.status = wire::WireStatus::kOk;
+        response.subgraph = std::move(result).value();
+      } else if (result.status().code() == ErrorCode::kInvalidArgument) {
+        response.status = wire::WireStatus::kMalformed;
+        malformed.fetch_add(1, std::memory_order_relaxed);
+        metrics.malformed.add();
+      } else {
+        response.status = wire::WireStatus::kError;
+        RS_WARN("serving: sampling failed: %s",
+                result.status().to_string().c_str());
+      }
+      wire::encode_sample_response(response, conn.tx_queue);
+      metrics.request_latency.record_ns(obs::now_ns() - pending.enqueue_ns);
+    }
+    batch_deadline_ns = 0;
+  }
+
+  bool batch_due(std::uint64_t now) const {
+    return !queue.empty() &&
+           (options().batch_window_us == 0 || now >= batch_deadline_ns);
+  }
+
+  // Nanoseconds the loop may sleep without missing the batch deadline.
+  std::uint64_t wait_budget_ns(std::uint64_t now) const {
+    std::uint64_t budget = kMaxWaitNs;
+    if (!queue.empty()) {
+      budget = batch_deadline_ns > now
+                   ? std::min(budget, batch_deadline_ns - now)
+                   : 0;
+    }
+    return budget;
+  }
+
+  // Moves staged bytes into the in-flight buffer when it is free.
+  // Returns true when conn.tx has bytes ready to send.
+  bool stage_tx(Conn& conn) {
+    if (conn.tx_off == conn.tx.size()) {
+      conn.tx.clear();
+      conn.tx_off = 0;
+      if (!conn.tx_queue.empty()) {
+        conn.tx.swap(conn.tx_queue);
+      }
+    }
+    return conn.tx_off < conn.tx.size();
+  }
+
+  void note_sent(Conn& conn, std::size_t n, std::uint64_t now) {
+    bytes_tx.fetch_add(n, std::memory_order_relaxed);
+    NetMetrics::get().bytes_tx.add(n);
+    conn.tx_off += n;
+    conn.last_activity_ns = now;
+    if (conn.close_after_flush && !stage_tx(conn)) {
+      begin_close(conn);
+    }
+  }
+
+  // ---- uring engine ----
+
+  void arm_uring() {
+    if (!accept_armed) {
+      if (io_uring_sqe* sqe = ring.get_sqe()) {
+        uring::Ring::prep_accept(sqe, listen_fd, nullptr, nullptr,
+                                 SOCK_CLOEXEC,
+                                 make_user_data(kTagAccept, 0, 0));
+        accept_armed = true;
+      }
+    }
+    if (!tick_armed) {
+      if (io_uring_sqe* sqe = ring.get_sqe()) {
+        tick_ts.tv_sec = 0;
+        tick_ts.tv_nsec = static_cast<std::int64_t>(kTickNs);
+        uring::Ring::prep_timeout(sqe, &tick_ts, 0, 0,
+                                  make_user_data(kTagTick, 0, 0));
+        tick_armed = true;
+      }
+    }
+    for (std::uint32_t slot = 0; slot < conns.size(); ++slot) {
+      Conn& conn = conns[slot];
+      if (!conn.in_use || conn.closing) continue;
+      if (!conn.send_armed && stage_tx(conn)) {
+        if (io_uring_sqe* sqe = ring.get_sqe()) {
+          uring::Ring::prep_send(
+              sqe, conn.fd, conn.tx.data() + conn.tx_off,
+              static_cast<unsigned>(conn.tx.size() - conn.tx_off),
+              MSG_NOSIGNAL, make_user_data(kTagSend, slot, conn.gen));
+          conn.send_armed = true;
+          ++conn.outstanding;
+        }
+      }
+      if (!conn.recv_armed && !conn.close_after_flush) {
+        if (io_uring_sqe* sqe = ring.get_sqe()) {
+          uring::Ring::prep_recv(sqe, conn.fd, conn.rbuf.data(),
+                                 static_cast<unsigned>(conn.rbuf.size()),
+                                 0,
+                                 make_user_data(kTagRecv, slot, conn.gen));
+          conn.recv_armed = true;
+          ++conn.outstanding;
+        }
+      }
+    }
+  }
+
+  void handle_cqe(const uring::Cqe& cqe, std::uint64_t now) {
+    switch (user_data_tag(cqe.user_data)) {
+      case kTagAccept: {
+        accept_armed = false;
+        if (cqe.res >= 0) adopt_connection(cqe.res, now);
+        break;
+      }
+      case kTagTick:
+        // -ETIME is the timer elapsing: the expected completion.
+        tick_armed = false;
+        break;
+      case kTagRecv: {
+        Conn* conn = slot_for(cqe.user_data);
+        if (conn == nullptr) break;
+        conn->recv_armed = false;
+        --conn->outstanding;
+        if (cqe.res <= 0 || draw_socket_fault()) {
+          begin_close(*conn);  // EOF or error either way
+          break;
+        }
+        on_bytes_received(*conn, user_data_slot(cqe.user_data),
+                          conn->rbuf.data(),
+                          static_cast<std::size_t>(cqe.res), now);
+        break;
+      }
+      case kTagSend: {
+        Conn* conn = slot_for(cqe.user_data);
+        if (conn == nullptr) break;
+        conn->send_armed = false;
+        --conn->outstanding;
+        if (cqe.res <= 0 || draw_socket_fault()) {
+          begin_close(*conn);
+          break;
+        }
+        note_sent(*conn, static_cast<std::size_t>(cqe.res), now);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void run_uring() {
+    std::array<uring::Cqe, 64> cqes;
+    while (!stop_requested()) {
+      arm_uring();
+      if (auto submitted = ring.submit(); !submitted.is_ok()) {
+        RS_WARN("serving loop %u: submit failed: %s", index,
+                submitted.status().to_string().c_str());
+      }
+      std::uint64_t now = obs::now_ns();
+      if (ring.cq_ready() == 0 && !batch_due(now)) {
+        const std::uint64_t budget = wait_budget_ns(now);
+        if (budget > 0) {
+          // rs-lint: allow(void-discard) timeout and wakeup are both
+          // success here; real submit errors surface via submit() above
+          (void)ring.enter_getevents_timeout(1, budget);
+        }
+      }
+      now = obs::now_ns();
+      for (;;) {
+        const unsigned n = ring.peek_batch(cqes);
+        if (n == 0) break;
+        for (unsigned i = 0; i < n; ++i) handle_cqe(cqes[i], now);
+      }
+      if (batch_due(now)) process_queue();
+      sweep_idle(now);
+      reap_closed();
+    }
+    // Drain: wake blocked socket ops so their slots release, then let
+    // ~Ring cancel anything still pending.
+    for (Conn& conn : conns) {
+      if (conn.in_use) begin_close(conn);
+    }
+    reap_closed();
+  }
+
+  // ---- psync (poll(2)) engine: identical protocol, portable syscalls ----
+
+  void drive_socket_io(Conn& conn, std::uint32_t slot, short revents,
+                       std::uint64_t now) {
+    if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+        (revents & POLLIN) == 0) {
+      begin_close(conn);
+      return;
+    }
+    if ((revents & POLLIN) != 0) {
+      for (;;) {
+        const ssize_t n =
+            ::recv(conn.fd, conn.rbuf.data(), conn.rbuf.size(), 0);
+        if (n > 0) {
+          if (draw_socket_fault()) {
+            begin_close(conn);
+            return;
+          }
+          on_bytes_received(conn, slot, conn.rbuf.data(),
+                            static_cast<std::size_t>(n), now);
+          if (static_cast<std::size_t>(n) < conn.rbuf.size()) break;
+          continue;
+        }
+        if (n == 0) {
+          begin_close(conn);
+          return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        begin_close(conn);
+        return;
+      }
+    }
+    flush_tx_psync(conn, now);
+  }
+
+  void flush_tx_psync(Conn& conn, std::uint64_t now) {
+    while (!conn.closing && stage_tx(conn)) {
+      const ssize_t n = ::send(conn.fd, conn.tx.data() + conn.tx_off,
+                               conn.tx.size() - conn.tx_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        if (draw_socket_fault()) {
+          begin_close(conn);
+          return;
+        }
+        note_sent(conn, static_cast<std::size_t>(n), now);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      begin_close(conn);
+      return;
+    }
+  }
+
+  void run_psync() {
+    std::vector<pollfd> pfds;
+    std::vector<std::uint32_t> pfd_slots;
+    while (!stop_requested()) {
+      pfds.clear();
+      pfd_slots.clear();
+      pfds.push_back({listen_fd, POLLIN, 0});
+      pfd_slots.push_back(0);
+      for (std::uint32_t slot = 0; slot < conns.size(); ++slot) {
+        Conn& conn = conns[slot];
+        if (!conn.in_use || conn.closing) continue;
+        short events = POLLIN;
+        if (stage_tx(conn)) events |= POLLOUT;
+        pfds.push_back({conn.fd, events, 0});
+        pfd_slots.push_back(slot);
+      }
+      std::uint64_t now = obs::now_ns();
+      const int timeout_ms = static_cast<int>(
+          std::max<std::uint64_t>(wait_budget_ns(now) / 1'000'000, 1));
+      const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+      now = obs::now_ns();
+      if (ready > 0) {
+        if ((pfds[0].revents & POLLIN) != 0) {
+          for (;;) {
+            const int fd =
+                ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+            if (fd < 0) break;
+            adopt_connection(fd, now);
+          }
+        }
+        for (std::size_t i = 1; i < pfds.size(); ++i) {
+          Conn& conn = conns[pfd_slots[i]];
+          if (!conn.in_use || conn.closing) continue;
+          if (pfds[i].revents != 0) {
+            drive_socket_io(conn, pfd_slots[i], pfds[i].revents, now);
+          }
+        }
+      }
+      if (batch_due(now)) {
+        process_queue();
+        // Responses produced by the pass flush without another poll.
+        for (Conn& conn : conns) {
+          if (conn.in_use && !conn.closing) flush_tx_psync(conn, now);
+        }
+      }
+      sweep_idle(now);
+      reap_closed();
+    }
+    for (Conn& conn : conns) {
+      if (conn.in_use) begin_close(conn);
+    }
+    reap_closed();
+  }
+
+  void run() {
+    if (use_uring) {
+      run_uring();
+    } else {
+      run_psync();
+    }
+  }
+};
+
+Result<std::unique_ptr<Server>> Server::start(core::RingSampler& sampler,
+                                              const ServerOptions& options) {
+  auto server = std::unique_ptr<Server>(new Server());
+  RS_RETURN_IF_ERROR(server->init(sampler, options));
+  return server;
+}
+
+Status Server::init(core::RingSampler& sampler,
+                    const ServerOptions& options) {
+  if (options.threads == 0) {
+    return Status::invalid("net: threads must be > 0");
+  }
+  if (options.threads > sampler.config().num_threads) {
+    return Status::invalid(
+        "net: server threads exceed sampler worker contexts");
+  }
+  if (options.max_connections == 0 || options.max_queue_depth == 0) {
+    return Status::invalid(
+        "net: max_connections and max_queue_depth must be > 0");
+  }
+  sampler_ = &sampler;
+  options_ = options;
+
+  const uring::Features& features = uring::probe_features();
+  using_uring_ = !options.force_psync && features.io_uring_available &&
+                 features.net_ops_supported();
+  if (!using_uring_ && !options.force_psync) {
+    RS_WARN("net: kernel lacks io_uring network opcodes (%s); "
+            "serving via poll(2) loop",
+            features.to_string().c_str());
+  }
+
+  // RS_FAULT socket faults share the storage-fault grammar: fail_rate
+  // applies per socket op, seed decorrelates loops deterministically.
+  const bool faults = io::fault_injection_active();
+  io::FaultConfig fault_config;
+  if (faults) fault_config = io::active_fault_config();
+
+  std::uint16_t port = options.port;
+  for (std::uint32_t t = 0; t < options.threads; ++t) {
+    auto loop = std::make_unique<Loop>();
+    loop->server = this;
+    loop->index = t;
+    loop->use_uring = using_uring_;
+    RS_ASSIGN_OR_RETURN(loop->listen_fd, make_listen_socket(port));
+    if (t == 0) {
+      // Resolve an ephemeral port once; later loops bind the same one.
+      RS_ASSIGN_OR_RETURN(port, bound_port(loop->listen_fd));
+    }
+    if (using_uring_) {
+      uring::RingConfig ring_config;
+      ring_config.entries = options.ring_entries;
+      RS_ASSIGN_OR_RETURN(loop->ring, uring::Ring::create(ring_config));
+    }
+    loop->conns.resize(options.max_connections);
+    for (std::uint32_t s = options.max_connections; s > 0; --s) {
+      loop->free_slots.push_back(s - 1);
+    }
+    if (faults && fault_config.fail_rate > 0) {
+      loop->faults_enabled = true;
+      loop->fault_rate = fault_config.fail_rate;
+      loop->max_faults = fault_config.max_faults;
+      std::uint64_t sm = fault_config.seed ^ (0x6e65745fULL + t);
+      loop->fault_rng = Xoshiro256(splitmix64(sm));
+    }
+    loops_.push_back(std::move(loop));
+  }
+  port_ = port;
+
+  threads_.reserve(loops_.size());
+  for (auto& loop : loops_) {
+    threads_.emplace_back([raw = loop.get()] { raw->run(); });
+  }
+  RS_INFO("net: serving on port %u (%s, %u threads)", port_,
+          using_uring_ ? "io_uring" : "psync", options_.threads);
+  return Status::ok();
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stop_flag_.store(true, std::memory_order_release);
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats total;
+  for (const auto& loop : loops_) {
+    total.accepts += loop->accepts.load(std::memory_order_relaxed);
+    total.requests += loop->requests.load(std::memory_order_relaxed);
+    total.bytes_rx += loop->bytes_rx.load(std::memory_order_relaxed);
+    total.bytes_tx += loop->bytes_tx.load(std::memory_order_relaxed);
+    total.overload_sheds +=
+        loop->overload_sheds.load(std::memory_order_relaxed);
+    total.conn_timeouts +=
+        loop->conn_timeouts.load(std::memory_order_relaxed);
+    total.malformed += loop->malformed.load(std::memory_order_relaxed);
+    total.socket_faults +=
+        loop->socket_faults.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace rs::net

@@ -1,0 +1,115 @@
+// net::Server: the io_uring-native sampling service (paper §4.4, the
+// "on-demand serving" deployment of RingSampler).
+//
+// Architecture mirrors the sampler's share-nothing threading: each
+// server thread owns one event loop — a private io_uring ring, a
+// SO_REUSEPORT listening socket, a fixed slab of connection slots, and
+// sampler worker context `t` — so accepted connections never migrate
+// and no lock sits on the request path. Accept, recv, send, and the
+// batching/idle tick are all SQEs multiplexed on the *same* ring the
+// sampler's disk reads use, which is the point: one completion loop
+// drives both the network edge and storage.
+//
+// Degradation ladder (mirrors io::make_backend_auto): when the kernel
+// lacks any of IORING_OP_ACCEPT/RECV/SEND/TIMEOUT (uring::probe_features
+// .net_ops_supported()), or ServerOptions::force_psync is set, the same
+// connection state machine runs on a poll(2) + nonblocking-socket loop
+// instead. Protocol behavior is identical; only the syscall engine
+// differs.
+//
+// Admission control: each loop sheds work at two gates. A connection
+// beyond `max_connections` is accepted and immediately closed; a sample
+// request arriving while `max_queue_depth` requests are already queued
+// is answered with WireStatus::kOverloaded instead of being sampled.
+// Requests that are admitted wait up to `batch_window_us` so arrivals
+// coalesce into one processing pass (amortizing wakeups); per-request
+// rng_seeds keep responses independent of that batching.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/ring_sampler.h"
+#include "util/status.h"
+
+namespace rs::net {
+
+struct ServerOptions {
+  // TCP port to listen on; 0 picks an ephemeral port (query port()).
+  std::uint16_t port = 0;
+  // Event-loop threads. Thread t serves with sampler worker context t,
+  // so this must be <= the sampler's configured num_threads.
+  std::uint32_t threads = 1;
+  // Per-thread connection slots; connections beyond this are accepted
+  // and closed immediately (the client sees EOF, not a hang).
+  std::uint32_t max_connections = 64;
+  // Per-thread admitted-request ceiling; requests arriving beyond it
+  // get an immediate kOverloaded response (shed, not queued).
+  std::uint32_t max_queue_depth = 64;
+  // Arrivals within this window coalesce into one processing pass.
+  // 0 = process every loop iteration (lowest latency).
+  std::uint32_t batch_window_us = 0;
+  // Close connections with no traffic for this long. 0 = never.
+  std::uint32_t idle_timeout_ms = 0;
+  // Skip io_uring even when the kernel supports the network opcodes
+  // (tests exercise the psync loop on uring-capable kernels this way).
+  bool force_psync = false;
+  // SQ size of each loop's ring (uring mode).
+  std::uint32_t ring_entries = 256;
+};
+
+// Aggregated across loops; also exported as net.* obs counters.
+struct ServerStats {
+  std::uint64_t accepts = 0;
+  std::uint64_t requests = 0;        // sample requests received
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t overload_sheds = 0;  // kOverloaded responses
+  std::uint64_t conn_timeouts = 0;   // idle-timeout closes
+  std::uint64_t malformed = 0;       // kMalformed responses
+  std::uint64_t socket_faults = 0;   // RS_FAULT-injected socket errors
+};
+
+class Server {
+ public:
+  // Binds, spawns the event-loop threads, and returns once the service
+  // is accepting. The sampler must outlive the server; its worker
+  // contexts 0..options.threads-1 are owned by the loops for the
+  // server's lifetime (don't run epochs concurrently).
+  static Result<std::unique_ptr<Server>> start(core::RingSampler& sampler,
+                                               const ServerOptions& options);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Stops accepting, drains loops, joins threads. Idempotent.
+  void stop();
+
+  // The bound port (resolves options.port == 0).
+  std::uint16_t port() const { return port_; }
+  // False when the psync poll(2) loop is serving (degraded or forced).
+  bool using_uring() const { return using_uring_; }
+
+  ServerStats stats() const;
+
+  struct Loop;  // server.cpp; one per thread
+
+ private:
+  Server() = default;
+  Status init(core::RingSampler& sampler, const ServerOptions& options);
+
+  core::RingSampler* sampler_ = nullptr;
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+  bool using_uring_ = false;
+  std::atomic<bool> stop_flag_{false};
+  bool stopped_ = false;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rs::net

@@ -1,0 +1,308 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace rs::net::wire {
+namespace {
+
+// Bounded little-endian cursor. Every read checks the remaining byte
+// count first, so a malformed length field can never walk past the
+// buffer — the worst outcome is a kCorruptData Status.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+  Status u16(std::uint16_t* out) {
+    RS_RETURN_IF_ERROR(need(2));
+    *out = load_le16(buf_.data() + pos_);
+    pos_ += 2;
+    return Status::ok();
+  }
+  Status u32(std::uint32_t* out) {
+    RS_RETURN_IF_ERROR(need(4));
+    *out = load_le32(buf_.data() + pos_);
+    pos_ += 4;
+    return Status::ok();
+  }
+  Status u64(std::uint64_t* out) {
+    RS_RETURN_IF_ERROR(need(8));
+    *out = load_le64(buf_.data() + pos_);
+    pos_ += 8;
+    return Status::ok();
+  }
+  // Reads `count` u32 values into `out` (replacing its contents). The
+  // caller has already validated `count` against a hard cap, and need()
+  // re-checks against the bytes actually present before allocating.
+  Status u32_array(std::uint32_t count, std::vector<std::uint32_t>* out) {
+    RS_RETURN_IF_ERROR(need(std::size_t{count} * 4));
+    out->resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      (*out)[i] = load_le32(buf_.data() + pos_ + std::size_t{i} * 4);
+    }
+    pos_ += std::size_t{count} * 4;
+    return Status::ok();
+  }
+
+ private:
+  Status need(std::size_t n) const {
+    if (remaining() < n) {
+      return Status::corrupt("wire: truncated body");
+    }
+    return Status::ok();
+  }
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  std::uint8_t tmp[2];
+  store_le16(tmp, v);
+  out.insert(out.end(), tmp, tmp + 2);
+}
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  std::uint8_t tmp[4];
+  store_le32(tmp, v);
+  out.insert(out.end(), tmp, tmp + 4);
+}
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  std::uint8_t tmp[8];
+  store_le64(tmp, v);
+  out.insert(out.end(), tmp, tmp + 8);
+}
+void append_u32_array(std::vector<std::uint8_t>& out,
+                      std::span<const std::uint32_t> values) {
+  for (std::uint32_t v : values) append_u32(out, v);
+}
+
+// Reserves header space, runs `body`, then patches the real body_len in.
+// Keeps every encoder single-pass without pre-computing sizes.
+template <typename BodyFn>
+void encode_frame(FrameKind kind, std::vector<std::uint8_t>& out,
+                  BodyFn&& body) {
+  const std::size_t header_at = out.size();
+  out.resize(header_at + kFrameHeaderBytes);
+  body(out);
+  const std::size_t body_len = out.size() - header_at - kFrameHeaderBytes;
+  std::uint8_t* h = out.data() + header_at;
+  store_le32(h, kMagic);
+  store_le16(h + 4, kWireVersion);
+  store_le16(h + 6, static_cast<std::uint16_t>(kind));
+  store_le32(h + 8, static_cast<std::uint32_t>(body_len));
+  store_le32(h + 12, 0);  // reserved
+}
+
+Status check_exhausted(const Reader& r) {
+  if (!r.exhausted()) {
+    return Status::corrupt("wire: trailing bytes after body");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+const char* wire_status_name(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kMalformed:
+      return "malformed";
+    case WireStatus::kOverloaded:
+      return "overloaded";
+    case WireStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Status decode_frame_header(std::span<const std::uint8_t> buf,
+                           FrameHeader* out) {
+  if (buf.size() < kFrameHeaderBytes) {
+    return Status::invalid("wire: header needs 16 bytes");
+  }
+  const std::uint8_t* p = buf.data();
+  if (load_le32(p) != kMagic) {
+    return Status::corrupt("wire: bad magic");
+  }
+  const std::uint16_t version = load_le16(p + 4);
+  if (version != kWireVersion) {
+    return Status::corrupt("wire: unsupported version");
+  }
+  const std::uint16_t kind = load_le16(p + 6);
+  if (kind < static_cast<std::uint16_t>(FrameKind::kSampleRequest) ||
+      kind > static_cast<std::uint16_t>(FrameKind::kInfoResponse)) {
+    return Status::corrupt("wire: unknown frame kind");
+  }
+  const std::uint32_t body_len = load_le32(p + 8);
+  if (body_len > kMaxBodyLen) {
+    return Status::corrupt("wire: body_len above kMaxBodyLen");
+  }
+  if (load_le32(p + 12) != 0) {
+    return Status::corrupt("wire: nonzero reserved field");
+  }
+  out->version = version;
+  out->kind = static_cast<FrameKind>(kind);
+  out->body_len = body_len;
+  return Status::ok();
+}
+
+void encode_sample_request(const SampleRequest& request,
+                           std::vector<std::uint8_t>& out) {
+  encode_frame(FrameKind::kSampleRequest, out, [&](auto& buf) {
+    append_u64(buf, request.request_id);
+    append_u64(buf, request.rng_seed);
+    append_u32(buf, static_cast<std::uint32_t>(request.nodes.size()));
+    append_u32(buf, static_cast<std::uint32_t>(request.fanouts.size()));
+    append_u32_array(buf, request.nodes);
+    append_u32_array(buf, request.fanouts);
+  });
+}
+
+Status decode_sample_request(std::span<const std::uint8_t> body,
+                             SampleRequest* out) {
+  Reader r(body);
+  RS_RETURN_IF_ERROR(r.u64(&out->request_id));
+  RS_RETURN_IF_ERROR(r.u64(&out->rng_seed));
+  std::uint32_t num_nodes = 0;
+  std::uint32_t num_fanouts = 0;
+  RS_RETURN_IF_ERROR(r.u32(&num_nodes));
+  RS_RETURN_IF_ERROR(r.u32(&num_fanouts));
+  if (num_nodes == 0 || num_nodes > kMaxRequestNodes) {
+    return Status::corrupt("wire: request node count out of range");
+  }
+  if (num_fanouts == 0 || num_fanouts > kMaxFanouts) {
+    return Status::corrupt("wire: request fanout count out of range");
+  }
+  RS_RETURN_IF_ERROR(r.u32_array(num_nodes, &out->nodes));
+  RS_RETURN_IF_ERROR(r.u32_array(num_fanouts, &out->fanouts));
+  for (std::uint32_t f : out->fanouts) {
+    if (f == 0 || f > kMaxFanout) {
+      return Status::corrupt("wire: fanout value out of range");
+    }
+  }
+  return check_exhausted(r);
+}
+
+void encode_sample_response(const SampleResponse& response,
+                            std::vector<std::uint8_t>& out) {
+  encode_frame(FrameKind::kSampleResponse, out, [&](auto& buf) {
+    append_u64(buf, response.request_id);
+    append_u16(buf, static_cast<std::uint16_t>(response.status));
+    append_u16(buf, 0);  // reserved
+    if (response.status != WireStatus::kOk) {
+      append_u32(buf, 0);  // num_layers
+      return;
+    }
+    const auto& layers = response.subgraph.layers;
+    append_u32(buf, static_cast<std::uint32_t>(layers.size()));
+    for (const auto& layer : layers) {
+      append_u32(buf, static_cast<std::uint32_t>(layer.targets.size()));
+      append_u32(buf, static_cast<std::uint32_t>(layer.neighbors.size()));
+      append_u32_array(buf, layer.targets);
+      append_u32_array(buf, layer.sample_begin);
+      append_u32_array(buf, layer.neighbors);
+    }
+  });
+}
+
+Status decode_sample_response(std::span<const std::uint8_t> body,
+                              SampleResponse* out) {
+  Reader r(body);
+  RS_RETURN_IF_ERROR(r.u64(&out->request_id));
+  std::uint16_t status_raw = 0;
+  std::uint16_t reserved = 0;
+  RS_RETURN_IF_ERROR(r.u16(&status_raw));
+  RS_RETURN_IF_ERROR(r.u16(&reserved));
+  if (status_raw > static_cast<std::uint16_t>(WireStatus::kError)) {
+    return Status::corrupt("wire: unknown response status");
+  }
+  if (reserved != 0) {
+    return Status::corrupt("wire: nonzero reserved field");
+  }
+  out->status = static_cast<WireStatus>(status_raw);
+  std::uint32_t num_layers = 0;
+  RS_RETURN_IF_ERROR(r.u32(&num_layers));
+  if (out->status != WireStatus::kOk && num_layers != 0) {
+    return Status::corrupt("wire: layers on a non-ok response");
+  }
+  if (num_layers > kMaxFanouts) {
+    return Status::corrupt("wire: layer count out of range");
+  }
+  out->subgraph.layers.clear();
+  out->subgraph.layers.resize(num_layers);
+  for (std::uint32_t l = 0; l < num_layers; ++l) {
+    auto& layer = out->subgraph.layers[l];
+    std::uint32_t num_targets = 0;
+    std::uint32_t num_neighbors = 0;
+    RS_RETURN_IF_ERROR(r.u32(&num_targets));
+    RS_RETURN_IF_ERROR(r.u32(&num_neighbors));
+    // A layer's target set is bounded by the request cap fanned out by
+    // at most kMaxFanout per hop; one hop's worth is the loose per-layer
+    // ceiling that still rejects hostile counts before allocation.
+    const std::uint64_t target_cap =
+        std::uint64_t{kMaxRequestNodes} * kMaxFanout;
+    if (num_targets > target_cap) {
+      return Status::corrupt("wire: layer target count out of range");
+    }
+    if (num_neighbors > target_cap * kMaxFanout) {
+      return Status::corrupt("wire: layer neighbor count out of range");
+    }
+    RS_RETURN_IF_ERROR(r.u32_array(num_targets, &layer.targets));
+    RS_RETURN_IF_ERROR(r.u32_array(num_targets + 1, &layer.sample_begin));
+    if (layer.sample_begin.front() != 0 ||
+        layer.sample_begin.back() != num_neighbors) {
+      return Status::corrupt("wire: sample_begin endpoints invalid");
+    }
+    for (std::uint32_t i = 1; i < layer.sample_begin.size(); ++i) {
+      if (layer.sample_begin[i] < layer.sample_begin[i - 1]) {
+        return Status::corrupt("wire: sample_begin not monotone");
+      }
+    }
+    RS_RETURN_IF_ERROR(r.u32_array(num_neighbors, &layer.neighbors));
+  }
+  return check_exhausted(r);
+}
+
+void encode_info_request(std::uint64_t request_id,
+                         std::vector<std::uint8_t>& out) {
+  encode_frame(FrameKind::kInfoRequest, out,
+               [&](auto& buf) { append_u64(buf, request_id); });
+}
+
+Status decode_info_request(std::span<const std::uint8_t> body,
+                           std::uint64_t* request_id) {
+  Reader r(body);
+  RS_RETURN_IF_ERROR(r.u64(request_id));
+  return check_exhausted(r);
+}
+
+void encode_info_response(const InfoResponse& info,
+                          std::vector<std::uint8_t>& out) {
+  encode_frame(FrameKind::kInfoResponse, out, [&](auto& buf) {
+    append_u64(buf, info.num_nodes);
+    append_u64(buf, info.num_edges);
+    append_u32(buf, info.max_batch);
+    append_u32(buf, static_cast<std::uint32_t>(info.fanouts.size()));
+    append_u32_array(buf, info.fanouts);
+  });
+}
+
+Status decode_info_response(std::span<const std::uint8_t> body,
+                            InfoResponse* out) {
+  Reader r(body);
+  RS_RETURN_IF_ERROR(r.u64(&out->num_nodes));
+  RS_RETURN_IF_ERROR(r.u64(&out->num_edges));
+  RS_RETURN_IF_ERROR(r.u32(&out->max_batch));
+  std::uint32_t num_fanouts = 0;
+  RS_RETURN_IF_ERROR(r.u32(&num_fanouts));
+  if (num_fanouts == 0 || num_fanouts > kMaxFanouts) {
+    return Status::corrupt("wire: info fanout count out of range");
+  }
+  RS_RETURN_IF_ERROR(r.u32_array(num_fanouts, &out->fanouts));
+  return check_exhausted(r);
+}
+
+}  // namespace rs::net::wire

@@ -1,0 +1,203 @@
+// RingSampler sampling-service wire protocol, version 1.
+//
+// A strict, versioned, little-endian binary framing shared by
+// net::Server, net::Client, and bench/svc_load. Every frame is a fixed
+// 16-byte header followed by `body_len` payload bytes:
+//
+//   offset  size  field
+//   0       u32   magic     kMagic ("RSNP")
+//   4       u16   version   kWireVersion (currently 1)
+//   6       u16   kind      FrameKind
+//   8       u32   body_len  payload bytes following the header
+//   12      u32   reserved  must be zero
+//
+// Sample request body (kind = kSampleRequest):
+//   u64 request_id   echoed verbatim in the response (correlation key;
+//                    responses on one connection may be reordered when
+//                    overload sheds jump the sampling queue)
+//   u64 rng_seed     per-request determinism: the sampled subgraph is a
+//                    pure function of (graph, nodes, fanouts, rng_seed) —
+//                    any server replica returns bit-identical bytes
+//   u32 num_nodes    1 .. kMaxRequestNodes
+//   u32 num_fanouts  1 .. kMaxFanouts
+//   u32 x num_nodes    seed node ids
+//   u32 x num_fanouts  per-layer fanouts, each 1 .. kMaxFanout
+//
+// Sample response body (kind = kSampleResponse):
+//   u64 request_id
+//   u16 status       WireStatus
+//   u16 reserved     zero
+//   u32 num_layers   0 unless status == kOk
+//   per layer:
+//     u32 num_targets
+//     u32 num_neighbors
+//     u32 x num_targets        targets
+//     u32 x (num_targets + 1)  sample_begin prefix table
+//     u32 x num_neighbors      neighbors
+//
+// Info request (kind = kInfoRequest) has an empty body; the response
+// (kind = kInfoResponse) describes the served graph so load generators
+// can draw valid node ids without out-of-band knowledge:
+//   u64 num_nodes, u64 num_edges, u32 max_batch, u32 num_fanouts,
+//   u32 x num_fanouts (the server's configured per-layer fanout caps)
+//
+// Decoding never trusts a length field: every count is bounds-checked
+// against the hard caps below and against the bytes actually present,
+// and every malformed input returns a Status (kCorruptData) — the
+// decoder cannot abort or read out of bounds, which the wire_test fuzz
+// cases assert under ASan+UBSan.
+//
+// Endianness: the wire format is little-endian by definition. The
+// load_le/store_le helpers below are byte-shift based (endian-agnostic,
+// no aliasing UB) and are the ONLY sanctioned byte-order conversions in
+// the tree — scripts/rs_lint.py forbids raw htons/htonl/htobe* outside
+// this header (rule raw-endian). host_to_be16 exists solely for
+// sockaddr_in port fields, which POSIX defines as big-endian.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/subgraph.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace rs::net::wire {
+
+inline constexpr std::uint32_t kMagic = 0x504e5352;  // "RSNP" on the wire
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+// Hard caps a decoder enforces before allocating anything. A header
+// advertising more than kMaxBodyLen is rejected outright, so a hostile
+// length field can never drive allocation.
+inline constexpr std::uint32_t kMaxRequestNodes = 4096;
+inline constexpr std::uint32_t kMaxFanouts = 16;
+inline constexpr std::uint32_t kMaxFanout = 4096;
+inline constexpr std::uint32_t kMaxBodyLen = 64u << 20;  // 64 MiB
+
+enum class FrameKind : std::uint16_t {
+  kSampleRequest = 1,
+  kSampleResponse = 2,
+  kInfoRequest = 3,
+  kInfoResponse = 4,
+};
+
+enum class WireStatus : std::uint16_t {
+  kOk = 0,
+  // The request failed structural or semantic validation (bad counts,
+  // node id out of range, fanout above the server's configured cap).
+  kMalformed = 1,
+  // Admission control shed the request: the per-thread sampling queue
+  // was at --max-queue-depth. Back off and retry.
+  kOverloaded = 2,
+  // Sampling failed server-side (I/O error after retries).
+  kError = 3,
+};
+
+const char* wire_status_name(WireStatus status);
+
+// ---- Endian helpers (the only sanctioned byte-order code) ----
+
+inline void store_le16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+inline std::uint16_t load_le16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_le32(p)) |
+         (static_cast<std::uint64_t>(load_le32(p + 4)) << 32);
+}
+
+// sockaddr_in/sockaddr_in6 port fields are network (big) endian; this is
+// the one place byte order is *not* the wire format's little-endian.
+inline std::uint16_t host_to_be16(std::uint16_t v) {
+  std::uint16_t out = 0;
+  std::uint8_t* p = reinterpret_cast<std::uint8_t*>(&out);
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+  return out;
+}
+
+// ---- Frames ----
+
+struct FrameHeader {
+  std::uint16_t version = kWireVersion;
+  FrameKind kind = FrameKind::kSampleRequest;
+  std::uint32_t body_len = 0;
+};
+
+struct SampleRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t rng_seed = 0;
+  std::vector<NodeId> nodes;
+  std::vector<std::uint32_t> fanouts;
+};
+
+struct SampleResponse {
+  std::uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  // Valid only when status == kOk. Layers mirror core::MiniBatchSample
+  // (outermost seed layer first).
+  core::MiniBatchSample subgraph;
+};
+
+struct InfoResponse {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t max_batch = 0;
+  std::vector<std::uint32_t> fanouts;
+};
+
+// Decodes and validates a frame header from the first kFrameHeaderBytes
+// of `buf`. Returns kCorruptData on bad magic/version/reserved or a
+// body_len above kMaxBodyLen; the caller must supply at least
+// kFrameHeaderBytes (shorter input is an invalid-argument error so
+// streaming callers can distinguish "need more bytes").
+Status decode_frame_header(std::span<const std::uint8_t> buf,
+                           FrameHeader* out);
+
+// Encoders append one complete frame (header + body) to `out`.
+void encode_sample_request(const SampleRequest& request,
+                           std::vector<std::uint8_t>& out);
+void encode_sample_response(const SampleResponse& response,
+                            std::vector<std::uint8_t>& out);
+void encode_info_request(std::uint64_t request_id,
+                         std::vector<std::uint8_t>& out);
+void encode_info_response(const InfoResponse& info,
+                          std::vector<std::uint8_t>& out);
+
+// Body decoders take exactly the body_len bytes following a validated
+// header. Any structural violation — truncated body, trailing garbage,
+// counts above the caps, a sample_begin table that is not a monotone
+// prefix of num_neighbors — is kCorruptData, never a crash.
+Status decode_sample_request(std::span<const std::uint8_t> body,
+                             SampleRequest* out);
+Status decode_sample_response(std::span<const std::uint8_t> body,
+                              SampleResponse* out);
+// Info requests carry a request id only.
+Status decode_info_request(std::span<const std::uint8_t> body,
+                           std::uint64_t* request_id);
+Status decode_info_response(std::span<const std::uint8_t> body,
+                            InfoResponse* out);
+
+}  // namespace rs::net::wire

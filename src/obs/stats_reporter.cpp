@@ -1,0 +1,53 @@
+#include "obs/stats_reporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace rs::obs {
+
+PeriodicStatsReporter::PeriodicStatsReporter(double interval_seconds,
+                                             Emit emit)
+    : emit_(std::move(emit)) {
+  if (interval_seconds <= 0) return;
+  if (!emit_) {
+    emit_ = [](const MetricsSnapshot& snapshot) {
+      std::printf("---- periodic metrics snapshot ----\n%s",
+                  snapshot.to_table().c_str());
+    };
+  }
+  thread_ = std::thread([this, interval_seconds] { run(interval_seconds); });
+}
+
+PeriodicStatsReporter::~PeriodicStatsReporter() { stop(); }
+
+void PeriodicStatsReporter::run(double interval_seconds) {
+  const auto interval = std::chrono::duration<double>(interval_seconds);
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      if (done_) return;
+      if (cv_.wait_for(mutex_, interval)) {
+        // Signaled: either stop() fired or a spurious wakeup. Re-check
+        // and wait out a fresh interval rather than emitting early.
+        if (done_) return;
+        continue;
+      }
+      if (done_) return;
+    }
+    // Snapshot + emit outside the lock so a slow sink never delays a
+    // concurrent stop().
+    emit_(Registry::global().snapshot());
+  }
+}
+
+void PeriodicStatsReporter::stop() {
+  {
+    MutexLock lock(mutex_);
+    done_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace rs::obs

@@ -1,0 +1,45 @@
+// PeriodicStatsReporter: a background thread that emits a metrics
+// snapshot every `interval_seconds` until stopped.
+//
+// The wait is a CondVar timed wait, not a sleep: stop() (or the
+// destructor) interrupts the current interval immediately instead of
+// letting the thread doze through the rest of it — with a 30s interval,
+// a sleep-based loop would stall process shutdown by up to 30s, which
+// is exactly the bug this class replaced in examples/ondemand_server.
+#pragma once
+
+#include <functional>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/sync.h"
+
+namespace rs::obs {
+
+class PeriodicStatsReporter {
+ public:
+  using Emit = std::function<void(const MetricsSnapshot&)>;
+
+  // Snapshots Registry::global() every interval and hands it to `emit`
+  // (default: print a "---- periodic metrics snapshot ----" table to
+  // stdout). interval_seconds <= 0 disables the thread entirely.
+  explicit PeriodicStatsReporter(double interval_seconds, Emit emit = {});
+  ~PeriodicStatsReporter();
+
+  PeriodicStatsReporter(const PeriodicStatsReporter&) = delete;
+  PeriodicStatsReporter& operator=(const PeriodicStatsReporter&) = delete;
+
+  // Interrupts the in-progress wait and joins the thread. Idempotent.
+  void stop();
+
+ private:
+  void run(double interval_seconds);
+
+  Emit emit_;
+  Mutex mutex_;
+  CondVar cv_;
+  bool done_ RS_GUARDED_BY(mutex_) = false;
+  std::thread thread_;
+};
+
+}  // namespace rs::obs

@@ -35,6 +35,10 @@ bool probe_opcode_support(Features& features) {
   };
   features.op_read = supported(IORING_OP_READ);
   features.op_read_fixed = supported(IORING_OP_READ_FIXED);
+  features.op_accept = supported(IORING_OP_ACCEPT);
+  features.op_recv = supported(IORING_OP_RECV);
+  features.op_send = supported(IORING_OP_SEND);
+  features.op_timeout = supported(IORING_OP_TIMEOUT);
   return true;
 }
 
@@ -56,7 +60,8 @@ std::string Features::to_string() const {
       << " nodrop=" << (nodrop ? "yes" : "no")
       << " sqpoll=" << (sqpoll_allowed ? "yes" : "no")
       << " op_read=" << (op_read ? "yes" : "no")
-      << " op_read_fixed=" << (op_read_fixed ? "yes" : "no") << " raw=0x"
+      << " op_read_fixed=" << (op_read_fixed ? "yes" : "no")
+      << " net_ops=" << (net_ops_supported() ? "yes" : "no") << " raw=0x"
       << std::hex << raw_feature_bits;
   return out.str();
 }

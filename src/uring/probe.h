@@ -16,7 +16,18 @@ struct Features {
   bool sqpoll_allowed = false;      // IORING_SETUP_SQPOLL accepted
   bool op_read = false;             // IORING_OP_READ supported
   bool op_read_fixed = false;       // IORING_OP_READ_FIXED supported
+  // Network opcodes the serving event loop needs (net::Server). All four
+  // must be present for the uring loop; otherwise it degrades to a
+  // psync-style poll(2) socket loop (mirroring make_backend_auto).
+  bool op_accept = false;           // IORING_OP_ACCEPT supported
+  bool op_recv = false;             // IORING_OP_RECV supported
+  bool op_send = false;             // IORING_OP_SEND supported
+  bool op_timeout = false;          // IORING_OP_TIMEOUT supported
   std::uint32_t raw_feature_bits = 0;
+
+  bool net_ops_supported() const {
+    return op_accept && op_recv && op_send && op_timeout;
+  }
 
   std::string to_string() const;
 };

@@ -251,6 +251,50 @@ void Ring::set_fixed_file(io_uring_sqe* sqe, unsigned file_index) {
   sqe->flags |= IOSQE_FIXED_FILE;
 }
 
+void Ring::prep_accept(io_uring_sqe* sqe, int listen_fd, sockaddr* addr,
+                       socklen_t* addrlen, int flags,
+                       std::uint64_t user_data) {
+  sqe->opcode = IORING_OP_ACCEPT;
+  sqe->fd = listen_fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(addr);
+  // The kernel reads the socklen pointer from the offset slot (addr2).
+  sqe->off = reinterpret_cast<std::uint64_t>(addrlen);
+  sqe->accept_flags = static_cast<std::uint32_t>(flags);
+  sqe->user_data = user_data;
+}
+
+void Ring::prep_recv(io_uring_sqe* sqe, int fd, void* buf, unsigned len,
+                     int flags, std::uint64_t user_data) {
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(buf);
+  sqe->len = len;
+  sqe->msg_flags = static_cast<std::uint32_t>(flags);
+  sqe->user_data = user_data;
+}
+
+void Ring::prep_send(io_uring_sqe* sqe, int fd, const void* buf, unsigned len,
+                     int flags, std::uint64_t user_data) {
+  sqe->opcode = IORING_OP_SEND;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(buf);
+  sqe->len = len;
+  sqe->msg_flags = static_cast<std::uint32_t>(flags);
+  sqe->user_data = user_data;
+}
+
+void Ring::prep_timeout(io_uring_sqe* sqe, const KernelTimespec* ts,
+                        unsigned count, unsigned flags,
+                        std::uint64_t user_data) {
+  sqe->opcode = IORING_OP_TIMEOUT;
+  sqe->fd = -1;
+  sqe->addr = reinterpret_cast<std::uint64_t>(ts);
+  sqe->len = 1;
+  sqe->off = count;
+  sqe->timeout_flags = flags;
+  sqe->user_data = user_data;
+}
+
 Result<unsigned> Ring::submit() {
   const unsigned to_submit = sqe_tail_ - sqe_head_;
   if (to_submit == 0) return 0u;

@@ -25,12 +25,15 @@
 
 #include <cstdint>
 #include <span>
+#include <sys/socket.h>
 #include <sys/uio.h>
 
 #include "util/common.h"
 #include "util/status.h"
 
 namespace rs::uring {
+
+struct KernelTimespec;  // uring_syscalls.h
 
 struct RingConfig {
   // SQ size; the kernel rounds up to a power of two. The paper's default
@@ -105,6 +108,33 @@ class Ring {
   static void prep_nop(io_uring_sqe* sqe, std::uint64_t user_data);
   // Use an fd registered via register_files(); `fd` becomes an index.
   static void set_fixed_file(io_uring_sqe* sqe, unsigned file_index);
+
+  // ---- Network opcodes (net::Server event loops, paper §4.4) ----
+  //
+  // These let accepted connections' socket I/O share a ring with the
+  // sampler's disk reads. Kernel support is not implied by op_read:
+  // callers check uring::probe_features() (op_accept/op_recv/op_send/
+  // op_timeout) and fall back to a psync-style socket loop otherwise.
+
+  // Single-shot accept on a listening socket; res is the new connection
+  // fd or -errno. `addr`/`addrlen` may be null when the peer address is
+  // not wanted; both must outlive the completion otherwise.
+  static void prep_accept(io_uring_sqe* sqe, int listen_fd, sockaddr* addr,
+                          socklen_t* addrlen, int flags,
+                          std::uint64_t user_data);
+  // recv(2): res is bytes received (0 = peer closed) or -errno.
+  static void prep_recv(io_uring_sqe* sqe, int fd, void* buf, unsigned len,
+                        int flags, std::uint64_t user_data);
+  // send(2): res is bytes sent (possibly short) or -errno.
+  static void prep_send(io_uring_sqe* sqe, int fd, const void* buf,
+                        unsigned len, int flags, std::uint64_t user_data);
+  // Standalone timer: completes with -ETIME when `ts` elapses, or 0 if
+  // `count` other completions posted first (count = 0 means "only the
+  // timer"). `ts` must outlive the completion — it is read by the kernel
+  // asynchronously, not copied at submit.
+  static void prep_timeout(io_uring_sqe* sqe, const KernelTimespec* ts,
+                           unsigned count, unsigned flags,
+                           std::uint64_t user_data);
 
   // Publishes prepared SQEs to the kernel. Returns the number accepted.
   // With SQPOLL this usually costs no syscall (only a wakeup if the

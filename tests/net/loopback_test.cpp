@@ -1,0 +1,323 @@
+// Loopback integration tests for the net::Server sampling service.
+//
+// The central assertion is the determinism contract from net/wire.h:
+// a response is a pure function of (graph, nodes, fanouts, rng_seed),
+// so every subgraph served over TCP must match a direct
+// RingSampler::sample_for_serving call on an independently opened
+// sampler — bit for bit, regardless of which server thread answered or
+// how the batch window coalesced the request.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/ring_sampler.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace rs::net {
+namespace {
+
+using test::TempDir;
+using test::make_test_csr;
+using test::write_test_graph;
+
+class LoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csr_ = make_test_csr();
+    base_ = write_test_graph(dir_, csr_);
+  }
+
+  core::SamplerConfig sampler_config(std::uint32_t threads = 2) const {
+    core::SamplerConfig config;
+    config.fanouts = {5, 3};
+    config.batch_size = 64;
+    config.num_threads = threads;
+    config.queue_depth = 32;
+    config.seed = 99;
+    return config;
+  }
+
+  std::unique_ptr<core::RingSampler> open_sampler(
+      std::uint32_t threads = 2) {
+    auto sampler = core::RingSampler::open(base_, sampler_config(threads));
+    RS_CHECK_MSG(sampler.is_ok(), sampler.status().to_string());
+    return std::move(sampler.value());
+  }
+
+  ClientOptions client_options(const Server& server) const {
+    ClientOptions options;
+    options.port = server.port();
+    options.recv_timeout_ms = 20'000;
+    return options;
+  }
+
+  TempDir dir_;
+  graph::Csr csr_;
+  std::string base_;
+};
+
+void expect_same_subgraph(const core::MiniBatchSample& served,
+                          const core::MiniBatchSample& reference) {
+  ASSERT_EQ(served.layers.size(), reference.layers.size());
+  for (std::size_t l = 0; l < served.layers.size(); ++l) {
+    EXPECT_EQ(served.layers[l].targets, reference.layers[l].targets)
+        << "layer " << l;
+    EXPECT_EQ(served.layers[l].sample_begin,
+              reference.layers[l].sample_begin)
+        << "layer " << l;
+    EXPECT_EQ(served.layers[l].neighbors, reference.layers[l].neighbors)
+        << "layer " << l;
+  }
+}
+
+TEST_F(LoopbackTest, StartStopEphemeralPort) {
+  auto sampler = open_sampler();
+  ServerOptions options;  // port 0: ephemeral
+  options.threads = 2;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+  EXPECT_NE(server.value()->port(), 0);
+  server.value()->stop();
+  server.value()->stop();  // idempotent
+}
+
+TEST_F(LoopbackTest, RejectsMoreThreadsThanSampler) {
+  auto sampler = open_sampler(2);
+  ServerOptions options;
+  options.threads = 8;  // sampler only has 2 worker contexts
+  auto server = Server::start(*sampler, options);
+  EXPECT_FALSE(server.is_ok());
+}
+
+// Every served response must be byte-identical to a direct
+// sample_for_serving call with the same (nodes, fanouts, rng_seed) —
+// the acceptance criterion for the serving subsystem.
+TEST_F(LoopbackTest, ResponsesMatchDirectSamplingBitForBit) {
+  auto sampler = open_sampler();
+  auto reference = open_sampler();  // independent instance, own contexts
+
+  ServerOptions options;
+  options.threads = 2;
+  options.batch_window_us = 500;  // force coalescing into the mix
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  constexpr int kClientThreads = 3;
+  constexpr int kRequestsPerThread = 25;
+  std::vector<std::vector<wire::SampleRequest>> sent(kClientThreads);
+  std::vector<std::vector<wire::SampleResponse>> got(kClientThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kClientThreads; ++t) {
+    pool.emplace_back([&, t] {
+      auto client = Client::connect(client_options(*server.value()));
+      if (!client.is_ok()) return;
+      Xoshiro256 rng(1000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        wire::SampleRequest request;
+        request.request_id =
+            (static_cast<std::uint64_t>(t) << 32) |
+            static_cast<std::uint64_t>(i);
+        request.rng_seed = rng();
+        request.fanouts = {5, 3};
+        request.nodes.resize(1 + rng() % 8);
+        for (auto& node : request.nodes) {
+          node = static_cast<NodeId>(rng() % csr_.num_nodes());
+        }
+        auto response = client.value().sample(request);
+        if (!response.is_ok()) return;  // size mismatch fails the test
+        sent[t].push_back(request);
+        got[t].push_back(std::move(response.value()));
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  server.value()->stop();
+
+  for (int t = 0; t < kClientThreads; ++t) {
+    ASSERT_EQ(sent[t].size(), static_cast<std::size_t>(kRequestsPerThread))
+        << "client thread " << t << " lost requests";
+    for (std::size_t i = 0; i < sent[t].size(); ++i) {
+      const wire::SampleRequest& request = sent[t][i];
+      const wire::SampleResponse& response = got[t][i];
+      ASSERT_EQ(response.status, wire::WireStatus::kOk);
+      EXPECT_EQ(response.request_id, request.request_id);
+      auto direct = reference->sample_for_serving(
+          0, request.nodes, request.fanouts, request.rng_seed);
+      RS_ASSERT_OK(direct);
+      expect_same_subgraph(response.subgraph, direct.value());
+    }
+  }
+  EXPECT_EQ(server.value()->stats().requests,
+            static_cast<std::uint64_t>(kClientThreads * kRequestsPerThread));
+}
+
+// The psync poll(2) loop must speak the identical protocol.
+TEST_F(LoopbackTest, ForcePsyncRoundTrip) {
+  auto sampler = open_sampler();
+  auto reference = open_sampler();
+
+  ServerOptions options;
+  options.threads = 2;
+  options.force_psync = true;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+  EXPECT_FALSE(server.value()->using_uring());
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  auto info = client.value().info();
+  RS_ASSERT_OK(info);
+  EXPECT_EQ(info.value().num_nodes, csr_.num_nodes());
+  EXPECT_EQ(info.value().num_edges, csr_.num_edges());
+
+  Xoshiro256 rng(4242);
+  for (int i = 0; i < 10; ++i) {
+    wire::SampleRequest request;
+    request.request_id = static_cast<std::uint64_t>(i);
+    request.rng_seed = rng();
+    request.fanouts = {4, 2};  // below the configured caps is legal
+    request.nodes = {static_cast<NodeId>(rng() % csr_.num_nodes()),
+                     static_cast<NodeId>(rng() % csr_.num_nodes())};
+    auto response = client.value().sample(request);
+    RS_ASSERT_OK(response);
+    ASSERT_EQ(response.value().status, wire::WireStatus::kOk);
+    auto direct = reference->sample_for_serving(
+        0, request.nodes, request.fanouts, request.rng_seed);
+    RS_ASSERT_OK(direct);
+    expect_same_subgraph(response.value().subgraph, direct.value());
+  }
+  server.value()->stop();
+}
+
+// Admission control: pipelining requests into a tiny queue behind a
+// long batch window must shed with kOverloaded, not hang or drop.
+TEST_F(LoopbackTest, OverloadShedsAtQueueDepth) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  options.max_queue_depth = 2;
+  options.batch_window_us = 200'000;  // hold admitted requests 200 ms
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  constexpr int kPipelined = 8;
+  for (int i = 0; i < kPipelined; ++i) {
+    wire::SampleRequest request;
+    request.request_id = static_cast<std::uint64_t>(i);
+    request.rng_seed = 17;
+    request.fanouts = {5, 3};
+    request.nodes = {static_cast<NodeId>(i)};
+    test::assert_ok(client.value().send_request(request));
+  }
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < kPipelined; ++i) {
+    auto response = client.value().read_sample_response();
+    RS_ASSERT_OK(response);
+    if (response.value().status == wire::WireStatus::kOk) ++ok;
+    if (response.value().status == wire::WireStatus::kOverloaded) {
+      ++overloaded;
+    }
+  }
+  server.value()->stop();
+  EXPECT_EQ(ok + overloaded, kPipelined);
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(overloaded, 1) << "queue depth 2 never shed 8 pipelined "
+                              "requests";
+  EXPECT_EQ(server.value()->stats().overload_sheds,
+            static_cast<std::uint64_t>(overloaded));
+}
+
+// A malformed frame gets one kMalformed response, then the server
+// poisons (closes) the connection — it never crashes or hangs.
+TEST_F(LoopbackTest, MalformedFramePoisonsConnection) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  std::uint8_t garbage[wire::kFrameHeaderBytes] = {0xde, 0xad, 0xbe, 0xef};
+  test::assert_ok(client.value().send_raw(garbage));
+
+  auto response = client.value().read_sample_response();
+  RS_ASSERT_OK(response);
+  EXPECT_EQ(response.value().status, wire::WireStatus::kMalformed);
+  // The stream is now poisoned: the next read sees EOF, not data.
+  auto after = client.value().read_sample_response();
+  EXPECT_FALSE(after.is_ok());
+
+  // A fresh connection still works — the poison was per-connection.
+  auto fresh = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(fresh);
+  wire::SampleRequest request;
+  request.request_id = 1;
+  request.rng_seed = 3;
+  request.fanouts = {5, 3};
+  request.nodes = {0};
+  auto good = fresh.value().sample(request);
+  RS_ASSERT_OK(good);
+  EXPECT_EQ(good.value().status, wire::WireStatus::kOk);
+  server.value()->stop();
+  EXPECT_GE(server.value()->stats().malformed, 1u);
+}
+
+// A structurally valid frame whose request fails semantic validation
+// (node id out of range) answers kMalformed but keeps the connection.
+TEST_F(LoopbackTest, OutOfRangeNodeAnswersMalformed) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  wire::SampleRequest request;
+  request.request_id = 9;
+  request.rng_seed = 3;
+  request.fanouts = {5, 3};
+  request.nodes = {csr_.num_nodes() + 100};  // out of range
+  auto response = client.value().sample(request);
+  RS_ASSERT_OK(response);
+  EXPECT_EQ(response.value().status, wire::WireStatus::kMalformed);
+
+  request.nodes = {1};  // same connection, valid request: still served
+  auto good = client.value().sample(request);
+  RS_ASSERT_OK(good);
+  EXPECT_EQ(good.value().status, wire::WireStatus::kOk);
+  server.value()->stop();
+}
+
+TEST_F(LoopbackTest, IdleConnectionsTimeOut) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  options.idle_timeout_ms = 100;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  // Sit idle well past the timeout; the sweep runs on the loop tick.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.value()->stats().conn_timeouts == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.value()->stop();
+  EXPECT_GE(server.value()->stats().conn_timeouts, 1u);
+}
+
+}  // namespace
+}  // namespace rs::net
