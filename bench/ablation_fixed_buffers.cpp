@@ -1,0 +1,93 @@
+// Ablation for registered fixed buffers (IORING_REGISTER_BUFFERS +
+// READ_FIXED vs plain IORING_OP_READ), swept across queue depths. The
+// fixed path skips the kernel's per-op page pinning, which matters most
+// at high request rates — i.e. deep queues of tiny reads. A third arm
+// forces the READ_FIXED capability off (as if the probe had reported it
+// unsupported) to exercise the degradation ladder: the sampler must
+// still produce identical results, counting io.fixed_fallbacks.
+#include "bench_common.h"
+#include "core/ring_sampler.h"
+#include "uring/probe.h"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  using namespace rs::bench;
+
+  BenchEnv env;
+  env.epochs = 2;
+  ArgParser parser("ablation_fixed_buffers",
+                   "READ_FIXED (registered buffers) vs plain reads");
+  if (!parse_env(parser, env, argc, argv)) return 0;
+
+  const std::string base = dataset(env, "ogbn-papers-s");
+  const auto targets = targets_for(env, base);
+  const auto options = run_options(env, base);
+
+  struct Arm {
+    const char* label;
+    io::FixedBufferMode mode;
+    bool force_off;  // simulate probe reporting op_read_fixed=false
+  };
+  const Arm arms[] = {
+      {"plain", io::FixedBufferMode::kOff, false},
+      {"fixed", io::FixedBufferMode::kOn, false},
+      {"forced-off", io::FixedBufferMode::kOn, true},
+  };
+
+  Table table("Fixed-buffer ablation (READ_FIXED vs plain reads)",
+              {"Queue depth", "Mode", "Time/epoch", "Reads", "vs plain"});
+
+  for (const std::uint32_t qd : {32u, 128u, 512u}) {
+    double plain_seconds = -1;
+    std::uint64_t plain_checksum = 0;
+    for (const Arm& arm : arms) {
+      core::SamplerConfig config;
+      config.batch_size = static_cast<std::uint32_t>(env.batch_size);
+      config.num_threads = static_cast<std::uint32_t>(env.threads);
+      config.queue_depth = qd;
+      config.seed = env.seed;
+      config.register_buffers = arm.mode;
+      if (arm.force_off) uring::set_read_fixed_override(true);
+      const eval::RunOutcome outcome = eval::run_system(
+          std::string("RingSampler@QD") + std::to_string(qd) + "/" +
+              arm.label,
+          [&]() -> Result<std::unique_ptr<core::Sampler>> {
+            auto sampler = core::RingSampler::open(base, config);
+            if (!sampler.is_ok()) return sampler.status();
+            return std::unique_ptr<core::Sampler>(
+                std::move(sampler).value());
+          },
+          targets, options);
+      if (arm.force_off) uring::set_read_fixed_override(false);
+      if (outcome.ok()) {
+        // All three arms read the same bytes with the same RNG stream;
+        // a checksum mismatch means the fixed path corrupted data.
+        if (plain_seconds < 0) {
+          plain_seconds = outcome.mean.seconds;
+          plain_checksum = outcome.mean.checksum;
+        } else {
+          RS_CHECK_MSG(outcome.mean.checksum == plain_checksum,
+                       "fixed-buffer arm checksum diverged from plain");
+        }
+      }
+      table.add_row(
+          {std::to_string(qd), arm.label, outcome.cell(),
+           outcome.ok() ? Table::fmt_count(outcome.mean.read_ops) : "-",
+           outcome.ok() ? speedup_cell(plain_seconds, outcome.mean.seconds)
+                        : "-"});
+    }
+  }
+
+  std::uint64_t fixed_reads = 0;
+  std::uint64_t fixed_fallbacks = 0;
+  for (const auto& [name, value] :
+       obs::Registry::global().snapshot().counters) {
+    if (name == "io.fixed_reads") fixed_reads = value;
+    if (name == "io.fixed_fallbacks") fixed_fallbacks = value;
+  }
+  std::printf("io.fixed_reads=%llu io.fixed_fallbacks=%llu\n",
+              static_cast<unsigned long long>(fixed_reads),
+              static_cast<unsigned long long>(fixed_fallbacks));
+  emit(env, table, "ablation_fixed_buffers");
+  return 0;
+}

@@ -39,6 +39,8 @@ struct BenchEnv {
   std::uint64_t queue_depth = 512;
   std::uint64_t batch_size = 1024;
   std::uint64_t seed = 7;
+  // Fixed-buffer (READ_FIXED) policy for uring backends: auto|on|off.
+  std::string register_buffers = "auto";
   std::string csv_dir = "bench_results";
   bool drop_cache = false;  // drop page cache before each epoch
   // When non-empty, dump the merged obs metrics snapshot (counters,
@@ -93,6 +95,8 @@ inline bool parse_env(ArgParser& parser, BenchEnv& env, int argc,
   parser.add_uint("queue-depth", &env.queue_depth, "io_uring ring size");
   parser.add_uint("batch-size", &env.batch_size, "mini-batch size");
   parser.add_uint("seed", &env.seed, "RNG seed");
+  parser.add_string("register-buffers", &env.register_buffers,
+                    "fixed-buffer mode for uring backends: auto|on|off");
   parser.add_string("csv-dir", &env.csv_dir, "directory for CSV mirrors");
   parser.add_flag("drop-cache", &env.drop_cache,
                   "drop the page cache before each epoch");
@@ -112,6 +116,16 @@ inline bool parse_env(ArgParser& parser, BenchEnv& env, int argc,
     std::atexit(dump_metrics_at_exit);
   }
   return true;
+}
+
+// --register-buffers value -> FixedBufferMode; exits on a bad value.
+inline io::FixedBufferMode fixed_buffer_mode(const BenchEnv& env) {
+  if (env.register_buffers == "auto") return io::FixedBufferMode::kAuto;
+  if (env.register_buffers == "on") return io::FixedBufferMode::kOn;
+  if (env.register_buffers == "off") return io::FixedBufferMode::kOff;
+  std::fprintf(stderr, "--register-buffers must be auto|on|off, got %s\n",
+               env.register_buffers.c_str());
+  std::exit(2);
 }
 
 // Materializes a standard profile at the env's scale; exits on failure.

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   config.num_threads = static_cast<std::uint32_t>(env.threads);
   config.queue_depth = static_cast<std::uint32_t>(env.queue_depth);
   config.seed = env.seed;
+  config.register_buffers = fixed_buffer_mode(env);
   auto sampler = core::RingSampler::open(base, config);
   RS_CHECK_MSG(sampler.is_ok(), sampler.status().to_string());
 

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   std::uint64_t batch_window_us = 0;
   std::uint64_t idle_timeout_ms = 0;
   bool force_psync = false;
+  std::string register_buffers = "auto";
   ArgParser parser("ondemand_server",
                    "Near-real-time GNN serving simulation (paper S4.4)");
   parser.add_uint("requests", &requests, "number of client requests");
@@ -69,6 +70,8 @@ int main(int argc, char** argv) {
   parser.add_flag("force-psync", &force_psync,
                   "with --listen: use the poll(2) loop even if the "
                   "kernel supports io_uring network ops");
+  parser.add_string("register-buffers", &register_buffers,
+                    "fixed-buffer (READ_FIXED) mode: auto|on|off");
   if (Status status = parser.parse(argc, argv); !status.is_ok()) {
     return status.message() == "help requested" ? 0 : 2;
   }
@@ -88,6 +91,14 @@ int main(int argc, char** argv) {
   config.batch_size = listen_port != 0 ? 256 : 1;
   config.num_threads = static_cast<std::uint32_t>(threads);
   config.hot_cache_bytes = hot_cache_kb << 10;
+  if (register_buffers == "on") {
+    config.register_buffers = io::FixedBufferMode::kOn;
+  } else if (register_buffers == "off") {
+    config.register_buffers = io::FixedBufferMode::kOff;
+  } else if (register_buffers != "auto") {
+    std::fprintf(stderr, "--register-buffers must be auto|on|off\n");
+    return 2;
+  }
   auto sampler = core::RingSampler::open(base.value(), config);
   RS_CHECK_MSG(sampler.is_ok(), sampler.status().to_string());
 

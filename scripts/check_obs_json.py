@@ -3,13 +3,16 @@
 
 Usage:
   check_obs_json.py metrics <metrics.json> [--backend NAME]
+                    [--require-counter NAME ...]
   check_obs_json.py trace <trace.json> [--expect-span NAME ...]
 
 `metrics` checks the file parses with json.loads, has the
 counters/gauges/histograms sections, and that every histogram's bucket
 counts sum to its count. With --backend it additionally requires the
 io.<backend>.completion_latency_ns histogram to be present and
-non-empty.
+non-empty. Each --require-counter NAME must be present with a value
+greater than zero (the fixed-buffer CI smoke asserts io.fixed_reads and
+io.fixed_fallbacks this way).
 
 `trace` checks the file is Chrome trace-event JSON Perfetto can load
 (a traceEvents list of dicts with name/ph/pid/tid/ts) and that every
@@ -38,7 +41,7 @@ def load_json(path):
         fail(f"{path}: not valid JSON: {error}")
 
 
-def check_metrics(path, backend=None):
+def check_metrics(path, backend=None, require_counters=()):
     metrics = load_json(path)
     for section in ("counters", "gauges", "histograms"):
         if section not in metrics:
@@ -64,6 +67,13 @@ def check_metrics(path, backend=None):
                  f"(have: {sorted(metrics['histograms'])})")
         if hist["count"] == 0:
             fail(f"{path}: histogram {name!r} recorded nothing")
+    for name in require_counters:
+        value = metrics["counters"].get(name)
+        if value is None:
+            fail(f"{path}: expected counter {name!r} "
+                 f"(have: {sorted(metrics['counters'])})")
+        if value == 0:
+            fail(f"{path}: counter {name!r} is zero")
     print(f"check_obs_json: OK: {path}: "
           f"{len(metrics['counters'])} counters, "
           f"{len(metrics['gauges'])} gauges, "
@@ -97,12 +107,13 @@ def main():
     metrics = sub.add_parser("metrics")
     metrics.add_argument("path")
     metrics.add_argument("--backend")
+    metrics.add_argument("--require-counter", action="append", default=[])
     trace = sub.add_parser("trace")
     trace.add_argument("path")
     trace.add_argument("--expect-span", action="append", default=[])
     args = parser.parse_args()
     if args.mode == "metrics":
-        check_metrics(args.path, args.backend)
+        check_metrics(args.path, args.backend, args.require_counter)
     else:
         check_trace(args.path, args.expect_span)
 

@@ -154,8 +154,11 @@ class Linter:
 
             # sqe-user-data (b): forwarding caller user_data into an SQE.
             if in_io or in_net:
+                # Alternatives ordered longest-first so prep_read_fixed /
+                # prep_readv match their own branch instead of relying on
+                # backtracking off the "read" prefix.
                 m = re.search(
-                    r"prep_(read|readv|read_fixed|nop|accept|recv|send|"
+                    r"prep_(read_fixed|readv|read|nop|accept|recv|send|"
                     r"timeout)\s*\(.*"
                     r"\breq(uest)?s?\w*\.user_data\b", line)
                 if m and not self.allowed(lines, lineno - 1, "sqe-user-data"):

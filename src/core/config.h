@@ -38,6 +38,15 @@ struct SamplerConfig {
   // (IORING_REGISTER_FILES) so reads skip per-op fd lookup.
   bool register_file = false;
 
+  // io_uring backends: register a per-worker fixed-buffer arena
+  // (IORING_REGISTER_BUFFERS) and read via IORING_OP_READ_FIXED, which
+  // skips the kernel's per-op page pinning. kAuto (default) uses the
+  // fixed path when the kernel supports it and degrades silently; kOn
+  // warns on degradation; kOff never registers. The arena is sized to
+  // the workspace value buffer plus both pipeline block buffers and is
+  // charged to the memory budget in place of those allocations.
+  io::FixedBufferMode register_buffers = io::FixedBufferMode::kAuto;
+
   // Fig. 3b: overlap I/O preparation with completion collection. When
   // false, each I/O group is prepared, submitted, and fully drained
   // before the next is touched.

@@ -6,6 +6,7 @@
 #include <array>
 #include <cstring>
 
+#include "io/fixed_buffer_pool.h"
 #include "obs/trace.h"
 #include "util/log.h"
 #include "util/timer.h"
@@ -22,31 +23,60 @@ Result<std::unique_ptr<ReadPipeline>> ReadPipeline::create(
                            " exceeds backend capacity " +
                            std::to_string(backend.capacity()));
   }
-  // Double-buffered scratch: items + requests + ref table (+ block
-  // buffers in block mode), for both groups.
+  // Block staging buffers come from the backend's registered fixed-
+  // buffer arena when it has one with room — reads into them then take
+  // the zero-setup READ_FIXED path. Heap-allocated otherwise. Carved
+  // slices are not charged to the budget: the whole arena was charged
+  // once when the backend was built.
+  const std::uint64_t block_part =
+      options.block_mode ? static_cast<std::uint64_t>(options.group_size) *
+                               options.block_bytes
+                         : 0;
+  struct BlockCarve {
+    AlignedPtr owned;
+    unsigned char* view = nullptr;
+  };
+  BlockCarve carve[2];
+  unsigned pool_served = 0;
+  if (options.block_mode) {
+    io::FixedBufferPool* pool = backend.fixed_pool();
+    const std::size_t align =
+        std::max<std::size_t>(kDirectIoAlign, options.block_bytes);
+    for (BlockCarve& c : carve) {
+      if (pool != nullptr) {
+        auto carved = pool->allocate(static_cast<std::size_t>(block_part),
+                                     align);
+        if (carved.is_ok()) {
+          c.view = carved.value().data();
+          ++pool_served;
+          continue;
+        }
+      }
+      c.owned = aligned_alloc_bytes(static_cast<std::size_t>(block_part),
+                                    align);
+      c.view = c.owned.get();
+    }
+  }
+
+  // Double-buffered scratch: items + requests + ref table, for both
+  // groups, plus whichever block buffers live on the heap.
   const std::uint64_t per_group =
-      options.group_size *
-          (sizeof(SampleItem) + sizeof(io::ReadRequest) +
-           sizeof(std::uint32_t) + sizeof(RetryState)) +
-      (options.block_mode
-           ? static_cast<std::uint64_t>(options.group_size) *
-                 options.block_bytes
-           : 0);
-  const std::uint64_t scratch_bytes = 2 * per_group;
+      options.group_size * (sizeof(SampleItem) + sizeof(io::ReadRequest) +
+                            sizeof(std::uint32_t) + sizeof(RetryState));
+  const std::uint64_t scratch_bytes =
+      2 * per_group + (2 - pool_served) * block_part;
   RS_RETURN_IF_ERROR(budget.charge(scratch_bytes, "pipeline scratch"));
 
   auto pipeline = std::unique_ptr<ReadPipeline>(
       new ReadPipeline(backend, cache, options, budget, scratch_bytes));
-  for (Group& group : pipeline->groups_) {
+  for (int g = 0; g < 2; ++g) {
+    Group& group = pipeline->groups_[g];
     group.items.resize(options.group_size);
     group.requests.resize(options.group_size);
     group.ref_begin.resize(options.group_size + 1);
     group.retry.resize(options.group_size);
-    if (options.block_mode) {
-      group.block_buf = aligned_alloc_bytes(
-          static_cast<std::size_t>(options.group_size) * options.block_bytes,
-          std::max<std::size_t>(kDirectIoAlign, options.block_bytes));
-    }
+    group.block_buf = std::move(carve[g].owned);
+    group.block_view = carve[g].view;
   }
   return pipeline;
 }
@@ -135,7 +165,7 @@ std::size_t ReadPipeline::fill_group(ItemSource& source, Group& group,
   std::size_t r = 0;          // request index
   std::size_t slot_base = 0;  // buffer slots consumed
   std::size_t i = 0;
-  auto* buf = group.block_buf.get();
+  auto* buf = group.block_view;
   while (i < misses) {
     const std::uint64_t first_block = block_of(group.items[i]);
     group.ref_begin[r] = static_cast<std::uint32_t>(i);
@@ -227,20 +257,29 @@ Status ReadPipeline::handle_completion(const io::Completion& completion,
   } else {
     st.done += static_cast<std::uint32_t>(res);
     if (st.done < req.len) {
-      // Short read — legal per POSIX on a regular file. Resume from the
-      // delivered prefix: the bytes we have are real, only the tail is
-      // re-requested.
-      retry = st.attempts < options_.max_io_attempts;
-      if (!retry) {
-        if (deferred_error_.is_ok()) {
-          deferred_error_ = Status::io_error(
-              "short read at offset " + std::to_string(req.offset) + ": " +
-              std::to_string(st.done) + " of " + std::to_string(req.len) +
-              " bytes after " + std::to_string(st.attempts) + " attempts");
+      if (options_.block_mode && extent_items_delivered(group, r, st.done)) {
+        // Short read at EOF: extents are built from block arithmetic, so
+        // the file's last extent can end past its payload and will never
+        // fill completely — retrying re-delivers the same prefix until
+        // attempts exhaust. When every referenced entry lies within the
+        // delivered prefix the read is complete for our purposes; the
+        // cache fill below skips the partially-populated tail block.
+      } else {
+        // Short read — legal per POSIX on a regular file. Resume from
+        // the delivered prefix: the bytes we have are real, only the
+        // tail is re-requested.
+        retry = st.attempts < options_.max_io_attempts;
+        if (!retry) {
+          if (deferred_error_.is_ok()) {
+            deferred_error_ = Status::io_error(
+                "short read at offset " + std::to_string(req.offset) + ": " +
+                std::to_string(st.done) + " of " + std::to_string(req.len) +
+                " bytes after " + std::to_string(st.attempts) + " attempts");
+          }
+          return Status::ok();
         }
-        return Status::ok();
+        ++st.attempts;
       }
-      ++st.attempts;
     }
   }
 
@@ -249,6 +288,14 @@ Status ReadPipeline::handle_completion(const io::Completion& completion,
     retries_counter_.add();
     io::retry_backoff_sleep(st.attempts - 1, options_.retry_backoff_initial_us,
                             options_.retry_backoff_max_us);
+    if (options_.block_mode) {
+      // Resuming at the raw delivered prefix would issue a read whose
+      // offset/len/buf are not block-aligned — EINVAL under O_DIRECT.
+      // Restart from the containing block boundary instead; the few
+      // re-delivered bytes are idempotent.
+      st.done = static_cast<std::uint32_t>(
+          align_down(st.done, options_.block_bytes));
+    }
     io::ReadRequest tail = req;
     tail.offset += st.done;
     tail.len -= st.done;
@@ -272,11 +319,29 @@ Status ReadPipeline::handle_completion(const io::Completion& completion,
     std::memcpy(values + item.slot, extent + within, kEdgeEntryBytes);
   }
   if (cache_ != nullptr) {
-    for (std::uint32_t b = 0; b * bs < req.len; ++b) {
+    // Only fully-populated blocks may enter the cache: an accepted EOF
+    // short read leaves the tail block partially filled, and inserting
+    // it would let later lookups read the stale bytes past the
+    // delivered prefix with no way to tell.
+    const std::uint32_t delivered = std::min(st.done, req.len);
+    for (std::uint32_t b = 0;
+         (b + 1) * static_cast<std::uint64_t>(bs) <= delivered; ++b) {
       cache_->insert(req.offset / bs + b, extent + b * bs);
     }
   }
   return Status::ok();
+}
+
+bool ReadPipeline::extent_items_delivered(const Group& group, std::size_t r,
+                                          std::uint32_t delivered) const {
+  const io::ReadRequest& req = group.requests[r];
+  for (std::uint32_t i = group.ref_begin[r]; i < group.ref_begin[r + 1];
+       ++i) {
+    const std::uint64_t end = group.items[i].edge_idx * kEdgeEntryBytes +
+                              kEdgeEntryBytes - req.offset;
+    if (end > delivered) return false;
+  }
+  return true;
 }
 
 void ReadPipeline::quiesce() {

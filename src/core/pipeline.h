@@ -108,7 +108,12 @@ class ReadPipeline {
     // Block mode: requests[r] covers items[ref_begin[r], ref_begin[r+1]).
     std::vector<std::uint32_t> ref_begin;
     std::vector<RetryState> retry;
+    // Block staging memory. block_view is what fill_group targets; it
+    // aliases either block_buf (heap-owned) or a slice of the backend's
+    // registered fixed-buffer arena, in which case block_buf stays null
+    // and reads take the READ_FIXED path.
     AlignedPtr block_buf;
+    unsigned char* block_view = nullptr;
     std::size_t num_requests = 0;
     std::size_t num_items = 0;
   };
@@ -131,6 +136,12 @@ class ReadPipeline {
   // rest of the group still drains.
   Status handle_completion(const io::Completion& completion, Group& group,
                            NodeId* values);
+  // Block mode: true when every sampled entry referenced by request `r`
+  // lies entirely within the first `delivered` bytes of the extent —
+  // the acceptance test for short reads at EOF, where the block-shaped
+  // extent can never be filled completely.
+  bool extent_items_delivered(const Group& group, std::size_t r,
+                              std::uint32_t delivered) const;
   // Best-effort bounded discard-drain of everything still in flight,
   // called before every error return so the kernel never holds
   // completions aimed at group scratch we are about to recycle.

@@ -7,8 +7,10 @@
 #include <thread>
 
 #include "graph/binary_format.h"
+#include "io/fixed_buffer_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/align.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -20,6 +22,10 @@ Result<std::unique_ptr<RingSampler>> RingSampler::open(
   auto sampler = std::unique_ptr<RingSampler>(new RingSampler());
   RS_RETURN_IF_ERROR(sampler->init(graph_base, config, budget));
   return sampler;
+}
+
+RingSampler::~RingSampler() {
+  if (arena_bytes_charged_ > 0) budget_->release(arena_bytes_charged_);
 }
 
 Status RingSampler::init(const std::string& graph_base,
@@ -64,11 +70,37 @@ Status RingSampler::build_contexts() {
     backend_config.kind = config_.backend;
     backend_config.queue_depth = config_.queue_depth;
     backend_config.register_file = config_.register_file;
+    backend_config.fixed_buffers = config_.register_buffers;
+    if (config_.register_buffers != io::FixedBufferMode::kOff) {
+      // Arena sized for what this worker carves from it: the values
+      // workspace (exact-mode read destinations) plus both pipeline
+      // block staging buffers, each rounded to the O_DIRECT alignment.
+      const std::uint64_t arena =
+          align_up(config_.max_width() * sizeof(NodeId), kDirectIoAlign) +
+          2 * align_up(static_cast<std::uint64_t>(config_.queue_depth) *
+                           config_.block_bytes,
+                       kDirectIoAlign);
+      // Registered pages are pinned (RLIMIT_MEMLOCK / memcg); very wide
+      // fanout configs would pin too much, so past the cap the worker
+      // just runs on plain reads.
+      constexpr std::uint64_t kMaxArenaBytes = 64ull << 20;
+      if (arena <= kMaxArenaBytes) {
+        backend_config.fixed_arena_bytes = arena;
+      }
+    }
     RS_ASSIGN_OR_RETURN(
         ctx->backend,
         io::make_backend_auto(backend_config, edge_file_.fd()));
-    RS_ASSIGN_OR_RETURN(ctx->workspace,
-                        Workspace::create(config_, *budget_));
+    if (io::FixedBufferPool* pool = ctx->backend->fixed_pool()) {
+      // The workspace and pipeline buffers carved from the arena are
+      // *not* charged individually — the arena is charged once here.
+      RS_RETURN_IF_ERROR(
+          budget_->charge(pool->arena_bytes(), "fixed-buffer arena"));
+      arena_bytes_charged_ += pool->arena_bytes();
+    }
+    RS_ASSIGN_OR_RETURN(
+        ctx->workspace,
+        Workspace::create(config_, *budget_, ctx->backend->fixed_pool()));
     // Distinct, decorrelated stream per worker (SplitMix64-expanded).
     std::uint64_t sm = config_.seed + 0x9e3779b97f4a7c15ULL * (t + 1);
     ctx->rng = Xoshiro256(splitmix64(sm));

@@ -43,6 +43,8 @@ class RingSampler final : public Sampler {
       const std::string& graph_base, const SamplerConfig& config,
       MemoryBudget* budget = nullptr);
 
+  ~RingSampler() override;
+
   std::string name() const override { return "RingSampler"; }
   const SamplerConfig& config() const { return config_; }
   const OffsetIndex& index() const { return index_; }
@@ -143,6 +145,9 @@ class RingSampler final : public Sampler {
   OffsetIndex index_;
   NeighborCache hot_cache_;
   bool block_mode_ = false;
+  // Fixed-buffer arenas charged to the budget (released in the dtor —
+  // the backends own the arenas but not the budget accounting).
+  std::uint64_t arena_bytes_charged_ = 0;
   std::vector<std::unique_ptr<ThreadContext>> contexts_;
   // Serializes BatchSink invocations across worker threads (the sink is
   // caller-supplied and not required to be thread-safe).

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "io/fixed_buffer_pool.h"
+
 namespace rs::core {
 
 Result<Workspace> Workspace::create(const SamplerConfig& config,
-                                    MemoryBudget& budget) {
+                                    MemoryBudget& budget,
+                                    io::FixedBufferPool* pool) {
   RS_CHECK_MSG(!config.fanouts.empty(), "at least one sampling layer");
   const std::uint64_t max_width = config.max_width();
   // Targets of layer l are the (deduped) values of layer l-1; the widest
@@ -19,9 +22,18 @@ Result<Workspace> Workspace::create(const SamplerConfig& config,
           : config.batch_size;
 
   Workspace ws;
-  RS_ASSIGN_OR_RETURN(ws.values_,
-                      TrackedBuffer<NodeId>::create(
-                          budget, max_width, "workspace values"));
+  if (pool != nullptr) {
+    auto carved = pool->allocate(max_width * sizeof(NodeId));
+    if (carved.is_ok()) {
+      ws.values_view_ = reinterpret_cast<NodeId*>(carved.value().data());
+      ws.values_view_count_ = static_cast<std::size_t>(max_width);
+    }
+  }
+  if (ws.values_view_ == nullptr) {
+    RS_ASSIGN_OR_RETURN(ws.values_,
+                        TrackedBuffer<NodeId>::create(
+                            budget, max_width, "workspace values"));
+  }
   RS_ASSIGN_OR_RETURN(ws.targets_,
                       TrackedBuffer<NodeId>::create(
                           budget, max_targets, "workspace targets"));
@@ -32,8 +44,8 @@ Result<Workspace> Workspace::create(const SamplerConfig& config,
 }
 
 std::size_t Workspace::dedup_into_targets(std::size_t n) {
-  RS_CHECK(n <= values_.size());
-  NodeId* begin = values_.data();
+  RS_CHECK(n <= values_capacity());
+  NodeId* begin = values();
   NodeId* end = begin + n;
   std::sort(begin, end);
   end = std::unique(begin, end);

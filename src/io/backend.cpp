@@ -50,6 +50,8 @@ IoInstruments IoInstruments::for_backend(const std::string& backend_name) {
   instruments.errors = registry.counter("io." + backend_name + ".errors");
   instruments.completion_latency =
       registry.histogram("io." + backend_name + ".completion_latency_ns");
+  instruments.error_latency =
+      registry.histogram("io." + backend_name + ".error_latency_ns");
   return instruments;
 }
 
@@ -183,7 +185,9 @@ Result<std::unique_ptr<IoBackend>> make_backend(const BackendConfig& config,
           auto backend,
           UringBackend::create(fd, config.queue_depth,
                                UringBackend::WaitMode::kInterrupt,
-                               /*sqpoll=*/false, config.register_file));
+                               /*sqpoll=*/false, config.register_file,
+                               config.fixed_buffers,
+                               config.fixed_arena_bytes));
       return std::unique_ptr<IoBackend>(std::move(backend));
     }
     case BackendKind::kUringPoll: {
@@ -191,7 +195,9 @@ Result<std::unique_ptr<IoBackend>> make_backend(const BackendConfig& config,
           auto backend,
           UringBackend::create(fd, config.queue_depth,
                                UringBackend::WaitMode::kBusyPoll,
-                               /*sqpoll=*/false, config.register_file));
+                               /*sqpoll=*/false, config.register_file,
+                               config.fixed_buffers,
+                               config.fixed_arena_bytes));
       return std::unique_ptr<IoBackend>(std::move(backend));
     }
     case BackendKind::kUringSqpoll: {
@@ -199,7 +205,9 @@ Result<std::unique_ptr<IoBackend>> make_backend(const BackendConfig& config,
           auto backend,
           UringBackend::create(fd, config.queue_depth,
                                UringBackend::WaitMode::kBusyPoll,
-                               /*sqpoll=*/true, config.register_file));
+                               /*sqpoll=*/true, config.register_file,
+                               config.fixed_buffers,
+                               config.fixed_arena_bytes));
       return std::unique_ptr<IoBackend>(std::move(backend));
     }
     case BackendKind::kPsync:
@@ -287,6 +295,7 @@ Result<std::unique_ptr<IoBackend>> make_backend_auto(
     note_downgrade(attempt.kind, next, cause);
     attempt.kind = next;
     attempt.register_file = false;  // fixed files are a uring feature
+    attempt.fixed_buffers = FixedBufferMode::kOff;  // likewise fixed buffers
   }
 
   if (injecting && fault_config.injects_completions()) {

@@ -80,10 +80,18 @@ struct IoInstruments {
   obs::Counter requests;
   obs::Counter bytes_requested;
   obs::Counter errors;
+  // Submit-to-completion latency of *successful* completions (including
+  // short reads — those waited on the device like any other). Failed
+  // completions land in error_latency instead: an instant -EIO under
+  // fault injection would otherwise drag p50 down and corrupt the
+  // Fig. 6 CDFs.
   obs::LatencyHistogram completion_latency;
+  obs::LatencyHistogram error_latency;
 
   static IoInstruments for_backend(const std::string& backend_name);
 };
+
+class FixedBufferPool;  // fixed_buffer_pool.h
 
 class IoBackend {
  public:
@@ -120,6 +128,13 @@ class IoBackend {
   virtual const IoStats& stats() const = 0;
   virtual void reset_stats() = 0;
   virtual std::string name() const = 0;
+
+  // The registered fixed-buffer arena this backend submits READ_FIXED
+  // against, or nullptr (non-uring backends; uring without a pool).
+  // Callers (ReadPipeline, Workspace) carve their I/O destination
+  // buffers from it so reads go through the zero-setup fixed path.
+  // Decorators (FaultInjectBackend) forward to the wrapped backend.
+  virtual FixedBufferPool* fixed_pool() { return nullptr; }
 
   // Convenience: submit and drain a whole batch synchronously, retrying
   // failed and short reads per retry_class() with a bounded budget.
@@ -165,6 +180,17 @@ enum class BackendKind {
 
 const char* backend_kind_name(BackendKind kind);
 
+// Registered fixed buffers (IORING_REGISTER_BUFFERS + READ_FIXED):
+//  * kAuto: use them when the probe reports op_read_fixed and
+//    registration succeeds; degrade to plain reads silently otherwise
+//    (mirroring make_backend_auto's ladder). The production default.
+//  * kOn:   like kAuto but the fallback is logged — the caller asked
+//    explicitly, so losing the fixed path is worth a warning.
+//  * kOff:  never register; always plain IORING_OP_READ.
+// Every plain read submitted while fixed buffers were requested bumps
+// the io.fixed_fallbacks counter; fixed-path reads bump io.fixed_reads.
+enum class FixedBufferMode { kAuto, kOn, kOff };
+
 struct BackendConfig {
   BackendKind kind = BackendKind::kUringPoll;
   unsigned queue_depth = 512;
@@ -172,6 +198,11 @@ struct BackendConfig {
   // and issue reads against the fixed-file slot, skipping the per-op fd
   // refcount in the kernel.
   bool register_file = false;
+  // io_uring only: fixed-buffer arena. fixed_arena_bytes == 0 disables
+  // the pool regardless of mode (there is nothing to register); callers
+  // size the arena to cover the buffers they will carve from it.
+  FixedBufferMode fixed_buffers = FixedBufferMode::kAuto;
+  std::uint64_t fixed_arena_bytes = 0;
 };
 
 // Opens `fd`-independent state as needed and returns a backend reading

@@ -100,6 +100,10 @@ class FaultInjectBackend final : public IoBackend {
   void reset_stats() override { stats_ = IoStats{}; }
   std::string name() const override { return inner_->name() + "+fault"; }
 
+  // The arena is the wrapped backend's; forwarding lets pipeline code
+  // carve fixed buffers through the decorator transparently.
+  FixedBufferPool* fixed_pool() override { return inner_->fixed_pool(); }
+
   const FaultStats& fault_stats() const { return fault_stats_; }
   IoBackend& inner() { return *inner_; }
 

@@ -1,0 +1,53 @@
+#include "io/fixed_buffer_pool.h"
+
+#include <sys/uio.h>
+
+#include <cstring>
+
+#include "uring/ring.h"
+
+namespace rs::io {
+
+Result<std::unique_ptr<FixedBufferPool>> FixedBufferPool::create(
+    std::size_t arena_bytes) {
+  if (arena_bytes == 0) {
+    return Status::invalid("FixedBufferPool: arena_bytes must be > 0");
+  }
+  const std::size_t rounded =
+      static_cast<std::size_t>(align_up(arena_bytes, kDirectIoAlign));
+  AlignedPtr arena = aligned_alloc_bytes(rounded, kDirectIoAlign);
+  // Touch every page now: registration pins the pages anyway, and a
+  // zeroed arena keeps reads of never-written staging bytes defined
+  // (the EOF-tail paths may inspect a delivered prefix only).
+  std::memset(arena.get(), 0, rounded);
+  return std::unique_ptr<FixedBufferPool>(
+      new FixedBufferPool(std::move(arena), rounded));
+}
+
+Status FixedBufferPool::register_with(uring::Ring& ring) {
+  if (registered_) return Status::ok();
+  iovec iov{};
+  iov.iov_base = arena_.get();
+  iov.iov_len = arena_bytes_;
+  RS_RETURN_IF_ERROR(ring.register_buffers({&iov, 1}));
+  registered_ = true;
+  return Status::ok();
+}
+
+Result<std::span<unsigned char>> FixedBufferPool::allocate(std::size_t bytes,
+                                                           std::size_t align) {
+  RS_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+               "alignment must be a power of two");
+  const std::size_t base =
+      static_cast<std::size_t>(align_up(used_, align));
+  if (bytes > arena_bytes_ || base > arena_bytes_ - bytes) {
+    return Status::oom(
+        "FixedBufferPool: arena exhausted (" + std::to_string(arena_bytes_) +
+        " bytes, " + std::to_string(used_) + " used, " +
+        std::to_string(bytes) + " requested)");
+  }
+  used_ = base + bytes;
+  return std::span<unsigned char>(arena_.get() + base, bytes);
+}
+
+}  // namespace rs::io

@@ -24,7 +24,14 @@ Status PsyncBackend::submit(std::span<const ReadRequest> requests) {
       n = ::pread(fd_, req.buf, req.len, static_cast<off_t>(req.offset));
     } while (n < 0 && errno == EINTR);
     if (timing) {
-      instruments_.completion_latency.record_ns(obs::now_ns() - start_ns);
+      // Failures go to the error histogram so the success percentiles
+      // aren't dragged by instantly-failing preads (matches UringBackend).
+      const std::uint64_t lat = obs::now_ns() - start_ns;
+      if (n < 0) {
+        instruments_.error_latency.record_ns(lat);
+      } else {
+        instruments_.completion_latency.record_ns(lat);
+      }
     }
     Completion completion;
     completion.user_data = req.user_data;

@@ -6,11 +6,20 @@
 //                  completion side.
 //   * kUringSqpoll: adds IORING_SETUP_SQPOLL so submission needs no
 //                  syscall either (paper §5, future work).
+//
+// Orthogonally to the wait mode, the backend can own a registered
+// fixed-buffer arena (FixedBufferPool): when a request's destination
+// buffer lies inside the arena, submit() preps IORING_OP_READ_FIXED,
+// which skips the per-op get_user_pages/iov import the kernel otherwise
+// performs on every read. Requests whose buffers live elsewhere fall
+// back to plain IORING_OP_READ on a per-request basis — the two opcodes
+// mix freely within one batch.
 #pragma once
 
 #include <vector>
 
 #include "io/backend.h"
+#include "io/fixed_buffer_pool.h"
 #include "uring/ring.h"
 
 namespace rs::io {
@@ -19,9 +28,17 @@ class UringBackend final : public IoBackend {
  public:
   enum class WaitMode { kInterrupt, kBusyPoll };
 
+  // `fixed_buffers` + `fixed_arena_bytes` opt into a registered arena
+  // (see BackendConfig): the pool is created and registered only when
+  // the probe reports op_read_fixed, read_fixed_disabled() is not set,
+  // and registration succeeds — otherwise the backend runs without a
+  // pool and every read takes the plain path (counted as a fallback
+  // when the caller had asked for fixed buffers).
   static Result<std::unique_ptr<UringBackend>> create(
       int fd, unsigned queue_depth, WaitMode wait_mode, bool sqpoll,
-      bool register_file = false);
+      bool register_file = false,
+      FixedBufferMode fixed_buffers = FixedBufferMode::kOff,
+      std::uint64_t fixed_arena_bytes = 0);
 
   unsigned capacity() const override { return capacity_; }
   unsigned in_flight() const override { return in_flight_; }
@@ -36,11 +53,22 @@ class UringBackend final : public IoBackend {
   void reset_stats() override { stats_ = IoStats{}; }
   std::string name() const override;
 
+  FixedBufferPool* fixed_pool() override { return pool_.get(); }
+
   const uring::RingStats& ring_stats() const { return ring_.stats(); }
 
+  // Test hook: the next `n` submit() calls prep their SQEs normally but
+  // drop them unpublished and report an injected submit failure —
+  // exercising the slot-reconciliation path without needing the kernel
+  // to reject SQEs (regression coverage for the freelist leak).
+  void inject_submit_failures_for_testing(unsigned n) {
+    submit_failures_to_inject_ = n;
+  }
+
  private:
-  UringBackend(uring::Ring ring, int fd, unsigned capacity,
-               WaitMode wait_mode, bool fixed_file);
+  UringBackend(uring::Ring ring, std::unique_ptr<FixedBufferPool> pool,
+               int fd, unsigned capacity, WaitMode wait_mode,
+               bool fixed_file, bool fixed_requested);
 
   unsigned drain_cq(std::span<Completion> out);
 
@@ -62,16 +90,33 @@ class UringBackend final : public IoBackend {
     std::uint32_t len = 0;
   };
 
+  // pool_ is declared before ring_ so it is destroyed after: the ring's
+  // destructor closes the ring fd, which implicitly unregisters the
+  // arena's pinned pages, and only then may the arena memory be freed.
+  std::unique_ptr<FixedBufferPool> pool_;
   uring::Ring ring_;
   int fd_;
   unsigned capacity_;
   WaitMode wait_mode_;
   bool fixed_file_ = false;
+  // The caller asked for fixed buffers (mode != kOff with a nonzero
+  // arena). When true and a read still takes the plain path — pool
+  // missing or buffer outside the arena — io.fixed_fallbacks counts it.
+  bool fixed_requested_ = false;
   unsigned in_flight_ = 0;
+  unsigned submit_failures_to_inject_ = 0;
   IoStats stats_;
   IoInstruments instruments_;
+  obs::Counter fixed_reads_;
+  obs::Counter fixed_fallbacks_;
   std::vector<PendingRead> pending_;  // slot index -> in-flight read
   std::vector<std::uint32_t> free_slots_;
+  // Per-batch scratch, reused across submit() calls: the slots handed
+  // out for this batch (returned to the freelist when the kernel
+  // accepts fewer SQEs than prepped) and whether each request took the
+  // fixed path (counter attribution over the accepted prefix).
+  std::vector<std::uint32_t> batch_slots_;
+  std::vector<unsigned char> batch_fixed_;
 };
 
 }  // namespace rs::io

@@ -4,6 +4,9 @@
 #include <string.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <vector>
 
@@ -13,6 +16,20 @@
 
 namespace rs::uring {
 namespace {
+
+std::atomic<bool> g_read_fixed_disabled{false};
+
+// RS_NO_READ_FIXED=1 forces the plain-read path before main(), mirroring
+// RS_IO_TIMING / RS_FAULT.
+struct ReadFixedEnvInit {
+  ReadFixedEnvInit() {
+    const char* env = std::getenv("RS_NO_READ_FIXED");
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+      g_read_fixed_disabled.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+ReadFixedEnvInit g_read_fixed_env_init;
 
 bool probe_opcode_support(Features& features) {
   // IORING_REGISTER_PROBE fills a table of supported opcodes.
@@ -64,6 +81,14 @@ std::string Features::to_string() const {
       << " net_ops=" << (net_ops_supported() ? "yes" : "no") << " raw=0x"
       << std::hex << raw_feature_bits;
   return out.str();
+}
+
+void set_read_fixed_override(bool disabled) {
+  g_read_fixed_disabled.store(disabled, std::memory_order_relaxed);
+}
+
+bool read_fixed_disabled() {
+  return g_read_fixed_disabled.load(std::memory_order_relaxed);
 }
 
 const Features& probe_features() {

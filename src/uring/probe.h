@@ -35,4 +35,13 @@ struct Features {
 // Probes once and caches. Safe to call from multiple threads.
 const Features& probe_features();
 
+// Force the READ_FIXED capability off at runtime, as if the probe had
+// reported op_read_fixed=false: backends then take the plain-read path
+// and count io.fixed_fallbacks. Used by tests and the forced-off arm of
+// bench/ablation_fixed_buffers; also settable via the RS_NO_READ_FIXED
+// environment variable (any value but "0"). The override gates backend
+// *creation* — it does not retroactively change already-built backends.
+void set_read_fixed_override(bool disabled);
+bool read_fixed_disabled();
+
 }  // namespace rs::uring

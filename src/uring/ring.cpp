@@ -327,21 +327,56 @@ Result<unsigned> Ring::submit() {
   // -EBUSY means the kernel's CQ-overflow backlog is non-empty and must
   // drain before new SQEs are accepted; flush and retry a bounded number
   // of times (progress requires the consumer to free CQ space, so an
-  // unbounded loop could spin forever against a full, undrained CQ).
+  // unbounded loop could spin forever against a full, undrained CQ). The
+  // kernel may also legitimately consume a *prefix* of the batch before
+  // hitting back-pressure; keep pushing the remainder within the same
+  // attempt budget, and withdraw whatever never made it in so the caller
+  // sees exactly `consumed` accepted and owns the rest again.
+  unsigned consumed = 0;
+  Status error = Status::ok();
   for (unsigned attempt = 0; attempt < 64; ++attempt) {
     ++stats_.enter_calls;
-    const int rc = sys_io_uring_enter(ring_fd_, to_submit, 0, 0, nullptr);
-    if (rc >= 0) return static_cast<unsigned>(rc);
+    const int rc =
+        sys_io_uring_enter(ring_fd_, to_submit - consumed, 0, 0, nullptr);
+    if (rc >= 0) {
+      consumed += static_cast<unsigned>(rc);
+      if (consumed >= to_submit) return to_submit;
+      continue;  // partial prefix accepted; push the remainder
+    }
+    if (rc == -EINTR) continue;
     if (rc != -EBUSY) {
-      return Status::io_error(std::string("io_uring_enter(submit): ") +
-                              ::strerror(-rc));
+      error = Status::io_error(std::string("io_uring_enter(submit): ") +
+                               ::strerror(-rc));
+      break;
     }
     ++stats_.ebusy_retries;
-    RS_RETURN_IF_ERROR(flush_cq_overflow());
+    Status flushed = flush_cq_overflow();
+    if (!flushed.is_ok()) {
+      error = std::move(flushed);
+      break;
+    }
   }
+  rewind_unsubmitted(to_submit - consumed);
+  if (!error.is_ok()) {
+    if (consumed > 0) return consumed;  // a prefix did go in: report it
+    return error;
+  }
+  if (consumed > 0) return consumed;
   return Status::io_error(
       "io_uring_enter(submit): EBUSY persists (CQ overflow backlog not "
       "draining; consumer must reap completions)");
+}
+
+void Ring::rewind_unsubmitted(unsigned n) {
+  if (n == 0) return;
+  // Only the consumer side (us) writes sq_ktail_; outside io_uring_enter
+  // the kernel never reads the SQ on a non-SQPOLL ring, so stepping the
+  // tail back withdraws the unconsumed entries race-free.
+  const unsigned ktail = load_relaxed(sq_ktail_);
+  store_release(sq_ktail_, ktail - n);
+  sqe_head_ -= n;
+  sqe_tail_ -= n;
+  stats_.sqes_submitted -= n;
 }
 
 Result<unsigned> Ring::submit_and_wait(unsigned min_complete) {

@@ -136,10 +136,23 @@ class Ring {
                            unsigned count, unsigned flags,
                            std::uint64_t user_data);
 
-  // Publishes prepared SQEs to the kernel. Returns the number accepted.
-  // With SQPOLL this usually costs no syscall (only a wakeup if the
-  // kernel thread has idled).
+  // Publishes prepared SQEs to the kernel. Returns the number accepted,
+  // and leaves the SQ in a definite state the caller can account for:
+  //   * ok(n == prepared): everything was accepted.
+  //   * ok(n < prepared): the kernel accepted a prefix (persistent CQ
+  //     back-pressure or resource shortage survived the retry budget);
+  //     the remainder has been *withdrawn* — unpublished and dropped —
+  //     so the caller must re-prep anything it still wants issued.
+  //   * error: nothing was accepted; every prepared SQE was withdrawn.
+  // With SQPOLL the kernel thread owns published SQEs, so withdrawal is
+  // impossible: submit() always reports every prepared SQE as accepted,
+  // and a failed idle-wakeup surfaces as an error *after* ownership has
+  // transferred (completions will still arrive).
   Result<unsigned> submit();
+
+  // Drops SQEs prepared via get_sqe() but not yet published by submit().
+  // Test hook and abort path; a no-op when nothing is pending.
+  void drop_unsubmitted() { sqe_tail_ = sqe_head_; }
 
   // Submit and block until at least `min_complete` completions are
   // available (single io_uring_enter with GETEVENTS).
@@ -192,6 +205,11 @@ class Ring {
   Status init(const RingConfig& config);
   void destroy();
   Status enter_getevents(unsigned min_complete);
+  // Un-publishes the most recent `n` published-but-unconsumed SQEs (non-
+  // SQPOLL only: the kernel reads the SQ solely inside io_uring_enter, so
+  // entries it did not consume can be withdrawn by stepping the tail
+  // back) and forgets their preparation.
+  void rewind_unsubmitted(unsigned n);
 
   int ring_fd_ = -1;
   unsigned setup_flags_ = 0;

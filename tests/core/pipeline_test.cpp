@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <numeric>
 
 #include "io/mem_backend.h"
@@ -347,6 +348,147 @@ TEST(PipelineTest, ExtentsFillCacheBlockwise) {
         << "block " << block;
     EXPECT_EQ(out, static_cast<NodeId>(block * 128 * 3 + 1));
   }
+}
+
+// Forwards every request untouched but reports the first qualifying
+// completion as a *misaligned* short read (the inner backend really
+// delivered everything, so the lie only exercises the resume path), and
+// records every submitted (offset, len) so tests can assert the retry
+// tail stayed block-aligned. FaultInjectBackend's short mode cannot do
+// this: it truncates the inner request itself, so the resume offset it
+// produces is still whatever the decorator chose.
+class LyingShortBackend final : public io::IoBackend {
+ public:
+  LyingShortBackend(io::IoBackend& inner, std::uint32_t block_bytes,
+                    unsigned lies)
+      : inner_(inner), block_bytes_(block_bytes), lies_remaining_(lies) {}
+
+  unsigned capacity() const override { return inner_.capacity(); }
+  unsigned in_flight() const override { return inner_.in_flight(); }
+
+  Status submit(std::span<const io::ReadRequest> requests) override {
+    for (const io::ReadRequest& req : requests) {
+      submitted_.push_back({req.offset, req.len});
+      lengths_[req.user_data] = req.len;
+    }
+    return inner_.submit(requests);
+  }
+  Result<unsigned> poll(std::span<io::Completion> out) override {
+    auto n = inner_.poll(out);
+    if (n.is_ok()) lie(out, n.value());
+    return n;
+  }
+  Result<unsigned> wait(std::span<io::Completion> out) override {
+    auto n = inner_.wait(out);
+    if (n.is_ok()) lie(out, n.value());
+    return n;
+  }
+  const io::IoStats& stats() const override { return inner_.stats(); }
+  void reset_stats() override { inner_.reset_stats(); }
+  std::string name() const override { return "lying-short"; }
+
+  struct Submitted {
+    std::uint64_t offset;
+    std::uint32_t len;
+  };
+  const std::vector<Submitted>& submitted() const { return submitted_; }
+  unsigned lies_told() const { return lies_told_; }
+
+ private:
+  void lie(std::span<io::Completion> out, unsigned n) {
+    for (unsigned i = 0; i < n; ++i) {
+      const std::uint32_t len = lengths_[out[i].user_data];
+      // Only shorten multi-block reads: a one-block read would shrink
+      // below a block and retry against the lie forever.
+      if (lies_remaining_ > 0 && out[i].result > 0 &&
+          static_cast<std::uint32_t>(out[i].result) == len &&
+          len > block_bytes_) {
+        out[i].result = static_cast<std::int32_t>(block_bytes_ + 4);
+        --lies_remaining_;
+        ++lies_told_;
+      }
+    }
+  }
+
+  io::IoBackend& inner_;
+  std::uint32_t block_bytes_;
+  unsigned lies_remaining_;
+  unsigned lies_told_ = 0;
+  std::vector<Submitted> submitted_;
+  std::map<std::uint64_t, std::uint32_t> lengths_;
+};
+
+// Regression: resuming a shortened block-mode read must restart from the
+// containing block boundary, not from offset + done — a misaligned resume
+// offset EINVALs under O_DIRECT and desyncs the block scatter.
+TEST(PipelineTest, ShortReadResumeStaysBlockAligned) {
+  constexpr std::size_t kEntries = 4096;  // 16 KiB, multiple of 512
+  io::MemBackend inner(make_edge_bytes(kEntries), 512);
+  LyingShortBackend backend(inner, 512, /*lies=*/1);
+  MemoryBudget budget;
+  PipelineOptions options;
+  options.block_mode = true;
+  options.block_bytes = 512;
+  options.group_size = 512;
+  options.max_extent_blocks = 8;
+  options.retry_backoff_initial_us = 0;
+  auto pipeline = ReadPipeline::create(backend, nullptr, options, budget);
+  RS_ASSERT_OK(pipeline);
+
+  // Contiguous items spanning blocks 0..7 so one 8-block extent forms;
+  // the lie shortens its completion to 516 of 4096 bytes.
+  std::vector<SampleItem> items;
+  for (std::size_t i = 0; i < 1024; i += 2) {
+    items.push_back({i, static_cast<std::uint32_t>(items.size())});
+  }
+  std::vector<NodeId> values(items.size(), 0);
+  VectorSource source(items);
+  test::assert_ok(pipeline.value()->run(source, values.data()));
+  verify_values(items, values);
+
+  ASSERT_EQ(backend.lies_told(), 1u);
+  EXPECT_GT(pipeline.value()->stats().retries, 0u);
+  for (const auto& req : backend.submitted()) {
+    EXPECT_EQ(req.offset % 512, 0u)
+        << "resume offset " << req.offset << " not block-aligned";
+    EXPECT_EQ(req.len % 512, 0u)
+        << "resume length " << req.len << " not block-aligned";
+  }
+}
+
+// Regression: an extent shortened at EOF covers a partial tail block;
+// the cache fill loop must skip it — inserting it would mark a block
+// complete whose trailing bytes were never read.
+TEST(PipelineTest, EofTailBlockIsNotCached) {
+  constexpr std::size_t kEntries = 1000;  // 4000 bytes: 7 full blocks + 416
+  io::MemBackend backend(make_edge_bytes(kEntries), 64);
+  MemoryBudget budget;
+  auto cache = BlockCache::create(budget, 1 << 20, 512);
+  RS_ASSERT_OK(cache);
+  ASSERT_TRUE(cache.value().enabled());
+
+  PipelineOptions options;
+  options.block_mode = true;
+  options.block_bytes = 512;
+  options.group_size = 64;
+  options.retry_backoff_initial_us = 0;
+  auto pipeline =
+      ReadPipeline::create(backend, &cache.value(), options, budget);
+  RS_ASSERT_OK(pipeline);
+
+  // Stride-17 items cover every block including the EOF tail (block 7
+  // holds entries 896..999, i.e. 416 of 512 bytes).
+  const auto items = make_items(200, kEntries);
+  std::vector<NodeId> values(items.size(), 0);
+  VectorSource source(items);
+  test::assert_ok(pipeline.value()->run(source, values.data()));
+  verify_values(items, values);
+
+  std::uint32_t out = 0;
+  EXPECT_TRUE(cache.value().lookup(0, 0, 4, &out));
+  EXPECT_EQ(out, 1u);  // entry 0 == 0 * 3 + 1
+  EXPECT_FALSE(cache.value().lookup(7, 0, 4, &out))
+      << "partial EOF tail block was inserted into the cache";
 }
 
 TEST(PipelineTest, GroupSizeBeyondBackendCapacityRejected) {

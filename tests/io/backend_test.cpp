@@ -11,6 +11,7 @@
 #include <numeric>
 
 #include "io/mem_backend.h"
+#include "io/uring_backend.h"
 #include "testutil.h"
 #include "uring/uring_syscalls.h"
 
@@ -383,6 +384,56 @@ TEST(IoErrorsTest, MmapCountsShortReadPastEof) {
   test::assert_ok(backend.value()->submit(requests));
   drain_all(*backend.value());
   EXPECT_EQ(backend.value()->stats().io_errors, 2u);
+  close(fd);
+}
+
+// Regression: a failed submit() must return every freelist slot taken
+// for the batch. The leak was invisible to in_flight() (which stayed 0),
+// so the capacity check kept admitting batches until the freelist ran
+// dry underneath it and submit crashed on an empty pop.
+TEST(UringSubmitFailureTest, FailedSubmitsReturnFreelistSlots) {
+  if (!uring::kernel_supports_io_uring()) GTEST_SKIP();
+  TempDir dir;
+  const std::string path = dir.file("data.bin");
+  std::vector<std::uint32_t> data(1024);
+  std::iota(data.begin(), data.end(), 0u);
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fwrite(data.data(), 4, data.size(), f);
+  fclose(f);
+  const int fd = open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+
+  auto backend = UringBackend::create(
+      fd, 8, UringBackend::WaitMode::kBusyPoll, /*sqpoll=*/false);
+  RS_ASSERT_OK(backend);
+  const unsigned cap = backend.value()->capacity();
+
+  // Fail as many single-request submits as there are slots: with the
+  // leak, each one consumed a slot forever.
+  std::vector<std::uint32_t> out(cap, 0xdeadbeef);
+  for (unsigned i = 0; i < cap; ++i) {
+    backend.value()->inject_submit_failures_for_testing(1);
+    ReadRequest req{0, 4, &out[0], 99};
+    EXPECT_FALSE(backend.value()->submit({&req, 1}).is_ok());
+    EXPECT_EQ(backend.value()->in_flight(), 0u);
+  }
+
+  // Every slot must be back: a full-capacity batch submits and reads
+  // correctly.
+  std::vector<ReadRequest> batch(cap);
+  for (unsigned i = 0; i < cap; ++i) {
+    batch[i] = {static_cast<std::uint64_t>(i) * 4, 4, &out[i], i};
+  }
+  test::assert_ok(backend.value()->submit(batch));
+  drain_all(*backend.value());
+  for (unsigned i = 0; i < cap; ++i) {
+    EXPECT_EQ(out[i], i) << "read " << i;
+  }
+  // Withdrawn batches never reached the kernel: only the final batch
+  // counts as submitted requests.
+  EXPECT_EQ(backend.value()->stats().requests, cap);
+  EXPECT_EQ(backend.value()->stats().completions, cap);
   close(fd);
 }
 

@@ -194,6 +194,60 @@ TEST(FaultInjectTest, ShortReadsDeliverTruePrefix) {
   EXPECT_EQ(backend.fault_stats().shortened, 1u);
 }
 
+// Regression: error completions must land in io.<name>.error_latency_ns,
+// never in the success histogram — an instant -EBADF would otherwise
+// drag the completion-latency p50 toward zero and corrupt the Fig. 6
+// CDFs whenever fault injection is active.
+TEST(IoErrorLatencyTest, ErrorCompletionsDoNotMoveReadLatencyHistogram) {
+  if (!uring::kernel_supports_io_uring()) GTEST_SKIP();
+  FaultConfigGuard guard;
+  set_io_timing(true);
+
+  TempDir dir;
+  const std::string path = dir.file("data.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char payload[16] = {0};
+  fwrite(payload, 1, sizeof(payload), f);
+  fclose(f);
+  const int fd = open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+
+  BackendConfig config;
+  config.kind = BackendKind::kUringPoll;
+  config.queue_depth = 4;
+  auto backend = make_backend(config, fd);
+  RS_ASSERT_OK(backend);
+
+  auto histogram_count = [](const std::string& name) -> std::uint64_t {
+    for (const auto& h : obs::Registry::global().snapshot().histograms) {
+      if (h.name == name) return h.count;
+    }
+    return 0;
+  };
+  const std::string ok_hist =
+      "io." + backend.value()->name() + ".completion_latency_ns";
+  const std::string err_hist =
+      "io." + backend.value()->name() + ".error_latency_ns";
+  const std::uint64_t ok_before = histogram_count(ok_hist);
+  const std::uint64_t err_before = histogram_count(err_hist);
+
+  close(fd);  // ring holds the raw fd number; reads now fail with -EBADF
+  unsigned char buf[4];
+  ReadRequest req{0, 4, buf, 1};
+  test::assert_ok(backend.value()->submit({&req, 1}));
+  std::array<Completion, 1> completions;
+  auto n = backend.value()->wait(completions);
+  RS_ASSERT_OK(n);
+  ASSERT_EQ(n.value(), 1u);
+  EXPECT_LT(completions[0].result, 0);
+
+  EXPECT_EQ(histogram_count(ok_hist), ok_before)
+      << "error completion recorded into the success histogram";
+  EXPECT_EQ(histogram_count(err_hist), err_before + 1);
+  set_io_timing(false);
+}
+
 // ---- Fault matrix: every real backend kind under every fault mode, ----
 // ---- driven through the retrying read_batch_sync.                  ----
 

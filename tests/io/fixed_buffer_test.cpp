@@ -1,0 +1,202 @@
+// FixedBufferPool and the READ_FIXED read path: arena carving and
+// containment, correct bytes through registered buffers, the plain-read
+// mix within one batch, and clean degradation (with io.fixed_fallbacks
+// accounting) when the probe reports op_read_fixed unavailable.
+#include "io/fixed_buffer_pool.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <array>
+#include <numeric>
+
+#include "io/uring_backend.h"
+#include "obs/metrics.h"
+#include "testutil.h"
+#include "uring/probe.h"
+#include "uring/uring_syscalls.h"
+#include "util/align.h"
+
+namespace rs::io {
+namespace {
+
+using test::TempDir;
+
+std::uint64_t counter_value(const std::string& name) {
+  for (const auto& [counter, value] :
+       obs::Registry::global().snapshot().counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+// Restores the probe override no matter how the test exits.
+class ReadFixedOverrideGuard {
+ public:
+  ~ReadFixedOverrideGuard() { uring::set_read_fixed_override(false); }
+};
+
+TEST(FixedBufferPoolTest, AllocatesAlignedSlicesUntilExhausted) {
+  auto pool = FixedBufferPool::create(1000);  // rounds up to kDirectIoAlign
+  RS_ASSERT_OK(pool);
+  EXPECT_GE(pool.value()->arena_bytes(), 1000u);
+  EXPECT_EQ(pool.value()->arena_bytes() % kDirectIoAlign, 0u);
+  EXPECT_FALSE(pool.value()->registered());
+
+  auto a = pool.value()->allocate(100, 64);
+  RS_ASSERT_OK(a);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.value().data()) % 64, 0u);
+  EXPECT_EQ(a.value().size(), 100u);
+
+  auto b = pool.value()->allocate(100, 512);
+  RS_ASSERT_OK(b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.value().data()) % 512, 0u);
+  EXPECT_GE(pool.value()->used_bytes(), 200u);
+
+  // Exhaustion fails the allocation without touching prior slices.
+  auto too_big = pool.value()->allocate(pool.value()->arena_bytes());
+  EXPECT_FALSE(too_big.is_ok());
+  EXPECT_EQ(too_big.status().code(), ErrorCode::kOutOfMemory);
+}
+
+TEST(FixedBufferPoolTest, ResolveAcceptsArenaSlicesOnly) {
+  auto pool = FixedBufferPool::create(4096);
+  RS_ASSERT_OK(pool);
+  auto slice = pool.value()->allocate(256);
+  RS_ASSERT_OK(slice);
+
+  unsigned buf_index = 77;
+  EXPECT_TRUE(
+      pool.value()->resolve(slice.value().data(), 256, &buf_index));
+  EXPECT_EQ(buf_index, 0u);  // single-iovec arena
+  // A range straddling the arena end is not resolvable.
+  EXPECT_FALSE(pool.value()->resolve(
+      slice.value().data(), pool.value()->arena_bytes() + 1, &buf_index));
+  // Foreign memory is not resolvable.
+  std::array<unsigned char, 64> outside{};
+  EXPECT_FALSE(pool.value()->resolve(outside.data(), 64, &buf_index));
+}
+
+class UringFixedBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!uring::kernel_supports_io_uring()) {
+      GTEST_SKIP() << "io_uring unavailable";
+    }
+    path_ = dir_.file("data.bin");
+    data_.resize(4096);
+    std::iota(data_.begin(), data_.end(), 0u);
+    FILE* f = fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fwrite(data_.data(), 4, data_.size(), f);
+    fclose(f);
+    fd_ = open(path_.c_str(), O_RDONLY);
+    ASSERT_GE(fd_, 0);
+  }
+  void TearDown() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  TempDir dir_;
+  std::string path_;
+  std::vector<std::uint32_t> data_;
+  int fd_ = -1;
+};
+
+TEST_F(UringFixedBufferTest, FixedReadsDeliverCorrectBytes) {
+  auto backend = UringBackend::create(
+      fd_, 16, UringBackend::WaitMode::kBusyPoll, /*sqpoll=*/false,
+      /*register_file=*/false, FixedBufferMode::kOn, 64 << 10);
+  RS_ASSERT_OK(backend);
+  FixedBufferPool* pool = backend.value()->fixed_pool();
+  if (pool == nullptr) {
+    GTEST_SKIP() << "kernel lacks READ_FIXED or buffer registration";
+  }
+  ASSERT_TRUE(pool->registered());
+  EXPECT_NE(backend.value()->name().find("+fixedbuf"), std::string::npos)
+      << backend.value()->name();
+
+  constexpr std::size_t kReads = 64;
+  auto slice = pool->allocate(kReads * 4, 4);
+  RS_ASSERT_OK(slice);
+  auto* out = reinterpret_cast<std::uint32_t*>(slice.value().data());
+
+  const std::uint64_t fixed_before = counter_value("io.fixed_reads");
+  std::vector<ReadRequest> requests(kReads);
+  for (std::size_t i = 0; i < kReads; ++i) {
+    const std::uint64_t idx = (i * 13) % data_.size();
+    requests[i] = {idx * 4, 4, &out[i], i};
+  }
+  test::assert_ok(backend.value()->read_batch_sync(requests));
+  for (std::size_t i = 0; i < kReads; ++i) {
+    EXPECT_EQ(out[i], (i * 13) % data_.size()) << "read " << i;
+  }
+  EXPECT_GE(counter_value("io.fixed_reads"), fixed_before + kReads);
+}
+
+TEST_F(UringFixedBufferTest, PlainAndFixedMixWithinOneBatch) {
+  auto backend = UringBackend::create(
+      fd_, 8, UringBackend::WaitMode::kBusyPoll, /*sqpoll=*/false,
+      /*register_file=*/false, FixedBufferMode::kOn, 16 << 10);
+  RS_ASSERT_OK(backend);
+  FixedBufferPool* pool = backend.value()->fixed_pool();
+  if (pool == nullptr) {
+    GTEST_SKIP() << "kernel lacks READ_FIXED or buffer registration";
+  }
+
+  auto slice = pool->allocate(4, 4);
+  RS_ASSERT_OK(slice);
+  auto* in_arena = reinterpret_cast<std::uint32_t*>(slice.value().data());
+  std::uint32_t on_stack = 0;  // outside the arena -> plain READ
+
+  const std::uint64_t fixed_before = counter_value("io.fixed_reads");
+  const std::uint64_t fallback_before =
+      counter_value("io.fixed_fallbacks");
+  std::vector<ReadRequest> requests = {
+      {100 * 4, 4, in_arena, 1},
+      {200 * 4, 4, &on_stack, 2},
+  };
+  test::assert_ok(backend.value()->read_batch_sync(requests));
+  EXPECT_EQ(*in_arena, 100u);
+  EXPECT_EQ(on_stack, 200u);
+  // One read each way: the fixed counter and the fallback counter both
+  // advance by exactly one for this batch.
+  EXPECT_EQ(counter_value("io.fixed_reads"), fixed_before + 1);
+  EXPECT_EQ(counter_value("io.fixed_fallbacks"), fallback_before + 1);
+}
+
+// The probe override simulates a kernel without READ_FIXED: the backend
+// must come up poolless, read correctly over plain READ, and count every
+// requested-but-unavailable fixed read as a fallback.
+TEST_F(UringFixedBufferTest, DegradesCleanlyWhenProbeReportsUnsupported) {
+  ReadFixedOverrideGuard guard;
+  uring::set_read_fixed_override(true);
+  ASSERT_TRUE(uring::read_fixed_disabled());
+
+  auto backend = UringBackend::create(
+      fd_, 8, UringBackend::WaitMode::kBusyPoll, /*sqpoll=*/false,
+      /*register_file=*/false, FixedBufferMode::kOn, 16 << 10);
+  RS_ASSERT_OK(backend);
+  EXPECT_EQ(backend.value()->fixed_pool(), nullptr);
+  EXPECT_EQ(backend.value()->name().find("+fixedbuf"), std::string::npos)
+      << backend.value()->name();
+
+  const std::uint64_t fallback_before =
+      counter_value("io.fixed_fallbacks");
+  constexpr std::size_t kReads = 32;
+  std::vector<std::uint32_t> out(kReads, 0xdeadbeef);
+  std::vector<ReadRequest> requests(kReads);
+  for (std::size_t i = 0; i < kReads; ++i) {
+    requests[i] = {i * 4, 4, &out[i], i};
+  }
+  test::assert_ok(backend.value()->read_batch_sync(requests));
+  for (std::size_t i = 0; i < kReads; ++i) {
+    EXPECT_EQ(out[i], i) << "read " << i;
+  }
+  EXPECT_GE(counter_value("io.fixed_fallbacks"),
+            fallback_before + kReads);
+}
+
+}  // namespace
+}  // namespace rs::io

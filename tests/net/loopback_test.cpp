@@ -195,6 +195,59 @@ TEST_F(LoopbackTest, ForcePsyncRoundTrip) {
   server.value()->stop();
 }
 
+// A READ_FIXED sampler must serve bit-identical subgraphs to plain-read
+// uring and psync samplers: the fixed path changes only how bytes reach
+// the staging buffers, never which bytes. (Where io_uring is
+// unavailable the uring configs degrade to psync and the parity holds
+// trivially.)
+TEST_F(LoopbackTest, FixedBufferServingMatchesPlainReadAndPsync) {
+  core::SamplerConfig fixed_config = sampler_config();
+  fixed_config.register_buffers = io::FixedBufferMode::kOn;
+  core::SamplerConfig plain_config = sampler_config();
+  plain_config.register_buffers = io::FixedBufferMode::kOff;
+  core::SamplerConfig psync_config = sampler_config();
+  psync_config.backend = io::BackendKind::kPsync;
+  psync_config.register_buffers = io::FixedBufferMode::kOff;
+
+  auto fixed = core::RingSampler::open(base_, fixed_config);
+  RS_ASSERT_OK(fixed);
+  auto plain = core::RingSampler::open(base_, plain_config);
+  RS_ASSERT_OK(plain);
+  auto psync = core::RingSampler::open(base_, psync_config);
+  RS_ASSERT_OK(psync);
+
+  ServerOptions options;
+  options.threads = 2;
+  auto server = Server::start(*fixed.value(), options);
+  RS_ASSERT_OK(server);
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+
+  Xoshiro256 rng(777);
+  for (int i = 0; i < 20; ++i) {
+    wire::SampleRequest request;
+    request.request_id = static_cast<std::uint64_t>(i);
+    request.rng_seed = rng();
+    request.fanouts = {5, 3};
+    request.nodes.resize(1 + rng() % 8);
+    for (auto& node : request.nodes) {
+      node = static_cast<NodeId>(rng() % csr_.num_nodes());
+    }
+    auto served = client.value().sample(request);
+    RS_ASSERT_OK(served);
+    ASSERT_EQ(served.value().status, wire::WireStatus::kOk);
+    auto from_plain = plain.value()->sample_for_serving(
+        0, request.nodes, request.fanouts, request.rng_seed);
+    RS_ASSERT_OK(from_plain);
+    expect_same_subgraph(served.value().subgraph, from_plain.value());
+    auto from_psync = psync.value()->sample_for_serving(
+        0, request.nodes, request.fanouts, request.rng_seed);
+    RS_ASSERT_OK(from_psync);
+    expect_same_subgraph(served.value().subgraph, from_psync.value());
+  }
+  server.value()->stop();
+}
+
 // Admission control: pipelining requests into a tiny queue behind a
 // long batch window must shed with kOverloaded, not hang or drop.
 TEST_F(LoopbackTest, OverloadShedsAtQueueDepth) {
