@@ -56,6 +56,22 @@ inline std::string& metrics_json_path() {
   return path;
 }
 
+// Extra top-level keys spliced into the --metrics-json document at dump
+// time ("slo": {...} from svc_load). Values must be complete JSON.
+// Deliberately immortal (heap, never freed): the first add happens after
+// std::atexit(dump_metrics_at_exit) is registered, so a plain static
+// would be destroyed *before* the handler reads it.
+inline std::vector<std::pair<std::string, std::string>>&
+metrics_json_extras() {
+  static auto* extras =
+      new std::vector<std::pair<std::string, std::string>>();
+  return *extras;
+}
+
+inline void add_metrics_json_extra(std::string key, std::string json) {
+  metrics_json_extras().emplace_back(std::move(key), std::move(json));
+}
+
 inline void dump_metrics_at_exit() {
   const std::string& path = metrics_json_path();
   if (path.empty()) return;
@@ -65,7 +81,18 @@ inline void dump_metrics_at_exit() {
                  path.c_str());
     return;
   }
-  out << obs::Registry::global().snapshot().to_json() << '\n';
+  std::string doc = obs::Registry::global().snapshot().to_json();
+  // The snapshot is one JSON object; extras splice in before the
+  // closing brace so the document stays a single flat object.
+  const auto& extras = metrics_json_extras();
+  if (!extras.empty() && !doc.empty() && doc.back() == '}') {
+    doc.pop_back();
+    for (const auto& [key, json] : extras) {
+      doc += ",\"" + key + "\":" + json;
+    }
+    doc += '}';
+  }
+  out << doc << '\n';
   std::printf("[metrics] %s\n", path.c_str());
 }
 

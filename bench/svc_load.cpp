@@ -31,13 +31,37 @@ namespace {
 
 struct WorkerResult {
   rs::LatencyRecorder latencies;
+  // Server-side stage timings from the v2 response trailer, joined to
+  // this client's requests by the echoed trace id — the ingredients of
+  // the SLO report (client total vs where the server spent it).
+  rs::LatencyRecorder server_queue;
+  rs::LatencyRecorder server_sample;
   std::uint64_t ok = 0;
   std::uint64_t overloaded = 0;
   std::uint64_t malformed = 0;
   std::uint64_t errors = 0;
   std::uint64_t transport_failures = 0;
+  std::uint64_t trace_mismatches = 0;  // echoed trace id != sent
   rs::Status status;  // first hard failure, if any
 };
+
+// {"p50_ns":..,"p99_ns":..,"p999_ns":..} for the SLO JSON block.
+std::string percentiles_json(rs::LatencyRecorder& rec) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"p50_ns\":%llu,\"p99_ns\":%llu,\"p999_ns\":%llu}",
+                static_cast<unsigned long long>(rec.percentile_ns(50.0)),
+                static_cast<unsigned long long>(rec.percentile_ns(99.0)),
+                static_cast<unsigned long long>(rec.percentile_ns(99.9)));
+  return buf;
+}
+
+void print_slo_row(const char* label, rs::LatencyRecorder& rec) {
+  std::printf("  %-14s p50 %10.3f ms   p99 %10.3f ms   p999 %10.3f ms\n",
+              label, rec.percentile_seconds(50.0) * 1e3,
+              rec.percentile_seconds(99.0) * 1e3,
+              rec.percentile_seconds(99.9) * 1e3);
+}
 
 }  // namespace
 
@@ -54,6 +78,7 @@ int main(int argc, char** argv) {
   std::uint64_t connect_retry_ms = 2000;
   std::uint64_t seed = 7;
   std::string metrics_json;
+  std::string server_stats_json;
   ArgParser parser("svc_load", "Sampling-service load generator");
   parser.add_string("host", &host, "server IPv4 address");
   parser.add_uint("port", &port, "server TCP port (required)");
@@ -71,6 +96,9 @@ int main(int argc, char** argv) {
   parser.add_uint("seed", &seed, "RNG seed");
   parser.add_string("metrics-json", &metrics_json,
                     "write obs metrics snapshot JSON here at exit");
+  parser.add_string("server-stats-json", &server_stats_json,
+                    "scrape the server's metrics registry over the wire "
+                    "(kStats frame) after the run and write it here");
   if (Status status = parser.parse(argc, argv); !status.is_ok()) {
     return status.message() == "help requested" ? 0 : 2;
   }
@@ -160,6 +188,11 @@ int main(int argc, char** argv) {
       }
       net::wire::SampleRequest request;
       request.request_id = (static_cast<std::uint64_t>(t) << 32) | sent;
+      // Distinct from request_id on purpose: the echo test below would
+      // pass vacuously if the server conflated the two fields (v1
+      // decoding defaults trace_id to request_id).
+      std::uint64_t mix_state = request.request_id ^ seed;
+      request.trace_id = splitmix64(mix_state);
       request.rng_seed = rng();
       request.fanouts = fanouts;
       request.nodes.resize(nodes_per_request);
@@ -186,10 +219,17 @@ int main(int argc, char** argv) {
       const std::uint64_t elapsed_ns = obs::now_ns() - start_ns;
       result.latencies.record_ns(elapsed_ns);
       latency_hist.record_ns(elapsed_ns);
+      if (response.value().trace_id != request.trace_id) {
+        ++result.trace_mismatches;
+      }
       switch (response.value().status) {
         case net::wire::WireStatus::kOk:
           ++result.ok;
           ok_counter.add();
+          // Join the server's stage breakdown (v2 trailer) against this
+          // client-observed latency; the deltas are the SLO report.
+          result.server_queue.record_ns(response.value().server_queue_ns);
+          result.server_sample.record_ns(response.value().server_sample_ns);
           break;
         case net::wire::WireStatus::kOverloaded:
           ++result.overloaded;
@@ -221,11 +261,14 @@ int main(int argc, char** argv) {
       total.status = result.status;
     }
     total.latencies.merge(result.latencies);
+    total.server_queue.merge(result.server_queue);
+    total.server_sample.merge(result.server_sample);
     total.ok += result.ok;
     total.overloaded += result.overloaded;
     total.malformed += result.malformed;
     total.errors += result.errors;
     total.transport_failures += result.transport_failures;
+    total.trace_mismatches += result.trace_mismatches;
   }
   if (!total.status.is_ok()) {
     std::fprintf(stderr, "svc_load: %s\n", total.status.to_string().c_str());
@@ -244,10 +287,50 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.errors),
               static_cast<unsigned long long>(total.transport_failures));
   if (answered > 0) {
-    for (const double p : {50.0, 90.0, 95.0, 99.0}) {
-      std::printf("  P%-3.0f %10.3f ms\n", p,
+    for (const double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+      std::printf("  P%-5.1f %10.3f ms\n", p,
                   total.latencies.percentile_seconds(p) * 1e3);
     }
   }
-  return total.ok > 0 ? 0 : 1;
+  if (total.trace_mismatches > 0) {
+    std::fprintf(stderr,
+                 "svc_load: %llu responses echoed the wrong trace id\n",
+                 static_cast<unsigned long long>(total.trace_mismatches));
+  }
+
+  // SLO report: client-observed percentiles next to the server-side
+  // stage breakdown joined per request by trace id. The gap between
+  // "client" and "queue + sample" is transport + server send/encode.
+  if (total.ok > 0) {
+    std::printf("SLO report (%llu ok requests, joined by trace id):\n",
+                static_cast<unsigned long long>(total.ok));
+    print_slo_row("client", total.latencies);
+    print_slo_row("server queue", total.server_queue);
+    print_slo_row("server sample", total.server_sample);
+    bench::add_metrics_json_extra(
+        "slo",
+        "{\"ok_requests\":" + std::to_string(total.ok) +
+            ",\"trace_join_failures\":" +
+            std::to_string(total.trace_mismatches) +
+            ",\"client\":" + percentiles_json(total.latencies) +
+            ",\"server_queue\":" + percentiles_json(total.server_queue) +
+            ",\"server_sample\":" + percentiles_json(total.server_sample) +
+            "}");
+  }
+
+  // Remote scrape: pull the server's own metrics registry (net.stage.*
+  // histograms, io.uring.* syscall counters) over the wire and mirror
+  // it to disk — the file is a valid check_obs_json input.
+  if (!server_stats_json.empty()) {
+    auto scraper = net::Client::connect(client_options);
+    RS_CHECK_MSG(scraper.is_ok(), scraper.status().to_string());
+    auto scraped = scraper.value().stats();
+    RS_CHECK_MSG(scraped.is_ok(), scraped.status().to_string());
+    std::ofstream out(server_stats_json, std::ios::trunc);
+    RS_CHECK_MSG(static_cast<bool>(out),
+                 "cannot open " + server_stats_json);
+    out << scraped.value() << '\n';
+    std::printf("[server-stats] %s\n", server_stats_json.c_str());
+  }
+  return total.ok > 0 && total.trace_mismatches == 0 ? 0 : 1;
 }

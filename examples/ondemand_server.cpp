@@ -149,6 +149,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.overload_sheds),
                 static_cast<unsigned long long>(stats.conn_timeouts),
                 static_cast<unsigned long long>(stats.malformed));
+    // Per-stage latency breakdown (the same histograms a kStats scrape
+    // or --metrics-json exports, summarized for the terminal).
+    const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+    for (const obs::HistogramSnapshot& hist : snapshot.histograms) {
+      if (hist.name.rfind("net.stage.", 0) != 0 || hist.count == 0) {
+        continue;
+      }
+      std::printf("  %-24s p50 %9.3f ms  p99 %9.3f ms  p999 %9.3f ms "
+                  "(n=%llu)\n",
+                  hist.name.c_str(),
+                  static_cast<double>(hist.percentile_ns(50.0)) / 1e6,
+                  static_cast<double>(hist.percentile_ns(99.0)) / 1e6,
+                  static_cast<double>(hist.percentile_ns(99.9)) / 1e6,
+                  static_cast<unsigned long long>(hist.count));
+    }
     dump_metrics();
     return 0;
   }

@@ -4,6 +4,7 @@
 Usage:
   check_obs_json.py metrics <metrics.json> [--backend NAME]
                     [--require-counter NAME ...]
+                    [--require-histogram NAME ...]
   check_obs_json.py trace <trace.json> [--expect-span NAME ...]
 
 `metrics` checks the file parses with json.loads, has the
@@ -12,7 +13,10 @@ counts sum to its count. With --backend it additionally requires the
 io.<backend>.completion_latency_ns histogram to be present and
 non-empty. Each --require-counter NAME must be present with a value
 greater than zero (the fixed-buffer CI smoke asserts io.fixed_reads and
-io.fixed_fallbacks this way).
+io.fixed_fallbacks this way); each --require-histogram NAME must be
+present and have recorded at least one sample (the serving smoke
+asserts the net.stage.* pipeline this way, both on the local dump and
+on a JSON scraped remotely via the wire protocol's kStats frame).
 
 `trace` checks the file is Chrome trace-event JSON Perfetto can load
 (a traceEvents list of dicts with name/ph/pid/tid/ts) and that every
@@ -41,7 +45,8 @@ def load_json(path):
         fail(f"{path}: not valid JSON: {error}")
 
 
-def check_metrics(path, backend=None, require_counters=()):
+def check_metrics(path, backend=None, require_counters=(),
+                  require_histograms=()):
     metrics = load_json(path)
     for section in ("counters", "gauges", "histograms"):
         if section not in metrics:
@@ -74,6 +79,13 @@ def check_metrics(path, backend=None, require_counters=()):
                  f"(have: {sorted(metrics['counters'])})")
         if value == 0:
             fail(f"{path}: counter {name!r} is zero")
+    for name in require_histograms:
+        hist = metrics["histograms"].get(name)
+        if hist is None:
+            fail(f"{path}: expected histogram {name!r} "
+                 f"(have: {sorted(metrics['histograms'])})")
+        if hist["count"] == 0:
+            fail(f"{path}: histogram {name!r} recorded nothing")
     print(f"check_obs_json: OK: {path}: "
           f"{len(metrics['counters'])} counters, "
           f"{len(metrics['gauges'])} gauges, "
@@ -108,12 +120,14 @@ def main():
     metrics.add_argument("path")
     metrics.add_argument("--backend")
     metrics.add_argument("--require-counter", action="append", default=[])
+    metrics.add_argument("--require-histogram", action="append", default=[])
     trace = sub.add_parser("trace")
     trace.add_argument("path")
     trace.add_argument("--expect-span", action="append", default=[])
     args = parser.parse_args()
     if args.mode == "metrics":
-        check_metrics(args.path, args.backend, args.require_counter)
+        check_metrics(args.path, args.backend, args.require_counter,
+                      args.require_histogram)
     else:
         check_trace(args.path, args.expect_span)
 

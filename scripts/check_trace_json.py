@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON produced by the RS_TRACE recorder.
+
+Usage:
+  check_trace_json.py <trace.json> [--expect-async NAME]
+                      [--expect-flow NAME] [--min-events N]
+
+Structural checks, in order:
+
+  1. The file parses and has a non-empty traceEvents list whose events
+     all carry name/ph/pid/tid/ts (and dur for "X" complete events).
+  2. "X" slices nest per thread: sorted by start (ties: longest first),
+     every slice lies fully inside the enclosing open slice. Scoped
+     RS_OBS_SPAN events satisfy this by construction, so a violation
+     means clock or recorder corruption.
+  3. Explicit "B"/"E" pairs balance LIFO per thread with matching
+     names (the serving loop's lifetime span; rs_lint's span-balance
+     rule enforces the same invariant statically).
+  4. Async "b"/"e" events pair by (cat, id) — the request-scoped
+     tracks net::Server emits; "n" instants require an id that also
+     has a "b".
+  5. Flow "s"/"f" arrows pair by (cat, id); "t" steps require an id
+     that also has an "s".
+
+--expect-async / --expect-flow additionally require at least one
+completed async span / flow arrow with that name. Exits non-zero with
+a message on the first violation. Stdlib only.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+EPS_US = 0.0005  # half the 1ns print resolution of the recorder
+
+
+def fail(message):
+    sys.exit(f"check_trace_json: FAIL: {message}")
+
+
+def load_events(path):
+    try:
+        with open(path) as handle:
+            trace = json.load(handle)
+    except OSError as error:
+        fail(f"{path}: {error.strerror}")
+    except json.JSONDecodeError as error:
+        fail(f"{path}: not valid JSON: {error}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no traceEvents list")
+    if not events:
+        fail(f"{path}: traceEvents is empty")
+    return events
+
+
+def check_wellformed(path, events):
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                fail(f"{path}: event {i} missing {key!r}: {event}")
+        if not isinstance(event["ts"], (int, float)):
+            fail(f"{path}: event {i} has non-numeric ts: {event}")
+        if event["ph"] == "X":
+            if "dur" not in event:
+                fail(f"{path}: complete event {i} missing dur: {event}")
+            if event["dur"] < 0:
+                fail(f"{path}: complete event {i} has negative dur: {event}")
+        if event["ph"] in ("b", "n", "e", "s", "t", "f") and "id" not in event:
+            fail(f"{path}: {event['ph']!r} event {i} missing id: {event}")
+
+
+def check_x_nesting(path, events):
+    by_thread = collections.defaultdict(list)
+    for event in events:
+        if event["ph"] == "X":
+            by_thread[(event["pid"], event["tid"])].append(event)
+    for (pid, tid), slices in by_thread.items():
+        slices.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (end_ts, name) of open slices
+        for event in slices:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while stack and stack[-1][0] <= start + EPS_US:
+                stack.pop()
+            if stack and end > stack[-1][0] + EPS_US:
+                fail(f"{path}: tid {tid}: slice {event['name']!r} "
+                     f"[{start}, {end}] overlaps but does not nest inside "
+                     f"{stack[-1][1]!r} (ends {stack[-1][0]})")
+            stack.append((end, event["name"]))
+
+
+def check_begin_end(path, events):
+    stacks = collections.defaultdict(list)
+    for i, event in enumerate(events):
+        if event["ph"] == "B":
+            stacks[(event["pid"], event["tid"])].append((event["name"], i))
+        elif event["ph"] == "E":
+            stack = stacks[(event["pid"], event["tid"])]
+            if not stack:
+                fail(f"{path}: event {i}: 'E' {event['name']!r} on tid "
+                     f"{event['tid']} with no open 'B'")
+            name, _ = stack.pop()
+            if name != event["name"]:
+                fail(f"{path}: event {i}: 'E' {event['name']!r} closes "
+                     f"'B' {name!r} (B/E must nest LIFO per thread)")
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            name, i = stack[-1]
+            fail(f"{path}: tid {tid}: 'B' {event_desc(name, i)} never closed")
+
+
+def event_desc(name, index):
+    return f"{name!r} (event {index})"
+
+
+def check_id_pairs(path, events, begin_ph, end_ph, step_ph, kind):
+    begins = collections.Counter()
+    ends = collections.Counter()
+    steps = collections.Counter()
+    names = collections.Counter()
+    for event in events:
+        if event["ph"] not in (begin_ph, end_ph, step_ph):
+            continue
+        key = (event.get("cat"), event["id"])
+        if event["ph"] == begin_ph:
+            begins[key] += 1
+            names[event["name"]] += 1
+        elif event["ph"] == end_ph:
+            ends[key] += 1
+        else:
+            steps[key] += 1
+    for key, n in ends.items():
+        if begins.get(key, 0) != n:
+            fail(f"{path}: {kind} id {key[1]}: {begins.get(key, 0)} "
+                 f"{begin_ph!r} vs {n} {end_ph!r} events (must pair)")
+    for key, n in begins.items():
+        if ends.get(key, 0) != n:
+            fail(f"{path}: {kind} id {key[1]}: {n} {begin_ph!r} vs "
+                 f"{ends.get(key, 0)} {end_ph!r} events (must pair)")
+    for key in steps:
+        if key not in begins:
+            fail(f"{path}: {kind} id {key[1]}: {step_ph!r} event without "
+                 f"a {begin_ph!r} opener")
+    return len(begins), names
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("path")
+    parser.add_argument("--expect-async", action="append", default=[],
+                        help="require a completed async span of this name")
+    parser.add_argument("--expect-flow", action="append", default=[],
+                        help="require a flow arrow of this name")
+    parser.add_argument("--min-events", type=int, default=1)
+    args = parser.parse_args()
+
+    events = load_events(args.path)
+    if len(events) < args.min_events:
+        fail(f"{args.path}: {len(events)} events < --min-events "
+             f"{args.min_events}")
+    check_wellformed(args.path, events)
+    check_x_nesting(args.path, events)
+    check_begin_end(args.path, events)
+    n_async, async_names = check_id_pairs(
+        args.path, events, "b", "e", "n", "async")
+    n_flows, flow_names = check_id_pairs(
+        args.path, events, "s", "f", "t", "flow")
+    for name in args.expect_async:
+        if async_names.get(name, 0) == 0:
+            fail(f"{args.path}: no async span named {name!r} "
+                 f"(have: {sorted(async_names)})")
+    for name in args.expect_flow:
+        if flow_names.get(name, 0) == 0:
+            fail(f"{args.path}: no flow arrow named {name!r} "
+                 f"(have: {sorted(flow_names)})")
+    n_x = sum(1 for e in events if e["ph"] == "X")
+    print(f"check_trace_json: OK: {args.path}: {len(events)} events "
+          f"({n_x} slices, {n_async} async tracks, {n_flows} flows), "
+          f"spans nest, B/E balanced, ids pair")
+
+
+if __name__ == "__main__":
+    main()

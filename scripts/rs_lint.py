@@ -42,6 +42,15 @@ up in review, which is the point):
                   bench/ or the eval JSON/CSV emitters. Durations from
                   the steady clock are fine.
 
+  span-balance    explicit trace_span_begin/trace_span_end ("B"/"E")
+                  calls must balance per file in src/net/ and src/core/.
+                  Unlike RS_OBS_SPAN (scoped, can't leak), a stray
+                  begin or end corrupts the whole per-thread slice stack
+                  in the trace — every later span nests wrongly. A
+                  legitimately unbalanced file (pair split across
+                  files) carries // rs-lint: allow(span-balance) <why>
+                  on one of the call lines.
+
 Exit status: 0 clean, 1 violations, 2 usage error.
 """
 
@@ -187,6 +196,29 @@ class Linter:
                                 f"{m.group(0).strip()} in bench/eval output "
                                 "path — results must be date-free and "
                                 "byte-stable (steady-clock durations only)")
+
+        # span-balance: whole-file begin/end pairing in the layers that
+        # use explicit B/E spans (the serving loop and the core engine).
+        if in_net or rel.startswith("src/core/"):
+            begins, ends = [], []
+            waived = False
+            for lineno, line in enumerate(lines, 1):
+                for kind, bucket in (("begin", begins), ("end", ends)):
+                    m = re.search(rf"\btrace_span_{kind}\s*\(", line)
+                    if not m or is_comment_or_string_hit(line, m.start()):
+                        continue
+                    if self.allowed(lines, lineno - 1, "span-balance"):
+                        waived = True
+                    bucket.append(lineno)
+            if not waived and len(begins) != len(ends):
+                anchor = (begins or ends)[0]
+                self.report(path, anchor, "span-balance",
+                            f"{len(begins)} trace_span_begin vs "
+                            f"{len(ends)} trace_span_end in this file — "
+                            "unbalanced B/E corrupts the per-thread slice "
+                            "stack (waive with // rs-lint: "
+                            "allow(span-balance) <why> if the pair "
+                            "spans files)")
 
 
     def run(self) -> int:

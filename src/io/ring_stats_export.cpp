@@ -1,0 +1,51 @@
+#include "io/ring_stats_export.h"
+
+#include "uring/ring.h"
+
+namespace rs::io {
+
+RingStatsExporter::RingStatsExporter(const std::string& owner) {
+  auto& reg = obs::Registry::global();
+  enter_calls_ = reg.counter("io.uring.enter_calls");
+  sqes_submitted_ = reg.counter("io.uring.sqes_submitted");
+  cqes_reaped_ = reg.counter("io.uring.cqes_reaped");
+  peek_spins_ = reg.counter("io.uring.peek_spins");
+  overflow_flushes_ = reg.counter("io.uring.overflow_flushes");
+  ebusy_retries_ = reg.counter("io.uring.ebusy_retries");
+  if (!owner.empty()) {
+    owner_enter_calls_ = reg.counter("io." + owner + ".enter_calls");
+    has_owner_ = true;
+  }
+}
+
+void RingStatsExporter::flush(const uring::RingStats& current) {
+  if (current.enter_calls > last_enter_calls_) {
+    const std::uint64_t delta = current.enter_calls - last_enter_calls_;
+    enter_calls_.add(delta);
+    if (has_owner_) owner_enter_calls_.add(delta);
+    last_enter_calls_ = current.enter_calls;
+  }
+  if (current.sqes_submitted > last_sqes_submitted_) {
+    sqes_submitted_.add(current.sqes_submitted - last_sqes_submitted_);
+    last_sqes_submitted_ = current.sqes_submitted;
+  }
+  if (current.cqes_reaped > last_cqes_reaped_) {
+    cqes_reaped_.add(current.cqes_reaped - last_cqes_reaped_);
+    last_cqes_reaped_ = current.cqes_reaped;
+  }
+  if (current.peek_spins > last_peek_spins_) {
+    peek_spins_.add(current.peek_spins - last_peek_spins_);
+    last_peek_spins_ = current.peek_spins;
+  }
+  if (current.overflow_flushes > last_overflow_flushes_) {
+    overflow_flushes_.add(current.overflow_flushes -
+                          last_overflow_flushes_);
+    last_overflow_flushes_ = current.overflow_flushes;
+  }
+  if (current.ebusy_retries > last_ebusy_retries_) {
+    ebusy_retries_.add(current.ebusy_retries - last_ebusy_retries_);
+    last_ebusy_retries_ = current.ebusy_retries;
+  }
+}
+
+}  // namespace rs::io

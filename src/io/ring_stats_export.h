@@ -1,0 +1,69 @@
+// RingStatsExporter: surfaces uring::RingStats into the metrics
+// registry as io.uring.* counters (syscall accounting, ROADMAP item 1).
+//
+// Ring keeps its counters as plain per-ring integers because they sit on
+// the submit/reap hot path; a Ring is single-threaded by contract, so
+// nothing else may read them while the owner is live. The exporter
+// bridges that to the registry safely: the *owning* thread calls
+// flush() with the ring's current stats, and only the delta since the
+// last flush is added to the process-global counters (obs counters are
+// thread-safe relaxed atomics). Flushing every submit batch keeps the
+// registry live — a PeriodicStatsReporter snapshot or a kStats wire
+// scrape sees near-real-time syscall counts — and a final flush at
+// backend/loop teardown catches the tail.
+//
+// Exported counters (global, summed across every ring in the process —
+// storage backends and net::Server loops alike):
+//   io.uring.enter_calls       io_uring_enter(2) syscalls
+//   io.uring.sqes_submitted    SQEs the kernel accepted
+//   io.uring.cqes_reaped       CQEs consumed
+//   io.uring.peek_spins        empty CQ peeks (busy-poll iterations)
+//   io.uring.overflow_flushes  CQ-overflow backlog drains
+//   io.uring.ebusy_retries     submit retries after -EBUSY
+// With a non-empty `owner` label, io.<owner>.enter_calls is exported
+// too, so ablation arms (plain/fixed/SQPOLL backends, net loops) can
+// report syscalls-per-request with per-backend attribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace rs::uring {
+struct RingStats;
+}
+
+namespace rs::io {
+
+class RingStatsExporter {
+ public:
+  // `owner` labels the optional per-owner enter_calls counter (e.g. a
+  // backend name() or "net.loop"); empty exports only the globals.
+  explicit RingStatsExporter(const std::string& owner = {});
+
+  // Adds the delta between `current` and the previous flush to the
+  // registry. Must be called by the ring-owning thread (it reads the
+  // ring's plain counters). Cheap: six compares + at most seven
+  // relaxed fetch_adds.
+  void flush(const uring::RingStats& current);
+
+ private:
+  obs::Counter enter_calls_;
+  obs::Counter sqes_submitted_;
+  obs::Counter cqes_reaped_;
+  obs::Counter peek_spins_;
+  obs::Counter overflow_flushes_;
+  obs::Counter ebusy_retries_;
+  obs::Counter owner_enter_calls_;
+  bool has_owner_ = false;
+
+  std::uint64_t last_enter_calls_ = 0;
+  std::uint64_t last_sqes_submitted_ = 0;
+  std::uint64_t last_cqes_reaped_ = 0;
+  std::uint64_t last_peek_spins_ = 0;
+  std::uint64_t last_overflow_flushes_ = 0;
+  std::uint64_t last_ebusy_retries_ = 0;
+};
+
+}  // namespace rs::io

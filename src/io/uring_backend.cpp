@@ -22,6 +22,7 @@ UringBackend::UringBackend(uring::Ring ring,
       fixed_file_(fixed_file),
       fixed_requested_(fixed_requested) {
   instruments_ = IoInstruments::for_backend(name());
+  ring_stats_exporter_ = RingStatsExporter(name());
   // Process-global (not per-backend-name) counters: the ablation and the
   // CI smoke assert on them regardless of which wait-mode variant ran.
   fixed_reads_ = obs::Registry::global().counter("io.fixed_reads");
@@ -167,6 +168,9 @@ Status UringBackend::submit(std::span<const ReadRequest> requests) {
       fixed_fallbacks_.add(accepted - fixed_n);
     }
   }
+  // Per-batch io.uring.* flush: covers this submit plus any waits since
+  // the previous batch, keeping the registry's syscall counters live.
+  ring_stats_exporter_.flush(ring_.stats());
   if (!submit_status.is_ok()) return submit_status;
   if (accepted != requests.size()) {
     return Status::io_error("io_uring accepted " + std::to_string(accepted) +

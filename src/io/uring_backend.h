@@ -20,6 +20,7 @@
 
 #include "io/backend.h"
 #include "io/fixed_buffer_pool.h"
+#include "io/ring_stats_export.h"
 #include "uring/ring.h"
 
 namespace rs::io {
@@ -39,6 +40,10 @@ class UringBackend final : public IoBackend {
       bool register_file = false,
       FixedBufferMode fixed_buffers = FixedBufferMode::kOff,
       std::uint64_t fixed_arena_bytes = 0);
+
+  // Final io.uring.* counter flush: syscalls made after the last submit
+  // batch (blocking waits, overflow drains) land in the registry too.
+  ~UringBackend() override { ring_stats_exporter_.flush(ring_.stats()); }
 
   unsigned capacity() const override { return capacity_; }
   unsigned in_flight() const override { return in_flight_; }
@@ -107,6 +112,8 @@ class UringBackend final : public IoBackend {
   unsigned submit_failures_to_inject_ = 0;
   IoStats stats_;
   IoInstruments instruments_;
+  // Flushed per submit batch (live registry visibility) and at teardown.
+  RingStatsExporter ring_stats_exporter_;
   obs::Counter fixed_reads_;
   obs::Counter fixed_fallbacks_;
   std::vector<PendingRead> pending_;  // slot index -> in-flight read

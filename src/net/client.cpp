@@ -167,6 +167,25 @@ Result<wire::InfoResponse> Client::info() {
   return info;
 }
 
+Result<std::string> Client::stats() {
+  std::vector<std::uint8_t> frame;
+  const std::uint64_t request_id = next_request_id_++;
+  wire::encode_stats_request(request_id, frame);
+  RS_RETURN_IF_ERROR(send_all(frame));
+  wire::FrameHeader header;
+  std::vector<std::uint8_t> body;
+  RS_RETURN_IF_ERROR(read_frame(&header, &body));
+  if (header.kind != wire::FrameKind::kStatsResponse) {
+    return Status::corrupt("client: expected stats response");
+  }
+  wire::StatsResponse stats;
+  RS_RETURN_IF_ERROR(wire::decode_stats_response(body, &stats));
+  if (stats.request_id != request_id) {
+    return Status::corrupt("client: stats response id mismatch");
+  }
+  return std::move(stats.json);
+}
+
 Status Client::send_request(const wire::SampleRequest& request) {
   std::vector<std::uint8_t> frame;
   wire::encode_sample_request(request, frame);
@@ -181,7 +200,10 @@ Result<wire::SampleResponse> Client::read_sample_response() {
     return Status::corrupt("client: expected sample response");
   }
   wire::SampleResponse response;
-  RS_RETURN_IF_ERROR(wire::decode_sample_response(body, &response));
+  // Decode with the frame's own version: a v1 server (or a v2 server
+  // answering this client's v1-encoded request) sends v1 bodies.
+  RS_RETURN_IF_ERROR(
+      wire::decode_sample_response(body, &response, header.version));
   return response;
 }
 

@@ -50,6 +50,12 @@ class Client {
   // valid node ids from this instead of out-of-band knowledge).
   Result<wire::InfoResponse> info();
 
+  // Remote metrics scrape (v2+): asks the server for its live metrics-
+  // registry snapshot and returns the JSON document — the same shape
+  // MetricsSnapshot::to_json() writes to disk, including the
+  // io.uring.* syscall counters and net.stage.* histograms.
+  Result<std::string> stats();
+
   // Blocking request/response round trip.
   Result<wire::SampleResponse> sample(const wire::SampleRequest& request);
 

@@ -13,8 +13,10 @@
 #include <deque>
 
 #include "io/fault_inject.h"
+#include "io/ring_stats_export.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "uring/probe.h"
 #include "uring/ring.h"
 #include "uring/uring_syscalls.h"
@@ -112,7 +114,20 @@ struct NetMetrics {
   obs::Counter conn_timeouts;
   obs::Counter malformed;
   obs::Counter socket_faults;
+  obs::Counter stats_scrapes;
   obs::LatencyHistogram request_latency;
+  // Per-stage server-side breakdown of a sample request's life:
+  // decode -> queue wait -> sample (CPU + storage I/O) -> encode ->
+  // send (staged to last byte on the wire) -> total (frame parsed to
+  // last byte on the wire). These are what the kStats frame exposes to
+  // remote scrapers and what bench/svc_load joins against client-side
+  // latency in its SLO report.
+  obs::LatencyHistogram stage_decode;
+  obs::LatencyHistogram stage_queue_wait;
+  obs::LatencyHistogram stage_sample;
+  obs::LatencyHistogram stage_encode;
+  obs::LatencyHistogram stage_send;
+  obs::LatencyHistogram stage_total;
 
   static const NetMetrics& get() {
     static const NetMetrics metrics = [] {
@@ -126,11 +141,31 @@ struct NetMetrics {
       m.conn_timeouts = reg.counter("net.conn_timeouts");
       m.malformed = reg.counter("net.malformed");
       m.socket_faults = reg.counter("net.socket_faults");
+      m.stats_scrapes = reg.counter("net.stats_scrapes");
       m.request_latency = reg.histogram("net.request_latency_ns");
+      m.stage_decode = reg.histogram("net.stage.decode_ns");
+      m.stage_queue_wait = reg.histogram("net.stage.queue_wait_ns");
+      m.stage_sample = reg.histogram("net.stage.sample_ns");
+      m.stage_encode = reg.histogram("net.stage.encode_ns");
+      m.stage_send = reg.histogram("net.stage.send_ns");
+      m.stage_total = reg.histogram("net.stage.total_ns");
       return m;
     }();
     return metrics;
   }
+};
+
+// Marks where one sample response ends in a connection's outbound byte
+// stream. Responses are staged FIFO into tx_queue and sent in order, so
+// "the response whose last byte just left" is always the front marker
+// whose watermark the cumulative sent counter has reached — that is the
+// send-stage completion event (net.stage.send_ns / total_ns, and the
+// async trace span's 'e').
+struct SendMarker {
+  std::uint64_t watermark = 0;   // queued_bytes_total after staging
+  std::uint64_t staged_ns = 0;   // response fully encoded
+  std::uint64_t recv_ns = 0;     // request frame fully parsed
+  std::uint64_t trace_id = 0;
 };
 
 struct Conn {
@@ -148,6 +183,14 @@ struct Conn {
   std::vector<std::uint8_t> tx;        // in flight; frozen while armed
   std::size_t tx_off = 0;
   std::vector<std::uint8_t> tx_queue;  // staged responses
+  // Cumulative bytes ever staged into / drained out of this connection's
+  // outbound stream. Every tx_queue append bumps queued_bytes_total (the
+  // counters must cover *all* frames, not just sample responses, or the
+  // watermarks drift); note_sent advances sent_bytes_total and pops
+  // markers whose responses are now fully on the wire.
+  std::uint64_t queued_bytes_total = 0;
+  std::uint64_t sent_bytes_total = 0;
+  std::deque<SendMarker> send_markers;
   // Stable recv target (Conn slots are preallocated and never move).
   std::array<std::uint8_t, kRecvChunk> rbuf;
 };
@@ -156,6 +199,12 @@ struct PendingRequest {
   std::uint32_t slot = 0;
   std::uint32_t gen = 0;
   std::uint64_t enqueue_ns = 0;
+  // Frame-parse timestamp: the start of the request's server-side life
+  // (net.stage.total_ns measures from here to send completion).
+  std::uint64_t recv_ns = 0;
+  // Wire version of the request frame; the response echoes it so a v1
+  // client never sees a v2 body.
+  std::uint16_t version = wire::kWireVersion;
   wire::SampleRequest request;
 };
 
@@ -259,6 +308,10 @@ struct Server::Loop {
     conn.tx.clear();
     conn.tx_off = 0;
     conn.tx_queue.clear();
+    conn.queued_bytes_total = 0;
+    conn.sent_bytes_total = 0;
+    conn.send_markers.clear();
+    obs::trace_instant("net", "accept");
   }
 
   void begin_close(Conn& conn) {
@@ -275,6 +328,12 @@ struct Server::Loop {
     for (std::uint32_t slot = 0; slot < conns.size(); ++slot) {
       Conn& conn = conns[slot];
       if (conn.in_use && conn.closing && conn.outstanding == 0) {
+        // Responses that never fully hit the wire: close their async
+        // trace tracks so begin/end pairing survives dropped conns.
+        for (const SendMarker& marker : conn.send_markers) {
+          obs::trace_async_end("net", "request", marker.trace_id);
+        }
+        conn.send_markers.clear();
         ::close(conn.fd);
         conn.fd = -1;
         conn.in_use = false;
@@ -302,39 +361,71 @@ struct Server::Loop {
 
   // ---- Protocol handling (engine-independent) ----
 
+  // Every tx_queue append goes through here so the send-watermark
+  // accounting in note_sent stays exact across all frame kinds.
+  template <typename EncodeFn>
+  void stage_frame(Conn& conn, EncodeFn&& encode) {
+    const std::size_t before = conn.tx_queue.size();
+    encode(conn.tx_queue);
+    conn.queued_bytes_total += conn.tx_queue.size() - before;
+  }
+
   void queue_response(Conn& conn, std::uint64_t request_id,
-                      wire::WireStatus status) {
+                      wire::WireStatus status,
+                      std::uint16_t version = wire::kWireVersion,
+                      std::uint64_t trace_id = 0) {
     wire::SampleResponse response;
     response.request_id = request_id;
     response.status = status;
-    wire::encode_sample_response(response, conn.tx_queue);
+    response.trace_id = trace_id;
+    stage_frame(conn, [&](std::vector<std::uint8_t>& out) {
+      wire::encode_sample_response(response, out, version);
+    });
   }
 
   void handle_sample_request(Conn& conn, std::uint32_t slot,
                              std::span<const std::uint8_t> body,
-                             std::uint64_t now) {
+                             std::uint16_t version, std::uint64_t now) {
+    const NetMetrics& metrics = NetMetrics::get();
     requests.fetch_add(1, std::memory_order_relaxed);
-    NetMetrics::get().requests.add();
+    metrics.requests.add();
     PendingRequest pending;
-    const Status decoded =
-        wire::decode_sample_request(body, &pending.request);
+    pending.version = version;
+    pending.recv_ns = now;
+    Status decoded = Status::ok();
+    {
+      RS_OBS_SPAN("net", "decode");
+      const std::uint64_t t0 = obs::now_ns();
+      decoded = wire::decode_sample_request(body, &pending.request, version);
+      metrics.stage_decode.record_ns(obs::now_ns() - t0);
+    }
     if (!decoded.is_ok()) {
       malformed.fetch_add(1, std::memory_order_relaxed);
-      NetMetrics::get().malformed.add();
-      queue_response(conn, 0, wire::WireStatus::kMalformed);
+      metrics.malformed.add();
+      queue_response(conn, 0, wire::WireStatus::kMalformed, version);
       conn.close_after_flush = true;
       return;
     }
     if (queue.size() >= options().max_queue_depth) {
       overload_sheds.fetch_add(1, std::memory_order_relaxed);
-      NetMetrics::get().overload_sheds.add();
+      metrics.overload_sheds.add();
       queue_response(conn, pending.request.request_id,
-                     wire::WireStatus::kOverloaded);
+                     wire::WireStatus::kOverloaded, version,
+                     pending.request.trace_id);
       return;
     }
     pending.slot = slot;
     pending.gen = conn.gen;
     pending.enqueue_ns = now;
+    {
+      // The request-scoped async track opens at admission and closes
+      // when the response's last byte hits the wire (note_sent). The
+      // flow arrow binds this slice to the sampling slice that later
+      // picks the request up — possibly many loop iterations away.
+      RS_OBS_SPAN("net", "enqueue");
+      obs::trace_async_begin("net", "request", pending.request.trace_id);
+      obs::trace_flow_begin("net", "request", pending.request.trace_id);
+    }
     queue.push_back(std::move(pending));
     if (batch_deadline_ns == 0) {
       batch_deadline_ns =
@@ -342,13 +433,13 @@ struct Server::Loop {
     }
   }
 
-  void handle_info_request(Conn& conn,
-                           std::span<const std::uint8_t> body) {
+  void handle_info_request(Conn& conn, std::span<const std::uint8_t> body,
+                           std::uint16_t version) {
     std::uint64_t request_id = 0;
     if (!wire::decode_info_request(body, &request_id).is_ok()) {
       malformed.fetch_add(1, std::memory_order_relaxed);
       NetMetrics::get().malformed.add();
-      queue_response(conn, 0, wire::WireStatus::kMalformed);
+      queue_response(conn, 0, wire::WireStatus::kMalformed, version);
       conn.close_after_flush = true;
       return;
     }
@@ -358,7 +449,34 @@ struct Server::Loop {
     info.num_edges = sampler.num_edges();
     info.max_batch = sampler.config().batch_size;
     info.fanouts = sampler.config().fanouts;
-    wire::encode_info_response(info, conn.tx_queue);
+    stage_frame(conn, [&](std::vector<std::uint8_t>& out) {
+      wire::encode_info_response(info, out, version);
+    });
+  }
+
+  // kStatsRequest (v2+): answer with the live metrics-registry snapshot
+  // as JSON — counters (io.uring.* syscall accounting), gauges, and the
+  // net.stage.* histograms — so a remote client can scrape the server's
+  // internals without a sidecar or filesystem access. snapshot() takes
+  // the registration mutex and allocates, but this path is rare (one
+  // scrape per monitoring interval, not per request).
+  void handle_stats_request(Conn& conn,
+                            std::span<const std::uint8_t> body) {
+    std::uint64_t request_id = 0;
+    if (!wire::decode_stats_request(body, &request_id).is_ok()) {
+      malformed.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().malformed.add();
+      queue_response(conn, 0, wire::WireStatus::kMalformed);
+      conn.close_after_flush = true;
+      return;
+    }
+    NetMetrics::get().stats_scrapes.add();
+    wire::StatsResponse stats;
+    stats.request_id = request_id;
+    stats.json = obs::Registry::global().snapshot().to_json();
+    stage_frame(conn, [&](std::vector<std::uint8_t>& out) {
+      wire::encode_stats_response(stats, out);
+    });
   }
 
   // Parses every complete frame in conn.rx; a malformed header poisons
@@ -385,17 +503,21 @@ struct Server::Loop {
           rest.subspan(wire::kFrameHeaderBytes, header.body_len);
       switch (header.kind) {
         case wire::FrameKind::kSampleRequest:
-          handle_sample_request(conn, slot, body, now);
+          handle_sample_request(conn, slot, body, header.version, now);
           break;
         case wire::FrameKind::kInfoRequest:
-          handle_info_request(conn, body);
+          handle_info_request(conn, body, header.version);
+          break;
+        case wire::FrameKind::kStatsRequest:
+          handle_stats_request(conn, body);
           break;
         default:
           // A server only consumes requests; a response frame from a
           // client is a protocol violation.
           malformed.fetch_add(1, std::memory_order_relaxed);
           NetMetrics::get().malformed.add();
-          queue_response(conn, 0, wire::WireStatus::kMalformed);
+          queue_response(conn, 0, wire::WireStatus::kMalformed,
+                         header.version);
           conn.close_after_flush = true;
           break;
       }
@@ -425,15 +547,39 @@ struct Server::Loop {
     while (!queue.empty()) {
       PendingRequest pending = std::move(queue.front());
       queue.pop_front();
+      const std::uint64_t trace_id = pending.request.trace_id;
       Conn& conn = conns[pending.slot];
       if (!conn.in_use || conn.gen != pending.gen || conn.closing) {
-        continue;  // requester hung up while queued
+        // Requester hung up while queued: close the request's trace
+        // track so begin/end pairing survives dropped requests.
+        obs::trace_flow_end("net", "request", trace_id);
+        obs::trace_async_end("net", "request", trace_id);
+        continue;
       }
-      auto result = server->sampler_->sample_for_serving(
-          index, pending.request.nodes, pending.request.fanouts,
-          pending.request.rng_seed);
+      const std::uint64_t queue_wait_ns =
+          obs::now_ns() - pending.enqueue_ns;
+      metrics.stage_queue_wait.record_ns(queue_wait_ns);
+      std::uint64_t sample_ns = 0;
+      auto result = [&] {
+        RS_OBS_SPAN("net", "sample");
+        // The flow arrow lands here: enqueue slice -> this slice.
+        obs::trace_flow_end("net", "request", trace_id);
+        const std::uint64_t t0 = obs::now_ns();
+        auto sampled = server->sampler_->sample_for_serving(
+            index, pending.request.nodes, pending.request.fanouts,
+            pending.request.rng_seed);
+        sample_ns = obs::now_ns() - t0;
+        return sampled;
+      }();
+      metrics.stage_sample.record_ns(sample_ns);
       wire::SampleResponse response;
       response.request_id = pending.request.request_id;
+      // v2 trailer (dropped from the encoding for v1 requesters): the
+      // echoed trace id plus this request's server-side stage timings,
+      // which svc_load joins against its client-side latency.
+      response.trace_id = trace_id;
+      response.server_queue_ns = queue_wait_ns;
+      response.server_sample_ns = sample_ns;
       if (result.is_ok()) {
         response.status = wire::WireStatus::kOk;
         response.subgraph = std::move(result).value();
@@ -446,7 +592,17 @@ struct Server::Loop {
         RS_WARN("serving: sampling failed: %s",
                 result.status().to_string().c_str());
       }
-      wire::encode_sample_response(response, conn.tx_queue);
+      {
+        RS_OBS_SPAN("net", "encode");
+        const std::uint64_t t0 = obs::now_ns();
+        stage_frame(conn, [&](std::vector<std::uint8_t>& out) {
+          wire::encode_sample_response(response, out, pending.version);
+        });
+        metrics.stage_encode.record_ns(obs::now_ns() - t0);
+      }
+      conn.send_markers.push_back(SendMarker{conn.queued_bytes_total,
+                                             obs::now_ns(), pending.recv_ns,
+                                             trace_id});
       metrics.request_latency.record_ns(obs::now_ns() - pending.enqueue_ns);
     }
     batch_deadline_ns = 0;
@@ -482,10 +638,23 @@ struct Server::Loop {
   }
 
   void note_sent(Conn& conn, std::size_t n, std::uint64_t now) {
+    const NetMetrics& metrics = NetMetrics::get();
     bytes_tx.fetch_add(n, std::memory_order_relaxed);
-    NetMetrics::get().bytes_tx.add(n);
+    metrics.bytes_tx.add(n);
     conn.tx_off += n;
+    conn.sent_bytes_total += n;
     conn.last_activity_ns = now;
+    // Responses whose last byte is now on the wire: record the send
+    // stage and the request's end-to-end server time, and close the
+    // request-scoped trace track.
+    while (!conn.send_markers.empty() &&
+           conn.send_markers.front().watermark <= conn.sent_bytes_total) {
+      const SendMarker marker = conn.send_markers.front();
+      conn.send_markers.pop_front();
+      metrics.stage_send.record_ns(now - marker.staged_ns);
+      metrics.stage_total.record_ns(now - marker.recv_ns);
+      obs::trace_async_end("net", "request", marker.trace_id);
+    }
     if (conn.close_after_flush && !stage_tx(conn)) {
       begin_close(conn);
     }
@@ -580,6 +749,11 @@ struct Server::Loop {
   }
 
   void run_uring() {
+    // Syscall accounting for the serving ring: the loop thread owns the
+    // ring, so it alone flushes RingStats deltas into the registry
+    // (io.uring.* globals + io.net.loop.enter_calls) — once per loop
+    // iteration for live scraping and once after the drain for the tail.
+    io::RingStatsExporter ring_stats_exporter("net.loop");
     std::array<uring::Cqe, 64> cqes;
     while (!stop_requested()) {
       arm_uring();
@@ -605,6 +779,7 @@ struct Server::Loop {
       if (batch_due(now)) process_queue();
       sweep_idle(now);
       reap_closed();
+      ring_stats_exporter.flush(ring.stats());
     }
     // Drain: wake blocked socket ops so their slots release, then let
     // ~Ring cancel anything still pending.
@@ -612,6 +787,7 @@ struct Server::Loop {
       if (conn.in_use) begin_close(conn);
     }
     reap_closed();
+    ring_stats_exporter.flush(ring.stats());
   }
 
   // ---- psync (poll(2)) engine: identical protocol, portable syscalls ----
@@ -724,11 +900,24 @@ struct Server::Loop {
   }
 
   void run() {
+    // Explicit begin/end pair (not a scoped X span) so the loop's whole
+    // lifetime shows as one slice under which every per-request slice
+    // nests; scripts/rs_lint.py's span-balance rule keeps the pairing
+    // honest.
+    obs::trace_span_begin("net", "loop");
     if (use_uring) {
       run_uring();
     } else {
       run_psync();
     }
+    // Requests still queued at shutdown never produce a response; close
+    // their trace tracks so begin/end pairing stays exact in the dump.
+    for (const PendingRequest& pending : queue) {
+      obs::trace_flow_end("net", "request", pending.request.trace_id);
+      obs::trace_async_end("net", "request", pending.request.trace_id);
+    }
+    queue.clear();
+    obs::trace_span_end("net", "loop");
   }
 };
 

@@ -45,6 +45,14 @@ class Reader {
     pos_ += std::size_t{count} * 4;
     return Status::ok();
   }
+  // Reads `count` raw bytes into `out` (replacing its contents). Same
+  // contract as u32_array: the caller capped `count`, need() re-checks.
+  Status bytes(std::uint32_t count, std::string* out) {
+    RS_RETURN_IF_ERROR(need(count));
+    out->assign(reinterpret_cast<const char*>(buf_.data() + pos_), count);
+    pos_ += count;
+    return Status::ok();
+  }
 
  private:
   Status need(std::size_t n) const {
@@ -82,14 +90,14 @@ void append_u32_array(std::vector<std::uint8_t>& out,
 // Keeps every encoder single-pass without pre-computing sizes.
 template <typename BodyFn>
 void encode_frame(FrameKind kind, std::vector<std::uint8_t>& out,
-                  BodyFn&& body) {
+                  BodyFn&& body, std::uint16_t version = kWireVersion) {
   const std::size_t header_at = out.size();
   out.resize(header_at + kFrameHeaderBytes);
   body(out);
   const std::size_t body_len = out.size() - header_at - kFrameHeaderBytes;
   std::uint8_t* h = out.data() + header_at;
   store_le32(h, kMagic);
-  store_le16(h + 4, kWireVersion);
+  store_le16(h + 4, version);
   store_le16(h + 6, static_cast<std::uint16_t>(kind));
   store_le32(h + 8, static_cast<std::uint32_t>(body_len));
   store_le32(h + 12, 0);  // reserved
@@ -128,13 +136,19 @@ Status decode_frame_header(std::span<const std::uint8_t> buf,
     return Status::corrupt("wire: bad magic");
   }
   const std::uint16_t version = load_le16(p + 4);
-  if (version != kWireVersion) {
+  if (version < kMinWireVersion || version > kWireVersion) {
     return Status::corrupt("wire: unsupported version");
   }
   const std::uint16_t kind = load_le16(p + 6);
   if (kind < static_cast<std::uint16_t>(FrameKind::kSampleRequest) ||
-      kind > static_cast<std::uint16_t>(FrameKind::kInfoResponse)) {
+      kind > static_cast<std::uint16_t>(FrameKind::kStatsResponse)) {
     return Status::corrupt("wire: unknown frame kind");
+  }
+  // Stats introspection arrived with v2; a v1 header carrying it is a
+  // peer that lied about its version.
+  if (version < 2 &&
+      kind >= static_cast<std::uint16_t>(FrameKind::kStatsRequest)) {
+    return Status::corrupt("wire: frame kind needs version >= 2");
   }
   const std::uint32_t body_len = load_le32(p + 8);
   if (body_len > kMaxBodyLen) {
@@ -150,19 +164,25 @@ Status decode_frame_header(std::span<const std::uint8_t> buf,
 }
 
 void encode_sample_request(const SampleRequest& request,
-                           std::vector<std::uint8_t>& out) {
-  encode_frame(FrameKind::kSampleRequest, out, [&](auto& buf) {
-    append_u64(buf, request.request_id);
-    append_u64(buf, request.rng_seed);
-    append_u32(buf, static_cast<std::uint32_t>(request.nodes.size()));
-    append_u32(buf, static_cast<std::uint32_t>(request.fanouts.size()));
-    append_u32_array(buf, request.nodes);
-    append_u32_array(buf, request.fanouts);
-  });
+                           std::vector<std::uint8_t>& out,
+                           std::uint16_t version) {
+  encode_frame(
+      FrameKind::kSampleRequest, out,
+      [&](auto& buf) {
+        append_u64(buf, request.request_id);
+        append_u64(buf, request.rng_seed);
+        append_u32(buf, static_cast<std::uint32_t>(request.nodes.size()));
+        append_u32(buf,
+                   static_cast<std::uint32_t>(request.fanouts.size()));
+        append_u32_array(buf, request.nodes);
+        append_u32_array(buf, request.fanouts);
+        if (version >= 2) append_u64(buf, request.trace_id);
+      },
+      version);
 }
 
 Status decode_sample_request(std::span<const std::uint8_t> body,
-                             SampleRequest* out) {
+                             SampleRequest* out, std::uint16_t version) {
   Reader r(body);
   RS_RETURN_IF_ERROR(r.u64(&out->request_id));
   RS_RETURN_IF_ERROR(r.u64(&out->rng_seed));
@@ -183,33 +203,50 @@ Status decode_sample_request(std::span<const std::uint8_t> body,
       return Status::corrupt("wire: fanout value out of range");
     }
   }
+  if (version >= 2) {
+    RS_RETURN_IF_ERROR(r.u64(&out->trace_id));
+  } else {
+    // v1 has no trace id; request_id is the only correlation key.
+    out->trace_id = out->request_id;
+  }
   return check_exhausted(r);
 }
 
 void encode_sample_response(const SampleResponse& response,
-                            std::vector<std::uint8_t>& out) {
-  encode_frame(FrameKind::kSampleResponse, out, [&](auto& buf) {
-    append_u64(buf, response.request_id);
-    append_u16(buf, static_cast<std::uint16_t>(response.status));
-    append_u16(buf, 0);  // reserved
-    if (response.status != WireStatus::kOk) {
-      append_u32(buf, 0);  // num_layers
-      return;
-    }
-    const auto& layers = response.subgraph.layers;
-    append_u32(buf, static_cast<std::uint32_t>(layers.size()));
-    for (const auto& layer : layers) {
-      append_u32(buf, static_cast<std::uint32_t>(layer.targets.size()));
-      append_u32(buf, static_cast<std::uint32_t>(layer.neighbors.size()));
-      append_u32_array(buf, layer.targets);
-      append_u32_array(buf, layer.sample_begin);
-      append_u32_array(buf, layer.neighbors);
-    }
-  });
+                            std::vector<std::uint8_t>& out,
+                            std::uint16_t version) {
+  encode_frame(
+      FrameKind::kSampleResponse, out,
+      [&](auto& buf) {
+        append_u64(buf, response.request_id);
+        append_u16(buf, static_cast<std::uint16_t>(response.status));
+        append_u16(buf, 0);  // reserved
+        if (response.status != WireStatus::kOk) {
+          append_u32(buf, 0);  // num_layers
+        } else {
+          const auto& layers = response.subgraph.layers;
+          append_u32(buf, static_cast<std::uint32_t>(layers.size()));
+          for (const auto& layer : layers) {
+            append_u32(buf,
+                       static_cast<std::uint32_t>(layer.targets.size()));
+            append_u32(
+                buf, static_cast<std::uint32_t>(layer.neighbors.size()));
+            append_u32_array(buf, layer.targets);
+            append_u32_array(buf, layer.sample_begin);
+            append_u32_array(buf, layer.neighbors);
+          }
+        }
+        if (version >= 2) {
+          append_u64(buf, response.trace_id);
+          append_u64(buf, response.server_queue_ns);
+          append_u64(buf, response.server_sample_ns);
+        }
+      },
+      version);
 }
 
 Status decode_sample_response(std::span<const std::uint8_t> body,
-                              SampleResponse* out) {
+                              SampleResponse* out, std::uint16_t version) {
   Reader r(body);
   RS_RETURN_IF_ERROR(r.u64(&out->request_id));
   std::uint16_t status_raw = 0;
@@ -263,6 +300,15 @@ Status decode_sample_response(std::span<const std::uint8_t> body,
     }
     RS_RETURN_IF_ERROR(r.u32_array(num_neighbors, &layer.neighbors));
   }
+  if (version >= 2) {
+    RS_RETURN_IF_ERROR(r.u64(&out->trace_id));
+    RS_RETURN_IF_ERROR(r.u64(&out->server_queue_ns));
+    RS_RETURN_IF_ERROR(r.u64(&out->server_sample_ns));
+  } else {
+    out->trace_id = out->request_id;
+    out->server_queue_ns = 0;
+    out->server_sample_ns = 0;
+  }
   return check_exhausted(r);
 }
 
@@ -280,14 +326,18 @@ Status decode_info_request(std::span<const std::uint8_t> body,
 }
 
 void encode_info_response(const InfoResponse& info,
-                          std::vector<std::uint8_t>& out) {
-  encode_frame(FrameKind::kInfoResponse, out, [&](auto& buf) {
-    append_u64(buf, info.num_nodes);
-    append_u64(buf, info.num_edges);
-    append_u32(buf, info.max_batch);
-    append_u32(buf, static_cast<std::uint32_t>(info.fanouts.size()));
-    append_u32_array(buf, info.fanouts);
-  });
+                          std::vector<std::uint8_t>& out,
+                          std::uint16_t version) {
+  encode_frame(
+      FrameKind::kInfoResponse, out,
+      [&](auto& buf) {
+        append_u64(buf, info.num_nodes);
+        append_u64(buf, info.num_edges);
+        append_u32(buf, info.max_batch);
+        append_u32(buf, static_cast<std::uint32_t>(info.fanouts.size()));
+        append_u32_array(buf, info.fanouts);
+      },
+      version);
 }
 
 Status decode_info_response(std::span<const std::uint8_t> body,
@@ -302,6 +352,42 @@ Status decode_info_response(std::span<const std::uint8_t> body,
     return Status::corrupt("wire: info fanout count out of range");
   }
   RS_RETURN_IF_ERROR(r.u32_array(num_fanouts, &out->fanouts));
+  return check_exhausted(r);
+}
+
+void encode_stats_request(std::uint64_t request_id,
+                          std::vector<std::uint8_t>& out) {
+  encode_frame(FrameKind::kStatsRequest, out,
+               [&](auto& buf) { append_u64(buf, request_id); });
+}
+
+Status decode_stats_request(std::span<const std::uint8_t> body,
+                            std::uint64_t* request_id) {
+  Reader r(body);
+  RS_RETURN_IF_ERROR(r.u64(request_id));
+  return check_exhausted(r);
+}
+
+void encode_stats_response(const StatsResponse& stats,
+                           std::vector<std::uint8_t>& out) {
+  encode_frame(FrameKind::kStatsResponse, out, [&](auto& buf) {
+    append_u64(buf, stats.request_id);
+    append_u32(buf, static_cast<std::uint32_t>(stats.json.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(
+        stats.json.data());
+    buf.insert(buf.end(), p, p + stats.json.size());
+  });
+}
+
+Status decode_stats_response(std::span<const std::uint8_t> body,
+                             StatsResponse* out) {
+  Reader r(body);
+  RS_RETURN_IF_ERROR(r.u64(&out->request_id));
+  std::uint32_t json_len = 0;
+  RS_RETURN_IF_ERROR(r.u32(&json_len));
+  // The header's body_len cap (kMaxBodyLen) already bounds json_len;
+  // bytes() re-checks against what is actually present.
+  RS_RETURN_IF_ERROR(r.bytes(json_len, &out->json));
   return check_exhausted(r);
 }
 

@@ -1,4 +1,4 @@
-// RingSampler sampling-service wire protocol, version 1.
+// RingSampler sampling-service wire protocol, version 2.
 //
 // A strict, versioned, little-endian binary framing shared by
 // net::Server, net::Client, and bench/svc_load. Every frame is a fixed
@@ -6,10 +6,17 @@
 //
 //   offset  size  field
 //   0       u32   magic     kMagic ("RSNP")
-//   4       u16   version   kWireVersion (currently 1)
+//   4       u16   version   kMinWireVersion .. kWireVersion
 //   6       u16   kind      FrameKind
 //   8       u32   body_len  payload bytes following the header
 //   12      u32   reserved  must be zero
+//
+// Versioning: every frame carries its own version, and version-2 bodies
+// only ever *append* fields to the version-1 layout, so a v2 peer
+// decodes both and a v1 request is answered with a v1 response (the
+// version echoes per frame, never per connection). Frame kinds 5+
+// (stats introspection) are v2-only; a v1 header carrying them is
+// corrupt. decode_* helpers below take the header's version.
 //
 // Sample request body (kind = kSampleRequest):
 //   u64 request_id   echoed verbatim in the response (correlation key;
@@ -22,6 +29,11 @@
 //   u32 num_fanouts  1 .. kMaxFanouts
 //   u32 x num_nodes    seed node ids
 //   u32 x num_fanouts  per-layer fanouts, each 1 .. kMaxFanout
+//   -- v2 appends --
+//   u64 trace_id     request-scoped tracing key: stamped on the server's
+//                    spans/flow events and echoed in the response, so a
+//                    client-side latency joins the server-side stage
+//                    breakdown. v1 frames default it to request_id.
 //
 // Sample response body (kind = kSampleResponse):
 //   u64 request_id
@@ -34,12 +46,23 @@
 //     u32 x num_targets        targets
 //     u32 x (num_targets + 1)  sample_begin prefix table
 //     u32 x num_neighbors      neighbors
+//   -- v2 appends --
+//   u64 trace_id         echoed from the request (request_id for v1)
+//   u64 server_queue_ns  time the request waited in the admission queue
+//   u64 server_sample_ns sampling service time (CPU + storage I/O)
 //
 // Info request (kind = kInfoRequest) has an empty body; the response
 // (kind = kInfoResponse) describes the served graph so load generators
 // can draw valid node ids without out-of-band knowledge:
 //   u64 num_nodes, u64 num_edges, u32 max_batch, u32 num_fanouts,
 //   u32 x num_fanouts (the server's configured per-layer fanout caps)
+//
+// Stats request (kind = kStatsRequest, v2+) carries a request id only;
+// the response (kind = kStatsResponse) is the server's live metrics-
+// registry snapshot — counters (io.uring.enter_calls syscall
+// accounting), gauges, and the net.stage.* histograms — as the same
+// JSON document MetricsSnapshot::to_json() writes to disk:
+//   u64 request_id, u32 json_len, json_len bytes of UTF-8 JSON
 //
 // Decoding never trusts a length field: every count is bounds-checked
 // against the hard caps below and against the bytes actually present,
@@ -66,7 +89,9 @@
 namespace rs::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x504e5352;  // "RSNP" on the wire
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
+// Oldest version still decoded; v1 peers stay fully supported.
+inline constexpr std::uint16_t kMinWireVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 
 // Hard caps a decoder enforces before allocating anything. A header
@@ -82,6 +107,10 @@ enum class FrameKind : std::uint16_t {
   kSampleResponse = 2,
   kInfoRequest = 3,
   kInfoResponse = 4,
+  // Metrics-registry introspection (v2+): remote scraping of the
+  // server's counters/histograms without a sidecar.
+  kStatsRequest = 5,
+  kStatsResponse = 6,
 };
 
 enum class WireStatus : std::uint16_t {
@@ -151,6 +180,9 @@ struct SampleRequest {
   std::uint64_t rng_seed = 0;
   std::vector<NodeId> nodes;
   std::vector<std::uint32_t> fanouts;
+  // v2: request-scoped tracing key (see header comment). Decoding a v1
+  // frame sets it to request_id so joins work across the skew.
+  std::uint64_t trace_id = 0;
 };
 
 struct SampleResponse {
@@ -159,6 +191,12 @@ struct SampleResponse {
   // Valid only when status == kOk. Layers mirror core::MiniBatchSample
   // (outermost seed layer first).
   core::MiniBatchSample subgraph;
+  // v2 trailer: echoed trace id plus the server-side stage timings for
+  // this request (zero when decoded from a v1 frame; shed responses
+  // carry the echoed trace id but zero timings).
+  std::uint64_t trace_id = 0;
+  std::uint64_t server_queue_ns = 0;
+  std::uint64_t server_sample_ns = 0;
 };
 
 struct InfoResponse {
@@ -166,6 +204,12 @@ struct InfoResponse {
   std::uint64_t num_edges = 0;
   std::uint32_t max_batch = 0;
   std::vector<std::uint32_t> fanouts;
+};
+
+struct StatsResponse {
+  std::uint64_t request_id = 0;
+  // MetricsSnapshot::to_json() of the server's global registry.
+  std::string json;
 };
 
 // Decodes and validates a frame header from the first kFrameHeaderBytes
@@ -176,28 +220,46 @@ struct InfoResponse {
 Status decode_frame_header(std::span<const std::uint8_t> buf,
                            FrameHeader* out);
 
-// Encoders append one complete frame (header + body) to `out`.
+// Encoders append one complete frame (header + body) to `out`. Sample
+// frames take the version to emit (a v2 server answers a v1 request
+// with a v1 frame); the other kinds are version-invariant or v2-only.
 void encode_sample_request(const SampleRequest& request,
-                           std::vector<std::uint8_t>& out);
+                           std::vector<std::uint8_t>& out,
+                           std::uint16_t version = kWireVersion);
 void encode_sample_response(const SampleResponse& response,
-                            std::vector<std::uint8_t>& out);
+                            std::vector<std::uint8_t>& out,
+                            std::uint16_t version = kWireVersion);
 void encode_info_request(std::uint64_t request_id,
                          std::vector<std::uint8_t>& out);
+// The info body never changed shape; the version parameter only sets
+// the header field so a v1 peer can decode the server's answer.
 void encode_info_response(const InfoResponse& info,
+                          std::vector<std::uint8_t>& out,
+                          std::uint16_t version = kWireVersion);
+void encode_stats_request(std::uint64_t request_id,
                           std::vector<std::uint8_t>& out);
+void encode_stats_response(const StatsResponse& stats,
+                           std::vector<std::uint8_t>& out);
 
 // Body decoders take exactly the body_len bytes following a validated
-// header. Any structural violation — truncated body, trailing garbage,
-// counts above the caps, a sample_begin table that is not a monotone
-// prefix of num_neighbors — is kCorruptData, never a crash.
+// header, plus that header's version where the layout grew in v2. Any
+// structural violation — truncated body, trailing garbage, counts above
+// the caps, a sample_begin table that is not a monotone prefix of
+// num_neighbors — is kCorruptData, never a crash.
 Status decode_sample_request(std::span<const std::uint8_t> body,
-                             SampleRequest* out);
+                             SampleRequest* out,
+                             std::uint16_t version = kWireVersion);
 Status decode_sample_response(std::span<const std::uint8_t> body,
-                              SampleResponse* out);
-// Info requests carry a request id only.
+                              SampleResponse* out,
+                              std::uint16_t version = kWireVersion);
+// Info and stats requests carry a request id only.
 Status decode_info_request(std::span<const std::uint8_t> body,
                            std::uint64_t* request_id);
 Status decode_info_response(std::span<const std::uint8_t> body,
                             InfoResponse* out);
+Status decode_stats_request(std::span<const std::uint8_t> body,
+                            std::uint64_t* request_id);
+Status decode_stats_response(std::span<const std::uint8_t> body,
+                             StatsResponse* out);
 
 }  // namespace rs::net::wire

@@ -25,7 +25,9 @@ struct TraceEvent {
   std::int64_t arg = 0;
   std::uint64_t ts_ns = 0;   // relative to trace start
   std::uint64_t dur_ns = 0;
+  std::uint64_t id = 0;      // async/flow pairing key
   char phase = 'X';
+  bool has_id = false;
 };
 
 struct TraceBuffer {
@@ -80,7 +82,8 @@ TraceBuffer& thread_buffer() {
 
 void record_event(const char* cat, const char* name, std::uint64_t start_ns,
                   std::uint64_t dur_ns, const char* arg_name,
-                  std::int64_t arg, char phase) {
+                  std::int64_t arg, char phase, std::uint64_t id = 0,
+                  bool has_id = false) {
   TraceState& st = state();
   TraceBuffer* buffer = t_trace.buffer;
   if (buffer == nullptr ||
@@ -98,7 +101,9 @@ void record_event(const char* cat, const char* name, std::uint64_t start_ns,
   event.arg = arg;
   event.ts_ns = start_ns - st.t0_ns.load(std::memory_order_relaxed);
   event.dur_ns = dur_ns;
+  event.id = id;
   event.phase = phase;
+  event.has_id = has_id;
 }
 
 Status write_json(TraceState& st, const std::string& path)
@@ -127,6 +132,12 @@ Status write_json(TraceState& st, const std::string& path)
       if (event.phase == 'X') {
         std::fprintf(f, ",\"dur\":%.3f",
                      static_cast<double>(event.dur_ns) / 1e3);
+      }
+      if (event.has_id) {
+        std::fprintf(f, ",\"id\":\"0x%llx\"",
+                     static_cast<unsigned long long>(event.id));
+        // A flow-end binds to the enclosing slice's end, not its start.
+        if (event.phase == 'f') std::fputs(",\"bp\":\"e\"", f);
       }
       if (event.arg_name != nullptr) {
         std::fprintf(f, ",\"args\":{\"%s\":%lld}", event.arg_name,
@@ -181,6 +192,11 @@ void trace_record(const char* cat, const char* name, std::uint64_t start_ns,
   record_event(cat, name, start_ns, dur_ns, arg_name, arg, 'X');
 }
 
+void trace_record_id(const char* cat, const char* name, char phase,
+                     std::uint64_t id) {
+  record_event(cat, name, now_ns(), 0, nullptr, 0, phase, id, true);
+}
+
 }  // namespace detail
 
 Status trace_start(const std::string& path, std::size_t events_per_thread) {
@@ -226,6 +242,48 @@ Status trace_stop() {
 void trace_instant(const char* cat, const char* name) {
   if (!trace_enabled()) return;
   record_event(cat, name, now_ns(), 0, nullptr, 0, 'i');
+}
+
+void trace_span_begin(const char* cat, const char* name) {
+  if (!trace_enabled()) return;
+  record_event(cat, name, now_ns(), 0, nullptr, 0, 'B');
+}
+
+void trace_span_end(const char* cat, const char* name) {
+  if (!trace_enabled()) return;
+  record_event(cat, name, now_ns(), 0, nullptr, 0, 'E');
+}
+
+void trace_async_begin(const char* cat, const char* name,
+                       std::uint64_t id) {
+  if (!trace_enabled()) return;
+  detail::trace_record_id(cat, name, 'b', id);
+}
+
+void trace_async_instant(const char* cat, const char* name,
+                         std::uint64_t id) {
+  if (!trace_enabled()) return;
+  detail::trace_record_id(cat, name, 'n', id);
+}
+
+void trace_async_end(const char* cat, const char* name, std::uint64_t id) {
+  if (!trace_enabled()) return;
+  detail::trace_record_id(cat, name, 'e', id);
+}
+
+void trace_flow_begin(const char* cat, const char* name, std::uint64_t id) {
+  if (!trace_enabled()) return;
+  detail::trace_record_id(cat, name, 's', id);
+}
+
+void trace_flow_step(const char* cat, const char* name, std::uint64_t id) {
+  if (!trace_enabled()) return;
+  detail::trace_record_id(cat, name, 't', id);
+}
+
+void trace_flow_end(const char* cat, const char* name, std::uint64_t id) {
+  if (!trace_enabled()) return;
+  detail::trace_record_id(cat, name, 'f', id);
 }
 
 }  // namespace rs::obs

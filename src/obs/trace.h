@@ -12,6 +12,20 @@
 // per-thread ring (newest wins; drops are counted), so a trace of an
 // unbounded run stays bounded and allocation-free after warmup.
 //
+// Beyond scoped "X" spans the recorder speaks three more Chrome-trace
+// dialects, all keyed by a caller-chosen 64-bit id so one request can be
+// stitched across threads and loop iterations (net::Server uses the
+// wire-protocol trace id):
+//   * trace_span_begin/end — explicit "B"/"E" pairs for spans that
+//     cannot be a C++ scope (a server loop's lifetime). Must nest per
+//     thread; scripts/check_trace_json.py asserts the pairing.
+//   * trace_async_begin/instant/end — "b"/"n"/"e" async spans, the
+//     request-scoped track: overlapping requests on one thread are
+//     legal because pairing is by id, not by stack.
+//   * trace_flow_begin/step/end — "s"/"t"/"f" flow arrows binding the
+//     enclosing slices together (decode -> queue -> sample -> send),
+//     which is how Perfetto draws a request's path across threads.
+//
 // Output: open the JSON in https://ui.perfetto.dev or chrome://tracing.
 // Timestamps are microseconds since trace_start on the steady clock.
 #pragma once
@@ -31,6 +45,10 @@ extern std::atomic<bool> g_trace_enabled;
 void trace_record(const char* cat, const char* name, std::uint64_t start_ns,
                   std::uint64_t dur_ns, const char* arg_name,
                   std::int64_t arg);
+// Records an id-carrying event for the async ("b"/"n"/"e") and flow
+// ("s"/"t"/"f") phases.
+void trace_record_id(const char* cat, const char* name, char phase,
+                     std::uint64_t id);
 std::uint64_t trace_now_ns();
 }  // namespace detail
 
@@ -50,6 +68,26 @@ Status trace_stop();
 
 // Instant event ("i" phase), e.g. epoch boundaries.
 void trace_instant(const char* cat, const char* name);
+
+// Explicit begin/end span pair ("B"/"E"). For spans that outlive any C++
+// scope; must be balanced and LIFO-nested per thread (the trace
+// validator and the rs_lint span-balance rule both enforce it). Prefer
+// RS_OBS_SPAN wherever a scope exists.
+void trace_span_begin(const char* cat, const char* name);
+void trace_span_end(const char* cat, const char* name);
+
+// Request-scoped async span ("b"/"n"/"e"), paired by (cat, id). Async
+// spans from interleaved requests may overlap freely on one thread.
+void trace_async_begin(const char* cat, const char* name, std::uint64_t id);
+void trace_async_instant(const char* cat, const char* name,
+                         std::uint64_t id);
+void trace_async_end(const char* cat, const char* name, std::uint64_t id);
+
+// Flow arrows ("s"/"t"/"f"), paired by id; each must be emitted inside
+// an enclosing slice ("X" or "B"/"E") for viewers to anchor the arrow.
+void trace_flow_begin(const char* cat, const char* name, std::uint64_t id);
+void trace_flow_step(const char* cat, const char* name, std::uint64_t id);
+void trace_flow_end(const char* cat, const char* name, std::uint64_t id);
 
 // RAII span: one complete event covering construction to destruction.
 class TraceSpan {

@@ -351,6 +351,128 @@ TEST_F(LoopbackTest, OutOfRangeNodeAnswersMalformed) {
   server.value()->stop();
 }
 
+// The v2 protocol echoes the client's trace id on every response and
+// carries the server-side stage timings; a request-scoped join on the
+// client must see its own id back, never a recycled or zero one.
+TEST_F(LoopbackTest, TraceIdEchoAndServerTimings) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  for (int i = 0; i < 5; ++i) {
+    wire::SampleRequest request;
+    request.request_id = static_cast<std::uint64_t>(i);
+    request.rng_seed = 17;
+    request.fanouts = {5, 3};
+    request.nodes = {static_cast<NodeId>(i)};
+    // Deliberately distinct from request_id so the echo is not vacuous.
+    request.trace_id = 0x9e3779b97f4a7c15ULL ^ request.request_id;
+    auto response = client.value().sample(request);
+    RS_ASSERT_OK(response);
+    ASSERT_EQ(response.value().status, wire::WireStatus::kOk);
+    EXPECT_EQ(response.value().trace_id, request.trace_id);
+    // The sample stage always does real work; steady-clock ns around it
+    // cannot be zero.
+    EXPECT_GT(response.value().server_sample_ns, 0u);
+  }
+  server.value()->stop();
+}
+
+// A v1 client (no trace_id on the wire) against the v2 server: the
+// server must answer in v1, the payload must stay bit-identical to the
+// v2 answer, and the decoded trailer must take the v1 defaults.
+TEST_F(LoopbackTest, Version1ClientSkew) {
+  auto sampler = open_sampler();
+  auto reference = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  wire::SampleRequest request;
+  request.request_id = 41;
+  request.rng_seed = 12345;
+  request.fanouts = {5, 3};
+  request.nodes = {1, 2, 3};
+  request.trace_id = 0xffffffffffffffffULL;  // must NOT reach the wire
+  std::vector<std::uint8_t> frame;
+  wire::encode_sample_request(request, frame, 1);
+  test::assert_ok(client.value().send_raw(frame));
+
+  auto response = client.value().read_sample_response();
+  RS_ASSERT_OK(response);
+  ASSERT_EQ(response.value().status, wire::WireStatus::kOk);
+  EXPECT_EQ(response.value().request_id, request.request_id);
+  EXPECT_EQ(response.value().trace_id, request.request_id);  // v1 fallback
+  EXPECT_EQ(response.value().server_queue_ns, 0u);
+  EXPECT_EQ(response.value().server_sample_ns, 0u);
+  auto direct = reference->sample_for_serving(
+      0, request.nodes, request.fanouts, request.rng_seed);
+  RS_ASSERT_OK(direct);
+  expect_same_subgraph(response.value().subgraph, direct.value());
+  server.value()->stop();
+}
+
+// Remote introspection: the kStats frame returns the server's live
+// metrics registry as JSON, scrapeable over the same connection that
+// just did sampling work.
+TEST_F(LoopbackTest, StatsFrameScrapesMetricsRegistry) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  wire::SampleRequest request;
+  request.request_id = 7;
+  request.rng_seed = 3;
+  request.fanouts = {5, 3};
+  request.nodes = {0};
+  auto response = client.value().sample(request);
+  RS_ASSERT_OK(response);
+  ASSERT_EQ(response.value().status, wire::WireStatus::kOk);
+
+  auto stats = client.value().stats();
+  RS_ASSERT_OK(stats);
+  const std::string& json = stats.value();
+  // The registry is process-global, so the scrape must include the
+  // serving-tier instruments the request above just exercised.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("net.requests"), std::string::npos);
+  EXPECT_NE(json.find("net.stage.sample_ns"), std::string::npos);
+  EXPECT_NE(json.find("net.stage.total_ns"), std::string::npos);
+  server.value()->stop();
+  EXPECT_GE(server.value()->stats().requests, 1u);
+}
+
+// The psync poll(2) engine must answer the v2-only kStats frame too —
+// the introspection path is protocol code shared by both engines.
+TEST_F(LoopbackTest, StatsFrameWorksOverPsync) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  options.force_psync = true;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+  EXPECT_FALSE(server.value()->using_uring());
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  auto stats = client.value().stats();
+  RS_ASSERT_OK(stats);
+  EXPECT_NE(stats.value().find("\"counters\""), std::string::npos);
+  server.value()->stop();
+}
+
 TEST_F(LoopbackTest, IdleConnectionsTimeOut) {
   auto sampler = open_sampler();
   ServerOptions options;

@@ -20,6 +20,7 @@ SampleRequest make_request() {
   request.rng_seed = 0xdeadbeefcafef00dULL;
   request.nodes = {0, 7, 42, 1999};
   request.fanouts = {5, 3};
+  request.trace_id = 0xabcdef0123456789ULL;  // v2 trailer
   return request;
 }
 
@@ -27,6 +28,9 @@ SampleResponse make_response() {
   SampleResponse response;
   response.request_id = 99;
   response.status = WireStatus::kOk;
+  response.trace_id = 0xfeedface55aa1234ULL;  // v2 trailer
+  response.server_queue_ns = 12'345;
+  response.server_sample_ns = 678'901;
   core::LayerSample layer0;
   layer0.targets = {1, 2};
   layer0.sample_begin = {0, 2, 3};
@@ -77,6 +81,32 @@ TEST(WireSampleRequest, RoundTrip) {
   EXPECT_EQ(decoded.rng_seed, request.rng_seed);
   EXPECT_EQ(decoded.nodes, request.nodes);
   EXPECT_EQ(decoded.fanouts, request.fanouts);
+  EXPECT_EQ(decoded.trace_id, request.trace_id);
+}
+
+TEST(WireSampleRequest, Version1RoundTripDefaultsTraceId) {
+  // A v1 frame has no trace_id on the wire; decoding must fall back to
+  // request_id so trace joins keep working across the version skew.
+  const SampleRequest request = make_request();
+  std::vector<std::uint8_t> frame;
+  encode_sample_request(request, frame, 1);
+
+  FrameHeader header;
+  std::span<const std::uint8_t> body;
+  split_frame(frame, &header, &body);
+  EXPECT_EQ(header.version, 1u);
+
+  SampleRequest decoded;
+  test::assert_ok(decode_sample_request(body, &decoded, header.version));
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.nodes, request.nodes);
+  EXPECT_EQ(decoded.trace_id, request.request_id);  // not the v2 value
+
+  // A v1 body is exactly a v2 body minus the 8-byte trailer, so a v2
+  // decode of a v1 body must fail (truncation), not misparse.
+  SampleRequest misversioned;
+  EXPECT_FALSE(
+      decode_sample_request(body, &misversioned, kWireVersion).is_ok());
 }
 
 TEST(WireSampleResponse, RoundTrip) {
@@ -93,6 +123,9 @@ TEST(WireSampleResponse, RoundTrip) {
   test::assert_ok(decode_sample_response(body, &decoded));
   EXPECT_EQ(decoded.request_id, response.request_id);
   EXPECT_EQ(decoded.status, response.status);
+  EXPECT_EQ(decoded.trace_id, response.trace_id);
+  EXPECT_EQ(decoded.server_queue_ns, response.server_queue_ns);
+  EXPECT_EQ(decoded.server_sample_ns, response.server_sample_ns);
   ASSERT_EQ(decoded.subgraph.layers.size(), response.subgraph.layers.size());
   for (std::size_t l = 0; l < decoded.subgraph.layers.size(); ++l) {
     EXPECT_EQ(decoded.subgraph.layers[l].targets,
@@ -102,6 +135,30 @@ TEST(WireSampleResponse, RoundTrip) {
     EXPECT_EQ(decoded.subgraph.layers[l].neighbors,
               response.subgraph.layers[l].neighbors);
   }
+}
+
+TEST(WireSampleResponse, Version1RoundTripZeroTimings) {
+  // A v2 server answering a v1 request emits a v1 body; the payload
+  // must be bit-compatible and the trailer fields default sensibly.
+  const SampleResponse response = make_response();
+  std::vector<std::uint8_t> frame;
+  encode_sample_response(response, frame, 1);
+
+  FrameHeader header;
+  std::span<const std::uint8_t> body;
+  split_frame(frame, &header, &body);
+  EXPECT_EQ(header.version, 1u);
+
+  SampleResponse decoded;
+  test::assert_ok(decode_sample_response(body, &decoded, header.version));
+  EXPECT_EQ(decoded.request_id, response.request_id);
+  EXPECT_EQ(decoded.status, response.status);
+  ASSERT_EQ(decoded.subgraph.layers.size(), response.subgraph.layers.size());
+  EXPECT_EQ(decoded.subgraph.layers[0].neighbors,
+            response.subgraph.layers[0].neighbors);
+  EXPECT_EQ(decoded.trace_id, response.request_id);  // v1 fallback
+  EXPECT_EQ(decoded.server_queue_ns, 0u);
+  EXPECT_EQ(decoded.server_sample_ns, 0u);
 }
 
 TEST(WireSampleResponse, NonOkCarriesNoLayers) {
@@ -146,6 +203,57 @@ TEST(WireInfo, RoundTrip) {
   EXPECT_EQ(decoded.num_edges, info.num_edges);
   EXPECT_EQ(decoded.max_batch, info.max_batch);
   EXPECT_EQ(decoded.fanouts, info.fanouts);
+}
+
+TEST(WireStats, RoundTrip) {
+  std::vector<std::uint8_t> frame;
+  encode_stats_request(77, frame);
+  FrameHeader header;
+  std::span<const std::uint8_t> body;
+  split_frame(frame, &header, &body);
+  EXPECT_EQ(header.kind, FrameKind::kStatsRequest);
+  EXPECT_EQ(header.version, kWireVersion);
+  std::uint64_t request_id = 0;
+  test::assert_ok(decode_stats_request(body, &request_id));
+  EXPECT_EQ(request_id, 77u);
+
+  StatsResponse stats;
+  stats.request_id = 77;
+  stats.json = R"({"counters":{"io.uring.enter_calls":123}})";
+  frame.clear();
+  encode_stats_response(stats, frame);
+  split_frame(frame, &header, &body);
+  EXPECT_EQ(header.kind, FrameKind::kStatsResponse);
+  StatsResponse decoded;
+  test::assert_ok(decode_stats_response(body, &decoded));
+  EXPECT_EQ(decoded.request_id, stats.request_id);
+  EXPECT_EQ(decoded.json, stats.json);
+}
+
+TEST(WireStats, ResponseTruncationSweepNeverCrashes) {
+  StatsResponse stats;
+  stats.request_id = 1;
+  stats.json = R"({"counters":{},"gauges":{},"histograms":{}})";
+  std::vector<std::uint8_t> frame;
+  encode_stats_response(stats, frame);
+  const std::span<const std::uint8_t> body =
+      std::span<const std::uint8_t>(frame).subspan(kFrameHeaderBytes);
+  for (std::size_t n = 0; n < body.size(); ++n) {
+    StatsResponse decoded;
+    EXPECT_FALSE(decode_stats_response(body.first(n), &decoded).is_ok())
+        << "prefix " << n;
+  }
+}
+
+TEST(WireStats, StatsKindRequiresVersion2Header) {
+  // The kinds are v2-only: a v1 header carrying kind 5/6 is corrupt,
+  // not a valid old-protocol frame.
+  std::vector<std::uint8_t> frame;
+  encode_stats_request(1, frame);
+  store_le16(frame.data() + 4, 1);  // claim v1
+  FrameHeader header;
+  EXPECT_EQ(decode_frame_header(frame, &header).code(),
+            ErrorCode::kCorruptData);
 }
 
 TEST(WireHeader, ShortInputIsInvalidNotCorrupt) {
@@ -324,12 +432,17 @@ TEST(WireFuzz, RandomBytesNeverCrash) {
     (void)decode_frame_header(bytes, &header).is_ok();
     SampleRequest request;
     (void)decode_sample_request(bytes, &request).is_ok();
+    (void)decode_sample_request(bytes, &request, 1).is_ok();
     SampleResponse response;
     (void)decode_sample_response(bytes, &response).is_ok();
+    (void)decode_sample_response(bytes, &response, 1).is_ok();
     std::uint64_t id;
     (void)decode_info_request(bytes, &id).is_ok();
     InfoResponse info;
     (void)decode_info_response(bytes, &info).is_ok();
+    (void)decode_stats_request(bytes, &id).is_ok();
+    StatsResponse stats;
+    (void)decode_stats_response(bytes, &stats).is_ok();
   }
 }
 
