@@ -5,16 +5,29 @@
 //
 //   closed loop (default): each client thread keeps exactly one request
 //     in flight — measures service latency and peak throughput;
-//   open loop (--arrival-rate R): requests arrive on a Poisson clock at
-//     R req/s across all threads for --duration-s — measures sojourn
-//     time under a fixed offered load, the quantity an SLO is written
-//     against.
+//   open loop (--arrival-rate R): requests arrive on a stochastic clock
+//     averaging R req/s across all threads for --duration-s — measures
+//     sojourn time under a fixed offered load, the quantity an SLO is
+//     written against. --profile picks the arrival shape: poisson
+//     (memoryless), bursty (rate*factor for the first 1/factor of each
+//     period, silence otherwise — same mean, much worse tails), or
+//     diurnal (sinusoidal modulation). Non-Poisson shapes are generated
+//     by thinning a Poisson process at the peak rate.
+//
+// QoS exercise (wire v3): --pct-interactive/--pct-bulk split traffic
+// across priority classes (remainder is best-effort), --deadline-ms
+// attaches a deadline budget to interactive requests, --tenants spreads
+// requests over N tenant ids, and --hedge-delay-ms turns on client-side
+// hedging. The SLO report and JSON gain a per-class breakdown so
+// "interactive p99 under overload" is directly observable.
 //
 // The target graph's shape is discovered via the protocol's Info
 // request, so the generator needs no out-of-band dataset knowledge:
 //
 //   ./bench/svc_load --port 7950 --threads 4 --requests 2000
-//   ./bench/svc_load --port 7950 --arrival-rate 500 --duration-s 10
+//   ./bench/svc_load --port 7950 --arrival-rate 500 --duration-s 10 \
+//       --profile bursty --pct-interactive 30 --pct-bulk 50 \
+//       --deadline-ms 50 --tenants 4
 #include <algorithm>
 #include <cmath>
 #include <thread>
@@ -36,23 +49,33 @@ struct WorkerResult {
   // the SLO report (client total vs where the server spent it).
   rs::LatencyRecorder server_queue;
   rs::LatencyRecorder server_sample;
+  // Per-priority-class breakdown (indexed by wire::Priority): latency
+  // over every answered request of that class, plus its verdict mix.
+  rs::LatencyRecorder class_latencies[rs::net::wire::kNumPriorities];
+  std::uint64_t class_ok[rs::net::wire::kNumPriorities] = {};
+  std::uint64_t class_deadline[rs::net::wire::kNumPriorities] = {};
   std::uint64_t ok = 0;
   std::uint64_t overloaded = 0;
+  std::uint64_t deadline_exceeded = 0;
   std::uint64_t malformed = 0;
   std::uint64_t errors = 0;
   std::uint64_t transport_failures = 0;
   std::uint64_t trace_mismatches = 0;  // echoed trace id != sent
+  std::vector<std::uint64_t> tenant_answered;  // sized by --tenants
   rs::Status status;  // first hard failure, if any
 };
 
 // {"p50_ns":..,"p99_ns":..,"p999_ns":..} for the SLO JSON block.
+// Zeros for an empty recorder — a class nobody sent traffic to still
+// gets a well-formed row (percentile_ns asserts on empty).
 std::string percentiles_json(rs::LatencyRecorder& rec) {
   char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "{\"p50_ns\":%llu,\"p99_ns\":%llu,\"p999_ns\":%llu}",
-                static_cast<unsigned long long>(rec.percentile_ns(50.0)),
-                static_cast<unsigned long long>(rec.percentile_ns(99.0)),
-                static_cast<unsigned long long>(rec.percentile_ns(99.9)));
+  const bool empty = rec.count() == 0;
+  std::snprintf(
+      buf, sizeof(buf), "{\"p50_ns\":%llu,\"p99_ns\":%llu,\"p999_ns\":%llu}",
+      static_cast<unsigned long long>(empty ? 0 : rec.percentile_ns(50.0)),
+      static_cast<unsigned long long>(empty ? 0 : rec.percentile_ns(99.0)),
+      static_cast<unsigned long long>(empty ? 0 : rec.percentile_ns(99.9)));
   return buf;
 }
 
@@ -75,6 +98,14 @@ int main(int argc, char** argv) {
   std::uint64_t nodes_per_request = 4;
   double arrival_rate = 0;
   double duration_s = 10;
+  std::string profile = "poisson";
+  double burst_factor = 8;
+  double burst_period_s = 1;
+  std::uint64_t pct_interactive = 100;
+  std::uint64_t pct_bulk = 0;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t tenants = 0;
+  std::uint64_t hedge_delay_ms = 0;
   std::uint64_t connect_retry_ms = 2000;
   std::uint64_t seed = 7;
   std::string metrics_json;
@@ -91,6 +122,25 @@ int main(int argc, char** argv) {
                     "open loop: total Poisson arrivals/sec (0 = closed)");
   parser.add_double("duration-s", &duration_s,
                     "open loop: run this long");
+  parser.add_string("profile", &profile,
+                    "open-loop arrival shape: poisson|bursty|diurnal");
+  parser.add_double("burst-factor", &burst_factor,
+                    "bursty: peak rate multiplier (mean stays fixed)");
+  parser.add_double("burst-period-s", &burst_period_s,
+                    "bursty/diurnal: modulation period, seconds");
+  parser.add_uint("pct-interactive", &pct_interactive,
+                  "percent of requests sent as interactive class");
+  parser.add_uint("pct-bulk", &pct_bulk,
+                  "percent sent as bulk (remainder is best-effort)");
+  parser.add_uint("deadline-ms", &deadline_ms,
+                  "deadline budget attached to interactive requests "
+                  "(0 = none)");
+  parser.add_uint("tenants", &tenants,
+                  "spread requests across this many tenant ids (0 = "
+                  "tenant 0 only)");
+  parser.add_uint("hedge-delay-ms", &hedge_delay_ms,
+                  "hedge unanswered requests on a second connection "
+                  "after this long (0 = off)");
   parser.add_uint("connect-retry-ms", &connect_retry_ms,
                   "keep retrying a refused connect this long");
   parser.add_uint("seed", &seed, "RNG seed");
@@ -107,6 +157,18 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (threads == 0) threads = 1;
+  if (profile != "poisson" && profile != "bursty" && profile != "diurnal") {
+    std::fprintf(stderr, "svc_load: --profile must be poisson|bursty|"
+                         "diurnal (got %s)\n", profile.c_str());
+    return 2;
+  }
+  if (pct_interactive + pct_bulk > 100) {
+    std::fprintf(stderr,
+                 "svc_load: --pct-interactive + --pct-bulk must be <= 100\n");
+    return 2;
+  }
+  if (burst_factor < 1) burst_factor = 1;
+  if (burst_period_s <= 0) burst_period_s = 1;
   bench::stabilize_allocator();
   if (!metrics_json.empty()) {
     bench::metrics_json_path() = metrics_json;
@@ -118,6 +180,28 @@ int main(int argc, char** argv) {
   client_options.port = static_cast<std::uint16_t>(port);
   client_options.connect_retry_ms =
       static_cast<std::uint32_t>(connect_retry_ms);
+  client_options.hedge_delay_ms = static_cast<std::uint32_t>(hedge_delay_ms);
+
+  // Instantaneous offered rate at wall-time t for the chosen profile,
+  // as a fraction of the mean --arrival-rate. Non-Poisson shapes are
+  // realized by thinning a Poisson process at rate_peak.
+  const double rate_peak =
+      profile == "bursty" ? burst_factor
+      : profile == "diurnal" ? 1.9
+      : 1.0;  // relative to arrival_rate
+  auto rate_at = [&](double t) -> double {
+    if (profile == "bursty") {
+      // rate*factor for the first 1/factor of each period, then silence:
+      // same mean as poisson, far worse queueing tails.
+      const double phase = std::fmod(t, burst_period_s);
+      return phase < burst_period_s / burst_factor ? burst_factor : 0.0;
+    }
+    if (profile == "diurnal") {
+      return 1.0 + 0.9 * std::sin(2.0 * 3.14159265358979323846 * t /
+                                  burst_period_s);
+    }
+    return 1.0;
+  };
 
   // Discover the served graph: node-id range, fanout caps, batch cap.
   auto probe = net::Client::connect(client_options);
@@ -142,10 +226,12 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < fanouts.size(); ++i) {
     std::printf("%s%u", i == 0 ? "" : ",", fanouts[i]);
   }
-  std::printf("), %llu nodes/request, %llu threads, %s\n",
+  std::printf("), %llu nodes/request, %llu threads, %s%s%s\n",
               static_cast<unsigned long long>(nodes_per_request),
               static_cast<unsigned long long>(threads),
-              arrival_rate > 0 ? "open loop" : "closed loop");
+              arrival_rate > 0 ? "open loop (" : "closed loop",
+              arrival_rate > 0 ? profile.c_str() : "",
+              arrival_rate > 0 ? ")" : "");
 
   auto& registry = obs::Registry::global();
   const obs::LatencyHistogram latency_hist =
@@ -159,6 +245,7 @@ int main(int argc, char** argv) {
   WallTimer run_timer;
   auto worker = [&](std::size_t t) {
     WorkerResult& result = results[t];
+    result.tenant_answered.assign(tenants > 0 ? tenants : 1, 0);
     auto client = net::Client::connect(client_options);
     if (!client.is_ok()) {
       result.status = client.status();
@@ -166,16 +253,25 @@ int main(int argc, char** argv) {
     }
     std::uint64_t sm = seed + 0x9e3779b97f4a7c15ULL * (t + 1);
     Xoshiro256 rng(splitmix64(sm));
-    const double per_thread_rate =
-        arrival_rate / static_cast<double>(threads);
+    const double per_thread_peak =
+        arrival_rate * rate_peak / static_cast<double>(threads);
     double next_arrival = 0;  // open-loop clock, seconds
     std::uint64_t sent = 0;
 
     for (;;) {
       if (arrival_rate > 0) {
-        // Poisson arrivals: exponential interarrival gaps.
-        const double u = std::max(rng.uniform_double(), 1e-12);
-        next_arrival += -std::log(u) / per_thread_rate;
+        // Thinned Poisson: candidates arrive memorylessly at the peak
+        // rate; each survives with probability rate_at(t)/rate_peak.
+        // For --profile poisson that ratio is 1 and this reduces to
+        // plain exponential gaps.
+        for (;;) {
+          const double u = std::max(rng.uniform_double(), 1e-12);
+          next_arrival += -std::log(u) / per_thread_peak;
+          if (next_arrival > duration_s) break;
+          if (rng.uniform_double() * rate_peak <= rate_at(next_arrival)) {
+            break;
+          }
+        }
         if (next_arrival > duration_s) break;
         for (;;) {
           const double now = run_timer.elapsed_seconds();
@@ -199,6 +295,24 @@ int main(int argc, char** argv) {
       for (auto& node : request.nodes) {
         node = static_cast<NodeId>(rng() % num_nodes);
       }
+      // QoS fields: draw the priority class from the requested mix,
+      // attach the deadline budget to interactive traffic only (bulk
+      // keeps completing under overload, so the run still exercises
+      // both verdicts), and round-robin-ish tenants by RNG.
+      const std::uint64_t class_draw = rng() % 100;
+      if (class_draw < pct_interactive) {
+        request.priority = net::wire::Priority::kInteractive;
+        if (deadline_ms > 0) {
+          request.deadline_ns = deadline_ms * 1'000'000ULL;
+        }
+      } else if (class_draw < pct_interactive + pct_bulk) {
+        request.priority = net::wire::Priority::kBulk;
+      } else {
+        request.priority = net::wire::Priority::kBestEffort;
+      }
+      if (tenants > 0) {
+        request.tenant_id = static_cast<std::uint32_t>(rng() % tenants);
+      }
       ++sent;
 
       const std::uint64_t start_ns = obs::now_ns();
@@ -217,7 +331,17 @@ int main(int argc, char** argv) {
         continue;
       }
       const std::uint64_t elapsed_ns = obs::now_ns() - start_ns;
+      const auto cls = static_cast<std::size_t>(request.priority);
       result.latencies.record_ns(elapsed_ns);
+      // Per-class latency covers serviced requests only (kOk and
+      // deadline-answered). kOverloaded refusals return in microseconds
+      // and would drag the shed-heavy classes' percentiles toward zero,
+      // making "interactive p99 vs bulk p99" meaningless.
+      if (response.value().status != net::wire::WireStatus::kOverloaded) {
+        result.class_latencies[cls].record_ns(elapsed_ns);
+      }
+      result.tenant_answered[request.tenant_id %
+                             result.tenant_answered.size()]++;
       latency_hist.record_ns(elapsed_ns);
       if (response.value().trace_id != request.trace_id) {
         ++result.trace_mismatches;
@@ -225,6 +349,7 @@ int main(int argc, char** argv) {
       switch (response.value().status) {
         case net::wire::WireStatus::kOk:
           ++result.ok;
+          ++result.class_ok[cls];
           ok_counter.add();
           // Join the server's stage breakdown (v2 trailer) against this
           // client-observed latency; the deltas are the SLO report.
@@ -234,6 +359,10 @@ int main(int argc, char** argv) {
         case net::wire::WireStatus::kOverloaded:
           ++result.overloaded;
           shed_counter.add();
+          break;
+        case net::wire::WireStatus::kDeadlineExceeded:
+          ++result.deadline_exceeded;
+          ++result.class_deadline[cls];
           break;
         case net::wire::WireStatus::kMalformed:
           ++result.malformed;
@@ -256,15 +385,25 @@ int main(int argc, char** argv) {
   const double elapsed = run_timer.elapsed_seconds();
 
   WorkerResult total;
-  for (const WorkerResult& result : results) {
+  total.tenant_answered.assign(tenants > 0 ? tenants : 1, 0);
+  for (WorkerResult& result : results) {
     if (!result.status.is_ok() && total.status.is_ok()) {
       total.status = result.status;
     }
     total.latencies.merge(result.latencies);
     total.server_queue.merge(result.server_queue);
     total.server_sample.merge(result.server_sample);
+    for (std::size_t c = 0; c < net::wire::kNumPriorities; ++c) {
+      total.class_latencies[c].merge(result.class_latencies[c]);
+      total.class_ok[c] += result.class_ok[c];
+      total.class_deadline[c] += result.class_deadline[c];
+    }
+    for (std::size_t i = 0; i < result.tenant_answered.size(); ++i) {
+      total.tenant_answered[i] += result.tenant_answered[i];
+    }
     total.ok += result.ok;
     total.overloaded += result.overloaded;
+    total.deadline_exceeded += result.deadline_exceeded;
     total.malformed += result.malformed;
     total.errors += result.errors;
     total.transport_failures += result.transport_failures;
@@ -277,12 +416,13 @@ int main(int argc, char** argv) {
 
   const std::uint64_t answered = total.latencies.count();
   std::printf("%llu responses in %.3fs (%.0f req/s): %llu ok, "
-              "%llu overloaded, %llu malformed, %llu error, "
-              "%llu transport failures\n",
+              "%llu overloaded, %llu deadline_exceeded, %llu malformed, "
+              "%llu error, %llu transport failures\n",
               static_cast<unsigned long long>(answered), elapsed,
               elapsed > 0 ? static_cast<double>(answered) / elapsed : 0.0,
               static_cast<unsigned long long>(total.ok),
               static_cast<unsigned long long>(total.overloaded),
+              static_cast<unsigned long long>(total.deadline_exceeded),
               static_cast<unsigned long long>(total.malformed),
               static_cast<unsigned long long>(total.errors),
               static_cast<unsigned long long>(total.transport_failures));
@@ -307,15 +447,43 @@ int main(int argc, char** argv) {
     print_slo_row("client", total.latencies);
     print_slo_row("server queue", total.server_queue);
     print_slo_row("server sample", total.server_sample);
+    // Per-class breakdown: latency over every non-shed answer of the
+    // class (an instant kOverloaded refusal says nothing about how
+    // long served requests waited), plus the verdict mix.
+    std::string classes_json = "{";
+    for (std::size_t c = 0; c < net::wire::kNumPriorities; ++c) {
+      const char* name = net::wire::priority_name(
+          static_cast<net::wire::Priority>(c));
+      if (total.class_latencies[c].count() > 0) {
+        print_slo_row(name, total.class_latencies[c]);
+      }
+      classes_json +=
+          std::string(c == 0 ? "\"" : ",\"") + name + "\":{\"answered\":" +
+          std::to_string(total.class_latencies[c].count()) +
+          ",\"ok\":" + std::to_string(total.class_ok[c]) +
+          ",\"deadline_exceeded\":" +
+          std::to_string(total.class_deadline[c]) +
+          ",\"latency\":" + percentiles_json(total.class_latencies[c]) + "}";
+    }
+    classes_json += "}";
+    std::string tenants_json = "[";
+    for (std::size_t i = 0; i < total.tenant_answered.size(); ++i) {
+      tenants_json += (i == 0 ? "" : ",") +
+                      std::to_string(total.tenant_answered[i]);
+    }
+    tenants_json += "]";
     bench::add_metrics_json_extra(
         "slo",
         "{\"ok_requests\":" + std::to_string(total.ok) +
+            ",\"deadline_exceeded\":" +
+            std::to_string(total.deadline_exceeded) +
             ",\"trace_join_failures\":" +
             std::to_string(total.trace_mismatches) +
             ",\"client\":" + percentiles_json(total.latencies) +
             ",\"server_queue\":" + percentiles_json(total.server_queue) +
             ",\"server_sample\":" + percentiles_json(total.server_sample) +
-            "}");
+            ",\"classes\":" + classes_json +
+            ",\"tenants_answered\":" + tenants_json + "}");
   }
 
   // Remote scrape: pull the server's own metrics registry (net.stage.*

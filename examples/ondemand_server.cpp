@@ -39,6 +39,12 @@ int main(int argc, char** argv) {
   std::uint64_t max_queue_depth = 64;
   std::uint64_t batch_window_us = 0;
   std::uint64_t idle_timeout_ms = 0;
+  std::uint64_t weight_interactive = 8;
+  std::uint64_t weight_bulk = 3;
+  std::uint64_t weight_besteffort = 1;
+  std::uint64_t tenant_quota = 0;
+  std::uint64_t brownout_high_pct = 70;
+  std::uint64_t brownout_critical_pct = 90;
   bool force_psync = false;
   std::string register_buffers = "auto";
   ArgParser parser("ondemand_server",
@@ -67,6 +73,21 @@ int main(int argc, char** argv) {
                   "with --listen: request coalescing window");
   parser.add_uint("idle-timeout-ms", &idle_timeout_ms,
                   "with --listen: close idle connections (0 = never)");
+  parser.add_uint("weight-interactive", &weight_interactive,
+                  "with --listen: WRR dequeue credits, interactive class");
+  parser.add_uint("weight-bulk", &weight_bulk,
+                  "with --listen: WRR dequeue credits, bulk class");
+  parser.add_uint("weight-besteffort", &weight_besteffort,
+                  "with --listen: WRR dequeue credits, best-effort class");
+  parser.add_uint("tenant-quota", &tenant_quota,
+                  "with --listen: per-tenant queued-request ceiling "
+                  "(0 = no quota)");
+  parser.add_uint("brownout-high-pct", &brownout_high_pct,
+                  "with --listen: queue occupancy %% that sheds "
+                  "best-effort arrivals");
+  parser.add_uint("brownout-critical-pct", &brownout_critical_pct,
+                  "with --listen: queue occupancy %% that also sheds "
+                  "bulk and collapses the batch window");
   parser.add_flag("force-psync", &force_psync,
                   "with --listen: use the poll(2) loop even if the "
                   "kernel supports io_uring network ops");
@@ -126,6 +147,15 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(batch_window_us);
     server_options.idle_timeout_ms =
         static_cast<std::uint32_t>(idle_timeout_ms);
+    server_options.class_weights = {
+        static_cast<std::uint32_t>(weight_interactive),
+        static_cast<std::uint32_t>(weight_bulk),
+        static_cast<std::uint32_t>(weight_besteffort)};
+    server_options.tenant_quota = static_cast<std::uint32_t>(tenant_quota);
+    server_options.brownout_high_pct =
+        static_cast<std::uint32_t>(brownout_high_pct);
+    server_options.brownout_critical_pct =
+        static_cast<std::uint32_t>(brownout_critical_pct);
     server_options.force_psync = force_psync;
     auto server = net::Server::start(*sampler.value(), server_options);
     RS_CHECK_MSG(server.is_ok(), server.status().to_string());
@@ -149,6 +179,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.overload_sheds),
                 static_cast<unsigned long long>(stats.conn_timeouts),
                 static_cast<unsigned long long>(stats.malformed));
+    std::printf("qos: %llu deadline-exceeded, %llu brownout sheds, "
+                "%llu tenant-quota rejects, %llu conn rejects\n",
+                static_cast<unsigned long long>(stats.deadline_exceeded),
+                static_cast<unsigned long long>(stats.brownout_sheds),
+                static_cast<unsigned long long>(stats.tenant_rejects),
+                static_cast<unsigned long long>(stats.conn_rejects));
     // Per-stage latency breakdown (the same histograms a kStats scrape
     // or --metrics-json exports, summarized for the terminal).
     const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();

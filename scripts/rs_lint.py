@@ -42,6 +42,12 @@ up in review, which is the point):
                   bench/ or the eval JSON/CSV emitters. Durations from
                   the steady clock are fine.
 
+  wire-status-names  every WireStatus enumerator in src/net/wire.h must
+                  have a `case WireStatus::kX:` entry in wire.cpp's
+                  status-to-string table. A new status that falls through
+                  to "unknown" ships unreadable logs and load-generator
+                  output; this catches the miss at lint time instead.
+
   span-balance    explicit trace_span_begin/trace_span_end ("B"/"E")
                   calls must balance per file in src/net/ and src/core/.
                   Unlike RS_OBS_SPAN (scoped, can't leak), a stray
@@ -221,6 +227,42 @@ class Linter:
                             "spans files)")
 
 
+    def check_wire_status_names(self):
+        """wire-status-names: the enum in wire.h and the switch in
+        wire_status_name (wire.cpp) must stay in lockstep — the compiler
+        only warns about the missing case if -Wswitch survives the build
+        flags, and the default-to-"unknown" fallthrough hides it."""
+        header = self.root / "src" / "net" / "wire.h"
+        impl = self.root / "src" / "net" / "wire.cpp"
+        if not header.is_file() or not impl.is_file():
+            return
+        text = header.read_text(errors="replace")
+        m = re.search(r"enum\s+class\s+WireStatus[^{]*\{(?P<body>[^}]*)\}",
+                      text, re.DOTALL)
+        if not m:
+            self.report(header, 1, "wire-status-names",
+                        "could not locate enum class WireStatus")
+            return
+        enumerators = re.findall(r"^\s*(k[A-Z]\w*)\s*[=,]",
+                                 m.group("body"), re.MULTILINE)
+        if not enumerators:
+            self.report(header, 1, "wire-status-names",
+                        "enum class WireStatus parsed to zero enumerators")
+            return
+        named = set(re.findall(r"case\s+WireStatus::(k\w+)\s*:",
+                               impl.read_text(errors="replace")))
+        header_lines = text.splitlines()
+        for enumerator in enumerators:
+            if enumerator in named:
+                continue
+            lineno = next((i for i, line in enumerate(header_lines, 1)
+                           if re.search(rf"^\s*{enumerator}\s*[=,]", line)),
+                          1)
+            self.report(header, lineno, "wire-status-names",
+                        f"WireStatus::{enumerator} has no case in "
+                        "wire.cpp's wire_status_name — add it so logs "
+                        "and load-generator output stay readable")
+
     def run(self) -> int:
         for sub in ("src", "bench"):
             base = self.root / sub
@@ -229,6 +271,7 @@ class Linter:
             for path in sorted(base.rglob("*")):
                 if path.suffix in (".h", ".cpp", ".cc", ".hpp"):
                     self.lint_file(path)
+        self.check_wire_status_names()
         for v in self.violations:
             print(v)
         n = len(self.violations)

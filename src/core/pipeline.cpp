@@ -97,6 +97,7 @@ ReadPipeline::ReadPipeline(io::IoBackend& backend, BlockCache* cache,
   cache_hits_counter_ = registry.counter("pipeline.cache_hits");
   retries_counter_ = registry.counter("io.retries");
   stalls_counter_ = registry.counter("io.stalls");
+  deadline_aborts_counter_ = registry.counter("io.deadline_aborts");
 }
 
 ReadPipeline::~ReadPipeline() { budget_.release(scratch_bytes_); }
@@ -383,10 +384,11 @@ Status ReadPipeline::drain_group(Group& group, NodeId* values) {
   // Slice blocking waits so the stall clock is re-checked even when the
   // backend never delivers (lost completion / hung device).
   constexpr std::uint64_t kStallSliceNs = 10'000'000;  // 10 ms
-  std::uint64_t last_progress_ns = deadline_ns ? obs::now_ns() : 0;
+  std::uint64_t last_progress_ns =
+      (deadline_ns || abs_wait_deadline_ns_) ? obs::now_ns() : 0;
   while (backend_.in_flight() > 0) {
     unsigned n = 0;
-    if (deadline_ns == 0) {
+    if (deadline_ns == 0 && abs_wait_deadline_ns_ == 0) {
       auto waited = backend_.wait(completions);
       if (!waited.is_ok()) {
         quiesce();
@@ -394,15 +396,33 @@ Status ReadPipeline::drain_group(Group& group, NodeId* values) {
       }
       n = waited.value();
     } else {
-      auto waited =
-          backend_.wait_for(completions, std::min(deadline_ns, kStallSliceNs));
+      // The request-deadline override aborts even while completions keep
+      // arriving — a spent budget means nobody is waiting for the answer.
+      const std::uint64_t now = obs::now_ns();
+      if (abs_wait_deadline_ns_ != 0 && now >= abs_wait_deadline_ns_) {
+        ++stats_.deadline_aborts;
+        deadline_aborts_counter_.add();
+        const Status expired = Status::timed_out(
+            "request deadline expired with " +
+            std::to_string(backend_.in_flight()) +
+            " read(s) in flight on " + backend_.name());
+        quiesce();
+        return expired;
+      }
+      std::uint64_t slice = kStallSliceNs;
+      if (deadline_ns != 0) slice = std::min(slice, deadline_ns);
+      if (abs_wait_deadline_ns_ != 0) {
+        slice = std::min(slice, abs_wait_deadline_ns_ - now);
+      }
+      auto waited = backend_.wait_for(completions, slice);
       if (!waited.is_ok()) {
         quiesce();
         return waited.status();
       }
       n = waited.value();
       if (n == 0) {
-        if (obs::now_ns() - last_progress_ns >= deadline_ns) {
+        if (deadline_ns != 0 &&
+            obs::now_ns() - last_progress_ns >= deadline_ns) {
           ++stats_.stalls;
           stalls_counter_.add();
           const Status stalled = Status::timed_out(

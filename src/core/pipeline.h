@@ -66,6 +66,11 @@ struct PipelineStats {
   std::uint64_t groups = 0;
   std::uint64_t retries = 0;  // re-submissions after failed/short reads
   std::uint64_t stalls = 0;   // wait deadlines exceeded
+  // Storage waits aborted because a caller-set absolute deadline (the
+  // serving tier's per-request budget) expired — see
+  // set_wait_deadline_ns. Distinct from stalls: I/O may still be making
+  // progress when the request's budget runs out.
+  std::uint64_t deadline_aborts = 0;
 
   // Phase attribution (Fig. 3b's lifecycle): time spent preparing
   // groups (offset sampling, cache probes, request building), in the
@@ -93,6 +98,19 @@ class ReadPipeline {
   const PipelineStats& stats() const { return stats_; }
   void reset_stats() { stats_ = PipelineStats{}; }
   const PipelineOptions& options() const { return options_; }
+
+  // Per-request deadline override (the serving tier's QoS path): bound
+  // every storage wait in subsequent run() calls by this *absolute*
+  // obs::now_ns() instant; 0 clears the override. Unlike the
+  // wait_deadline_ms stall detector — which only fires when completions
+  // stop arriving — this aborts with TIMED_OUT even while I/O is making
+  // progress, so a request whose deadline budget is spent stops
+  // occupying the ring. Callers clear the override when the request
+  // finishes (RingSampler::sample_for_serving does this with a scope
+  // guard).
+  void set_wait_deadline_ns(std::uint64_t abs_deadline_ns) {
+    abs_wait_deadline_ns_ = abs_deadline_ns;
+  }
 
  private:
   // Per-request retry bookkeeping, reset on every submit_group.
@@ -155,6 +173,7 @@ class ReadPipeline {
   Group groups_[2];
   PipelineStats stats_;
   Status deferred_error_;
+  std::uint64_t abs_wait_deadline_ns_ = 0;
 
   // Registry mirrors of PipelineStats (merged across worker threads by
   // the obs registry; bumped once per group, not per item).
@@ -165,6 +184,7 @@ class ReadPipeline {
   obs::Counter cache_hits_counter_;
   obs::Counter retries_counter_;
   obs::Counter stalls_counter_;
+  obs::Counter deadline_aborts_counter_;
 };
 
 }  // namespace rs::core

@@ -432,7 +432,8 @@ Result<MiniBatchSample> RingSampler::sample_one(
 
 Result<MiniBatchSample> RingSampler::sample_for_serving(
     std::uint32_t ctx_index, std::span<const NodeId> targets,
-    std::span<const std::uint32_t> fanouts, std::uint64_t rng_seed) {
+    std::span<const std::uint32_t> fanouts, std::uint64_t rng_seed,
+    std::uint64_t deadline_ns) {
   if (ctx_index >= contexts_.size()) {
     return Status::invalid("sample_for_serving: ctx_index out of range");
   }
@@ -461,6 +462,15 @@ Result<MiniBatchSample> RingSampler::sample_for_serving(
   // Per-request reseed: the epoch RNG stream is irrelevant to serving
   // determinism; SplitMix64 decorrelates adjacent client-chosen seeds.
   ctx.rng = Xoshiro256(splitmix64(rng_seed));
+  // Bound this request's storage waits by its remaining deadline budget;
+  // the guard clears the override on every return path so epoch traffic
+  // on the same context never inherits a stale deadline.
+  struct DeadlineGuard {
+    ReadPipeline* pipeline;
+    ~DeadlineGuard() { pipeline->set_wait_deadline_ns(0); }
+  };
+  ctx.pipeline->set_wait_deadline_ns(deadline_ns);
+  DeadlineGuard guard{ctx.pipeline.get()};
   MiniBatchSample sample;
   EpochResult scratch;
   RS_RETURN_IF_ERROR(

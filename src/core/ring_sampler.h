@@ -69,9 +69,14 @@ class RingSampler final : public Sampler {
   // workspaces are sized for those); targets must fit batch_size and
   // reference existing nodes. Distinct ctx_index values may be driven
   // from distinct threads concurrently; one index must not be shared.
+  // `deadline_ns` (absolute, obs::now_ns clock; 0 = none) bounds the
+  // request's storage waits via the worker pipeline's deadline override
+  // — an expired budget surfaces as kTimedOut, and the override is
+  // cleared again before returning on every path.
   Result<MiniBatchSample> sample_for_serving(
       std::uint32_t ctx_index, std::span<const NodeId> targets,
-      std::span<const std::uint32_t> fanouts, std::uint64_t rng_seed);
+      std::span<const std::uint32_t> fanouts, std::uint64_t rng_seed,
+      std::uint64_t deadline_ns = 0);
 
   // On-demand serving experiment (Fig. 6): every target is an individual
   // sampling request; each request's completion time since the start of

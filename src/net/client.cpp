@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -16,6 +17,58 @@
 
 namespace rs::net {
 namespace {
+
+// Clamp on every poll slice: bounds the int cast (a huge recv timeout
+// used to overflow into a negative — i.e. infinite — poll) and keeps
+// the wait loop responsive to hedge/deadline instants.
+constexpr std::uint64_t kMaxPollSliceMs = 1000;
+
+struct HedgeMetrics {
+  obs::Counter hedges;      // duplicates actually sent
+  obs::Counter hedges_won;  // races the hedge connection answered first
+
+  static const HedgeMetrics& get() {
+    static const HedgeMetrics metrics = [] {
+      auto& reg = obs::Registry::global();
+      HedgeMetrics m;
+      m.hedges = reg.counter("net.client.hedges");
+      m.hedges_won = reg.counter("net.client.hedges_won");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+Status send_fd_all(int fd, std::span<const std::uint8_t> bytes) {
+  if (fd < 0) return Status::invalid("client: not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+// Pops one complete frame off `rx` when present; *complete stays false
+// when more bytes are needed (not an error — keep receiving).
+Status pop_frame(std::vector<std::uint8_t>& rx, wire::FrameHeader* header,
+                 std::vector<std::uint8_t>* body, bool* complete) {
+  *complete = false;
+  if (rx.size() < wire::kFrameHeaderBytes) return Status::ok();
+  RS_RETURN_IF_ERROR(wire::decode_frame_header(rx, header));
+  const std::size_t total = wire::kFrameHeaderBytes + header->body_len;
+  if (rx.size() < total) return Status::ok();
+  body->assign(rx.begin() + wire::kFrameHeaderBytes,
+               rx.begin() + static_cast<std::ptrdiff_t>(total));
+  rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(total));
+  *complete = true;
+  return Status::ok();
+}
 
 Result<int> connect_once(const ClientOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -45,16 +98,20 @@ Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      recv_timeout_ms_(other.recv_timeout_ms_),
       rx_(std::move(other.rx_)),
+      hedge_fd_(std::exchange(other.hedge_fd_, -1)),
+      hedge_rx_(std::move(other.hedge_rx_)),
+      options_(std::move(other.options_)),
       next_request_id_(other.next_request_id_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
-    recv_timeout_ms_ = other.recv_timeout_ms_;
     rx_ = std::move(other.rx_);
+    hedge_fd_ = std::exchange(other.hedge_fd_, -1);
+    hedge_rx_ = std::move(other.hedge_rx_);
+    options_ = std::move(other.options_);
     next_request_id_ = other.next_request_id_;
   }
   return *this;
@@ -65,7 +122,12 @@ void Client::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  if (hedge_fd_ >= 0) {
+    ::close(hedge_fd_);
+    hedge_fd_ = -1;
+  }
   rx_.clear();
+  hedge_rx_.clear();
 }
 
 Result<Client> Client::connect(const ClientOptions& options) {
@@ -76,7 +138,7 @@ Result<Client> Client::connect(const ClientOptions& options) {
     if (fd.is_ok()) {
       Client client;
       client.fd_ = fd.value();
-      client.recv_timeout_ms_ = options.recv_timeout_ms;
+      client.options_ = options;
       return client;
     }
     if (obs::now_ns() >= deadline_ns) return fd.status();
@@ -85,18 +147,7 @@ Result<Client> Client::connect(const ClientOptions& options) {
 }
 
 Status Client::send_all(std::span<const std::uint8_t> bytes) {
-  if (fd_ < 0) return Status::invalid("client: not connected");
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::from_errno("send");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return Status::ok();
+  return send_fd_all(fd_, bytes);
 }
 
 Status Client::send_raw(std::span<const std::uint8_t> bytes) {
@@ -105,9 +156,10 @@ Status Client::send_raw(std::span<const std::uint8_t> bytes) {
 
 Status Client::fill_rx(std::size_t needed) {
   const std::uint64_t deadline_ns =
-      recv_timeout_ms_ == 0
+      options_.recv_timeout_ms == 0
           ? 0
-          : obs::now_ns() + std::uint64_t{recv_timeout_ms_} * 1'000'000;
+          : obs::now_ns() +
+                std::uint64_t{options_.recv_timeout_ms} * 1'000'000;
   std::uint8_t chunk[16 * 1024];
   while (rx_.size() < needed) {
     if (deadline_ns != 0) {
@@ -116,9 +168,12 @@ Status Client::fill_rx(std::size_t needed) {
         return Status::timed_out("client: response deadline exceeded");
       }
       pollfd pfd{fd_, POLLIN, 0};
+      // Sliced wait: the clamp keeps the int cast safe for arbitrarily
+      // large timeouts; the loop re-checks the deadline per slice.
       const int ready = ::poll(
           &pfd, 1,
-          static_cast<int>((deadline_ns - now) / 1'000'000 + 1));
+          static_cast<int>(std::min<std::uint64_t>(
+              (deadline_ns - now) / 1'000'000 + 1, kMaxPollSliceMs)));
       if (ready < 0) {
         if (errno == EINTR) continue;
         return Status::from_errno("poll");
@@ -209,12 +264,140 @@ Result<wire::SampleResponse> Client::read_sample_response() {
 
 Result<wire::SampleResponse> Client::sample(
     const wire::SampleRequest& request) {
+  if (options_.hedge_delay_ms != 0) return sample_hedged(request);
   RS_RETURN_IF_ERROR(send_request(request));
   for (;;) {
     RS_ASSIGN_OR_RETURN(wire::SampleResponse response,
                         read_sample_response());
     if (response.request_id == request.request_id) return response;
     // A response for an older pipelined request; skip past it.
+  }
+}
+
+Status Client::send_hedge(const wire::SampleRequest& request) {
+  if (hedge_fd_ < 0) {
+    ClientOptions opts = options_;
+    opts.connect_retry_ms = 0;  // a hedge must not stall on retries
+    auto fd = connect_once(opts);
+    if (!fd.is_ok()) return fd.status();
+    hedge_fd_ = fd.value();
+  }
+  std::vector<std::uint8_t> frame;
+  wire::encode_sample_request(request, frame);
+  return send_fd_all(hedge_fd_, frame);
+}
+
+Result<wire::SampleResponse> Client::sample_hedged(
+    const wire::SampleRequest& request) {
+  RS_RETURN_IF_ERROR(send_request(request));
+  const std::uint64_t start_ns = obs::now_ns();
+  const std::uint64_t recv_deadline_ns =
+      options_.recv_timeout_ms == 0
+          ? 0
+          : start_ns + std::uint64_t{options_.recv_timeout_ms} * 1'000'000;
+  std::uint64_t hedge_at_ns =
+      start_ns + std::uint64_t{options_.hedge_delay_ms} * 1'000'000;
+  bool hedge_sent = false;
+  bool primary_open = true;
+  // A hedge channel left over from an earlier call may still deliver
+  // stale (losing) responses; keep reading it so they get skipped.
+  bool hedge_open = hedge_fd_ >= 0;
+  std::uint8_t chunk[16 * 1024];
+
+  for (;;) {
+    // Drain every complete frame already buffered on either channel.
+    for (int channel = 0; channel < 2; ++channel) {
+      std::vector<std::uint8_t>& rx = channel == 0 ? rx_ : hedge_rx_;
+      for (;;) {
+        wire::FrameHeader header;
+        std::vector<std::uint8_t> body;
+        bool complete = false;
+        RS_RETURN_IF_ERROR(pop_frame(rx, &header, &body, &complete));
+        if (!complete) break;
+        if (header.kind != wire::FrameKind::kSampleResponse) {
+          return Status::corrupt("client: expected sample response");
+        }
+        wire::SampleResponse response;
+        RS_RETURN_IF_ERROR(
+            wire::decode_sample_response(body, &response, header.version));
+        // Stale loser from an earlier hedged call; skip past it.
+        if (response.request_id != request.request_id) continue;
+        if (channel == 1) HedgeMetrics::get().hedges_won.add();
+        return response;
+      }
+    }
+
+    const std::uint64_t now = obs::now_ns();
+    if (recv_deadline_ns != 0 && now >= recv_deadline_ns) {
+      return Status::timed_out("client: response deadline exceeded");
+    }
+    if (!hedge_sent && now >= hedge_at_ns) {
+      hedge_sent = true;
+      // A failed hedge is non-fatal: the primary is still in flight.
+      if (send_hedge(request).is_ok()) {
+        hedge_open = true;
+        HedgeMetrics::get().hedges.add();
+      }
+    }
+    if (!primary_open && !hedge_open) {
+      return Status::io_error("client: connection closed by server");
+    }
+
+    std::uint64_t wait_ms = kMaxPollSliceMs;
+    if (!hedge_sent && hedge_at_ns > now) {
+      wait_ms = std::min(wait_ms, (hedge_at_ns - now) / 1'000'000 + 1);
+    }
+    if (recv_deadline_ns != 0) {
+      wait_ms = std::min(wait_ms, (recv_deadline_ns - now) / 1'000'000 + 1);
+    }
+    pollfd pfds[2];
+    int nfds = 0;
+    int primary_idx = -1;
+    int hedge_idx = -1;
+    if (primary_open) {
+      primary_idx = nfds;
+      pfds[nfds++] = pollfd{fd_, POLLIN, 0};
+    }
+    if (hedge_open) {
+      hedge_idx = nfds;
+      pfds[nfds++] = pollfd{hedge_fd_, POLLIN, 0};
+    }
+    const int ready =
+        ::poll(pfds, static_cast<nfds_t>(nfds), static_cast<int>(wait_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("poll");
+    }
+    if (ready == 0) continue;  // re-check deadline / hedge instant
+
+    if (primary_idx >= 0 &&
+        (pfds[primary_idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) {
+        // Tolerated while the hedge may still answer; fire the hedge
+        // immediately if it has not gone out yet.
+        primary_open = false;
+        if (!hedge_sent) hedge_at_ns = now;
+      } else if (n < 0) {
+        if (errno != EINTR) return Status::from_errno("recv");
+      } else {
+        rx_.insert(rx_.end(), chunk, chunk + n);
+      }
+    }
+    if (hedge_idx >= 0 &&
+        (pfds[hedge_idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t n = ::recv(hedge_fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) {
+        ::close(hedge_fd_);
+        hedge_fd_ = -1;
+        hedge_rx_.clear();
+        hedge_open = false;
+      } else if (n < 0) {
+        if (errno != EINTR) return Status::from_errno("recv");
+      } else {
+        hedge_rx_.insert(hedge_rx_.end(), chunk, chunk + n);
+      }
+    }
   }
 }
 

@@ -9,6 +9,17 @@
 // Responses are matched to requests by the echoed request_id, not by
 // order: a shed (kOverloaded) response can legally overtake an admitted
 // request that is still waiting out the server's batch window.
+//
+// Hedged requests (hedge_delay_ms > 0): when a sample() answer has not
+// arrived within the delay, the client opens a second connection (kept
+// for the Client's lifetime) and sends a bit-identical duplicate; the
+// first matching response wins and the loser is ignored when it lands.
+// This is safe — not just idempotent — because a response is a pure
+// function of (graph, nodes, fanouts, rng_seed): both answers carry
+// identical bytes, so it never matters which connection wins. Hedging
+// doubles the server-side work for hedged requests; it buys tail
+// latency with capacity, so pair it with deadlines and keep the delay
+// well above the p50. Counted as net.client.hedges / hedges_won.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +41,10 @@ struct ClientOptions {
   // Give up on a response after this long (guards tests against a hung
   // server). 0 = wait forever.
   std::uint32_t recv_timeout_ms = 30'000;
+  // Hedge a sample() still unanswered after this long by duplicating it
+  // on a second connection; first response wins (see header comment).
+  // 0 disables hedging.
+  std::uint32_t hedge_delay_ms = 0;
 };
 
 class Client {
@@ -73,10 +88,21 @@ class Client {
   Status read_frame(wire::FrameHeader* header,
                     std::vector<std::uint8_t>* body);
   Status fill_rx(std::size_t needed);
+  // Hedged round trip: duplicate the request on the hedge connection
+  // after hedge_delay_ms, poll both, first matching response wins.
+  Result<wire::SampleResponse> sample_hedged(
+      const wire::SampleRequest& request);
+  // Lazily connects the hedge channel and writes the duplicate.
+  Status send_hedge(const wire::SampleRequest& request);
 
   int fd_ = -1;
-  std::uint32_t recv_timeout_ms_ = 0;
   std::vector<std::uint8_t> rx_;
+  // Second connection for hedged requests; opened on first hedge, kept
+  // until close(). Its stale (losing) responses are skipped by
+  // request_id like any pipelined leftovers.
+  int hedge_fd_ = -1;
+  std::vector<std::uint8_t> hedge_rx_;
+  ClientOptions options_;
   std::uint64_t next_request_id_ = 1;
 };
 

@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <array>
 #include <deque>
+#include <string>
+#include <unordered_map>
 
 #include "io/fault_inject.h"
 #include "io/ring_stats_export.h"
@@ -115,6 +117,10 @@ struct NetMetrics {
   obs::Counter malformed;
   obs::Counter socket_faults;
   obs::Counter stats_scrapes;
+  obs::Counter conn_rejects;
+  obs::Counter deadline_exceeded;
+  obs::Counter tenant_quota_rejects;
+  obs::Counter brownout_sheds;
   obs::LatencyHistogram request_latency;
   // Per-stage server-side breakdown of a sample request's life:
   // decode -> queue wait -> sample (CPU + storage I/O) -> encode ->
@@ -128,6 +134,12 @@ struct NetMetrics {
   obs::LatencyHistogram stage_encode;
   obs::LatencyHistogram stage_send;
   obs::LatencyHistogram stage_total;
+  // Per-priority-class decomposition of queue wait and end-to-end server
+  // time (net.class.<class>.{queue_wait,total}_ns) — the histograms the
+  // overload CI smoke asserts to prove interactive traffic outruns bulk
+  // under the same saturation.
+  std::array<obs::LatencyHistogram, wire::kNumPriorities> class_queue_wait;
+  std::array<obs::LatencyHistogram, wire::kNumPriorities> class_total;
 
   static const NetMetrics& get() {
     static const NetMetrics metrics = [] {
@@ -142,6 +154,10 @@ struct NetMetrics {
       m.malformed = reg.counter("net.malformed");
       m.socket_faults = reg.counter("net.socket_faults");
       m.stats_scrapes = reg.counter("net.stats_scrapes");
+      m.conn_rejects = reg.counter("net.conn_rejects");
+      m.deadline_exceeded = reg.counter("net.deadline_exceeded");
+      m.tenant_quota_rejects = reg.counter("net.tenant_quota_rejects");
+      m.brownout_sheds = reg.counter("net.brownout_sheds");
       m.request_latency = reg.histogram("net.request_latency_ns");
       m.stage_decode = reg.histogram("net.stage.decode_ns");
       m.stage_queue_wait = reg.histogram("net.stage.queue_wait_ns");
@@ -149,6 +165,13 @@ struct NetMetrics {
       m.stage_encode = reg.histogram("net.stage.encode_ns");
       m.stage_send = reg.histogram("net.stage.send_ns");
       m.stage_total = reg.histogram("net.stage.total_ns");
+      for (std::size_t c = 0; c < wire::kNumPriorities; ++c) {
+        const std::string prefix =
+            std::string("net.class.") +
+            wire::priority_name(static_cast<wire::Priority>(c));
+        m.class_queue_wait[c] = reg.histogram(prefix + ".queue_wait_ns");
+        m.class_total[c] = reg.histogram(prefix + ".total_ns");
+      }
       return m;
     }();
     return metrics;
@@ -166,6 +189,8 @@ struct SendMarker {
   std::uint64_t staged_ns = 0;   // response fully encoded
   std::uint64_t recv_ns = 0;     // request frame fully parsed
   std::uint64_t trace_id = 0;
+  // Priority class, for the per-class total-time histogram closed here.
+  wire::Priority priority = wire::Priority::kInteractive;
 };
 
 struct Conn {
@@ -205,6 +230,9 @@ struct PendingRequest {
   // Wire version of the request frame; the response echoes it so a v1
   // client never sees a v2 body.
   std::uint16_t version = wire::kWireVersion;
+  // Absolute deadline (obs::now_ns clock), computed from the request's
+  // relative deadline_ns budget at admission; 0 = no deadline.
+  std::uint64_t deadline_ns = 0;
   wire::SampleRequest request;
 };
 
@@ -222,7 +250,18 @@ struct Server::Loop {
 
   std::vector<Conn> conns;     // fixed size; addresses are stable
   std::vector<std::uint32_t> free_slots;
-  std::deque<PendingRequest> queue;
+  // Admission queues, one deque per priority class, drained by weighted
+  // round robin (pop_next). queued_total is the occupancy across all
+  // classes — the number the depth gate and brownout ladder key on.
+  std::array<std::deque<PendingRequest>, wire::kNumPriorities> queues;
+  std::size_t queued_total = 0;
+  // WRR cursor: class currently being served and its remaining credits.
+  // Starts one rotation before class 0 so the first pop refills
+  // interactive's credit.
+  std::size_t wrr_class = wire::kNumPriorities - 1;
+  std::uint32_t wrr_credit = 0;
+  // Queued requests per tenant, maintained only when a quota is set.
+  std::unordered_map<std::uint32_t, std::uint32_t> tenant_queued;
   std::uint64_t batch_deadline_ns = 0;  // 0 = queue empty
 
   bool accept_armed = false;
@@ -244,6 +283,10 @@ struct Server::Loop {
   std::atomic<std::uint64_t> conn_timeouts{0};
   std::atomic<std::uint64_t> malformed{0};
   std::atomic<std::uint64_t> socket_faults{0};
+  std::atomic<std::uint64_t> conn_rejects{0};
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  std::atomic<std::uint64_t> tenant_rejects{0};
+  std::atomic<std::uint64_t> brownout_sheds{0};
 
   ~Loop() {
     for (Conn& conn : conns) {
@@ -283,7 +326,11 @@ struct Server::Loop {
     accepts.fetch_add(1, std::memory_order_relaxed);
     NetMetrics::get().accepts.add();
     if (free_slots.empty()) {
-      ::close(fd);  // connection-limit admission gate
+      // Connection-limit admission gate: accept-then-close so the
+      // client sees a crisp EOF instead of a SYN backlog hang.
+      conn_rejects.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().conn_rejects.add();
+      ::close(fd);
       return;
     }
     // rs-lint: allow(void-discard) best-effort socket tuning; a conn that
@@ -359,6 +406,64 @@ struct Server::Loop {
     }
   }
 
+  // ---- QoS admission state ----
+
+  std::uint32_t class_weight(std::size_t c) const {
+    return std::max<std::uint32_t>(options().class_weights[c], 1);
+  }
+
+  // 0 = normal, 1 = shed best-effort arrivals, 2 = shed bulk arrivals
+  // too and collapse the batch window. Keyed on queue occupancy, which
+  // integrates sustained overload: a transient burst the queue absorbs
+  // never climbs the ladder, a backlog that keeps growing does.
+  int brownout_level() const {
+    const std::uint64_t pct =
+        queued_total * 100 / options().max_queue_depth;
+    if (pct >= options().brownout_critical_pct) return 2;
+    if (pct >= options().brownout_high_pct) return 1;
+    return 0;
+  }
+
+  bool tenant_over_quota(std::uint32_t tenant) const {
+    if (options().tenant_quota == 0) return false;
+    const auto it = tenant_queued.find(tenant);
+    return it != tenant_queued.end() &&
+           it->second >= options().tenant_quota;
+  }
+
+  void note_tenant_queued(std::uint32_t tenant) {
+    if (options().tenant_quota == 0) return;
+    ++tenant_queued[tenant];
+  }
+
+  void release_tenant(std::uint32_t tenant) {
+    if (options().tenant_quota == 0) return;
+    const auto it = tenant_queued.find(tenant);
+    if (it != tenant_queued.end() && --it->second == 0) {
+      tenant_queued.erase(it);
+    }
+  }
+
+  // Weighted round-robin dequeue across the class queues: class c gets
+  // up to class_weight(c) pops per rotation, so interactive leads every
+  // pass without starving bulk or best-effort. Terminates within one
+  // rotation — queued_total > 0 means some queue is non-empty, and each
+  // hop refills the next class's credit.
+  bool pop_next(PendingRequest* out) {
+    if (queued_total == 0) return false;
+    for (;;) {
+      if (wrr_credit > 0 && !queues[wrr_class].empty()) {
+        *out = std::move(queues[wrr_class].front());
+        queues[wrr_class].pop_front();
+        --wrr_credit;
+        --queued_total;
+        return true;
+      }
+      wrr_class = (wrr_class + 1) % wire::kNumPriorities;
+      wrr_credit = class_weight(wrr_class);
+    }
+  }
+
   // ---- Protocol handling (engine-independent) ----
 
   // Every tx_queue append goes through here so the send-watermark
@@ -406,7 +511,33 @@ struct Server::Loop {
       conn.close_after_flush = true;
       return;
     }
-    if (queue.size() >= options().max_queue_depth) {
+    const wire::Priority cls = pending.request.priority;
+    // Brownout ladder: under sustained pressure, shed the classes that
+    // declared themselves sheddable *before* the hard depth gate, so
+    // interactive headroom survives the longest.
+    const int level = brownout_level();
+    if ((level >= 1 && cls == wire::Priority::kBestEffort) ||
+        (level >= 2 && cls == wire::Priority::kBulk)) {
+      brownout_sheds.fetch_add(1, std::memory_order_relaxed);
+      metrics.brownout_sheds.add();
+      overload_sheds.fetch_add(1, std::memory_order_relaxed);
+      metrics.overload_sheds.add();
+      queue_response(conn, pending.request.request_id,
+                     wire::WireStatus::kOverloaded, version,
+                     pending.request.trace_id);
+      return;
+    }
+    if (tenant_over_quota(pending.request.tenant_id)) {
+      tenant_rejects.fetch_add(1, std::memory_order_relaxed);
+      metrics.tenant_quota_rejects.add();
+      overload_sheds.fetch_add(1, std::memory_order_relaxed);
+      metrics.overload_sheds.add();
+      queue_response(conn, pending.request.request_id,
+                     wire::WireStatus::kOverloaded, version,
+                     pending.request.trace_id);
+      return;
+    }
+    if (queued_total >= options().max_queue_depth) {
       overload_sheds.fetch_add(1, std::memory_order_relaxed);
       metrics.overload_sheds.add();
       queue_response(conn, pending.request.request_id,
@@ -417,6 +548,15 @@ struct Server::Loop {
     pending.slot = slot;
     pending.gen = conn.gen;
     pending.enqueue_ns = now;
+    // Relative wire budget -> absolute server-clock deadline, fixed at
+    // admission so queue wait spends the same budget storage waits do.
+    // Saturating add: a hostile ~0 budget must not wrap to the past.
+    pending.deadline_ns =
+        pending.request.deadline_ns == 0
+            ? 0
+            : (pending.request.deadline_ns > ~0ULL - now
+                   ? ~0ULL
+                   : now + pending.request.deadline_ns);
     {
       // The request-scoped async track opens at admission and closes
       // when the response's last byte hits the wire (note_sent). The
@@ -426,7 +566,9 @@ struct Server::Loop {
       obs::trace_async_begin("net", "request", pending.request.trace_id);
       obs::trace_flow_begin("net", "request", pending.request.trace_id);
     }
-    queue.push_back(std::move(pending));
+    note_tenant_queued(pending.request.tenant_id);
+    queues[static_cast<std::size_t>(cls)].push_back(std::move(pending));
+    ++queued_total;
     if (batch_deadline_ns == 0) {
       batch_deadline_ns =
           now + std::uint64_t{options().batch_window_us} * 1'000;
@@ -539,15 +681,33 @@ struct Server::Loop {
     parse_frames(conn, slot, now);
   }
 
-  // Runs every admitted request through the sampler in one pass. The
-  // per-request rng_seed makes each response independent of the pass'
-  // composition, so coalescing is invisible to clients.
+  // Runs every admitted request through the sampler in one pass,
+  // dequeuing by class-weighted round robin. The per-request rng_seed
+  // makes each response independent of the pass' composition, so
+  // coalescing and reordering are invisible to clients (which match by
+  // request_id). Requests whose deadline budget is already spent are
+  // dropped here with kDeadlineExceeded — never sampled — and a request
+  // that *finishes* past its deadline is answered kDeadlineExceeded
+  // too, so an admitted request never completes late with kOk.
   void process_queue() {
     const NetMetrics& metrics = NetMetrics::get();
-    while (!queue.empty()) {
-      PendingRequest pending = std::move(queue.front());
-      queue.pop_front();
+    // One WRR rotation per pass. Every response staged in a pass rides
+    // the same flush, so ordering *within* a pass is invisible to
+    // clients — the weights only become latency once an over-credit
+    // class is deferred to a later pass. Bounding the pass at one
+    // rotation (the sum of the class weights) creates that deferral;
+    // leftovers re-fire on the very next loop iteration (see the
+    // batch_deadline_ns reset below).
+    std::size_t quantum = 0;
+    for (std::size_t c = 0; c < wire::kNumPriorities; ++c) {
+      quantum += class_weight(c);
+    }
+    PendingRequest pending;
+    while (quantum > 0 && pop_next(&pending)) {
+      --quantum;
       const std::uint64_t trace_id = pending.request.trace_id;
+      const auto cls = static_cast<std::size_t>(pending.request.priority);
+      release_tenant(pending.request.tenant_id);
       Conn& conn = conns[pending.slot];
       if (!conn.in_use || conn.gen != pending.gen || conn.closing) {
         // Requester hung up while queued: close the request's trace
@@ -556,22 +716,10 @@ struct Server::Loop {
         obs::trace_async_end("net", "request", trace_id);
         continue;
       }
-      const std::uint64_t queue_wait_ns =
-          obs::now_ns() - pending.enqueue_ns;
+      const std::uint64_t pickup_ns = obs::now_ns();
+      const std::uint64_t queue_wait_ns = pickup_ns - pending.enqueue_ns;
       metrics.stage_queue_wait.record_ns(queue_wait_ns);
-      std::uint64_t sample_ns = 0;
-      auto result = [&] {
-        RS_OBS_SPAN("net", "sample");
-        // The flow arrow lands here: enqueue slice -> this slice.
-        obs::trace_flow_end("net", "request", trace_id);
-        const std::uint64_t t0 = obs::now_ns();
-        auto sampled = server->sampler_->sample_for_serving(
-            index, pending.request.nodes, pending.request.fanouts,
-            pending.request.rng_seed);
-        sample_ns = obs::now_ns() - t0;
-        return sampled;
-      }();
-      metrics.stage_sample.record_ns(sample_ns);
+      metrics.class_queue_wait[cls].record_ns(queue_wait_ns);
       wire::SampleResponse response;
       response.request_id = pending.request.request_id;
       // v2 trailer (dropped from the encoding for v1 requesters): the
@@ -579,18 +727,50 @@ struct Server::Loop {
       // which svc_load joins against its client-side latency.
       response.trace_id = trace_id;
       response.server_queue_ns = queue_wait_ns;
-      response.server_sample_ns = sample_ns;
-      if (result.is_ok()) {
-        response.status = wire::WireStatus::kOk;
-        response.subgraph = std::move(result).value();
-      } else if (result.status().code() == ErrorCode::kInvalidArgument) {
-        response.status = wire::WireStatus::kMalformed;
-        malformed.fetch_add(1, std::memory_order_relaxed);
-        metrics.malformed.add();
+      std::uint64_t sample_ns = 0;
+      if (pending.deadline_ns != 0 && pickup_ns >= pending.deadline_ns) {
+        // Expired while queued: drop at dequeue. The flow arrow ends
+        // here — there is no sampling slice to land on.
+        response.status = wire::WireStatus::kDeadlineExceeded;
+        deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        metrics.deadline_exceeded.add();
+        obs::trace_flow_end("net", "request", trace_id);
       } else {
-        response.status = wire::WireStatus::kError;
-        RS_WARN("serving: sampling failed: %s",
-                result.status().to_string().c_str());
+        auto result = [&] {
+          RS_OBS_SPAN("net", "sample");
+          // The flow arrow lands here: enqueue slice -> this slice.
+          obs::trace_flow_end("net", "request", trace_id);
+          const std::uint64_t t0 = obs::now_ns();
+          // The remaining deadline budget bounds the request's storage
+          // waits inside the worker pipeline (expires as kTimedOut).
+          auto sampled = server->sampler_->sample_for_serving(
+              index, pending.request.nodes, pending.request.fanouts,
+              pending.request.rng_seed, pending.deadline_ns);
+          sample_ns = obs::now_ns() - t0;
+          return sampled;
+        }();
+        metrics.stage_sample.record_ns(sample_ns);
+        response.server_sample_ns = sample_ns;
+        if (pending.deadline_ns != 0 &&
+            obs::now_ns() >= pending.deadline_ns) {
+          // Budget spent during sampling — whether the pipeline aborted
+          // (kTimedOut) or the result arrived just late, the answer the
+          // client contracted for no longer exists.
+          response.status = wire::WireStatus::kDeadlineExceeded;
+          deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+          metrics.deadline_exceeded.add();
+        } else if (result.is_ok()) {
+          response.status = wire::WireStatus::kOk;
+          response.subgraph = std::move(result).value();
+        } else if (result.status().code() == ErrorCode::kInvalidArgument) {
+          response.status = wire::WireStatus::kMalformed;
+          malformed.fetch_add(1, std::memory_order_relaxed);
+          metrics.malformed.add();
+        } else {
+          response.status = wire::WireStatus::kError;
+          RS_WARN("serving: sampling failed: %s",
+                  result.status().to_string().c_str());
+        }
       }
       {
         RS_OBS_SPAN("net", "encode");
@@ -600,23 +780,32 @@ struct Server::Loop {
         });
         metrics.stage_encode.record_ns(obs::now_ns() - t0);
       }
-      conn.send_markers.push_back(SendMarker{conn.queued_bytes_total,
-                                             obs::now_ns(), pending.recv_ns,
-                                             trace_id});
+      conn.send_markers.push_back(
+          SendMarker{conn.queued_bytes_total, obs::now_ns(),
+                     pending.recv_ns, trace_id, pending.request.priority});
       metrics.request_latency.record_ns(obs::now_ns() - pending.enqueue_ns);
     }
-    batch_deadline_ns = 0;
+    // Drained: disarm so the next admission opens a fresh window.
+    // Leftovers from a bounded pass: park the deadline in the past but
+    // nonzero — admission must not re-arm a full window over requests
+    // that already served their wait, and batch_due() fires again on
+    // the next iteration, after this pass's responses are in flight.
+    batch_deadline_ns = queued_total == 0 ? 0 : 1;
   }
 
   bool batch_due(std::uint64_t now) const {
-    return !queue.empty() &&
-           (options().batch_window_us == 0 || now >= batch_deadline_ns);
+    // Brownout level 2 collapses the batch window: coalescing trades
+    // latency for wakeup amortization, exactly the wrong trade once the
+    // backlog itself is the latency problem.
+    return queued_total > 0 &&
+           (options().batch_window_us == 0 || brownout_level() >= 2 ||
+            now >= batch_deadline_ns);
   }
 
   // Nanoseconds the loop may sleep without missing the batch deadline.
   std::uint64_t wait_budget_ns(std::uint64_t now) const {
     std::uint64_t budget = kMaxWaitNs;
-    if (!queue.empty()) {
+    if (queued_total > 0) {
       budget = batch_deadline_ns > now
                    ? std::min(budget, batch_deadline_ns - now)
                    : 0;
@@ -653,6 +842,8 @@ struct Server::Loop {
       conn.send_markers.pop_front();
       metrics.stage_send.record_ns(now - marker.staged_ns);
       metrics.stage_total.record_ns(now - marker.recv_ns);
+      metrics.class_total[static_cast<std::size_t>(marker.priority)]
+          .record_ns(now - marker.recv_ns);
       obs::trace_async_end("net", "request", marker.trace_id);
     }
     if (conn.close_after_flush && !stage_tx(conn)) {
@@ -912,11 +1103,15 @@ struct Server::Loop {
     }
     // Requests still queued at shutdown never produce a response; close
     // their trace tracks so begin/end pairing stays exact in the dump.
-    for (const PendingRequest& pending : queue) {
-      obs::trace_flow_end("net", "request", pending.request.trace_id);
-      obs::trace_async_end("net", "request", pending.request.trace_id);
+    for (auto& class_queue : queues) {
+      for (const PendingRequest& pending : class_queue) {
+        obs::trace_flow_end("net", "request", pending.request.trace_id);
+        obs::trace_async_end("net", "request", pending.request.trace_id);
+      }
+      class_queue.clear();
     }
-    queue.clear();
+    queued_total = 0;
+    tenant_queued.clear();
     obs::trace_span_end("net", "loop");
   }
 };
@@ -940,6 +1135,10 @@ Status Server::init(core::RingSampler& sampler,
   if (options.max_connections == 0 || options.max_queue_depth == 0) {
     return Status::invalid(
         "net: max_connections and max_queue_depth must be > 0");
+  }
+  if (options.brownout_high_pct > options.brownout_critical_pct) {
+    return Status::invalid(
+        "net: brownout_high_pct must be <= brownout_critical_pct");
   }
   sampler_ = &sampler;
   options_ = options;
@@ -1024,6 +1223,14 @@ ServerStats Server::stats() const {
     total.malformed += loop->malformed.load(std::memory_order_relaxed);
     total.socket_faults +=
         loop->socket_faults.load(std::memory_order_relaxed);
+    total.conn_rejects +=
+        loop->conn_rejects.load(std::memory_order_relaxed);
+    total.deadline_exceeded +=
+        loop->deadline_exceeded.load(std::memory_order_relaxed);
+    total.tenant_rejects +=
+        loop->tenant_rejects.load(std::memory_order_relaxed);
+    total.brownout_sheds +=
+        loop->brownout_sheds.load(std::memory_order_relaxed);
   }
   return total;
 }

@@ -17,15 +17,29 @@
 // instead. Protocol behavior is identical; only the syscall engine
 // differs.
 //
-// Admission control: each loop sheds work at two gates. A connection
-// beyond `max_connections` is accepted and immediately closed; a sample
-// request arriving while `max_queue_depth` requests are already queued
-// is answered with WireStatus::kOverloaded instead of being sampled.
-// Requests that are admitted wait up to `batch_window_us` so arrivals
-// coalesce into one processing pass (amortizing wakeups); per-request
-// rng_seeds keep responses independent of that batching.
+// Admission control: each loop sheds work at several gates. A
+// connection beyond `max_connections` is accepted and immediately
+// closed (counted as conn_rejects); a sample request arriving while
+// `max_queue_depth` requests are already queued is answered with
+// WireStatus::kOverloaded instead of being sampled. Requests that are
+// admitted wait up to `batch_window_us` so arrivals coalesce into one
+// processing pass (amortizing wakeups); per-request rng_seeds keep
+// responses independent of that batching.
+//
+// QoS (wire v3): admitted requests land in one of three per-class
+// deques (interactive / bulk / best-effort) drained by weighted round
+// robin, so interactive traffic reaches the sampler first without
+// starving bulk. A request carrying a deadline_ns budget is dropped at
+// dequeue with kDeadlineExceeded once the budget is spent, and the
+// remaining budget bounds its storage waits inside the sampler
+// pipeline — an admitted request never completes past its deadline
+// with kOk. Per-tenant quotas cap one tenant's queued requests, and a
+// brownout ladder keyed on queue occupancy degrades gracefully under
+// sustained overload: shed best-effort arrivals first, then bulk, then
+// collapse the batch window so the queue drains at minimum latency.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -33,6 +47,7 @@
 #include <vector>
 
 #include "core/ring_sampler.h"
+#include "net/wire.h"
 #include "util/status.h"
 
 namespace rs::net {
@@ -59,6 +74,24 @@ struct ServerOptions {
   bool force_psync = false;
   // SQ size of each loop's ring (uring mode).
   std::uint32_t ring_entries = 256;
+
+  // ---- QoS (wire v3) ----
+  // Weighted round-robin dequeue credits per priority class, indexed by
+  // wire::Priority (interactive, bulk, best-effort). A zero weight is
+  // treated as 1: weights shape service order, shedding is the brownout
+  // ladder's job, and every admitted class must make progress.
+  std::array<std::uint32_t, wire::kNumPriorities> class_weights{8, 3, 1};
+  // Per-tenant ceiling on queued requests per loop; a tenant at the
+  // ceiling gets kOverloaded (counted separately as tenant_rejects).
+  // 0 = no quota.
+  std::uint32_t tenant_quota = 0;
+  // Brownout ladder thresholds as percent occupancy of max_queue_depth.
+  // At >= brownout_high_pct, incoming best-effort requests are shed; at
+  // >= brownout_critical_pct, bulk arrivals are shed too and the batch
+  // window collapses to zero so the backlog drains at minimum latency.
+  // high must be <= critical; set a rung above 100 to disable it.
+  std::uint32_t brownout_high_pct = 70;
+  std::uint32_t brownout_critical_pct = 90;
 };
 
 // Aggregated across loops; also exported as net.* obs counters.
@@ -67,10 +100,22 @@ struct ServerStats {
   std::uint64_t requests = 0;        // sample requests received
   std::uint64_t bytes_rx = 0;
   std::uint64_t bytes_tx = 0;
-  std::uint64_t overload_sheds = 0;  // kOverloaded responses
+  std::uint64_t overload_sheds = 0;  // kOverloaded responses (all causes)
   std::uint64_t conn_timeouts = 0;   // idle-timeout closes
   std::uint64_t malformed = 0;       // kMalformed responses
   std::uint64_t socket_faults = 0;   // RS_FAULT-injected socket errors
+  // Connections accepted and immediately closed at the max_connections
+  // gate (the client sees EOF).
+  std::uint64_t conn_rejects = 0;
+  // kDeadlineExceeded responses: the deadline budget expired while the
+  // request was queued, or its storage waits overran the remainder.
+  std::uint64_t deadline_exceeded = 0;
+  // kOverloaded responses caused by the per-tenant quota (a subset of
+  // overload_sheds).
+  std::uint64_t tenant_rejects = 0;
+  // kOverloaded responses caused by the brownout ladder shedding the
+  // request's class (a subset of overload_sheds).
+  std::uint64_t brownout_sheds = 0;
 };
 
 class Server {

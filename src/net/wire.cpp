@@ -122,6 +122,20 @@ const char* wire_status_name(WireStatus status) {
       return "overloaded";
     case WireStatus::kError:
       return "error";
+    case WireStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBulk:
+      return "bulk";
+    case Priority::kBestEffort:
+      return "besteffort";
   }
   return "unknown";
 }
@@ -177,6 +191,12 @@ void encode_sample_request(const SampleRequest& request,
         append_u32_array(buf, request.nodes);
         append_u32_array(buf, request.fanouts);
         if (version >= 2) append_u64(buf, request.trace_id);
+        if (version >= 3) {
+          append_u64(buf, request.deadline_ns);
+          append_u32(buf, request.tenant_id);
+          append_u16(buf, static_cast<std::uint16_t>(request.priority));
+          append_u16(buf, 0);  // reserved
+        }
       },
       version);
 }
@@ -208,6 +228,28 @@ Status decode_sample_request(std::span<const std::uint8_t> body,
   } else {
     // v1 has no trace id; request_id is the only correlation key.
     out->trace_id = out->request_id;
+  }
+  if (version >= 3) {
+    RS_RETURN_IF_ERROR(r.u64(&out->deadline_ns));
+    RS_RETURN_IF_ERROR(r.u32(&out->tenant_id));
+    std::uint16_t priority_raw = 0;
+    std::uint16_t reserved = 0;
+    RS_RETURN_IF_ERROR(r.u16(&priority_raw));
+    RS_RETURN_IF_ERROR(r.u16(&reserved));
+    if (priority_raw >
+        static_cast<std::uint16_t>(Priority::kBestEffort)) {
+      return Status::corrupt("wire: unknown priority class");
+    }
+    if (reserved != 0) {
+      return Status::corrupt("wire: nonzero reserved field");
+    }
+    out->priority = static_cast<Priority>(priority_raw);
+  } else {
+    // Pre-QoS peers: no deadline, ordinary tenant, interactive class —
+    // exactly the admission behavior they had before v3 existed.
+    out->deadline_ns = 0;
+    out->tenant_id = 0;
+    out->priority = Priority::kInteractive;
   }
   return check_exhausted(r);
 }
@@ -253,7 +295,8 @@ Status decode_sample_response(std::span<const std::uint8_t> body,
   std::uint16_t reserved = 0;
   RS_RETURN_IF_ERROR(r.u16(&status_raw));
   RS_RETURN_IF_ERROR(r.u16(&reserved));
-  if (status_raw > static_cast<std::uint16_t>(WireStatus::kError)) {
+  if (status_raw >
+      static_cast<std::uint16_t>(WireStatus::kDeadlineExceeded)) {
     return Status::corrupt("wire: unknown response status");
   }
   if (reserved != 0) {

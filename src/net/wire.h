@@ -1,4 +1,4 @@
-// RingSampler sampling-service wire protocol, version 2.
+// RingSampler sampling-service wire protocol, version 3.
 //
 // A strict, versioned, little-endian binary framing shared by
 // net::Server, net::Client, and bench/svc_load. Every frame is a fixed
@@ -11,12 +11,14 @@
 //   8       u32   body_len  payload bytes following the header
 //   12      u32   reserved  must be zero
 //
-// Versioning: every frame carries its own version, and version-2 bodies
-// only ever *append* fields to the version-1 layout, so a v2 peer
-// decodes both and a v1 request is answered with a v1 response (the
-// version echoes per frame, never per connection). Frame kinds 5+
-// (stats introspection) are v2-only; a v1 header carrying them is
-// corrupt. decode_* helpers below take the header's version.
+// Versioning: every frame carries its own version, and newer bodies
+// only ever *append* fields to the older layouts (v2 appended the
+// tracing trailer, v3 appends the QoS trailer to the request), so a v3
+// peer decodes all three and a v1/v2 request is answered with a frame
+// of the same version (the version echoes per frame, never per
+// connection). Frame kinds 5+ (stats introspection) are v2-only; a v1
+// header carrying them is corrupt. decode_* helpers below take the
+// header's version.
 //
 // Sample request body (kind = kSampleRequest):
 //   u64 request_id   echoed verbatim in the response (correlation key;
@@ -34,6 +36,19 @@
 //                    spans/flow events and echoed in the response, so a
 //                    client-side latency joins the server-side stage
 //                    breakdown. v1 frames default it to request_id.
+//   -- v3 appends (QoS trailer) --
+//   u64 deadline_ns  relative latency budget measured from server
+//                    receipt; 0 means "no deadline". The server drops
+//                    expired requests at dequeue (kDeadlineExceeded)
+//                    and bounds storage waits by the remaining budget.
+//                    v1/v2 frames default it to 0.
+//   u32 tenant_id    quota accounting key; 0 (the default for v1/v2
+//                    frames) is an ordinary tenant, not special.
+//   u16 priority     Priority class: 0=interactive 1=bulk 2=best-effort.
+//                    Any other value is kCorruptData. v1/v2 frames
+//                    default to interactive (legacy traffic keeps its
+//                    pre-QoS admission behavior).
+//   u16 reserved     must be zero
 //
 // Sample response body (kind = kSampleResponse):
 //   u64 request_id
@@ -50,6 +65,9 @@
 //   u64 trace_id         echoed from the request (request_id for v1)
 //   u64 server_queue_ns  time the request waited in the admission queue
 //   u64 server_sample_ns sampling service time (CPU + storage I/O)
+//   (v3 adds no response fields: a v3 response body is the v2 layout
+//   under a version-3 header. Status kDeadlineExceeded is v3-only in
+//   practice because only v3 requests can carry a deadline.)
 //
 // Info request (kind = kInfoRequest) has an empty body; the response
 // (kind = kInfoResponse) describes the served graph so load generators
@@ -89,7 +107,7 @@
 namespace rs::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x504e5352;  // "RSNP" on the wire
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 // Oldest version still decoded; v1 peers stay fully supported.
 inline constexpr std::uint16_t kMinWireVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
@@ -119,13 +137,35 @@ enum class WireStatus : std::uint16_t {
   // node id out of range, fanout above the server's configured cap).
   kMalformed = 1,
   // Admission control shed the request: the per-thread sampling queue
-  // was at --max-queue-depth. Back off and retry.
+  // was at --max-queue-depth, the tenant was over quota, or the
+  // brownout ladder shed the request's priority class. Back off and
+  // retry.
   kOverloaded = 2,
   // Sampling failed server-side (I/O error after retries).
   kError = 3,
+  // The request's deadline_ns budget expired before a result could be
+  // produced (still queued at expiry, or storage waits overran the
+  // remaining budget). Only v3 requests carry deadlines, so only v3
+  // clients ever see this status. Retrying is the client's call — the
+  // answer was abandoned, not failed.
+  kDeadlineExceeded = 4,
 };
 
 const char* wire_status_name(WireStatus status);
+
+// Priority class a v3 request declares (u16 on the wire; values above
+// kBestEffort are kCorruptData). The server services classes through
+// weighted queues — interactive first — and the brownout ladder sheds
+// best-effort before bulk before touching interactive traffic.
+enum class Priority : std::uint16_t {
+  kInteractive = 0,  // inference-style traffic; v1/v2 requests land here
+  kBulk = 1,         // training-epoch prefetch; throughput over latency
+  kBestEffort = 2,   // shed first under any pressure
+};
+
+inline constexpr std::size_t kNumPriorities = 3;
+
+const char* priority_name(Priority priority);
 
 // ---- Endian helpers (the only sanctioned byte-order code) ----
 
@@ -183,6 +223,11 @@ struct SampleRequest {
   // v2: request-scoped tracing key (see header comment). Decoding a v1
   // frame sets it to request_id so joins work across the skew.
   std::uint64_t trace_id = 0;
+  // v3 QoS trailer. Decoding a v1/v2 frame leaves the defaults:
+  // no deadline, tenant 0, interactive class.
+  std::uint64_t deadline_ns = 0;
+  std::uint32_t tenant_id = 0;
+  Priority priority = Priority::kInteractive;
 };
 
 struct SampleResponse {

@@ -256,6 +256,12 @@ TEST_F(LoopbackTest, OverloadShedsAtQueueDepth) {
   options.threads = 1;
   options.max_queue_depth = 2;
   options.batch_window_us = 200'000;  // hold admitted requests 200 ms
+  // This test's premise is that the window holds admitted requests so
+  // the depth gate trips; with a 2-deep queue the brownout ladder would
+  // hit its critical rung (100% occupancy) and collapse the window, so
+  // park both rungs above 100 to disable it here.
+  options.brownout_high_pct = 101;
+  options.brownout_critical_pct = 101;
   auto server = Server::start(*sampler, options);
   RS_ASSERT_OK(server);
 

@@ -1,0 +1,388 @@
+// QoS loopback tests for the net::Server serving tier (wire v3):
+// deadline-aware admission, priority classes, per-tenant quotas, the
+// brownout ladder, connection-limit rejects, client hedging, and
+// version-skew against v2 clients.
+//
+// Timing discipline: tests that need "the request sat in the queue"
+// use a long batch window (hundreds of ms) as the delay mechanism and
+// assert on protocol-visible outcomes (status codes, orderings,
+// counters), never on wall-clock bounds — so they hold on slow CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ring_sampler.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace rs::net {
+namespace {
+
+using test::TempDir;
+using test::make_test_csr;
+using test::write_test_graph;
+
+std::uint64_t counter_value(const char* name) {
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  for (const auto& [counter_name, value] : snap.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+class QosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csr_ = make_test_csr();
+    base_ = write_test_graph(dir_, csr_);
+  }
+
+  core::SamplerConfig sampler_config(std::uint32_t threads = 1) const {
+    core::SamplerConfig config;
+    config.fanouts = {5, 3};
+    config.batch_size = 64;
+    config.num_threads = threads;
+    config.queue_depth = 32;
+    config.seed = 99;
+    return config;
+  }
+
+  std::unique_ptr<core::RingSampler> open_sampler(
+      std::uint32_t threads = 1) {
+    auto sampler = core::RingSampler::open(base_, sampler_config(threads));
+    RS_CHECK_MSG(sampler.is_ok(), sampler.status().to_string());
+    return std::move(sampler.value());
+  }
+
+  ClientOptions client_options(const Server& server) const {
+    ClientOptions options;
+    options.port = server.port();
+    options.recv_timeout_ms = 20'000;
+    return options;
+  }
+
+  wire::SampleRequest make_request(std::uint64_t id) const {
+    wire::SampleRequest request;
+    request.request_id = id;
+    request.rng_seed = 17 + id;
+    request.fanouts = {5, 3};
+    request.nodes = {static_cast<NodeId>(id % csr_.num_nodes())};
+    return request;
+  }
+
+  TempDir dir_;
+  graph::Csr csr_;
+  std::string base_;
+};
+
+// Satellite 1: the accept-then-close gate at max_connections is
+// observable — the rejected client sees EOF and the server counts it.
+TEST_F(QosTest, ConnLimitRejectIsCounted) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  options.max_connections = 1;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto holder = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(holder);
+  // Occupy the only slot with a real round trip so the accept happened.
+  auto warm = holder.value().sample(make_request(1));
+  RS_ASSERT_OK(warm);
+
+  const std::uint64_t rejects_before = counter_value("net.conn_rejects");
+  auto rejected = Client::connect(client_options(*server.value()));
+  // TCP connect itself succeeds (kernel accept queue); the server then
+  // accepts and immediately closes, so the first read sees EOF.
+  RS_ASSERT_OK(rejected);
+  auto response = rejected.value().sample(make_request(2));
+  EXPECT_FALSE(response.is_ok());
+
+  // The reject is counted on the server thread; poll briefly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.value()->stats().conn_rejects == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.value()->stop();
+  EXPECT_GE(server.value()->stats().conn_rejects, 1u);
+  EXPECT_GT(counter_value("net.conn_rejects"), rejects_before);
+}
+
+// A deadline smaller than the batch window expires while queued: the
+// server must answer kDeadlineExceeded without sampling, and a roomy
+// deadline on the same connection must still complete kOk — never a
+// late kOk for the expired one.
+TEST_F(QosTest, DeadlineExpiresInQueue) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  options.batch_window_us = 200'000;  // hold admitted requests 200 ms
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+
+  wire::SampleRequest doomed = make_request(1);
+  doomed.deadline_ns = 20'000'000;  // 20 ms budget vs a 200 ms window
+  auto expired = client.value().sample(doomed);
+  RS_ASSERT_OK(expired);
+  EXPECT_EQ(expired.value().status, wire::WireStatus::kDeadlineExceeded);
+  EXPECT_TRUE(expired.value().subgraph.layers.empty());
+  // Dropped at dequeue: the sample stage never ran for this request.
+  EXPECT_EQ(expired.value().server_sample_ns, 0u);
+
+  wire::SampleRequest roomy = make_request(2);
+  roomy.deadline_ns = 15'000'000'000ULL;  // 15 s: cannot plausibly expire
+  auto served = client.value().sample(roomy);
+  RS_ASSERT_OK(served);
+  EXPECT_EQ(served.value().status, wire::WireStatus::kOk);
+
+  server.value()->stop();
+  EXPECT_GE(server.value()->stats().deadline_exceeded, 1u);
+}
+
+// Weighted round robin: best-effort requests queued ahead of an
+// interactive one must not be served first — the interactive request
+// is answered before any best-effort in the same coalesced batch.
+TEST_F(QosTest, InteractiveDequeuesBeforeQueuedBestEffort) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  options.batch_window_us = 300'000;  // both classes land in one batch
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  constexpr std::uint64_t kBestEffortCount = 4;
+  for (std::uint64_t i = 0; i < kBestEffortCount; ++i) {
+    wire::SampleRequest filler = make_request(100 + i);
+    filler.priority = wire::Priority::kBestEffort;
+    test::assert_ok(client.value().send_request(filler));
+  }
+  wire::SampleRequest urgent = make_request(7);
+  urgent.priority = wire::Priority::kInteractive;
+  test::assert_ok(client.value().send_request(urgent));
+
+  // Responses come back in processing order on this connection; the
+  // interactive request must be first despite arriving last.
+  auto first = client.value().read_sample_response();
+  RS_ASSERT_OK(first);
+  EXPECT_EQ(first.value().request_id, urgent.request_id);
+  EXPECT_EQ(first.value().status, wire::WireStatus::kOk);
+  for (std::uint64_t i = 0; i < kBestEffortCount; ++i) {
+    auto rest = client.value().read_sample_response();
+    RS_ASSERT_OK(rest);
+    EXPECT_EQ(rest.value().status, wire::WireStatus::kOk);
+  }
+  server.value()->stop();
+}
+
+// Per-tenant quota: one tenant cannot occupy more than its share of the
+// queue; a second tenant is still admitted.
+TEST_F(QosTest, TenantQuotaCapsQueuedRequests) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  options.tenant_quota = 1;
+  options.batch_window_us = 300'000;  // keep the first request queued
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  wire::SampleRequest first = make_request(1);
+  first.tenant_id = 7;
+  wire::SampleRequest second = make_request(2);
+  second.tenant_id = 7;  // same tenant, quota 1: must be rejected
+  wire::SampleRequest other = make_request(3);
+  other.tenant_id = 8;  // different tenant: must be admitted
+  test::assert_ok(client.value().send_request(first));
+  test::assert_ok(client.value().send_request(second));
+  test::assert_ok(client.value().send_request(other));
+
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto response = client.value().read_sample_response();
+    RS_ASSERT_OK(response);
+    if (response.value().status == wire::WireStatus::kOk) ++ok;
+    if (response.value().status == wire::WireStatus::kOverloaded) {
+      EXPECT_EQ(response.value().request_id, second.request_id);
+      ++rejected;
+    }
+  }
+  server.value()->stop();
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(rejected, 1);
+  EXPECT_EQ(server.value()->stats().tenant_rejects, 1u);
+  // Quota rejects are a subset of the overload total.
+  EXPECT_GE(server.value()->stats().overload_sheds, 1u);
+}
+
+// Brownout ladder, level 1: at high queue occupancy, best-effort
+// arrivals are shed while interactive arrivals are still admitted.
+TEST_F(QosTest, BrownoutShedsBestEffortFirst) {
+  auto sampler = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  options.max_queue_depth = 10;
+  options.brownout_high_pct = 50;
+  options.brownout_critical_pct = 80;
+  options.batch_window_us = 300'000;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  // Fill to exactly the high watermark (5/10 = 50%) with interactive.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    test::assert_ok(client.value().send_request(make_request(i)));
+  }
+  wire::SampleRequest besteffort = make_request(50);
+  besteffort.priority = wire::Priority::kBestEffort;
+  test::assert_ok(client.value().send_request(besteffort));
+  wire::SampleRequest interactive = make_request(51);
+  interactive.priority = wire::Priority::kInteractive;
+  test::assert_ok(client.value().send_request(interactive));
+
+  int ok = 0;
+  bool besteffort_shed = false;
+  for (int i = 0; i < 7; ++i) {
+    auto response = client.value().read_sample_response();
+    RS_ASSERT_OK(response);
+    if (response.value().status == wire::WireStatus::kOk) ++ok;
+    if (response.value().request_id == besteffort.request_id) {
+      besteffort_shed =
+          response.value().status == wire::WireStatus::kOverloaded;
+    }
+  }
+  server.value()->stop();
+  EXPECT_TRUE(besteffort_shed)
+      << "best-effort arrival at 50% occupancy was not shed";
+  EXPECT_EQ(ok, 6) << "interactive arrivals must ride out brownout level 1";
+  EXPECT_GE(server.value()->stats().brownout_sheds, 1u);
+}
+
+// Hedged requests: with a batch window far above the hedge delay the
+// duplicate fires, the answer is still correct (bit-identical to direct
+// sampling — the determinism contract makes hedging safe), and the
+// hedge counter moves.
+TEST_F(QosTest, HedgedRequestFiresAndMatchesDirectSampling) {
+  auto sampler = open_sampler();
+  auto reference = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  options.batch_window_us = 250'000;  // primary answer held 250 ms
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  ClientOptions with_hedge = client_options(*server.value());
+  with_hedge.hedge_delay_ms = 50;  // fires well inside the window
+  auto client = Client::connect(with_hedge);
+  RS_ASSERT_OK(client);
+
+  const std::uint64_t hedges_before = counter_value("net.client.hedges");
+  wire::SampleRequest request = make_request(1);
+  request.nodes = {1, 2, 3};
+  auto response = client.value().sample(request);
+  RS_ASSERT_OK(response);
+  EXPECT_EQ(response.value().status, wire::WireStatus::kOk);
+  auto direct = reference->sample_for_serving(
+      0, request.nodes, request.fanouts, request.rng_seed);
+  RS_ASSERT_OK(direct);
+  ASSERT_EQ(response.value().subgraph.layers.size(),
+            direct.value().layers.size());
+  for (std::size_t l = 0; l < direct.value().layers.size(); ++l) {
+    EXPECT_EQ(response.value().subgraph.layers[l].neighbors,
+              direct.value().layers[l].neighbors);
+    EXPECT_EQ(response.value().subgraph.layers[l].sample_begin,
+              direct.value().layers[l].sample_begin);
+    EXPECT_EQ(response.value().subgraph.layers[l].targets,
+              direct.value().layers[l].targets);
+  }
+  EXPECT_GT(counter_value("net.client.hedges"), hedges_before);
+
+  // A second (unhedged-speed) call on the same client still works even
+  // though a losing duplicate response may be in flight: request_id
+  // matching skips stale losers.
+  auto again = client.value().sample(make_request(2));
+  RS_ASSERT_OK(again);
+  EXPECT_EQ(again.value().status, wire::WireStatus::kOk);
+  server.value()->stop();
+}
+
+// Version skew: a v2 client (no QoS trailer on the wire) against the
+// v3 server must be served bit-identically under default QoS —
+// interactive class, no deadline — and answered in v2.
+TEST_F(QosTest, Version2ClientSkew) {
+  auto sampler = open_sampler();
+  auto reference = open_sampler();
+  ServerOptions options;
+  options.threads = 1;
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  auto client = Client::connect(client_options(*server.value()));
+  RS_ASSERT_OK(client);
+  wire::SampleRequest request = make_request(41);
+  request.nodes = {1, 2, 3};
+  request.trace_id = 0x5151515151515151ULL;
+  std::vector<std::uint8_t> frame;
+  wire::encode_sample_request(request, frame, 2);
+  test::assert_ok(client.value().send_raw(frame));
+
+  auto response = client.value().read_sample_response();
+  RS_ASSERT_OK(response);
+  ASSERT_EQ(response.value().status, wire::WireStatus::kOk);
+  EXPECT_EQ(response.value().request_id, request.request_id);
+  EXPECT_EQ(response.value().trace_id, request.trace_id);  // v2 echo works
+  EXPECT_GT(response.value().server_sample_ns, 0u);        // v2 trailer too
+  auto direct = reference->sample_for_serving(
+      0, request.nodes, request.fanouts, request.rng_seed);
+  RS_ASSERT_OK(direct);
+  ASSERT_EQ(response.value().subgraph.layers.size(),
+            direct.value().layers.size());
+  for (std::size_t l = 0; l < direct.value().layers.size(); ++l) {
+    EXPECT_EQ(response.value().subgraph.layers[l].neighbors,
+              direct.value().layers[l].neighbors);
+  }
+  server.value()->stop();
+}
+
+// The deadline-vs-pipeline plumbing: an absolute deadline already in
+// the past makes sample_for_serving abort its storage waits with
+// kTimedOut instead of blocking — the mechanism the server relies on to
+// bound in-flight work for nearly-expired requests.
+TEST_F(QosTest, SamplerDeadlineBoundsStorageWaits) {
+  auto sampler = open_sampler();
+  const std::vector<NodeId> nodes = {1, 2, 3};
+  const std::vector<std::uint32_t> fanouts = {5, 3};
+
+  // Deadline 1 ns after epoch: expired long ago.
+  auto expired = sampler->sample_for_serving(0, nodes, fanouts, 7, 1);
+  // Either the reads completed before the first deadline check (tiny
+  // graph, page cache) or the wait aborted with kTimedOut; both are
+  // legal, but a hang or any other error is not.
+  if (!expired.is_ok()) {
+    EXPECT_EQ(expired.status().code(), ErrorCode::kTimedOut);
+  }
+
+  // No deadline afterwards on the same context: the override must have
+  // been cleared by the scope guard, so this cannot time out.
+  auto clean = sampler->sample_for_serving(0, nodes, fanouts, 7);
+  RS_ASSERT_OK(clean);
+}
+
+}  // namespace
+}  // namespace rs::net

@@ -109,6 +109,83 @@ TEST(WireSampleRequest, Version1RoundTripDefaultsTraceId) {
       decode_sample_request(body, &misversioned, kWireVersion).is_ok());
 }
 
+TEST(WireSampleRequest, Version3RoundTripQosFields) {
+  SampleRequest request = make_request();
+  request.deadline_ns = 25'000'000;  // 25 ms budget
+  request.tenant_id = 42;
+  request.priority = Priority::kBulk;
+  std::vector<std::uint8_t> frame;
+  encode_sample_request(request, frame);
+
+  FrameHeader header;
+  std::span<const std::uint8_t> body;
+  split_frame(frame, &header, &body);
+  EXPECT_EQ(header.version, kWireVersion);
+
+  SampleRequest decoded;
+  test::assert_ok(decode_sample_request(body, &decoded, header.version));
+  EXPECT_EQ(decoded.deadline_ns, request.deadline_ns);
+  EXPECT_EQ(decoded.tenant_id, request.tenant_id);
+  EXPECT_EQ(decoded.priority, Priority::kBulk);
+  EXPECT_EQ(decoded.nodes, request.nodes);
+  EXPECT_EQ(decoded.trace_id, request.trace_id);
+}
+
+TEST(WireSampleRequest, Version2RoundTripDefaultsQos) {
+  // A v2 frame carries no QoS trailer; decoding must default to
+  // interactive / no deadline / tenant 0 so old clients keep their
+  // pre-QoS admission behavior.
+  SampleRequest request = make_request();
+  request.deadline_ns = 99;           // must NOT survive a v2 encode
+  request.priority = Priority::kBulk;
+  std::vector<std::uint8_t> frame;
+  encode_sample_request(request, frame, 2);
+
+  FrameHeader header;
+  std::span<const std::uint8_t> body;
+  split_frame(frame, &header, &body);
+  EXPECT_EQ(header.version, 2u);
+
+  SampleRequest decoded;
+  test::assert_ok(decode_sample_request(body, &decoded, header.version));
+  EXPECT_EQ(decoded.deadline_ns, 0u);
+  EXPECT_EQ(decoded.tenant_id, 0u);
+  EXPECT_EQ(decoded.priority, Priority::kInteractive);
+  EXPECT_EQ(decoded.trace_id, request.trace_id);
+
+  // A v2 body is a v3 body minus the 16-byte QoS trailer, so a v3
+  // decode of a v2 body must fail (truncation), not misparse.
+  SampleRequest misversioned;
+  EXPECT_FALSE(
+      decode_sample_request(body, &misversioned, kWireVersion).is_ok());
+}
+
+TEST(WireSampleRequest, RejectsUnknownPriorityAndNonzeroReserved) {
+  std::vector<std::uint8_t> frame;
+  encode_sample_request(make_request(), frame);
+  SampleRequest decoded;
+
+  // v3 trailer layout puts priority at size-4 and reserved at size-2.
+  auto corrupted = frame;
+  store_le16(corrupted.data() + corrupted.size() - 4,
+             static_cast<std::uint16_t>(kNumPriorities));
+  EXPECT_EQ(decode_sample_request(
+                std::span<const std::uint8_t>(corrupted).subspan(
+                    kFrameHeaderBytes),
+                &decoded)
+                .code(),
+            ErrorCode::kCorruptData);
+
+  corrupted = frame;
+  store_le16(corrupted.data() + corrupted.size() - 2, 1);
+  EXPECT_EQ(decode_sample_request(
+                std::span<const std::uint8_t>(corrupted).subspan(
+                    kFrameHeaderBytes),
+                &decoded)
+                .code(),
+            ErrorCode::kCorruptData);
+}
+
 TEST(WireSampleResponse, RoundTrip) {
   const SampleResponse response = make_response();
   std::vector<std::uint8_t> frame;
@@ -175,6 +252,32 @@ TEST(WireSampleResponse, NonOkCarriesNoLayers) {
   test::assert_ok(decode_sample_response(body, &decoded));
   EXPECT_EQ(decoded.status, WireStatus::kOverloaded);
   EXPECT_TRUE(decoded.subgraph.layers.empty());
+}
+
+TEST(WireSampleResponse, DeadlineExceededRoundTrip) {
+  SampleResponse expired;
+  expired.request_id = 6;
+  expired.status = WireStatus::kDeadlineExceeded;
+  std::vector<std::uint8_t> frame;
+  encode_sample_response(expired, frame);
+
+  FrameHeader header;
+  std::span<const std::uint8_t> body;
+  split_frame(frame, &header, &body);
+  SampleResponse decoded;
+  test::assert_ok(decode_sample_response(body, &decoded));
+  EXPECT_EQ(decoded.status, WireStatus::kDeadlineExceeded);
+  EXPECT_TRUE(decoded.subgraph.layers.empty());
+
+  // One past the last enumerator must stay unrepresentable.
+  auto corrupted = frame;
+  corrupted[kFrameHeaderBytes + 8] =
+      static_cast<std::uint8_t>(WireStatus::kDeadlineExceeded) + 1;
+  EXPECT_FALSE(decode_sample_response(
+                   std::span<const std::uint8_t>(corrupted).subspan(
+                       kFrameHeaderBytes),
+                   &decoded)
+                   .is_ok());
 }
 
 TEST(WireInfo, RoundTrip) {
@@ -433,9 +536,11 @@ TEST(WireFuzz, RandomBytesNeverCrash) {
     SampleRequest request;
     (void)decode_sample_request(bytes, &request).is_ok();
     (void)decode_sample_request(bytes, &request, 1).is_ok();
+    (void)decode_sample_request(bytes, &request, 2).is_ok();
     SampleResponse response;
     (void)decode_sample_response(bytes, &response).is_ok();
     (void)decode_sample_response(bytes, &response, 1).is_ok();
+    (void)decode_sample_response(bytes, &response, 2).is_ok();
     std::uint64_t id;
     (void)decode_info_request(bytes, &id).is_ok();
     InfoResponse info;
