@@ -2,10 +2,16 @@
 # Run every static gate the `lint` CI lane enforces, locally:
 #
 #   1. scripts/rs_lint.py          — repo-specific invariants (always runs)
-#   2. clang -Wthread-safety build — proves the rs::Mutex lock discipline
-#   3. clang-tidy                  — bugprone/concurrency/performance/cert
+#   2. scripts/rs_analyze.py       — AST-grounded invariants: lock-order,
+#                                    lock-blocking, status-flow,
+#                                    sqe-lifetime, decoder-bounds
+#                                    (always runs; builtin frontend needs
+#                                    only python3, clang.cindex is used
+#                                    when installed)
+#   3. clang -Wthread-safety build — proves the rs::Mutex lock discipline
+#   4. clang-tidy                  — bugprone/concurrency/performance/cert
 #
-# Gates 2 and 3 need clang/clang-tidy on PATH; when absent they are
+# Gates 3 and 4 need clang/clang-tidy on PATH; when absent they are
 # SKIPPED with a notice (GCC-only dev boxes stay usable) but the CI lane
 # always has them, so skipping locally never hides a CI failure for long.
 #
@@ -19,11 +25,32 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 failed=0
 
-echo "== [1/3] rs_lint.py =="
+echo "== [1/4] rs_lint.py =="
 python3 "$repo_root/scripts/rs_lint.py" --root "$repo_root" || failed=1
 
 echo
-echo "== [2/3] clang -Wthread-safety =="
+echo "== [2/4] rs_analyze.py =="
+python3 "$repo_root/scripts/rs_analyze.py" --root "$repo_root" || failed=1
+
+# Waiver budget: every allow() is a suppressed diagnostic, so the count
+# should only move on purpose. Print the delta against HEAD so a sweep
+# (or an accidental new waiver) is visible in the gate output.
+count_waivers() {
+  grep -rE "rs-(lint|analyze): *allow\(" "$repo_root/src" "$repo_root/bench" \
+    2>/dev/null | wc -l
+}
+waivers_now="$(count_waivers)"
+if command -v git >/dev/null 2>&1 && git -C "$repo_root" rev-parse HEAD >/dev/null 2>&1; then
+  waivers_head="$(git -C "$repo_root" grep -E "rs-(lint|analyze): *allow\(" HEAD -- src bench 2>/dev/null | wc -l)"
+  delta=$((waivers_now - waivers_head))
+  [ "$delta" -ge 0 ] && delta="+$delta"
+  echo "waivers: $waivers_now in src/+bench/ (delta vs HEAD: $delta)"
+else
+  echo "waivers: $waivers_now in src/+bench/"
+fi
+
+echo
+echo "== [3/4] clang -Wthread-safety =="
 if command -v clang++ >/dev/null 2>&1; then
   ts_dir="$repo_root/build-threadsafety"
   cmake -S "$repo_root" -B "$ts_dir" \
@@ -36,7 +63,7 @@ else
 fi
 
 echo
-echo "== [3/3] clang-tidy =="
+echo "== [4/4] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
   if [ ! -f "$build_dir/compile_commands.json" ]; then
     echo "no $build_dir/compile_commands.json — configuring"

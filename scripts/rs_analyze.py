@@ -1,0 +1,2333 @@
+#!/usr/bin/env python3
+"""rs_analyze: AST-grounded invariant checker for the RingSampler tree.
+
+Where scripts/rs_lint.py matches single lines, this tool parses the C++
+into functions, scopes, statements and calls, and checks the invariants
+that need that structure (see docs/static_analysis.md):
+
+  lock-order      Build the global lock-acquisition-order graph from
+                  every rs::MutexLock / ReleasableMutexLock scope (locks
+                  are named by class + member identity, RS_REQUIRES
+                  annotations count as entry-held locks, and acquisitions
+                  propagate through the call graph). Any cycle in that
+                  graph is a potential deadlock TSan can only catch if a
+                  test happens to interleave it.
+
+  lock-blocking   No syscall-shaped call (read/write/poll/io_uring_enter,
+                  CondVar waits, sleeps, logging — it writes to stderr)
+                  while holding an rs::Mutex in the hot-path layers
+                  src/uring, src/io, src/net.
+
+  status-flow     A local rs::Status / rs::Result that is assigned but
+                  reaches the next assignment or end of scope without
+                  being branched on, returned, or passed along is a
+                  swallowed error. Catches the overwrite-before-check
+                  pattern that [[nodiscard]] cannot see.
+
+  sqe-lifetime    AST version of rs_lint's sqe-user-data rule: only
+                  Ring::prep_* (src/uring/ring.cpp) may store to an
+                  io_uring_sqe's user_data, and src/io / src/net code
+                  must not pass a caller-visible ``*.user_data`` into any
+                  prep_* argument (works across multi-line calls, and
+                  does not false-positive on ReadRequest/Completion
+                  members the way a line regex must).
+
+  decoder-bounds  Inside src/net/wire.cpp, every raw load_le16/32/64 or
+                  cursor advance must be dominated by a size check
+                  (``need(n)`` or an early-return ``size() < k``) that
+                  covers the bytes touched. Constant offsets are checked
+                  arithmetically (named constants are resolved).
+
+Waivers reuse the rs_lint convention — on the line or the contiguous
+comment block above it:
+
+    // rs-analyze: allow(<check>) <mandatory reason>
+
+``rs-lint: allow(sqe-user-data)`` is honored as an alias for
+sqe-lifetime so waivers migrated from the regex rule keep working.
+
+Frontends: with python clang bindings + libclang available the tool
+parses each translation unit via clang.cindex (function extents, fully
+qualified names and parameter types come from the real AST; statement
+analysis runs on the token stream of each function body). Without them
+it falls back to the builtin microparser, which understands the repo's
+C++ subset; both frontends feed the same five checks, so results only
+differ on macro-heavy code. ``--frontend clang`` makes the fallback an
+error instead of a warning.
+
+Exit status: 0 clean, 1 violations, 2 usage/internal error.
+"""
+
+import argparse
+import json
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+CHECK_NAMES = (
+    "lock-order",
+    "lock-blocking",
+    "status-flow",
+    "sqe-lifetime",
+    "decoder-bounds",
+)
+# Legacy rs_lint rule names accepted as waiver aliases.
+CHECK_ALIASES = {"sqe-user-data": "sqe-lifetime",
+                 "void-discard": "status-flow"}
+
+ALLOW_RE = re.compile(
+    r"rs-(?:lint|analyze):\s*allow\((?P<rules>[\w,-]+)\)\s*(?P<reason>.*)")
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "sizeof", "alignof", "new",
+    "delete", "static_cast", "dynamic_cast", "const_cast",
+    "reinterpret_cast", "throw", "try", "catch", "co_return", "co_await",
+}
+
+PUNCT2 = {
+    "->", "::", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=",
+    "|=", "&=", "^=", "&&", "||", "<<", ">>", "++", "--",
+}
+PUNCT3 = {"<<=", ">>=", "...", "->*"}
+
+
+def tokenize(text):
+    """Returns (tokens, comments, token_lines).
+
+    tokens:  list of (kind, text, line); kind in {id, num, str, chr, p}.
+    comments: {line: [comment text, ...]} for waiver lookup.
+    token_lines: set of lines that carry at least one code token.
+    """
+    toks = []
+    comments = defaultdict(list)
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "/" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == "/":
+                j = text.find("\n", i)
+                if j < 0:
+                    j = n
+                comments[line].append(text[i:j])
+                i = j
+                continue
+            if nxt == "*":
+                j = text.find("*/", i + 2)
+                j = n if j < 0 else j + 2
+                seg = text[i:j]
+                for k, part in enumerate(seg.split("\n")):
+                    if part.strip():
+                        comments[line + k].append(part)
+                line += seg.count("\n")
+                i = j
+                continue
+        if c == "#" and (not toks or toks[-1][2] != line):
+            # Preprocessor directive: skip to EOL, honoring continuations.
+            j = i
+            while True:
+                k = text.find("\n", j)
+                if k < 0:
+                    i = n
+                    break
+                if text[k - 1] == "\\" or text[k - 2:k] == "\\\r":
+                    line += 1
+                    j = k + 1
+                    continue
+                i = k  # leave the newline for the main loop
+                break
+            continue
+        if c == '"':
+            if toks and toks[-1][1] == "R" and toks[-1][2] == line:
+                # Raw string literal R"delim( ... )delim".
+                m = re.match(r'"([^()\\ ]{0,16})\(', text[i:])
+                if m:
+                    delim = m.group(1)
+                    close = ")" + delim + '"'
+                    j = text.find(close, i + m.end())
+                    j = n if j < 0 else j + len(close)
+                    seg = text[i:j]
+                    toks[-1] = ("str", "R" + seg.replace("\n", " "), line)
+                    line += seg.count("\n")
+                    i = j
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            toks.append(("str", text[i:j + 1], line))
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            toks.append(("chr", text[i:j + 1], line))
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            toks.append(("id", text[i:j], line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "._'"):
+                # 1e-5 / 0x1p-3 exponent signs
+                if text[j] in "eEpP" and j + 1 < n and text[j + 1] in "+-":
+                    j += 2
+                    continue
+                j += 1
+            toks.append(("num", text[i:j], line))
+            i = j
+            continue
+        if text[i:i + 3] in PUNCT3:
+            toks.append(("p", text[i:i + 3], line))
+            i += 3
+            continue
+        if text[i:i + 2] in PUNCT2:
+            toks.append(("p", text[i:i + 2], line))
+            i += 2
+            continue
+        toks.append(("p", c, line))
+        i += 1
+    token_lines = {t[2] for t in toks}
+    return toks, comments, token_lines
+
+
+# --------------------------------------------------------------------------
+# Statement / block model
+# --------------------------------------------------------------------------
+
+class Stmt:
+    """One statement. kind: raw | if | loop | switch | block."""
+    __slots__ = ("kind", "line", "toks", "cond", "body", "orelse", "sid")
+
+    def __init__(self, kind, line, toks=None, cond=None, body=None,
+                 orelse=None, sid=0):
+        self.kind = kind
+        self.line = line
+        self.toks = toks or []
+        self.cond = cond or []
+        self.body = body
+        self.orelse = orelse
+        self.sid = sid
+
+
+class Block:
+    __slots__ = ("line", "stmts")
+
+    def __init__(self, line):
+        self.line = line
+        self.stmts = []
+
+
+class FuncInfo:
+    __slots__ = ("qual", "name", "cls", "relpath", "line", "params",
+                 "requires", "body")
+
+    def __init__(self, qual, name, cls, relpath, line, params, requires,
+                 body):
+        self.qual = qual
+        self.name = name
+        self.cls = cls          # enclosing/owning class name or None
+        self.relpath = relpath
+        self.line = line
+        self.params = params    # list of (type_text, name)
+        self.requires = requires  # list of RS_REQUIRES argument texts
+        self.body = body        # Block
+
+
+class ClassInfo:
+    __slots__ = ("name", "members", "mutex_members", "relpath")
+
+    def __init__(self, name, relpath):
+        self.name = name
+        self.relpath = relpath
+        self.members = {}        # member name -> type text
+        self.mutex_members = set()
+
+
+class FileInfo:
+    __slots__ = ("relpath", "comments", "token_lines", "functions",
+                 "classes", "global_mutexes", "constants")
+
+    def __init__(self, relpath):
+        self.relpath = relpath
+        self.comments = {}
+        self.token_lines = set()
+        self.functions = []
+        self.classes = []
+        self.global_mutexes = {}   # name -> line
+        self.constants = {}        # name -> token slice (unevaluated)
+
+
+def toks_text(toks):
+    out = []
+    for k, t, _ in toks:
+        if out and (out[-1][-1].isalnum() or out[-1][-1] == "_") and \
+                (t[0].isalnum() or t[0] == "_"):
+            out.append(" ")
+        out.append(t)
+    return "".join(out)
+
+
+def match_close(toks, i, open_t, close_t):
+    """toks[i] is open_t; returns index of the matching close_t."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i][1]
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n - 1
+
+
+def skip_template_args(toks, i):
+    """If toks[i] is '<' opening a plausible template argument list,
+    return the index just past the matching '>'; else return i.
+
+    Heuristic: balanced within 64 tokens, no ';' inside, and the '<'
+    depth never goes negative."""
+    if i >= len(toks) or toks[i][1] != "<":
+        return i
+    depth = 0
+    j = i
+    limit = min(len(toks), i + 64)
+    while j < limit:
+        t = toks[j][1]
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j + 1
+        elif t in (";", "{", "}"):
+            return i
+        j += 1
+    return i
+
+
+class StmtParser:
+    """Parses the token slice of one function body into a Block tree."""
+
+    def __init__(self):
+        self.next_sid = 1
+
+    def parse_block(self, toks, i):
+        """toks[i] == '{'; returns (Block, index past matching '}')."""
+        blk = Block(toks[i][2])
+        i += 1
+        n = len(toks)
+        while i < n and toks[i][1] != "}":
+            stmt, i = self.parse_stmt(toks, i)
+            if stmt is not None:
+                blk.stmts.append(stmt)
+        return blk, min(i + 1, n)
+
+    def parse_stmt(self, toks, i):
+        n = len(toks)
+        kind, text, line = toks[i]
+        if text == "{":
+            blk, i = self.parse_block(toks, i)
+            return Stmt("block", line, body=blk), i
+        if text == ";":
+            return None, i + 1
+        if kind == "id" and text in ("case", "default"):
+            while i < n and toks[i][1] != ":":
+                i += 1
+            return Stmt("raw", line, toks=[("id", "case", line)]), i + 1
+        if kind == "id" and text in ("if", "while", "for", "switch"):
+            sid = self.next_sid
+            self.next_sid += 1
+            j = i + 1
+            if j < n and toks[j][1] == "constexpr":
+                j += 1
+            cond = []
+            if j < n and toks[j][1] == "(":
+                close = match_close(toks, j, "(", ")")
+                cond = toks[j + 1:close]
+                j = close + 1
+            body, j = self.parse_stmt_or_block(toks, j)
+            orelse = None
+            if text == "if" and j < n and toks[j][1] == "else":
+                j += 1
+                orelse, j = self.parse_stmt_or_block(toks, j)
+            skind = ("if" if text == "if" else
+                     "switch" if text == "switch" else "loop")
+            return Stmt(skind, line, cond=cond, body=body, orelse=orelse,
+                        sid=sid), j
+        if kind == "id" and text == "do":
+            sid = self.next_sid
+            self.next_sid += 1
+            body, j = self.parse_stmt_or_block(toks, i + 1)
+            cond = []
+            if j < n and toks[j][1] == "while":
+                j += 1
+                if j < n and toks[j][1] == "(":
+                    close = match_close(toks, j, "(", ")")
+                    cond = toks[j + 1:close]
+                    j = close + 1
+                if j < n and toks[j][1] == ";":
+                    j += 1
+            return Stmt("loop", line, cond=cond, body=body, sid=sid), j
+        if kind == "id" and text == "else":
+            # Dangling else (shouldn't happen); treat as raw.
+            i += 1
+            return None, i
+        # Raw statement: accumulate to ';' at balance 0. Nested braces
+        # (lambdas, braced init) are swallowed into the statement.
+        raw = []
+        depth = 0
+        while i < n:
+            t = toks[i][1]
+            if t in ("(", "[", "{"):
+                depth += 1
+            elif t in (")", "]", "}"):
+                if depth == 0 and t == "}":
+                    break  # enclosing block's close; unterminated stmt
+                depth -= 1
+            raw.append(toks[i])
+            i += 1
+            if depth == 0 and t == ";":
+                break
+            # `for` inside a swallowed lambda keeps its own ';'s balanced
+            # because they sit at depth > 0.
+        return Stmt("raw", line, toks=raw), i
+
+    def parse_stmt_or_block(self, toks, i):
+        if i < len(toks) and toks[i][1] == "{":
+            blk, i = self.parse_block(toks, i)
+            return blk, i
+        stmt, i = self.parse_stmt(toks, i)
+        blk = Block(stmt.line if stmt else 0)
+        if stmt is not None:
+            blk.stmts.append(stmt)
+        return blk, i
+
+
+# --------------------------------------------------------------------------
+# File-level parser: namespaces, classes, functions, constants
+# --------------------------------------------------------------------------
+
+ANNOTATION_MACROS = {
+    "RS_GUARDED_BY", "RS_PT_GUARDED_BY", "RS_REQUIRES", "RS_ACQUIRE",
+    "RS_RELEASE", "RS_TRY_ACQUIRE", "RS_EXCLUDES", "RS_RETURN_CAPABILITY",
+    "RS_NO_THREAD_SAFETY_ANALYSIS", "RS_CAPABILITY", "RS_SCOPED_CAPABILITY",
+    "override", "final", "noexcept", "const", "constexpr", "mutable",
+}
+
+
+class FileParser:
+    def __init__(self, relpath, toks, comments, token_lines):
+        self.info = FileInfo(relpath)
+        self.info.comments = comments
+        self.info.token_lines = token_lines
+        self.toks = toks
+        self.stmt_parser = StmtParser()
+
+    def parse(self):
+        self.scan_scope(0, len(self.toks), [], None)
+        return self.info
+
+    def scan_scope(self, i, end, ns_stack, cls):
+        """Scan declarations between i and end (exclusive). cls is the
+        enclosing ClassInfo or None."""
+        toks = self.toks
+        while i < end:
+            kind, text, line = toks[i]
+            if text == "template":
+                j = i + 1
+                if j < end and toks[j][1] == "<":
+                    j = skip_template_args(toks, j)
+                    if j == i + 1:  # unbalanced; bail to next token
+                        j = i + 2
+                i = j
+                continue
+            if text == "namespace":
+                j = i + 1
+                parts = []
+                while j < end and (toks[j][0] == "id" or
+                                   toks[j][1] == "::"):
+                    if toks[j][0] == "id":
+                        parts.append(toks[j][1])
+                    j += 1
+                if j < end and toks[j][1] == "{":
+                    close = match_close(toks, j, "{", "}")
+                    self.scan_scope(j + 1, close, ns_stack + parts, None)
+                    i = close + 1
+                    continue
+                # namespace alias (namespace x = y;) or malformed
+                while j < end and toks[j][1] != ";":
+                    j += 1
+                i = j + 1
+                continue
+            if text in ("class", "struct", "union"):
+                j = i + 1
+                # skip attributes / RS_CAPABILITY("mutex") etc.
+                name = None
+                while j < end and toks[j][1] not in ("{", ";", ":"):
+                    if toks[j][0] == "id" and \
+                            toks[j][1] not in ANNOTATION_MACROS:
+                        name = toks[j][1]
+                    elif toks[j][1] == "(":
+                        j = match_close(toks, j, "(", ")")
+                    elif toks[j][1] == "<":
+                        j = skip_template_args(toks, j) - 1
+                    j += 1
+                if j < end and toks[j][1] == ":":  # base clause
+                    while j < end and toks[j][1] != "{":
+                        if toks[j][1] == "<":
+                            j = skip_template_args(toks, j) - 1
+                        j += 1
+                if j < end and toks[j][1] == "{" and name:
+                    close = match_close(toks, j, "{", "}")
+                    cinfo = ClassInfo(name, self.info.relpath)
+                    self.info.classes.append(cinfo)
+                    self.scan_scope(j + 1, close, ns_stack + [name], cinfo)
+                    i = close + 1
+                    # skip trailing declarator list + ';'
+                    while i < end and toks[i][1] != ";":
+                        i += 1
+                    i += 1
+                    continue
+                i = j + 1
+                continue
+            if text == "enum":
+                j = i + 1
+                while j < end and toks[j][1] not in ("{", ";"):
+                    j += 1
+                if j < end and toks[j][1] == "{":
+                    close = match_close(toks, j, "{", "}")
+                    self.scan_enum(j + 1, close)
+                    i = close + 1
+                else:
+                    i = j + 1
+                continue
+            if text in ("public", "private", "protected") and \
+                    i + 1 < end and toks[i + 1][1] == ":":
+                i += 2
+                continue
+            if text in ("using", "typedef", "friend", "extern",
+                        "static_assert"):
+                while i < end and toks[i][1] != ";":
+                    if toks[i][1] == "{":
+                        i = match_close(toks, i, "{", "}")
+                    i += 1
+                i += 1
+                continue
+            if text == ";":
+                i += 1
+                continue
+            i = self.scan_declaration(i, end, ns_stack, cls)
+        return i
+
+    def scan_enum(self, i, end):
+        toks = self.toks
+        value = 0
+        while i < end:
+            if toks[i][0] == "id":
+                name = toks[i][1]
+                j = i + 1
+                if j < end and toks[j][1] == "=":
+                    k = j + 1
+                    expr = []
+                    while k < end and toks[k][1] != ",":
+                        expr.append(toks[k])
+                        k += 1
+                    self.info.constants[name] = expr
+                    i = k + 1
+                    value = None
+                    continue
+                if value is not None:
+                    self.info.constants[name] = [("num", str(value), 0)]
+                    value += 1
+                i = j + 1 if j < end and toks[j][1] == "," else j
+                continue
+            i += 1
+
+    def scan_declaration(self, i, end, ns_stack, cls):
+        """One declaration at namespace/class scope starting at i.
+        Detects function definitions (returns index past the body) and
+        member/global variables."""
+        toks = self.toks
+        start = i
+        paren_name = None       # tokens of the declarator name before '('
+        params_range = None
+        requires = []
+        depth_angle = 0
+        j = i
+        while j < end:
+            t = toks[j][1]
+            if t == "<":
+                nj = skip_template_args(toks, j)
+                if nj > j:
+                    j = nj
+                    continue
+            if t == "(":
+                close = match_close(toks, j, "(", ")")
+                # name = id-chain immediately before '('
+                name_toks = self.declarator_before(start, j)
+                if name_toks and params_range is None and \
+                        name_toks[-1][1] not in ANNOTATION_MACROS:
+                    paren_name = name_toks
+                    params_range = (j + 1, close)
+                elif paren_name is not None and \
+                        toks[j - 1][1] == "RS_REQUIRES":
+                    requires.append(toks[j + 1:close])
+                j = close + 1
+                continue
+            if t == ";":
+                self.maybe_record_variable(start, j, cls, ns_stack)
+                return j + 1
+            if t == "=":
+                # = default / = delete / = 0  OR variable initializer
+                if paren_name is None:
+                    # variable with initializer: record then skip to ';'
+                    k = j
+                    while k < end and toks[k][1] != ";":
+                        if toks[k][1] == "{":
+                            k = match_close(toks, k, "{", "}")
+                        elif toks[k][1] == "(":
+                            k = match_close(toks, k, "(", ")")
+                        k += 1
+                    self.maybe_record_variable(start, j, cls, ns_stack,
+                                               init=toks[j + 1:k])
+                    return k + 1
+                j += 1
+                continue
+            if t == ":" and paren_name is not None:
+                # constructor init list: consume entries up to body '{'
+                j += 1
+                while j < end and toks[j][1] != "{":
+                    if toks[j][1] in ("(",):
+                        j = match_close(toks, j, "(", ")")
+                    elif toks[j][1] == "<":
+                        nj = skip_template_args(toks, j)
+                        j = nj - 1 if nj > j else j
+                    elif toks[j][1] == "{":
+                        break
+                    j += 1
+                    # brace-init member entries: id { ... }
+                    if j < end and toks[j][1] == "{" and \
+                            toks[j - 1][0] == "id":
+                        j = match_close(toks, j, "{", "}") + 1
+                continue
+            if t == "{":
+                if paren_name is not None:
+                    body_close = match_close(toks, j, "{", "}")
+                    self.record_function(paren_name, params_range,
+                                         requires, j, body_close,
+                                         ns_stack, cls)
+                    return body_close + 1
+                # brace-initialized variable or stray block
+                k = match_close(toks, j, "{", "}")
+                self.maybe_record_variable(start, j, cls, ns_stack)
+                j = k + 1
+                if j < end and toks[j][1] == ";":
+                    j += 1
+                return j
+            j += 1
+        return end
+
+    def declarator_before(self, start, paren_idx):
+        """id ['::' id]* chain immediately preceding '(' (the candidate
+        function name), or None."""
+        toks = self.toks
+        j = paren_idx - 1
+        # skip template args on the name: name<...>(
+        if j > start and toks[j][1] == ">":
+            depth = 0
+            while j > start:
+                if toks[j][1] == ">":
+                    depth += 1
+                elif toks[j][1] == "<":
+                    depth -= 1
+                    if depth == 0:
+                        j -= 1
+                        break
+                j -= 1
+        chain = []
+        while j >= start:
+            k, t, _ = toks[j]
+            if k == "id" or t == "::" or t == "~":
+                chain.append(toks[j])
+                j -= 1
+                if toks[j + 1][0] == "id" and j >= start and \
+                        toks[j][1] not in ("::", "~"):
+                    break
+            else:
+                break
+        chain.reverse()
+        return chain if chain and chain[-1][0] == "id" else None
+
+    def maybe_record_variable(self, start, stop, cls, ns_stack,
+                              init=None):
+        """Record Mutex members/globals, other member types, constants."""
+        toks = self.toks[start:stop]
+        if not toks:
+            return
+        ids = [t for t in toks if t[0] == "id"]
+        if not ids or any(t[1] == "operator" for t in toks):
+            return
+        # find the variable name: last id at angle/paren depth 0 before
+        # the first depth-0 '=' that is not an annotation macro argument
+        name = None
+        name_idx = None
+        depth = 0
+        for idx, (k, t, _) in enumerate(toks):
+            if t == "=" and depth == 0:
+                break
+            if t in ("<",):
+                depth += 1
+            elif t in (">",):
+                depth = max(0, depth - 1)
+            elif t == ">>":
+                depth = max(0, depth - 2)
+            elif t == "(":
+                depth += 1
+            elif t == ")":
+                depth = max(0, depth - 1)
+            elif k == "id" and depth == 0 and t not in ANNOTATION_MACROS:
+                name = t
+                name_idx = idx
+        if name is None or name_idx == 0:
+            return
+        type_text = toks_text(toks[:name_idx])
+        line = toks[name_idx][2]
+        is_mutex = bool(re.search(r"\bMutex\b", type_text)) and \
+            "MutexLock" not in type_text
+        if cls is not None:
+            cls.members[name] = type_text
+            if is_mutex:
+                cls.mutex_members.add(name)
+        else:
+            if is_mutex:
+                self.info.global_mutexes[name] = line
+        if init is not None and re.search(
+                r"\b(constexpr|const)\b", type_text):
+            self.info.constants[name] = init
+
+    def record_function(self, name_toks, params_range, requires,
+                        body_open, body_close, ns_stack, cls):
+        toks = self.toks
+        name_text = "".join(t[1] for t in name_toks)
+        short = name_toks[-1][1]
+        owner = None
+        if "::" in name_text:
+            owner = name_text.split("::")[-2]
+        elif cls is not None:
+            owner = cls.name
+        qual = "::".join([n for n in ns_stack if n] + [name_text]) \
+            if ns_stack else name_text
+        params = []
+        if params_range:
+            p0, p1 = params_range
+            for chunk in split_top(toks[p0:p1], ","):
+                if not chunk:
+                    continue
+                # param name: last depth-0 id (before any '=')
+                eq = None
+                for idx, t in enumerate(chunk):
+                    if t[1] == "=":
+                        eq = idx
+                        break
+                core = chunk[:eq] if eq is not None else chunk
+                pname, pidx = None, None
+                depth = 0
+                for idx, (k, t, _) in enumerate(core):
+                    if t in ("<", "("):
+                        depth += 1
+                    elif t in (">", ")"):
+                        depth = max(0, depth - 1)
+                    elif t == ">>":
+                        depth = max(0, depth - 2)
+                    elif k == "id" and depth == 0:
+                        pname, pidx = t, idx
+                ptype = toks_text(core[:pidx]) if pidx else toks_text(core)
+                params.append((ptype, pname))
+        body, _ = self.stmt_parser.parse_block(toks, body_open)
+        self.info.functions.append(FuncInfo(
+            qual=qual, name=short, cls=owner, relpath=self.info.relpath,
+            line=toks[body_open][2], params=params,
+            requires=[toks_text(r) for r in requires], body=body))
+
+
+def split_top(toks, sep):
+    """Split a token list on sep at paren/angle/brace depth 0."""
+    out, cur, depth = [], [], 0
+    for t in toks:
+        if t[1] in ("(", "[", "{"):
+            depth += 1
+        elif t[1] in (")", "]", "}"):
+            depth -= 1
+        elif t[1] == "<":
+            depth += 1
+        elif t[1] == ">":
+            depth -= 1
+        elif t[1] == ">>":
+            depth -= 2
+        if t[1] == sep and depth <= 0:
+            out.append(cur)
+            cur = []
+            depth = max(0, depth)
+        else:
+            cur.append(t)
+    out.append(cur)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Analysis core: symbol resolution, call extraction, constant evaluation
+# --------------------------------------------------------------------------
+
+class Program:
+    """Everything scanned, plus cross-file lookup tables."""
+
+    def __init__(self):
+        self.files = {}              # relpath -> FileInfo
+        self.classes_by_name = defaultdict(list)
+        self.constants = {}          # name -> token slice
+        self.funcs_by_name = defaultdict(list)
+
+    def add(self, finfo):
+        self.files[finfo.relpath] = finfo
+        for c in finfo.classes:
+            self.classes_by_name[c.name].append(c)
+        self.constants.update(finfo.constants)
+        for f in finfo.functions:
+            self.funcs_by_name[f.name].append(f)
+
+    def known_class(self, name):
+        lst = self.classes_by_name.get(name)
+        return lst[0] if lst else None
+
+    def class_from_type(self, type_text):
+        """Last known-class identifier mentioned in a type (so
+        std::vector<std::shared_ptr<TraceBuffer>> resolves to
+        TraceBuffer)."""
+        hit = None
+        for m in re.finditer(r"[A-Za-z_]\w*", type_text or ""):
+            if m.group(0) in self.classes_by_name:
+                hit = m.group(0)
+        return hit
+
+
+def iter_stmts(block):
+    """Lexical walk: yields (stmt, path) where path is a tuple of
+    (stmt_sid, arm) branch markers from outermost in."""
+    def walk(blk, path):
+        for s in blk.stmts:
+            yield s, path
+            if s.kind in ("if", "loop", "switch", "block"):
+                if s.body is not None:
+                    arm = 0
+                    yield from walk(s.body, path + ((s.sid, arm),))
+                if s.orelse is not None:
+                    yield from walk(s.orelse, path + ((s.sid, 1),))
+    yield from walk(block, ())
+
+
+def stmt_token_stream(stmt):
+    """Tokens of a statement including its condition."""
+    return (stmt.cond or []) + (stmt.toks or [])
+
+
+def extract_calls(toks):
+    """Yields (name, base_text, arg_slices, line) for each call-shaped
+    ``name(...)`` in the token list. base_text is the receiver chain
+    ('' for free calls, '<expr>' when too complex)."""
+    n = len(toks)
+    i = 0
+    while i < n:
+        k, t, line = toks[i]
+        if k == "id" and t not in KEYWORDS:
+            j = i + 1
+            j2 = skip_template_args(toks, j)
+            if j2 < n and toks[j2][1] == "(":
+                close = match_close(toks, j2, "(", ")")
+                # receiver chain backwards: a.b->c::name
+                base = []
+                b = i - 1
+                while b >= 0 and toks[b][1] in (".", "->", "::"):
+                    sep = toks[b][1]
+                    if b - 1 >= 0 and toks[b - 1][0] == "id":
+                        base.append(sep)
+                        base.append(toks[b - 1][1])
+                        b -= 2
+                    elif b - 1 >= 0 and toks[b - 1][1] in (")", "]"):
+                        base.append(sep)
+                        base.append("<expr>")
+                        break
+                    else:
+                        break
+                base_text = "".join(reversed(base))
+                args = [a for a in split_top(toks[j2 + 1:close], ",") if a]
+                yield t, base_text, args, line
+                i = j2 + 1  # descend into args for nested calls
+                continue
+        i += 1
+
+
+INT_LIT = re.compile(r"^(0[xX][0-9a-fA-F']+|[0-9][0-9']*)[uUlL]*$")
+
+
+def eval_const(toks, constants, _depth=0):
+    """Constant-evaluate a token slice: ints, named constants, +, *, -,
+    <<, parens, std::size_t{...}/static_cast<T>(...) wrappers. Returns
+    int or None."""
+    if _depth > 8 or not toks:
+        return None
+    toks = [t for t in toks if t[1] not in ("std", "::")]
+    # unwrap  size_t { X } / size_t ( X ) / static_cast < T > ( X )
+    out = []
+    i = 0
+    while i < len(toks):
+        k, t, line = toks[i]
+        if k == "id" and t in ("static_cast", "size_t", "uint64_t",
+                               "uint32_t", "uint16_t", "int64_t",
+                               "int32_t", "uintptr_t", "uint8_t"):
+            j = i + 1
+            j = skip_template_args(toks, j)
+            if j < len(toks) and toks[j][1] in ("(", "{"):
+                open_t = toks[j][1]
+                close_t = ")" if open_t == "(" else "}"
+                close = match_close(toks, j, open_t, close_t)
+                out.append(("p", "(", line))
+                out.extend(toks[j + 1:close])
+                out.append(("p", ")", line))
+                i = close + 1
+                continue
+            i = j
+            continue
+        out.append(toks[i])
+        i += 1
+    toks = out
+
+    # recursive descent:  expr := term (('+'|'-'|'<<') term)*
+    pos = [0]
+
+    def atom():
+        if pos[0] >= len(toks):
+            return None
+        k, t, _ = toks[pos[0]]
+        if t == "(":
+            close = match_close(toks, pos[0], "(", ")")
+            v = eval_const(toks[pos[0] + 1:close], constants, _depth + 1)
+            pos[0] = close + 1
+            return v
+        if k == "num":
+            pos[0] += 1
+            m = INT_LIT.match(t)
+            if not m:
+                return None
+            body = m.group(1).replace("'", "")
+            return int(body, 16) if body.lower().startswith("0x") \
+                else int(body)
+        if k == "id":
+            pos[0] += 1
+            if t in constants:
+                sub = constants[t]
+                if isinstance(sub, int):
+                    return sub
+                return eval_const(sub, constants, _depth + 1)
+            return None
+        return None
+
+    def term():
+        v = atom()
+        while v is not None and pos[0] < len(toks) and \
+                toks[pos[0]][1] in ("*", "/"):
+            op = toks[pos[0]][1]
+            pos[0] += 1
+            r = atom()
+            if r is None:
+                return None
+            v = v * r if op == "*" else (v // r if r else None)
+        return v
+
+    v = term()
+    while v is not None and pos[0] < len(toks) and \
+            toks[pos[0]][1] in ("+", "-", "<<"):
+        op = toks[pos[0]][1]
+        pos[0] += 1
+        r = term()
+        if r is None:
+            return None
+        v = v + r if op == "+" else v - r if op == "-" else v << r
+    if pos[0] != len(toks):
+        return None
+    return v
+
+
+class TypeEnv:
+    """Resolves the class of an expression base inside one function."""
+
+    def __init__(self, func, program, fileinfo):
+        self.program = program
+        self.fileinfo = fileinfo
+        self.func = func
+        self.vars = {}   # name -> class name (or None)
+        self.raw = {}    # name -> raw declared type text
+        for ptype, pname in func.params:
+            if pname:
+                self.vars[pname] = program.class_from_type(ptype)
+                self.raw[pname] = ptype
+        owner = program.known_class(func.cls) if func.cls else None
+        self.owner = owner
+        self._scan_locals(func.body)
+
+    def _scan_locals(self, block):
+        for stmt, _path in iter_stmts(block):
+            toks = stmt.toks if stmt.kind == "raw" else stmt.cond
+            if not toks:
+                continue
+            if stmt.kind == "loop" and any(t[1] == ":" for t in toks):
+                self._range_for(toks)
+                continue
+            self._decl(toks)
+
+    def _decl(self, toks):
+        """TYPE name (=|(|{|;)  — extremely loose, enough for lock and
+        sqe base resolution."""
+        # find first depth-0 id that is followed by '=', '(', '{' or ';'
+        depth = 0
+        prev_ids = []
+        for i, (k, t, _) in enumerate(toks):
+            if t in ("(", "[", "{"):
+                depth += 1
+            elif t in (")", "]", "}"):
+                depth -= 1
+            elif t == "<":
+                depth += 1
+            elif t in (">", ">>"):
+                depth -= 1 if t == ">" else 2
+            elif depth == 0 and k == "id" and t not in KEYWORDS:
+                nxt = toks[i + 1][1] if i + 1 < len(toks) else ";"
+                if prev_ids and nxt in ("=", "(", "{", ";") and \
+                        t not in ANNOTATION_MACROS:
+                    type_text = toks_text(toks[:i])
+                    cls = self.program.class_from_type(type_text)
+                    if cls and t not in self.vars:
+                        self.vars[t] = cls
+                    self.raw.setdefault(t, type_text)
+                    return
+                prev_ids.append(t)
+
+    def _range_for(self, cond):
+        parts = split_top(cond, ":")
+        if len(parts) != 2:
+            return
+        decl, seq = parts
+        name = None
+        for k, t, _ in decl:
+            if k == "id" and t not in KEYWORDS and \
+                    t not in ANNOTATION_MACROS and t != "auto":
+                name = t
+        if not name:
+            return
+        # element type: explicit in the decl, else through the sequence
+        cls = self.program.class_from_type(toks_text(decl[:-1]))
+        if cls is None:
+            seq_cls = self.resolve_base(toks_text(seq))
+            if seq_cls is None and len(seq) >= 1:
+                seq_cls_info = None
+            # MEMBER of a known object: st.buffers
+            m = re.match(r"([A-Za-z_]\w*)(?:\.|->)([A-Za-z_]\w*)$",
+                         toks_text(seq))
+            if m:
+                base_cls = self.vars.get(m.group(1)) or \
+                    (self.owner.name if self.owner and
+                     m.group(1) == "this" else None)
+                cinfo = self.program.known_class(base_cls) \
+                    if base_cls else None
+                if cinfo is None and self.owner and \
+                        m.group(2) in self.owner.members:
+                    cinfo = self.owner
+                if cinfo and m.group(2) in cinfo.members:
+                    cls = self.program.class_from_type(
+                        cinfo.members[m.group(2)])
+        if cls:
+            self.vars[name] = cls
+
+    def resolve_base(self, base_text):
+        """Class name for an expression base like 'st.', 'buffer->',
+        'this->', '' (the enclosing class)."""
+        base_text = base_text.rstrip(".->:")
+        if base_text in ("", "this"):
+            return self.owner.name if self.owner else None
+        if base_text in self.vars:
+            return self.vars[base_text]
+        return None
+
+
+# --------------------------------------------------------------------------
+# Lock model
+# --------------------------------------------------------------------------
+
+LOCK_DECL_RE = ("MutexLock", "ReleasableMutexLock")
+
+
+class LockSite:
+    __slots__ = ("lock_id", "relpath", "line", "var")
+
+    def __init__(self, lock_id, relpath, line, var=None):
+        self.lock_id = lock_id
+        self.relpath = relpath
+        self.line = line
+        self.var = var
+
+
+def resolve_lock_id(expr_toks, env, program, fileinfo):
+    """Stable identity for a mutex expression: Class::member,
+    file::global, or ?<base>.member when the base type is unknown."""
+    toks = [t for t in expr_toks if t[1] not in ("&", "*")]
+    while toks and toks[0][1] == "this":
+        toks = toks[1:]
+        if toks and toks[0][1] in (".", "->"):
+            toks = toks[1:]
+    text = toks_text(toks)
+    m = re.match(r"^([A-Za-z_]\w*)$", text)
+    if m:
+        name = m.group(1)
+        if env.owner and name in env.owner.mutex_members:
+            return f"{env.owner.name}::{name}"
+        if name in fileinfo.global_mutexes:
+            return f"{Path(fileinfo.relpath).name}::{name}"
+        owners = [c.name for lst in program.classes_by_name.values()
+                  for c in lst if name in c.mutex_members]
+        if len(set(owners)) == 1:
+            return f"{owners[0]}::{name}"
+        return f"?::{name}"
+    m = re.match(r"^([A-Za-z_]\w*)(?:\.|->)([A-Za-z_]\w*)$", text)
+    if m:
+        base, member = m.group(1), m.group(2)
+        cls = env.vars.get(base)
+        if cls is None and env.owner and base in env.owner.members:
+            # base is a member object of the enclosing class
+            cls = program.class_from_type(env.owner.members[base])
+        cinfo = program.known_class(cls) if cls else None
+        if cinfo and member in cinfo.mutex_members:
+            return f"{cinfo.name}::{member}"
+        owners = {c.name for lst in program.classes_by_name.values()
+                  for c in lst if member in c.mutex_members}
+        if len(owners) == 1:
+            return f"{owners.pop()}::{member}"
+        return f"?<{base}>.{member}"
+    return f"?expr:{text}" if text else None
+
+
+def lock_walk(func, env, program, fileinfo, on_acquire, on_call):
+    """Walks the body tracking held rs::Mutex locks.
+
+    on_acquire(site, held_sites) fires per acquisition;
+    on_call(name, base, args, line, held_sites) per call while >=0 held.
+    RS_REQUIRES(mu) annotations seed the held set."""
+    entry = []
+    for req in func.requires:
+        for part in req.split(","):
+            part = part.strip()
+            if not part or part.startswith("!"):
+                continue
+            rtoks, _, _ = tokenize(part)
+            lid = resolve_lock_id(rtoks, env, program, fileinfo)
+            if lid:
+                entry.append(LockSite(lid, func.relpath, func.line))
+
+    def walk(block, held):
+        local = []
+        for stmt in block.stmts:
+            toks = stmt_token_stream(stmt)
+            acq = parse_lock_acquisition(stmt, env, program, fileinfo)
+            if acq is not None:
+                on_acquire(acq, held + local)
+                local.append(acq)
+            released = parse_lock_release(stmt)
+            if released:
+                local = [s for s in local
+                         if s.var is None or s.var != released]
+            for name, base, args, line in extract_calls(toks):
+                if name in LOCK_DECL_RE or name in ("release", "unlock"):
+                    continue
+                on_call(name, base, args, line, held + local)
+            if stmt.kind in ("if", "loop", "switch", "block"):
+                if stmt.body is not None:
+                    walk(stmt.body, held + local)
+                if stmt.orelse is not None:
+                    walk(stmt.orelse, held + local)
+
+    walk(func.body, entry)
+
+
+def parse_lock_acquisition(stmt, env, program, fileinfo):
+    """[rs::]MutexLock var(expr) / ReleasableMutexLock var(expr)."""
+    toks = stmt.toks if stmt.kind == "raw" else []
+    for i, (k, t, line) in enumerate(toks):
+        if k == "id" and t in LOCK_DECL_RE:
+            j = i + 1
+            if j < len(toks) and toks[j][0] != "id":
+                continue
+            var = toks[j][1]
+            j += 1
+            if j < len(toks) and toks[j][1] in ("(", "{"):
+                close = match_close(toks, j, toks[j][1],
+                                    ")" if toks[j][1] == "(" else "}")
+                lid = resolve_lock_id(toks[j + 1:close], env, program,
+                                      fileinfo)
+                if lid:
+                    return LockSite(lid, fileinfo.relpath, line, var)
+    # manual expr.lock()
+    for name, base, args, line in extract_calls(toks):
+        if name == "lock" and base and not args:
+            btoks, _, _ = tokenize(base.rstrip(".->:"))
+            lid = resolve_lock_id(btoks, env, program, fileinfo)
+            if lid:
+                return LockSite(lid, fileinfo.relpath, line, None)
+    return None
+
+
+def parse_lock_release(stmt):
+    """Returns the RAII var name released via var.release(), else None."""
+    toks = stmt.toks if stmt.kind == "raw" else []
+    for name, base, args, line in extract_calls(toks):
+        if name in ("release", "unlock") and base:
+            return base.rstrip(".->:")
+    return None
+
+
+# --------------------------------------------------------------------------
+# Diagnostics
+# --------------------------------------------------------------------------
+
+class Diag:
+    __slots__ = ("check", "relpath", "line", "msg")
+
+    def __init__(self, check, relpath, line, msg):
+        self.check = check
+        self.relpath = relpath
+        self.line = line
+        self.msg = msg
+
+    def key(self):
+        return (self.relpath, self.line, self.check, self.msg)
+
+
+# --------------------------------------------------------------------------
+# Checks 1+2: lock-order cycles and blocking-under-lock
+# --------------------------------------------------------------------------
+
+HOT_DIRS = ("src/uring/", "src/io/", "src/net/")
+
+# Calls that can block the calling thread (syscalls, waits, sleeps —
+# and the RS_* log macros, which write(2) to stderr under the hood).
+BLOCKING_CALLS = {
+    "read", "pread", "pread64", "readv", "preadv", "preadv2",
+    "write", "pwrite", "pwrite64", "writev", "pwritev", "pwritev2",
+    "recv", "recvmsg", "recvfrom", "send", "sendmsg", "sendto",
+    "accept", "accept4", "connect",
+    "poll", "ppoll", "select", "epoll_wait",
+    "io_uring_enter", "submit_and_wait", "wait_cqe",
+    "io_uring_wait_cqe", "io_uring_wait_cqe_timeout",
+    "io_uring_submit_and_wait",
+    "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until",
+    "fsync", "fdatasync", "sync_file_range",
+    "RS_WARN", "RS_INFO", "RS_ERROR",
+    "wait", "wait_for",
+}
+
+# wait/wait_for legitimately hold the mutex they are handed (the
+# CondVar releases it); only *other* held locks are a violation.
+CONDVAR_WAITS = {"wait", "wait_for", "wait_until"}
+
+
+def gather_lock_events(program):
+    """One walk over every function body: returns
+    (func_direct_acquires, acq_events, call_events)."""
+    func_direct = defaultdict(set)
+    acq_events = []    # (func, site, held_list)
+    call_events = []   # (func, name, base, args, line, held_list, env)
+    for fi in program.files.values():
+        if fi.relpath == "src/util/sync.h":
+            # the lock primitives themselves: MutexLock's constructor
+            # calling mu_.lock() is the mechanism, not an acquisition
+            # scope to order-check.
+            continue
+        for fn in fi.functions:
+            env = TypeEnv(fn, program, fi)
+
+            def on_acquire(site, held, fn=fn):
+                func_direct[(fn.cls, fn.name)].add(site.lock_id)
+                acq_events.append((fn, site, list(held)))
+
+            def on_call(name, base, args, line, held, fn=fn, env=env):
+                call_events.append(
+                    (fn, name, base, args, line, list(held), env))
+
+            lock_walk(fn, env, program, fi, on_acquire, on_call)
+    return func_direct, acq_events, call_events
+
+
+def callee_keys(fn, name, base, env):
+    """Resolve a call site to candidate function keys (cls, name).
+    An unresolvable receiver yields nothing: propagating lock sets
+    through every same-named method in the program would weld
+    unrelated classes into phantom cycles."""
+    base = (base or "").rstrip(".->:")
+    if base in ("", "this"):
+        keys = [(None, name)]
+        if fn.cls:
+            keys.append((fn.cls, name))
+        return keys
+    if "::" in base:
+        cls = base.split("::")[-1]
+        return [(cls, name)]
+    if "." in base or "->" in base or "<expr>" in base:
+        return []
+    cls = env.resolve_base(base)
+    return [(cls, name)] if cls else []
+
+
+def transitive_acquires(func_direct, call_events):
+    """Fixpoint: every lock a function may acquire through calls.
+    Functions are keyed by (owning class, name); calls only propagate
+    when the receiver resolves to that key."""
+    callees = defaultdict(set)
+    for fn, name, base, _args, _line, _held, env in call_events:
+        for key in callee_keys(fn, name, base, env):
+            callees[(fn.cls, fn.name)].add(key)
+    closure = {k: set(s) for k, s in func_direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for fkey, callee_set in callees.items():
+            acc = closure.setdefault(fkey, set())
+            before = len(acc)
+            for ckey in callee_set:
+                if ckey != fkey and ckey in closure:
+                    acc |= closure[ckey]
+            if len(acc) != before:
+                changed = True
+    return closure
+
+
+def resolved(lock_id):
+    return not lock_id.startswith("?")
+
+
+def build_lock_graph(func_direct, acq_events, call_events):
+    """Edge (a, b): lock b acquired while a is held. Value: the first
+    (relpath, line, via) site establishing the edge."""
+    closure = transitive_acquires(func_direct, call_events)
+    edges = {}
+
+    def add_edge(a, b, relpath, line, via):
+        if a == b or not (resolved(a) and resolved(b)):
+            return
+        cur = edges.get((a, b))
+        if cur is None or (relpath, line) < (cur[0], cur[1]):
+            edges[(a, b)] = (relpath, line, via)
+
+    self_deadlocks = []
+    for fn, site, held in acq_events:
+        for h in held:
+            if h.lock_id == site.lock_id and resolved(h.lock_id):
+                self_deadlocks.append((fn, site, h))
+            else:
+                add_edge(h.lock_id, site.lock_id, site.relpath,
+                         site.line, "direct")
+    for fn, name, base, _args, line, held, env in call_events:
+        if not held:
+            continue
+        for key in callee_keys(fn, name, base, env):
+            for lid in closure.get(key, ()):
+                for h in held:
+                    add_edge(h.lock_id, lid, fn.relpath, line,
+                             f"via call to {name}()")
+    return edges, self_deadlocks
+
+
+def find_cycles(edges):
+    """Tarjan SCC; returns list of node-lists (size > 1)."""
+    graph = defaultdict(set)
+    for (a, b) in edges:
+        graph[a].add(b)
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    def strongconnect(v):
+        # iterative Tarjan to dodge recursion limits
+        work = [(v, iter(sorted(graph.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph.get(w, ())))))
+                    advanced = True
+                    break
+                elif w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    sccs.append(sorted(scc))
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return sccs
+
+
+def check_lock_order(program, diags):
+    func_direct, acq_events, call_events = gather_lock_events(program)
+    edges, self_deadlocks = build_lock_graph(
+        func_direct, acq_events, call_events)
+    for fn, site, h in self_deadlocks:
+        diags.append(Diag(
+            "lock-order", site.relpath, site.line,
+            f"re-acquisition of {site.lock_id} while already held "
+            f"(self-deadlock on a non-recursive rs::Mutex) in "
+            f"{fn.qual}()"))
+    for scc in find_cycles(edges):
+        scc_set = set(scc)
+        cycle_edges = sorted(
+            ((a, b), v) for (a, b), v in edges.items()
+            if a in scc_set and b in scc_set)
+        (a, b), (relpath, line, via) = min(
+            cycle_edges, key=lambda kv: (kv[1][0], kv[1][1]))
+        order = " -> ".join(scc + [scc[0]])
+        detail = "; ".join(
+            f"{ea}->{eb} at {v[0]}:{v[1]} ({v[2]})"
+            for (ea, eb), v in cycle_edges)
+        diags.append(Diag(
+            "lock-order", relpath, line,
+            f"lock-order cycle {order}: inconsistent acquisition order "
+            f"can deadlock [{detail}]"))
+    return edges
+
+
+def check_lock_blocking(program, diags):
+    _fd, _acq, call_events = gather_lock_events(program)
+    for fn, name, base, args, line, held, env in call_events:
+        if not held or name not in BLOCKING_CALLS:
+            continue
+        if not fn.relpath.startswith(HOT_DIRS):
+            continue
+        held_ids = [h.lock_id for h in held]
+        if name in CONDVAR_WAITS:
+            # the first mutex argument is released for the duration
+            waited = None
+            for arg in args:
+                lid = resolve_lock_id(arg, env, program,
+                                      program.files[fn.relpath])
+                if lid and not lid.startswith("?expr"):
+                    waited = lid
+                    break
+            held_ids = [h for h in held_ids if h != waited]
+            if not held_ids:
+                continue
+        diags.append(Diag(
+            "lock-blocking", fn.relpath, line,
+            f"blocking call {name}() while holding "
+            f"{', '.join(sorted(set(held_ids)))} in {fn.qual}() "
+            f"(hot path: {fn.relpath.split('/')[1]})"))
+
+
+# --------------------------------------------------------------------------
+# Check 3: status-flow
+# --------------------------------------------------------------------------
+
+STATUS_TYPE_NAMES = ("Status", "Result")
+
+
+def parse_status_decl(toks):
+    """If this raw statement declares a local rs::Status / rs::Result,
+    return (name, init_toks or None, line); else None."""
+    i = 0
+    n = len(toks)
+    while i < n and toks[i][1] in ("const", "rs", "::", "static"):
+        i += 1
+    if i >= n or toks[i][0] != "id" or \
+            toks[i][1] not in STATUS_TYPE_NAMES:
+        return None
+    line = toks[i][2]
+    i = skip_template_args(toks, i + 1)
+    while i < n and toks[i][1] in ("&", "*", "const"):
+        i += 1
+    if i >= n or toks[i][0] != "id" or toks[i][1] in KEYWORDS:
+        return None
+    name = toks[i][1]
+    j = i + 1
+    if j >= n or toks[j][1] == ";":
+        return name, None, line
+    if toks[j][1] == "=":
+        return name, toks[j + 1:], line
+    if toks[j][1] in ("(", "{"):
+        close = match_close(toks, j, toks[j][1],
+                            ")" if toks[j][1] == "(" else "}")
+        return name, toks[j + 1:close], line
+    return None
+
+
+def rhs_is_ok_literal(rhs):
+    if rhs is None:
+        return True
+    body = [t for t in rhs if t[1] != ";"]
+    return toks_text(body).replace(" ", "") in (
+        "Status::ok()", "rs::Status::ok()")
+
+
+def path_sids(path):
+    return {sid for sid, _arm in path}
+
+
+def disjoint_paths(p1, p2):
+    arms1 = dict(p1)
+    for sid, arm in p2:
+        if sid in arms1 and arms1[sid] != arm:
+            return True
+    return False
+
+
+def check_status_flow(program, diags):
+    for fi in program.files.values():
+        for fn in fi.functions:
+            stmts = list(iter_stmts(fn.body))
+            sid_kind = {}
+            for stmt, _path in stmts:
+                if stmt.sid is not None:
+                    sid_kind[stmt.sid] = stmt.kind
+            declared = {}   # name -> decl line
+            events = defaultdict(list)  # name -> (idx,kind,path,line,rhs)
+            for idx, (stmt, path) in enumerate(stmts):
+                toks = stmt_token_stream(stmt)
+                decl = parse_status_decl(toks) if stmt.kind == "raw" \
+                    else None
+                if decl:
+                    name, init, line = decl
+                    if name not in declared:
+                        declared[name] = line
+                        if init is not None:
+                            events[name].append(
+                                (idx, "assign", path, line, init))
+                        # uses of *other* status vars inside the init
+                        init_ids = {t[1] for t in (init or [])
+                                    if t[0] == "id"}
+                        for other in declared:
+                            if other != name and other in init_ids:
+                                events[other].append(
+                                    (idx, "use", path, line, None))
+                        continue
+                # plain re-assignment:  name = <rhs> ;
+                if stmt.kind == "raw" and len(toks) >= 3 and \
+                        toks[0][0] == "id" and toks[0][1] in declared \
+                        and toks[1][1] == "=":
+                    name = toks[0][1]
+                    rhs = toks[2:]
+                    rhs_ids = {t[1] for t in rhs if t[0] == "id"}
+                    if name in rhs_ids:
+                        events[name].append(
+                            (idx, "use", path, toks[0][2], None))
+                    for other in declared:
+                        if other != name and other in rhs_ids:
+                            events[other].append(
+                                (idx, "use", path, toks[0][2], None))
+                    events[name].append(
+                        (idx, "assign", path, toks[0][2], rhs))
+                    continue
+                # anything else mentioning a tracked var is a use
+                seen_here = set()
+                for k, t, line in toks:
+                    if k == "id" and t in declared and \
+                            t not in seen_here:
+                        seen_here.add(t)
+                        events[t].append((idx, "use", path, line, None))
+                # a structured stmt's own sid marks uses in its
+                # condition as belonging to its extent for loop leniency
+            for name, evs in events.items():
+                evs.sort(key=lambda e: e[0])
+                # loop sids that contain (or head) a use of this var
+                loop_use_sids = set()
+                for idx, kind, path, line, _rhs in evs:
+                    if kind != "use":
+                        continue
+                    for sid in path_sids(path):
+                        if sid_kind.get(sid) == "loop":
+                            loop_use_sids.add(sid)
+                    stmt = stmts[idx][0]
+                    if stmt.kind == "loop" and stmt.sid is not None:
+                        loop_use_sids.add(stmt.sid)
+                pending = None  # (idx, path, line)
+                for idx, kind, path, line, rhs in evs:
+                    if kind == "use":
+                        if pending and not disjoint_paths(
+                                pending[1], path):
+                            pending = None
+                        continue
+                    # assign
+                    if pending:
+                        p_idx, p_path, p_line = pending
+                        lenient = any(
+                            sid in loop_use_sids
+                            for sid in path_sids(p_path)
+                            if sid_kind.get(sid) == "loop")
+                        if not disjoint_paths(p_path, path) and \
+                                not lenient:
+                            diags.append(Diag(
+                                "status-flow", fi.relpath, p_line,
+                                f"Status '{name}' assigned here is "
+                                f"overwritten at line {line} without "
+                                f"being checked, returned, or "
+                                f"discarded in {fn.qual}()"))
+                    if rhs_is_ok_literal(rhs):
+                        pending = None
+                    else:
+                        pending = (idx, path, line)
+                if pending:
+                    p_idx, p_path, p_line = pending
+                    lenient = any(
+                        sid in loop_use_sids
+                        for sid in path_sids(p_path)
+                        if sid_kind.get(sid) == "loop")
+                    if not lenient:
+                        diags.append(Diag(
+                            "status-flow", fi.relpath, p_line,
+                            f"Status '{name}' assigned here reaches "
+                            f"end of {fn.qual}() without being "
+                            f"checked, returned, or discarded"))
+
+
+# --------------------------------------------------------------------------
+# Check 4: sqe-lifetime
+# --------------------------------------------------------------------------
+
+def is_sqe_base(base, env):
+    """Does `base` name an io_uring_sqe* in this function?"""
+    if not base:
+        return False
+    raw = env.raw.get(base, "")
+    if "io_uring_sqe" in raw:
+        return True
+    # unknown type but unmistakable name (fixtures, terse code)
+    return raw == "" and base not in env.vars and \
+        re.fullmatch(r"sqe\w*", base) is not None
+
+
+def check_sqe_lifetime(program, diags):
+    for fi in program.files.values():
+        for fn in fi.functions:
+            env = TypeEnv(fn, program, fi)
+            in_ring_prep = (
+                fi.relpath == "src/uring/ring.cpp"
+                and fn.cls == "Ring" and fn.name.startswith("prep_"))
+            io_net = fi.relpath.startswith(("src/io/", "src/net/"))
+            for stmt, _path in iter_stmts(fn.body):
+                toks = stmt_token_stream(stmt)
+                # (a) direct store:  <sqe-expr> -> user_data =
+                for i in range(len(toks) - 2):
+                    if toks[i][1] in ("->", ".") and \
+                            toks[i + 1][1] == "user_data" and \
+                            toks[i + 2][1] == "=":
+                        base = toks[i - 1][1] \
+                            if i > 0 and toks[i - 1][0] == "id" else None
+                        if not is_sqe_base(base, env):
+                            continue
+                        if in_ring_prep:
+                            continue
+                        diags.append(Diag(
+                            "sqe-lifetime", fi.relpath,
+                            toks[i + 1][2],
+                            f"store to {base}->user_data outside "
+                            f"Ring::prep_* in {fn.qual}(): only "
+                            f"src/uring/ring.cpp may stamp SQE "
+                            f"user_data (slot+generation discipline)"))
+                # (b) caller-visible id passed into prep_*
+                if not io_net:
+                    continue
+                for name, _b, args, line in extract_calls(toks):
+                    if not name.startswith("prep_"):
+                        continue
+                    for arg in args:
+                        hit = next((t for t in arg
+                                    if t[0] == "id" and
+                                    t[1] == "user_data"), None)
+                        if hit is None:
+                            continue
+                        diags.append(Diag(
+                            "sqe-lifetime", fi.relpath, hit[2],
+                            f"caller-visible user_data passed into "
+                            f"{name}() in {fn.qual}(): submit the "
+                            f"slot index and keep the caller id in "
+                            f"the pending table"))
+                        break
+
+
+# --------------------------------------------------------------------------
+# Check 5: decoder-bounds (src/net/wire.cpp)
+# --------------------------------------------------------------------------
+
+LOAD_WIDTHS = {"load_le16": 2, "load_le32": 4, "load_le64": 8,
+               "load_le8": 1}
+SYM = object()   # symbolically-guarded credit (need(<non-const expr>))
+
+
+def guard_credit(cond_toks, constants):
+    """size()/remaining() < K early-return guard -> K, SYM, or None.
+    split_top treats '<' as a template opener, so find the comparison
+    operator by hand: a '<' at paren depth 0 whose left side calls
+    size()/remaining()."""
+    depth = 0
+    for i, (k, t, _) in enumerate(cond_toks):
+        if t in ("(", "["):
+            depth += 1
+        elif t in (")", "]"):
+            depth -= 1
+        elif t in ("<", "<=") and depth == 0:
+            lhs, rhs = cond_toks[:i], cond_toks[i + 1:]
+            lhs_ids = [x[1] for x in lhs if x[0] == "id"]
+            if not any(x in ("size", "remaining") for x in lhs_ids):
+                return None
+            v = eval_const(rhs, constants)
+            if v is not None and t == "<=":
+                v += 1
+            return v if v is not None else SYM
+    return None
+
+
+def stmt_is_return_like(stmt):
+    if stmt.kind == "raw":
+        return any(t[1] in ("return", "RS_RETURN_IF_ERROR")
+                   for t in stmt.toks)
+    if stmt.kind == "block" and stmt.body:
+        return any(stmt_is_return_like(s) for s in stmt.body.stmts)
+    return False
+
+
+def load_offset(arg_toks, constants):
+    """Byte offset of a load_le* argument relative to its checked base:
+    the constant sum of depth-0 `+ C` terms (pos_/data()/p terms count
+    as 0). Returns int or SYM when a term is non-constant."""
+    terms = split_top(arg_toks, "+")
+    off = 0
+    for term in terms:
+        ids = [t[1] for t in term if t[0] == "id"]
+        if any(x in ("pos_", "data", "p", "buf", "buf_", "payload",
+                     "base", "ptr", "begin") for x in ids):
+            continue
+        k = eval_const(term, constants)
+        if k is None:
+            return SYM
+        off += k
+    return off
+
+
+def check_decoder_bounds(program, diags):
+    for fi in program.files.values():
+        if not (fi.relpath == "src/net/wire.cpp"
+                or fi.relpath.endswith("wire.cpp")
+                and "/net/" in "/" + fi.relpath):
+            continue
+        constants = dict(program.constants)
+        constants.update(fi.constants)
+        for fn in fi.functions:
+            avail = [0]           # numeric credit
+            sym = [False]         # symbolically guarded
+
+            def grant(k):
+                if k is SYM:
+                    sym[0] = True
+                elif k is not None:
+                    avail[0] = max(avail[0], k)
+
+            def consume(k):
+                if k is SYM or k is None:
+                    if sym[0]:
+                        sym[0] = False
+                    avail[0] = 0
+                else:
+                    avail[0] = max(avail[0] - k, 0)
+                    if sym[0] and k:
+                        pass  # numeric advance under sym guard: keep
+
+            def scan_calls(toks, line_default):
+                for name, _b, args, line in extract_calls(toks):
+                    if name == "need" and len(args) == 1:
+                        k = eval_const(args[0], constants)
+                        grant(k if k is not None else SYM)
+                    elif name in LOAD_WIDTHS:
+                        w = LOAD_WIDTHS[name]
+                        if not args:
+                            continue
+                        off = load_offset(args[0], constants)
+                        if sym[0]:
+                            continue
+                        if off is SYM:
+                            diags.append(Diag(
+                                "decoder-bounds", fi.relpath, line,
+                                f"{name}() at a non-constant offset "
+                                f"without a symbolic size guard in "
+                                f"{fn.qual}()"))
+                        elif off + w > avail[0]:
+                            diags.append(Diag(
+                                "decoder-bounds", fi.relpath, line,
+                                f"{name}() reads bytes "
+                                f"[{off}, {off + w}) but only "
+                                f"{avail[0]} byte(s) are covered by "
+                                f"a size check in {fn.qual}()"))
+
+            def scan_advance(stmt):
+                toks = stmt.toks if stmt.kind == "raw" else []
+                for i, (k, t, line) in enumerate(toks):
+                    if t == "pos_" and i + 1 < len(toks) and \
+                            toks[i + 1][1] == "+=":
+                        amt = eval_const(
+                            [x for x in toks[i + 2:]
+                             if x[1] != ";"], constants)
+                        consume(amt if amt is not None else SYM)
+                        return
+
+            def walk(block):
+                for stmt in block.stmts:
+                    if stmt.kind == "if" and stmt.cond and \
+                            stmt.body and \
+                            any(stmt_is_return_like(s)
+                                for s in stmt.body.stmts) and \
+                            stmt.orelse is None:
+                        credit = guard_credit(stmt.cond, constants)
+                        if credit is not None:
+                            # scan guard body for nested loads anyway
+                            for s in stmt.body.stmts:
+                                scan_calls(stmt_token_stream(s),
+                                           s.line)
+                            grant(credit)
+                            continue
+                    scan_calls(stmt_token_stream(stmt), stmt.line)
+                    scan_advance(stmt)
+                    if stmt.kind in ("if", "loop", "switch", "block"):
+                        if stmt.body is not None:
+                            walk(stmt.body)
+                        if stmt.orelse is not None:
+                            walk(stmt.orelse)
+
+            walk(fn.body)
+
+
+# --------------------------------------------------------------------------
+# Waivers
+# --------------------------------------------------------------------------
+
+def waived(fi, line, check):
+    """rs-analyze/rs-lint allow() on the line or the contiguous comment
+    block above it (same convention as rs_lint.allowed)."""
+    names = {check} | {a for a, c in CHECK_ALIASES.items() if c == check}
+
+    def line_allows(ln):
+        for c in fi.comments.get(ln, ()):
+            m = ALLOW_RE.search(c)
+            if m and names & set(m.group("rules").split(",")):
+                return True
+        return False
+
+    if line_allows(line):
+        return True
+    ln = line - 1
+    while ln > 0 and ln in fi.comments and ln not in fi.token_lines:
+        if line_allows(ln):
+            return True
+        ln -= 1
+    return False
+
+
+# --------------------------------------------------------------------------
+# Frontends
+# --------------------------------------------------------------------------
+
+def parse_builtin(relpath, text):
+    toks, comments, token_lines = tokenize(text)
+    return FileParser(relpath, toks, comments, token_lines).parse()
+
+
+class ClangFrontend:
+    """clang.cindex-backed frontend. Function inventory (extents,
+    qualified names, parameter types) and class fields come from the
+    real AST; each function body's statement tree is built by running
+    the shared StmtParser over the body's token stream, so both
+    frontends feed identical check code. Constants and file-scope
+    mutexes are merged from a builtin parse of the same text (they are
+    plain declarations the microparser reads exactly)."""
+
+    #: libclang majors this tool is validated against; CI pins one of
+    #: these via the python3-clang / libclang-<N>-dev packages.
+    SUPPORTED_MAJORS = (14, 15, 16, 17, 18)
+
+    def __init__(self, compile_commands_dir=None):
+        import clang.cindex as ci  # may raise ImportError
+        self.ci = ci
+        self.index = ci.Index.create()  # may raise LibclangError
+        major = None
+        try:
+            ver = ci.Config().lib.clang_getClangVersion()
+            m = re.search(r"version (\d+)", str(ver))
+            major = int(m.group(1)) if m else None
+        except Exception:
+            pass
+        if major is not None and major not in self.SUPPORTED_MAJORS:
+            print(f"rs_analyze: warning: libclang {major} is outside "
+                  f"the validated range {self.SUPPORTED_MAJORS}",
+                  file=sys.stderr)
+        self.ccdb = None
+        if compile_commands_dir:
+            try:
+                self.ccdb = ci.CompilationDatabase.fromDirectory(
+                    str(compile_commands_dir))
+            except Exception:
+                print(f"rs_analyze: warning: no usable "
+                      f"compile_commands.json in "
+                      f"{compile_commands_dir}; parsing with default "
+                      f"flags", file=sys.stderr)
+
+    def _args_for(self, path):
+        args = ["-std=c++20", "-xc++"]
+        if self.ccdb is not None:
+            cmds = self.ccdb.getCompileCommands(str(path))
+            if cmds:
+                raw = list(cmds[0].arguments)[1:-1]
+                args = [a for a in raw
+                        if not a.startswith(("-o", "-c"))]
+        return args
+
+    def parse_file(self, path, relpath, text):
+        ci = self.ci
+        finfo = parse_builtin(relpath, text)  # constants, comments, ...
+        tu = self.index.parse(
+            str(path), args=self._args_for(path),
+            unsaved_files=[(str(path), text)],
+            options=ci.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+        functions = []
+        classes = {c.name: c for c in finfo.classes}
+
+        def in_main_file(cur):
+            loc = cur.location
+            return loc.file is not None and \
+                str(loc.file) == str(path)
+
+        def body_func(cur, cls_name, ns):
+            body = None
+            for ch in cur.get_children():
+                if ch.kind == ci.CursorKind.COMPOUND_STMT:
+                    body = ch
+            if body is None:
+                return
+            ext = body.extent
+            start = ext.start
+            # align line numbers by padding the slice
+            offset = _line_col_to_offset(text, start.line, start.column)
+            end_off = _line_col_to_offset(
+                text, ext.end.line, ext.end.column)
+            slice_text = "\n" * (start.line - 1) + \
+                text[offset:end_off]
+            btoks, _c, _tl = tokenize(slice_text)
+            if not btoks or btoks[0][1] != "{":
+                return
+            block, _ = StmtParser().parse_block(btoks, 0)
+            params = [(a.type.spelling, a.spelling or None)
+                      for a in cur.get_arguments()]
+            requires = []
+            for ch in cur.get_children():
+                if ch.kind == ci.CursorKind.ANNOTATE_ATTR and \
+                        "requires" in (ch.spelling or "").lower():
+                    requires.append(ch.spelling)
+            # RS_REQUIRES is a clang attribute macro; recover its args
+            # from the source between the param list and the body.
+            m = re.search(r"RS_REQUIRES\(([^)]*)\)",
+                          _decl_head(text, cur, offset))
+            if m:
+                requires.append(m.group(1))
+            qual = cur.spelling
+            p = cur.semantic_parent
+            quals = [qual]
+            while p is not None and p.kind != \
+                    ci.CursorKind.TRANSLATION_UNIT:
+                if p.spelling:
+                    quals.append(p.spelling)
+                p = p.semantic_parent
+            functions.append(FuncInfo(
+                qual="::".join(reversed(quals)), name=cur.spelling,
+                cls=cls_name, relpath=relpath,
+                line=start.line, params=params,
+                requires=requires, body=block))
+
+        def visit(cur, cls_name, ns):
+            for ch in cur.get_children():
+                k = ch.kind
+                if k in (ci.CursorKind.NAMESPACE,):
+                    visit(ch, cls_name, ns + [ch.spelling])
+                elif k in (ci.CursorKind.CLASS_DECL,
+                           ci.CursorKind.STRUCT_DECL) and \
+                        ch.is_definition() and in_main_file(ch):
+                    cname = ch.spelling
+                    cinfo = classes.get(cname)
+                    if cinfo is None:
+                        cinfo = ClassInfo(cname, relpath)
+                        classes[cname] = cinfo
+                    for f in ch.get_children():
+                        if f.kind == ci.CursorKind.FIELD_DECL:
+                            tsp = f.type.spelling
+                            cinfo.members[f.spelling] = tsp
+                            if re.search(r"\bMutex\b", tsp) and \
+                                    "MutexLock" not in tsp:
+                                cinfo.mutex_members.add(f.spelling)
+                    visit(ch, cname, ns)
+                elif k in (ci.CursorKind.CXX_METHOD,
+                           ci.CursorKind.FUNCTION_DECL,
+                           ci.CursorKind.CONSTRUCTOR,
+                           ci.CursorKind.DESTRUCTOR) and \
+                        ch.is_definition() and in_main_file(ch):
+                    owner = cls_name
+                    sp = ch.semantic_parent
+                    if sp is not None and sp.kind in (
+                            ci.CursorKind.CLASS_DECL,
+                            ci.CursorKind.STRUCT_DECL):
+                        owner = sp.spelling
+                    body_func(ch, owner, ns)
+
+        visit(tu.cursor, None, [])
+        finfo.functions = functions
+        finfo.classes = list(classes.values())
+        return finfo
+
+
+def _line_col_to_offset(text, line, col):
+    off = 0
+    for _ in range(line - 1):
+        nl = text.find("\n", off)
+        if nl < 0:
+            return len(text)
+        off = nl + 1
+    return min(off + col - 1, len(text))
+
+
+def _decl_head(text, cur, body_offset):
+    start = _line_col_to_offset(
+        text, cur.extent.start.line, cur.extent.start.column)
+    return text[start:body_offset]
+
+
+def make_frontend(kind, compile_commands_dir):
+    """Returns (parse_file callable, frontend_name)."""
+    if kind in ("auto", "clang"):
+        try:
+            fe = ClangFrontend(compile_commands_dir)
+
+            def parse_clang(path, relpath, text, fe=fe):
+                try:
+                    return fe.parse_file(path, relpath, text)
+                except Exception as e:
+                    print(f"rs_analyze: warning: clang frontend "
+                          f"failed on {relpath} ({e}); builtin "
+                          f"fallback", file=sys.stderr)
+                    return parse_builtin(relpath, text)
+
+            return parse_clang, "clang"
+        except Exception as e:
+            if kind == "clang":
+                print(f"rs_analyze: error: --frontend clang requested "
+                      f"but clang.cindex is unavailable: {e}",
+                      file=sys.stderr)
+                raise SystemExit(2)
+            print(f"rs_analyze: warning: clang.cindex unavailable "
+                  f"({e.__class__.__name__}); using builtin frontend "
+                  f"(install python3-clang + libclang for AST-exact "
+                  f"parsing)", file=sys.stderr)
+    return (lambda path, relpath, text: parse_builtin(relpath, text),
+            "builtin")
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+CHECK_FUNCS = {
+    "lock-order": check_lock_order,
+    "lock-blocking": check_lock_blocking,
+    "status-flow": check_status_flow,
+    "sqe-lifetime": check_sqe_lifetime,
+    "decoder-bounds": check_decoder_bounds,
+}
+
+FIXTURE_HEADER_RE = re.compile(
+    r"rs-analyze-fixture:\s*treat-as=(?P<treat>\S+)"
+    r"(?:\s+checks=(?P<checks>[\w,-]+))?")
+EXPECT_RE = re.compile(r"//\s*expect:\s*(?P<checks>[\w,-]+)")
+
+
+def default_sources(root):
+    out = []
+    for sub in ("src",):
+        base = root / sub
+        if base.is_dir():
+            out.extend(sorted(base.rglob("*.cpp")))
+            out.extend(sorted(base.rglob("*.h")))
+    return out
+
+
+def analyze(program, checks):
+    """Runs the named checks; returns (kept_diags, waived_count,
+    lock_edges or None)."""
+    diags = []
+    edges = None
+    for name in CHECK_NAMES:
+        if name not in checks:
+            continue
+        result = CHECK_FUNCS[name](program, diags)
+        if name == "lock-order":
+            edges = result
+    uniq = {}
+    for d in diags:
+        uniq.setdefault(d.key(), d)
+    kept, waived_n = [], 0
+    for key in sorted(uniq):
+        d = uniq[key]
+        fi = program.files.get(d.relpath)
+        if fi is not None and waived(fi, d.line, d.check):
+            waived_n += 1
+            continue
+        kept.append(d)
+    return kept, waived_n, edges
+
+
+def build_program(paths, root, parse_file, treat_as_override=None):
+    program = Program()
+    for path in paths:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        relpath = treat_as_override
+        if relpath is None:
+            try:
+                relpath = str(path.relative_to(root))
+            except ValueError:
+                relpath = str(path)
+        program.add(parse_file(path, relpath, text))
+    return program
+
+
+def run_fixtures(fixture_dir, root, parse_file, json_out):
+    """Each fixture file is analyzed standalone. Its header names the
+    path identity it impersonates and the checks to run; `// expect:`
+    comments mark the exact line + check of every expected diagnostic.
+    A fixture with no expect markers must come out clean."""
+    failures = []
+    report = []
+    files = sorted(p for p in Path(fixture_dir).rglob("*")
+                   if p.suffix in (".cpp", ".h", ".cc"))
+    if not files:
+        print(f"rs_analyze: error: no fixtures under {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    for path in files:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        m = FIXTURE_HEADER_RE.search(text)
+        if not m:
+            failures.append(f"{path.name}: missing rs-analyze-fixture "
+                            f"header")
+            continue
+        treat = m.group("treat")
+        checks = set((m.group("checks") or ",".join(CHECK_NAMES))
+                     .split(","))
+        bad = checks - set(CHECK_NAMES)
+        if bad:
+            failures.append(f"{path.name}: unknown checks {bad}")
+            continue
+        program = build_program([path], root, parse_file,
+                                treat_as_override=treat)
+        kept, _waived, _edges = analyze(program, checks)
+        fi = program.files[treat]
+        expected = set()
+        for ln in sorted(fi.comments):
+            for c in fi.comments[ln]:
+                em = EXPECT_RE.search(c)
+                if not em:
+                    continue
+                # marker on its own line applies to the next code line
+                target = ln
+                if ln not in fi.token_lines:
+                    later = [x for x in fi.token_lines if x > ln]
+                    target = min(later) if later else ln
+                for name in em.group("checks").split(","):
+                    expected.add((target,
+                                  CHECK_ALIASES.get(name, name)))
+        actual = {(d.line, d.check) for d in kept}
+        missing = expected - actual
+        surplus = actual - expected
+        status = "ok"
+        if missing or surplus:
+            status = "FAIL"
+            for line, check in sorted(missing):
+                failures.append(f"{path.name}:{line}: expected "
+                                f"[{check}] diagnostic not produced")
+            for line, check in sorted(surplus):
+                msg = next(d.msg for d in kept
+                           if (d.line, d.check) == (line, check))
+                failures.append(f"{path.name}:{line}: unexpected "
+                                f"[{check}] {msg}")
+        report.append({"fixture": path.name, "treat_as": treat,
+                       "checks": sorted(checks), "status": status,
+                       "expected": len(expected),
+                       "actual": len(actual)})
+        print(f"  {status:4s} {path.name} ({len(expected)} expected, "
+              f"{len(actual)} produced)")
+    if json_out:
+        print(json.dumps({"fixtures": report,
+                          "failures": failures}, indent=2))
+    if failures:
+        print(f"rs_analyze: {len(failures)} fixture failure(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"rs_analyze: {len(report)} fixtures OK")
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="rs_analyze",
+        description="AST-grounded invariant checks for RingSampler "
+                    "(see docs/static_analysis.md)")
+    ap.add_argument("files", nargs="*", type=Path,
+                    help="files to analyze (default: src/**/*.{cpp,h})")
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repository root (default: the checkout "
+                         "containing this script)")
+    ap.add_argument("--checks", default=",".join(CHECK_NAMES),
+                    help="comma-separated subset of: "
+                         + ", ".join(CHECK_NAMES))
+    ap.add_argument("--frontend", choices=("auto", "clang", "builtin"),
+                    default="auto",
+                    help="auto: clang.cindex when available, else the "
+                         "builtin microparser")
+    ap.add_argument("--compile-commands", type=Path, default=None,
+                    help="directory containing compile_commands.json "
+                         "for the clang frontend (e.g. "
+                         "build-threadsafety)")
+    ap.add_argument("--json", action="store_true",
+                    help="machine-readable report on stdout")
+    ap.add_argument("--dump-lock-graph", action="store_true",
+                    help="print every lock-order edge with its "
+                         "establishing site, then exit")
+    ap.add_argument("--fixtures", type=Path, default=None,
+                    help="run the fixture corpus in this directory "
+                         "and verify every expect: marker")
+    args = ap.parse_args(argv)
+
+    checks = set()
+    for name in args.checks.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        name = CHECK_ALIASES.get(name, name)
+        if name not in CHECK_NAMES:
+            print(f"rs_analyze: error: unknown check '{name}'",
+                  file=sys.stderr)
+            return 2
+        checks.add(name)
+
+    cc_dir = args.compile_commands
+    if cc_dir is None:
+        for cand in ("build-threadsafety", "build"):
+            if (args.root / cand / "compile_commands.json").exists():
+                cc_dir = args.root / cand
+                break
+    parse_file, frontend = make_frontend(args.frontend, cc_dir)
+
+    if args.fixtures:
+        return run_fixtures(args.fixtures, args.root, parse_file,
+                            args.json)
+
+    paths = args.files or default_sources(args.root)
+    if not paths:
+        print("rs_analyze: error: nothing to analyze", file=sys.stderr)
+        return 2
+    program = build_program(paths, args.root, parse_file)
+
+    if args.dump_lock_graph:
+        fd, acq, calls = gather_lock_events(program)
+        edges, self_dl = build_lock_graph(fd, acq, calls)
+        for (a, b), (relpath, line, via) in sorted(
+                edges.items(), key=lambda kv: kv[0]):
+            print(f"{a} -> {b}   [{relpath}:{line} {via}]")
+        print(f"# {len(edges)} edges, "
+              f"{len({n for e in edges for n in e})} locks, "
+              f"{len(self_dl)} self-deadlocks")
+        return 0
+
+    kept, waived_n, _edges = analyze(program, checks)
+    if args.json:
+        print(json.dumps({
+            "frontend": frontend,
+            "files": len(program.files),
+            "checks": sorted(checks),
+            "waived": waived_n,
+            "diagnostics": [
+                {"file": d.relpath, "line": d.line, "check": d.check,
+                 "message": d.msg} for d in kept],
+        }, indent=2))
+    else:
+        for d in kept:
+            print(f"{d.relpath}:{d.line}: [{d.check}] {d.msg}")
+        tail = (f"rs_analyze: {len(kept)} finding(s) "
+                f"({waived_n} waived, {len(program.files)} files, "
+                f"{frontend} frontend)")
+        print(tail, file=sys.stderr if kept else sys.stdout)
+    return 1 if kept else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,9 @@ up in review, which is the point):
   void-discard    `(void)call(...)` statements silently swallow Status /
                   Result errors ([[nodiscard]] is why the cast is there
                   at all). Each one needs an inline justification.
+                  Kept as a fast-path pre-check: scripts/rs_analyze.py's
+                  status-flow check is the AST-grounded version (it also
+                  catches overwrite-before-check, which no regex can).
 
   sqe-user-data   io_uring user_data discipline. (a) SQE user_data may
                   only be written by Ring::prep_* (src/uring/ring.cpp);
@@ -26,6 +29,17 @@ up in review, which is the point):
                   older op with the same value is still in flight. This
                   covers every prep flavor: disk (read/readv/read_fixed/
                   nop) and network (accept/recv/send/timeout).
+                  Kept as a fast-path pre-check: rs_analyze's
+                  sqe-lifetime check resolves the SQE's declared type
+                  and follows multi-line calls, so it has no
+                  name-pattern blind spots.
+
+  metric-name-docs  every `io.*` / `net.*` counter/gauge/histogram name
+                  registered as a complete string literal in src/ must
+                  appear (backticked) in the docs/observability.md
+                  catalog. Placeholder rows like `io.<backend>.requests`
+                  match any instantiation. Catches the doc drift that
+                  every new metric family otherwise ships.
 
   raw-endian      raw byte-order calls (htons/htonl/ntohs/ntohl and the
                   htobe*/be*toh/htole*/le*toh families) are forbidden in
@@ -86,15 +100,83 @@ DATE_TOKENS = (
 )
 
 
-def is_comment_or_string_hit(line: str, match_start: int) -> bool:
-    """Crude but effective: ignore hits inside // comments and quotes."""
-    comment = line.find("//")
-    if 0 <= comment < match_start:
-        return True
-    # Inside a string literal if an odd number of unescaped quotes precede.
-    prefix = line[:match_start]
-    return prefix.count('"') - prefix.count('\\"') * 2 % 2 == 1 \
-        if prefix.count('"') % 2 == 1 else False
+def mask_comments_and_strings(text: str, keep_strings: bool = False) -> list:
+    """Returns the file's lines with comment bodies and string/char
+    literal contents blanked (newlines preserved, so line numbers and
+    column positions still line up). Rules match against these masked
+    lines; waiver lookup reads the originals. With keep_strings=True
+    only comments are blanked — for rules (metric-name-docs) that match
+    the literal contents themselves.
+
+    This is a whole-file state machine, not a per-line heuristic: the
+    old is_comment_or_string_hit() had no memory between lines, so a
+    token inside a multi-line /* */ block comment or a raw string
+    literal was treated as live code."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            seg = text[i:j]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j
+            continue
+        if c == '"':
+            prev = text[i - 1] if i > 0 else ""
+            if prev == "R" and (i < 2 or not (text[i - 2].isalnum() or
+                                              text[i - 2] == "_")):
+                m = re.match(r'"([^()\\ \n]{0,16})\(', text[i:])
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    j = text.find(close, i + m.end())
+                    j = n if j < 0 else j + len(close)
+                    seg = text[i:j]
+                    if keep_strings:
+                        out.append(seg)
+                    else:
+                        out.append('"' + "".join(
+                            ch if ch == "\n" else " "
+                            for ch in seg[1:-1]) + '"' if len(seg) >= 2
+                            else seg)
+                    i = j
+                    continue
+            j = i + 1
+            while j < n and text[j] not in ('"', "\n"):
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            j = min(j, n - 1) if j < n else n - 1
+            if keep_strings:
+                out.append(text[i:j + 1])
+            else:
+                out.append('"' + " " * max(0, j - i - 1) +
+                           (text[j] if j < n else ""))
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] not in ("'", "\n"):
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            if keep_strings:
+                out.append(text[i:min(j + 1, n)])
+            else:
+                out.append("'" + " " * max(0, j - i - 1) +
+                           (text[j] if j < n else ""))
+            i = j + 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out).splitlines()
 
 
 class Linter:
@@ -123,10 +205,12 @@ class Linter:
     def lint_file(self, path: Path):
         rel = path.relative_to(self.root).as_posix()
         try:
-            lines = path.read_text(errors="replace").splitlines()
+            text = path.read_text(errors="replace")
         except OSError as e:
             self.report(path, 0, "io", f"unreadable: {e}")
             return
+        lines = text.splitlines()          # originals: waiver lookup
+        masked = mask_comments_and_strings(text)   # rules match these
 
         in_src = rel.startswith("src/")
         in_bench = rel.startswith("bench/")
@@ -137,12 +221,11 @@ class Linter:
         in_net = rel.startswith("src/net/")
         is_wire_h = rel == "src/net/wire.h"
 
-        for lineno, line in enumerate(lines, 1):
+        for lineno, line in enumerate(masked, 1):
             # raw-mutex: src/ only, sync.h exempt.
             if in_src and not is_sync_h:
                 m = re.search(RAW_MUTEX_TOKENS, line)
-                if m and not is_comment_or_string_hit(line, m.start()) \
-                        and not self.allowed(lines, lineno - 1, "raw-mutex"):
+                if m and not self.allowed(lines, lineno - 1, "raw-mutex"):
                     self.report(path, lineno, "raw-mutex",
                                 f"{m.group(0)} outside util/sync.h — use "
                                 "rs::Mutex/MutexLock/CondVar so "
@@ -150,10 +233,10 @@ class Linter:
 
             # void-discard: a (void)call(...) statement discarding a result.
             if in_src or in_bench:
-                m = re.search(r"\(void\)\s*[A-Za-z_][\w:]*[\w\].\->]*\s*\(",
-                              line)
-                if m and not is_comment_or_string_hit(line, m.start()) \
-                        and not self.allowed(lines, lineno - 1, "void-discard"):
+                m = re.search(
+                    r"\(void\)\s*(?:::)?[A-Za-z_][\w:]*[\w\].\->]*\s*\(",
+                    line)
+                if m and not self.allowed(lines, lineno - 1, "void-discard"):
                     self.report(path, lineno, "void-discard",
                                 "discarded call result — justify with "
                                 "// rs-lint: allow(void-discard) <why>")
@@ -161,8 +244,7 @@ class Linter:
             # sqe-user-data (a): SQE user_data writes outside ring.cpp.
             if in_src and not is_ring_cpp:
                 m = re.search(r"sqe\s*->\s*user_data\s*=", line)
-                if m and not is_comment_or_string_hit(line, m.start()) \
-                        and not self.allowed(lines, lineno - 1, "sqe-user-data"):
+                if m and not self.allowed(lines, lineno - 1, "sqe-user-data"):
                     self.report(path, lineno, "sqe-user-data",
                                 "SQE user_data may only be set via "
                                 "Ring::prep_* (src/uring/ring.cpp)")
@@ -185,8 +267,7 @@ class Linter:
             # raw-endian: byte-order conversions outside net/wire.h.
             if (in_src or in_bench) and not is_wire_h:
                 m = re.search(ENDIAN_TOKENS, line)
-                if m and not is_comment_or_string_hit(line, m.start()) \
-                        and not self.allowed(lines, lineno - 1, "raw-endian"):
+                if m and not self.allowed(lines, lineno - 1, "raw-endian"):
                     self.report(path, lineno, "raw-endian",
                                 f"{m.group(0).strip()} outside net/wire.h — "
                                 "use wire::load_le/store_le (wire format is "
@@ -196,8 +277,7 @@ class Linter:
             # bench-date: nondeterministic wall-clock output.
             if in_bench or in_eval:
                 m = re.search(DATE_TOKENS, line)
-                if m and not is_comment_or_string_hit(line, m.start()) \
-                        and not self.allowed(lines, lineno - 1, "bench-date"):
+                if m and not self.allowed(lines, lineno - 1, "bench-date"):
                     self.report(path, lineno, "bench-date",
                                 f"{m.group(0).strip()} in bench/eval output "
                                 "path — results must be date-free and "
@@ -208,10 +288,10 @@ class Linter:
         if in_net or rel.startswith("src/core/"):
             begins, ends = [], []
             waived = False
-            for lineno, line in enumerate(lines, 1):
+            for lineno, line in enumerate(masked, 1):
                 for kind, bucket in (("begin", begins), ("end", ends)):
                     m = re.search(rf"\btrace_span_{kind}\s*\(", line)
-                    if not m or is_comment_or_string_hit(line, m.start()):
+                    if not m:
                         continue
                     if self.allowed(lines, lineno - 1, "span-balance"):
                         waived = True
@@ -263,6 +343,54 @@ class Linter:
                         "wire.cpp's wire_status_name — add it so logs "
                         "and load-generator output stay readable")
 
+    def check_metric_name_docs(self):
+        """metric-name-docs: every io.* / net.* metric registered as a
+        complete string literal in src/ must appear backticked in the
+        docs/observability.md catalog. Placeholder segments in the doc
+        (`io.<backend>.requests`) match any instantiation — including
+        owners that themselves contain dots, like io.net.loop.*.
+        Runtime-composed names ("io." + owner + ...) can't be checked
+        statically and are skipped; their doc coverage is exactly what
+        the placeholder rows are for."""
+        doc = self.root / "docs" / "observability.md"
+        if not doc.is_file():
+            return
+        doc_names = re.findall(r"`((?:io|net)\.[A-Za-z0-9_<>.+-]+)`",
+                               doc.read_text(errors="replace"))
+        patterns = []
+        for name in doc_names:
+            pat = "".join(
+                r"[A-Za-z0-9_+.-]+" if piece.startswith("<")
+                else re.escape(piece)
+                for piece in re.split(r"(<[^<>]*>)", name))
+            patterns.append(re.compile(pat + r"\Z"))
+        # A complete single literal only: closing quote followed by , or )
+        # (concatenations and runtime-built names don't match).
+        reg_re = re.compile(
+            r"\b(?:counter|gauge|histogram)\s*\(\s*"
+            r"\"((?:io|net)\.[^\"]*)\"\s*[,)]")
+        base = self.root / "src"
+        if not base.is_dir():
+            return
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cpp", ".cc", ".hpp"):
+                continue
+            text = path.read_text(errors="replace")
+            lines = text.splitlines()
+            masked = mask_comments_and_strings(text, keep_strings=True)
+            for lineno, line in enumerate(masked, 1):
+                for m in reg_re.finditer(line):
+                    name = m.group(1)
+                    if any(p.match(name) for p in patterns):
+                        continue
+                    if self.allowed(lines, lineno - 1, "metric-name-docs"):
+                        continue
+                    self.report(path, lineno, "metric-name-docs",
+                                f'metric "{name}" is not in the '
+                                "docs/observability.md catalog — add a row "
+                                "(placeholder rows like io.<backend>.requests "
+                                "cover whole families)")
+
     def run(self) -> int:
         for sub in ("src", "bench"):
             base = self.root / sub
@@ -272,6 +400,7 @@ class Linter:
                 if path.suffix in (".h", ".cpp", ".cc", ".hpp"):
                     self.lint_file(path)
         self.check_wire_status_names()
+        self.check_metric_name_docs()
         for v in self.violations:
             print(v)
         n = len(self.violations)
@@ -280,13 +409,80 @@ class Linter:
         return 1 if self.violations else 0
 
 
+def self_test() -> int:
+    """Regression cases exercised against a synthetic tree. The
+    block-comment and raw-string cases are the exact misclassification
+    the per-line is_comment_or_string_hit() heuristic had: it carried
+    no state across lines, so anything inside a multi-line /* */ or a
+    raw string looked like live code."""
+    import tempfile
+
+    cases = {
+        "src/util/masked.cpp": (
+            "/* design note spanning lines:\n"
+            "   std::mutex was rejected here because the clang\n"
+            "   -Wthread-safety build cannot see it. */\n"
+            "const char* kDoc = R\"doc(\n"
+            "  std::lock_guard<std::mutex> lk(m);  // sample, not code\n"
+            "  (void)do_thing();\n"
+            ")doc\";\n"
+            "// trailing mention of std::condition_variable is fine\n"),
+        "src/util/real_hit.cpp": (
+            "#include <mutex>\n"
+            "std::mutex g_m;  // line 2: must still be flagged\n"),
+        "src/obs/reg.cpp": (
+            "void wire(Registry& reg) {\n"
+            "  c1 = reg.counter(\"io.documented_thing\");\n"
+            "  c2 = reg.counter(\"io.nvme0.requests\");\n"
+            "  c3 = reg.counter(\"net.totally_undocumented\");\n"
+            "  // c4 is commented out: reg.counter(\"net.ghost\");\n"
+            "}\n"),
+        "docs/observability.md": (
+            "| `io.documented_thing` | x |\n"
+            "| `io.<backend>.requests` | x |\n"),
+    }
+    expect = [
+        ("src/util/real_hit.cpp:2", "raw-mutex"),
+        ("src/obs/reg.cpp:4", "metric-name-docs"),
+    ]
+    with tempfile.TemporaryDirectory(prefix="rs_lint_selftest.") as td:
+        root = Path(td)
+        for rel, body in cases.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(body)
+        linter = Linter(root)
+        linter.run()
+        got = [(v.split(": [")[0], v.split("[")[1].split("]")[0])
+               for v in linter.violations]
+    failures = []
+    for want in expect:
+        if want not in got:
+            failures.append(f"missing expected violation: {want}")
+    for have in got:
+        if have not in expect:
+            failures.append(f"unexpected violation: {have}")
+    if failures:
+        for f in failures:
+            print(f"rs_lint --self-test: FAIL: {f}")
+        return 1
+    print(f"rs_lint --self-test: ok ({len(expect)} expected hits, "
+          "0 false positives in masked regions)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", type=Path,
                         default=Path(__file__).resolve().parent.parent,
                         help="repository root (default: the repo this "
                              "script lives in)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's regression cases against a "
+                             "synthetic tree and exit")
     args = parser.parse_args()
+    if args.self_test:
+        return self_test()
     if not (args.root / "src").is_dir():
         print(f"rs_lint: {args.root} has no src/ directory", file=sys.stderr)
         return 2

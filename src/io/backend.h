@@ -121,7 +121,7 @@ class IoBackend {
   // real deadline (IORING_ENTER_EXT_ARG when available).
   [[nodiscard]] virtual Result<unsigned> wait_for(std::span<Completion> out,
                                                   std::uint64_t timeout_ns) {
-    (void)timeout_ns;  // rs-lint: allow(void-discard) unused param, not a Status
+    (void)timeout_ns;  // unused param silencer, not a discarded Status
     return wait(out);
   }
 

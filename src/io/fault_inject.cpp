@@ -2,7 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <mutex>  // rs-lint: allow(raw-mutex) std::once_flag only; locks go through sync.h
+#include <mutex>  // std::once_flag only; locks go through util/sync.h
 
 #include "util/log.h"
 #include "util/sync.h"
@@ -26,10 +26,15 @@ void load_fault_config_from_env() {
             parsed.status().to_string().c_str());
     return;
   }
-  MutexLock lock(g_fault_mutex);
-  g_fault_config = parsed.value();
-  g_fault_active = g_fault_config.any_fault();
-  RS_WARN("RS_FAULT active: %s", g_fault_config.to_string().c_str());
+  // Format the banner before taking the lock: RS_WARN write(2)s to
+  // stderr and must not run under g_fault_mutex (lock-blocking).
+  const std::string banner = parsed.value().to_string();
+  {
+    MutexLock lock(g_fault_mutex);
+    g_fault_config = parsed.value();
+    g_fault_active = g_fault_config.any_fault();
+  }
+  RS_WARN("RS_FAULT active: %s", banner.c_str());
 }
 
 Result<int> parse_errno_value(std::string_view value) {

@@ -1,0 +1,51 @@
+// rs-analyze-fixture: treat-as=src/net/wire.cpp checks=decoder-bounds
+//
+// A Reader-style cursor decoder that loads without any need() call:
+// the exact bug class the v4-trailer review is meant to catch before
+// it ships.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture_decoder_bounds_bad_missing_need {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint16_t load_le16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+class Reader {
+ public:
+  bool need(std::size_t n) const { return buf_.size() - pos_ >= n; }
+
+  std::uint32_t u32_unchecked() {
+    std::uint32_t v = load_le32(buf_.data() + pos_);  // expect: decoder-bounds
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint16_t u16_checked_then_overread() {
+    if (!need(2)) {
+      return 0;
+    }
+    std::uint16_t tag = load_le16(buf_.data() + pos_);
+    pos_ += 2;
+    // the need(2) credit is spent; this second load is unchecked
+    std::uint16_t len = load_le16(buf_.data() + pos_);  // expect: decoder-bounds
+    pos_ += 2;
+    return static_cast<std::uint16_t>(tag + len);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fixture_decoder_bounds_bad_missing_need

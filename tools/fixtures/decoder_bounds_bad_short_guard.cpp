@@ -1,0 +1,39 @@
+// rs-analyze-fixture: treat-as=src/net/wire.cpp checks=decoder-bounds
+//
+// The header guard checks 12 bytes but the decoder reads 16: the
+// reserved-field load walks off the end of a minimal frame. Named
+// constants must be resolved for the arithmetic to catch this.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fixture_decoder_bounds_bad_short_guard {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+constexpr std::size_t kShortHeaderBytes = 12;
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t body_len;
+  std::uint32_t reserved;
+};
+
+bool decode(std::span<const std::uint8_t> buf, Header* out) {
+  if (buf.size() < kShortHeaderBytes) {
+    return false;
+  }
+  const std::uint8_t* p = buf.data();
+  out->magic = load_le32(p);
+  out->body_len = load_le32(p + 8);
+  out->reserved = load_le32(p + 12);  // expect: decoder-bounds
+  return true;
+}
+
+}  // namespace fixture_decoder_bounds_bad_short_guard

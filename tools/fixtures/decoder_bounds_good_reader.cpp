@@ -1,0 +1,72 @@
+// rs-analyze-fixture: treat-as=src/net/wire.cpp checks=decoder-bounds
+//
+// The compliant decoder shapes: every load dominated by a need() or a
+// size guard that covers it, constants resolved, and a symbolic
+// need(len) covering a variable-length advance.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace fixture_decoder_bounds_good_reader {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint16_t load_le16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+constexpr std::size_t kHeaderBytes = 8;
+
+class Reader {
+ public:
+  bool need(std::size_t n) const { return buf_.size() - pos_ >= n; }
+
+  bool u32(std::uint32_t* out) {
+    if (!need(4)) {
+      return false;
+    }
+    *out = load_le32(buf_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool bytes(std::uint8_t* out, std::size_t len) {
+    if (!need(len)) {
+      return false;
+    }
+    std::memcpy(out, buf_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+struct Header {
+  std::uint32_t magic;
+  std::uint16_t version;
+  std::uint16_t kind;
+};
+
+bool decode_header(std::span<const std::uint8_t> buf, Header* out) {
+  if (buf.size() < kHeaderBytes) {
+    return false;
+  }
+  const std::uint8_t* p = buf.data();
+  out->magic = load_le32(p);
+  out->version = load_le16(p + 4);
+  out->kind = load_le16(p + 6);
+  return true;
+}
+
+}  // namespace fixture_decoder_bounds_good_reader

@@ -1,0 +1,40 @@
+// rs-analyze-fixture: treat-as=src/net/fixture_lock_blocking_log.cpp checks=lock-blocking
+//
+// Two shapes the regex linter cannot see: (1) RS_WARN under a lock
+// (the log macro write(2)s to stderr), and (2) CondVar::wait_for that
+// releases its own mutex but keeps a *second* held lock across the
+// wait.
+
+#include <chrono>
+
+#include "util/log.h"
+#include "util/sync.h"
+
+namespace fixture_lock_blocking_bad_log_wait {
+
+class QueueState {
+ public:
+  void log_depth();
+  void drain_wait();
+
+ private:
+  rs::Mutex mu_;
+  rs::Mutex aux_mu_;
+  rs::CondVar cv_;
+  unsigned long depth_ = 0;
+};
+
+void QueueState::log_depth() {
+  rs::MutexLock lock(mu_);
+  RS_WARN("queue depth %lu", depth_);  // expect: lock-blocking
+}
+
+void QueueState::drain_wait() {
+  rs::MutexLock hold_mu(mu_);
+  rs::MutexLock hold_aux(aux_mu_);
+  // cv_ releases mu_ for the wait, but aux_mu_ stays held.
+  cv_.wait_for(mu_, std::chrono::milliseconds(5));  // expect: lock-blocking
+  depth_ = 0;
+}
+
+}  // namespace fixture_lock_blocking_bad_log_wait

@@ -1,0 +1,30 @@
+// rs-analyze-fixture: treat-as=src/io/fixture_lock_blocking_write.cpp checks=lock-blocking
+//
+// A write(2) syscall while holding an rs::Mutex on a hot path: every
+// other thread queuing on mu_ now waits on disk.
+
+#include <unistd.h>
+
+#include "util/sync.h"
+
+namespace fixture_lock_blocking_bad_write {
+
+class Journal {
+ public:
+  void append(const char* buf, unsigned long len);
+
+ private:
+  rs::Mutex mu_;
+  int fd_ = -1;
+  unsigned long bytes_ = 0;
+};
+
+void Journal::append(const char* buf, unsigned long len) {
+  rs::MutexLock lock(mu_);
+  long n = ::write(fd_, buf, len);  // expect: lock-blocking
+  if (n > 0) {
+    bytes_ += static_cast<unsigned long>(n);
+  }
+}
+
+}  // namespace fixture_lock_blocking_bad_write

@@ -1,0 +1,43 @@
+// rs-analyze-fixture: treat-as=src/net/fixture_lock_blocking_good.cpp checks=lock-blocking
+//
+// The compliant shapes: snapshot under the lock, log after release;
+// CondVar::wait_for holding only the mutex it releases.
+
+#include <chrono>
+#include <string>
+
+#include "util/log.h"
+#include "util/sync.h"
+
+namespace fixture_lock_blocking_good_scoped {
+
+class QueuePump {
+ public:
+  void pump();
+  std::string render_locked() RS_REQUIRES(mu_);
+
+ private:
+  rs::Mutex mu_;
+  rs::CondVar cv_;
+  unsigned long depth_ = 0;
+};
+
+void QueuePump::pump() {
+  std::string snapshot;
+  {
+    rs::MutexLock lock(mu_);
+    snapshot = render_locked();
+  }
+  RS_INFO("queue state: %s", snapshot.c_str());
+
+  rs::MutexLock lock(mu_);
+  // wait_for releases mu_ (the only held lock) for the duration.
+  cv_.wait_for(mu_, std::chrono::milliseconds(5));
+  depth_ = 0;
+}
+
+std::string QueuePump::render_locked() {
+  return std::to_string(depth_);
+}
+
+}  // namespace fixture_lock_blocking_good_scoped

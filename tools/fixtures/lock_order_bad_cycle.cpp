@@ -1,0 +1,41 @@
+// rs-analyze-fixture: treat-as=src/io/fixture_lock_order_cycle.cpp checks=lock-order
+//
+// Two classes acquire each other's mutex in opposite orders: the
+// classic AB/BA deadlock. The analyzer must report the cycle once,
+// anchored at the lexically first edge site.
+
+#include "util/sync.h"
+
+namespace fixture_lock_order_bad_cycle {
+
+class Ledger;
+
+class Journal {
+ public:
+  void merge_into(Ledger& ledger);
+  rs::Mutex mu_journal;
+  int pending = 0;
+};
+
+class Ledger {
+ public:
+  void merge_into(Journal& journal);
+  rs::Mutex mu_ledger;
+  int balance = 0;
+};
+
+void Journal::merge_into(Ledger& ledger) {
+  rs::MutexLock hold_journal(mu_journal);
+  rs::MutexLock hold_ledger(ledger.mu_ledger);  // expect: lock-order
+  ledger.balance += pending;
+  pending = 0;
+}
+
+void Ledger::merge_into(Journal& journal) {
+  rs::MutexLock hold_ledger(mu_ledger);
+  rs::MutexLock hold_journal(journal.mu_journal);
+  journal.pending += balance;
+  balance = 0;
+}
+
+}  // namespace fixture_lock_order_bad_cycle

@@ -1,0 +1,25 @@
+// rs-analyze-fixture: treat-as=src/io/fixture_lock_order_self.cpp checks=lock-order
+//
+// Re-acquiring a held rs::Mutex (std::mutex underneath, not
+// recursive): deadlocks the first time the code path runs.
+
+#include "util/sync.h"
+
+namespace fixture_lock_order_bad_self {
+
+class Counter {
+ public:
+  int read_twice();
+
+ private:
+  rs::Mutex mu_;
+  int value_ = 0;
+};
+
+int Counter::read_twice() {
+  rs::MutexLock outer(mu_);
+  rs::MutexLock inner(mu_);  // expect: lock-order
+  return value_ + value_;
+}
+
+}  // namespace fixture_lock_order_bad_self

@@ -1,0 +1,37 @@
+// rs-analyze-fixture: treat-as=src/io/fixture_lock_order_good.cpp checks=lock-order
+//
+// Consistent nesting (always outer -> inner, including through an
+// RS_REQUIRES-annotated helper) is a DAG: no diagnostic.
+
+#include "util/sync.h"
+
+namespace fixture_lock_order_good_nested {
+
+class Shard {
+ public:
+  rs::Mutex mu_shard;
+  int rows = 0;
+};
+
+class Table {
+ public:
+  void compact();
+  void compact_locked(Shard& shard) RS_REQUIRES(mu_table);
+
+  rs::Mutex mu_table;
+  Shard shard;
+};
+
+void Table::compact() {
+  rs::MutexLock outer(mu_table);
+  rs::MutexLock inner(shard.mu_shard);
+  shard.rows = 0;
+}
+
+void Table::compact_locked(Shard& s) {
+  // entry-held mu_table (RS_REQUIRES) + same inner order as compact()
+  rs::MutexLock inner(s.mu_shard);
+  s.rows = 0;
+}
+
+}  // namespace fixture_lock_order_good_nested

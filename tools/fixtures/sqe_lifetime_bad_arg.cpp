@@ -1,0 +1,32 @@
+// rs-analyze-fixture: treat-as=src/net/fixture_sqe_arg.cpp checks=sqe-lifetime
+//
+// Passing the caller-visible request id into prep_* instead of the
+// slot index — the multi-line call shape the old regex rule missed.
+
+namespace fixture_sqe_lifetime_bad_arg {
+
+struct io_uring_sqe;
+
+struct ReadRequest {
+  unsigned long long user_data;
+  void* buf;
+  unsigned long len;
+  unsigned long long offset;
+};
+
+class Ring {
+ public:
+  void prep_read(io_uring_sqe* sqe, int fd, void* buf, unsigned long len,
+                 unsigned long long offset, unsigned long long user_data);
+};
+
+io_uring_sqe* take_sqe();
+
+void submit(Ring& ring, int fd, const ReadRequest& req) {
+  io_uring_sqe* sqe = take_sqe();
+  ring.prep_read(sqe, fd, req.buf, req.len,
+                 req.offset,
+                 req.user_data);  // expect: sqe-lifetime
+}
+
+}  // namespace fixture_sqe_lifetime_bad_arg

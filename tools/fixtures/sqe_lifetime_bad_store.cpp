@@ -1,0 +1,34 @@
+// rs-analyze-fixture: treat-as=src/io/fixture_sqe_store.cpp checks=sqe-lifetime
+//
+// Backend code stamping sqe->user_data directly bypasses the
+// slot+generation discipline Ring::prep_* maintains; a caller-chosen
+// id aliasing a live slot corrupts completion routing. Spread over
+// two statements and a helper so a line regex cannot match it.
+
+namespace fixture_sqe_lifetime_bad_store {
+
+struct io_uring_sqe {
+  unsigned long long user_data;
+};
+
+struct ReadRequest {
+  unsigned long long user_data;
+  unsigned long len;
+};
+
+io_uring_sqe* take_sqe();
+
+void submit_one(const ReadRequest& req) {
+  io_uring_sqe* sqe = take_sqe();
+  sqe->user_data = req.user_data;  // expect: sqe-lifetime
+}
+
+void submit_batch(const ReadRequest* reqs, int n) {
+  for (int i = 0; i < n; ++i) {
+    io_uring_sqe* entry = take_sqe();
+    entry->user_data =  // expect: sqe-lifetime
+        reqs[i].user_data;
+  }
+}
+
+}  // namespace fixture_sqe_lifetime_bad_store

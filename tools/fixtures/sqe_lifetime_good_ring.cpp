@@ -1,0 +1,44 @@
+// rs-analyze-fixture: treat-as=src/uring/ring.cpp checks=sqe-lifetime
+//
+// The one place allowed to stamp SQE user_data: Ring::prep_* in
+// src/uring/ring.cpp. Also the compliant store shapes backend code
+// uses: pending-table entries and Completion fan-out, which carry a
+// user_data *member* but are not SQEs.
+
+namespace fixture_sqe_lifetime_good_ring {
+
+struct io_uring_sqe {
+  unsigned long long user_data;
+};
+
+struct Completion {
+  unsigned long long user_data;
+  long result;
+};
+
+struct PendingRead {
+  unsigned long long user_data;
+  unsigned long len;
+};
+
+class Ring {
+ public:
+  void prep_read(io_uring_sqe* sqe, unsigned long long user_data);
+};
+
+void Ring::prep_read(io_uring_sqe* sqe, unsigned long long user_data) {
+  sqe->user_data = user_data;  // the blessed site
+}
+
+void record_pending(PendingRead* table, unsigned long slot,
+                    unsigned long long caller_id, unsigned long len) {
+  table[slot].user_data = caller_id;
+  table[slot].len = len;
+}
+
+void fan_out(Completion* out, unsigned long long cqe_data, long res) {
+  out->user_data = cqe_data;
+  out->result = res;
+}
+
+}  // namespace fixture_sqe_lifetime_good_ring

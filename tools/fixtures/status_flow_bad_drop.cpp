@@ -1,0 +1,27 @@
+// rs-analyze-fixture: treat-as=src/io/fixture_status_drop.cpp checks=status-flow
+//
+// A Status assigned and then dropped on the floor at end of scope: the
+// caller thinks the operation succeeded. Both the plain-Status and the
+// Result<T> shapes.
+
+#include "util/status.h"
+
+namespace fixture_status_flow_bad_drop {
+
+using rs::Result;
+using rs::Status;
+
+Status flush_index();
+Result<int> open_segment();
+
+void fire_and_forget(int* out) {
+  Status st = flush_index();  // expect: status-flow
+  *out += 1;
+}
+
+void drop_result(int* out) {
+  Result<int> seg = open_segment();  // expect: status-flow
+  *out += 1;
+}
+
+}  // namespace fixture_status_flow_bad_drop

@@ -1,0 +1,21 @@
+// rs-analyze-fixture: treat-as=src/io/fixture_status_overwrite.cpp checks=status-flow
+//
+// The overwrite-before-check pattern [[nodiscard]] cannot see: the
+// first step's error is silently replaced by the second step's status.
+
+#include "util/status.h"
+
+namespace fixture_status_flow_bad_overwrite {
+
+using rs::Status;
+
+Status step_one();
+Status step_two();
+
+Status run_both() {
+  Status st = step_one();  // expect: status-flow
+  st = step_two();
+  return st;
+}
+
+}  // namespace fixture_status_flow_bad_overwrite

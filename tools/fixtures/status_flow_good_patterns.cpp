@@ -1,0 +1,51 @@
+// rs-analyze-fixture: treat-as=src/io/fixture_status_good.cpp checks=status-flow
+//
+// Every compliant consumption shape: branch-disjoint assignment,
+// retry loop whose status is checked inside the loop, Status::ok()
+// re-arming, RS_RETURN_IF_ERROR, explicit (void) discard.
+
+#include "util/status.h"
+
+namespace fixture_status_flow_good_patterns {
+
+using rs::Status;
+
+Status step_one();
+Status step_two();
+
+Status pick_one(bool first) {
+  Status st;
+  if (first) {
+    st = step_one();
+  } else {
+    st = step_two();
+  }
+  return st;
+}
+
+Status retry_three() {
+  Status last = Status::ok();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    last = step_one();
+    if (last.is_ok()) {
+      return last;
+    }
+  }
+  return last;
+}
+
+Status chained() {
+  RS_RETURN_IF_ERROR(step_one());
+  Status st = step_two();
+  if (!st.is_ok()) {
+    return st;
+  }
+  return Status::ok();
+}
+
+void best_effort() {
+  Status st = step_one();
+  (void)st;  // deliberate: shutdown path, nothing to do with an error
+}
+
+}  // namespace fixture_status_flow_good_patterns

@@ -1,0 +1,42 @@
+// rs-analyze-fixture: treat-as=src/io/fixture_waiver.cpp checks=lock-blocking,sqe-lifetime
+//
+// Waiver syntax coverage: a same-line rs-analyze waiver, a
+// comment-block-above waiver, and the legacy rs-lint alias
+// (sqe-user-data -> sqe-lifetime). All three violations below are
+// real but waived, so this fixture must come out clean.
+
+#include <unistd.h>
+
+#include "util/sync.h"
+
+namespace fixture_waiver_good_allow {
+
+struct io_uring_sqe {
+  unsigned long long user_data;
+};
+
+io_uring_sqe* take_sqe();
+
+class ShutdownSink {
+ public:
+  void final_flush();
+
+ private:
+  rs::Mutex mu_;
+  int fd_ = -1;
+};
+
+void ShutdownSink::final_flush() {
+  rs::MutexLock lock(mu_);
+  // rs-analyze: allow(lock-blocking) process exit path, no contention
+  (void)::fsync(fd_);
+  (void)::fdatasync(fd_);  // rs-analyze: allow(lock-blocking) ditto
+}
+
+void replay_stamp(unsigned long long saved_id) {
+  io_uring_sqe* sqe = take_sqe();
+  // rs-lint: allow(sqe-user-data) crash-replay restores recorded ids verbatim
+  sqe->user_data = saved_id;
+}
+
+}  // namespace fixture_waiver_good_allow
