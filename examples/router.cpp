@@ -1,0 +1,186 @@
+// Sharded serving-tier router (scale-out deployment of the on-demand
+// service). Fronts N sampler shards — ondemand_server --listen
+// processes over the same graph base — behind one port speaking the
+// same wire protocol, so clients and bench/svc_load point here
+// unchanged:
+//
+//   ./examples/ondemand_server --listen 7961 --serve-seconds 60 &
+//   ./examples/ondemand_server --listen 7962 --serve-seconds 60 &
+//   ./examples/router --port 7950 --serve-seconds 55
+//       --shards "127.0.0.1:7961,127.0.0.1:7962"
+//   ./bench/svc_load --port 7950
+//
+// Shard lists come from a shard-map file (--shard-map, format in
+// src/router/shard_map.h) or inline via --shards: shards separated by
+// commas, replicas of one shard separated by '/':
+//
+//   --shards "10.0.0.1:7950/10.0.1.1:7950,10.0.0.2:7950"
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "router/frontend.h"
+#include "router/shard_map.h"
+#include "util/argparse.h"
+#include "util/timer.h"
+
+namespace {
+
+// Lowers the --shards inline syntax to the canonical shard-map text so
+// one parser (ShardMap::parse) owns all validation.
+std::string shards_flag_to_map_text(const std::string& flag,
+                                    std::uint64_t vnodes) {
+  std::string text = "# rs-shard-map v1\n";
+  text += "vnodes " + std::to_string(vnodes) + "\n";
+  std::string shard;
+  for (std::size_t i = 0; i <= flag.size(); ++i) {
+    if (i < flag.size() && flag[i] != ',') {
+      shard.push_back(flag[i] == '/' ? ' ' : flag[i]);
+      continue;
+    }
+    if (!shard.empty()) text += "shard " + shard + "\n";
+    shard.clear();
+  }
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rs;
+
+  std::uint64_t port = 7950;
+  std::uint64_t serve_seconds = 0;
+  std::uint64_t max_connections = 64;
+  std::string shard_map_path;
+  std::string shards_inline;
+  std::uint64_t vnodes = router::kDefaultVnodes;
+  std::uint64_t connect_retry_ms = 5000;
+  std::uint64_t recv_timeout_ms = 30000;
+  std::uint64_t hedge_delay_ms = 0;
+  std::uint64_t max_inflight = 16;
+  std::uint64_t fail_threshold = 3;
+  std::uint64_t eject_cooldown_ms = 1000;
+  std::string metrics_json;
+
+  ArgParser parser("router",
+                   "Consistent-hash scatter/gather router over sampler "
+                   "shards");
+  parser.add_uint("port", &port, "TCP port to listen on");
+  parser.add_uint("serve-seconds", &serve_seconds,
+                  "stop after this long (0 = forever)");
+  parser.add_uint("max-connections", &max_connections,
+                  "concurrent client connections");
+  parser.add_string("shard-map", &shard_map_path,
+                    "shard-map file (# rs-shard-map v1 format)");
+  parser.add_string("shards", &shards_inline,
+                    "inline shard list: shards comma-separated, "
+                    "replicas '/'-separated");
+  parser.add_uint("vnodes", &vnodes,
+                  "with --shards: vnodes per shard on the hash ring");
+  parser.add_uint("connect-retry-ms", &connect_retry_ms,
+                  "startup window to wait for shards to come up");
+  parser.add_uint("recv-timeout-ms", &recv_timeout_ms,
+                  "hard per-hop bound on sub-request gathering");
+  parser.add_uint("hedge-delay-ms", &hedge_delay_ms,
+                  "duplicate straggler sub-requests to a replica after "
+                  "this long (0 = off)");
+  parser.add_uint("max-inflight", &max_inflight,
+                  "sub-requests outstanding per shard");
+  parser.add_uint("fail-threshold", &fail_threshold,
+                  "consecutive failures that eject a replica");
+  parser.add_uint("eject-cooldown-ms", &eject_cooldown_ms,
+                  "how long an ejected replica sits out before its "
+                  "half-open probe");
+  parser.add_string("metrics-json", &metrics_json,
+                    "write final obs metrics snapshot JSON here");
+  if (Status status = parser.parse(argc, argv); !status.is_ok()) {
+    return status.message() == "help requested" ? 0 : 2;
+  }
+
+  if (shard_map_path.empty() == shards_inline.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --shard-map / --shards is required\n");
+    return 2;
+  }
+  auto map = shard_map_path.empty()
+                 ? router::ShardMap::parse(
+                       shards_flag_to_map_text(shards_inline, vnodes))
+                 : router::ShardMap::load(shard_map_path);
+  if (!map.is_ok()) {
+    std::fprintf(stderr, "%s\n", map.status().to_string().c_str());
+    return 2;
+  }
+
+  router::FrontendOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.max_connections = static_cast<std::uint32_t>(max_connections);
+  options.router.map = std::move(map).value();
+  options.router.connect_retry_ms =
+      static_cast<std::uint32_t>(connect_retry_ms);
+  options.router.recv_timeout_ms =
+      static_cast<std::uint32_t>(recv_timeout_ms);
+  options.router.hedge_delay_ms =
+      static_cast<std::uint32_t>(hedge_delay_ms);
+  options.router.max_inflight_per_shard =
+      static_cast<std::uint32_t>(max_inflight);
+  options.router.health.fail_threshold =
+      static_cast<std::uint32_t>(fail_threshold);
+  options.router.health.eject_cooldown_ms =
+      static_cast<std::uint32_t>(eject_cooldown_ms);
+
+  auto frontend = router::Frontend::start(options);
+  if (!frontend.is_ok()) {
+    std::fprintf(stderr, "%s\n", frontend.status().to_string().c_str());
+    return 1;
+  }
+  const auto& info = frontend.value()->router().info();
+  std::printf(
+      "router on port %u: %zu shards (max %zu replicas), graph "
+      "%llu nodes / %llu edges, max_batch %u, %zu layers; %s\n",
+      frontend.value()->port(),
+      options.router.map.num_shards(), options.router.map.max_replicas(),
+      static_cast<unsigned long long>(info.num_nodes),
+      static_cast<unsigned long long>(info.num_edges), info.max_batch,
+      info.fanouts.size(),
+      serve_seconds > 0 ? "bounded run" : "ctrl-c to stop");
+
+  WallTimer uptime;
+  while (serve_seconds == 0 ||
+         uptime.elapsed_seconds() < static_cast<double>(serve_seconds)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  frontend.value()->stop();
+
+  const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+  auto counter = [&snapshot](const char* name) -> std::uint64_t {
+    for (const auto& [n, v] : snapshot.counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  };
+  std::printf(
+      "routed %llu requests via %llu sub-requests (%llu hedges, "
+      "%llu won; %llu retries, %llu failovers, %llu ejections)\n",
+      static_cast<unsigned long long>(counter("router.requests")),
+      static_cast<unsigned long long>(counter("router.subrequests")),
+      static_cast<unsigned long long>(counter("router.hedges")),
+      static_cast<unsigned long long>(counter("router.hedges_won")),
+      static_cast<unsigned long long>(counter("router.retries")),
+      static_cast<unsigned long long>(counter("router.failovers")),
+      static_cast<unsigned long long>(counter("router.ejections")));
+
+  if (!metrics_json.empty()) {
+    std::ofstream out(metrics_json, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_json.c_str());
+      return 1;
+    }
+    out << snapshot.to_json() << '\n';
+    std::printf("[metrics] %s\n", metrics_json.c_str());
+  }
+  return 0;
+}

@@ -1239,7 +1239,7 @@ class Diag:
 # Checks 1+2: lock-order cycles and blocking-under-lock
 # --------------------------------------------------------------------------
 
-HOT_DIRS = ("src/uring/", "src/io/", "src/net/")
+HOT_DIRS = ("src/uring/", "src/io/", "src/net/", "src/router/")
 
 # Calls that can block the calling thread (syscalls, waits, sleeps —
 # and the RS_* log macros, which write(2) to stderr under the hood).
@@ -1667,7 +1667,8 @@ def check_sqe_lifetime(program, diags):
             in_ring_prep = (
                 fi.relpath == "src/uring/ring.cpp"
                 and fn.cls == "Ring" and fn.name.startswith("prep_"))
-            io_net = fi.relpath.startswith(("src/io/", "src/net/"))
+            io_net = fi.relpath.startswith(
+                ("src/io/", "src/net/", "src/router/"))
             for stmt, _path in iter_stmts(fn.body):
                 toks = stmt_token_stream(stmt)
                 # (a) direct store:  <sqe-expr> -> user_data =

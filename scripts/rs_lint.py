@@ -34,7 +34,8 @@ up in review, which is the point):
                   and follows multi-line calls, so it has no
                   name-pattern blind spots.
 
-  metric-name-docs  every `io.*` / `net.*` counter/gauge/histogram name
+  metric-name-docs  every `io.*` / `net.*` / `router.*` counter/gauge/
+                  histogram name
                   registered as a complete string literal in src/ must
                   appear (backticked) in the docs/observability.md
                   catalog. Placeholder rows like `io.<backend>.requests`
@@ -219,6 +220,7 @@ class Linter:
         is_ring_cpp = rel == "src/uring/ring.cpp"
         in_io = rel.startswith("src/io/")
         in_net = rel.startswith("src/net/")
+        in_router = rel.startswith("src/router/")
         is_wire_h = rel == "src/net/wire.h"
 
         for lineno, line in enumerate(masked, 1):
@@ -250,7 +252,7 @@ class Linter:
                                 "Ring::prep_* (src/uring/ring.cpp)")
 
             # sqe-user-data (b): forwarding caller user_data into an SQE.
-            if in_io or in_net:
+            if in_io or in_net or in_router:
                 # Alternatives ordered longest-first so prep_read_fixed /
                 # prep_readv match their own branch instead of relying on
                 # backtracking off the "read" prefix.
@@ -284,8 +286,9 @@ class Linter:
                                 "byte-stable (steady-clock durations only)")
 
         # span-balance: whole-file begin/end pairing in the layers that
-        # use explicit B/E spans (the serving loop and the core engine).
-        if in_net or rel.startswith("src/core/"):
+        # use explicit B/E spans (the serving loop, the core engine, and
+        # the sharded router).
+        if in_net or in_router or rel.startswith("src/core/"):
             begins, ends = [], []
             waived = False
             for lineno, line in enumerate(masked, 1):
@@ -344,7 +347,7 @@ class Linter:
                         "and load-generator output stay readable")
 
     def check_metric_name_docs(self):
-        """metric-name-docs: every io.* / net.* metric registered as a
+        """metric-name-docs: every io.* / net.* / router.* metric registered as a
         complete string literal in src/ must appear backticked in the
         docs/observability.md catalog. Placeholder segments in the doc
         (`io.<backend>.requests`) match any instantiation — including
@@ -355,7 +358,7 @@ class Linter:
         doc = self.root / "docs" / "observability.md"
         if not doc.is_file():
             return
-        doc_names = re.findall(r"`((?:io|net)\.[A-Za-z0-9_<>.+-]+)`",
+        doc_names = re.findall(r"`((?:io|net|router)\.[A-Za-z0-9_<>.+-]+)`",
                                doc.read_text(errors="replace"))
         patterns = []
         for name in doc_names:
@@ -368,7 +371,7 @@ class Linter:
         # (concatenations and runtime-built names don't match).
         reg_re = re.compile(
             r"\b(?:counter|gauge|histogram)\s*\(\s*"
-            r"\"((?:io|net)\.[^\"]*)\"\s*[,)]")
+            r"\"((?:io|net|router)\.[^\"]*)\"\s*[,)]")
         base = self.root / "src"
         if not base.is_dir():
             return

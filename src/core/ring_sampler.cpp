@@ -6,6 +6,7 @@
 #include <cmath>
 #include <thread>
 
+#include "core/serving_determinism.h"
 #include "graph/binary_format.h"
 #include "io/fixed_buffer_pool.h"
 #include "obs/metrics.h"
@@ -168,7 +169,8 @@ Status RingSampler::sample_batch_with(ThreadContext& ctx,
                                       std::span<const NodeId> batch,
                                       std::span<const std::uint32_t> fanouts,
                                       MiniBatchSample* out,
-                                      EpochResult& acc) {
+                                      EpochResult& acc,
+                                      const std::uint64_t* serving_seed) {
   Workspace& ws = ctx.workspace;
   RS_CHECK_MSG(batch.size() <= config_.batch_size,
                "batch larger than configured batch_size");
@@ -186,6 +188,9 @@ Status RingSampler::sample_batch_with(ThreadContext& ctx,
         index_, std::span<const NodeId>(ws.targets(), num_targets),
         fanouts[layer], ctx.rng, ws.begins(), &hot_cache_,
         ws.values(), config_.sample_with_replacement);
+    if (serving_seed != nullptr) {
+      cursor.use_per_target_seeds(serving_layer_seed(*serving_seed, layer));
+    }
     RS_RETURN_IF_ERROR(ctx.pipeline->run(cursor, ws.values()));
     const std::uint32_t width = cursor.slots_planned();
 
@@ -459,9 +464,6 @@ Result<MiniBatchSample> RingSampler::sample_for_serving(
     }
   }
   ThreadContext& ctx = *contexts_[ctx_index];
-  // Per-request reseed: the epoch RNG stream is irrelevant to serving
-  // determinism; SplitMix64 decorrelates adjacent client-chosen seeds.
-  ctx.rng = Xoshiro256(splitmix64(rng_seed));
   // Bound this request's storage waits by its remaining deadline budget;
   // the guard clears the override on every return path so epoch traffic
   // on the same context never inherits a stale deadline.
@@ -473,8 +475,13 @@ Result<MiniBatchSample> RingSampler::sample_for_serving(
   DeadlineGuard guard{ctx.pipeline.get()};
   MiniBatchSample sample;
   EpochResult scratch;
+  // Serving draws per-(layer, target) streams derived from rng_seed
+  // (serving_determinism.h), never ctx.rng: the response is a pure
+  // function of (graph, targets, fanouts, rng_seed) AND decomposes hop
+  // by hop, so the sharded router can scatter/gather it bit-identically.
+  // The worker's epoch stream is left untouched.
   RS_RETURN_IF_ERROR(
-      sample_batch_with(ctx, targets, fanouts, &sample, scratch));
+      sample_batch_with(ctx, targets, fanouts, &sample, scratch, &rng_seed));
   return sample;
 }
 

@@ -61,10 +61,14 @@ class RingSampler final : public Sampler {
 
   // Serving entry point (net::Server): samples one request on worker
   // `ctx_index`'s private state with caller-chosen fanouts and a
-  // per-request RNG seed. Reseeding per request makes the result a pure
-  // function of (graph, targets, fanouts, rng_seed) — independent of
-  // arrival order or batching — so any replica answers bit-identically
-  // and a client can verify a response against a local sampler.
+  // per-request RNG seed. Every (layer, target) pair draws from a
+  // private stream derived from rng_seed (serving_determinism.h), which
+  // makes the result a pure function of (graph, targets, fanouts,
+  // rng_seed) — independent of arrival order or batching — so any
+  // replica answers bit-identically, a client can verify a response
+  // against a local sampler, and the sharded router (src/router) can
+  // decompose the request into per-shard single-hop sub-requests whose
+  // merged answer is byte-identical to the unsharded one.
   // Fanouts must be elementwise <= the configured fanouts (worker
   // workspaces are sized for those); targets must fit batch_size and
   // reference existing nodes. Distinct ctx_index values may be driven
@@ -133,10 +137,15 @@ class RingSampler final : public Sampler {
                       MiniBatchSample* out, EpochResult& acc);
   // Generalization of sample_batch with explicit per-layer fanouts
   // (sample_for_serving); fanouts are pre-validated by the caller.
+  // When `serving_seed` is non-null, every (layer, target) pair draws
+  // from a private stream derived from it (serving_determinism.h)
+  // instead of ctx.rng — the hop-decomposable mode the sharded router
+  // relies on. Null keeps the sequential epoch stream.
   Status sample_batch_with(ThreadContext& ctx,
                            std::span<const NodeId> batch,
                            std::span<const std::uint32_t> fanouts,
-                           MiniBatchSample* out, EpochResult& acc);
+                           MiniBatchSample* out, EpochResult& acc,
+                           const std::uint64_t* serving_seed = nullptr);
 
   Result<EpochResult> epoch_batch_parallel(std::span<const NodeId> targets,
                                            const BatchSink* sink);

@@ -13,6 +13,7 @@
 
 #include "core/neighbor_cache.h"
 #include "core/offset_index.h"
+#include "core/serving_determinism.h"
 #include "util/common.h"
 #include "util/rng.h"
 
@@ -87,6 +88,17 @@ class LayerSampleCursor final : public ItemSource {
     begins_[0] = 0;
   }
 
+  // Serving mode: instead of drawing from the shared sequential stream,
+  // every target gets a private Xoshiro256 seeded from (layer_seed,
+  // node id) — see serving_determinism.h. This is what lets the sharded
+  // router decompose a request hop by hop: target v's draws depend only
+  // on the layer seed and v, never on which other targets share the
+  // batch, their order, or their degrees.
+  void use_per_target_seeds(std::uint64_t layer_seed) {
+    per_target_seeds_ = true;
+    layer_seed_ = layer_seed;
+  }
+
   std::size_t next(std::span<SampleItem> out) override {
     std::size_t n = 0;
     while (n < out.size()) {
@@ -97,6 +109,9 @@ class LayerSampleCursor final : public ItemSource {
       if (target_i_ >= targets_.size()) break;
       // Plan the next target: sample distinct offsets from its range.
       const NodeId v = targets_[target_i_];
+      if (per_target_seeds_) {
+        target_rng_ = Xoshiro256(serving_target_seed(layer_seed_, v));
+      }
       const EdgeIdx begin = index_.begin(v);
       const EdgeIdx end = index_.end(v);
       const auto degree = end - begin;
@@ -139,13 +154,18 @@ class LayerSampleCursor final : public ItemSource {
   }
 
  private:
+  Xoshiro256& active_rng() {
+    return per_target_seeds_ ? target_rng_ : rng_;
+  }
+
   void sample_offsets(EdgeIdx lo, EdgeIdx hi, std::uint64_t k) {
+    Xoshiro256& rng = active_rng();
     if (with_replacement_) {
       for (std::uint64_t i = 0; i < k; ++i) {
-        pending_.push_back(rng_.uniform_range(lo, hi));
+        pending_.push_back(rng.uniform_range(lo, hi));
       }
     } else {
-      sample_distinct_range(rng_, lo, hi, k, pending_);
+      sample_distinct_range(rng, lo, hi, k, pending_);
     }
   }
 
@@ -157,6 +177,11 @@ class LayerSampleCursor final : public ItemSource {
   const NeighborCache* hot_cache_;
   NodeId* values_;
   bool with_replacement_;
+
+  // Serving mode (use_per_target_seeds): per-target private stream.
+  bool per_target_seeds_ = false;
+  std::uint64_t layer_seed_ = 0;
+  Xoshiro256 target_rng_{0};
 
   std::size_t target_i_ = 0;
   std::vector<EdgeIdx> pending_;

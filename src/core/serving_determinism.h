@@ -1,0 +1,66 @@
+// Hop-decomposable serving determinism (the sharded-tier contract).
+//
+// A serving response must be a pure function of (graph, nodes, fanouts,
+// rng_seed) — that is what makes replicas interchangeable. The sharded
+// router needs one property more: it must be able to decompose a k-hop
+// request into independent single-hop sub-requests, fan them out to
+// shard servers, and reassemble a byte-identical answer. A single
+// sequential RNG stream cannot give that (target j's draws would depend
+// on how many draws targets 0..j-1 consumed, i.e. on degrees the router
+// never sees), so the serving path derives an independent RNG per
+// (layer, target) instead:
+//
+//   layer_seed(s, l)      — layer 0 is the request seed *unchanged*;
+//                           deeper layers are SplitMix64 remixes of it.
+//   target_seed(ls, v)    — mixes the layer seed with the target's node
+//                           id; seeds that target's private Xoshiro256.
+//
+// The layer-0 identity is the decomposition rule: the router sends the
+// hop-l frontier as a single-hop sub-request carrying
+// `serving_layer_seed(request_seed, l)` as its rng_seed, and the shard —
+// which sees that hop as *its* layer 0 — derives exactly the per-target
+// streams the unsharded sampler would have used at layer l. Because
+// Floyd's algorithm consumes the RNG identically for [0, deg) and
+// [begin, begin + deg) ranges (see LayerSampleCursor), the draws are
+// also independent of where a node's adjacency happens to sit in a
+// shard's edge file.
+//
+// Epoch/training sampling is untouched: it keeps the sequential
+// per-thread stream (one seed per worker), which is cheaper and has no
+// decomposition requirement.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace rs::core {
+
+// Seed for GraphSAGE layer `layer` of a serving request. Layer 0 IS the
+// request seed (identity), so a shard answering a single-hop
+// sub-request reproduces the parent request's layer-l draws.
+inline std::uint64_t serving_layer_seed(std::uint64_t request_seed,
+                                        std::uint32_t layer) {
+  std::uint64_t seed = request_seed;
+  for (std::uint32_t l = 0; l < layer; ++l) {
+    // Golden-ratio offset keeps layer streams apart even for the
+    // adversarial seeds (0, 1, 2...) clients actually send.
+    std::uint64_t state = seed ^ 0x5851f42d4c957f2dULL;
+    seed = splitmix64(state);
+  }
+  return seed;
+}
+
+// Seed for one target's private stream within a layer. Mixing the node
+// id through SplitMix64 decorrelates adjacent ids, so v and v+1 draw
+// independent offsets even under fanouts of thousands.
+inline std::uint64_t serving_target_seed(std::uint64_t layer_seed,
+                                         NodeId target) {
+  std::uint64_t state =
+      layer_seed ^ (static_cast<std::uint64_t>(target) + 1) *
+                       0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
+}  // namespace rs::core

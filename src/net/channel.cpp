@@ -1,0 +1,226 @@
+#include "net/channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace rs::net {
+namespace {
+
+// Clamp on every poll slice: bounds the int cast (a huge timeout would
+// overflow into a negative — i.e. infinite — poll) and keeps blocking
+// waits responsive to caller deadlines.
+constexpr std::uint64_t kMaxPollSliceMs = 1000;
+
+Result<int> connect_fd_once(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::from_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = wire::host_to_be16(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::invalid("channel: bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const Status status = Status::from_errno("connect");
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  // rs-lint: allow(void-discard) best-effort latency tuning
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Channel::~Channel() { close(); }
+
+Channel::Channel(Channel&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), rx_(std::move(other.rx_)) {}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    rx_ = std::move(other.rx_);
+  }
+  return *this;
+}
+
+Result<Channel> Channel::connect(const std::string& host, std::uint16_t port,
+                                 std::uint32_t connect_retry_ms) {
+  const std::uint64_t deadline_ns =
+      obs::now_ns() + std::uint64_t{connect_retry_ms} * 1'000'000;
+  for (;;) {
+    auto fd = connect_fd_once(host, port);
+    if (fd.is_ok()) {
+      Channel channel;
+      channel.fd_ = fd.value();
+      return channel;
+    }
+    if (obs::now_ns() >= deadline_ns) return fd.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Channel Channel::adopt(int fd) {
+  Channel channel;
+  channel.fd_ = fd;
+  return channel;
+}
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+Status Channel::send(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) return Status::invalid("channel: not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status Channel::drain(bool* eof) {
+  *eof = false;
+  if (fd_ < 0) return Status::invalid("channel: not connected");
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      rx_.insert(rx_.end(), chunk, chunk + n);
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) return Status::ok();
+      continue;  // a full chunk — the socket may hold more
+    }
+    if (n == 0) {
+      // Peer hung up. Release the fd but KEEP rx: a response that
+      // arrived right before the close (shed-then-poison, server
+      // shutdown) must still be poppable.
+      *eof = true;
+      ::close(fd_);
+      fd_ = -1;
+      return Status::ok();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::ok();
+    const Status status = Status::from_errno("recv");
+    ::close(fd_);
+    fd_ = -1;
+    return status;
+  }
+}
+
+Status Channel::pop_frame(wire::FrameHeader* header,
+                          std::vector<std::uint8_t>* body, bool* complete) {
+  *complete = false;
+  if (rx_.size() < wire::kFrameHeaderBytes) return Status::ok();
+  RS_RETURN_IF_ERROR(wire::decode_frame_header(rx_, header));
+  const std::size_t total = wire::kFrameHeaderBytes + header->body_len;
+  if (rx_.size() < total) return Status::ok();
+  body->assign(rx_.begin() + wire::kFrameHeaderBytes,
+               rx_.begin() + static_cast<std::ptrdiff_t>(total));
+  rx_.erase(rx_.begin(), rx_.begin() + static_cast<std::ptrdiff_t>(total));
+  *complete = true;
+  return Status::ok();
+}
+
+Status Channel::read_frame(wire::FrameHeader* header,
+                           std::vector<std::uint8_t>* body,
+                           std::uint64_t deadline_ns) {
+  for (;;) {
+    bool complete = false;
+    RS_RETURN_IF_ERROR(pop_frame(header, body, &complete));
+    if (complete) return Status::ok();
+    if (fd_ < 0) {
+      // Drained to EOF and no complete frame is left buffered.
+      return Status::io_error("channel: connection closed by peer");
+    }
+    std::uint64_t wait_ms = kMaxPollSliceMs;
+    if (deadline_ns != 0) {
+      const std::uint64_t now = obs::now_ns();
+      if (now >= deadline_ns) {
+        return Status::timed_out("channel: response deadline exceeded");
+      }
+      wait_ms = std::min<std::uint64_t>(
+          (deadline_ns - now) / 1'000'000 + 1, kMaxPollSliceMs);
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(wait_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("poll");
+    }
+    if (ready == 0) continue;  // re-check the deadline
+    bool eof = false;
+    RS_RETURN_IF_ERROR(drain(&eof));
+    if (eof && rx_.size() < wire::kFrameHeaderBytes) {
+      return Status::io_error("channel: connection closed by peer");
+    }
+  }
+}
+
+Result<std::size_t> poll_channels(std::span<Channel* const> channels,
+                                  std::uint32_t wait_ms) {
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> owners;
+  pfds.reserve(channels.size());
+  owners.reserve(channels.size());
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (channels[i] == nullptr || !channels[i]->open()) continue;
+    pfds.push_back(pollfd{channels[i]->fd(), POLLIN, 0});
+    owners.push_back(i);
+  }
+  if (pfds.empty()) {
+    // Nothing pollable: honor the wait so callers' retry loops do not
+    // spin while every peer is down.
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<std::uint32_t>(wait_ms, kMaxPollSliceMs)));
+    return std::size_t{0};
+  }
+  const int ready = ::poll(
+      pfds.data(), static_cast<nfds_t>(pfds.size()),
+      static_cast<int>(std::min<std::uint64_t>(wait_ms, kMaxPollSliceMs)));
+  if (ready < 0) {
+    if (errno == EINTR) return std::size_t{0};
+    return Status::from_errno("poll");
+  }
+  std::size_t drained = 0;
+  for (std::size_t p = 0; p < pfds.size(); ++p) {
+    if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    Channel& channel = *channels[owners[p]];
+    bool eof = false;
+    // A transport error here is the channel's problem, not the set's:
+    // drain() already closed it; the caller notices via open().
+    // rs-lint: allow(void-discard) per-channel errors surface as closed channels
+    (void)channel.drain(&eof);
+    ++drained;
+  }
+  return drained;
+}
+
+}  // namespace rs::net

@@ -1,0 +1,91 @@
+// net::Channel: one framed TCP connection with a buffered receive side,
+// built to be used many-at-a-time.
+//
+// net::Client's original design was blocking and single-stream, with a
+// second hard-coded fd bolted on for hedged requests. The router needs
+// the general shape — N concurrent connections (one per shard replica),
+// each with its own receive buffer, multiplexed by poll(2) — so that
+// machinery lives here and both Client (primary + hedge = a 2-channel
+// set) and router::Router (a channel per shard peer) are thin users of
+// it.
+//
+// A Channel never matches request ids and never blocks inside drain():
+// the caller polls (poll_channels), drains readable sockets into the
+// per-channel buffer, then pops complete frames and routes them by
+// echoed request_id. Responses on one connection may be reordered
+// (overload sheds overtake admitted requests), and a stale frame for an
+// abandoned request — a lost hedge race, a failed-over sub-request — is
+// expected traffic the caller skips, not an error.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace rs::net {
+
+class Channel {
+ public:
+  Channel() = default;
+  ~Channel();
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Blocking connect with optional retry-on-refused window (a just-
+  // started server may not be listening yet). TCP_NODELAY is set:
+  // request frames are small and latency-bound.
+  static Result<Channel> connect(const std::string& host,
+                                 std::uint16_t port,
+                                 std::uint32_t connect_retry_ms = 0);
+
+  // Wraps an already-connected socket (server-side accepted fds).
+  static Channel adopt(int fd);
+
+  bool open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  // Writes the whole buffer (EINTR-safe, MSG_NOSIGNAL). A peer that
+  // hung up surfaces as an error here or as EOF on the next drain.
+  Status send(std::span<const std::uint8_t> bytes);
+
+  // Non-blocking: appends whatever the socket has buffered to rx.
+  // *eof is set when the peer shut down — the fd is released (open()
+  // turns false) but rx is KEPT, so frames that raced the close stay
+  // poppable; only close() discards them. Nothing pending is not an
+  // error. Call after poll() says readable.
+  Status drain(bool* eof);
+
+  // Pops one complete frame off rx when present; *complete stays false
+  // when more bytes are needed (keep polling). A malformed header is
+  // kCorruptData — the connection is unusable after that.
+  Status pop_frame(wire::FrameHeader* header, std::vector<std::uint8_t>* body,
+                   bool* complete);
+
+  // Blocking convenience for request/response callers (Client, info
+  // probes): waits until one complete frame is buffered or the absolute
+  // deadline (obs::now_ns clock; 0 = wait forever) passes.
+  Status read_frame(wire::FrameHeader* header, std::vector<std::uint8_t>* body,
+                    std::uint64_t deadline_ns);
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> rx_;
+};
+
+// Polls every open channel in `channels` for readability, waiting up to
+// `wait_ms`, and drains the readable ones. Closed channels are skipped;
+// an entry may be null. Returns the number of channels that received
+// bytes or hit EOF (0 = timeout). This is the router's gather step and
+// the client's hedge race, so it must never spin: a negative poll()
+// other than EINTR is an error.
+Result<std::size_t> poll_channels(std::span<Channel* const> channels,
+                                  std::uint32_t wait_ms);
+
+}  // namespace rs::net

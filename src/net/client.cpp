@@ -1,26 +1,12 @@
 #include "net/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <string.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <chrono>
-#include <thread>
-#include <utility>
 
 #include "obs/metrics.h"
 
 namespace rs::net {
 namespace {
 
-// Clamp on every poll slice: bounds the int cast (a huge recv timeout
-// used to overflow into a negative — i.e. infinite — poll) and keeps
-// the wait loop responsive to hedge/deadline instants.
 constexpr std::uint64_t kMaxPollSliceMs = 1000;
 
 struct HedgeMetrics {
@@ -39,178 +25,41 @@ struct HedgeMetrics {
   }
 };
 
-Status send_fd_all(int fd, std::span<const std::uint8_t> bytes) {
-  if (fd < 0) return Status::invalid("client: not connected");
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::from_errno("send");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return Status::ok();
-}
-
-// Pops one complete frame off `rx` when present; *complete stays false
-// when more bytes are needed (not an error — keep receiving).
-Status pop_frame(std::vector<std::uint8_t>& rx, wire::FrameHeader* header,
-                 std::vector<std::uint8_t>* body, bool* complete) {
-  *complete = false;
-  if (rx.size() < wire::kFrameHeaderBytes) return Status::ok();
-  RS_RETURN_IF_ERROR(wire::decode_frame_header(rx, header));
-  const std::size_t total = wire::kFrameHeaderBytes + header->body_len;
-  if (rx.size() < total) return Status::ok();
-  body->assign(rx.begin() + wire::kFrameHeaderBytes,
-               rx.begin() + static_cast<std::ptrdiff_t>(total));
-  rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(total));
-  *complete = true;
-  return Status::ok();
-}
-
-Result<int> connect_once(const ClientOptions& options) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return Status::from_errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = wire::host_to_be16(options.port);
-  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::invalid("client: bad IPv4 address: " + options.host);
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) < 0) {
-    const Status status = Status::from_errno("connect");
-    ::close(fd);
-    return status;
-  }
-  const int one = 1;
-  // rs-lint: allow(void-discard) best-effort latency tuning
-  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
-}
-
 }  // namespace
 
-Client::~Client() { close(); }
-
-Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)),
-      rx_(std::move(other.rx_)),
-      hedge_fd_(std::exchange(other.hedge_fd_, -1)),
-      hedge_rx_(std::move(other.hedge_rx_)),
-      options_(std::move(other.options_)),
-      next_request_id_(other.next_request_id_) {}
-
-Client& Client::operator=(Client&& other) noexcept {
-  if (this != &other) {
-    close();
-    fd_ = std::exchange(other.fd_, -1);
-    rx_ = std::move(other.rx_);
-    hedge_fd_ = std::exchange(other.hedge_fd_, -1);
-    hedge_rx_ = std::move(other.hedge_rx_);
-    options_ = std::move(other.options_);
-    next_request_id_ = other.next_request_id_;
-  }
-  return *this;
+Result<Client> Client::connect(const ClientOptions& options) {
+  RS_ASSIGN_OR_RETURN(Channel channel,
+                      Channel::connect(options.host, options.port,
+                                       options.connect_retry_ms));
+  Client client;
+  client.channel_ = std::move(channel);
+  client.options_ = options;
+  return client;
 }
 
 void Client::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-  if (hedge_fd_ >= 0) {
-    ::close(hedge_fd_);
-    hedge_fd_ = -1;
-  }
-  rx_.clear();
-  hedge_rx_.clear();
-}
-
-Result<Client> Client::connect(const ClientOptions& options) {
-  const std::uint64_t deadline_ns =
-      obs::now_ns() + std::uint64_t{options.connect_retry_ms} * 1'000'000;
-  for (;;) {
-    auto fd = connect_once(options);
-    if (fd.is_ok()) {
-      Client client;
-      client.fd_ = fd.value();
-      client.options_ = options;
-      return client;
-    }
-    if (obs::now_ns() >= deadline_ns) return fd.status();
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  }
-}
-
-Status Client::send_all(std::span<const std::uint8_t> bytes) {
-  return send_fd_all(fd_, bytes);
+  channel_.close();
+  hedge_.close();
 }
 
 Status Client::send_raw(std::span<const std::uint8_t> bytes) {
-  return send_all(bytes);
+  return channel_.send(bytes);
 }
 
-Status Client::fill_rx(std::size_t needed) {
+Status Client::read_frame(wire::FrameHeader* header,
+                          std::vector<std::uint8_t>* body) {
   const std::uint64_t deadline_ns =
       options_.recv_timeout_ms == 0
           ? 0
           : obs::now_ns() +
                 std::uint64_t{options_.recv_timeout_ms} * 1'000'000;
-  std::uint8_t chunk[16 * 1024];
-  while (rx_.size() < needed) {
-    if (deadline_ns != 0) {
-      const std::uint64_t now = obs::now_ns();
-      if (now >= deadline_ns) {
-        return Status::timed_out("client: response deadline exceeded");
-      }
-      pollfd pfd{fd_, POLLIN, 0};
-      // Sliced wait: the clamp keeps the int cast safe for arbitrarily
-      // large timeouts; the loop re-checks the deadline per slice.
-      const int ready = ::poll(
-          &pfd, 1,
-          static_cast<int>(std::min<std::uint64_t>(
-              (deadline_ns - now) / 1'000'000 + 1, kMaxPollSliceMs)));
-      if (ready < 0) {
-        if (errno == EINTR) continue;
-        return Status::from_errno("poll");
-      }
-      if (ready == 0) continue;  // re-check the deadline
-    }
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n == 0) {
-      return Status::io_error("client: connection closed by server");
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::from_errno("recv");
-    }
-    rx_.insert(rx_.end(), chunk, chunk + n);
-  }
-  return Status::ok();
-}
-
-Status Client::read_frame(wire::FrameHeader* header,
-                          std::vector<std::uint8_t>* body) {
-  RS_RETURN_IF_ERROR(fill_rx(wire::kFrameHeaderBytes));
-  RS_RETURN_IF_ERROR(wire::decode_frame_header(rx_, header));
-  RS_RETURN_IF_ERROR(fill_rx(wire::kFrameHeaderBytes + header->body_len));
-  body->assign(rx_.begin() + wire::kFrameHeaderBytes,
-               rx_.begin() + static_cast<std::ptrdiff_t>(
-                                 wire::kFrameHeaderBytes + header->body_len));
-  rx_.erase(rx_.begin(), rx_.begin() + static_cast<std::ptrdiff_t>(
-                                           wire::kFrameHeaderBytes +
-                                           header->body_len));
-  return Status::ok();
+  return channel_.read_frame(header, body, deadline_ns);
 }
 
 Result<wire::InfoResponse> Client::info() {
   std::vector<std::uint8_t> frame;
   wire::encode_info_request(next_request_id_++, frame);
-  RS_RETURN_IF_ERROR(send_all(frame));
+  RS_RETURN_IF_ERROR(channel_.send(frame));
   wire::FrameHeader header;
   std::vector<std::uint8_t> body;
   RS_RETURN_IF_ERROR(read_frame(&header, &body));
@@ -226,7 +75,7 @@ Result<std::string> Client::stats() {
   std::vector<std::uint8_t> frame;
   const std::uint64_t request_id = next_request_id_++;
   wire::encode_stats_request(request_id, frame);
-  RS_RETURN_IF_ERROR(send_all(frame));
+  RS_RETURN_IF_ERROR(channel_.send(frame));
   wire::FrameHeader header;
   std::vector<std::uint8_t> body;
   RS_RETURN_IF_ERROR(read_frame(&header, &body));
@@ -244,7 +93,7 @@ Result<std::string> Client::stats() {
 Status Client::send_request(const wire::SampleRequest& request) {
   std::vector<std::uint8_t> frame;
   wire::encode_sample_request(request, frame);
-  return send_all(frame);
+  return channel_.send(frame);
 }
 
 Result<wire::SampleResponse> Client::read_sample_response() {
@@ -275,16 +124,15 @@ Result<wire::SampleResponse> Client::sample(
 }
 
 Status Client::send_hedge(const wire::SampleRequest& request) {
-  if (hedge_fd_ < 0) {
-    ClientOptions opts = options_;
-    opts.connect_retry_ms = 0;  // a hedge must not stall on retries
-    auto fd = connect_once(opts);
-    if (!fd.is_ok()) return fd.status();
-    hedge_fd_ = fd.value();
+  if (!hedge_.open()) {
+    // A hedge must not stall on connect retries: single attempt.
+    auto channel = Channel::connect(options_.host, options_.port, 0);
+    if (!channel.is_ok()) return channel.status();
+    hedge_ = std::move(channel).value();
   }
   std::vector<std::uint8_t> frame;
   wire::encode_sample_request(request, frame);
-  return send_fd_all(hedge_fd_, frame);
+  return hedge_.send(frame);
 }
 
 Result<wire::SampleResponse> Client::sample_hedged(
@@ -298,21 +146,18 @@ Result<wire::SampleResponse> Client::sample_hedged(
   std::uint64_t hedge_at_ns =
       start_ns + std::uint64_t{options_.hedge_delay_ms} * 1'000'000;
   bool hedge_sent = false;
-  bool primary_open = true;
-  // A hedge channel left over from an earlier call may still deliver
-  // stale (losing) responses; keep reading it so they get skipped.
-  bool hedge_open = hedge_fd_ >= 0;
-  std::uint8_t chunk[16 * 1024];
+  // The hedge channel may hold stale (losing) responses from an earlier
+  // hedged call; racing both channels skips them by request_id.
+  Channel* const channels[2] = {&channel_, &hedge_};
 
   for (;;) {
-    // Drain every complete frame already buffered on either channel.
-    for (int channel = 0; channel < 2; ++channel) {
-      std::vector<std::uint8_t>& rx = channel == 0 ? rx_ : hedge_rx_;
+    // Pop every complete frame already buffered on either channel.
+    for (int c = 0; c < 2; ++c) {
       for (;;) {
         wire::FrameHeader header;
         std::vector<std::uint8_t> body;
         bool complete = false;
-        RS_RETURN_IF_ERROR(pop_frame(rx, &header, &body, &complete));
+        RS_RETURN_IF_ERROR(channels[c]->pop_frame(&header, &body, &complete));
         if (!complete) break;
         if (header.kind != wire::FrameKind::kSampleResponse) {
           return Status::corrupt("client: expected sample response");
@@ -322,7 +167,7 @@ Result<wire::SampleResponse> Client::sample_hedged(
             wire::decode_sample_response(body, &response, header.version));
         // Stale loser from an earlier hedged call; skip past it.
         if (response.request_id != request.request_id) continue;
-        if (channel == 1) HedgeMetrics::get().hedges_won.add();
+        if (c == 1) HedgeMetrics::get().hedges_won.add();
         return response;
       }
     }
@@ -331,15 +176,17 @@ Result<wire::SampleResponse> Client::sample_hedged(
     if (recv_deadline_ns != 0 && now >= recv_deadline_ns) {
       return Status::timed_out("client: response deadline exceeded");
     }
+    // Primary EOF is tolerated while the hedge may still answer; fire
+    // the hedge immediately if it has not gone out yet.
+    if (!channel_.open() && !hedge_sent) hedge_at_ns = now;
     if (!hedge_sent && now >= hedge_at_ns) {
       hedge_sent = true;
       // A failed hedge is non-fatal: the primary is still in flight.
       if (send_hedge(request).is_ok()) {
-        hedge_open = true;
         HedgeMetrics::get().hedges.add();
       }
     }
-    if (!primary_open && !hedge_open) {
+    if (!channel_.open() && !hedge_.open()) {
       return Status::io_error("client: connection closed by server");
     }
 
@@ -350,54 +197,9 @@ Result<wire::SampleResponse> Client::sample_hedged(
     if (recv_deadline_ns != 0) {
       wait_ms = std::min(wait_ms, (recv_deadline_ns - now) / 1'000'000 + 1);
     }
-    pollfd pfds[2];
-    int nfds = 0;
-    int primary_idx = -1;
-    int hedge_idx = -1;
-    if (primary_open) {
-      primary_idx = nfds;
-      pfds[nfds++] = pollfd{fd_, POLLIN, 0};
-    }
-    if (hedge_open) {
-      hedge_idx = nfds;
-      pfds[nfds++] = pollfd{hedge_fd_, POLLIN, 0};
-    }
-    const int ready =
-        ::poll(pfds, static_cast<nfds_t>(nfds), static_cast<int>(wait_ms));
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      return Status::from_errno("poll");
-    }
-    if (ready == 0) continue;  // re-check deadline / hedge instant
-
-    if (primary_idx >= 0 &&
-        (pfds[primary_idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n == 0) {
-        // Tolerated while the hedge may still answer; fire the hedge
-        // immediately if it has not gone out yet.
-        primary_open = false;
-        if (!hedge_sent) hedge_at_ns = now;
-      } else if (n < 0) {
-        if (errno != EINTR) return Status::from_errno("recv");
-      } else {
-        rx_.insert(rx_.end(), chunk, chunk + n);
-      }
-    }
-    if (hedge_idx >= 0 &&
-        (pfds[hedge_idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-      const ssize_t n = ::recv(hedge_fd_, chunk, sizeof(chunk), 0);
-      if (n == 0) {
-        ::close(hedge_fd_);
-        hedge_fd_ = -1;
-        hedge_rx_.clear();
-        hedge_open = false;
-      } else if (n < 0) {
-        if (errno != EINTR) return Status::from_errno("recv");
-      } else {
-        hedge_rx_.insert(hedge_rx_.end(), chunk, chunk + n);
-      }
-    }
+    RS_RETURN_IF_ERROR(
+        poll_channels(channels, static_cast<std::uint32_t>(wait_ms))
+            .status());
   }
 }
 

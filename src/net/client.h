@@ -1,7 +1,7 @@
 // net::Client: a blocking sampling-service client (tests, svc_load).
 //
-// One Client == one TCP connection, used from one thread at a time.
-// sample() is the simple request/response call; the split
+// One Client == one primary TCP connection, used from one thread at a
+// time. sample() is the simple request/response call; the split
 // send_request()/read_sample_response() pair lets callers pipeline
 // several requests on one connection (the overload tests do this to
 // fill the server's admission queue faster than it drains).
@@ -20,6 +20,10 @@
 // doubles the server-side work for hedged requests; it buys tail
 // latency with capacity, so pair it with deadlines and keep the delay
 // well above the p50. Counted as net.client.hedges / hedges_won.
+//
+// Connections are net::Channel values, so the hedge race is the
+// general N-channel machinery (poll_channels) at N=2 — the same code
+// path the sharded router drives with a channel per shard replica.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "net/channel.h"
 #include "net/wire.h"
 #include "util/status.h"
 
@@ -50,15 +55,14 @@ struct ClientOptions {
 class Client {
  public:
   Client() = default;
-  ~Client();
-  Client(Client&& other) noexcept;
-  Client& operator=(Client&& other) noexcept;
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   static Result<Client> connect(const ClientOptions& options);
 
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const { return channel_.open(); }
   void close();
 
   // Queries graph shape + server fanout caps (load generators draw
@@ -83,25 +87,22 @@ class Client {
   Status send_raw(std::span<const std::uint8_t> bytes);
 
  private:
-  Status send_all(std::span<const std::uint8_t> bytes);
-  // Reads one complete frame (header validated, body filled).
+  // Reads one complete frame off the primary channel, bounded by
+  // recv_timeout_ms.
   Status read_frame(wire::FrameHeader* header,
                     std::vector<std::uint8_t>* body);
-  Status fill_rx(std::size_t needed);
-  // Hedged round trip: duplicate the request on the hedge connection
-  // after hedge_delay_ms, poll both, first matching response wins.
+  // Hedged round trip: duplicate the request on the hedge channel
+  // after hedge_delay_ms, race both, first matching response wins.
   Result<wire::SampleResponse> sample_hedged(
       const wire::SampleRequest& request);
   // Lazily connects the hedge channel and writes the duplicate.
   Status send_hedge(const wire::SampleRequest& request);
 
-  int fd_ = -1;
-  std::vector<std::uint8_t> rx_;
+  Channel channel_;
   // Second connection for hedged requests; opened on first hedge, kept
   // until close(). Its stale (losing) responses are skipped by
   // request_id like any pipelined leftovers.
-  int hedge_fd_ = -1;
-  std::vector<std::uint8_t> hedge_rx_;
+  Channel hedge_;
   ClientOptions options_;
   std::uint64_t next_request_id_ = 1;
 };

@@ -24,8 +24,42 @@
 #include "uring/uring_syscalls.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/sync.h"
 
 namespace rs::net {
+
+// Cross-thread tenant accounting (the "global quotas" headroom from
+// ROADMAP item 4): one server-wide ledger instead of a per-loop map, so
+// a tenant spraying connections across the SO_REUSEPORT loops — which
+// the sharded router does by design when it multiplexes many tenants
+// onto few shard connections — is capped by ONE number, not quota ×
+// threads. Admission is check-and-increment under the mutex (two loops
+// racing for the tenant's last slot must not both win); the lock is
+// touched only when a quota is configured, is O(1) per request, and the
+// sampling hot path never sees it.
+struct Server::TenantLedger {
+  explicit TenantLedger(std::uint32_t quota) : quota_(quota) {}
+
+  bool try_admit(std::uint32_t tenant) {
+    MutexLock lock(mutex_);
+    const auto [it, inserted] = queued_.try_emplace(tenant, 0u);
+    if (it->second >= quota_) return false;
+    ++it->second;
+    return true;
+  }
+
+  void release(std::uint32_t tenant) {
+    MutexLock lock(mutex_);
+    const auto it = queued_.find(tenant);
+    if (it != queued_.end() && --it->second == 0) queued_.erase(it);
+  }
+
+ private:
+  const std::uint32_t quota_;
+  Mutex mutex_;
+  std::unordered_map<std::uint32_t, std::uint32_t> queued_
+      RS_GUARDED_BY(mutex_);
+};
 namespace {
 
 // user_data layout: [63:56] tag | [55:32] conn slot | [31:0] slot
@@ -260,8 +294,6 @@ struct Server::Loop {
   // interactive's credit.
   std::size_t wrr_class = wire::kNumPriorities - 1;
   std::uint32_t wrr_credit = 0;
-  // Queued requests per tenant, maintained only when a quota is set.
-  std::unordered_map<std::uint32_t, std::uint32_t> tenant_queued;
   std::uint64_t batch_deadline_ns = 0;  // 0 = queue empty
 
   bool accept_armed = false;
@@ -424,24 +456,19 @@ struct Server::Loop {
     return 0;
   }
 
-  bool tenant_over_quota(std::uint32_t tenant) const {
-    if (options().tenant_quota == 0) return false;
-    const auto it = tenant_queued.find(tenant);
-    return it != tenant_queued.end() &&
-           it->second >= options().tenant_quota;
-  }
-
-  void note_tenant_queued(std::uint32_t tenant) {
-    if (options().tenant_quota == 0) return;
-    ++tenant_queued[tenant];
+  // Tenant admission against the server-wide ledger (check-and-
+  // increment; see TenantLedger). The matching release happens exactly
+  // once per admitted request: at pop (process_queue — including the
+  // requester-hung-up path), at a post-admission shed (the depth gate
+  // fires after the slot was taken), or at the shutdown drain.
+  bool tenant_try_admit(std::uint32_t tenant) {
+    if (server->tenants_ == nullptr) return true;
+    return server->tenants_->try_admit(tenant);
   }
 
   void release_tenant(std::uint32_t tenant) {
-    if (options().tenant_quota == 0) return;
-    const auto it = tenant_queued.find(tenant);
-    if (it != tenant_queued.end() && --it->second == 0) {
-      tenant_queued.erase(it);
-    }
+    if (server->tenants_ == nullptr) return;
+    server->tenants_->release(tenant);
   }
 
   // Weighted round-robin dequeue across the class queues: class c gets
@@ -527,7 +554,7 @@ struct Server::Loop {
                      pending.request.trace_id);
       return;
     }
-    if (tenant_over_quota(pending.request.tenant_id)) {
+    if (!tenant_try_admit(pending.request.tenant_id)) {
       tenant_rejects.fetch_add(1, std::memory_order_relaxed);
       metrics.tenant_quota_rejects.add();
       overload_sheds.fetch_add(1, std::memory_order_relaxed);
@@ -538,6 +565,8 @@ struct Server::Loop {
       return;
     }
     if (queued_total >= options().max_queue_depth) {
+      // The quota gate already took the tenant's slot; hand it back.
+      release_tenant(pending.request.tenant_id);
       overload_sheds.fetch_add(1, std::memory_order_relaxed);
       metrics.overload_sheds.add();
       queue_response(conn, pending.request.request_id,
@@ -566,7 +595,6 @@ struct Server::Loop {
       obs::trace_async_begin("net", "request", pending.request.trace_id);
       obs::trace_flow_begin("net", "request", pending.request.trace_id);
     }
-    note_tenant_queued(pending.request.tenant_id);
     queues[static_cast<std::size_t>(cls)].push_back(std::move(pending));
     ++queued_total;
     if (batch_deadline_ns == 0) {
@@ -1105,13 +1133,13 @@ struct Server::Loop {
     // their trace tracks so begin/end pairing stays exact in the dump.
     for (auto& class_queue : queues) {
       for (const PendingRequest& pending : class_queue) {
+        release_tenant(pending.request.tenant_id);
         obs::trace_flow_end("net", "request", pending.request.trace_id);
         obs::trace_async_end("net", "request", pending.request.trace_id);
       }
       class_queue.clear();
     }
     queued_total = 0;
-    tenant_queued.clear();
     obs::trace_span_end("net", "loop");
   }
 };
@@ -1142,6 +1170,9 @@ Status Server::init(core::RingSampler& sampler,
   }
   sampler_ = &sampler;
   options_ = options;
+  if (options.tenant_quota > 0) {
+    tenants_ = std::make_unique<TenantLedger>(options.tenant_quota);
+  }
 
   const uring::Features& features = uring::probe_features();
   using_uring_ = !options.force_psync && features.io_uring_available &&

@@ -81,9 +81,10 @@ struct ServerOptions {
   // treated as 1: weights shape service order, shedding is the brownout
   // ladder's job, and every admitted class must make progress.
   std::array<std::uint32_t, wire::kNumPriorities> class_weights{8, 3, 1};
-  // Per-tenant ceiling on queued requests per loop; a tenant at the
-  // ceiling gets kOverloaded (counted separately as tenant_rejects).
-  // 0 = no quota.
+  // Per-tenant ceiling on queued requests across ALL loops (one shared
+  // cross-thread ledger, so spraying connections over the SO_REUSEPORT
+  // threads buys a tenant nothing); at the ceiling the tenant gets
+  // kOverloaded (counted separately as tenant_rejects). 0 = no quota.
   std::uint32_t tenant_quota = 0;
   // Brownout ladder thresholds as percent occupancy of max_queue_depth.
   // At >= brownout_high_pct, incoming best-effort requests are shed; at
@@ -141,7 +142,8 @@ class Server {
 
   ServerStats stats() const;
 
-  struct Loop;  // server.cpp; one per thread
+  struct Loop;          // server.cpp; one per thread
+  struct TenantLedger;  // server.cpp; one per server, shared by loops
 
  private:
   Server() = default;
@@ -153,6 +155,8 @@ class Server {
   bool using_uring_ = false;
   std::atomic<bool> stop_flag_{false};
   bool stopped_ = false;
+  // Cross-thread tenant quota ledger; null when no quota is configured.
+  std::unique_ptr<TenantLedger> tenants_;
   std::vector<std::unique_ptr<Loop>> loops_;
   std::vector<std::thread> threads_;
 };

@@ -1,0 +1,53 @@
+#include "router/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace rs::router {
+namespace {
+
+// One SplitMix64 step keyed by (shard, vnode); a second step spreads
+// node ids before lookup so dense id ranges don't clump on the ring.
+std::uint64_t mix(std::uint64_t value) {
+  std::uint64_t state = value;
+  return splitmix64(state);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t num_shards, std::uint32_t vnodes)
+    : num_shards_(num_shards) {
+  RS_CHECK_MSG(num_shards >= 1, "hash ring needs at least one shard");
+  RS_CHECK_MSG(vnodes >= 1, "hash ring needs at least one vnode");
+  points_.reserve(num_shards * vnodes);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    for (std::uint32_t j = 0; j < vnodes; ++j) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(s) << 32) | std::uint64_t{j};
+      points_.push_back(
+          Point{mix(key), static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Shard index breaks (vanishingly unlikely) hash ties so
+              // the ring order is fully deterministic.
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.shard < b.shard;
+            });
+}
+
+std::uint32_t HashRing::shard_of(NodeId node) const {
+  const std::uint64_t h = mix(static_cast<std::uint64_t>(node) ^
+                              0x9e3779b97f4a7c15ULL);
+  // Successor point clockwise, wrapping past the top of the ring.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  if (it == points_.end()) it = points_.begin();
+  return it->shard;
+}
+
+}  // namespace rs::router

@@ -1,0 +1,52 @@
+// Consistent-hash ring over node-ID space.
+//
+// Each shard contributes `vnodes` points on a 64-bit ring (SplitMix64 of
+// the (shard, vnode) pair); a node id hashes to a point and is owned by
+// the first shard point clockwise from it. Properties the router leans
+// on:
+//
+//   * deterministic — the ring is a pure function of (num_shards,
+//     vnodes), so every router instance built from the same shard map
+//     partitions identically (a frontend can be restarted or replicated
+//     without resharding);
+//   * balanced — with the default 64 vnodes per shard, shard loads stay
+//     within a few percent of even for uniform node ids (asserted in
+//     router_test);
+//   * minimally disruptive — appending shard N+1 moves only ~1/(N+1) of
+//     the keyspace, which is why the shard-map format warns that only
+//     appends are safe.
+//
+// Ownership is about SERVING LOAD, not data placement: every shard
+// serves the full graph base, and the ring decides which shard samples
+// which frontier node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace rs::router {
+
+class HashRing {
+ public:
+  // num_shards >= 1, vnodes >= 1 (ShardMap::parse enforces the caps).
+  HashRing(std::size_t num_shards, std::uint32_t vnodes);
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  // The shard that owns `node`. O(log(num_shards * vnodes)).
+  std::uint32_t shard_of(NodeId node) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+
+  std::size_t num_shards_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace rs::router

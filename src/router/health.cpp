@@ -1,0 +1,79 @@
+#include "router/health.h"
+
+#include "util/common.h"
+
+namespace rs::router {
+
+HealthTracker::HealthTracker(const std::vector<std::size_t>& replicas,
+                             const HealthOptions& options)
+    : options_(options) {
+  offsets_.reserve(replicas.size());
+  std::size_t total = 0;
+  for (const std::size_t count : replicas) {
+    offsets_.push_back(total);
+    total += count;
+  }
+  slots_.resize(total);
+  auto& reg = obs::Registry::global();
+  ejections_ = reg.counter("router.ejections");
+  probes_ = reg.counter("router.probes");
+}
+
+HealthTracker::Slot& HealthTracker::slot(std::uint32_t shard,
+                                         std::uint32_t replica) {
+  RS_CHECK_MSG(shard < offsets_.size(), "health: shard out of range");
+  return slots_[offsets_[shard] + replica];
+}
+
+bool HealthTracker::allow(std::uint32_t shard, std::uint32_t replica,
+                          std::uint64_t now_ns) {
+  MutexLock lock(mutex_);
+  Slot& s = slot(shard, replica);
+  switch (s.state) {
+    case State::kHealthy:
+      return true;
+    case State::kProbing:
+      // The single half-open trial is already in flight.
+      return false;
+    case State::kEjected:
+      if (now_ns < s.ejected_until_ns) return false;
+      s.state = State::kProbing;
+      probes_.add();
+      return true;
+  }
+  return false;
+}
+
+bool HealthTracker::usable(std::uint32_t shard, std::uint32_t replica) {
+  MutexLock lock(mutex_);
+  const Slot& s = slot(shard, replica);
+  return s.state != State::kEjected;
+}
+
+void HealthTracker::record_success(std::uint32_t shard,
+                                   std::uint32_t replica) {
+  MutexLock lock(mutex_);
+  Slot& s = slot(shard, replica);
+  s.state = State::kHealthy;
+  s.consecutive_failures = 0;
+}
+
+void HealthTracker::record_failure(std::uint32_t shard,
+                                   std::uint32_t replica,
+                                   std::uint64_t now_ns) {
+  MutexLock lock(mutex_);
+  Slot& s = slot(shard, replica);
+  ++s.consecutive_failures;
+  const bool eject =
+      s.state == State::kProbing ||
+      (s.state == State::kHealthy &&
+       s.consecutive_failures >= options_.fail_threshold);
+  if (eject) {
+    s.state = State::kEjected;
+    s.ejected_until_ns =
+        now_ns + std::uint64_t{options_.eject_cooldown_ms} * 1'000'000;
+    ejections_.add();
+  }
+}
+
+}  // namespace rs::router

@@ -1,0 +1,85 @@
+// Per-replica health tracking: consecutive-failure ejection with
+// half-open probe re-admission.
+//
+// Every (shard, replica) endpoint runs a tiny circuit breaker:
+//
+//            failures >= fail_threshold
+//   Healthy ---------------------------> Ejected
+//      ^                                   | cooldown elapses
+//      | probe succeeds                    v
+//      +------------------------------- Probing
+//              probe fails: back to Ejected, cooldown restarts
+//
+// Ejected replicas are skipped by replica selection so a dead peer
+// costs one connect timeout per cooldown, not one per sub-request.
+// Probing grants exactly ONE in-flight trial (half-open): the first
+// allow() after the cooldown returns true and moves the replica to
+// Probing; further allow() calls return false until that trial reports
+// success (back to Healthy) or failure (re-ejected, cooldown restarts).
+//
+// Shared by every RouterSession thread, so all state sits behind one
+// mutex — acceptable because health is consulted once per sub-request
+// send, never per byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace rs::router {
+
+struct HealthOptions {
+  // Consecutive failures that eject a Healthy replica.
+  std::uint32_t fail_threshold = 3;
+  // How long an ejected replica sits out before its half-open probe.
+  std::uint32_t eject_cooldown_ms = 1000;
+};
+
+class HealthTracker {
+ public:
+  // Replica slots are addressed as (shard, replica) matching the shard
+  // map; `replicas[s]` = replica count of shard s.
+  HealthTracker(const std::vector<std::size_t>& replicas,
+                const HealthOptions& options);
+
+  // True when the replica may be sent a sub-request now (Healthy, or
+  // Ejected past its cooldown — which consumes the single probe slot).
+  bool allow(std::uint32_t shard, std::uint32_t replica,
+             std::uint64_t now_ns);
+
+  // Sub-request outcome feedback. Success always fully re-admits;
+  // failure counts toward ejection (or re-ejects a probing replica
+  // immediately).
+  void record_success(std::uint32_t shard, std::uint32_t replica);
+  void record_failure(std::uint32_t shard, std::uint32_t replica,
+                      std::uint64_t now_ns);
+
+  // True when the replica is currently usable without consuming the
+  // probe slot (Healthy or Probing). Used by hedging to count viable
+  // peers without side effects.
+  bool usable(std::uint32_t shard, std::uint32_t replica);
+
+ private:
+  enum class State : std::uint8_t { kHealthy, kEjected, kProbing };
+
+  struct Slot {
+    State state = State::kHealthy;
+    std::uint32_t consecutive_failures = 0;
+    std::uint64_t ejected_until_ns = 0;
+  };
+
+  Slot& slot(std::uint32_t shard, std::uint32_t replica)
+      RS_REQUIRES(mutex_);
+
+  const HealthOptions options_;
+  std::vector<std::size_t> offsets_;  // shard -> first slot index
+  Mutex mutex_;
+  std::vector<Slot> slots_ RS_GUARDED_BY(mutex_);
+  obs::Counter ejections_;
+  obs::Counter probes_;
+};
+
+}  // namespace rs::router

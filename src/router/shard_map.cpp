@@ -1,0 +1,208 @@
+#include "router/shard_map.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace rs::router {
+namespace {
+
+constexpr const char* kMagic = "# rs-shard-map v1";
+
+// Splits on runs of spaces/tabs; never returns empty tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string token;
+  for (const char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!token.empty()) tokens.push_back(std::move(token));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  if (!token.empty()) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+Status parse_endpoint(const std::string& token, std::size_t lineno,
+                      Endpoint* out) {
+  const std::size_t colon = token.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= token.size()) {
+    return Status::invalid("shard-map line " + std::to_string(lineno) +
+                           ": endpoint must be host:port, got \"" + token +
+                           "\"");
+  }
+  std::uint64_t port = 0;
+  for (std::size_t i = colon + 1; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) {
+      return Status::invalid("shard-map line " + std::to_string(lineno) +
+                             ": non-numeric port in \"" + token + "\"");
+    }
+    port = port * 10 + static_cast<std::uint64_t>(token[i] - '0');
+    if (port > 65535) {
+      return Status::invalid("shard-map line " + std::to_string(lineno) +
+                             ": port out of range in \"" + token + "\"");
+    }
+  }
+  if (port == 0) {
+    return Status::invalid("shard-map line " + std::to_string(lineno) +
+                           ": port must be nonzero in \"" + token + "\"");
+  }
+  out->host = token.substr(0, colon);
+  out->port = static_cast<std::uint16_t>(port);
+  return Status::ok();
+}
+
+}  // namespace
+
+std::size_t ShardMap::max_replicas() const {
+  std::size_t n = 0;
+  for (const auto& replicas : shards) {
+    if (replicas.size() > n) n = replicas.size();
+  }
+  return n;
+}
+
+std::string ShardMap::to_string() const {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "vnodes " << vnodes << "\n";
+  for (const auto& replicas : shards) {
+    out << "shard";
+    for (const Endpoint& endpoint : replicas) {
+      out << ' ' << endpoint.to_string();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<ShardMap> ShardMap::parse(const std::string& text) {
+  ShardMap map;
+  map.shards.clear();
+  bool saw_magic = false;
+  bool saw_vnodes = false;
+  std::size_t lineno = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (!saw_magic) {
+      // The whole first non-blank line, not its tokens: the magic is a
+      // literal string so format drift fails loudly.
+      std::string trimmed = line;
+      while (!trimmed.empty() &&
+             (trimmed.back() == ' ' || trimmed.back() == '\t')) {
+        trimmed.pop_back();
+      }
+      std::size_t start = 0;
+      while (start < trimmed.size() &&
+             (trimmed[start] == ' ' || trimmed[start] == '\t')) {
+        ++start;
+      }
+      if (trimmed.substr(start) != kMagic) {
+        return Status::invalid(
+            "shard-map: first line must be \"" + std::string(kMagic) +
+            "\"");
+      }
+      saw_magic = true;
+      continue;
+    }
+    if (tokens[0][0] == '#') continue;  // comment
+    if (tokens[0] == "vnodes") {
+      if (saw_vnodes) {
+        return Status::invalid("shard-map line " + std::to_string(lineno) +
+                               ": duplicate vnodes directive");
+      }
+      if (tokens.size() != 2) {
+        return Status::invalid("shard-map line " + std::to_string(lineno) +
+                               ": vnodes takes exactly one value");
+      }
+      std::uint64_t value = 0;
+      for (const char c : tokens[1]) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return Status::invalid("shard-map line " +
+                                 std::to_string(lineno) +
+                                 ": vnodes must be numeric");
+        }
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        if (value > kMaxVnodes) break;
+      }
+      if (value == 0 || value > kMaxVnodes) {
+        return Status::invalid("shard-map line " + std::to_string(lineno) +
+                               ": vnodes must be 1.." +
+                               std::to_string(kMaxVnodes));
+      }
+      map.vnodes = static_cast<std::uint32_t>(value);
+      saw_vnodes = true;
+      continue;
+    }
+    if (tokens[0] == "shard") {
+      if (tokens.size() < 2) {
+        return Status::invalid("shard-map line " + std::to_string(lineno) +
+                               ": shard needs at least one endpoint");
+      }
+      if (tokens.size() - 1 > kMaxReplicasPerShard) {
+        return Status::invalid("shard-map line " + std::to_string(lineno) +
+                               ": more than " +
+                               std::to_string(kMaxReplicasPerShard) +
+                               " replicas");
+      }
+      if (map.shards.size() >= kMaxShards) {
+        return Status::invalid("shard-map: more than " +
+                               std::to_string(kMaxShards) + " shards");
+      }
+      std::vector<Endpoint> replicas;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        Endpoint endpoint;
+        RS_RETURN_IF_ERROR(parse_endpoint(tokens[i], lineno, &endpoint));
+        for (const Endpoint& seen : replicas) {
+          if (seen == endpoint) {
+            return Status::invalid("shard-map line " +
+                                   std::to_string(lineno) +
+                                   ": duplicate replica " +
+                                   endpoint.to_string());
+          }
+        }
+        replicas.push_back(std::move(endpoint));
+      }
+      map.shards.push_back(std::move(replicas));
+      continue;
+    }
+    return Status::invalid("shard-map line " + std::to_string(lineno) +
+                           ": unknown directive \"" + tokens[0] + "\"");
+  }
+  if (!saw_magic) {
+    return Status::invalid("shard-map: empty file (missing magic line)");
+  }
+  if (map.shards.empty()) {
+    return Status::invalid("shard-map: no shard lines");
+  }
+  return map;
+}
+
+Result<ShardMap> ShardMap::load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::from_errno("shard-map: open " + path);
+  }
+  std::string text;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    text.append(chunk, n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::io_error("shard-map: read " + path);
+  }
+  return parse(text);
+}
+
+}  // namespace rs::router

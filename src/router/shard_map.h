@@ -1,0 +1,69 @@
+// Shard-map config: which sampler shards exist and where their
+// replicas listen.
+//
+// The router's unit of deployment is a text file so an operator can
+// read a diff of it in an incident review:
+//
+//   # rs-shard-map v1
+//   vnodes 64
+//   shard 10.0.0.1:7950 10.0.1.1:7950
+//   shard 10.0.0.2:7950 10.0.1.2:7950
+//
+// Line grammar:
+//   * the first non-blank line must be the literal magic
+//     `# rs-shard-map v1` (any other leading `#` line is rejected —
+//     a truncated or wrong-format file must not half-parse);
+//   * `vnodes N` (optional, once, 1..4096, default 64) sets the
+//     virtual-node count per shard on the consistent-hash ring;
+//   * each `shard` line declares one shard: 1..kMaxReplicasPerShard
+//     `host:port` endpoints, the first being the primary replica and
+//     the rest failover/hedge peers. Shard index == line order, and
+//     the index is what the hash ring maps node ids onto — REORDERING
+//     SHARD LINES RESHARDS THE RING. Append new shards at the end.
+//   * blank lines and later `#` comments are ignored.
+//
+// Every replica of a shard must serve the same graph (the serving
+// determinism contract makes their answers bit-identical, which is why
+// hedging and failover need no reconciliation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rs::router {
+
+inline constexpr std::size_t kMaxShards = 256;
+inline constexpr std::size_t kMaxReplicasPerShard = 4;
+inline constexpr std::uint32_t kMaxVnodes = 4096;
+inline constexpr std::uint32_t kDefaultVnodes = 64;
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+  bool operator==(const Endpoint& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+struct ShardMap {
+  std::uint32_t vnodes = kDefaultVnodes;
+  // shards[s] = that shard's replica endpoints, primary first.
+  std::vector<std::vector<Endpoint>> shards;
+
+  std::size_t num_shards() const { return shards.size(); }
+  std::size_t max_replicas() const;
+  // Re-emits the canonical text form (round-trips through parse).
+  std::string to_string() const;
+
+  static Result<ShardMap> parse(const std::string& text);
+  static Result<ShardMap> load(const std::string& path);
+};
+
+}  // namespace rs::router

@@ -230,6 +230,51 @@ TEST_F(QosTest, TenantQuotaCapsQueuedRequests) {
   EXPECT_GE(server.value()->stats().overload_sheds, 1u);
 }
 
+// The tenant ledger is global across server threads: with quota 2 and
+// TWO event-loop threads, eight concurrent connections from one tenant
+// must get exactly 2 admissions — a per-thread ledger would admit up to
+// 4 (2 per loop), which is precisely the bug this test pins down.
+TEST_F(QosTest, TenantQuotaIsGlobalAcrossServerThreads) {
+  auto sampler = open_sampler(2);
+  ServerOptions options;
+  options.threads = 2;
+  options.tenant_quota = 2;
+  options.batch_window_us = 300'000;  // hold admitted requests queued
+  auto server = Server::start(*sampler, options);
+  RS_ASSERT_OK(server);
+
+  // One request per connection so the connections spread across both
+  // event loops; all eight land inside the batch window, so the ledger
+  // sees them overlapping.
+  constexpr int kClients = 8;
+  std::vector<Client> clients;
+  for (int i = 0; i < kClients; ++i) {
+    auto client = Client::connect(client_options(*server.value()));
+    RS_ASSERT_OK(client);
+    clients.push_back(std::move(client).value());
+  }
+  for (int i = 0; i < kClients; ++i) {
+    wire::SampleRequest request = make_request(100 + i);
+    request.tenant_id = 7;
+    test::assert_ok(clients[i].send_request(request));
+  }
+
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kClients; ++i) {
+    auto response = clients[i].read_sample_response();
+    RS_ASSERT_OK(response);
+    if (response.value().status == wire::WireStatus::kOk) ++ok;
+    if (response.value().status == wire::WireStatus::kOverloaded) {
+      ++rejected;
+    }
+  }
+  server.value()->stop();
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(rejected, kClients - 2);
+  EXPECT_EQ(server.value()->stats().tenant_rejects,
+            static_cast<std::uint64_t>(kClients - 2));
+}
+
 // Brownout ladder, level 1: at high queue occupancy, best-effort
 // arrivals are shed while interactive arrivals are still admitted.
 TEST_F(QosTest, BrownoutShedsBestEffortFirst) {
