@@ -1239,7 +1239,8 @@ class Diag:
 # Checks 1+2: lock-order cycles and blocking-under-lock
 # --------------------------------------------------------------------------
 
-HOT_DIRS = ("src/uring/", "src/io/", "src/net/", "src/router/")
+HOT_DIRS = ("src/uring/", "src/io/", "src/net/", "src/router/",
+            "tools/rs_reorg")
 
 # Calls that can block the calling thread (syscalls, waits, sleeps —
 # and the RS_* log macros, which write(2) to stderr under the hood).
@@ -2116,6 +2117,13 @@ def default_sources(root):
         if base.is_dir():
             out.extend(sorted(base.rglob("*.cpp")))
             out.extend(sorted(base.rglob("*.h")))
+    # Top-level tools (rs_reorg and friends) are production code too;
+    # tools/fixtures stays out — fixtures violate invariants on purpose
+    # and are exercised via --fixtures.
+    tools = root / "tools"
+    if tools.is_dir():
+        out.extend(sorted(tools.glob("*.cpp")))
+        out.extend(sorted(tools.glob("*.h")))
     return out
 
 

@@ -1,46 +1,142 @@
 #include "core/block_cache.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
+#include <vector>
+
+#include "io/file.h"
 
 namespace rs::core {
 
+Result<PinnedBlockSet> PinnedBlockSet::build(
+    const std::string& edges_path,
+    std::span<const std::uint64_t> block_ids, std::uint32_t block_bytes,
+    MemoryBudget& budget) {
+  RS_CHECK(block_bytes > 0 && std::has_single_bit(block_bytes));
+  PinnedBlockSet set;
+  set.block_bytes_ = block_bytes;
+  if (block_ids.empty()) return set;
+
+  std::vector<std::uint64_t> sorted(block_ids.begin(), block_ids.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  RS_ASSIGN_OR_RETURN(set.ids_,
+                      TrackedBuffer<std::uint64_t>::create(
+                          budget, sorted.size(), "pinned block ids"));
+  RS_ASSIGN_OR_RETURN(
+      set.data_,
+      TrackedBuffer<unsigned char>::create(
+          budget, sorted.size() * block_bytes, "pinned block data"));
+  std::copy(sorted.begin(), sorted.end(), set.ids_.data());
+
+  // Plain buffered reads: this runs once at build time, and the engine's
+  // edge-file handle may be O_DIRECT (alignment rules we need not obey
+  // here).
+  RS_ASSIGN_OR_RETURN(io::File file,
+                      io::File::open(edges_path, io::OpenMode::kRead));
+  RS_ASSIGN_OR_RETURN(const std::uint64_t file_size, file.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const std::uint64_t off = sorted[i] * block_bytes;
+    unsigned char* dst = set.data_.data() + i * block_bytes;
+    if (off >= file_size) {
+      return Status::invalid("pinned block " + std::to_string(sorted[i]) +
+                             " lies past the edge file");
+    }
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(block_bytes, file_size - off));
+    RS_RETURN_IF_ERROR(file.pread_exact(dst, len, off));
+    if (len < block_bytes) std::memset(dst + len, 0, block_bytes - len);
+  }
+  set.num_blocks_ = sorted.size();
+  obs::Registry::global()
+      .gauge("cache.pin_bytes")
+      .set(static_cast<std::int64_t>(set.pinned_bytes()));
+  return set;
+}
+
+std::size_t PinnedBlockSet::find(std::uint64_t block_id) const {
+  if (num_blocks_ == 0) return kNotFound;
+  const std::uint64_t* begin = ids_.data();
+  const std::uint64_t* end = begin + num_blocks_;
+  const std::uint64_t* it = std::lower_bound(begin, end, block_id);
+  if (it == end || *it != block_id) return kNotFound;
+  return static_cast<std::size_t>(it - begin);
+}
+
+bool PinnedBlockSet::lookup(std::uint64_t block_id,
+                            std::uint32_t offset_in_block, std::uint32_t len,
+                            void* dst) const {
+  const std::size_t i = find(block_id);
+  if (i == kNotFound) return false;
+  std::memcpy(dst, data_.data() + i * block_bytes_ + offset_in_block, len);
+  return true;
+}
+
 Result<BlockCache> BlockCache::create(MemoryBudget& budget,
                                       std::uint64_t bytes_allowed,
-                                      std::uint32_t block_bytes) {
+                                      std::uint32_t block_bytes,
+                                      const PinnedBlockSet* pinned) {
   RS_CHECK(block_bytes > 0 && std::has_single_bit(block_bytes));
   BlockCache cache;
   cache.block_bytes_ = block_bytes;
+  if (pinned != nullptr && pinned->enabled()) {
+    RS_CHECK_MSG(pinned->block_bytes() == block_bytes,
+                 "pin set block size disagrees with cache block size");
+    cache.pinned_ = pinned;
+  }
 
   const std::uint64_t per_block = block_bytes + sizeof(std::uint64_t);
   std::uint64_t blocks = bytes_allowed / per_block;
   // Round down to a power of two so slot_of is a shift.
   if (blocks >= 8) {
     blocks = std::uint64_t{1} << (63 - std::countl_zero(blocks));
-  } else {
-    return cache;  // disabled
+    RS_ASSIGN_OR_RETURN(cache.tags_,
+                        TrackedBuffer<std::uint64_t>::create(
+                            budget, blocks, "block cache tags"));
+    RS_ASSIGN_OR_RETURN(
+        cache.data_,
+        TrackedBuffer<unsigned char>::create(budget, blocks * block_bytes,
+                                             "block cache data"));
+    std::memset(cache.tags_.data(), 0, blocks * sizeof(std::uint64_t));
+    cache.num_blocks_ = blocks;
+    cache.shift_ = 64 - static_cast<unsigned>(std::countr_zero(blocks));
+  } else if (cache.pinned_ == nullptr) {
+    return cache;  // disabled: no reactive slots and nothing pinned
   }
-
-  RS_ASSIGN_OR_RETURN(cache.tags_,
-                      TrackedBuffer<std::uint64_t>::create(
-                          budget, blocks, "block cache tags"));
-  RS_ASSIGN_OR_RETURN(
-      cache.data_,
-      TrackedBuffer<unsigned char>::create(budget, blocks * block_bytes,
-                                           "block cache data"));
-  std::memset(cache.tags_.data(), 0, blocks * sizeof(std::uint64_t));
-  cache.num_blocks_ = blocks;
-  cache.shift_ = 64 - static_cast<unsigned>(std::countr_zero(blocks));
   auto& registry = obs::Registry::global();
   cache.hits_counter_ = registry.counter("block_cache.hits");
+  cache.pinned_hits_counter_ = registry.counter("block_cache.pinned_hits");
   cache.misses_counter_ = registry.counter("block_cache.misses");
   return cache;
 }
 
 bool BlockCache::lookup(std::uint64_t block_id, std::uint32_t offset_in_block,
                         std::uint32_t len, void* dst) {
-  if (num_blocks_ == 0) return false;
-  RS_CHECK(offset_in_block + len <= block_bytes_);
+  if (!enabled()) return false;
+  // Overflow-safe bounds check: `offset_in_block + len` can wrap in 32
+  // bits, so compare len against the space that remains instead. An
+  // out-of-range probe is a miss, not a crash.
+  if (offset_in_block > block_bytes_ ||
+      len > block_bytes_ - offset_in_block) {
+    ++misses_;
+    misses_counter_.add();
+    return false;
+  }
+  if (pinned_ != nullptr &&
+      pinned_->lookup(block_id, offset_in_block, len, dst)) {
+    ++hits_;
+    ++pinned_hits_;
+    hits_counter_.add();
+    pinned_hits_counter_.add();
+    return true;
+  }
+  if (num_blocks_ == 0) {
+    ++misses_;
+    misses_counter_.add();
+    return false;
+  }
   const std::size_t slot = slot_of(block_id);
   if (tags_[slot] != block_id + 1) {
     ++misses_;
@@ -56,6 +152,7 @@ bool BlockCache::lookup(std::uint64_t block_id, std::uint32_t offset_in_block,
 
 void BlockCache::insert(std::uint64_t block_id, const void* data) {
   if (num_blocks_ == 0) return;
+  if (pinned_ != nullptr && pinned_->contains(block_id)) return;
   const std::size_t slot = slot_of(block_id);
   std::memcpy(data_.data() + slot * block_bytes_, data, block_bytes_);
   tags_[slot] = block_id + 1;

@@ -11,9 +11,18 @@
 // Direct-mapped (one tag per set) keeps lookups branch-light on the
 // sampling hot path; the skewed access pattern of power-law graphs gives
 // useful hit rates even without associativity.
+//
+// The cache can additionally front a PinnedBlockSet — a BGL-style
+// (arXiv:2112.08541) static region holding the hottest blocks, loaded
+// once at build time and never evicted. Lookups consult the pin set
+// first; reactive inserts skip pinned blocks so the reactive slots are
+// spent entirely on the cold tail. One immutable pin set is shared by
+// every per-thread BlockCache.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
 
 #include "obs/metrics.h"
 #include "util/common.h"
@@ -22,29 +31,79 @@
 
 namespace rs::core {
 
+// Immutable, budget-charged set of edge-file blocks resident in memory.
+// Thread-safe by construction (read-only after build); lookups are a
+// binary search over the sorted block ids.
+class PinnedBlockSet {
+ public:
+  PinnedBlockSet() = default;
+
+  // Loads `block_ids` (deduplicated, any order) from the edge file at
+  // `edges_path` with plain buffered reads, charging ids + data to
+  // `budget`. A block overlapping the end of the file is zero-padded
+  // past EOF. Sets the `cache.pin_bytes` gauge.
+  static Result<PinnedBlockSet> build(const std::string& edges_path,
+                                      std::span<const std::uint64_t> block_ids,
+                                      std::uint32_t block_bytes,
+                                      MemoryBudget& budget);
+
+  bool enabled() const { return num_blocks_ > 0; }
+  std::uint64_t num_blocks() const { return num_blocks_; }
+  std::uint32_t block_bytes() const { return block_bytes_; }
+  std::uint64_t pinned_bytes() const { return num_blocks_ * block_bytes_; }
+
+  bool contains(std::uint64_t block_id) const {
+    return find(block_id) != kNotFound;
+  }
+
+  // Copies `len` bytes at `offset_in_block` of `block_id` into `dst` if
+  // the block is pinned. The range must be in bounds (callers validate,
+  // as BlockCache::lookup does).
+  bool lookup(std::uint64_t block_id, std::uint32_t offset_in_block,
+              std::uint32_t len, void* dst) const;
+
+ private:
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+  std::size_t find(std::uint64_t block_id) const;
+
+  TrackedBuffer<std::uint64_t> ids_;  // sorted ascending
+  TrackedBuffer<unsigned char> data_;  // block for ids_[i] at i*block_bytes
+  std::uint64_t num_blocks_ = 0;
+  std::uint32_t block_bytes_ = 512;
+};
+
 class BlockCache {
  public:
   BlockCache() = default;
 
-  // Sizes the cache to at most `bytes_allowed` (tags + data), charged to
-  // `budget`. Returns a disabled cache if fewer than 8 blocks fit.
+  // Sizes the reactive region to at most `bytes_allowed` (tags + data),
+  // charged to `budget`; fewer than 8 blocks disables it. `pinned`, when
+  // non-null and enabled, is consulted before the reactive slots and must
+  // outlive the cache (RingSampler owns one set shared by all threads).
   static Result<BlockCache> create(MemoryBudget& budget,
                                    std::uint64_t bytes_allowed,
-                                   std::uint32_t block_bytes);
+                                   std::uint32_t block_bytes,
+                                   const PinnedBlockSet* pinned = nullptr);
 
-  bool enabled() const { return num_blocks_ > 0; }
+  bool enabled() const {
+    return num_blocks_ > 0 || (pinned_ != nullptr && pinned_->enabled());
+  }
   std::uint64_t capacity_blocks() const { return num_blocks_; }
   std::uint32_t block_bytes() const { return block_bytes_; }
 
-  // If block `block_id` is cached, copies `len` bytes starting at
-  // `offset_in_block` into `dst` and returns true.
+  // If block `block_id` is cached (pinned or reactive), copies `len`
+  // bytes starting at `offset_in_block` into `dst` and returns true.
+  // An out-of-bounds range is a miss (returns false), never a read past
+  // the cached block.
   bool lookup(std::uint64_t block_id, std::uint32_t offset_in_block,
               std::uint32_t len, void* dst);
 
-  // Installs a freshly read block.
+  // Installs a freshly read block. Pinned blocks are skipped — they are
+  // already resident, so the reactive slot is left for a cold block.
   void insert(std::uint64_t block_id, const void* data);
 
   std::uint64_t hits() const { return hits_; }
+  std::uint64_t pinned_hits() const { return pinned_hits_; }
   std::uint64_t misses() const { return misses_; }
 
  private:
@@ -57,12 +116,15 @@ class BlockCache {
 
   TrackedBuffer<std::uint64_t> tags_;  // block_id + 1; 0 = empty
   TrackedBuffer<unsigned char> data_;
+  const PinnedBlockSet* pinned_ = nullptr;
   std::uint64_t num_blocks_ = 0;
   std::uint32_t block_bytes_ = 512;
   unsigned shift_ = 64;
   std::uint64_t hits_ = 0;
+  std::uint64_t pinned_hits_ = 0;
   std::uint64_t misses_ = 0;
   obs::Counter hits_counter_;
+  obs::Counter pinned_hits_counter_;
   obs::Counter misses_counter_;
 };
 

@@ -21,6 +21,11 @@ std::string SamplerConfig::describe() const {
       << (coalesce_blocks ? " coalesce" : "")
       << (register_file ? " fixed-file" : "");
   if (hot_cache_bytes > 0) out << " hot-cache=" << hot_cache_bytes << "B";
+  if (cache_pin_fraction > 0) out << " pin-frac=" << cache_pin_fraction;
+  if (!hotness_profile_path.empty()) {
+    out << " hotness-profile=" << hotness_profile_path;
+  }
+  if (record_hotness) out << " record-hotness";
   if (!trace_path.empty()) out << " trace=" << trace_path;
   out << " seed=" << seed;
   return out.str();

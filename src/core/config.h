@@ -78,6 +78,24 @@ struct SamplerConfig {
   double cache_budget_fraction = 0.8;
   bool enable_block_cache = true;
 
+  // BGL-style static/reactive split of the block-cache budget: this
+  // fraction of the cache spend is given to one shared pin set holding
+  // the hottest edge-file blocks (rank_blocks over the profile, or
+  // degree), loaded at build time and never evicted; the remainder funds
+  // the per-thread reactive caches. 0 = fully reactive (the old
+  // behavior), 1 = fully pinned. Ignored without a block cache.
+  double cache_pin_fraction = 0.0;
+
+  // Hotness profile (core/hotness.h) recorded by an earlier
+  // `record_hotness` run. When set, block pinning and NeighborCache
+  // admission rank by measured visit counts instead of degree.
+  std::string hotness_profile_path;
+
+  // Record per-node frontier-visit counts during sampling (one atomic
+  // u64 per node, charged to the budget). Read the result back with
+  // RingSampler::hotness_snapshot()/save_hotness_profile().
+  bool record_hotness = false;
+
   // Hot-neighbor cache (§4.4's "smart caching strategy" for serving):
   // pin the adjacency lists of the highest-degree nodes, up to this many
   // bytes, and sample them with zero I/O. 0 disables. The cache is

@@ -1,0 +1,152 @@
+#include "core/hotness.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "io/file.h"
+#include "util/fs.h"
+
+namespace rs::core {
+namespace {
+
+struct ProfileOnDisk {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t num_nodes;
+};
+
+}  // namespace
+
+Result<HotnessProfile> HotnessProfile::load(const std::string& path) {
+  RS_ASSIGN_OR_RETURN(io::File file,
+                      io::File::open(path, io::OpenMode::kRead));
+  ProfileOnDisk header{};
+  RS_RETURN_IF_ERROR(file.pread_exact(&header, sizeof(header), 0));
+  if (header.magic != kHotnessMagic) {
+    return Status::corrupt(path + ": bad hotness-profile magic");
+  }
+  if (header.version != kHotnessVersion) {
+    return Status::corrupt(path + ": unsupported hotness-profile version " +
+                           std::to_string(header.version));
+  }
+  RS_ASSIGN_OR_RETURN(const std::uint64_t size, file.size());
+  const std::uint64_t want =
+      sizeof(header) + header.num_nodes * sizeof(std::uint64_t);
+  if (size != want) {
+    return Status::corrupt(path + ": size " + std::to_string(size) +
+                           " != expected " + std::to_string(want));
+  }
+  HotnessProfile profile;
+  profile.counts.resize(static_cast<std::size_t>(header.num_nodes));
+  if (!profile.counts.empty()) {
+    RS_RETURN_IF_ERROR(file.pread_exact(
+        profile.counts.data(), profile.counts.size() * sizeof(std::uint64_t),
+        sizeof(header)));
+  }
+  return profile;
+}
+
+Status HotnessProfile::save(const std::string& path) const {
+  ProfileOnDisk header{kHotnessMagic, kHotnessVersion, counts.size()};
+  RS_ASSIGN_OR_RETURN(io::File file,
+                      io::File::open(path, io::OpenMode::kWriteTrunc));
+  RS_RETURN_IF_ERROR(file.pwrite_exact(&header, sizeof(header), 0));
+  if (!counts.empty()) {
+    RS_RETURN_IF_ERROR(file.pwrite_exact(
+        counts.data(), counts.size() * sizeof(std::uint64_t),
+        sizeof(header)));
+  }
+  return Status::ok();
+}
+
+HotnessOrder hotness_order(const OffsetIndex& index,
+                           const HotnessProfile* profile) {
+  const NodeId n = index.num_nodes();
+  if (profile != nullptr) {
+    RS_CHECK_MSG(profile->num_nodes() == n,
+                 "hotness profile covers a different node count");
+  }
+  auto hot = [&](NodeId v) -> std::uint64_t {
+    return profile != nullptr ? profile->hot(v) : index.degree(v);
+  };
+
+  HotnessOrder out;
+  out.order.resize(n);
+  std::iota(out.order.begin(), out.order.end(), NodeId{0});
+  std::sort(out.order.begin(), out.order.end(), [&](NodeId a, NodeId b) {
+    const std::uint64_t ha = hot(a), hb = hot(b);
+    if (ha != hb) return ha > hb;
+    const EdgeIdx da = index.degree(a), db = index.degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  for (const NodeId v : out.order) {
+    if (hot(v) == 0) break;
+    ++out.num_hot;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> rank_blocks(const OffsetIndex& index,
+                                       const HotnessProfile* profile,
+                                       std::uint32_t block_bytes,
+                                       std::size_t max_blocks) {
+  RS_CHECK(block_bytes > 0);
+  const NodeId n = index.num_nodes();
+  if (profile != nullptr) {
+    RS_CHECK_MSG(profile->num_nodes() == n,
+                 "hotness profile covers a different node count");
+  }
+  const std::uint64_t total_bytes = index.num_edges() * kEdgeEntryBytes;
+  const std::uint64_t total_blocks =
+      (total_bytes + block_bytes - 1) / block_bytes;
+  if (total_blocks == 0 || max_blocks == 0) return {};
+
+  // score[b] = sum over lists overlapping block b of
+  //            hotness(v) * entries_in_block / degree(v).
+  std::vector<double> score(static_cast<std::size_t>(total_blocks), 0.0);
+  const std::uint64_t entries_per_block = block_bytes / kEdgeEntryBytes;
+  for (NodeId v = 0; v < n; ++v) {
+    const EdgeIdx degree = index.degree(v);
+    if (degree == 0) continue;
+    const std::uint64_t hot =
+        profile != nullptr ? profile->hot(v) : degree;
+    if (hot == 0) continue;
+    const double per_entry =
+        static_cast<double>(hot) / static_cast<double>(degree);
+    const std::uint64_t first_entry = index.begin(v);
+    const std::uint64_t last_entry = first_entry + degree - 1;
+    const std::uint64_t first_block =
+        first_entry * kEdgeEntryBytes / block_bytes;
+    const std::uint64_t last_block =
+        (last_entry * kEdgeEntryBytes + kEdgeEntryBytes - 1) / block_bytes;
+    for (std::uint64_t b = first_block; b <= last_block; ++b) {
+      const std::uint64_t block_first = b * entries_per_block;
+      const std::uint64_t block_last = block_first + entries_per_block - 1;
+      const std::uint64_t lo = std::max<std::uint64_t>(first_entry,
+                                                       block_first);
+      const std::uint64_t hi = std::min<std::uint64_t>(last_entry,
+                                                       block_last);
+      score[static_cast<std::size_t>(b)] +=
+          per_entry * static_cast<double>(hi - lo + 1);
+    }
+  }
+
+  std::vector<std::uint64_t> blocks(static_cast<std::size_t>(total_blocks));
+  std::iota(blocks.begin(), blocks.end(), std::uint64_t{0});
+  const std::size_t keep =
+      std::min(max_blocks, static_cast<std::size_t>(total_blocks));
+  std::partial_sort(blocks.begin(), blocks.begin() + keep, blocks.end(),
+                    [&](std::uint64_t a, std::uint64_t b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  blocks.resize(keep);
+  while (!blocks.empty() && score[static_cast<std::size_t>(blocks.back())] <=
+                                0.0) {
+    blocks.pop_back();
+  }
+  return blocks;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,67 @@
+// Hotness ranking: which nodes (and which edge-file blocks) does sampling
+// actually touch? Two sources, per DiskGNN (arXiv:2405.05231) and BGL
+// (arXiv:2112.08541):
+//
+//   * degree — static proxy, free: sampling visits a node as a frontier
+//     target with probability proportional to its in-edges, so hubs are
+//     hot. Works with nothing but the offset index.
+//   * sampled profile — measured: per-node frontier-visit counts recorded
+//     by a profiling epoch (SamplerConfig::record_hotness), persisted as
+//     a small sidecar file. Captures target-set and fanout skew that
+//     degree alone misses.
+//
+// Consumers: tools/rs_reorg orders adjacency lists hottest-first on disk
+// (graph::reorganize_graph), the BlockCache pin set takes the top-ranked
+// blocks (rank_blocks), and NeighborCache admission ranks by the same
+// hotness instead of raw degree when a profile exists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/offset_index.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace rs::core {
+
+inline constexpr std::uint32_t kHotnessMagic = 0x50485352;  // "RSHP"
+inline constexpr std::uint32_t kHotnessVersion = 1;
+
+// Per-node frontier-visit counts from a profiling run. counts[v] is how
+// many times node v's adjacency list was sampled from (any layer).
+struct HotnessProfile {
+  std::vector<std::uint64_t> counts;
+
+  std::uint64_t hot(NodeId v) const { return counts[v]; }
+  NodeId num_nodes() const { return static_cast<NodeId>(counts.size()); }
+
+  static Result<HotnessProfile> load(const std::string& path);
+  Status save(const std::string& path) const;
+};
+
+// All nodes, hottest first. Hotness is profile counts when `profile` is
+// non-null (it must cover exactly index.num_nodes() nodes), else degree.
+// Ties break by descending degree, then ascending id, so the order — and
+// therefore every reorganized layout — is deterministic.
+struct HotnessOrder {
+  std::vector<NodeId> order;
+  std::uint64_t num_hot = 0;  // leading entries with nonzero hotness
+};
+HotnessOrder hotness_order(const OffsetIndex& index,
+                           const HotnessProfile* profile);
+
+// Top-scored edge-file blocks for a static pin set, best first, at most
+// `max_blocks` entries. A block's score sums, over every adjacency list
+// overlapping it, hotness(v) * entries_of_v_in_block / degree(v) — the
+// expected per-entry touch rate times the entries the block holds.
+// Positions come from index.begin(), so a reorganized layout is scored
+// at its physical (clustered) positions. Zero-scored blocks are never
+// returned.
+std::vector<std::uint64_t> rank_blocks(const OffsetIndex& index,
+                                       const HotnessProfile* profile,
+                                       std::uint32_t block_bytes,
+                                       std::size_t max_blocks);
+
+}  // namespace rs::core

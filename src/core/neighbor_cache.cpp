@@ -12,29 +12,36 @@ namespace rs::core {
 Result<NeighborCache> NeighborCache::build(const std::string& graph_base,
                                            const OffsetIndex& index,
                                            std::uint64_t bytes_allowed,
-                                           MemoryBudget& budget) {
+                                           MemoryBudget& budget,
+                                           const HotnessProfile* profile) {
   NeighborCache cache;
   if (bytes_allowed == 0 || index.num_nodes() == 0) return cache;
 
-  // Greedy by degree: sort node ids by descending degree, admit while
-  // the byte budget lasts.
-  const NodeId n = index.num_nodes();
-  std::vector<NodeId> order(n);
-  std::iota(order.begin(), order.end(), NodeId{0});
-  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    return index.degree(a) > index.degree(b);
-  });
+  // Greedy by hotness (profile counts when one was recorded, else
+  // degree); hotness_order() breaks ties deterministically.
+  const HotnessOrder ranked = hotness_order(index, profile);
 
+  // First-fit admission: a list that doesn't fit the remaining budget is
+  // *skipped*, not a stopping point — with hubs up front, the smaller
+  // lists behind an oversized one usually still fit. The scan is bounded:
+  // it ends as soon as the budget can't hold even a one-entry list.
   std::uint64_t admitted_entries = 0;
-  std::size_t admitted_nodes = 0;
+  std::vector<NodeId> admitted;
   const std::uint64_t max_entries = bytes_allowed / sizeof(NodeId);
-  for (const NodeId v : order) {
+  for (const NodeId v : ranked.order) {
+    if (admitted_entries >= max_entries) break;
     const EdgeIdx degree = index.degree(v);
-    if (degree == 0) break;  // rest are zero-degree
-    if (admitted_entries + degree > max_entries) break;
+    if (degree == 0) {
+      // Degree ranking is descending, so the rest are zero-degree too; a
+      // profile can rank an isolated node hot, so keep scanning there.
+      if (profile == nullptr) break;
+      continue;
+    }
+    if (admitted_entries + degree > max_entries) continue;
     admitted_entries += degree;
-    ++admitted_nodes;
+    admitted.push_back(v);
   }
+  const std::size_t admitted_nodes = admitted.size();
   if (admitted_nodes == 0) return cache;
 
   RS_ASSIGN_OR_RETURN(
@@ -47,10 +54,6 @@ Result<NeighborCache> NeighborCache::build(const std::string& graph_base,
       io::File::open(graph::edges_path(graph_base), io::OpenMode::kRead));
 
   // Load admitted lists, ordered by node id so the reads sweep forward.
-  std::vector<NodeId> admitted(order.begin(),
-                               order.begin() +
-                                   static_cast<std::ptrdiff_t>(
-                                       admitted_nodes));
   std::sort(admitted.begin(), admitted.end());
   std::size_t cursor = 0;
   cache.entries_.reserve(admitted_nodes);

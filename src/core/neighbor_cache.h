@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/hotness.h"
 #include "core/offset_index.h"
 #include "util/common.h"
 #include "util/mem_budget.h"
@@ -28,14 +29,17 @@ class NeighborCache {
  public:
   NeighborCache() = default;
 
-  // Builds from an open graph: selects nodes by descending degree while
-  // their adjacency fits in `bytes_allowed`, loads those lists from the
-  // edge file, and charges the total to `budget`. `bytes_allowed == 0`
-  // returns a disabled cache.
+  // Builds from an open graph: selects nodes by descending hotness —
+  // profile counts when `profile` is non-null, degree otherwise — and
+  // admits each node whose adjacency still fits in `bytes_allowed`
+  // (first-fit: a hub that doesn't fit is skipped, not a stopping
+  // point), loads those lists from the edge file, and charges the total
+  // to `budget`. `bytes_allowed == 0` returns a disabled cache.
   static Result<NeighborCache> build(const std::string& graph_base,
                                      const OffsetIndex& index,
                                      std::uint64_t bytes_allowed,
-                                     MemoryBudget& budget);
+                                     MemoryBudget& budget,
+                                     const HotnessProfile* profile = nullptr);
 
   bool enabled() const { return !entries_.empty(); }
   std::size_t cached_nodes() const { return entries_.size(); }

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "graph/binary_format.h"
+#include "graph/layout.h"
 #include "io/file.h"
+#include "obs/metrics.h"
 
 namespace rs::core {
 
@@ -23,9 +25,36 @@ Result<OffsetIndex> OffsetIndex::load(const std::string& base,
                                       count * sizeof(EdgeIdx), 0));
   index.data_ = index.buffer_.data();
   index.size_ = count;
+  index.phys_ = index.data_;
   if (index.data_[0] != 0 || index.num_edges() != meta.num_edges) {
     return Status::corrupt(base + ": offset index disagrees with meta");
   }
+
+  // Reorganized graph? Load the physical positions and validate that
+  // every list stays inside the edge file.
+  RS_ASSIGN_OR_RETURN(auto layout, graph::read_layout(base));
+  if (layout.has_value()) {
+    if (layout->phys_begin.size() != meta.num_nodes) {
+      return Status::corrupt(base + ": layout disagrees with meta");
+    }
+    RS_ASSIGN_OR_RETURN(
+        index.phys_buffer_,
+        TrackedBuffer<EdgeIdx>::create(budget, layout->phys_begin.size(),
+                                       "physical layout index"));
+    std::copy(layout->phys_begin.begin(), layout->phys_begin.end(),
+              index.phys_buffer_.data());
+    for (NodeId v = 0; v < meta.num_nodes; ++v) {
+      if (index.phys_buffer_[v] + index.degree(v) > meta.num_edges) {
+        return Status::corrupt(base + ": layout range out of bounds for "
+                                      "node " + std::to_string(v));
+      }
+    }
+    index.phys_ = index.phys_buffer_.data();
+    index.layout_generation_ = layout->generation;
+  }
+  obs::Registry::global()
+      .gauge("graph.layout_generation")
+      .set(static_cast<std::int64_t>(index.layout_generation_));
   return index;
 }
 
@@ -42,6 +71,7 @@ Result<OffsetIndex> OffsetIndex::from_offsets(
   std::copy(offsets.begin(), offsets.end(), index.buffer_.data());
   index.data_ = index.buffer_.data();
   index.size_ = offsets.size();
+  index.phys_ = index.data_;
   return index;
 }
 

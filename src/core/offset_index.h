@@ -18,7 +18,10 @@ class OffsetIndex {
  public:
   OffsetIndex() = default;
 
-  // Loads `base`.offsets, charging the index bytes to `budget`.
+  // Loads `base`.offsets, charging the index bytes to `budget`. If the
+  // graph has a layout sidecar (graph/layout.h), the per-node physical
+  // positions are loaded too and begin()/end() resolve through them; a
+  // v0 graph resolves through the logical offsets as always.
   static Result<OffsetIndex> load(const std::string& base,
                                   MemoryBudget& budget);
 
@@ -31,17 +34,29 @@ class OffsetIndex {
   }
   EdgeIdx num_edges() const { return size_ == 0 ? 0 : data_[size_ - 1]; }
 
-  // Neighbor range of v in edge-file *entries* (not bytes).
-  EdgeIdx begin(NodeId v) const { return data_[v]; }
-  EdgeIdx end(NodeId v) const { return data_[v + 1]; }
-  EdgeIdx degree(NodeId v) const { return end(v) - begin(v); }
+  // Neighbor range of v in edge-file *entries* (not bytes). Physical
+  // positions when a layout sidecar is loaded; degree always comes from
+  // the logical prefix sums.
+  EdgeIdx begin(NodeId v) const { return phys_[v]; }
+  EdgeIdx end(NodeId v) const { return phys_[v] + degree(v); }
+  EdgeIdx degree(NodeId v) const { return data_[v + 1] - data_[v]; }
 
-  std::uint64_t memory_bytes() const { return size_ * sizeof(EdgeIdx); }
+  // 0 = v0 layout (no sidecar); >= 1 = reorganized, bumped per reorg.
+  std::uint64_t layout_generation() const { return layout_generation_; }
+  bool has_layout() const { return layout_generation_ > 0; }
+
+  std::uint64_t memory_bytes() const {
+    return (size_ + phys_buffer_.size()) * sizeof(EdgeIdx);
+  }
 
  private:
   TrackedBuffer<EdgeIdx> buffer_;
   const EdgeIdx* data_ = nullptr;
   std::size_t size_ = 0;
+  // Physical begin per node when reorganized; aliases data_ otherwise.
+  TrackedBuffer<EdgeIdx> phys_buffer_;
+  const EdgeIdx* phys_ = nullptr;
+  std::uint64_t layout_generation_ = 0;
 };
 
 }  // namespace rs::core

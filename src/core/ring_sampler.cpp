@@ -27,6 +27,7 @@ Result<std::unique_ptr<RingSampler>> RingSampler::open(
 
 RingSampler::~RingSampler() {
   if (arena_bytes_charged_ > 0) budget_->release(arena_bytes_charged_);
+  if (hotness_bytes_charged_ > 0) budget_->release(hotness_bytes_charged_);
 }
 
 Status RingSampler::init(const std::string& graph_base,
@@ -52,11 +53,32 @@ Status RingSampler::init(const std::string& graph_base,
                      config.direct_io ? io::OpenMode::kReadDirect
                                       : io::OpenMode::kRead));
   RS_ASSIGN_OR_RETURN(index_, OffsetIndex::load(graph_base, *budget_));
+  if (!config.hotness_profile_path.empty()) {
+    RS_ASSIGN_OR_RETURN(HotnessProfile profile,
+                        HotnessProfile::load(config.hotness_profile_path));
+    if (profile.num_nodes() != index_.num_nodes()) {
+      return Status::invalid(config.hotness_profile_path +
+                             ": profile covers " +
+                             std::to_string(profile.num_nodes()) +
+                             " nodes, graph has " +
+                             std::to_string(index_.num_nodes()));
+    }
+    profile_ = std::move(profile);
+  }
+  if (config.record_hotness) {
+    const std::size_t n = index_.num_nodes();
+    const std::uint64_t bytes = n * sizeof(std::atomic<std::uint64_t>);
+    RS_RETURN_IF_ERROR(budget_->charge(bytes, "hotness recorder"));
+    hotness_bytes_charged_ = bytes;
+    // Value-initialized, so every count starts at zero.
+    hotness_counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  }
   if (config.hot_cache_bytes > 0) {
-    RS_ASSIGN_OR_RETURN(hot_cache_,
-                        NeighborCache::build(graph_base, index_,
-                                             config.hot_cache_bytes,
-                                             *budget_));
+    RS_ASSIGN_OR_RETURN(
+        hot_cache_,
+        NeighborCache::build(graph_base, index_, config.hot_cache_bytes,
+                             *budget_,
+                             profile_ ? &*profile_ : nullptr));
   }
   return build_contexts();
 }
@@ -108,23 +130,47 @@ Status RingSampler::build_contexts() {
     contexts_.push_back(std::move(ctx));
   }
 
-  // Pass 2: spend leftover budget on per-thread block caches (§A.2).
+  // Pass 2: spend leftover budget on block caches (§A.2). The spend is
+  // split BGL-style: `cache_pin_fraction` of it builds one shared pin
+  // set holding the hottest blocks (rank_blocks over the profile or
+  // degree); the rest funds the per-thread reactive caches.
   std::uint64_t cache_bytes_per_thread = 0;
+  std::uint64_t pin_bytes = 0;
   if (budget_->is_limited() && config_.enable_block_cache) {
     const std::uint64_t used = budget_->used();
     const std::uint64_t leftover =
         budget_->limit() > used ? budget_->limit() - used : 0;
-    cache_bytes_per_thread = static_cast<std::uint64_t>(
-        static_cast<double>(leftover) * config_.cache_budget_fraction /
-        config_.num_threads);
+    const std::uint64_t cache_total = static_cast<std::uint64_t>(
+        static_cast<double>(leftover) * config_.cache_budget_fraction);
+    const double pin_fraction =
+        std::clamp(config_.cache_pin_fraction, 0.0, 1.0);
+    pin_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(cache_total) * pin_fraction);
+    cache_bytes_per_thread = (cache_total - pin_bytes) / config_.num_threads;
   }
+  if (pin_bytes > 0) {
+    // Like the reactive cache, a pinned block costs its data plus an id.
+    const std::uint64_t per_block =
+        config_.block_bytes + sizeof(std::uint64_t);
+    const auto max_blocks = static_cast<std::size_t>(pin_bytes / per_block);
+    const std::vector<std::uint64_t> ranked =
+        rank_blocks(index_, profile_ ? &*profile_ : nullptr,
+                    config_.block_bytes, max_blocks);
+    if (!ranked.empty()) {
+      RS_ASSIGN_OR_RETURN(
+          pinned_,
+          PinnedBlockSet::build(graph::edges_path(graph_base_), ranked,
+                                config_.block_bytes, *budget_));
+    }
+  }
+  const PinnedBlockSet* pinned = pinned_.enabled() ? &pinned_ : nullptr;
   bool any_cache = false;
   for (auto& ctx : contexts_) {
-    if (cache_bytes_per_thread > 0) {
+    if (cache_bytes_per_thread > 0 || pinned != nullptr) {
       RS_ASSIGN_OR_RETURN(ctx->cache,
                           BlockCache::create(*budget_,
                                              cache_bytes_per_thread,
-                                             config_.block_bytes));
+                                             config_.block_bytes, pinned));
       any_cache = any_cache || ctx->cache.enabled();
     }
   }
@@ -184,6 +230,14 @@ Status RingSampler::sample_batch_with(ThreadContext& ctx,
   for (std::uint32_t layer = 0; layer < num_layers; ++layer) {
     if (num_targets == 0) break;
     RS_OBS_SPAN("sampler", "layer", "layer", layer);
+    if (hotness_counts_ != nullptr) {
+      // Every frontier target is one adjacency-list access — the event
+      // the hotness profile counts.
+      for (std::size_t i = 0; i < num_targets; ++i) {
+        hotness_counts_[ws.targets()[i]].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
     LayerSampleCursor cursor(
         index_, std::span<const NodeId>(ws.targets(), num_targets),
         fanouts[layer], ctx.rng, ws.begins(), &hot_cache_,
@@ -409,6 +463,27 @@ Result<EpochResult> RingSampler::epoch_intra_batch(
   }
   result.peak_memory_bytes = budget_->peak();
   return result;
+}
+
+HotnessProfile RingSampler::hotness_snapshot() const {
+  HotnessProfile profile;
+  const std::size_t n = index_.num_nodes();
+  profile.counts.resize(n);
+  if (hotness_counts_ != nullptr) {
+    for (std::size_t v = 0; v < n; ++v) {
+      profile.counts[v] =
+          hotness_counts_[v].load(std::memory_order_relaxed);
+    }
+  }
+  return profile;
+}
+
+Status RingSampler::save_hotness_profile(const std::string& path) const {
+  if (hotness_counts_ == nullptr) {
+    return Status::invalid(
+        "save_hotness_profile: SamplerConfig.record_hotness is off");
+  }
+  return hotness_snapshot().save(path);
 }
 
 Result<EpochResult> RingSampler::run_epoch(std::span<const NodeId> targets) {

@@ -14,12 +14,15 @@
 //     by leftover memory budget (Fig. 5 / §A.2).
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/block_cache.h"
 #include "core/config.h"
+#include "core/hotness.h"
 #include "core/neighbor_cache.h"
 #include "core/offset_index.h"
 #include "core/pipeline.h"
@@ -116,6 +119,16 @@ class RingSampler final : public Sampler {
   // SamplerConfig::hot_cache_bytes).
   const NeighborCache& hot_cache() const { return hot_cache_; }
 
+  // Shared static pin set introspection (enabled via
+  // SamplerConfig::cache_pin_fraction under a memory budget).
+  const PinnedBlockSet& pinned_blocks() const { return pinned_; }
+
+  // Hotness recording (SamplerConfig::record_hotness): per-node
+  // frontier-visit counts accumulated across every batch sampled so far.
+  bool recording_hotness() const { return hotness_counts_ != nullptr; }
+  HotnessProfile hotness_snapshot() const;
+  Status save_hotness_profile(const std::string& path) const;
+
  private:
   struct ThreadContext {
     std::unique_ptr<io::IoBackend> backend;
@@ -158,6 +171,14 @@ class RingSampler final : public Sampler {
   MemoryBudget* budget_ = nullptr;
   OffsetIndex index_;
   NeighborCache hot_cache_;
+  // Hotness ranking inputs/outputs: a profile loaded from disk steers
+  // pinning and NeighborCache admission; the recorder (one relaxed
+  // atomic per node, budget-charged) produces one.
+  std::optional<HotnessProfile> profile_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> hotness_counts_;
+  std::uint64_t hotness_bytes_charged_ = 0;
+  // One immutable pin set shared by every worker's BlockCache.
+  PinnedBlockSet pinned_;
   bool block_mode_ = false;
   // Fixed-buffer arenas charged to the budget (released in the dtor —
   // the backends own the arenas but not the budget accounting).

@@ -1,5 +1,7 @@
 #include "graph/binary_format.h"
 
+#include "graph/layout.h"
+
 #include <cstring>
 
 #include "io/file.h"
@@ -99,6 +101,12 @@ Result<GraphMeta> read_meta(const std::string& base) {
   return out;
 }
 
+Status write_meta(const std::string& base, const GraphMeta& meta) {
+  MetaOnDisk on_disk{kGraphMagic, kGraphVersion, meta.num_nodes,
+                     meta.num_edges};
+  return write_file(meta_path(base), &on_disk, sizeof(on_disk));
+}
+
 Result<std::vector<EdgeIdx>> load_offsets(const std::string& base) {
   RS_ASSIGN_OR_RETURN(GraphMeta meta, read_meta(base));
   RS_ASSIGN_OR_RETURN(
@@ -115,11 +123,32 @@ Result<std::vector<EdgeIdx>> load_offsets(const std::string& base) {
 Result<Csr> load_csr(const std::string& base) {
   RS_ASSIGN_OR_RETURN(GraphMeta meta, read_meta(base));
   RS_ASSIGN_OR_RETURN(std::vector<EdgeIdx> offsets, load_offsets(base));
+  RS_ASSIGN_OR_RETURN(auto layout, read_layout(base));
   RS_ASSIGN_OR_RETURN(
       io::File file, io::File::open(edges_path(base), io::OpenMode::kRead));
-  std::vector<NodeId> neighbors(static_cast<std::size_t>(meta.num_edges));
+  std::vector<NodeId> raw(static_cast<std::size_t>(meta.num_edges));
   RS_RETURN_IF_ERROR(file.pread_exact(
-      neighbors.data(), neighbors.size() * sizeof(NodeId), 0));
+      raw.data(), raw.size() * sizeof(NodeId), 0));
+  if (!layout.has_value()) {
+    return Csr::from_parts(std::move(offsets), std::move(raw));
+  }
+  // Reorganized layout: lists are physically permuted; gather each back
+  // to its logical CSR position.
+  if (layout->phys_begin.size() != meta.num_nodes) {
+    return Status::corrupt(base + ": layout disagrees with meta");
+  }
+  std::vector<NodeId> neighbors(raw.size());
+  for (NodeId v = 0; v < meta.num_nodes; ++v) {
+    const EdgeIdx degree = offsets[v + 1] - offsets[v];
+    const EdgeIdx phys = layout->phys_begin[v];
+    if (phys + degree > meta.num_edges) {
+      return Status::corrupt(base + ": layout range out of bounds for node " +
+                             std::to_string(v));
+    }
+    std::copy(raw.begin() + static_cast<std::ptrdiff_t>(phys),
+              raw.begin() + static_cast<std::ptrdiff_t>(phys + degree),
+              neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]));
+  }
   return Csr::from_parts(std::move(offsets), std::move(neighbors));
 }
 

@@ -42,6 +42,10 @@ Status write_graph(const Csr& csr, const std::string& base);
 
 Result<GraphMeta> read_meta(const std::string& base);
 
+// Writes just the fixed meta header (layout reorganization copies the
+// logical metadata of a graph unchanged).
+Status write_meta(const std::string& base, const GraphMeta& meta);
+
 // Loads the offset index (|V|+1 u64s). The caller charges it to a budget.
 Result<std::vector<EdgeIdx>> load_offsets(const std::string& base);
 

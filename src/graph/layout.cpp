@@ -1,0 +1,212 @@
+#include "graph/layout.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/binary_format.h"
+#include "io/file.h"
+#include "util/align.h"
+#include "util/fs.h"
+#include "util/log.h"
+
+namespace rs::graph {
+namespace {
+
+struct LayoutOnDisk {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t generation;
+  std::uint32_t hotness_source;
+  std::uint32_t reserved;
+  std::uint64_t num_nodes;
+  std::uint64_t num_hot;
+};
+
+}  // namespace
+
+std::string layout_path(const std::string& base) { return base + ".layout"; }
+
+Result<std::optional<LayoutInfo>> read_layout(const std::string& base) {
+  const std::string path = layout_path(base);
+  if (!file_exists(path)) return std::optional<LayoutInfo>{};
+
+  RS_ASSIGN_OR_RETURN(io::File file,
+                      io::File::open(path, io::OpenMode::kRead));
+  LayoutOnDisk header{};
+  RS_RETURN_IF_ERROR(file.pread_exact(&header, sizeof(header), 0));
+  if (header.magic != kLayoutMagic) {
+    return Status::corrupt(path + ": bad layout magic");
+  }
+  if (header.version != kLayoutVersion) {
+    return Status::corrupt(path + ": unsupported layout version " +
+                           std::to_string(header.version));
+  }
+  if (header.reserved != 0) {
+    return Status::corrupt(path + ": nonzero reserved field");
+  }
+  if (header.generation == 0) {
+    return Status::corrupt(path + ": layout generation must be >= 1");
+  }
+  if (header.num_hot > header.num_nodes) {
+    return Status::corrupt(path + ": num_hot exceeds num_nodes");
+  }
+  RS_ASSIGN_OR_RETURN(const std::uint64_t file_size, file.size());
+  const std::uint64_t want =
+      sizeof(header) + header.num_nodes * sizeof(EdgeIdx);
+  if (file_size != want) {
+    return Status::corrupt(path + ": size " + std::to_string(file_size) +
+                           " != expected " + std::to_string(want));
+  }
+
+  LayoutInfo info;
+  info.generation = header.generation;
+  info.hotness_source = static_cast<HotnessSource>(header.hotness_source);
+  info.num_nodes = header.num_nodes;
+  info.num_hot = header.num_hot;
+  info.phys_begin.resize(static_cast<std::size_t>(header.num_nodes));
+  RS_RETURN_IF_ERROR(file.pread_exact(
+      info.phys_begin.data(), info.phys_begin.size() * sizeof(EdgeIdx),
+      sizeof(header)));
+  return std::optional<LayoutInfo>(std::move(info));
+}
+
+Status write_layout(const std::string& base, const LayoutInfo& info) {
+  if (info.phys_begin.size() != info.num_nodes) {
+    return Status::invalid("layout phys_begin size disagrees with num_nodes");
+  }
+  if (info.generation == 0) {
+    return Status::invalid("layout generation must be >= 1");
+  }
+  LayoutOnDisk header{kLayoutMagic,
+                      kLayoutVersion,
+                      info.generation,
+                      static_cast<std::uint32_t>(info.hotness_source),
+                      0,
+                      info.num_nodes,
+                      info.num_hot};
+  RS_ASSIGN_OR_RETURN(
+      io::File file,
+      io::File::open(layout_path(base), io::OpenMode::kWriteTrunc));
+  RS_RETURN_IF_ERROR(file.pwrite_exact(&header, sizeof(header), 0));
+  if (!info.phys_begin.empty()) {
+    RS_RETURN_IF_ERROR(file.pwrite_exact(
+        info.phys_begin.data(), info.phys_begin.size() * sizeof(EdgeIdx),
+        sizeof(header)));
+  }
+  return Status::ok();
+}
+
+Status reorganize_graph(const std::string& src_base,
+                        const std::string& dst_base,
+                        std::span<const NodeId> order,
+                        HotnessSource source, std::uint64_t num_hot) {
+  if (src_base == dst_base) {
+    return Status::invalid(
+        "reorganize_graph: in-place rewrite is not supported (src == dst)");
+  }
+  RS_ASSIGN_OR_RETURN(GraphMeta meta, read_meta(src_base));
+  RS_ASSIGN_OR_RETURN(std::vector<EdgeIdx> offsets, load_offsets(src_base));
+  RS_ASSIGN_OR_RETURN(auto src_layout, read_layout(src_base));
+  const std::size_t n = static_cast<std::size_t>(meta.num_nodes);
+  if (order.size() != n) {
+    return Status::invalid("reorganize_graph: order must list every node (" +
+                           std::to_string(order.size()) + " given, " +
+                           std::to_string(n) + " nodes)");
+  }
+  if (src_layout.has_value() && src_layout->phys_begin.size() != n) {
+    return Status::corrupt(src_base + ": layout disagrees with meta");
+  }
+
+  // Where node v's list currently lives.
+  auto src_begin = [&](NodeId v) -> EdgeIdx {
+    return src_layout.has_value() ? src_layout->phys_begin[v] : offsets[v];
+  };
+  auto degree = [&](NodeId v) -> EdgeIdx {
+    return offsets[v + 1] - offsets[v];
+  };
+
+  // `order` must be a permutation: every entry in range, none repeated.
+  std::vector<bool> seen(n, false);
+  for (const NodeId v : order) {
+    if (v >= n || seen[v]) {
+      return Status::invalid(
+          "reorganize_graph: order is not a permutation of the node ids");
+    }
+    seen[v] = true;
+  }
+
+  RS_ASSIGN_OR_RETURN(
+      io::File src,
+      io::File::open(edges_path(src_base), io::OpenMode::kRead));
+  RS_ASSIGN_OR_RETURN(
+      io::File dst,
+      io::File::open(edges_path(dst_base), io::OpenMode::kWriteTrunc));
+
+  LayoutInfo info;
+  info.generation =
+      src_layout.has_value() ? src_layout->generation + 1 : 1;
+  info.hotness_source = source;
+  info.num_nodes = meta.num_nodes;
+  info.num_hot = std::min<std::uint64_t>(num_hot, meta.num_nodes);
+  info.phys_begin.resize(n);
+
+  // Stream each list from its old position to the write cursor, hottest
+  // first. Chunked so hub lists never need a list-sized buffer.
+  constexpr std::size_t kChunkBytes = 4U << 20;
+  std::vector<unsigned char> chunk(kChunkBytes);
+  EdgeIdx cursor = 0;
+  for (const NodeId v : order) {
+    const EdgeIdx deg = degree(v);
+    info.phys_begin[v] = cursor;
+    std::uint64_t src_off = src_begin(v) * kEdgeEntryBytes;
+    std::uint64_t dst_off = cursor * kEdgeEntryBytes;
+    std::uint64_t remaining = deg * kEdgeEntryBytes;
+    while (remaining > 0) {
+      const std::size_t len =
+          static_cast<std::size_t>(std::min<std::uint64_t>(remaining,
+                                                           kChunkBytes));
+      RS_RETURN_IF_ERROR(src.pread_exact(chunk.data(), len, src_off));
+      RS_RETURN_IF_ERROR(dst.pwrite_exact(chunk.data(), len, dst_off));
+      src_off += len;
+      dst_off += len;
+      remaining -= len;
+    }
+    cursor += deg;
+  }
+  if (cursor != meta.num_edges) {
+    return Status::corrupt(src_base + ": degrees sum to " +
+                           std::to_string(cursor) + ", meta says " +
+                           std::to_string(meta.num_edges));
+  }
+
+  // Same tail padding as write_graph: O_DIRECT block reads near EOF must
+  // stay inside the file (padding is unaddressable — no phys range
+  // reaches into it).
+  const std::uint64_t data_bytes = meta.num_edges * kEdgeEntryBytes;
+  const std::uint64_t padded = align_up(data_bytes, kDirectIoAlign);
+  if (padded > data_bytes) {
+    std::vector<unsigned char> zeros(
+        static_cast<std::size_t>(padded - data_bytes), 0);
+    RS_RETURN_IF_ERROR(dst.pwrite_exact(zeros.data(), zeros.size(),
+                                        data_bytes));
+  }
+
+  // Logical metadata is copied unchanged: same meta, same monotone
+  // offsets. Only edges + the sidecar differ.
+  {
+    RS_ASSIGN_OR_RETURN(
+        io::File off_file,
+        io::File::open(offsets_path(dst_base), io::OpenMode::kWriteTrunc));
+    RS_RETURN_IF_ERROR(off_file.pwrite_exact(
+        offsets.data(), offsets.size() * sizeof(EdgeIdx), 0));
+  }
+  RS_RETURN_IF_ERROR(write_meta(dst_base, meta));
+  RS_RETURN_IF_ERROR(write_layout(dst_base, info));
+  RS_DEBUG("reorganized %s -> %s: generation %llu, %llu hot nodes",
+           src_base.c_str(), dst_base.c_str(),
+           static_cast<unsigned long long>(info.generation),
+           static_cast<unsigned long long>(info.num_hot));
+  return Status::ok();
+}
+
+}  // namespace rs::graph

@@ -1,0 +1,72 @@
+// Hotness-aware physical edge layout (the DiskGNN direction, PAPERS.md
+// arXiv:2405.05231): an offline pass rewrites the edge file so hot
+// adjacency lists cluster into shared leading blocks, and a versioned
+// sidecar (`base.layout`) records where each list physically lives.
+//
+// The *logical* format is unchanged: `base.offsets` stays the monotone
+// CSR prefix-sum (degrees, |E|, validation all read it as before), and
+// node ids are never relabeled — so sampled neighbor values, and
+// therefore epoch checksums, are bit-identical across layouts. Only the
+// placement of each list inside `base.edges` moves. Readers that honor
+// the sidecar (OffsetIndex, load_csr) see `begin(v)` at the physical
+// position; a graph without a sidecar is a v0 layout and behaves exactly
+// as it always has.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace rs::graph {
+
+inline constexpr std::uint32_t kLayoutMagic = 0x4F4C5352;  // "RSLO"
+inline constexpr std::uint32_t kLayoutVersion = 1;
+
+// How the reorganization pass ranked nodes.
+enum class HotnessSource : std::uint32_t {
+  kDegree = 0,           // static degree rank (BGL-style)
+  kSampledProfile = 1,   // recorded sampling frequencies (DiskGNN-style)
+};
+
+struct LayoutInfo {
+  std::uint64_t generation = 0;  // 1 on first reorg, +1 per re-reorg
+  HotnessSource hotness_source = HotnessSource::kDegree;
+  std::uint64_t num_nodes = 0;
+  // Nodes with nonzero hotness at reorg time (the hot prefix length).
+  std::uint64_t num_hot = 0;
+  // Physical edge-file entry where node v's adjacency list begins; the
+  // list occupies [phys_begin[v], phys_begin[v] + degree(v)). Degrees
+  // still come from the logical offsets file.
+  std::vector<EdgeIdx> phys_begin;
+};
+
+std::string layout_path(const std::string& base);
+
+// Loads `base.layout` if present. A missing file is not an error: the
+// graph is simply a v0 layout (std::nullopt). A present-but-corrupt
+// sidecar is an error — silently ignoring it would mis-place every read.
+Result<std::optional<LayoutInfo>> read_layout(const std::string& base);
+
+// Writes `base.layout`. `info.phys_begin.size()` must equal
+// `info.num_nodes`.
+Status write_layout(const std::string& base, const LayoutInfo& info);
+
+// Offline reorganization pass (tools/rs_reorg and bench/ablation_hotness
+// drive this): copies the graph at `src_base` to `dst_base`, placing
+// adjacency lists in `order` order — hottest first, so hot lists share
+// leading blocks — and emits the layout sidecar. `order` must be a
+// permutation of [0, |V|); `num_hot` is recorded in the sidecar (how
+// many leading entries of `order` had nonzero hotness). Honors a layout
+// sidecar on the source, so reorganizing an already-reorganized graph
+// works. `dst_base` must differ from `src_base`.
+Status reorganize_graph(const std::string& src_base,
+                        const std::string& dst_base,
+                        std::span<const NodeId> order,
+                        HotnessSource source, std::uint64_t num_hot);
+
+}  // namespace rs::graph

@@ -91,5 +91,159 @@ TEST(BlockCacheTest, DefaultConstructedIsDisabled) {
   EXPECT_FALSE(cache.enabled());
 }
 
+TEST(BlockCacheTest, OutOfBoundsRangeIsAMissNotAnOverflow) {
+  MemoryBudget budget;
+  auto cache = BlockCache::create(budget, 1 << 20, 512);
+  RS_ASSERT_OK(cache);
+  const auto block = make_block(9);
+  cache.value().insert(42, block.data());
+
+  unsigned char out[8];
+  // Regression: `offset + len <= block_bytes` wrapped in uint32, so
+  // offset 4 + len 0xFFFFFFFD passed the check and memcpy'd ~4 GiB.
+  // Any out-of-bounds range must be a clean miss.
+  EXPECT_FALSE(cache.value().lookup(42, 4, 0xFFFFFFFDu, out));
+  EXPECT_FALSE(cache.value().lookup(42, 0xFFFFFFFFu, 4, out));
+  EXPECT_FALSE(cache.value().lookup(42, 513, 0, out));
+  EXPECT_FALSE(cache.value().lookup(42, 508, 8, out));
+  EXPECT_EQ(cache.value().hits(), 0u);
+  EXPECT_EQ(cache.value().misses(), 4u);
+
+  // The boundary itself is still servable.
+  EXPECT_TRUE(cache.value().lookup(42, 508, 4, out));
+  EXPECT_EQ(std::memcmp(out, block.data() + 508, 4), 0);
+}
+
+// Writes `blocks` consecutive 512-byte blocks of distinct content and
+// returns the file path.
+std::string write_edge_file(const test::TempDir& dir, unsigned blocks) {
+  std::vector<unsigned char> bytes;
+  for (unsigned b = 0; b < blocks; ++b) {
+    const auto block = make_block(b * 37 + 1);
+    bytes.insert(bytes.end(), block.begin(), block.end());
+  }
+  const std::string path = dir.file("edges");
+  RS_CHECK(write_file(path, bytes.data(), bytes.size()).is_ok());
+  return path;
+}
+
+TEST(PinnedBlockSetTest, ServesPinnedBlocksFromFile) {
+  test::TempDir dir;
+  const std::string path = write_edge_file(dir, 4);
+  MemoryBudget budget;
+  const std::uint64_t ids[] = {2, 0};  // any order; deduplicated + sorted
+  auto pinned = PinnedBlockSet::build(path, ids, 512, budget);
+  RS_ASSERT_OK(pinned);
+  ASSERT_TRUE(pinned.value().enabled());
+  EXPECT_EQ(pinned.value().num_blocks(), 2u);
+  EXPECT_EQ(pinned.value().pinned_bytes(), 1024u);
+  EXPECT_EQ(budget.used(), pinned.value().pinned_bytes() +
+                               2 * sizeof(std::uint64_t));
+
+  EXPECT_TRUE(pinned.value().contains(0));
+  EXPECT_FALSE(pinned.value().contains(1));
+  EXPECT_TRUE(pinned.value().contains(2));
+
+  unsigned char out[4];
+  ASSERT_TRUE(pinned.value().lookup(2, 100, 4, out));
+  const auto want = make_block(2 * 37 + 1);
+  EXPECT_EQ(std::memcmp(out, want.data() + 100, 4), 0);
+  EXPECT_FALSE(pinned.value().lookup(1, 0, 4, out));
+}
+
+TEST(PinnedBlockSetTest, TailBlockZeroPaddedPastEof) {
+  test::TempDir dir;
+  // 1.5 blocks: block 1 exists only up to byte 256.
+  std::vector<unsigned char> bytes(768, 0xAB);
+  const std::string path = dir.file("edges");
+  RS_CHECK(write_file(path, bytes.data(), bytes.size()).is_ok());
+
+  MemoryBudget budget;
+  const std::uint64_t ids[] = {1};
+  auto pinned = PinnedBlockSet::build(path, ids, 512, budget);
+  RS_ASSERT_OK(pinned);
+  unsigned char out[512];
+  ASSERT_TRUE(pinned.value().lookup(1, 0, 512, out));
+  EXPECT_EQ(out[0], 0xAB);    // real tail data
+  EXPECT_EQ(out[255], 0xAB);
+  EXPECT_EQ(out[256], 0x00);  // zero fill past EOF
+  EXPECT_EQ(out[511], 0x00);
+
+  // A block entirely past the end of the file is an error, not silence.
+  const std::uint64_t beyond[] = {7};
+  EXPECT_FALSE(PinnedBlockSet::build(path, beyond, 512, budget).is_ok());
+}
+
+TEST(PinnedBlockSetTest, ReactiveInsertsNeverOverwritePinnedBlocks) {
+  test::TempDir dir;
+  const std::string path = write_edge_file(dir, 4);
+  MemoryBudget budget;
+  const std::uint64_t ids[] = {0, 2};
+  auto pinned = PinnedBlockSet::build(path, ids, 512, budget);
+  RS_ASSERT_OK(pinned);
+
+  auto cache = BlockCache::create(budget, 8 * (512 + 8), 512,
+                                  &pinned.value());
+  RS_ASSERT_OK(cache);
+  ASSERT_TRUE(cache.value().enabled());
+
+  // Conflicting traffic: insert junk under every id, including the
+  // pinned ones.
+  const auto junk = make_block(0xEE);
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    cache.value().insert(id, junk.data());
+  }
+
+  // Pinned blocks still serve the file's original bytes.
+  for (const std::uint64_t id : ids) {
+    unsigned char out[8];
+    ASSERT_TRUE(cache.value().lookup(id, 0, 8, out)) << "block " << id;
+    const auto want = make_block(static_cast<unsigned>(id) * 37 + 1);
+    EXPECT_EQ(std::memcmp(out, want.data(), 8), 0) << "block " << id;
+  }
+  EXPECT_EQ(cache.value().pinned_hits(), 2u);
+  EXPECT_EQ(cache.value().hits(), 2u);
+
+  // Unpinned traffic still lands in the reactive slots.
+  unsigned char out[8];
+  ASSERT_TRUE(cache.value().lookup(63, 0, 8, out));
+  EXPECT_EQ(std::memcmp(out, junk.data(), 8), 0);
+  EXPECT_GT(cache.value().hits(), cache.value().pinned_hits());
+}
+
+TEST(PinnedBlockSetTest, PinnedOnlyCacheIsEnabled) {
+  test::TempDir dir;
+  const std::string path = write_edge_file(dir, 2);
+  MemoryBudget budget;
+  const std::uint64_t ids[] = {1};
+  auto pinned = PinnedBlockSet::build(path, ids, 512, budget);
+  RS_ASSERT_OK(pinned);
+
+  // No reactive bytes at all: the cache must still front the pin set.
+  auto cache = BlockCache::create(budget, 0, 512, &pinned.value());
+  RS_ASSERT_OK(cache);
+  EXPECT_TRUE(cache.value().enabled());
+  EXPECT_EQ(cache.value().capacity_blocks(), 0u);
+
+  unsigned char out[4];
+  ASSERT_TRUE(cache.value().lookup(1, 8, 4, out));
+  const auto want = make_block(1 * 37 + 1);
+  EXPECT_EQ(std::memcmp(out, want.data() + 8, 4), 0);
+  EXPECT_EQ(cache.value().pinned_hits(), 1u);
+
+  cache.value().insert(0, want.data());  // no slots: safe no-op
+  EXPECT_FALSE(cache.value().lookup(0, 0, 4, out));
+}
+
+TEST(PinnedBlockSetTest, EmptySetBuildsDisabled) {
+  test::TempDir dir;
+  const std::string path = write_edge_file(dir, 1);
+  MemoryBudget budget;
+  auto pinned = PinnedBlockSet::build(path, {}, 512, budget);
+  RS_ASSERT_OK(pinned);
+  EXPECT_FALSE(pinned.value().enabled());
+  EXPECT_EQ(budget.used(), 0u);
+}
+
 }  // namespace
 }  // namespace rs::core

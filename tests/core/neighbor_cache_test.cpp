@@ -106,6 +106,84 @@ TEST_F(NeighborCacheTest, SamplingIdenticalWithAndWithoutHotCache) {
   EXPECT_LT(cached_reads, plain_reads);
 }
 
+// Hub-heavy fixture for the admission-loop regression: degrees
+// {100, 60, 10 x 6, 0 x 12}. Under a 600-byte budget (150 entries) the
+// old `break`-on-first-misfit admitted only the 100-hub and stranded
+// 50 entries — a third of the budget; first-fit fills it exactly.
+class NeighborCacheFirstFitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<EdgeIdx> offsets = {0, 100, 160};
+    for (int i = 0; i < 6; ++i) offsets.push_back(offsets.back() + 10);
+    while (offsets.size() < 21) offsets.push_back(offsets.back());
+    std::vector<NodeId> neighbors(offsets.back());
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      neighbors[i] = static_cast<NodeId>(i % 20);
+    }
+    csr_ = graph::Csr::from_parts(std::move(offsets), std::move(neighbors));
+    base_ = test::write_test_graph(dir_, csr_);
+    auto index = OffsetIndex::load(base_, index_budget_);
+    RS_CHECK(index.is_ok());
+    index_ = std::move(index).value();
+  }
+  TempDir dir_;
+  graph::Csr csr_;
+  std::string base_;
+  MemoryBudget index_budget_;
+  OffsetIndex index_;
+};
+
+TEST_F(NeighborCacheFirstFitTest, FirstFitFillsBudgetPastAMisfit) {
+  MemoryBudget budget;
+  auto cache = NeighborCache::build(base_, index_, 600, budget);
+  RS_ASSERT_OK(cache);
+  ASSERT_TRUE(cache.value().enabled());
+
+  // Greedy-with-skip: the 100-hub (400 B), then the 60-node does not fit
+  // (160 > 150 entries), then five 10-nodes do — 600 B used exactly.
+  EXPECT_EQ(cache.value().cached_nodes(), 6u);
+  EXPECT_EQ(cache.value().cached_bytes(), 600u);
+  EXPECT_TRUE(cache.value().contains(0));   // the hub
+  EXPECT_FALSE(cache.value().contains(1));  // the misfit 60-node
+  unsigned tens = 0;
+  for (NodeId v = 2; v < 8; ++v) {
+    if (cache.value().contains(v)) ++tens;
+  }
+  EXPECT_EQ(tens, 5u);
+
+  // Cached adjacency is still exact.
+  for (NodeId v = 0; v < csr_.num_nodes(); ++v) {
+    const auto cached = cache.value().lookup(v);
+    if (cached.empty()) continue;
+    const auto truth = csr_.neighbors(v);
+    ASSERT_EQ(cached.size(), truth.size()) << "node " << v;
+    EXPECT_TRUE(std::equal(cached.begin(), cached.end(), truth.begin()));
+  }
+}
+
+TEST_F(NeighborCacheFirstFitTest, HotnessProfileSteersAdmission) {
+  // A measured profile says a 10-degree node is what sampling actually
+  // touches; under a budget that can hold only it, degree rank would
+  // admit nothing (the hub does not fit) but hotness rank must admit it.
+  HotnessProfile profile;
+  profile.counts.assign(csr_.num_nodes(), 0);
+  profile.counts[5] = 100;
+
+  MemoryBudget budget;
+  auto cache = NeighborCache::build(base_, index_, 40, budget, &profile);
+  RS_ASSERT_OK(cache);
+  ASSERT_TRUE(cache.value().enabled());
+  EXPECT_EQ(cache.value().cached_nodes(), 1u);
+  EXPECT_EQ(cache.value().cached_bytes(), 40u);
+  EXPECT_TRUE(cache.value().contains(5));
+  EXPECT_FALSE(cache.value().contains(0));
+
+  const auto cached = cache.value().lookup(5);
+  const auto truth = csr_.neighbors(5);
+  ASSERT_EQ(cached.size(), truth.size());
+  EXPECT_TRUE(std::equal(cached.begin(), cached.end(), truth.begin()));
+}
+
 TEST_F(NeighborCacheTest, EngineReportsHotHits) {
   SamplerConfig config;
   config.fanouts = {5};

@@ -1,0 +1,220 @@
+// Layout sidecar and offline reorganization: round-trip, corruption
+// rejection, physical/logical equivalence after reorg, and v0 graphs
+// (no sidecar) opening exactly as before.
+#include "graph/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <numeric>
+
+#include "core/hotness.h"
+#include "core/offset_index.h"
+#include "io/file.h"
+#include "testutil.h"
+
+namespace rs::graph {
+namespace {
+
+using test::TempDir;
+
+LayoutInfo make_info(std::uint64_t nodes) {
+  LayoutInfo info;
+  info.generation = 3;
+  info.hotness_source = HotnessSource::kSampledProfile;
+  info.num_nodes = nodes;
+  info.num_hot = nodes / 2;
+  info.phys_begin.resize(static_cast<std::size_t>(nodes));
+  for (std::uint64_t v = 0; v < nodes; ++v) {
+    info.phys_begin[v] = (nodes - 1 - v) * 4;
+  }
+  return info;
+}
+
+TEST(LayoutSidecarTest, RoundTrip) {
+  TempDir dir;
+  const std::string base = dir.file("g");
+  const LayoutInfo info = make_info(17);
+  test::assert_ok(write_layout(base, info));
+
+  auto loaded = read_layout(base);
+  RS_ASSERT_OK(loaded);
+  ASSERT_TRUE(loaded.value().has_value());
+  EXPECT_EQ(loaded.value()->generation, info.generation);
+  EXPECT_EQ(loaded.value()->hotness_source, info.hotness_source);
+  EXPECT_EQ(loaded.value()->num_nodes, info.num_nodes);
+  EXPECT_EQ(loaded.value()->num_hot, info.num_hot);
+  EXPECT_EQ(loaded.value()->phys_begin, info.phys_begin);
+}
+
+TEST(LayoutSidecarTest, MissingSidecarIsNotAnError) {
+  TempDir dir;
+  auto loaded = read_layout(dir.file("nope"));
+  RS_ASSERT_OK(loaded);
+  EXPECT_FALSE(loaded.value().has_value());
+}
+
+TEST(LayoutSidecarTest, CorruptSidecarRejected) {
+  TempDir dir;
+  const std::string base = dir.file("g");
+  test::assert_ok(write_layout(base, make_info(8)));
+
+  // Flip the magic; silently ignoring a corrupt sidecar would mis-place
+  // every subsequent read.
+  auto file = io::File::open(layout_path(base), io::OpenMode::kReadWrite);
+  RS_ASSERT_OK(file);
+  const std::uint32_t bad = 0xDEADBEEF;
+  test::assert_ok(file.value().pwrite_exact(&bad, sizeof(bad), 0));
+  EXPECT_FALSE(read_layout(base).is_ok());
+}
+
+TEST(LayoutSidecarTest, TruncatedSidecarRejected) {
+  TempDir dir;
+  const std::string base = dir.file("g");
+  test::assert_ok(write_layout(base, make_info(8)));
+  // Chop off the last phys_begin entry; the exact-size check must fire.
+  auto stat = file_size(layout_path(base));
+  RS_ASSERT_OK(stat);
+  std::filesystem::resize_file(layout_path(base),
+                               stat.value() - sizeof(EdgeIdx));
+  EXPECT_FALSE(read_layout(base).is_ok());
+}
+
+TEST(LayoutSidecarTest, SizeMismatchRejected) {
+  TempDir dir;
+  const std::string base = dir.file("g");
+  test::assert_ok(write_layout(base, make_info(8)));
+  // Append a byte: the exact-size check must fire.
+  auto stat = file_size(layout_path(base));
+  RS_ASSERT_OK(stat);
+  auto file = io::File::open(layout_path(base), io::OpenMode::kReadWrite);
+  RS_ASSERT_OK(file);
+  const unsigned char extra = 0;
+  test::assert_ok(
+      file.value().pwrite_exact(&extra, 1, stat.value()));
+  EXPECT_FALSE(read_layout(base).is_ok());
+}
+
+class ReorganizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csr_ = test::make_test_csr(800, 9000, 23);
+    base_ = test::write_test_graph(dir_, csr_);
+  }
+
+  // Hottest-first order by degree (what rs_reorg does without a profile).
+  std::vector<NodeId> degree_order() {
+    MemoryBudget budget;
+    auto index = core::OffsetIndex::load(base_, budget);
+    RS_CHECK(index.is_ok());
+    return core::hotness_order(index.value(), nullptr).order;
+  }
+
+  TempDir dir_;
+  Csr csr_;
+  std::string base_;
+};
+
+TEST_F(ReorganizeTest, ReorganizedGraphIsLogicallyIdentical) {
+  const std::string hot = dir_.file("g_hot");
+  test::assert_ok(reorganize_graph(base_, hot, degree_order(),
+                                   HotnessSource::kDegree, 100));
+
+  // Logical view: every node keeps its exact adjacency list.
+  auto loaded = load_csr(hot);
+  RS_ASSERT_OK(loaded);
+  ASSERT_EQ(loaded.value().num_nodes(), csr_.num_nodes());
+  ASSERT_EQ(loaded.value().num_edges(), csr_.num_edges());
+  for (NodeId v = 0; v < csr_.num_nodes(); ++v) {
+    const auto got = loaded.value().neighbors(v);
+    const auto want = csr_.neighbors(v);
+    ASSERT_EQ(got.size(), want.size()) << "node " << v;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()))
+        << "node " << v;
+  }
+}
+
+TEST_F(ReorganizeTest, OffsetIndexResolvesPhysicalPositions) {
+  const std::string hot = dir_.file("g_hot");
+  const auto order = degree_order();
+  test::assert_ok(reorganize_graph(base_, hot, order,
+                                   HotnessSource::kDegree, 50));
+
+  MemoryBudget budget;
+  auto index = core::OffsetIndex::load(hot, budget);
+  RS_ASSERT_OK(index);
+  EXPECT_TRUE(index.value().has_layout());
+  EXPECT_EQ(index.value().layout_generation(), 1u);
+
+  // The hottest list now starts at physical position 0, and degrees are
+  // untouched.
+  EXPECT_EQ(index.value().begin(order[0]), 0u);
+  for (NodeId v = 0; v < csr_.num_nodes(); ++v) {
+    EXPECT_EQ(index.value().degree(v), csr_.degree(v)) << "node " << v;
+    EXPECT_EQ(index.value().end(v) - index.value().begin(v),
+              csr_.degree(v))
+        << "node " << v;
+  }
+}
+
+TEST_F(ReorganizeTest, ReorganizingTwiceBumpsGeneration) {
+  const std::string hot = dir_.file("g_hot");
+  const std::string hot2 = dir_.file("g_hot2");
+  const auto order = degree_order();
+  test::assert_ok(reorganize_graph(base_, hot, order,
+                                   HotnessSource::kDegree, 10));
+  // Second pass reads through the first sidecar (coldest-first this
+  // time, so the bytes genuinely move again).
+  std::vector<NodeId> reversed(order.rbegin(), order.rend());
+  test::assert_ok(reorganize_graph(hot, hot2, reversed,
+                                   HotnessSource::kDegree, 10));
+
+  MemoryBudget budget;
+  auto index = core::OffsetIndex::load(hot2, budget);
+  RS_ASSERT_OK(index);
+  EXPECT_EQ(index.value().layout_generation(), 2u);
+  auto loaded = load_csr(hot2);
+  RS_ASSERT_OK(loaded);
+  for (NodeId v = 0; v < csr_.num_nodes(); ++v) {
+    const auto got = loaded.value().neighbors(v);
+    const auto want = csr_.neighbors(v);
+    ASSERT_EQ(got.size(), want.size()) << "node " << v;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()))
+        << "node " << v;
+  }
+}
+
+TEST_F(ReorganizeTest, RejectsNonPermutationOrder) {
+  std::vector<NodeId> order(csr_.num_nodes(), 0);  // all zeros: duplicates
+  EXPECT_FALSE(reorganize_graph(base_, dir_.file("bad"), order,
+                                HotnessSource::kDegree, 0)
+                   .is_ok());
+  std::vector<NodeId> short_order(csr_.num_nodes() - 1);
+  std::iota(short_order.begin(), short_order.end(), NodeId{0});
+  EXPECT_FALSE(reorganize_graph(base_, dir_.file("bad2"), short_order,
+                                HotnessSource::kDegree, 0)
+                   .is_ok());
+  EXPECT_FALSE(reorganize_graph(base_, base_, degree_order(),
+                                HotnessSource::kDegree, 0)
+                   .is_ok());  // in-place
+}
+
+TEST_F(ReorganizeTest, V0GraphStillOpensWithoutLayout) {
+  MemoryBudget budget;
+  auto index = core::OffsetIndex::load(base_, budget);
+  RS_ASSERT_OK(index);
+  EXPECT_FALSE(index.value().has_layout());
+  EXPECT_EQ(index.value().layout_generation(), 0u);
+  // begin/end are the logical offsets, exactly as before.
+  for (NodeId v = 0; v < csr_.num_nodes(); ++v) {
+    EXPECT_EQ(index.value().begin(v), csr_.offsets()[v]);
+    EXPECT_EQ(index.value().end(v), csr_.offsets()[v + 1]);
+  }
+  auto loaded = load_csr(base_);
+  RS_ASSERT_OK(loaded);
+  EXPECT_EQ(loaded.value().num_edges(), csr_.num_edges());
+}
+
+}  // namespace
+}  // namespace rs::graph
